@@ -1,0 +1,34 @@
+// Shared helpers for the figure/table harnesses.
+//
+// Every harness accepts an optional `--scale=<float>` argument that scales
+// the generated benchmark sizes (default 1.0, the DESIGN.md sizes). Use
+// smaller scales for quick smoke runs; the ratio *ordering* is stable under
+// scaling, absolute ratios move slightly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workload/profile.h"
+
+namespace ccomp::bench {
+
+inline double parse_scale(int argc, char** argv, double fallback = 1.0) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) return std::atof(argv[i] + 8);
+  }
+  if (const char* env = std::getenv("CCOMP_BENCH_SCALE")) return std::atof(env);
+  return fallback;
+}
+
+inline workload::Profile scaled_profile(const workload::Profile& p, double scale) {
+  workload::Profile copy = p;
+  const double kb = static_cast<double>(p.code_kb) * scale;
+  copy.code_kb = kb < 8.0 ? 8u : static_cast<std::uint32_t>(kb);
+  return copy;
+}
+
+}  // namespace ccomp::bench

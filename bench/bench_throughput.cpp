@@ -1,0 +1,119 @@
+// Engineering micro-benchmarks (google-benchmark): compression and
+// decompression throughput of every codec, plus the range coder and
+// Huffman primitives. Not a paper artifact — used to keep the
+// implementation honest about the decompressor's speed, which is the
+// quantity the refill-engine latency model abstracts.
+#include <benchmark/benchmark.h>
+
+#include "baseline/bytehuff.h"
+#include "baseline/filecodecs.h"
+#include "coding/rangecoder.h"
+#include "isa/mips/mips.h"
+#include "sadc/sadc.h"
+#include "samc/samc.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+
+namespace {
+
+using namespace ccomp;
+
+const std::vector<std::uint8_t>& test_code() {
+  static const std::vector<std::uint8_t> code = [] {
+    workload::Profile p = *workload::find_profile("go");
+    p.code_kb = 64;
+    return mips::words_to_bytes(workload::generate_mips(p));
+  }();
+  return code;
+}
+
+void BM_SamcCompress(benchmark::State& state) {
+  const samc::SamcCodec codec(samc::mips_defaults());
+  for (auto _ : state) benchmark::DoNotOptimize(codec.compress(test_code()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * test_code().size()));
+}
+BENCHMARK(BM_SamcCompress)->Unit(benchmark::kMillisecond);
+
+void BM_SamcDecompressBlock(benchmark::State& state) {
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const auto image = codec.compress(test_code());
+  const auto dec = codec.make_decompressor(image);
+  std::size_t b = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec->block(b));
+    b = (b + 1) % image.block_count();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * 32));
+}
+BENCHMARK(BM_SamcDecompressBlock);
+
+void BM_SamcNibbleDecompressBlock(benchmark::State& state) {
+  samc::SamcOptions o = samc::mips_defaults();
+  o.markov.quantized = true;
+  o.parallel_nibble_mode = true;
+  const samc::SamcCodec codec(o);
+  const auto image = codec.compress(test_code());
+  const auto dec = codec.make_decompressor(image);
+  std::size_t b = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec->block(b));
+    b = (b + 1) % image.block_count();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * 32));
+}
+BENCHMARK(BM_SamcNibbleDecompressBlock);
+
+void BM_SadcCompress(benchmark::State& state) {
+  const sadc::SadcMipsCodec codec;
+  for (auto _ : state) benchmark::DoNotOptimize(codec.compress(test_code()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * test_code().size()));
+}
+BENCHMARK(BM_SadcCompress)->Unit(benchmark::kMillisecond);
+
+void BM_SadcDecompressBlock(benchmark::State& state) {
+  const sadc::SadcMipsCodec codec;
+  const auto image = codec.compress(test_code());
+  const auto dec = codec.make_decompressor(image);
+  std::size_t b = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec->block(b));
+    b = (b + 1) % image.block_count();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * 32));
+}
+BENCHMARK(BM_SadcDecompressBlock);
+
+void BM_ByteHuffmanCompress(benchmark::State& state) {
+  const baseline::ByteHuffmanCodec codec;
+  for (auto _ : state) benchmark::DoNotOptimize(codec.compress(test_code()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * test_code().size()));
+}
+BENCHMARK(BM_ByteHuffmanCompress)->Unit(benchmark::kMillisecond);
+
+void BM_GzipLike(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(baseline::gzip_like_bytes(test_code()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * test_code().size()));
+}
+BENCHMARK(BM_GzipLike)->Unit(benchmark::kMillisecond);
+
+void BM_UnixCompress(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(baseline::unix_compress_bytes(test_code()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * test_code().size()));
+}
+BENCHMARK(BM_UnixCompress)->Unit(benchmark::kMillisecond);
+
+void BM_RangeCoderEncodeBit(benchmark::State& state) {
+  coding::RangeEncoder enc;
+  std::uint32_t x = 123456789;
+  for (auto _ : state) {
+    x = x * 1664525 + 1013904223;
+    enc.encode_bit(x >> 31, static_cast<coding::Prob>((x & 0x7FFF) + 0x4000));
+    if (enc.size() > (1u << 20)) {
+      enc.finish();
+      benchmark::DoNotOptimize(enc.take());
+    }
+  }
+}
+BENCHMARK(BM_RangeCoderEncodeBit);
+
+}  // namespace

@@ -1,0 +1,37 @@
+// Ablation T-DS: SADC dictionary-size sensitivity. The paper fixes the
+// dictionary at 256 one-byte-indexed entries; sweep smaller budgets to show
+// the knee.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/report.h"
+#include "isa/mips/mips.h"
+#include "sadc/sadc.h"
+#include "workload/mips_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace ccomp;
+  const double scale = bench::parse_scale(argc, argv, 0.5);
+  std::printf("Table T-DS: SADC dictionary-size sensitivity (scale=%.2f)\n", scale);
+
+  const std::size_t sizes[] = {96, 128, 192, 256};
+  core::RatioTable table("SADC ratio vs max dictionary symbols",
+                         {"96", "128", "192", "256"});
+
+  for (const char* name : {"gcc", "go", "perl", "vortex"}) {
+    const workload::Profile p =
+        bench::scaled_profile(*workload::find_profile(name), scale);
+    const auto code = mips::words_to_bytes(workload::generate_mips(p));
+    std::vector<double> row;
+    for (const std::size_t n : sizes) {
+      sadc::SadcOptions opt;
+      opt.max_symbols = n;
+      row.push_back(sadc::SadcMipsCodec(opt).compress(code).sizes().ratio());
+    }
+    table.add_row(name, row);
+    std::fflush(stdout);
+  }
+  table.print();
+  std::printf("\nExpectation: ratio improves with budget and flattens near 256.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation T-Q: power-of-1/2 probability quantization (Witten et al.). The
+// paper adopts this constraint so the decoder's midpoint unit needs only
+// shifts; Witten et al. bound the worst-case efficiency at ~95%. Measure
+// the actual compression cost at several maximum shifts.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/report.h"
+#include "isa/mips/mips.h"
+#include "samc/samc.h"
+#include "workload/mips_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace ccomp;
+  const double scale = bench::parse_scale(argc, argv, 0.5);
+  std::printf("Table T-Q: SAMC probability quantization cost (scale=%.2f)\n", scale);
+
+  core::RatioTable table("SAMC ratio: exact vs power-of-1/2 probabilities",
+                         {"exact", "shift<=4", "shift<=6", "shift<=8"});
+
+  for (const char* name : {"gcc", "go", "perl", "vortex"}) {
+    const workload::Profile p =
+        bench::scaled_profile(*workload::find_profile(name), scale);
+    const auto code = mips::words_to_bytes(workload::generate_mips(p));
+    std::vector<double> row;
+    row.push_back(samc::SamcCodec(samc::mips_defaults()).compress(code).sizes().ratio());
+    for (const unsigned shift : {4u, 6u, 8u}) {
+      samc::SamcOptions o = samc::mips_defaults();
+      o.markov.quantized = true;
+      o.markov.max_shift = shift;
+      row.push_back(samc::SamcCodec(o).compress(code).sizes().ratio());
+    }
+    table.add_row(name, row);
+    std::fflush(stdout);
+  }
+  table.print();
+
+  const auto means = table.column_means();
+  std::printf("\nEfficiency at shift<=8: %.1f%% of exact (Witten et al. worst case ~95%%)\n",
+              100.0 * means[0] / means[3]);
+  return 0;
+}

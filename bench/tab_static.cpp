@@ -1,0 +1,75 @@
+// Table T-ST: static vs semiadaptive models. The paper's taxonomy (Sec. 4,
+// after Bell/Cleary/Witten): static tables are built once and shipped for
+// all programs; semiadaptive tables are rebuilt per program and "clearly"
+// compress better. Quantify the gap for SAMC by training the Markov model
+// on one donor program (gcc) and applying it to every other benchmark.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "coding/markov.h"
+#include "core/report.h"
+#include "isa/mips/mips.h"
+#include "sadc/sadc.h"
+#include "samc/samc.h"
+#include "workload/mips_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace ccomp;
+  const double scale = bench::parse_scale(argc, argv, 0.5);
+  std::printf("Table T-ST: SAMC semiadaptive vs static (gcc-trained) model (scale=%.2f)\n",
+              scale);
+
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const workload::Profile donor =
+      bench::scaled_profile(*workload::find_profile("gcc"), scale);
+  const coding::MarkovModel static_model =
+      codec.train_model(mips::words_to_bytes(workload::generate_mips(donor)));
+
+  // A static model ships once inside the decompressor, so its fair
+  // accounting is payload-only; the third column charges it per program
+  // anyway, as an upper bound.
+  core::RatioTable table("SAMC ratio by model provenance",
+                         {"semiadaptive", "static", "static+tbl"});
+  for (const char* name : {"compress", "go", "m88ksim", "perl", "swim", "vortex"}) {
+    const workload::Profile p =
+        bench::scaled_profile(*workload::find_profile(name), scale);
+    const auto code = mips::words_to_bytes(workload::generate_mips(p));
+    const auto static_image = codec.compress_with_model(code, static_model);
+    const double row[] = {
+        codec.compress(code).sizes().ratio(),
+        static_cast<double>(static_image.sizes().payload) / static_cast<double>(code.size()),
+        static_image.sizes().ratio()};
+    table.add_row(p.name, row);
+    std::fflush(stdout);
+  }
+  table.print();
+
+  // Same study for SADC's dictionary (the construct Sec. 4 actually
+  // classifies as static/semiadaptive/dynamic).
+  const sadc::SadcMipsCodec sadc_codec;
+  const sadc::SymbolTable static_dict =
+      sadc_codec.build_dictionary(mips::words_to_bytes(workload::generate_mips(donor)));
+  core::RatioTable sadc_table("SADC ratio by dictionary provenance",
+                              {"semiadaptive", "static", "static+tbl"});
+  for (const char* name : {"compress", "go", "m88ksim", "perl", "swim", "vortex"}) {
+    const workload::Profile p =
+        bench::scaled_profile(*workload::find_profile(name), scale);
+    const auto code = mips::words_to_bytes(workload::generate_mips(p));
+    const auto static_image = sadc_codec.compress_with_dictionary(code, static_dict);
+    const double row[] = {
+        sadc_codec.compress(code).sizes().ratio(),
+        static_cast<double>(static_image.sizes().payload) / static_cast<double>(code.size()),
+        static_image.sizes().ratio()};
+    sadc_table.add_row(p.name, row);
+    std::fflush(stdout);
+  }
+  sadc_table.print();
+
+  std::printf("\nThe semiadaptive model always predicts its own program better (its\n"
+              "payload is smaller than the static column plus the ~4 KB tables it\n"
+              "charges), which is the paper's 'clearly better'. But at these\n"
+              "program sizes the per-program table cost can flip the total — a\n"
+              "static same-compiler model with tables amortized into the\n"
+              "decompressor ROM is the better *system* choice for small programs.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Cache explorer: the architecture-side question of the paper — what does
+// running compressed code cost at run time? Sweeps I-cache size for one
+// benchmark and prints miss rate, slowdown, and CLB effectiveness, for both
+// SAMC and SADC refill engines.
+//
+//   $ ./cache_explorer [benchmark-name] [trace-length]
+#include <cstdio>
+#include <cstdlib>
+
+#include "isa/mips/mips.h"
+#include "memsys/sim.h"
+#include "sadc/sadc.h"
+#include "samc/samc.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+#include "workload/trace.h"
+
+int main(int argc, char** argv) {
+  using namespace ccomp;
+  const char* name = argc > 1 ? argv[1] : "ijpeg";
+  const std::size_t trace_len = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500000;
+  const workload::Profile* profile = workload::find_profile(name);
+  if (profile == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name);
+    return 1;
+  }
+  workload::Profile p = *profile;
+  p.code_kb = std::min(p.code_kb, 128u);
+
+  const auto prog = workload::generate_mips_program(p);
+  const auto code = mips::words_to_bytes(prog.words);
+  workload::TraceOptions topt;
+  topt.length = trace_len;
+  const auto trace =
+      workload::generate_trace(p, prog.function_starts, prog.words.size(), topt);
+
+  const samc::SamcCodec samc_codec(samc::mips_defaults());
+  const sadc::SadcMipsCodec sadc_codec;
+  const auto samc_image = samc_codec.compress(code);
+  const auto sadc_image = sadc_codec.compress(code);
+
+  std::printf("%s-like: %zu KB text, trace %zu fetches\n", p.name, code.size() / 1024,
+              trace.size());
+  std::printf("SAMC ratio %.3f | SADC ratio %.3f\n\n", samc_image.sizes().ratio(),
+              sadc_image.sizes().ratio());
+  std::printf("%-9s %9s | %21s | %21s\n", "", "", "SAMC refill (4 b/cyc)",
+              "SADC refill (16 b/cyc)");
+  std::printf("%-9s %9s | %10s %10s | %10s %10s\n", "cache", "missrate", "cyc/fetch",
+              "slowdown", "cyc/fetch", "slowdown");
+
+  for (const std::uint32_t kb : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    memsys::SimConfig base_cfg;
+    base_cfg.cache = {kb * 1024, 32, 2};
+    const auto base = memsys::simulate_uncompressed(base_cfg, trace);
+
+    memsys::SimConfig samc_cfg = base_cfg;
+    samc_cfg.refill.decode_bits_per_cycle = 4;  // Fig. 5 parallel decoder
+    const auto samc_run = memsys::simulate_compressed(samc_cfg, trace, samc_image);
+
+    memsys::SimConfig sadc_cfg = base_cfg;
+    sadc_cfg.refill.decode_bits_per_cycle = 16;  // dictionary lookups are fast
+    const auto sadc_run = memsys::simulate_compressed(sadc_cfg, trace, sadc_image);
+
+    std::printf("%6u KB %9.4f | %10.3f %9.3fx | %10.3f %9.3fx\n", kb, base.miss_rate(),
+                samc_run.cycles_per_fetch(),
+                samc_run.cycles_per_fetch() / base.cycles_per_fetch(),
+                sadc_run.cycles_per_fetch(),
+                sadc_run.cycles_per_fetch() / base.cycles_per_fetch());
+  }
+  std::printf("\nAs the paper argues, the loss tracks the I-cache miss ratio: with a\n"
+              "reasonable cache the compressed system runs within a few percent of\n"
+              "the uncompressed one while storing far less code.\n");
+  return 0;
+}

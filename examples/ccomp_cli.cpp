@@ -1,0 +1,228 @@
+// ccomp_cli — command-line front end for the library, the tool a firmware
+// build system would invoke.
+//
+//   ccomp_cli compress   <in> <out.ccmp> [--codec=samc|sadc|huffman]
+//                                        [--isa=mips|x86|bytes] [--block=N]
+//   ccomp_cli decompress <in.ccmp> <out>
+//   ccomp_cli info       <in.ccmp>
+//   ccomp_cli asm        <in.s> <out.bin>   # assemble MIPS source
+//   ccomp_cli disasm     <in.bin>           # disassemble MIPS binary
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/bytehuff.h"
+#include "isa/mips/asm.h"
+#include "isa/mips/mips.h"
+#include "sadc/sadc.h"
+#include "samc/samc.h"
+#include "samc/samc_x86split.h"
+
+namespace {
+
+using namespace ccomp;
+
+std::vector<std::uint8_t> read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const char* path, std::span<const std::uint8_t> data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+std::unique_ptr<core::BlockCodec> make_codec(const std::string& codec, const std::string& isa,
+                                             std::uint32_t block) {
+  if (codec == "samc") {
+    samc::SamcOptions o = isa == "mips" ? samc::mips_defaults() : samc::x86_defaults();
+    o.block_size = block;
+    if (isa == "bytes") o.isa = core::IsaKind::kRawBytes;
+    return std::make_unique<samc::SamcCodec>(o);
+  }
+  if (codec == "sadc") {
+    sadc::SadcOptions o;
+    o.block_size = block;
+    if (isa == "x86") return std::make_unique<sadc::SadcX86Codec>(o);
+    return std::make_unique<sadc::SadcMipsCodec>(o);
+  }
+  if (codec == "samc-split") {
+    samc::SamcX86SplitOptions o;
+    o.block_size = block;
+    return std::make_unique<samc::SamcX86SplitCodec>(o);
+  }
+  if (codec == "huffman") {
+    baseline::ByteHuffmanOptions o;
+    o.block_size = block;
+    o.isa = isa == "mips"  ? core::IsaKind::kMips
+            : isa == "x86" ? core::IsaKind::kX86
+                           : core::IsaKind::kRawBytes;
+    return std::make_unique<baseline::ByteHuffmanCodec>(o);
+  }
+  std::fprintf(stderr, "unknown codec '%s' (samc|sadc|huffman)\n", codec.c_str());
+  std::exit(1);
+}
+
+std::unique_ptr<core::BlockCodec> codec_for_image(const core::CompressedImage& image) {
+  switch (image.codec()) {
+    case core::CodecKind::kSamc: {
+      // The decompressor reads everything it needs from the image tables;
+      // options here only need the right ISA/block for validation.
+      samc::SamcOptions o =
+          image.isa() == core::IsaKind::kX86 ? samc::x86_defaults() : samc::mips_defaults();
+      o.block_size = image.block_size();
+      o.isa = image.isa();
+      return std::make_unique<samc::SamcCodec>(o);
+    }
+    case core::CodecKind::kSadc:
+      if (image.isa() == core::IsaKind::kX86) {
+        sadc::SadcOptions o;
+        o.block_size = image.block_size();
+        return std::make_unique<sadc::SadcX86Codec>(o);
+      } else {
+        sadc::SadcOptions o;
+        o.block_size = image.block_size();
+        return std::make_unique<sadc::SadcMipsCodec>(o);
+      }
+    case core::CodecKind::kByteHuffman: {
+      baseline::ByteHuffmanOptions o;
+      o.block_size = image.block_size();
+      o.isa = image.isa();
+      return std::make_unique<baseline::ByteHuffmanCodec>(o);
+    }
+    case core::CodecKind::kSamcX86Split: {
+      samc::SamcX86SplitOptions o;
+      o.block_size = image.block_size();
+      return std::make_unique<samc::SamcX86SplitCodec>(o);
+    }
+  }
+  std::fprintf(stderr, "unknown codec id in image\n");
+  std::exit(1);
+}
+
+const char* codec_name(core::CodecKind k) {
+  switch (k) {
+    case core::CodecKind::kSamc: return "SAMC";
+    case core::CodecKind::kSadc: return "SADC";
+    case core::CodecKind::kByteHuffman: return "byte-Huffman";
+    case core::CodecKind::kSamcX86Split: return "SAMC-split";
+  }
+  return "?";
+}
+
+const char* isa_name(core::IsaKind k) {
+  switch (k) {
+    case core::IsaKind::kMips: return "MIPS";
+    case core::IsaKind::kX86: return "x86";
+    case core::IsaKind::kRawBytes: return "raw bytes";
+  }
+  return "?";
+}
+
+int cmd_compress(int argc, char** argv) {
+  if (argc < 4) return 1;
+  std::string codec = "sadc", isa = "mips";
+  std::uint32_t block = 32;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--codec=", 8) == 0) codec = argv[i] + 8;
+    else if (std::strncmp(argv[i], "--isa=", 6) == 0) isa = argv[i] + 6;
+    else if (std::strncmp(argv[i], "--block=", 8) == 0)
+      block = static_cast<std::uint32_t>(std::atoi(argv[i] + 8));
+  }
+  const auto code = read_file(argv[2]);
+  const auto c = make_codec(codec, isa, block);
+  const core::CompressedImage image = c->compress_verified(code);
+  ByteSink sink;
+  image.serialize(sink);
+  const auto bytes = sink.take();
+  write_file(argv[3], bytes);
+  const auto s = image.sizes();
+  std::printf("%s: %zu -> %zu bytes (ratio %.3f; %.3f with LAT), verified\n", codec.c_str(),
+              s.original, s.payload + s.tables, s.ratio(), s.ratio_with_lat());
+  return 0;
+}
+
+int cmd_decompress(int argc, char** argv) {
+  if (argc < 4) return 1;
+  const auto bytes = read_file(argv[2]);
+  ByteSource src(bytes);
+  const auto image = core::CompressedImage::deserialize(src);
+  const auto codec = codec_for_image(image);
+  const auto code = codec->decompress_all(image);
+  write_file(argv[3], code);
+  std::printf("decompressed %zu bytes\n", code.size());
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 3) return 1;
+  const auto bytes = read_file(argv[2]);
+  ByteSource src(bytes);
+  const auto image = core::CompressedImage::deserialize(src);
+  const auto s = image.sizes();
+  std::printf("codec:      %s\n", codec_name(image.codec()));
+  std::printf("isa:        %s\n", isa_name(image.isa()));
+  std::printf("block size: %u bytes%s\n", image.block_size(),
+              image.has_variable_blocks() ? " (instruction-aligned, variable)" : "");
+  std::printf("blocks:     %zu\n", image.block_count());
+  std::printf("original:   %zu bytes\n", s.original);
+  std::printf("payload:    %zu bytes\n", s.payload);
+  std::printf("tables:     %zu bytes\n", s.tables);
+  std::printf("LAT:        %zu bytes\n", s.lat);
+  std::printf("ratio:      %.4f (%.4f with LAT)\n", s.ratio(), s.ratio_with_lat());
+  return 0;
+}
+
+int cmd_asm(int argc, char** argv) {
+  if (argc < 4) return 1;
+  const auto source = read_file(argv[2]);
+  const std::string text(source.begin(), source.end());
+  const auto words = mips::assemble(text);
+  write_file(argv[3], mips::words_to_bytes(words));
+  std::printf("assembled %zu instructions\n", words.size());
+  return 0;
+}
+
+int cmd_disasm(int argc, char** argv) {
+  if (argc < 3) return 1;
+  const auto bytes = read_file(argv[2]);
+  const auto words = mips::bytes_to_words(bytes);
+  std::fputs(mips::disassemble_program(words, 0x00400000).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s compress|decompress|info|asm|disasm ... (see source header)\n",
+                 argv[0]);
+    return 1;
+  }
+  try {
+    const std::string cmd = argv[1];
+    if (cmd == "compress") return cmd_compress(argc, argv);
+    if (cmd == "decompress") return cmd_decompress(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "asm") return cmd_asm(argc, argv);
+    if (cmd == "disasm") return cmd_disasm(argc, argv);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 1;
+  } catch (const ccomp::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

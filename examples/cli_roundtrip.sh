@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# End-to-end CLI exercise: assemble -> compress (every codec) -> info ->
+# decompress -> byte-compare. Run by CTest with $1 = path to ccomp_cli.
+set -euo pipefail
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+cat > "$DIR/prog.s" <<'EOF'
+entry:
+    addiu $sp, $sp, -32
+    sw    $ra, 28($sp)
+    li    $t0, 100
+loop:
+    addiu $t0, $t0, -1
+    bne   $t0, $zero, loop
+    nop
+    lw    $ra, 28($sp)
+    addiu $sp, $sp, 32
+    jr    $ra
+    nop
+EOF
+
+"$CLI" asm "$DIR/prog.s" "$DIR/prog.bin"
+"$CLI" disasm "$DIR/prog.bin" | grep -q "jr \$ra"
+
+for codec in samc sadc huffman; do
+  "$CLI" compress "$DIR/prog.bin" "$DIR/prog.$codec.ccmp" --codec=$codec --isa=mips
+  "$CLI" info "$DIR/prog.$codec.ccmp" | grep -q "ratio"
+  "$CLI" decompress "$DIR/prog.$codec.ccmp" "$DIR/prog.$codec.out"
+  cmp "$DIR/prog.bin" "$DIR/prog.$codec.out"
+done
+echo "CLI round trip OK"

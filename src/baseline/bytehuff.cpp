@@ -1,0 +1,74 @@
+#include "baseline/bytehuff.h"
+
+#include "coding/huffman.h"
+#include "support/bitio.h"
+#include "support/error.h"
+
+namespace ccomp::baseline {
+namespace {
+
+using coding::HuffmanCode;
+
+class ByteHuffmanDecompressor final : public core::BlockDecompressor {
+ public:
+  ByteHuffmanDecompressor(const core::CompressedImage& image, HuffmanCode code)
+      : BlockDecompressor(image.block_count()), image_(&image), code_(std::move(code)) {}
+
+  std::vector<std::uint8_t> block(std::size_t index) const override {
+    const std::size_t bytes = image_->block_original_size(index);
+    BitReader in(image_->block_payload(index));
+    std::vector<std::uint8_t> out;
+    out.reserve(bytes);
+    for (std::size_t i = 0; i < bytes; ++i)
+      out.push_back(static_cast<std::uint8_t>(code_.decode(in)));
+    return out;
+  }
+
+ private:
+  const core::CompressedImage* image_;
+  HuffmanCode code_;
+};
+
+}  // namespace
+
+ByteHuffmanCodec::ByteHuffmanCodec(ByteHuffmanOptions options) : options_(options) {
+  if (options_.block_size == 0) throw ConfigError("block size must be nonzero");
+}
+
+core::CompressedImage ByteHuffmanCodec::compress(std::span<const std::uint8_t> code) const {
+  std::vector<std::uint64_t> freq(256, 0);
+  for (const std::uint8_t b : code) ++freq[b];
+  const HuffmanCode huff = HuffmanCode::from_frequencies(freq);
+
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint32_t> offsets;
+  for (std::size_t begin = 0; begin < code.size(); begin += options_.block_size) {
+    offsets.push_back(static_cast<std::uint32_t>(payload.size()));
+    const std::size_t end = begin + options_.block_size < code.size()
+                                ? begin + options_.block_size
+                                : code.size();
+    BitWriter bits;
+    for (std::size_t i = begin; i < end; ++i) huff.encode(bits, code[i]);
+    const std::vector<std::uint8_t> block = bits.take();
+    payload.insert(payload.end(), block.begin(), block.end());
+  }
+  offsets.push_back(static_cast<std::uint32_t>(payload.size()));
+  if (code.empty()) offsets.assign(1, 0);
+
+  ByteSink tables;
+  huff.serialize(tables);
+  return core::CompressedImage(core::CodecKind::kByteHuffman, options_.isa,
+                               options_.block_size, code.size(), tables.take(),
+                               std::move(offsets), std::move(payload));
+}
+
+std::unique_ptr<core::BlockDecompressor> ByteHuffmanCodec::make_decompressor(
+    const core::CompressedImage& image) const {
+  if (image.codec() != core::CodecKind::kByteHuffman)
+    throw ConfigError("image was not produced by the byte-Huffman codec");
+  ByteSource src(image.tables());
+  HuffmanCode code = HuffmanCode::deserialize(src);
+  return std::make_unique<ByteHuffmanDecompressor>(image, std::move(code));
+}
+
+}  // namespace ccomp::baseline

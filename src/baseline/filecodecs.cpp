@@ -1,0 +1,37 @@
+#include "baseline/filecodecs.h"
+
+#include "coding/lz77.h"
+#include "coding/lzw.h"
+
+namespace ccomp::baseline {
+
+FileCompressionResult unix_compress(std::span<const std::uint8_t> code) {
+  const auto compressed = coding::lzw_compress(code);
+  // compress(1) writes a 3-byte header (magic + flags); count it.
+  return {code.size(), compressed.size() + 3};
+}
+
+std::vector<std::uint8_t> unix_compress_bytes(std::span<const std::uint8_t> code) {
+  return coding::lzw_compress(code);
+}
+
+std::vector<std::uint8_t> unix_decompress_bytes(std::span<const std::uint8_t> compressed,
+                                                std::size_t original_size) {
+  return coding::lzw_decompress(compressed, original_size);
+}
+
+FileCompressionResult gzip_like(std::span<const std::uint8_t> code) {
+  const auto compressed = coding::lz77_compress(code);
+  // gzip writes a 10-byte header and an 8-byte trailer; count them.
+  return {code.size(), compressed.size() + 18};
+}
+
+std::vector<std::uint8_t> gzip_like_bytes(std::span<const std::uint8_t> code) {
+  return coding::lz77_compress(code);
+}
+
+std::vector<std::uint8_t> gzip_like_decompress(std::span<const std::uint8_t> compressed) {
+  return coding::lz77_decompress(compressed);
+}
+
+}  // namespace ccomp::baseline

@@ -1,0 +1,34 @@
+// File-oriented comparators: UNIX compress (LZW) and a gzip-like
+// LZ77+Huffman compressor. Neither supports block random access — they are
+// the upper-bound references in Figs. 7/8, not candidates for the
+// compressed-code memory system.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace ccomp::baseline {
+
+struct FileCompressionResult {
+  std::size_t original;
+  std::size_t compressed;
+  double ratio() const {
+    return original == 0 ? 0.0
+                         : static_cast<double>(compressed) / static_cast<double>(original);
+  }
+};
+
+/// UNIX compress(1) equivalent (LZW, 9..16-bit codes, block mode).
+FileCompressionResult unix_compress(std::span<const std::uint8_t> code);
+std::vector<std::uint8_t> unix_compress_bytes(std::span<const std::uint8_t> code);
+std::vector<std::uint8_t> unix_decompress_bytes(std::span<const std::uint8_t> compressed,
+                                                std::size_t original_size);
+
+/// gzip-like (LZ77 32 KiB window + canonical Huffman).
+FileCompressionResult gzip_like(std::span<const std::uint8_t> code);
+std::vector<std::uint8_t> gzip_like_bytes(std::span<const std::uint8_t> code);
+std::vector<std::uint8_t> gzip_like_decompress(std::span<const std::uint8_t> compressed);
+
+}  // namespace ccomp::baseline

@@ -1,0 +1,266 @@
+#include "coding/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ccomp::coding {
+namespace {
+
+// Compute unrestricted Huffman code lengths from frequencies with a heap.
+std::vector<std::uint8_t> huffman_lengths(std::span<const std::uint64_t> freq) {
+  const std::size_t n = freq.size();
+  std::vector<std::uint8_t> lengths(n, 0);
+
+  struct Node {
+    std::uint64_t weight;
+    std::uint32_t serial;  // tie-break so the build is deterministic
+    int left, right;       // -1 for leaves
+    std::uint32_t symbol;
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(2 * n);
+  auto cmp = [&nodes](int a, int b) {
+    if (nodes[static_cast<std::size_t>(a)].weight != nodes[static_cast<std::size_t>(b)].weight)
+      return nodes[static_cast<std::size_t>(a)].weight > nodes[static_cast<std::size_t>(b)].weight;
+    return nodes[static_cast<std::size_t>(a)].serial > nodes[static_cast<std::size_t>(b)].serial;
+  };
+  std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+
+  std::uint32_t serial = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (freq[s] == 0) continue;
+    nodes.push_back(Node{freq[s], serial++, -1, -1, static_cast<std::uint32_t>(s)});
+    heap.push(static_cast<int>(nodes.size()) - 1);
+  }
+  if (nodes.empty()) return lengths;
+  if (nodes.size() == 1) {
+    lengths[nodes[0].symbol] = 1;  // degenerate alphabet: give it a 1-bit code
+    return lengths;
+  }
+  while (heap.size() > 1) {
+    const int a = heap.top();
+    heap.pop();
+    const int b = heap.top();
+    heap.pop();
+    nodes.push_back(Node{nodes[static_cast<std::size_t>(a)].weight +
+                             nodes[static_cast<std::size_t>(b)].weight,
+                         serial++, a, b, 0});
+    heap.push(static_cast<int>(nodes.size()) - 1);
+  }
+  // Depth-first assignment of depths to leaves.
+  struct Frame {
+    int node;
+    unsigned depth;
+  };
+  std::vector<Frame> stack{{heap.top(), 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[static_cast<std::size_t>(f.node)];
+    if (node.left < 0) {
+      lengths[node.symbol] = static_cast<std::uint8_t>(f.depth == 0 ? 1 : f.depth);
+    } else {
+      stack.push_back({node.left, f.depth + 1});
+      stack.push_back({node.right, f.depth + 1});
+    }
+  }
+  return lengths;
+}
+
+// Enforce `max_length` on a set of code lengths while keeping the Kraft sum
+// exactly 1 (the zlib-style rebalancing trick): overlong codes are clamped,
+// then the resulting Kraft overflow is paid back by lengthening the cheapest
+// short codes, and finally any slack is reclaimed by shortening codes.
+void limit_lengths(std::vector<std::uint8_t>& lengths, unsigned max_length) {
+  bool overlong = false;
+  for (auto l : lengths) overlong |= (l > max_length);
+  if (!overlong) return;
+
+  // Kraft sum in units of 2^-max_length.
+  const std::uint64_t one = std::uint64_t{1} << max_length;
+  std::uint64_t kraft = 0;
+  for (auto& l : lengths) {
+    if (l == 0) continue;
+    if (l > max_length) l = static_cast<std::uint8_t>(max_length);
+    kraft += one >> l;
+  }
+  // Pay back the overflow: demote symbols (increase their length) until the
+  // Kraft inequality holds. Work from the longest valid codes downward.
+  for (unsigned l = max_length - 1; kraft > one && l >= 1; --l) {
+    for (std::size_t s = 0; s < lengths.size() && kraft > one; ++s) {
+      if (lengths[s] == l) {
+        lengths[s] = static_cast<std::uint8_t>(l + 1);
+        kraft -= (one >> l) - (one >> (l + 1));
+      }
+    }
+  }
+  // Reclaim slack: promote symbols (shorten) where possible, longest first,
+  // so the code stays close to optimal.
+  for (unsigned l = max_length; kraft < one && l >= 2; --l) {
+    for (std::size_t s = 0; s < lengths.size() && kraft < one; ++s) {
+      if (lengths[s] == l && kraft + ((one >> (l - 1)) - (one >> l)) <= one) {
+        lengths[s] = static_cast<std::uint8_t>(l - 1);
+        kraft += (one >> (l - 1)) - (one >> l);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+HuffmanCode HuffmanCode::from_frequencies(std::span<const std::uint64_t> freq,
+                                          unsigned max_length) {
+  if (max_length == 0 || max_length > kMaxCodeLength)
+    throw ConfigError("Huffman max_length out of range");
+  HuffmanCode code;
+  code.lengths_ = huffman_lengths(freq);
+  limit_lengths(code.lengths_, max_length);
+  code.build_canonical();
+  return code;
+}
+
+HuffmanCode HuffmanCode::from_lengths(std::vector<std::uint8_t> lengths) {
+  HuffmanCode code;
+  code.lengths_ = std::move(lengths);
+  for (auto l : code.lengths_)
+    if (l > kMaxCodeLength) throw CorruptDataError("Huffman length exceeds limit");
+  code.build_canonical();
+  return code;
+}
+
+void HuffmanCode::build_canonical() {
+  const std::size_t n = lengths_.size();
+  codes_.assign(n, 0);
+  sorted_symbols_.clear();
+
+  std::uint32_t length_count[kMaxCodeLength + 2] = {};
+  for (auto l : lengths_)
+    if (l > 0) ++length_count[l];
+
+  // Verify the Kraft inequality so corrupt tables can't produce ambiguous
+  // decodes.
+  std::uint64_t kraft = 0;
+  for (unsigned l = 1; l <= kMaxCodeLength; ++l)
+    kraft += static_cast<std::uint64_t>(length_count[l]) << (kMaxCodeLength - l);
+  if (kraft > (std::uint64_t{1} << kMaxCodeLength))
+    throw CorruptDataError("Huffman lengths violate the Kraft inequality");
+
+  // Canonical numbering: codes of each length are consecutive; the first code
+  // of length L is (first_code[L-1] + count[L-1]) << 1.
+  std::uint32_t next_code[kMaxCodeLength + 2] = {};
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  for (unsigned l = 1; l <= kMaxCodeLength; ++l) {
+    code = (code + length_count[l - 1]) << 1;
+    next_code[l] = code;
+    first_code_[l] = code;
+    first_index_[l] = index;
+    index += length_count[l];
+  }
+  first_code_[kMaxCodeLength + 1] = 0;
+  first_index_[kMaxCodeLength + 1] = index;
+
+  // Assign codewords and the symbol table sorted by (length, symbol).
+  sorted_symbols_.resize(index);
+  std::uint32_t fill[kMaxCodeLength + 2];
+  std::copy(std::begin(first_index_), std::end(first_index_), std::begin(fill));
+  for (std::size_t s = 0; s < n; ++s) {
+    const unsigned l = lengths_[s];
+    if (l == 0) continue;
+    codes_[s] = next_code[l]++;
+    sorted_symbols_[fill[l]++] = static_cast<std::uint32_t>(s);
+  }
+
+  // Single-lookup acceleration for codes of <= kFastBits bits: every window
+  // whose prefix is the codeword maps to (symbol, length).
+  fast_.assign(std::size_t{1} << kFastBits, FastEntry{});
+  for (std::size_t s = 0; s < n; ++s) {
+    const unsigned l = lengths_[s];
+    if (l == 0 || l > kFastBits) continue;
+    const std::uint32_t base = codes_[s] << (kFastBits - l);
+    const std::uint32_t span = 1u << (kFastBits - l);
+    for (std::uint32_t w = 0; w < span; ++w)
+      fast_[base + w] = FastEntry{static_cast<std::uint32_t>(s),
+                                  static_cast<std::uint8_t>(l)};
+  }
+}
+
+void HuffmanCode::encode(BitWriter& out, std::size_t symbol) const {
+  const unsigned l = lengths_.at(symbol);
+  if (l == 0) throw ConfigError("encoding a symbol with no Huffman code");
+  out.write_bits(codes_[symbol], l);
+}
+
+std::size_t HuffmanCode::decode(BitReader& in) const {
+  const std::uint32_t window = static_cast<std::uint32_t>(in.peek_bits(kFastBits));
+  const FastEntry entry = fast_[window];
+  if (entry.length != 0 && entry.length <= in.bits_left()) {
+    in.seek_bits(in.bit_position() + entry.length);
+    return entry.symbol;
+  }
+  return decode_serial(in);
+}
+
+std::size_t HuffmanCode::decode_serial(BitReader& in) const {
+  std::uint32_t code = 0;
+  for (unsigned l = 1; l <= kMaxCodeLength; ++l) {
+    code = (code << 1) | in.read_bit();
+    const std::uint32_t count = first_index_[l + 1] - first_index_[l];
+    if (count != 0 && code < first_code_[l] + count) {
+      return sorted_symbols_[first_index_[l] + (code - first_code_[l])];
+    }
+  }
+  throw CorruptDataError("invalid Huffman prefix");
+}
+
+std::uint64_t HuffmanCode::encoded_bits(std::span<const std::uint64_t> freq) const {
+  std::uint64_t bits = 0;
+  const std::size_t n = freq.size() < lengths_.size() ? freq.size() : lengths_.size();
+  for (std::size_t s = 0; s < n; ++s) bits += freq[s] * lengths_[s];
+  return bits;
+}
+
+void HuffmanCode::serialize(ByteSink& sink) const {
+  // Format: varint alphabet size, then tokens: 0x00 <varint run> = run of
+  // zero lengths; 0x01..0x10 = literal length.
+  sink.varint(lengths_.size());
+  std::size_t i = 0;
+  while (i < lengths_.size()) {
+    if (lengths_[i] == 0) {
+      std::size_t run = 0;
+      while (i + run < lengths_.size() && lengths_[i + run] == 0) ++run;
+      sink.u8(0);
+      sink.varint(run);
+      i += run;
+    } else {
+      sink.u8(lengths_[i]);
+      ++i;
+    }
+  }
+}
+
+HuffmanCode HuffmanCode::deserialize(ByteSource& src) {
+  const std::uint64_t n = src.varint();
+  if (n > (1u << 24)) throw CorruptDataError("Huffman alphabet unreasonably large");
+  std::vector<std::uint8_t> lengths;
+  lengths.reserve(static_cast<std::size_t>(n));
+  while (lengths.size() < n) {
+    const std::uint8_t tok = src.u8();
+    if (tok == 0) {
+      const std::uint64_t run = src.varint();
+      if (lengths.size() + run > n) throw CorruptDataError("Huffman zero-run overflows alphabet");
+      lengths.insert(lengths.end(), static_cast<std::size_t>(run), 0);
+    } else {
+      lengths.push_back(tok);
+    }
+  }
+  return from_lengths(std::move(lengths));
+}
+
+std::size_t HuffmanCode::table_bytes() const {
+  ByteSink sink;
+  serialize(sink);
+  return sink.size();
+}
+
+}  // namespace ccomp::coding

@@ -1,0 +1,86 @@
+// Canonical, length-limited Huffman coding.
+//
+// Used by SADC's stream post-coder, the byte-based Huffman baseline
+// (Kozuch & Wolfe), and the gzip-like file compressor. Codes are canonical
+// so only the code lengths need to be stored; lengths are limited to
+// kMaxCodeLength so the decoder tables stay small (the embedded-hardware
+// constraint the paper cares about).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/bitio.h"
+#include "support/serialize.h"
+
+namespace ccomp::coding {
+
+inline constexpr unsigned kMaxCodeLength = 16;
+
+/// A canonical Huffman code over the alphabet [0, lengths.size()).
+/// Symbols with length 0 are absent from the code.
+class HuffmanCode {
+ public:
+  /// Build a length-limited canonical code from symbol frequencies.
+  /// Symbols with zero frequency get length 0. If fewer than two symbols
+  /// occur, the occurring symbol gets a 1-bit code so the stream is
+  /// self-delimiting.
+  static HuffmanCode from_frequencies(std::span<const std::uint64_t> freq,
+                                      unsigned max_length = kMaxCodeLength);
+
+  /// Reconstruct from code lengths (the canonical-code contract).
+  static HuffmanCode from_lengths(std::vector<std::uint8_t> lengths);
+
+  /// Code length per symbol (0 = symbol not in code).
+  std::span<const std::uint8_t> lengths() const { return lengths_; }
+
+  /// Codeword for `symbol` (valid only if length > 0), MSB-first.
+  std::uint32_t code_of(std::size_t symbol) const { return codes_.at(symbol); }
+  unsigned length_of(std::size_t symbol) const { return lengths_.at(symbol); }
+
+  std::size_t alphabet_size() const { return lengths_.size(); }
+
+  /// Encode one symbol.
+  void encode(BitWriter& out, std::size_t symbol) const;
+
+  /// Decode one symbol. Throws CorruptDataError on an invalid prefix.
+  /// Short codes (<= kFastBits) resolve through a one-lookup table — the
+  /// software analogue of the table-driven decoders a refill engine uses —
+  /// with a canonical bit-serial fallback for long codes and stream tails.
+  std::size_t decode(BitReader& in) const;
+
+  /// Exact encoded size in bits of a frequency-weighted message.
+  std::uint64_t encoded_bits(std::span<const std::uint64_t> freq) const;
+
+  /// Serialize the code lengths compactly (zero-run-length coded).
+  void serialize(ByteSink& sink) const;
+  static HuffmanCode deserialize(ByteSource& src);
+
+  /// Serialized table size in bytes (what an embedded image would store).
+  std::size_t table_bytes() const;
+
+ private:
+  static constexpr unsigned kFastBits = 10;
+
+  HuffmanCode() = default;
+  void build_canonical();  // fills codes_ and decode acceleration tables
+  std::size_t decode_serial(BitReader& in) const;
+
+  struct FastEntry {
+    std::uint32_t symbol = 0;
+    std::uint8_t length = 0;  // 0 = long code or invalid prefix: use serial path
+  };
+
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint32_t> codes_;
+  std::vector<FastEntry> fast_;  // 2^kFastBits entries
+  // Canonical decode tables: for each length L (1..kMaxCodeLength), the first
+  // canonical code of that length and the index of its first symbol in
+  // sorted_symbols_.
+  std::uint32_t first_code_[kMaxCodeLength + 2] = {};
+  std::uint32_t first_index_[kMaxCodeLength + 2] = {};
+  std::vector<std::uint32_t> sorted_symbols_;
+};
+
+}  // namespace ccomp::coding

@@ -1,0 +1,226 @@
+#include "coding/lz77.h"
+
+#include <algorithm>
+
+#include "coding/huffman.h"
+#include "support/bitio.h"
+#include "support/serialize.h"
+
+namespace ccomp::coding {
+namespace {
+
+// Deflate length/distance code tables (RFC 1951 section 3.2.5).
+constexpr unsigned kNumLengthCodes = 29;   // symbols 257..285
+constexpr unsigned kEndOfBlock = 256;
+constexpr unsigned kLitLenAlphabet = 286;  // 0..285
+constexpr unsigned kNumDistCodes = 30;
+
+constexpr std::uint16_t kLengthBase[kNumLengthCodes] = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::uint8_t kLengthExtra[kNumLengthCodes] = {
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr std::uint16_t kDistBase[kNumDistCodes] = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,   25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,  769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::uint8_t kDistExtra[kNumDistCodes] = {0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
+                                                    4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
+                                                    9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+unsigned length_code(unsigned length) {
+  // Linear scan is fine: lengths are 3..258 and the table is tiny.
+  for (unsigned c = kNumLengthCodes; c-- > 0;)
+    if (length >= kLengthBase[c]) return c;
+  return 0;
+}
+
+unsigned dist_code(unsigned dist) {
+  for (unsigned c = kNumDistCodes; c-- > 0;)
+    if (dist >= kDistBase[c]) return c;
+  return 0;
+}
+
+struct Token {
+  // literal: length == 0, lit holds the byte. match: length >= min_match.
+  std::uint16_t length = 0;
+  std::uint16_t dist = 0;
+  std::uint8_t lit = 0;
+};
+
+std::uint32_t hash3(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 16 | static_cast<std::uint32_t>(p[1]) << 8 |
+          p[2]) *
+             2654435761u >>
+         17;  // 15-bit hash
+}
+
+class MatchFinder {
+ public:
+  MatchFinder(std::span<const std::uint8_t> data, const Lz77Options& opt)
+      : data_(data), opt_(opt), window_size_(1u << opt.window_bits) {
+    head_.assign(1u << 15, -1);
+    prev_.assign(window_size_, -1);
+  }
+
+  struct Match {
+    unsigned length = 0;
+    unsigned dist = 0;
+  };
+
+  Match best_match(std::size_t pos) const {
+    Match best;
+    if (pos + opt_.min_match > data_.size()) return best;
+    const unsigned max_len = static_cast<unsigned>(
+        std::min<std::size_t>(opt_.max_match, data_.size() - pos));
+    std::int64_t candidate = head_[hash3(&data_[pos])];
+    unsigned chain = opt_.max_chain;
+    while (candidate >= 0 && chain-- > 0) {
+      const std::size_t cpos = static_cast<std::size_t>(candidate);
+      if (cpos >= pos || pos - cpos > window_size_ - 1) break;
+      unsigned len = 0;
+      while (len < max_len && data_[cpos + len] == data_[pos + len]) ++len;
+      if (len >= opt_.min_match && len > best.length) {
+        best.length = len;
+        best.dist = static_cast<unsigned>(pos - cpos);
+        if (len >= opt_.good_enough || len == max_len) break;
+      }
+      candidate = prev_[cpos & (window_size_ - 1)];
+    }
+    return best;
+  }
+
+  void insert(std::size_t pos) {
+    if (pos + 3 > data_.size()) return;
+    const std::uint32_t h = hash3(&data_[pos]);
+    prev_[pos & (window_size_ - 1)] = head_[h];
+    head_[h] = static_cast<std::int64_t>(pos);
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  const Lz77Options& opt_;
+  std::size_t window_size_;
+  std::vector<std::int64_t> head_;
+  std::vector<std::int64_t> prev_;
+};
+
+std::vector<Token> tokenize(std::span<const std::uint8_t> input, const Lz77Options& opt) {
+  std::vector<Token> tokens;
+  MatchFinder finder(input, opt);
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    MatchFinder::Match match = finder.best_match(pos);
+    if (match.length >= opt.min_match && opt.lazy_matching && match.length < opt.good_enough &&
+        pos + 1 < input.size()) {
+      // Lazy evaluation: if the next position has a strictly longer match,
+      // emit a literal here and take the longer match next round.
+      finder.insert(pos);
+      const MatchFinder::Match next = finder.best_match(pos + 1);
+      if (next.length > match.length) {
+        tokens.push_back(Token{0, 0, input[pos]});
+        ++pos;
+        continue;
+      }
+      // Keep the current match; pos was already inserted.
+      for (std::size_t i = pos + 1; i < pos + match.length; ++i) finder.insert(i);
+      tokens.push_back(Token{static_cast<std::uint16_t>(match.length),
+                             static_cast<std::uint16_t>(match.dist), 0});
+      pos += match.length;
+      continue;
+    }
+    if (match.length >= opt.min_match) {
+      for (std::size_t i = pos; i < pos + match.length; ++i) finder.insert(i);
+      tokens.push_back(Token{static_cast<std::uint16_t>(match.length),
+                             static_cast<std::uint16_t>(match.dist), 0});
+      pos += match.length;
+    } else {
+      finder.insert(pos);
+      tokens.push_back(Token{0, 0, input[pos]});
+      ++pos;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lz77_compress(std::span<const std::uint8_t> input,
+                                        const Lz77Options& options) {
+  if (options.window_bits < 8 || options.window_bits > 15)
+    throw ConfigError("window_bits must be in [8,15]");
+  const std::vector<Token> tokens = tokenize(input, options);
+
+  // Semi-static Huffman over the deflate alphabets.
+  std::vector<std::uint64_t> litlen_freq(kLitLenAlphabet, 0);
+  std::vector<std::uint64_t> dist_freq(kNumDistCodes, 0);
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      ++litlen_freq[t.lit];
+    } else {
+      ++litlen_freq[257 + length_code(t.length)];
+      ++dist_freq[dist_code(t.dist)];
+    }
+  }
+  ++litlen_freq[kEndOfBlock];
+  const HuffmanCode litlen = HuffmanCode::from_frequencies(litlen_freq, 15);
+  const HuffmanCode dist = HuffmanCode::from_frequencies(dist_freq, 15);
+
+  ByteSink sink;
+  sink.varint(input.size());
+  litlen.serialize(sink);
+  dist.serialize(sink);
+
+  BitWriter bits;
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      litlen.encode(bits, t.lit);
+    } else {
+      const unsigned lc = length_code(t.length);
+      litlen.encode(bits, 257 + lc);
+      bits.write_bits(t.length - kLengthBase[lc], kLengthExtra[lc]);
+      const unsigned dc = dist_code(t.dist);
+      dist.encode(bits, dc);
+      bits.write_bits(t.dist - kDistBase[dc], kDistExtra[dc]);
+    }
+  }
+  litlen.encode(bits, kEndOfBlock);
+  const std::vector<std::uint8_t> payload = bits.take();
+  sink.sized_bytes(payload);
+  return sink.take();
+}
+
+std::vector<std::uint8_t> lz77_decompress(std::span<const std::uint8_t> input) {
+  ByteSource src(input);
+  const std::uint64_t original_size = src.varint();
+  const HuffmanCode litlen = HuffmanCode::deserialize(src);
+  const HuffmanCode dist = HuffmanCode::deserialize(src);
+  const std::vector<std::uint8_t> payload = src.sized_bytes();
+
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(original_size));
+  BitReader bits(payload);
+  for (;;) {
+    const std::size_t sym = litlen.decode(bits);
+    if (sym == kEndOfBlock) break;
+    if (sym < 256) {
+      out.push_back(static_cast<std::uint8_t>(sym));
+      continue;
+    }
+    const unsigned lc = static_cast<unsigned>(sym - 257);
+    if (lc >= kNumLengthCodes) throw CorruptDataError("bad length code");
+    const unsigned length =
+        kLengthBase[lc] + static_cast<unsigned>(bits.read_bits(kLengthExtra[lc]));
+    const std::size_t dc = dist.decode(bits);
+    if (dc >= kNumDistCodes) throw CorruptDataError("bad distance code");
+    const unsigned distance =
+        kDistBase[dc] + static_cast<unsigned>(bits.read_bits(kDistExtra[dc]));
+    if (distance == 0 || distance > out.size()) throw CorruptDataError("distance beyond output");
+    // Byte-by-byte copy: overlapping matches (dist < length) must replicate.
+    for (unsigned i = 0; i < length; ++i) out.push_back(out[out.size() - distance]);
+  }
+  if (out.size() != original_size) throw CorruptDataError("LZ77 output size mismatch");
+  return out;
+}
+
+}  // namespace ccomp::coding

@@ -1,0 +1,33 @@
+// Deflate-shaped file compressor: LZ77 with a 32 KiB window, hash-chain
+// match finding and lazy matching, followed by canonical Huffman coding of
+// the literal/length and distance alphabets (the deflate alphabets).
+//
+// Stands in for gzip(1) in the paper's comparisons. Like gzip it requires
+// sequential decompression from the start of the file — the pointer-based
+// scheme the paper rules out for compressed-code memory systems — so it
+// appears only as a file-oriented bound in the figures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ccomp::coding {
+
+struct Lz77Options {
+  unsigned window_bits = 15;     // 32 KiB window, like deflate
+  unsigned max_chain = 256;      // match-finder effort
+  unsigned min_match = 3;
+  unsigned max_match = 258;
+  bool lazy_matching = true;
+  unsigned good_enough = 32;     // accept immediately if a match reaches this
+};
+
+/// Compress a buffer into a self-contained payload (Huffman tables + bits).
+std::vector<std::uint8_t> lz77_compress(std::span<const std::uint8_t> input,
+                                        const Lz77Options& options = {});
+
+/// Decompress a lz77_compress() payload.
+std::vector<std::uint8_t> lz77_decompress(std::span<const std::uint8_t> input);
+
+}  // namespace ccomp::coding

@@ -1,0 +1,143 @@
+#include "coding/lzw.h"
+
+#include <unordered_map>
+
+#include "support/bitio.h"
+#include "support/error.h"
+
+namespace ccomp::coding {
+namespace {
+
+constexpr std::uint32_t kClearCode = 256;
+constexpr std::uint32_t kFirstFree = 257;
+
+unsigned bits_for(std::uint32_t next_code, unsigned min_bits, unsigned max_bits) {
+  unsigned bits = min_bits;
+  while (bits < max_bits && next_code > (std::uint32_t{1} << bits)) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lzw_compress(std::span<const std::uint8_t> input,
+                                       const LzwOptions& options) {
+  if (options.min_code_bits < 9 || options.max_code_bits > 24 ||
+      options.min_code_bits > options.max_code_bits)
+    throw ConfigError("bad LZW code widths");
+
+  BitWriter out;
+  if (input.empty()) return out.take();
+
+  // Dictionary: (prefix code << 8 | next byte) -> code.
+  std::unordered_map<std::uint32_t, std::uint32_t> dict;
+  dict.reserve(std::size_t{1} << options.max_code_bits);
+  const std::uint32_t max_entries = std::uint32_t{1} << options.max_code_bits;
+  std::uint32_t next_code = kFirstFree;
+
+  std::uint32_t current = input[0];
+  for (std::size_t i = 1; i < input.size(); ++i) {
+    const std::uint32_t key = (current << 8) | input[i];
+    const auto it = dict.find(key);
+    if (it != dict.end()) {
+      current = it->second;
+      continue;
+    }
+    // Width sizing: the encoder's next_code is one ahead of the decoder's at
+    // the corresponding read (the decoder learns each entry one code later),
+    // so the encoder sizes codes for values <= next_code - 1 while the
+    // decoder sizes for values <= its next_code. Both give the same width.
+    out.write_bits(current, bits_for(next_code, options.min_code_bits, options.max_code_bits));
+    if (next_code < max_entries) {
+      dict.emplace(key, next_code++);
+    } else {
+      // Table full: emit CLEAR and start over (block mode).
+      out.write_bits(kClearCode,
+                     bits_for(next_code, options.min_code_bits, options.max_code_bits));
+      dict.clear();
+      next_code = kFirstFree;
+    }
+    current = input[i];
+  }
+  out.write_bits(current, bits_for(next_code, options.min_code_bits, options.max_code_bits));
+  return out.take();
+}
+
+std::vector<std::uint8_t> lzw_decompress(std::span<const std::uint8_t> input,
+                                         std::size_t original_size,
+                                         const LzwOptions& options) {
+  std::vector<std::uint8_t> out;
+  out.reserve(original_size);
+  if (original_size == 0) return out;
+
+  // Dictionary as (prefix, byte) pairs; entries 0..255 are implicit.
+  struct Entry {
+    std::uint32_t prefix;
+    std::uint8_t byte;
+  };
+  std::vector<Entry> entries;
+  const std::uint32_t max_entries = std::uint32_t{1} << options.max_code_bits;
+  entries.reserve(max_entries - kFirstFree);
+
+  BitReader in(input);
+  std::vector<std::uint8_t> scratch;
+  auto expand = [&](std::uint32_t code) {
+    scratch.clear();
+    while (code >= kFirstFree) {
+      const Entry& e = entries.at(code - kFirstFree);
+      scratch.push_back(e.byte);
+      code = e.prefix;
+    }
+    scratch.push_back(static_cast<std::uint8_t>(code));
+    out.insert(out.end(), scratch.rbegin(), scratch.rend());
+    return static_cast<std::uint8_t>(code);  // first byte of the expansion
+  };
+
+  std::uint32_t next_code = kFirstFree;
+  auto read_code = [&]() {
+    return static_cast<std::uint32_t>(
+        in.read_bits(bits_for(next_code + 1, options.min_code_bits, options.max_code_bits)));
+  };
+
+  std::uint32_t prev = read_code();
+  if (prev >= kFirstFree) throw CorruptDataError("LZW first code not a literal");
+  std::uint8_t prev_first = expand(prev);
+
+  while (out.size() < original_size) {
+    const std::uint32_t code = read_code();
+    if (code == kClearCode) {
+      entries.clear();
+      next_code = kFirstFree;
+      prev = read_code();
+      if (prev >= kFirstFree) throw CorruptDataError("LZW code after CLEAR not a literal");
+      prev_first = expand(prev);
+      continue;
+    }
+    std::uint8_t first;
+    if (code < next_code) {
+      // Known code: the new entry is prev + first byte of code's expansion.
+      first = expand(code);
+    } else if (code == next_code) {
+      // KwKwK case: code refers to the entry being defined right now.
+      // Define it first so expand() can resolve it.
+      if (next_code >= max_entries) throw CorruptDataError("LZW table overflow");
+      entries.push_back({prev, prev_first});
+      ++next_code;
+      first = expand(code);
+      prev = code;
+      prev_first = first;
+      continue;
+    } else {
+      throw CorruptDataError("LZW code beyond dictionary");
+    }
+    if (next_code < max_entries) {
+      entries.push_back({prev, first});
+      ++next_code;
+    }
+    prev = code;
+    prev_first = first;
+  }
+  if (out.size() != original_size) throw CorruptDataError("LZW output size mismatch");
+  return out;
+}
+
+}  // namespace ccomp::coding

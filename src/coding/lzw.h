@@ -1,0 +1,31 @@
+// LZW with variable-width codes (9..16 bits) and dictionary reset — the
+// algorithm implemented by UNIX compress(1), reproduced here as the paper's
+// file-oriented comparator. LZW is *not* block-random-access capable (codes
+// point at dictionary state built from the whole prefix), which is exactly
+// why the paper cannot use it in the compressed-code memory system; it only
+// bounds what a file compressor achieves.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ccomp::coding {
+
+struct LzwOptions {
+  unsigned min_code_bits = 9;
+  unsigned max_code_bits = 16;
+};
+
+/// Compress a whole buffer. Output is self-contained (includes nothing but
+/// the code stream; options must match on decompression).
+std::vector<std::uint8_t> lzw_compress(std::span<const std::uint8_t> input,
+                                       const LzwOptions& options = {});
+
+/// Inverse of lzw_compress. `original_size` bounds the output (the container
+/// stores it); throws CorruptDataError on malformed input.
+std::vector<std::uint8_t> lzw_decompress(std::span<const std::uint8_t> input,
+                                         std::size_t original_size,
+                                         const LzwOptions& options = {});
+
+}  // namespace ccomp::coding

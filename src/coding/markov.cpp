@@ -1,0 +1,269 @@
+#include "coding/markov.h"
+
+#include <cmath>
+
+namespace ccomp::coding {
+
+StreamDivision StreamDivision::contiguous(unsigned word_bits, unsigned stream_count) {
+  if (stream_count == 0 || word_bits == 0 || word_bits % stream_count != 0)
+    throw ConfigError("contiguous division requires stream_count dividing word_bits");
+  StreamDivision d;
+  d.word_bits = word_bits;
+  const unsigned width = word_bits / stream_count;
+  for (unsigned s = 0; s < stream_count; ++s) {
+    std::vector<std::uint8_t> positions;
+    positions.reserve(width);
+    // MSB-first: stream 0 carries the top bits of the word.
+    const unsigned top = word_bits - s * width - 1;
+    for (unsigned b = 0; b < width; ++b)
+      positions.push_back(static_cast<std::uint8_t>(top - b));
+    d.streams.push_back(std::move(positions));
+  }
+  d.validate();
+  return d;
+}
+
+void StreamDivision::validate() const {
+  if (word_bits == 0 || word_bits > 32) throw ConfigError("word_bits must be in [1,32]");
+  std::vector<bool> seen(word_bits, false);
+  std::size_t total = 0;
+  for (const auto& stream : streams) {
+    if (stream.empty()) throw ConfigError("empty stream in division");
+    if (stream.size() > 16) throw ConfigError("stream wider than 16 bits");
+    for (auto pos : stream) {
+      if (pos >= word_bits) throw ConfigError("stream bit position out of range");
+      if (seen[pos]) throw ConfigError("bit position appears in two streams");
+      seen[pos] = true;
+      ++total;
+    }
+  }
+  if (total != word_bits) throw ConfigError("streams do not cover the word");
+}
+
+void StreamDivision::serialize(ByteSink& sink) const {
+  sink.u8(static_cast<std::uint8_t>(word_bits));
+  sink.varint(streams.size());
+  for (const auto& stream : streams) {
+    sink.varint(stream.size());
+    for (auto pos : stream) sink.u8(pos);
+  }
+}
+
+StreamDivision StreamDivision::deserialize(ByteSource& src) {
+  StreamDivision d;
+  d.word_bits = src.u8();
+  const std::uint64_t count = src.varint();
+  if (count > 32) throw CorruptDataError("too many streams");
+  for (std::uint64_t s = 0; s < count; ++s) {
+    const std::uint64_t width = src.varint();
+    if (width > 32) throw CorruptDataError("stream too wide");
+    std::vector<std::uint8_t> positions;
+    positions.reserve(static_cast<std::size_t>(width));
+    for (std::uint64_t b = 0; b < width; ++b) positions.push_back(src.u8());
+    d.streams.push_back(std::move(positions));
+  }
+  d.validate();
+  return d;
+}
+
+namespace {
+
+Prob prob_from_counts(std::uint64_t c0, std::uint64_t c1, const MarkovConfig& cfg) {
+  // Krichevsky-Trofimov estimator: well-behaved at unseen nodes (1/2) and
+  // never exactly 0 or 1.
+  const double p0 = (static_cast<double>(c0) + 0.5) / (static_cast<double>(c0 + c1) + 1.0);
+  Prob p = clamp_prob(static_cast<std::uint32_t>(p0 * 65536.0 + 0.5));
+  if (cfg.quantized) p = quantize_prob_pow2(p, cfg.max_shift);
+  return p;
+}
+
+}  // namespace
+
+MarkovModel MarkovModel::train(const MarkovConfig& config, std::span<const std::uint32_t> words,
+                               std::size_t block_words) {
+  config.division.validate();
+  if (config.context_bits > 8) throw ConfigError("context_bits must be <= 8");
+
+  MarkovModel m;
+  m.cfg_ = config;
+  const std::size_t stream_count = config.division.stream_count();
+  const std::size_t ctx_count = std::size_t{1} << config.context_bits;
+  m.tree_nodes_.resize(stream_count);
+  std::vector<std::vector<std::uint64_t>> counts0(stream_count), counts1(stream_count);
+  for (std::size_t s = 0; s < stream_count; ++s) {
+    const std::size_t width = config.division.streams[s].size();
+    m.tree_nodes_[s] = (std::size_t{1} << width) - 1;
+    counts0[s].assign(ctx_count * m.tree_nodes_[s], 0);
+    counts1[s].assign(ctx_count * m.tree_nodes_[s], 0);
+  }
+
+  // Walk the program exactly as the compressor will.
+  const std::uint32_t ctx_mask = static_cast<std::uint32_t>(ctx_count - 1);
+  std::size_t ctx = 0;
+  std::uint32_t recent = 0;
+  std::size_t words_in_block = 0;
+  for (const std::uint32_t word : words) {
+    if (block_words != 0 && words_in_block == block_words) {
+      ctx = 0;
+      recent = 0;
+      words_in_block = 0;
+    }
+    for (std::size_t s = 0; s < stream_count; ++s) {
+      std::size_t node = 0;
+      for (const std::uint8_t pos : config.division.streams[s]) {
+        const unsigned bit = (word >> pos) & 1u;
+        const std::size_t slot = ctx * m.tree_nodes_[s] + node;
+        if (bit) {
+          ++counts1[s][slot];
+        } else {
+          ++counts0[s][slot];
+        }
+        node = 2 * node + 1 + bit;
+        recent = (recent << 1) | bit;
+      }
+      ctx = config.context_bits == 0 ? 0 : (recent & ctx_mask);
+    }
+    if (!config.connect_across_words) {
+      ctx = 0;
+      recent = 0;
+    }
+    ++words_in_block;
+  }
+
+  m.trees_.resize(stream_count);
+  for (std::size_t s = 0; s < stream_count; ++s) {
+    m.trees_[s].resize(ctx_count * m.tree_nodes_[s]);
+    for (std::size_t i = 0; i < m.trees_[s].size(); ++i)
+      m.trees_[s][i] = prob_from_counts(counts0[s][i], counts1[s][i], config);
+  }
+  return m;
+}
+
+std::size_t MarkovModel::table_bytes() const {
+  const std::size_t bytes_per_prob = cfg_.quantized ? 1 : 2;
+  std::size_t probs = 0;
+  for (std::size_t s = 0; s < trees_.size(); ++s) probs += trees_[s].size();
+  ByteSink division;
+  cfg_.division.serialize(division);
+  return probs * bytes_per_prob + division.size() + 2;  // +2: context/flags header
+}
+
+double MarkovModel::estimate_bits(std::span<const std::uint32_t> words,
+                                  std::size_t block_words) const {
+  MarkovCursor cursor(*this);
+  double bits = 0.0;
+  std::size_t words_in_block = 0;
+  for (const std::uint32_t word : words) {
+    if (block_words != 0 && words_in_block == block_words) {
+      cursor.reset();
+      words_in_block = 0;
+    }
+    for (std::size_t s = 0; s < cfg_.division.stream_count(); ++s) {
+      for (std::size_t b = 0; b < cfg_.division.streams[s].size(); ++b) {
+        const unsigned bit = (word >> cursor.next_bit_position()) & 1u;
+        const double p0 = static_cast<double>(cursor.prob()) / 65536.0;
+        bits -= std::log2(bit ? (1.0 - p0) : p0);
+        cursor.advance(bit);
+      }
+    }
+    ++words_in_block;
+  }
+  return bits;
+}
+
+void MarkovModel::serialize(ByteSink& sink) const {
+  cfg_.division.serialize(sink);
+  sink.u8(static_cast<std::uint8_t>(cfg_.context_bits));
+  std::uint8_t flags = 0;
+  if (cfg_.quantized) flags |= 1;
+  if (cfg_.connect_across_words) flags |= 2;
+  sink.u8(flags);
+  sink.u8(static_cast<std::uint8_t>(cfg_.max_shift));
+  for (const auto& tree : trees_) {
+    sink.varint(tree.size());
+    if (cfg_.quantized) {
+      // Hardware representation: one byte per probability — LPS flag in
+      // bit 7, shift s in the low bits (LPS probability = 2^-s).
+      for (const Prob p : tree) {
+        const bool zero_is_lps = p <= kProbHalf;
+        const std::uint32_t lps = zero_is_lps ? p : 0x10000u - p;
+        unsigned shift = 1;
+        while (shift < 16 && (0x10000u >> shift) != lps) ++shift;
+        if (shift >= 16) throw ConfigError("quantized model holds a non-power-of-1/2");
+        sink.u8(static_cast<std::uint8_t>((zero_is_lps ? 0x80 : 0) | shift));
+      }
+    } else {
+      for (const Prob p : tree) sink.u16(p);
+    }
+  }
+}
+
+MarkovModel MarkovModel::deserialize(ByteSource& src) {
+  MarkovModel m;
+  m.cfg_.division = StreamDivision::deserialize(src);
+  m.cfg_.context_bits = src.u8();
+  const std::uint8_t flags = src.u8();
+  m.cfg_.quantized = (flags & 1) != 0;
+  m.cfg_.connect_across_words = (flags & 2) != 0;
+  m.cfg_.max_shift = src.u8();
+  if (m.cfg_.context_bits > 8) throw CorruptDataError("context_bits out of range");
+  const std::size_t stream_count = m.cfg_.division.stream_count();
+  const std::size_t ctx_count = std::size_t{1} << m.cfg_.context_bits;
+  m.tree_nodes_.resize(stream_count);
+  m.trees_.resize(stream_count);
+  for (std::size_t s = 0; s < stream_count; ++s) {
+    m.tree_nodes_[s] = (std::size_t{1} << m.cfg_.division.streams[s].size()) - 1;
+    const std::uint64_t n = src.varint();
+    if (n != ctx_count * m.tree_nodes_[s]) throw CorruptDataError("Markov tree size mismatch");
+    m.trees_[s].resize(static_cast<std::size_t>(n));
+    for (auto& p : m.trees_[s]) {
+      if (m.cfg_.quantized) {
+        const std::uint8_t packed = src.u8();
+        const unsigned shift = packed & 0x0F;
+        if (shift == 0) throw CorruptDataError("bad quantized probability shift");
+        const std::uint32_t lps = 0x10000u >> shift;
+        p = (packed & 0x80) ? static_cast<Prob>(lps)
+                            : static_cast<Prob>(0x10000u - lps);
+      } else {
+        p = src.u16();
+      }
+      if (p == 0) throw CorruptDataError("zero probability in Markov table");
+    }
+  }
+  return m;
+}
+
+MarkovCursor::MarkovCursor(const MarkovModel& model) : model_(&model) { reset(); }
+
+void MarkovCursor::reset() {
+  stream_ = 0;
+  bit_index_ = 0;
+  node_ = 0;
+  ctx_ = 0;
+  recent_bits_ = 0;
+}
+
+void MarkovCursor::advance(unsigned bit) {
+  const auto& cfg = model_->cfg_;
+  recent_bits_ = (recent_bits_ << 1) | (bit & 1u);
+  node_ = 2 * node_ + 1 + (bit & 1u);
+  ++bit_index_;
+  if (bit_index_ == cfg.division.streams[stream_].size()) {
+    // Stream finished: pick the next tree copy from the trailing bits.
+    ctx_ = cfg.context_bits == 0
+               ? 0
+               : (recent_bits_ & ((std::uint32_t{1} << cfg.context_bits) - 1));
+    bit_index_ = 0;
+    node_ = 0;
+    ++stream_;
+    if (stream_ == cfg.division.stream_count()) {
+      stream_ = 0;
+      if (!cfg.connect_across_words) {
+        ctx_ = 0;
+        recent_bits_ = 0;
+      }
+    }
+  }
+}
+
+}  // namespace ccomp::coding

@@ -1,0 +1,146 @@
+// Semiadaptive Markov bit models over instruction "streams" (SAMC, Sec. 3).
+//
+// An instruction word of `word_bits` bits is split into k streams; a stream
+// is an ordered list of bit positions (not necessarily adjacent — the
+// paper's stream-division optimizer shuffles bits between streams). For each
+// stream the model holds a complete binary Markov tree: node q stores
+// P(next bit = 0 | bits seen so far within the stream). Trees of adjacent
+// streams can be *connected* (Fig. 4): the last `context_bits` bits of the
+// previous stream select among 2^context_bits copies of the next stream's
+// tree, giving the model limited memory across stream boundaries (and, when
+// `connect_across_words` is set, across instruction boundaries).
+//
+// Everything is semiadaptive: probabilities are gathered in a first pass
+// over the subject program and then frozen; the tables are part of the
+// compressed image and their size is charged to the compression ratio.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coding/rangecoder.h"
+#include "support/serialize.h"
+
+namespace ccomp::coding {
+
+/// Partition of a word's bit positions into ordered streams.
+struct StreamDivision {
+  unsigned word_bits = 32;
+  /// streams[s] lists bit positions (0 = LSB of the word) in encode order.
+  std::vector<std::vector<std::uint8_t>> streams;
+
+  /// k streams of adjacent bits, encoded MSB-first (the paper's default:
+  /// 4 streams x 8 bits for 32-bit RISC words).
+  static StreamDivision contiguous(unsigned word_bits, unsigned stream_count);
+
+  /// One stream covering the whole word MSB-first (used for x86 bytes).
+  static StreamDivision single(unsigned word_bits) { return contiguous(word_bits, 1); }
+
+  std::size_t stream_count() const { return streams.size(); }
+
+  /// Throws ConfigError unless the streams form a permutation of
+  /// [0, word_bits) and every stream is non-empty and at most 16 bits wide
+  /// (the Markov tree for a w-bit stream has 2^w - 1 probability nodes).
+  void validate() const;
+
+  void serialize(ByteSink& sink) const;
+  static StreamDivision deserialize(ByteSource& src);
+
+  bool operator==(const StreamDivision&) const = default;
+};
+
+struct MarkovConfig {
+  StreamDivision division;
+  /// Trailing bits of the previous stream used to select the next stream's
+  /// tree copy (0 = independent trees, the paper's unconnected variant).
+  unsigned context_bits = 1;
+  /// Restrict the less probable symbol's probability to a power of 1/2
+  /// (shift-only decoder hardware; Witten et al. constraint).
+  bool quantized = false;
+  unsigned max_shift = 8;
+  /// Carry context from the last stream of word i into the first stream of
+  /// word i+1 (inter-instruction dependency). Context always resets at
+  /// block boundaries so blocks stay independently decodable.
+  bool connect_across_words = true;
+};
+
+class MarkovModel {
+ public:
+  /// Gather statistics over `words` (each holding `word_bits` significant
+  /// bits). `block_words` = number of words per compression block; the
+  /// training walk resets its context at every block boundary exactly as
+  /// compression will (0 means no resets).
+  static MarkovModel train(const MarkovConfig& config, std::span<const std::uint32_t> words,
+                           std::size_t block_words = 0);
+
+  const MarkovConfig& config() const { return cfg_; }
+
+  /// P(bit = 0) at (stream, context, tree node). Nodes are heap-ordered:
+  /// root 0, children of q are 2q+1 (after a 0) and 2q+2 (after a 1).
+  Prob prob0(std::size_t stream, std::size_t ctx, std::size_t node) const {
+    return trees_[stream][ctx * tree_nodes_[stream] + node];
+  }
+
+  std::size_t context_count() const { return std::size_t{1} << cfg_.context_bits; }
+  std::size_t tree_node_count(std::size_t stream) const { return tree_nodes_[stream]; }
+
+  /// Bytes an embedded image needs for the probability tables (1 byte per
+  /// probability when quantized — 4-bit shift + LPS flag — else 2 bytes),
+  /// plus the stream-division description.
+  std::size_t table_bytes() const;
+
+  /// Model cross-entropy estimate: exact number of arithmetic-coded bits
+  /// needed for `words` under this model (without coder overhead), resetting
+  /// per block. This is what the stream-division optimizer minimizes.
+  double estimate_bits(std::span<const std::uint32_t> words, std::size_t block_words = 0) const;
+
+  void serialize(ByteSink& sink) const;
+  static MarkovModel deserialize(ByteSource& src);
+
+ private:
+  friend class MarkovCursor;
+  MarkovConfig cfg_;
+  std::vector<std::size_t> tree_nodes_;       // per stream: 2^width - 1
+  std::vector<std::vector<Prob>> trees_;      // per stream: ctx-major flattened
+};
+
+/// Walks a MarkovModel bit by bit; shared by the SAMC compressor and
+/// decompressor so both sides see identical probabilities.
+class MarkovCursor {
+ public:
+  explicit MarkovCursor(const MarkovModel& model);
+
+  /// Return to the start-of-block state (root of stream 0, zero context).
+  void reset();
+
+  /// Probability that the *next* bit is 0.
+  Prob prob() const { return model_->prob0(stream_, ctx_, node_); }
+
+  /// Bit position (within the word) the next bit corresponds to.
+  unsigned next_bit_position() const {
+    return model_->cfg_.division.streams[stream_][bit_index_];
+  }
+
+  /// Consume one bit and move the model state.
+  void advance(unsigned bit);
+
+  /// True when positioned at the start of a word.
+  bool at_word_start() const { return stream_ == 0 && bit_index_ == 0; }
+
+  /// Model coordinates of the next bit — used by the parallel (Fig. 5)
+  /// decoder to prefetch the probability subtree of the coming nibble.
+  std::size_t stream() const { return stream_; }
+  std::size_t context() const { return ctx_; }
+  std::size_t node() const { return node_; }
+
+ private:
+  const MarkovModel* model_;
+  std::size_t stream_ = 0;
+  std::size_t bit_index_ = 0;  // bits consumed within current stream
+  std::size_t node_ = 0;       // heap index within current tree
+  std::size_t ctx_ = 0;        // selected tree copy
+  std::uint32_t recent_bits_ = 0;  // rolling history for context extraction
+};
+
+}  // namespace ccomp::coding

@@ -1,0 +1,153 @@
+#include "coding/nibblecoder.h"
+
+#include "support/error.h"
+
+namespace ccomp::coding {
+namespace {
+
+constexpr std::uint64_t kTop = std::uint64_t{1} << 48;      // renorm threshold
+constexpr std::uint64_t kWindowMask = (std::uint64_t{1} << 48) - 1;
+constexpr unsigned kEmitShift = 48;  // byte emitted from bits 48..55
+
+void check_quantized(Prob p0) {
+  const std::uint32_t lps = p0 <= kProbHalf ? p0 : 0x10000u - p0;
+  for (unsigned s = 1; s <= 8; ++s)
+    if (lps == (0x10000u >> s)) return;
+  throw ConfigError("nibble coder requires power-of-1/2 probabilities (shift <= 8)");
+}
+
+}  // namespace
+
+void NibbleRangeEncoder::reset() {
+  low_ = 0;
+  range_ = (std::uint64_t{1} << 56) - 1;
+  cache_ = 0;
+  cache_size_ = 1;
+  bits_in_nibble_ = 0;
+}
+
+void NibbleRangeEncoder::encode_bit(unsigned bit, Prob p0) {
+  check_quantized(p0);
+  const std::uint64_t bound = (range_ >> kProbBits) * p0;
+  if (bit == 0) {
+    range_ = bound;
+  } else {
+    low_ += bound;
+    range_ -= bound;
+  }
+  if (++bits_in_nibble_ == 4) {
+    bits_in_nibble_ = 0;
+    while (range_ < kTop) {
+      shift_low();
+      range_ <<= 8;
+    }
+  }
+}
+
+void NibbleRangeEncoder::shift_low() {
+  const std::uint64_t window = low_ & ((std::uint64_t{1} << 56) - 1);
+  if (window < (std::uint64_t{0xFF} << kEmitShift) || (low_ >> 56) != 0) {
+    const std::uint8_t carry = static_cast<std::uint8_t>(low_ >> 56);
+    out_.push_back(static_cast<std::uint8_t>(cache_ + carry));
+    while (--cache_size_ != 0)
+      out_.push_back(static_cast<std::uint8_t>(0xFF + carry));
+    cache_ = static_cast<std::uint8_t>(low_ >> kEmitShift);
+  }
+  ++cache_size_;
+  low_ = (low_ & kWindowMask) << 8;
+}
+
+void NibbleRangeEncoder::finish() {
+  // Choose the representative with the most trailing zero bytes.
+  const std::uint64_t top = low_ + range_;
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    const std::uint64_t mask =
+        shift >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << shift) - 1;
+    const std::uint64_t candidate = (low_ + mask) & ~mask;
+    if (candidate < top) {
+      low_ = candidate;
+      break;
+    }
+  }
+  bits_in_nibble_ = 0;
+  for (int i = 0; i < 8; ++i) shift_low();
+}
+
+std::vector<std::uint8_t> NibbleRangeEncoder::take() {
+  auto bytes = std::move(out_);
+  out_.clear();
+  reset();
+  if (!bytes.empty()) bytes.erase(bytes.begin());  // priming byte
+  while (!bytes.empty() && bytes.back() == 0) bytes.pop_back();
+  return bytes;
+}
+
+void NibbleRangeDecoder::reset(std::span<const std::uint8_t> data) {
+  data_ = data;
+  pos_ = 0;
+  range_ = (std::uint64_t{1} << 56) - 1;
+  code_ = 0;
+  bits_in_nibble_ = 0;
+  for (int i = 0; i < 7; ++i) code_ = (code_ << 8) | next_byte();
+}
+
+void NibbleRangeDecoder::renorm() {
+  while (range_ < kTop) {
+    code_ = ((code_ << 8) | next_byte()) & ((std::uint64_t{1} << 56) - 1);
+    range_ <<= 8;
+  }
+}
+
+unsigned NibbleRangeDecoder::decode_bit(Prob p0) {
+  check_quantized(p0);
+  const std::uint64_t bound = (range_ >> kProbBits) * p0;
+  unsigned bit;
+  if (code_ < bound) {
+    bit = 0;
+    range_ = bound;
+  } else {
+    bit = 1;
+    code_ -= bound;
+    range_ -= bound;
+  }
+  if (++bits_in_nibble_ == 4) {
+    bits_in_nibble_ = 0;
+    renorm();
+  }
+  return bit;
+}
+
+unsigned NibbleRangeDecoder::decode_nibble(const Prob probs[15]) {
+  if (bits_in_nibble_ != 0)
+    throw ConfigError("decode_nibble must start on a nibble boundary");
+  // Hardware view: compute the bound of every midpoint (all 15 tree nodes)
+  // from the same starting interval and compare against the code value.
+  // Software does the equivalent walk; the arithmetic per node is identical
+  // to what the parallel units evaluate, so the results match bit-for-bit.
+  unsigned nibble = 0;
+  std::size_t node = 0;  // heap index into probs
+  std::uint64_t local_code = code_;
+  std::uint64_t local_range = range_;
+  for (int level = 0; level < 4; ++level) {
+    const Prob p0 = probs[node];
+    check_quantized(p0);
+    const std::uint64_t bound = (local_range >> kProbBits) * p0;
+    unsigned bit;
+    if (local_code < bound) {
+      bit = 0;
+      local_range = bound;
+    } else {
+      bit = 1;
+      local_code -= bound;
+      local_range -= bound;
+    }
+    nibble = (nibble << 1) | bit;
+    node = 2 * node + 1 + bit;
+  }
+  code_ = local_code;
+  range_ = local_range;
+  renorm();
+  return nibble;
+}
+
+}  // namespace ccomp::coding

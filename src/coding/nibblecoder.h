@@ -1,0 +1,79 @@
+// Nibble-granular range coder — the functional model of the paper's
+// parallel decompression engine (Fig. 5).
+//
+// The paper speeds up bit-serial arithmetic decoding by computing all 15
+// midpoints of the next 4 bits in parallel and selecting with comparators;
+// to keep the midpoint units shift-only it constrains probabilities to
+// powers of 1/2 (Witten et al.). The hardware consequence is that interval
+// renormalization happens once per decoded *nibble*, not per bit.
+//
+// This coder reproduces that arithmetic exactly: a 56-bit interval renormal-
+// ized to [2^48, 2^56) at nibble boundaries. Between renormalizations the
+// interval can shrink by up to 2^32 (four bits at the coarsest quantized
+// probability 2^-8), which the 56-bit window absorbs while keeping every
+// midpoint computation exact. Probabilities MUST be quantized with
+// max_shift <= 8 (quantize_prob_pow2) — asserting the same constraint the
+// hardware imposes. Encoder and decoder agree bit-for-bit, so SAMC can use
+// this pair as a drop-in "parallel hardware" mode.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coding/rangecoder.h"
+
+namespace ccomp::coding {
+
+class NibbleRangeEncoder {
+ public:
+  NibbleRangeEncoder() { reset(); }
+
+  void reset();
+
+  /// Encode one bit; `p0` must be power-of-1/2 quantized with shift <= 8.
+  /// Renormalization happens after every 4th bit, mirroring the hardware.
+  void encode_bit(unsigned bit, Prob p0);
+
+  void finish();
+  std::vector<std::uint8_t> take();
+
+ private:
+  void shift_low();
+
+  std::vector<std::uint8_t> out_;
+  std::uint64_t low_ = 0;       // 56-bit window + carry at bit 56
+  std::uint64_t range_ = 0;     // in [2^48, 2^56) at nibble boundaries
+  std::uint8_t cache_ = 0;
+  std::uint64_t cache_size_ = 1;
+  unsigned bits_in_nibble_ = 0;
+};
+
+class NibbleRangeDecoder {
+ public:
+  explicit NibbleRangeDecoder(std::span<const std::uint8_t> data) { reset(data); }
+
+  void reset(std::span<const std::uint8_t> data);
+
+  /// Decode one bit (the software-serial equivalent of one of the 15
+  /// parallel midpoint comparisons; results are identical by construction).
+  unsigned decode_bit(Prob p0);
+
+  /// Decode four bits at once through the Fig. 5 organisation: compute the
+  /// subinterval bound of every tree path and compare — `probs` supplies the
+  /// 15 node probabilities in heap order (root, then level by level).
+  /// Returns the nibble (first decoded bit in the MSB).
+  unsigned decode_nibble(const Prob probs[15]);
+
+ private:
+  std::uint8_t next_byte() { return pos_ < data_.size() ? data_[pos_++] : 0; }
+  void renorm();
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint64_t range_ = 0;
+  std::uint64_t code_ = 0;
+  unsigned bits_in_nibble_ = 0;
+};
+
+}  // namespace ccomp::coding

@@ -1,0 +1,138 @@
+#include "coding/ppm.h"
+
+#include <cmath>
+
+#include "coding/rangecoder.h"
+#include "support/error.h"
+
+namespace ccomp::coding {
+namespace {
+
+// Finite-context model bank with adaptive logistic mixing.
+//
+// PPM proper blends predictions of orders 0..N through escape symbols; the
+// modern equivalent (and what we implement) mixes the per-order predictions
+// in the logit domain with adaptively learned weights. Each order k keeps a
+// hashed table of adaptive bit probabilities keyed by (last k bytes,
+// bit-prefix of the current byte).
+class ContextMixModel {
+ public:
+  explicit ContextMixModel(const PpmOptions& options) : options_(options) {
+    if (options.order > 8) throw ConfigError("PPM order must be <= 8");
+    if (options.hash_bits < 8 || options.hash_bits > 28)
+      throw ConfigError("PPM hash_bits must be in [8,28]");
+    if (options.adapt_shift == 0 || options.adapt_shift > 12)
+      throw ConfigError("PPM adapt_shift must be in [1,12]");
+    const std::size_t model_count = options.order + 1;
+    tables_.assign(model_count,
+                   std::vector<Prob>(std::size_t{1} << options.hash_bits, kProbHalf));
+    weights_.assign(model_count, 0.3);
+  }
+
+  /// Mixed probability that the next bit is 0, given the byte history and
+  /// the binary-tree node of the current byte. Also primes the state used
+  /// by update().
+  Prob predict(std::uint64_t history, unsigned node) {
+    double t = 0.0;
+    for (std::size_t k = 0; k < tables_.size(); ++k) {
+      const std::uint64_t mask =
+          k >= 8 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (8 * k)) - 1);
+      std::uint64_t h = (history & mask) * 0x9E3779B97F4A7C15ull;
+      h ^= (static_cast<std::uint64_t>(node) + (k << 9)) * 0xC2B2AE3D27D4EB4Full;
+      h ^= h >> 29;
+      slots_[k] = &tables_[k][h & ((std::uint64_t{1} << options_.hash_bits) - 1)];
+      const double p1 = 1.0 - static_cast<double>(*slots_[k]) / 65536.0;
+      stretched_[k] = stretch(p1);
+      t += weights_[k] * stretched_[k];
+    }
+    mixed_p1_ = squash(t);
+    return clamp_prob(static_cast<std::uint32_t>((1.0 - mixed_p1_) * 65536.0 + 0.5));
+  }
+
+  /// Adapt every order's slot and the mixer weights toward the seen bit.
+  /// Must follow the predict() for the same position.
+  void update(unsigned bit) {
+    const double err = static_cast<double>(bit) - mixed_p1_;
+    for (std::size_t k = 0; k < tables_.size(); ++k) {
+      weights_[k] += kLearningRate * err * stretched_[k];
+      Prob& p = *slots_[k];
+      if (bit == 0) {
+        p = static_cast<Prob>(p + ((0x10000u - p) >> options_.adapt_shift));
+      } else {
+        p = static_cast<Prob>(p - (p >> options_.adapt_shift));
+      }
+      if (p == 0) p = 1;
+    }
+  }
+
+  std::size_t model_count() const { return tables_.size(); }
+
+ private:
+  static constexpr double kLearningRate = 0.02;
+  static double stretch(double p) {
+    if (p < 1e-6) p = 1e-6;
+    if (p > 1.0 - 1e-6) p = 1.0 - 1e-6;
+    return std::log(p / (1.0 - p));
+  }
+  static double squash(double t) {
+    if (t > 30.0) return 1.0 - 1e-9;
+    if (t < -30.0) return 1e-9;
+    return 1.0 / (1.0 + std::exp(-t));
+  }
+
+  PpmOptions options_;
+  std::vector<std::vector<Prob>> tables_;  // one per order 0..order
+  std::vector<double> weights_;
+  Prob* slots_[9] = {};
+  double stretched_[9] = {};
+  double mixed_p1_ = 0.5;
+};
+
+}  // namespace
+
+std::size_t ppm_model_bytes(const PpmOptions& options) {
+  return (options.order + 1) * ((std::size_t{1} << options.hash_bits) * sizeof(Prob));
+}
+
+std::vector<std::uint8_t> ppm_compress(std::span<const std::uint8_t> input,
+                                       const PpmOptions& options) {
+  ContextMixModel model(options);
+  RangeEncoder encoder;
+  std::uint64_t history = 0;
+  for (const std::uint8_t byte : input) {
+    unsigned node = 1;
+    for (int b = 7; b >= 0; --b) {
+      const unsigned bit = (byte >> b) & 1u;
+      encoder.encode_bit(bit, model.predict(history, node));
+      model.update(bit);
+      node = 2 * node + bit;
+    }
+    history = (history << 8) | byte;
+  }
+  encoder.finish();
+  return encoder.take();
+}
+
+std::vector<std::uint8_t> ppm_decompress(std::span<const std::uint8_t> compressed,
+                                         std::size_t original_size,
+                                         const PpmOptions& options) {
+  ContextMixModel model(options);
+  RangeDecoder decoder(compressed);
+  std::vector<std::uint8_t> out;
+  out.reserve(original_size);
+  std::uint64_t history = 0;
+  for (std::size_t i = 0; i < original_size; ++i) {
+    unsigned node = 1;
+    for (int b = 7; b >= 0; --b) {
+      const unsigned bit = decoder.decode_bit(model.predict(history, node));
+      model.update(bit);
+      node = 2 * node + bit;
+    }
+    const std::uint8_t byte = static_cast<std::uint8_t>(node & 0xFF);
+    out.push_back(byte);
+    history = (history << 8) | byte;
+  }
+  return out;
+}
+
+}  // namespace ccomp::coding

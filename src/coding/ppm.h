@@ -1,0 +1,40 @@
+// PPM-style adaptive context modelling (binary-decomposition variant).
+//
+// The paper's related-work discussion (Sec. 1) notes that finite-context
+// models such as PPM achieve the best compression ratios but "require large
+// amounts of memory both for compression and decompression, making them
+// unsuitable for program compression" — and, being adaptive, they cannot
+// decode from an arbitrary cache block either. This module implements such
+// a model as the file-oriented *upper bound* for the comparison benches:
+// each byte is coded bit by bit through the range coder, with an adaptive
+// probability selected by a hash of the previous `order` bytes plus the
+// bit-prefix of the current byte (a standard binary decomposition of PPM;
+// same modelling power class, much simpler than escape handling).
+//
+// The model table's size is reported so the benches can show exactly the
+// memory cost the paper objects to.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ccomp::coding {
+
+struct PpmOptions {
+  unsigned order = 2;           // context bytes
+  unsigned hash_bits = 22;      // model table = 2^hash_bits probabilities
+  unsigned adapt_shift = 5;     // probability update rate
+};
+
+/// Model memory required (bytes) — what an embedded decompressor would need.
+std::size_t ppm_model_bytes(const PpmOptions& options = {});
+
+std::vector<std::uint8_t> ppm_compress(std::span<const std::uint8_t> input,
+                                       const PpmOptions& options = {});
+
+std::vector<std::uint8_t> ppm_decompress(std::span<const std::uint8_t> compressed,
+                                         std::size_t original_size,
+                                         const PpmOptions& options = {});
+
+}  // namespace ccomp::coding

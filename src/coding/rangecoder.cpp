@@ -1,0 +1,118 @@
+#include "coding/rangecoder.h"
+
+namespace ccomp::coding {
+
+Prob quantize_prob_pow2(Prob p, unsigned max_shift) {
+  if (max_shift == 0) max_shift = 1;
+  if (max_shift > 15) max_shift = 15;
+  // Work with the less probable symbol's probability q = min(p, 1-p), find
+  // the closest 2^-s (s >= 1) in log space, and map back.
+  const bool zero_is_lps = p <= kProbHalf;
+  const std::uint32_t q = zero_is_lps ? p : (0x10000u - p);
+  // Find s minimizing |q - 2^(16-s)| over s in [1, max_shift].
+  unsigned best_s = 1;
+  std::uint32_t best_err = 0xFFFFFFFFu;
+  for (unsigned s = 1; s <= max_shift; ++s) {
+    const std::uint32_t target = 0x10000u >> s;
+    const std::uint32_t err = q > target ? q - target : target - q;
+    if (err < best_err) {
+      best_err = err;
+      best_s = s;
+    }
+  }
+  const std::uint32_t quantized = 0x10000u >> best_s;
+  return zero_is_lps ? clamp_prob(quantized) : clamp_prob(0x10000u - quantized);
+}
+
+void RangeEncoder::reset() {
+  low_ = 0;
+  range_ = 0xFFFFFFFFu;
+  cache_ = 0;
+  cache_size_ = 1;
+}
+
+void RangeEncoder::encode_bit(unsigned bit, Prob p0) {
+  // Split the interval in proportion to p0. bound is the width of the
+  // zero-subinterval; p0 in [1, 65535] guarantees 0 < bound < range.
+  const std::uint32_t bound = (range_ >> kProbBits) * p0;
+  if (bit == 0) {
+    range_ = bound;
+  } else {
+    low_ += bound;
+    range_ -= bound;
+  }
+  while (range_ < (1u << 24)) {
+    shift_low();
+    range_ <<= 8;
+  }
+}
+
+void RangeEncoder::shift_low() {
+  if (static_cast<std::uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
+    const std::uint8_t carry = static_cast<std::uint8_t>(low_ >> 32);
+    out_.push_back(static_cast<std::uint8_t>(cache_ + carry));
+    while (--cache_size_ != 0)
+      out_.push_back(static_cast<std::uint8_t>(0xFF + carry));
+    cache_ = static_cast<std::uint8_t>(low_ >> 24);
+  }
+  ++cache_size_;
+  low_ = (low_ & 0x00FFFFFFull) << 8;
+}
+
+void RangeEncoder::finish() {
+  // Any value in [low, low+range) decodes the encoded bit sequence; pick the
+  // one with the most trailing zero bits so take() can strip zero bytes
+  // (blocks are tiny — 32 bytes of code — so flush overhead matters).
+  const std::uint64_t top = low_ + range_;
+  for (int shift = 32; shift >= 0; shift -= 8) {
+    const std::uint64_t mask = (std::uint64_t{1} << shift) - 1;
+    const std::uint64_t candidate = (low_ + mask) & ~mask;
+    if (candidate < top) {
+      low_ = candidate;
+      break;
+    }
+  }
+  for (int i = 0; i < 5; ++i) shift_low();
+}
+
+std::vector<std::uint8_t> RangeEncoder::take() {
+  auto bytes = std::move(out_);
+  out_.clear();
+  reset();
+  // The first emitted byte is priming noise the decoder never uses, and
+  // trailing zero bytes are reproduced by the decoder's read-zero-past-end
+  // rule; drop both.
+  if (!bytes.empty()) bytes.erase(bytes.begin());
+  while (!bytes.empty() && bytes.back() == 0) bytes.pop_back();
+  return bytes;
+}
+
+void RangeDecoder::reset(std::span<const std::uint8_t> data) {
+  data_ = data;
+  pos_ = 0;
+  range_ = 0xFFFFFFFFu;
+  code_ = 0;
+  // The encoder's priming byte is already stripped from the payload, so four
+  // reads load the 32-bit code value.
+  for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | next_byte();
+}
+
+unsigned RangeDecoder::decode_bit(Prob p0) {
+  const std::uint32_t bound = (range_ >> kProbBits) * p0;
+  unsigned bit;
+  if (code_ < bound) {
+    bit = 0;
+    range_ = bound;
+  } else {
+    bit = 1;
+    code_ -= bound;
+    range_ -= bound;
+  }
+  while (range_ < (1u << 24)) {
+    code_ = (code_ << 8) | next_byte();
+    range_ <<= 8;
+  }
+  return bit;
+}
+
+}  // namespace ccomp::coding

@@ -1,0 +1,38 @@
+#include "core/codec.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace ccomp::core {
+
+std::vector<std::uint8_t> BlockCodec::decompress_all(const CompressedImage& image) const {
+  const auto decompressor = make_decompressor(image);
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(image.original_size()));
+  for (std::size_t b = 0; b < image.block_count(); ++b) {
+    const std::vector<std::uint8_t> block = decompressor->block(b);
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  return out;
+}
+
+CompressedImage BlockCodec::compress_verified(std::span<const std::uint8_t> code) const {
+  CompressedImage image = compress(code);
+  // Forward order.
+  const std::vector<std::uint8_t> round = decompress_all(image);
+  if (round.size() != code.size() || !std::equal(round.begin(), round.end(), code.begin()))
+    throw CorruptDataError("codec round trip failed (sequential order)");
+  // Random access: decompress blocks back to front and spot-check.
+  const auto decompressor = make_decompressor(image);
+  for (std::size_t b = image.block_count(); b-- > 0;) {
+    const std::vector<std::uint8_t> block = decompressor->block(b);
+    const std::size_t begin = static_cast<std::size_t>(image.block_original_offset(b));
+    if (block.size() != image.block_original_size(b) ||
+        !std::equal(block.begin(), block.end(), code.begin() + static_cast<std::ptrdiff_t>(begin)))
+      throw CorruptDataError("codec round trip failed (random access)");
+  }
+  return image;
+}
+
+}  // namespace ccomp::core

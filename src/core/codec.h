@@ -1,0 +1,63 @@
+// The block-random-access codec interface.
+//
+// Every code-compression scheme that can live behind a cache refill engine
+// implements BlockCodec: compress a whole text segment into a
+// CompressedImage, and decompress any single block independently of the
+// others (the paper's central constraint — jumps mean the engine cannot
+// rely on having decompressed the preceding blocks).
+//
+// Decompression is split into a factory step (deserialize the tables once,
+// as hardware would hold them in the decompressor's local memory) and a
+// per-block step (what one cache miss triggers).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/image.h"
+
+namespace ccomp::core {
+
+/// Per-image decompressor holding the deserialized model state.
+class BlockDecompressor {
+ public:
+  virtual ~BlockDecompressor() = default;
+
+  /// Decompress block `index` to its original bytes. Must work for any
+  /// index in any order (random access).
+  virtual std::vector<std::uint8_t> block(std::size_t index) const = 0;
+
+  std::size_t block_count() const { return block_count_; }
+
+ protected:
+  explicit BlockDecompressor(std::size_t block_count) : block_count_(block_count) {}
+
+ private:
+  std::size_t block_count_;
+};
+
+class BlockCodec {
+ public:
+  virtual ~BlockCodec() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Compress a full text segment.
+  virtual CompressedImage compress(std::span<const std::uint8_t> code) const = 0;
+
+  /// Build a decompressor bound to `image` (which must outlive it).
+  virtual std::unique_ptr<BlockDecompressor> make_decompressor(
+      const CompressedImage& image) const = 0;
+
+  /// Convenience: decompress every block and concatenate.
+  std::vector<std::uint8_t> decompress_all(const CompressedImage& image) const;
+
+  /// Convenience: compress, decompress, and verify the round trip (also in
+  /// random block order); returns the image. Throws CorruptDataError on any
+  /// mismatch. Used by tests and by the examples' --verify mode.
+  CompressedImage compress_verified(std::span<const std::uint8_t> code) const;
+};
+
+}  // namespace ccomp::core

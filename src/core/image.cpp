@@ -1,0 +1,158 @@
+#include "core/image.h"
+
+#include "support/error.h"
+
+namespace ccomp::core {
+
+CompressedImage::CompressedImage(CodecKind codec, IsaKind isa, std::uint32_t block_size,
+                                 std::uint64_t original_size, std::vector<std::uint8_t> tables,
+                                 std::vector<std::uint32_t> block_offsets,
+                                 std::vector<std::uint8_t> payload)
+    : CompressedImage(codec, isa, block_size, original_size, std::move(tables),
+                      std::move(block_offsets), std::move(payload), {}) {}
+
+CompressedImage::CompressedImage(CodecKind codec, IsaKind isa, std::uint32_t block_size,
+                                 std::uint64_t original_size, std::vector<std::uint8_t> tables,
+                                 std::vector<std::uint32_t> block_offsets,
+                                 std::vector<std::uint8_t> payload,
+                                 std::vector<std::uint32_t> block_original_sizes)
+    : codec_(codec),
+      isa_(isa),
+      block_size_(block_size),
+      original_size_(original_size),
+      tables_(std::move(tables)),
+      block_offsets_(std::move(block_offsets)),
+      payload_(std::move(payload)),
+      block_original_sizes_(std::move(block_original_sizes)) {
+  if (block_size_ == 0) throw ConfigError("block_size must be nonzero");
+  if (block_offsets_.empty() || block_offsets_.back() != payload_.size())
+    throw ConfigError("block offsets must end with a payload-size sentinel");
+  for (std::size_t i = 1; i < block_offsets_.size(); ++i)
+    if (block_offsets_[i] < block_offsets_[i - 1])
+      throw ConfigError("block offsets must be non-decreasing");
+  if (block_original_sizes_.empty()) {
+    const std::size_t expected_blocks =
+        static_cast<std::size_t>((original_size_ + block_size_ - 1) / block_size_);
+    if (block_offsets_.size() != expected_blocks + 1)
+      throw ConfigError("block count inconsistent with original size");
+  } else {
+    if (block_original_sizes_.size() + 1 != block_offsets_.size())
+      throw ConfigError("per-block size list inconsistent with block count");
+    block_original_offsets_.reserve(block_original_sizes_.size() + 1);
+    std::uint64_t acc = 0;
+    block_original_offsets_.push_back(0);
+    for (const std::uint32_t s : block_original_sizes_) {
+      acc += s;
+      block_original_offsets_.push_back(acc);
+    }
+    if (acc != original_size_)
+      throw ConfigError("per-block sizes do not sum to the original size");
+  }
+}
+
+std::span<const std::uint8_t> CompressedImage::block_payload(std::size_t index) const {
+  if (index + 1 >= block_offsets_.size()) throw ConfigError("block index out of range");
+  const std::uint32_t begin = block_offsets_[index];
+  const std::uint32_t end = block_offsets_[index + 1];
+  return std::span<const std::uint8_t>(payload_).subspan(begin, end - begin);
+}
+
+std::size_t CompressedImage::block_original_size(std::size_t index) const {
+  if (index + 1 >= block_offsets_.size()) throw ConfigError("block index out of range");
+  if (!block_original_sizes_.empty()) return block_original_sizes_[index];
+  const std::uint64_t begin = static_cast<std::uint64_t>(index) * block_size_;
+  const std::uint64_t end = begin + block_size_ < original_size_ ? begin + block_size_
+                                                                 : original_size_;
+  return static_cast<std::size_t>(end - begin);
+}
+
+std::uint64_t CompressedImage::block_original_offset(std::size_t index) const {
+  if (index >= block_offsets_.size()) throw ConfigError("block index out of range");
+  if (!block_original_offsets_.empty()) return block_original_offsets_[index];
+  return static_cast<std::uint64_t>(index) * block_size_;
+}
+
+std::size_t CompressedImage::lat_bytes() const {
+  // Group-anchored LAT: a 4-byte absolute offset every 8 blocks, plus a
+  // 1- or 2-byte length per block (2 when any block in the image exceeds
+  // 255 compressed bytes). This is the standard way to keep the table small
+  // while still allowing one-lookup refills. Variable-block images also
+  // store each block's original length alongside (1 byte).
+  const std::size_t blocks = block_count();
+  if (blocks == 0) return 0;
+  std::size_t len_bytes = 1;
+  for (std::size_t i = 0; i < blocks; ++i)
+    if (block_offsets_[i + 1] - block_offsets_[i] > 0xFF) {
+      len_bytes = 2;
+      break;
+    }
+  const std::size_t groups = (blocks + 7) / 8;
+  const std::size_t variable_extra = block_original_sizes_.empty() ? 0 : blocks;
+  return groups * 4 + blocks * len_bytes + variable_extra;
+}
+
+SizeBreakdown CompressedImage::sizes() const {
+  SizeBreakdown s;
+  s.original = static_cast<std::size_t>(original_size_);
+  s.payload = payload_.size();
+  s.tables = tables_.size();
+  s.lat = lat_bytes();
+  return s;
+}
+
+void CompressedImage::serialize(ByteSink& sink) const {
+  sink.u32(0x43434D50u);  // 'CCMP'
+  sink.u8(static_cast<std::uint8_t>(codec_));
+  sink.u8(static_cast<std::uint8_t>(isa_));
+  sink.u8(block_original_sizes_.empty() ? 0 : 1);
+  sink.u32(block_size_);
+  sink.u64(original_size_);
+  sink.sized_bytes(tables_);
+  sink.varint(block_offsets_.size());
+  std::uint32_t prev = 0;
+  for (const std::uint32_t off : block_offsets_) {
+    sink.varint(off - prev);  // delta encoding
+    prev = off;
+  }
+  if (!block_original_sizes_.empty()) {
+    for (const std::uint32_t s : block_original_sizes_) sink.varint(s);
+  }
+  sink.sized_bytes(payload_);
+}
+
+CompressedImage CompressedImage::deserialize(ByteSource& src) {
+  if (src.u32() != 0x43434D50u) throw CorruptDataError("bad image magic");
+  const auto codec = static_cast<CodecKind>(src.u8());
+  const auto isa = static_cast<IsaKind>(src.u8());
+  const bool variable = src.u8() != 0;
+  const std::uint32_t block_size = src.u32();
+  const std::uint64_t original_size = src.u64();
+  std::vector<std::uint8_t> tables = src.sized_bytes();
+  const std::uint64_t offset_count = src.varint();
+  // Each delta-encoded offset takes at least one byte, so the count can
+  // never exceed the remaining container size — reject before allocating.
+  if (offset_count == 0 || offset_count > src.remaining())
+    throw CorruptDataError("bad LAT size");
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(static_cast<std::size_t>(offset_count));
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < offset_count; ++i) {
+    acc += src.varint();
+    if (acc > 0xFFFFFFFFull) throw CorruptDataError("LAT offset overflow");
+    offsets.push_back(static_cast<std::uint32_t>(acc));
+  }
+  std::vector<std::uint32_t> original_sizes;
+  if (variable) {
+    original_sizes.reserve(static_cast<std::size_t>(offset_count - 1));
+    for (std::uint64_t i = 0; i + 1 < offset_count; ++i) {
+      const std::uint64_t s = src.varint();
+      if (s > 0xFFFFFFFFull) throw CorruptDataError("block size overflow");
+      original_sizes.push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+  std::vector<std::uint8_t> payload = src.sized_bytes();
+  return CompressedImage(codec, isa, block_size, original_size, std::move(tables),
+                         std::move(offsets), std::move(payload), std::move(original_sizes));
+}
+
+}  // namespace ccomp::core

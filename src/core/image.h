@@ -1,0 +1,125 @@
+// CompressedImage: the container a compressed-code memory system stores.
+//
+// Layout mirrors the Wolfe/Chanin organisation the paper builds on: a
+// header, the codec's tables (Markov probability tables, SADC dictionary +
+// Huffman tables, ...), the Line Address Table mapping block index ->
+// compressed payload offset, and the concatenated per-block payloads.
+//
+// The LAT is serialized compactly (one absolute offset per group of 8
+// blocks + one length byte per block), which is how real implementations
+// keep its overhead a few percent. Ratios are reported both the way the
+// paper reports them (payload + tables, no LAT — Sec. 3 "the final storage
+// requirements are the encoded message and the Markov trees") and with the
+// LAT charged.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/serialize.h"
+
+namespace ccomp::core {
+
+enum class CodecKind : std::uint8_t {
+  kSamc = 1,
+  kSadc = 2,
+  kByteHuffman = 3,
+  kSamcX86Split = 4,  // SAMC with per-field stream subdivision (x86)
+};
+enum class IsaKind : std::uint8_t { kMips = 1, kX86 = 2, kRawBytes = 3 };
+
+/// Where the bytes of a compressed image go.
+struct SizeBreakdown {
+  std::size_t original = 0;
+  std::size_t payload = 0;  // compressed blocks
+  std::size_t tables = 0;   // models / dictionaries / Huffman tables
+  std::size_t lat = 0;      // serialized line address table
+
+  /// Everything the embedded system stores for this image.
+  std::size_t total() const { return payload + tables + lat; }
+
+  /// Paper-equivalent compression ratio: (payload + tables) / original.
+  double ratio() const {
+    return original == 0 ? 0.0
+                         : static_cast<double>(payload + tables) / static_cast<double>(original);
+  }
+  /// Ratio with the LAT charged as well (the full embedded cost).
+  double ratio_with_lat() const {
+    return original == 0 ? 0.0
+                         : static_cast<double>(payload + tables + lat) /
+                               static_cast<double>(original);
+  }
+};
+
+class CompressedImage {
+ public:
+  CompressedImage() = default;
+
+  /// Uniform blocks: every block covers exactly block_size original bytes
+  /// (except the last). Fixed-width ISAs use this form.
+  CompressedImage(CodecKind codec, IsaKind isa, std::uint32_t block_size,
+                  std::uint64_t original_size, std::vector<std::uint8_t> tables,
+                  std::vector<std::uint32_t> block_offsets, std::vector<std::uint8_t> payload);
+
+  /// Variable blocks: block i covers original_sizes[i] bytes. Used by
+  /// variable-length ISAs (x86), where blocks are instruction-aligned groups
+  /// of roughly block_size bytes.
+  CompressedImage(CodecKind codec, IsaKind isa, std::uint32_t block_size,
+                  std::uint64_t original_size, std::vector<std::uint8_t> tables,
+                  std::vector<std::uint32_t> block_offsets, std::vector<std::uint8_t> payload,
+                  std::vector<std::uint32_t> block_original_sizes);
+
+  CodecKind codec() const { return codec_; }
+  IsaKind isa() const { return isa_; }
+  /// Uncompressed bytes per block (= cache line size).
+  std::uint32_t block_size() const { return block_size_; }
+  std::uint64_t original_size() const { return original_size_; }
+  std::size_t block_count() const {
+    return block_offsets_.empty() ? 0 : block_offsets_.size() - 1;
+  }
+
+  std::span<const std::uint8_t> tables() const { return tables_; }
+  std::span<const std::uint8_t> payload() const { return payload_; }
+
+  /// Compressed payload bytes of one block.
+  std::span<const std::uint8_t> block_payload(std::size_t index) const;
+
+  /// Uncompressed byte size of one block (the last block may be short; with
+  /// variable blocks, each block has its own size).
+  std::size_t block_original_size(std::size_t index) const;
+
+  /// Byte offset of block `index` within the original code.
+  std::uint64_t block_original_offset(std::size_t index) const;
+
+  bool has_variable_blocks() const { return !block_original_sizes_.empty(); }
+
+  /// The LAT lookup the cache refill engine performs.
+  std::uint32_t block_offset(std::size_t index) const { return block_offsets_.at(index); }
+
+  /// Serialized LAT cost in bytes (group-anchored encoding).
+  std::size_t lat_bytes() const;
+
+  SizeBreakdown sizes() const;
+
+  /// Whole-container (de)serialization.
+  void serialize(ByteSink& sink) const;
+  static CompressedImage deserialize(ByteSource& src);
+
+ private:
+  CodecKind codec_ = CodecKind::kSamc;
+  IsaKind isa_ = IsaKind::kRawBytes;
+  std::uint32_t block_size_ = 32;
+  std::uint64_t original_size_ = 0;
+  std::vector<std::uint8_t> tables_;
+  /// block_offsets_[i] = payload offset of block i; one extra sentinel entry
+  /// equal to payload size, so block i spans [offsets[i], offsets[i+1]).
+  std::vector<std::uint32_t> block_offsets_;
+  std::vector<std::uint8_t> payload_;
+  /// Empty for uniform blocks; else original byte count per block.
+  std::vector<std::uint32_t> block_original_sizes_;
+  /// Cumulative original offsets when variable (size = blocks + 1).
+  std::vector<std::uint64_t> block_original_offsets_;
+};
+
+}  // namespace ccomp::core

@@ -1,0 +1,41 @@
+#include "core/report.h"
+
+#include "support/error.h"
+
+namespace ccomp::core {
+
+RatioTable::RatioTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void RatioTable::add_row(const std::string& name, std::span<const double> values) {
+  if (values.size() != columns_.size())
+    throw ConfigError("RatioTable row width mismatch");
+  rows_.emplace_back(name, std::vector<double>(values.begin(), values.end()));
+}
+
+std::vector<double> RatioTable::column_means() const {
+  std::vector<double> means(columns_.size(), 0.0);
+  if (rows_.empty()) return means;
+  for (const auto& [name, values] : rows_)
+    for (std::size_t c = 0; c < values.size(); ++c) means[c] += values[c];
+  for (double& m : means) m /= static_cast<double>(rows_.size());
+  return means;
+}
+
+void RatioTable::print() const {
+  std::printf("\n== %s ==\n", title_.c_str());
+  std::printf("%-12s", "benchmark");
+  for (const auto& c : columns_) std::printf(" %10s", c.c_str());
+  std::printf("\n");
+  for (const auto& [name, values] : rows_) {
+    std::printf("%-12s", name.c_str());
+    for (const double v : values) std::printf(" %10.3f", v);
+    std::printf("\n");
+  }
+  const auto means = column_means();
+  std::printf("%-12s", "MEAN");
+  for (const double v : means) std::printf(" %10.3f", v);
+  std::printf("\n");
+}
+
+}  // namespace ccomp::core

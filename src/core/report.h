@@ -1,0 +1,31 @@
+// Small reporting helpers shared by the benchmark harnesses so every
+// figure/table prints in a consistent, diffable format.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ccomp::core {
+
+/// A ratio table: one row per benchmark, one column per scheme.
+class RatioTable {
+ public:
+  RatioTable(std::string title, std::vector<std::string> columns);
+
+  void add_row(const std::string& name, std::span<const double> values);
+
+  /// Column-wise arithmetic means of all rows added so far.
+  std::vector<double> column_means() const;
+
+  /// Print to stdout: header, rows, mean row.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::pair<std::string, std::vector<double>>> rows_;
+};
+
+}  // namespace ccomp::core

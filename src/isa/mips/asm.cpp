@@ -1,0 +1,322 @@
+#include "isa/mips/asm.h"
+
+#include <cctype>
+#include <optional>
+#include <unordered_map>
+
+#include "isa/mips/mips.h"
+
+namespace ccomp::mips {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexing helpers
+// ---------------------------------------------------------------------------
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+std::string_view strip_comment(std::string_view line) {
+  for (std::size_t i = 0; i < line.size(); ++i)
+    if (line[i] == '#' || line[i] == ';') return line.substr(0, i);
+  return line;
+}
+
+std::vector<std::string_view> split_operands(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == ',') {
+      const std::string_view tok = trim(s.substr(start, i - start));
+      if (!tok.empty()) out.push_back(tok);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+const std::unordered_map<std::string_view, unsigned>& reg_names() {
+  static const std::unordered_map<std::string_view, unsigned> names = [] {
+    std::unordered_map<std::string_view, unsigned> m;
+    static const char* kAbi[32] = {"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+                                   "t0",   "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+                                   "s0",   "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+                                   "t8",   "t9", "k0", "k1", "gp", "sp", "fp", "ra"};
+    for (unsigned i = 0; i < 32; ++i) m.emplace(kAbi[i], i);
+    m.emplace("s8", 30);  // alias for fp
+    return m;
+  }();
+  return names;
+}
+
+std::optional<unsigned> parse_register(std::string_view tok) {
+  if (tok.size() < 2 || tok.front() != '$') return std::nullopt;
+  tok.remove_prefix(1);
+  // FP registers: $f0..$f31.
+  if (tok.size() >= 2 && tok.front() == 'f' &&
+      std::isdigit(static_cast<unsigned char>(tok[1]))) {
+    unsigned n = 0;
+    for (std::size_t i = 1; i < tok.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(tok[i]))) return std::nullopt;
+      n = n * 10 + static_cast<unsigned>(tok[i] - '0');
+    }
+    return n < 32 ? std::optional<unsigned>(n) : std::nullopt;
+  }
+  // Numeric: $0..$31.
+  if (std::isdigit(static_cast<unsigned char>(tok.front()))) {
+    unsigned n = 0;
+    for (const char c : tok) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+      n = n * 10 + static_cast<unsigned>(c - '0');
+    }
+    return n < 32 ? std::optional<unsigned>(n) : std::nullopt;
+  }
+  const auto it = reg_names().find(tok);
+  if (it == reg_names().end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> parse_number(std::string_view tok) {
+  if (tok.empty()) return std::nullopt;
+  bool negative = false;
+  if (tok.front() == '-' || tok.front() == '+') {
+    negative = tok.front() == '-';
+    tok.remove_prefix(1);
+  }
+  if (tok.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  if (tok.size() > 2 && tok[0] == '0' && (tok[1] == 'x' || tok[1] == 'X')) {
+    for (std::size_t i = 2; i < tok.size(); ++i) {
+      const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(tok[i])));
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else return std::nullopt;
+      value = value * 16 + digit;
+    }
+  } else {
+    for (const char c : tok) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+      value = value * 10 + (c - '0');
+    }
+  }
+  return negative ? -value : value;
+}
+
+// Memory operand "off($base)" or "($base)".
+struct MemOperand {
+  std::int64_t offset;
+  unsigned base;
+};
+
+std::optional<MemOperand> parse_mem(std::string_view tok) {
+  const std::size_t open = tok.find('(');
+  if (open == std::string_view::npos || tok.back() != ')') return std::nullopt;
+  const std::string_view off = trim(tok.substr(0, open));
+  const std::string_view reg = trim(tok.substr(open + 1, tok.size() - open - 2));
+  const auto base = parse_register(reg);
+  if (!base) return std::nullopt;
+  std::int64_t offset = 0;
+  if (!off.empty()) {
+    const auto n = parse_number(off);
+    if (!n) return std::nullopt;
+    offset = *n;
+  }
+  return MemOperand{offset, *base};
+}
+
+const std::unordered_map<std::string_view, std::uint16_t>& mnemonic_index() {
+  static const std::unordered_map<std::string_view, std::uint16_t> index = [] {
+    std::unordered_map<std::string_view, std::uint16_t> m;
+    const auto table = opcode_table();
+    for (std::size_t i = 0; i < table.size(); ++i)
+      m.emplace(table[i].mnemonic, static_cast<std::uint16_t>(i));
+    return m;
+  }();
+  return index;
+}
+
+// One parsed source statement awaiting encoding.
+struct Statement {
+  std::size_t line;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+  bool is_word_directive = false;
+  std::uint32_t literal = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> assemble(std::string_view source, const AssembleOptions& options) {
+  // Pass 1: strip comments/labels, collect statements and label addresses.
+  std::unordered_map<std::string, std::size_t> labels;  // name -> instr index
+  std::vector<Statement> statements;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    std::string_view line = source.substr(
+        pos, eol == std::string_view::npos ? source.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+    ++line_no;
+
+    line = trim(strip_comment(line));
+    // Peel leading labels (possibly several).
+    while (true) {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string_view::npos) break;
+      const std::string_view name = trim(line.substr(0, colon));
+      if (name.empty() || name.find(' ') != std::string_view::npos)
+        throw AsmError(line_no, "malformed label");
+      if (!labels.emplace(std::string(name), statements.size()).second)
+        throw AsmError(line_no, "duplicate label '" + std::string(name) + "'");
+      line = trim(line.substr(colon + 1));
+    }
+    if (line.empty()) continue;
+
+    Statement stmt;
+    stmt.line = line_no;
+    const std::size_t space = line.find_first_of(" \t");
+    const std::string_view head =
+        space == std::string_view::npos ? line : line.substr(0, space);
+    const std::string_view rest =
+        space == std::string_view::npos ? std::string_view{} : trim(line.substr(space + 1));
+
+    if (head == ".word") {
+      const auto value = parse_number(rest);
+      if (!value) throw AsmError(line_no, "bad .word value");
+      stmt.is_word_directive = true;
+      stmt.literal = static_cast<std::uint32_t>(*value);
+    } else {
+      stmt.mnemonic = std::string(head);
+      for (const auto& op : split_operands(rest)) stmt.operands.emplace_back(op);
+    }
+    statements.push_back(std::move(stmt));
+  }
+
+  // Pass 2: encode.
+  std::vector<std::uint32_t> words;
+  words.reserve(statements.size());
+  for (std::size_t index = 0; index < statements.size(); ++index) {
+    const Statement& stmt = statements[index];
+    if (stmt.is_word_directive) {
+      words.push_back(stmt.literal);
+      continue;
+    }
+
+    // Pseudo-instructions rewrite to table rows.
+    std::string mnemonic = stmt.mnemonic;
+    std::vector<std::string> operands = stmt.operands;
+    if (mnemonic == "nop") {
+      mnemonic = "sll";
+      operands = {"$zero", "$zero", "0"};
+    } else if (mnemonic == "move") {
+      if (operands.size() != 2) throw AsmError(stmt.line, "move needs 2 operands");
+      mnemonic = "addu";
+      operands = {operands[0], operands[1], "$zero"};
+    } else if (mnemonic == "li") {
+      if (operands.size() != 2) throw AsmError(stmt.line, "li needs 2 operands");
+      const auto value = parse_number(operands[1]);
+      if (!value || *value < -32768 || *value > 65535)
+        throw AsmError(stmt.line, "li immediate out of 16-bit range");
+      if (*value >= 0) {
+        mnemonic = "ori";
+        operands = {operands[0], "$zero", operands[1]};
+      } else {
+        mnemonic = "addiu";
+        operands = {operands[0], "$zero", operands[1]};
+      }
+    } else if (mnemonic == "b") {
+      if (operands.size() != 1) throw AsmError(stmt.line, "b needs 1 operand");
+      mnemonic = "beq";
+      operands = {"$zero", "$zero", operands[0]};
+    }
+
+    const auto it = mnemonic_index().find(mnemonic);
+    if (it == mnemonic_index().end())
+      throw AsmError(stmt.line, "unknown mnemonic '" + mnemonic + "'");
+    const std::uint16_t opcode = it->second;
+    const OpcodeInfo& info = opcode_table()[opcode];
+
+    Decoded d;
+    d.opcode = opcode;
+    unsigned reg_slot = 0;
+    bool have_imm = false;
+    auto put_reg = [&](unsigned value) {
+      if (reg_slot >= info.reg_count)
+        throw AsmError(stmt.line, "too many register operands for " + mnemonic);
+      d.regs[reg_slot++] = static_cast<std::uint8_t>(value);
+    };
+
+    for (const std::string& op : operands) {
+      if (const auto reg = parse_register(op)) {
+        put_reg(*reg);
+        continue;
+      }
+      if (const auto mem = parse_mem(op)) {
+        if (!info.has_imm16) throw AsmError(stmt.line, mnemonic + " takes no memory operand");
+        if (mem->offset < -32768 || mem->offset > 32767)
+          throw AsmError(stmt.line, "memory offset out of range");
+        d.imm16 = static_cast<std::uint16_t>(mem->offset);
+        have_imm = true;
+        put_reg(mem->base);
+        continue;
+      }
+      if (const auto num = parse_number(op)) {
+        // A bare number fills, in priority order: a shamt-style register
+        // slot (shift amounts), then the immediate field.
+        if (reg_slot < info.reg_count && info.reg_shifts[reg_slot] == 6 &&
+            !info.has_imm16 && !info.has_imm26) {
+          if (*num < 0 || *num > 31) throw AsmError(stmt.line, "shift amount out of range");
+          put_reg(static_cast<unsigned>(*num));
+        } else if (info.has_imm16) {
+          if (*num < -32768 || *num > 65535)
+            throw AsmError(stmt.line, "immediate out of 16-bit range");
+          d.imm16 = static_cast<std::uint16_t>(*num);
+          have_imm = true;
+        } else if (info.has_imm26) {
+          // Absolute byte address.
+          d.imm26 = (static_cast<std::uint32_t>(*num) >> 2) & 0x03FFFFFF;
+          have_imm = true;
+        } else {
+          throw AsmError(stmt.line, mnemonic + " takes no immediate");
+        }
+        continue;
+      }
+      // Label reference: branches use a relative word offset, jumps an
+      // absolute target.
+      const auto label = labels.find(op);
+      if (label == labels.end())
+        throw AsmError(stmt.line, "undefined symbol '" + op + "'");
+      if (info.is_branch) {
+        const std::int64_t offset = static_cast<std::int64_t>(label->second) -
+                                    (static_cast<std::int64_t>(index) + 1);
+        if (offset < -32768 || offset > 32767)
+          throw AsmError(stmt.line, "branch target out of range");
+        d.imm16 = static_cast<std::uint16_t>(offset);
+        have_imm = true;
+      } else if (info.has_imm26) {
+        const std::uint32_t address =
+            options.base_address + static_cast<std::uint32_t>(label->second) * 4;
+        d.imm26 = (address >> 2) & 0x03FFFFFF;
+        have_imm = true;
+      } else {
+        throw AsmError(stmt.line, mnemonic + " cannot take a label");
+      }
+    }
+
+    if (reg_slot != info.reg_count)
+      throw AsmError(stmt.line, "expected " + std::to_string(info.reg_count) +
+                                    " register operands for " + mnemonic);
+    if ((info.has_imm16 || info.has_imm26) && !have_imm)
+      throw AsmError(stmt.line, mnemonic + " needs an immediate or target");
+    words.push_back(encode(d));
+  }
+  return words;
+}
+
+}  // namespace ccomp::mips

@@ -1,0 +1,49 @@
+// Two-pass MIPS assembler.
+//
+// Turns textual assembly into instruction words using the same opcode table
+// the rest of the library decodes against, which gives examples and tests a
+// way to build real, meaningful programs (with labels, branches, and calls)
+// instead of opaque hex. Supported syntax:
+//
+//   label:                     # labels, one per line or inline
+//   addu  $t0, $s1, $s2        # registers by ABI name or $0..$31, $fN
+//   addiu $sp, $sp, -32        # decimal or 0x... immediates
+//   lw    $ra, 28($sp)         # memory operands off($base)
+//   beq   $a0, $zero, done     # branch targets: labels or numeric offsets
+//   jal   helper               # jump targets: labels or absolute addresses
+//   sll   $t0, $t0, 2
+//   nop / move / li / b        # common pseudo-instructions
+//   .word 0x0000000c           # raw words
+//
+// Comments start with '#' or ';'. Errors carry the 1-based line number.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.h"
+
+namespace ccomp::mips {
+
+class AsmError : public Error {
+ public:
+  AsmError(std::size_t line, const std::string& what)
+      : Error("asm line " + std::to_string(line) + ": " + what), line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct AssembleOptions {
+  /// Address of the first instruction; jal/j targets are encoded from it.
+  std::uint32_t base_address = 0x00400000;
+};
+
+/// Assemble a program. Throws AsmError on any syntax or semantic problem.
+std::vector<std::uint32_t> assemble(std::string_view source,
+                                    const AssembleOptions& options = {});
+
+}  // namespace ccomp::mips

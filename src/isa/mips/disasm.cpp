@@ -1,0 +1,101 @@
+#include <cinttypes>
+#include <cstdio>
+#include <string_view>
+
+#include "isa/mips/mips.h"
+
+namespace ccomp::mips {
+namespace {
+
+const char* kRegNames[32] = {"$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+                             "$t0",   "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+                             "$s0",   "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+                             "$t8",   "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra"};
+
+bool is_fp_mnemonic(const char* m) {
+  // FP register operands get $f names; cheap heuristic on the mnemonic.
+  for (const char* p = m; *p; ++p)
+    if (*p == '.') return true;
+  return m[0] == 'm' && m[1] == 'f' && m[2] == 'c';  // mfc1 / mtc1 mix both
+}
+
+}  // namespace
+
+const char* reg_name(unsigned reg) { return kRegNames[reg & 31]; }
+
+std::string disassemble(std::uint32_t word) {
+  const auto decoded = decode(word);
+  if (!decoded) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, ".word 0x%08" PRIx32, word);
+    return buf;
+  }
+  const OpcodeInfo& info = opcode_table()[decoded->opcode];
+  std::string out = info.mnemonic;
+  if (word == 0) return "nop";
+  const bool fp = is_fp_mnemonic(info.mnemonic);
+  if (info.is_mem) {
+    // Canonical memory syntax: op rt, imm(base). FP loads/stores (lwc1,
+    // sdc1, ...) target coprocessor registers.
+    const std::string_view mn = info.mnemonic;
+    const bool fp_mem = mn.size() >= 2 && mn.substr(mn.size() - 2) == "c1";
+    out += " ";
+    out += fp_mem ? "$f" + std::to_string(decoded->regs[0]) : kRegNames[decoded->regs[0]];
+    out += ", " + std::to_string(static_cast<std::int16_t>(decoded->imm16));
+    out += "(" + std::string(kRegNames[decoded->regs[1]]) + ")";
+    return out;
+  }
+  bool first = true;
+  auto sep = [&]() {
+    out += first ? " " : ", ";
+    first = false;
+  };
+  for (unsigned k = 0; k < info.reg_count; ++k) {
+    sep();
+    const unsigned reg = decoded->regs[k];
+    // Shift amounts render as plain numbers; FP ops use $fN except the rt
+    // operand of mfc1/mtc1 which is an integer register.
+    const bool shamt_slot = info.reg_shifts[k] == 6 && !fp;
+    if (shamt_slot) {
+      out += std::to_string(reg);
+    } else if (fp && !(k == 0 && info.mnemonic[1] == 'f' && info.mnemonic[2] == 'c') &&
+               !(k == 0 && info.mnemonic[1] == 't' && info.mnemonic[2] == 'c')) {
+      out += "$f" + std::to_string(reg);
+    } else {
+      out += kRegNames[reg];
+    }
+  }
+  if (info.has_imm16) {
+    sep();
+    const auto simm = static_cast<std::int16_t>(decoded->imm16);
+    if (info.is_branch) {
+      out += "pc" + std::string(simm >= 0 ? "+" : "") + std::to_string((simm + 1) * 4);
+    } else {
+      out += std::to_string(simm);
+    }
+  }
+  if (info.has_imm26) {
+    sep();
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "0x%07x", decoded->imm26 << 2);
+    out += buf;
+  }
+  return out;
+}
+
+std::string disassemble_program(std::span<const std::uint32_t> words,
+                                std::uint32_t base_address) {
+  std::string out;
+  out.reserve(words.size() * 32);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    char addr[16];
+    std::snprintf(addr, sizeof addr, "%08" PRIx32 ":  ",
+                  static_cast<std::uint32_t>(base_address + 4 * i));
+    out += addr;
+    out += disassemble(words[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ccomp::mips

@@ -1,0 +1,294 @@
+#include "isa/mips/mips.h"
+
+#include <array>
+
+namespace ccomp::mips {
+namespace {
+
+constexpr std::uint32_t kPrimaryMask = 0x3Fu << 26;
+constexpr std::uint32_t kRsField = 0x1Fu << kShiftRs;
+constexpr std::uint32_t kRtField = 0x1Fu << kShiftRt;
+constexpr std::uint32_t kRdField = 0x1Fu << kShiftRd;
+constexpr std::uint32_t kShamtField = 0x1Fu << kShiftShamt;
+constexpr std::uint32_t kFunctField = 0x3Fu;
+
+constexpr std::uint32_t special(unsigned funct) { return funct; }
+constexpr std::uint32_t itype(unsigned primary) { return static_cast<std::uint32_t>(primary) << 26; }
+constexpr std::uint32_t regimm(unsigned code) { return (1u << 26) | (code << kShiftRt); }
+constexpr std::uint32_t cop1(unsigned fmt, unsigned funct) {
+  return (0x11u << 26) | (fmt << kShiftRs) | funct;
+}
+
+// Operand-shift shorthands (assembly order matters for readable disassembly
+// and for the SADC register stream layout; the round trip does not depend on
+// the order as long as encode/decode agree).
+constexpr std::uint8_t RS = kShiftRs, RT = kShiftRt, RD = kShiftRd, SA = kShiftShamt;
+
+struct Row {
+  const char* mnemonic;
+  std::uint32_t match;
+  std::uint32_t mask;
+  std::uint8_t reg_count;
+  std::uint8_t reg_shifts[4];
+  bool imm16;
+  bool imm26;
+  bool branch;
+  bool jump;
+  bool mem = false;
+};
+
+constexpr Row R3(const char* m, unsigned funct) {  // op rd, rs, rt
+  return {m, special(funct), kPrimaryMask | kShamtField | kFunctField, 3, {RD, RS, RT, 0},
+          false, false, false, false};
+}
+constexpr Row SHIFT(const char* m, unsigned funct) {  // op rd, rt, shamt
+  return {m, special(funct), kPrimaryMask | kRsField | kFunctField, 3, {RD, RT, SA, 0},
+          false, false, false, false};
+}
+constexpr Row SHIFTV(const char* m, unsigned funct) {  // op rd, rt, rs
+  return {m, special(funct), kPrimaryMask | kShamtField | kFunctField, 3, {RD, RT, RS, 0},
+          false, false, false, false};
+}
+constexpr Row MULDIV(const char* m, unsigned funct) {  // op rs, rt
+  return {m, special(funct), kPrimaryMask | kRdField | kShamtField | kFunctField, 2,
+          {RS, RT, 0, 0}, false, false, false, false};
+}
+constexpr Row IMM(const char* m, unsigned primary) {  // op rt, rs, imm
+  return {m, itype(primary), kPrimaryMask, 2, {RT, RS, 0, 0}, true, false, false, false};
+}
+constexpr Row MEM(const char* m, unsigned primary) {  // op rt, imm(rs)
+  return {m, itype(primary), kPrimaryMask, 2, {RT, RS, 0, 0}, true, false, false, false, true};
+}
+constexpr Row BR2(const char* m, unsigned primary) {  // op rs, rt, off
+  return {m, itype(primary), kPrimaryMask, 2, {RS, RT, 0, 0}, true, false, true, false};
+}
+constexpr Row BR1(const char* m, unsigned primary) {  // op rs, off (rt fixed 0)
+  return {m, itype(primary), kPrimaryMask | kRtField, 1, {RS, 0, 0, 0}, true, false, true, false};
+}
+constexpr Row RI(const char* m, unsigned code) {  // regimm: op rs, off
+  return {m, regimm(code), kPrimaryMask | kRtField, 1, {RS, 0, 0, 0}, true, false, true, false};
+}
+constexpr Row FP3(const char* m, unsigned fmt, unsigned funct) {  // op fd, fs, ft
+  return {m, cop1(fmt, funct), kPrimaryMask | kRsField | kFunctField, 3, {SA, RD, RT, 0},
+          false, false, false, false};
+}
+constexpr Row FP2(const char* m, unsigned fmt, unsigned funct) {  // op fd, fs (ft fixed)
+  return {m, cop1(fmt, funct), kPrimaryMask | kRsField | kRtField | kFunctField, 2,
+          {SA, RD, 0, 0}, false, false, false, false};
+}
+constexpr Row FPCMP(const char* m, unsigned fmt, unsigned funct) {  // op fs, ft (fd/cc fixed)
+  return {m, cop1(fmt, funct), kPrimaryMask | kRsField | kShamtField | kFunctField, 2,
+          {RD, RT, 0, 0}, false, false, false, false};
+}
+
+constexpr std::array<Row, 91> kTable = {{
+    // --- SPECIAL (R-format) ---
+    SHIFT("sll", 0x00),
+    SHIFT("srl", 0x02),
+    SHIFT("sra", 0x03),
+    SHIFTV("sllv", 0x04),
+    SHIFTV("srlv", 0x06),
+    SHIFTV("srav", 0x07),
+    {"jr", special(0x08), kPrimaryMask | kRtField | kRdField | kShamtField | kFunctField, 1,
+     {RS, 0, 0, 0}, false, false, false, false},
+    {"jalr", special(0x09), kPrimaryMask | kRtField | kShamtField | kFunctField, 2,
+     {RD, RS, 0, 0}, false, false, false, false},
+    {"syscall", special(0x0c), 0xFFFFFFFFu, 0, {0, 0, 0, 0}, false, false, false, false},
+    {"break", special(0x0d), 0xFFFFFFFFu, 0, {0, 0, 0, 0}, false, false, false, false},
+    {"mfhi", special(0x10), kPrimaryMask | kRsField | kRtField | kShamtField | kFunctField, 1,
+     {RD, 0, 0, 0}, false, false, false, false},
+    {"mthi", special(0x11), kPrimaryMask | kRtField | kRdField | kShamtField | kFunctField, 1,
+     {RS, 0, 0, 0}, false, false, false, false},
+    {"mflo", special(0x12), kPrimaryMask | kRsField | kRtField | kShamtField | kFunctField, 1,
+     {RD, 0, 0, 0}, false, false, false, false},
+    {"mtlo", special(0x13), kPrimaryMask | kRtField | kRdField | kShamtField | kFunctField, 1,
+     {RS, 0, 0, 0}, false, false, false, false},
+    MULDIV("mult", 0x18),
+    MULDIV("multu", 0x19),
+    MULDIV("div", 0x1a),
+    MULDIV("divu", 0x1b),
+    R3("add", 0x20),
+    R3("addu", 0x21),
+    R3("sub", 0x22),
+    R3("subu", 0x23),
+    R3("and", 0x24),
+    R3("or", 0x25),
+    R3("xor", 0x26),
+    R3("nor", 0x27),
+    R3("slt", 0x2a),
+    R3("sltu", 0x2b),
+    // --- REGIMM ---
+    RI("bltz", 0x00),
+    RI("bgez", 0x01),
+    RI("bltzal", 0x10),
+    RI("bgezal", 0x11),
+    // --- J-format ---
+    {"j", itype(0x02), kPrimaryMask, 0, {0, 0, 0, 0}, false, true, false, true},
+    {"jal", itype(0x03), kPrimaryMask, 0, {0, 0, 0, 0}, false, true, false, true},
+    // --- I-format branches ---
+    BR2("beq", 0x04),
+    BR2("bne", 0x05),
+    BR1("blez", 0x06),
+    BR1("bgtz", 0x07),
+    // --- I-format ALU ---
+    IMM("addi", 0x08),
+    IMM("addiu", 0x09),
+    IMM("slti", 0x0a),
+    IMM("sltiu", 0x0b),
+    IMM("andi", 0x0c),
+    IMM("ori", 0x0d),
+    IMM("xori", 0x0e),
+    {"lui", itype(0x0f), kPrimaryMask | kRsField, 1, {RT, 0, 0, 0}, true, false, false, false},
+    // --- loads/stores ---
+    MEM("lb", 0x20),
+    MEM("lh", 0x21),
+    MEM("lwl", 0x22),
+    MEM("lw", 0x23),
+    MEM("lbu", 0x24),
+    MEM("lhu", 0x25),
+    MEM("lwr", 0x26),
+    MEM("sb", 0x28),
+    MEM("sh", 0x29),
+    MEM("swl", 0x2a),
+    MEM("sw", 0x2b),
+    MEM("swr", 0x2e),
+    MEM("lwc1", 0x31),
+    MEM("ldc1", 0x35),
+    MEM("swc1", 0x39),
+    MEM("sdc1", 0x3d),
+    // --- COP1 transfers/branches ---
+    {"mfc1", cop1(0x00, 0), kPrimaryMask | kRsField | kShamtField | kFunctField, 2,
+     {RT, RD, 0, 0}, false, false, false, false},
+    {"mtc1", cop1(0x04, 0), kPrimaryMask | kRsField | kShamtField | kFunctField, 2,
+     {RT, RD, 0, 0}, false, false, false, false},
+    {"bc1f", (0x11u << 26) | (0x08u << kShiftRs) | (0x00u << kShiftRt), 0xFFFF0000u, 0,
+     {0, 0, 0, 0}, true, false, true, false},
+    {"bc1t", (0x11u << 26) | (0x08u << kShiftRs) | (0x01u << kShiftRt), 0xFFFF0000u, 0,
+     {0, 0, 0, 0}, true, false, true, false},
+    // --- COP1 single-precision arithmetic ---
+    FP3("add.s", 0x10, 0x00),
+    FP3("sub.s", 0x10, 0x01),
+    FP3("mul.s", 0x10, 0x02),
+    FP3("div.s", 0x10, 0x03),
+    FP2("abs.s", 0x10, 0x05),
+    FP2("mov.s", 0x10, 0x06),
+    FP2("neg.s", 0x10, 0x07),
+    FP2("cvt.w.s", 0x10, 0x24),
+    FPCMP("c.eq.s", 0x10, 0x32),
+    FPCMP("c.lt.s", 0x10, 0x3c),
+    FPCMP("c.le.s", 0x10, 0x3e),
+    // --- COP1 double-precision arithmetic ---
+    FP3("add.d", 0x11, 0x00),
+    FP3("sub.d", 0x11, 0x01),
+    FP3("mul.d", 0x11, 0x02),
+    FP3("div.d", 0x11, 0x03),
+    FP2("abs.d", 0x11, 0x05),
+    FP2("mov.d", 0x11, 0x06),
+    FP2("neg.d", 0x11, 0x07),
+    FP2("cvt.d.w", 0x14, 0x21),
+    FP2("cvt.s.w", 0x14, 0x20),
+    FP2("cvt.s.d", 0x11, 0x20),
+    FP2("cvt.d.s", 0x10, 0x21),
+    FPCMP("c.eq.d", 0x11, 0x32),
+    FPCMP("c.lt.d", 0x11, 0x3c),
+    FPCMP("c.le.d", 0x11, 0x3e),
+}};
+
+const std::array<Row, kTable.size()>& table() { return kTable; }
+
+// Decode acceleration: rows grouped by primary opcode.
+const std::array<std::vector<std::uint16_t>, 64>& rows_by_primary() {
+  static const std::array<std::vector<std::uint16_t>, 64> index = [] {
+    std::array<std::vector<std::uint16_t>, 64> idx;
+    const auto& t = table();
+    for (std::size_t i = 0; i < t.size(); ++i)
+      idx[(t[i].match >> 26) & 0x3F].push_back(static_cast<std::uint16_t>(i));
+    return idx;
+  }();
+  return index;
+}
+
+}  // namespace
+
+std::span<const OpcodeInfo> opcode_table() {
+  static const std::vector<OpcodeInfo> infos = [] {
+    std::vector<OpcodeInfo> v;
+    v.reserve(table().size());
+    for (const Row& r : table()) {
+      OpcodeInfo info{};
+      info.mnemonic = r.mnemonic;
+      info.match = r.match;
+      info.mask = r.mask;
+      info.reg_count = r.reg_count;
+      for (int i = 0; i < 4; ++i) info.reg_shifts[i] = r.reg_shifts[i];
+      info.has_imm16 = r.imm16;
+      info.has_imm26 = r.imm26;
+      info.is_branch = r.branch;
+      info.is_jump = r.jump;
+      info.is_mem = r.mem;
+      v.push_back(info);
+    }
+    return v;
+  }();
+  return infos;
+}
+
+std::size_t opcode_count() { return opcode_table().size(); }
+
+std::optional<Decoded> decode(std::uint32_t word) {
+  const auto& rows = rows_by_primary()[(word >> 26) & 0x3F];
+  const auto& t = table();
+  for (const std::uint16_t i : rows) {
+    const Row& r = t[i];
+    if ((word & r.mask) != r.match) continue;
+    Decoded d;
+    d.opcode = i;
+    for (unsigned k = 0; k < r.reg_count; ++k)
+      d.regs[k] = static_cast<std::uint8_t>((word >> r.reg_shifts[k]) & 0x1F);
+    if (r.imm16) d.imm16 = static_cast<std::uint16_t>(word & 0xFFFF);
+    if (r.imm26) d.imm26 = word & 0x03FFFFFF;
+    return d;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t encode(const Decoded& d) {
+  const auto& t = table();
+  if (d.opcode >= t.size()) throw ConfigError("opcode token out of range");
+  const Row& r = t[d.opcode];
+  std::uint32_t word = r.match;
+  for (unsigned k = 0; k < r.reg_count; ++k)
+    word |= static_cast<std::uint32_t>(d.regs[k] & 0x1F) << r.reg_shifts[k];
+  if (r.imm16) word |= d.imm16;
+  if (r.imm26) word |= d.imm26 & 0x03FFFFFF;
+  return word;
+}
+
+OperandLengths operand_lengths(std::uint16_t opcode) {
+  const auto& t = table();
+  if (opcode >= t.size()) throw ConfigError("opcode token out of range");
+  const Row& r = t[opcode];
+  return {r.reg_count, r.imm16, r.imm26};
+}
+
+std::vector<std::uint8_t> words_to_bytes(std::span<const std::uint32_t> words) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(words.size() * 4);
+  for (const std::uint32_t w : words)
+    for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+  return bytes;
+}
+
+std::vector<std::uint32_t> bytes_to_words(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() % 4 != 0) throw ConfigError("MIPS code size must be a multiple of 4");
+  std::vector<std::uint32_t> words;
+  words.reserve(bytes.size() / 4);
+  for (std::size_t i = 0; i < bytes.size(); i += 4) {
+    std::uint32_t w = 0;
+    for (int k = 3; k >= 0; --k) w = (w << 8) | bytes[i + static_cast<std::size_t>(k)];
+    words.push_back(w);
+  }
+  return words;
+}
+
+}  // namespace ccomp::mips

@@ -1,0 +1,87 @@
+// MIPS-I instruction set model (integer + FPA subset).
+//
+// SADC needs a lossless round trip between 32-bit instruction words and
+// (opcode token, operand values): the token index identifies a row of the
+// opcode table (fixed match/mask bits), and the operands fill the variable
+// fields. Register operands are 5-bit fields at one of four shifts (25-21,
+// 20-16, 15-11, 10-6); immediates are 16-bit (I-format) or 26-bit (J-format)
+// — exactly the four SADC streams the paper uses for MIPS.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace ccomp::mips {
+
+/// Register-field shifts within the instruction word.
+inline constexpr unsigned kShiftRs = 21;
+inline constexpr unsigned kShiftRt = 16;
+inline constexpr unsigned kShiftRd = 11;
+inline constexpr unsigned kShiftShamt = 6;
+
+/// One row of the opcode table.
+struct OpcodeInfo {
+  const char* mnemonic;
+  std::uint32_t match;  // value of the fixed bits
+  std::uint32_t mask;   // which bits are fixed (operand fields are 0 here)
+  std::uint8_t reg_count;       // number of 5-bit register/shamt operands
+  std::uint8_t reg_shifts[4];   // shifts of those operands, assembly order
+  bool has_imm16;
+  bool has_imm26;
+  bool is_branch;  // pc-relative 16-bit target (affects disassembly only)
+  bool is_jump;    // absolute 26-bit target
+  bool is_mem;     // load/store: renders as  op rt, imm(base)
+};
+
+/// The instruction table. Index into this table is the SADC "base opcode
+/// token". Stable across runs (it is a compile-time constant).
+std::span<const OpcodeInfo> opcode_table();
+
+/// Number of base tokens (= opcode_table().size()).
+std::size_t opcode_count();
+
+/// Decoded instruction: table row + operand values.
+struct Decoded {
+  std::uint16_t opcode;          // index into opcode_table()
+  std::uint8_t regs[4] = {};     // register/shamt operands, assembly order
+  std::uint16_t imm16 = 0;
+  std::uint32_t imm26 = 0;
+};
+
+/// Match a word against the table. Returns std::nullopt for words no table
+/// row matches (the tokenizer treats those as raw literals).
+std::optional<Decoded> decode(std::uint32_t word);
+
+/// Reassemble a word from a decoded instruction (exact inverse of decode for
+/// any word decode accepted).
+std::uint32_t encode(const Decoded& d);
+
+/// Operand-length unit (paper Fig. 6): how many register operands and which
+/// immediates a token needs. Used by the SADC decompressor.
+struct OperandLengths {
+  unsigned regs;
+  bool imm16;
+  bool imm26;
+};
+OperandLengths operand_lengths(std::uint16_t opcode);
+
+/// Pack program words to little-endian bytes and back.
+std::vector<std::uint8_t> words_to_bytes(std::span<const std::uint32_t> words);
+std::vector<std::uint32_t> bytes_to_words(std::span<const std::uint8_t> bytes);
+
+/// Register ABI names ($zero, $at, $v0, ...), for the disassembler.
+const char* reg_name(unsigned reg);
+
+/// Human-readable disassembly of one instruction word.
+std::string disassemble(std::uint32_t word);
+
+/// Disassemble a whole program with addresses.
+std::string disassemble_program(std::span<const std::uint32_t> words,
+                                std::uint32_t base_address = 0);
+
+}  // namespace ccomp::mips

@@ -1,0 +1,303 @@
+#include <cinttypes>
+#include <cstdio>
+
+#include "isa/x86/x86.h"
+
+namespace ccomp::x86 {
+namespace {
+
+const char* kReg32[8] = {"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"};
+const char* kReg16[8] = {"ax", "cx", "dx", "bx", "sp", "bp", "si", "di"};
+const char* kReg8[8] = {"al", "cl", "dl", "bl", "ah", "ch", "dh", "bh"};
+const char* kCond[16] = {"o", "no", "b",  "ae", "e",  "ne", "be", "a",
+                         "s", "ns", "p",  "np", "l",  "ge", "le", "g"};
+const char* kAluNames[8] = {"add", "or", "adc", "sbb", "and", "sub", "xor", "cmp"};
+const char* kShiftNames[8] = {"rol", "ror", "rcl", "rcr", "shl", "shr", "sal", "sar"};
+const char* kGroup3Names[8] = {"test", "test", "not", "neg", "mul", "imul", "div", "idiv"};
+const char* kGroup5Names[8] = {"inc", "dec", "call", "callf", "jmp", "jmpf", "push", "?"};
+
+struct Cursor {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+  std::uint8_t u8() { return data[pos++]; }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::uint16_t u16() {
+    const std::uint8_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (u8() << 8));
+  }
+};
+
+std::string hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%" PRIx32, v);
+  return buf;
+}
+
+// Render the r/m operand; consumes modrm/sib/disp from the cursor.
+// reg_out receives the modrm.reg field.
+std::string rm_operand(Cursor& c, unsigned& reg_out, bool byte_regs = false) {
+  const std::uint8_t modrm = c.u8();
+  const std::uint8_t mod = modrm >> 6;
+  const std::uint8_t rm = modrm & 7;
+  reg_out = (modrm >> 3) & 7;
+  if (mod == 3) return byte_regs ? kReg8[rm] : kReg32[rm];
+
+  std::string base;
+  bool have_base = true;
+  std::uint8_t sib = 0;
+  if (rm == 4) {
+    sib = c.u8();
+    const std::uint8_t index = (sib >> 3) & 7;
+    const std::uint8_t sbase = sib & 7;
+    if (sbase == 5 && mod == 0) {
+      have_base = false;
+    } else {
+      base = kReg32[sbase];
+    }
+    if (index != 4) {
+      const unsigned scale = 1u << (sib >> 6);
+      if (!base.empty()) base += "+";
+      base += kReg32[index];
+      if (scale > 1) base += "*" + std::to_string(scale);
+    }
+  } else if (rm == 5 && mod == 0) {
+    have_base = false;
+  } else {
+    base = kReg32[rm];
+  }
+
+  std::int32_t disp = 0;
+  if (mod == 1) {
+    disp = static_cast<std::int8_t>(c.u8());
+  } else if (mod == 2 || !have_base) {
+    disp = static_cast<std::int32_t>(c.u32());
+  }
+  std::string out = "[";
+  out += base;
+  if (disp != 0 || base.empty()) {
+    if (disp >= 0 && !base.empty()) out += "+";
+    out += std::to_string(disp);
+  }
+  out += "]";
+  return out;
+}
+
+std::string modrm_pair(Cursor& c, bool reg_is_dest, bool byte_regs = false) {
+  unsigned reg;
+  const std::string rm = rm_operand(c, reg, byte_regs);
+  const std::string r = byte_regs ? kReg8[reg] : kReg32[reg];
+  return reg_is_dest ? r + ", " + rm : rm + ", " + r;
+}
+
+std::string raw_bytes(std::span<const std::uint8_t> data, std::size_t n) {
+  std::string out = "db";
+  for (std::size_t i = 0; i < n && i < data.size(); ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, " 0x%02x", data[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string disassemble(std::span<const std::uint8_t> data) {
+  const InstrLayout layout = decode_layout(data);
+  Cursor c{data, 0};
+
+  // Prefixes we render inline.
+  std::string prefix;
+  bool op16 = false;
+  for (unsigned i = 0; i < layout.prefix_len; ++i) {
+    const std::uint8_t p = c.u8();
+    if (p == 0x66) op16 = true;
+    else if (p == 0xF0) prefix += "lock ";
+    else if (p == 0xF2) prefix += "repne ";
+    else if (p == 0xF3) prefix += "rep ";
+  }
+  const char* const* regs = op16 ? kReg16 : kReg32;
+
+  const std::uint8_t op = c.u8();
+  unsigned reg = 0;
+
+  // Two-byte opcodes.
+  if (op == 0x0F) {
+    const std::uint8_t op2 = c.u8();
+    if (op2 >= 0x80 && op2 <= 0x8F)
+      return prefix + "j" + kCond[op2 & 0xF] + " " +
+             std::to_string(static_cast<std::int32_t>(c.u32()));
+    if (op2 >= 0x90 && op2 <= 0x9F) {
+      const std::string rm = rm_operand(c, reg, true);
+      return prefix + "set" + kCond[op2 & 0xF] + " " + rm;
+    }
+    if (op2 >= 0x40 && op2 <= 0x4F)
+      return prefix + "cmov" + kCond[op2 & 0xF] + " " + modrm_pair(c, true);
+    switch (op2) {
+      case 0xAF: return prefix + "imul " + modrm_pair(c, true);
+      case 0xB6: case 0xB7: {
+        unsigned r;
+        const std::string rm = rm_operand(c, r, op2 == 0xB6);
+        return prefix + "movzx " + regs[r] + ", " + rm;
+      }
+      case 0xBE: case 0xBF: {
+        unsigned r;
+        const std::string rm = rm_operand(c, r, op2 == 0xBE);
+        return prefix + "movsx " + regs[r] + ", " + rm;
+      }
+      case 0xBC: return prefix + "bsf " + modrm_pair(c, true);
+      case 0xBD: return prefix + "bsr " + modrm_pair(c, true);
+      case 0xA2: return prefix + "cpuid";
+      case 0x31: return prefix + "rdtsc";
+      case 0x1F: { unsigned r; (void)rm_operand(c, r); return prefix + "nop"; }
+      default: return raw_bytes(data, layout.total);
+    }
+  }
+
+  // One-byte ALU block 0x00-0x3D.
+  if (op < 0x40) {
+    const unsigned group = op >> 3;
+    const unsigned form = op & 7;
+    if (form <= 3) {
+      const bool byte_form = (form & 1) == 0;
+      const bool reg_is_dest = (form & 2) != 0;
+      return prefix + kAluNames[group] + " " + modrm_pair(c, reg_is_dest, byte_form);
+    }
+    if (form == 4) return prefix + std::string(kAluNames[group]) + " al, " +
+                          std::to_string(c.u8());
+    if (form == 5)
+      return prefix + std::string(kAluNames[group]) + (op16 ? " ax, " : " eax, ") +
+             hex32(op16 ? c.u16() : c.u32());
+    return raw_bytes(data, layout.total);  // seg push/pop legacy slots
+  }
+
+  if (op >= 0x40 && op <= 0x47) return prefix + "inc " + regs[op & 7];
+  if (op >= 0x48 && op <= 0x4F) return prefix + "dec " + regs[op & 7];
+  if (op >= 0x50 && op <= 0x57) return prefix + "push " + regs[op & 7];
+  if (op >= 0x58 && op <= 0x5F) return prefix + "pop " + regs[op & 7];
+  if (op == 0x68) return prefix + "push " + hex32(op16 ? c.u16() : c.u32());
+  if (op == 0x69) {
+    const std::string pair = modrm_pair(c, true);
+    return prefix + "imul " + pair + ", " + hex32(op16 ? c.u16() : c.u32());
+  }
+  if (op == 0x6A) return prefix + "push " + std::to_string(static_cast<std::int8_t>(c.u8()));
+  if (op == 0x6B) {
+    const std::string pair = modrm_pair(c, true);
+    return prefix + "imul " + pair + ", " + std::to_string(static_cast<std::int8_t>(c.u8()));
+  }
+  if (op >= 0x70 && op <= 0x7F)
+    return prefix + "j" + kCond[op & 0xF] + " " +
+           std::to_string(static_cast<std::int8_t>(c.u8()));
+  if (op >= 0x80 && op <= 0x83) {
+    unsigned ext;
+    const std::string rm = rm_operand(c, ext, op == 0x80 || op == 0x82);
+    std::string imm;
+    if (op == 0x81) imm = hex32(op16 ? c.u16() : c.u32());
+    else imm = std::to_string(static_cast<std::int8_t>(c.u8()));
+    return prefix + kAluNames[ext] + " " + rm + ", " + imm;
+  }
+  if (op == 0x84 || op == 0x85) return prefix + "test " + modrm_pair(c, false, op == 0x84);
+  if (op == 0x86 || op == 0x87) return prefix + "xchg " + modrm_pair(c, false, op == 0x86);
+  if (op >= 0x88 && op <= 0x8B)
+    return prefix + "mov " + modrm_pair(c, (op & 2) != 0, (op & 1) == 0);
+  if (op == 0x8D) return prefix + "lea " + modrm_pair(c, true);
+  if (op == 0x8F) { unsigned r; return prefix + "pop " + rm_operand(c, r); }
+  if (op == 0x90) return prefix + "nop";
+  if (op >= 0x91 && op <= 0x97) return prefix + "xchg eax, " + regs[op & 7];
+  if (op == 0x98) return prefix + (op16 ? "cbw" : "cwde");
+  if (op == 0x99) return prefix + (op16 ? "cwd" : "cdq");
+  if (op == 0xA8) return prefix + "test al, " + std::to_string(c.u8());
+  if (op == 0xA9) return prefix + "test eax, " + hex32(op16 ? c.u16() : c.u32());
+  if (op >= 0xB0 && op <= 0xB7)
+    return prefix + "mov " + std::string(kReg8[op & 7]) + ", " + std::to_string(c.u8());
+  if (op >= 0xB8 && op <= 0xBF)
+    return prefix + "mov " + regs[op & 7] + ", " + hex32(op16 ? c.u16() : c.u32());
+  if (op == 0xC0 || op == 0xC1) {
+    unsigned ext;
+    const std::string rm = rm_operand(c, ext, op == 0xC0);
+    return prefix + kShiftNames[ext] + " " + rm + ", " + std::to_string(c.u8());
+  }
+  if (op == 0xC2) return prefix + "ret " + std::to_string(c.u16());
+  if (op == 0xC3) return prefix + "ret";
+  if (op == 0xC6 || op == 0xC7) {
+    unsigned ext;
+    const std::string rm = rm_operand(c, ext, op == 0xC6);
+    const std::uint32_t imm = op == 0xC6 ? c.u8() : (op16 ? c.u16() : c.u32());
+    return prefix + "mov " + rm + ", " + hex32(imm);
+  }
+  if (op == 0xC9) return prefix + "leave";
+  if (op == 0xCC) return prefix + "int3";
+  if (op == 0xCD) return prefix + "int " + std::to_string(c.u8());
+  if (op >= 0xD0 && op <= 0xD3) {
+    unsigned ext;
+    const std::string rm = rm_operand(c, ext, (op & 1) == 0);
+    return prefix + kShiftNames[ext] + " " + rm + (op >= 0xD2 ? ", cl" : ", 1");
+  }
+  if (op >= 0xD8 && op <= 0xDF) {
+    // x87: /digit selects the operation; mod=3 forms act on the FP stack.
+    const std::uint8_t modrm = c.data[c.pos];
+    const unsigned ext = (modrm >> 3) & 7;
+    if ((modrm >> 6) == 3) {
+      ++c.pos;
+      const unsigned sti = modrm & 7;
+      if (op == 0xDE && ext == 0) return prefix + "faddp st(" + std::to_string(sti) + ")";
+      if (op == 0xDE && ext == 1) return prefix + "fmulp st(" + std::to_string(sti) + ")";
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "fpu %02x %02x", op, modrm);
+      return prefix + buf;
+    }
+    unsigned reg_field;
+    const std::string rm = rm_operand(c, reg_field);
+    static const char* kD8[8] = {"fadd", "fmul", "fcom", "fcomp",
+                                 "fsub", "fsubr", "fdiv", "fdivr"};
+    if (op == 0xD8) return prefix + kD8[reg_field] + " dword " + rm;
+    if (op == 0xDC) return prefix + kD8[reg_field] + " qword " + rm;
+    if (op == 0xD9 && reg_field == 0) return prefix + "fld dword " + rm;
+    if (op == 0xD9 && reg_field == 2) return prefix + "fst dword " + rm;
+    if (op == 0xD9 && reg_field == 3) return prefix + "fstp dword " + rm;
+    if (op == 0xDD && reg_field == 0) return prefix + "fld qword " + rm;
+    if (op == 0xDD && reg_field == 2) return prefix + "fst qword " + rm;
+    if (op == 0xDD && reg_field == 3) return prefix + "fstp qword " + rm;
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "fpu %02x /%u ", op, ext);
+    return prefix + buf + rm;
+  }
+  if (op == 0xE8) return prefix + "call " + std::to_string(static_cast<std::int32_t>(c.u32()));
+  if (op == 0xE9) return prefix + "jmp " + std::to_string(static_cast<std::int32_t>(c.u32()));
+  if (op == 0xEB) return prefix + "jmp " + std::to_string(static_cast<std::int8_t>(c.u8()));
+  if (op == 0xF6 || op == 0xF7) {
+    unsigned ext;
+    const std::string rm = rm_operand(c, ext, op == 0xF6);
+    std::string out = prefix + kGroup3Names[ext] + " " + rm;
+    if (ext <= 1) out += ", " + hex32(op == 0xF6 ? c.u8() : (op16 ? c.u16() : c.u32()));
+    return out;
+  }
+  if (op == 0xFE || op == 0xFF) {
+    unsigned ext;
+    const std::string rm = rm_operand(c, ext, op == 0xFE);
+    return prefix + kGroup5Names[ext] + " " + rm;
+  }
+  return raw_bytes(data, layout.total);
+}
+
+std::string disassemble_program(std::span<const std::uint8_t> code,
+                                std::uint32_t base_address) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < code.size()) {
+    const InstrLayout layout = decode_layout(code.subspan(pos));
+    char addr[16];
+    std::snprintf(addr, sizeof addr, "%08" PRIx32 ":  ",
+                  static_cast<std::uint32_t>(base_address + pos));
+    out += addr;
+    out += disassemble(code.subspan(pos, layout.total));
+    out += '\n';
+    pos += layout.total;
+  }
+  return out;
+}
+
+}  // namespace ccomp::x86

@@ -1,0 +1,189 @@
+#include "isa/x86/x86.h"
+
+namespace ccomp::x86 {
+
+void Assembler::modrm_mem(std::uint8_t reg_field, Reg base, std::int32_t disp) {
+  // Memory operand [base + disp]. ESP needs a SIB byte; EBP with mod=00
+  // means disp32-absolute, so [ebp] is encoded as [ebp+0] with mod=01.
+  const bool need_sib = base == ESP;
+  std::uint8_t mod;
+  if (disp == 0 && base != EBP) {
+    mod = 0;
+  } else if (disp >= -128 && disp <= 127) {
+    mod = 1;
+  } else {
+    mod = 2;
+  }
+  emit8(static_cast<std::uint8_t>((mod << 6) | (reg_field << 3) | (need_sib ? 4 : base)));
+  if (need_sib) emit8(0x24);  // scale=0, index=none(100), base=esp
+  if (mod == 1) {
+    emit8(static_cast<std::uint8_t>(disp));
+  } else if (mod == 2) {
+    emit32(static_cast<std::uint32_t>(disp));
+  }
+}
+
+void Assembler::mov_r_imm32(Reg r, std::uint32_t imm) {
+  emit8(static_cast<std::uint8_t>(0xB8 + r));
+  emit32(imm);
+}
+
+void Assembler::mov_r_rm(Reg r, Reg base, std::int32_t disp) {
+  emit8(0x8B);
+  modrm_mem(r, base, disp);
+}
+
+void Assembler::mov_rm_r(Reg base, std::int32_t disp, Reg r) {
+  emit8(0x89);
+  modrm_mem(r, base, disp);
+}
+
+void Assembler::mov_r_r(Reg dst, Reg src) {
+  emit8(0x89);
+  emit8(static_cast<std::uint8_t>(0xC0 | (src << 3) | dst));
+}
+
+void Assembler::lea(Reg r, Reg base, std::int32_t disp) {
+  emit8(0x8D);
+  modrm_mem(r, base, disp);
+}
+
+void Assembler::alu_r_r(Alu op, Reg dst, Reg src) {
+  emit8(static_cast<std::uint8_t>(op + 0x01));  // op r/m32, r32
+  emit8(static_cast<std::uint8_t>(0xC0 | (src << 3) | dst));
+}
+
+void Assembler::alu_r_rm(Alu op, Reg r, Reg base, std::int32_t disp) {
+  emit8(static_cast<std::uint8_t>(op + 0x03));  // op r32, r/m32
+  modrm_mem(r, base, disp);
+}
+
+void Assembler::alu_r_imm(Alu op, Reg r, std::int32_t imm) {
+  const std::uint8_t ext = static_cast<std::uint8_t>(op >> 3);  // /digit = group index
+  if (imm >= -128 && imm <= 127) {
+    emit8(0x83);
+    emit8(static_cast<std::uint8_t>(0xC0 | (ext << 3) | r));
+    emit8(static_cast<std::uint8_t>(imm));
+  } else {
+    emit8(0x81);
+    emit8(static_cast<std::uint8_t>(0xC0 | (ext << 3) | r));
+    emit32(static_cast<std::uint32_t>(imm));
+  }
+}
+
+void Assembler::imul_r_r(Reg dst, Reg src) {
+  emit8(0x0F);
+  emit8(0xAF);
+  emit8(static_cast<std::uint8_t>(0xC0 | (dst << 3) | src));
+}
+
+void Assembler::shift_r_imm(bool right, Reg r, std::uint8_t count) {
+  emit8(0xC1);
+  emit8(static_cast<std::uint8_t>(0xC0 | ((right ? 5 : 4) << 3) | r));  // /5 shr, /4 shl
+  emit8(count);
+}
+
+void Assembler::test_r_r(Reg a, Reg b) {
+  emit8(0x85);
+  emit8(static_cast<std::uint8_t>(0xC0 | (b << 3) | a));
+}
+
+void Assembler::push_r(Reg r) { emit8(static_cast<std::uint8_t>(0x50 + r)); }
+void Assembler::pop_r(Reg r) { emit8(static_cast<std::uint8_t>(0x58 + r)); }
+
+void Assembler::push_imm8(std::int8_t imm) {
+  emit8(0x6A);
+  emit8(static_cast<std::uint8_t>(imm));
+}
+
+void Assembler::inc_r(Reg r) { emit8(static_cast<std::uint8_t>(0x40 + r)); }
+void Assembler::dec_r(Reg r) { emit8(static_cast<std::uint8_t>(0x48 + r)); }
+
+void Assembler::jcc8(std::uint8_t cond, std::int8_t rel) {
+  emit8(static_cast<std::uint8_t>(0x70 + (cond & 0x0F)));
+  emit8(static_cast<std::uint8_t>(rel));
+}
+
+void Assembler::jcc32(std::uint8_t cond, std::int32_t rel) {
+  emit8(0x0F);
+  emit8(static_cast<std::uint8_t>(0x80 + (cond & 0x0F)));
+  emit32(static_cast<std::uint32_t>(rel));
+}
+
+void Assembler::jmp8(std::int8_t rel) {
+  emit8(0xEB);
+  emit8(static_cast<std::uint8_t>(rel));
+}
+
+void Assembler::jmp32(std::int32_t rel) {
+  emit8(0xE9);
+  emit32(static_cast<std::uint32_t>(rel));
+}
+
+void Assembler::call_rel32(std::int32_t rel) {
+  emit8(0xE8);
+  emit32(static_cast<std::uint32_t>(rel));
+}
+
+void Assembler::ret() { emit8(0xC3); }
+void Assembler::leave() { emit8(0xC9); }
+void Assembler::nop() { emit8(0x90); }
+
+void Assembler::movzx_r_rm8(Reg r, Reg base, std::int32_t disp) {
+  emit8(0x0F);
+  emit8(0xB6);
+  modrm_mem(r, base, disp);
+}
+
+void Assembler::setcc(std::uint8_t cond, Reg r) {
+  emit8(0x0F);
+  emit8(static_cast<std::uint8_t>(0x90 + (cond & 0x0F)));
+  emit8(static_cast<std::uint8_t>(0xC0 | r));
+}
+
+void Assembler::cmov(std::uint8_t cond, Reg dst, Reg src) {
+  emit8(0x0F);
+  emit8(static_cast<std::uint8_t>(0x40 + (cond & 0x0F)));
+  emit8(static_cast<std::uint8_t>(0xC0 | (dst << 3) | src));
+}
+
+void Assembler::xchg_r_r(Reg a, Reg b) {
+  emit8(0x87);
+  emit8(static_cast<std::uint8_t>(0xC0 | (b << 3) | a));
+}
+
+void Assembler::fld_mem(Reg base, std::int32_t disp) {
+  emit8(0xD9);
+  modrm_mem(0, base, disp);
+}
+
+void Assembler::fstp_mem(Reg base, std::int32_t disp) {
+  emit8(0xD9);
+  modrm_mem(3, base, disp);
+}
+
+void Assembler::fadd_mem(Reg base, std::int32_t disp) {
+  emit8(0xD8);
+  modrm_mem(0, base, disp);
+}
+
+void Assembler::fmul_mem(Reg base, std::int32_t disp) {
+  emit8(0xD8);
+  modrm_mem(1, base, disp);
+}
+
+void Assembler::faddp() {
+  emit8(0xDE);
+  emit8(0xC1);
+}
+
+void Assembler::fmulp() {
+  emit8(0xDE);
+  emit8(0xC9);
+}
+
+void Assembler::db(std::span<const std::uint8_t> bytes) {
+  code_.insert(code_.end(), bytes.begin(), bytes.end());
+}
+
+}  // namespace ccomp::x86

@@ -1,0 +1,298 @@
+#include "isa/x86/x86.h"
+
+#include <array>
+
+namespace ccomp::x86 {
+namespace {
+
+// Per-opcode attribute flags for the length decoder.
+enum : std::uint8_t {
+  kNone = 0,
+  kModRM = 1 << 0,
+  kImm8 = 1 << 1,   // ib / rel8
+  kImmZ = 1 << 2,   // iz / relz: 4 bytes (2 with operand-size prefix)
+  kImm16 = 1 << 3,  // iw
+  kEscape = 1 << 4,  // 0F two-byte opcode
+  kPrefix = 1 << 5,  // legacy prefix byte
+  kGroup3 = 1 << 6,  // F6/F7: immediate present iff modrm.reg in {0,1}
+  kInvalid = 1 << 7,
+};
+
+using Table = std::array<std::uint8_t, 256>;
+
+constexpr Table build_one_byte_table() {
+  Table t{};
+  for (auto& e : t) e = kInvalid;
+  // 0x00-0x3F: eight ALU groups of six encodings + two legacy slots.
+  for (unsigned g = 0; g < 8; ++g) {
+    const unsigned base = g * 8;
+    t[base + 0] = kModRM;  // op r/m8, r8
+    t[base + 1] = kModRM;  // op r/m32, r32
+    t[base + 2] = kModRM;  // op r8, r/m8
+    t[base + 3] = kModRM;  // op r32, r/m32
+    t[base + 4] = kImm8;   // op al, ib
+    t[base + 5] = kImmZ;   // op eax, iz
+  }
+  // Legacy push/pop seg and BCD slots.
+  t[0x06] = kNone; t[0x07] = kNone; t[0x0E] = kNone; t[0x0F] = kEscape;
+  t[0x16] = kNone; t[0x17] = kNone; t[0x1E] = kNone; t[0x1F] = kNone;
+  t[0x26] = kPrefix; t[0x27] = kNone; t[0x2E] = kPrefix; t[0x2F] = kNone;
+  t[0x36] = kPrefix; t[0x37] = kNone; t[0x3E] = kPrefix; t[0x3F] = kNone;
+  for (unsigned i = 0x40; i <= 0x5F; ++i) t[i] = kNone;  // inc/dec/push/pop r32
+  t[0x60] = kNone; t[0x61] = kNone;
+  t[0x62] = kModRM;  // bound
+  t[0x63] = kModRM;  // arpl
+  t[0x64] = kPrefix; t[0x65] = kPrefix;  // fs/gs
+  t[0x66] = kPrefix;                      // operand size
+  t[0x67] = kInvalid;                     // address size: unsupported (16-bit forms)
+  t[0x68] = kImmZ;                        // push iz
+  t[0x69] = kModRM | kImmZ;               // imul r, r/m, iz
+  t[0x6A] = kImm8;                        // push ib
+  t[0x6B] = kModRM | kImm8;               // imul r, r/m, ib
+  t[0x6C] = kNone; t[0x6D] = kNone; t[0x6E] = kNone; t[0x6F] = kNone;  // ins/outs
+  for (unsigned i = 0x70; i <= 0x7F; ++i) t[i] = kImm8;  // jcc rel8
+  t[0x80] = kModRM | kImm8;
+  t[0x81] = kModRM | kImmZ;
+  t[0x82] = kModRM | kImm8;
+  t[0x83] = kModRM | kImm8;
+  t[0x84] = kModRM; t[0x85] = kModRM;  // test
+  t[0x86] = kModRM; t[0x87] = kModRM;  // xchg
+  for (unsigned i = 0x88; i <= 0x8B; ++i) t[i] = kModRM;  // mov
+  t[0x8C] = kModRM; t[0x8D] = kModRM; t[0x8E] = kModRM; t[0x8F] = kModRM;
+  for (unsigned i = 0x90; i <= 0x99; ++i) t[i] = kNone;  // xchg/cwde/cdq
+  t[0x9A] = kInvalid;  // call far ptr16:32 — not generated
+  for (unsigned i = 0x9B; i <= 0x9F; ++i) t[i] = kNone;
+  t[0xA0] = kImmZ; t[0xA1] = kImmZ; t[0xA2] = kImmZ; t[0xA3] = kImmZ;  // mov moffs (addr32)
+  for (unsigned i = 0xA4; i <= 0xA7; ++i) t[i] = kNone;  // movs/cmps
+  t[0xA8] = kImm8; t[0xA9] = kImmZ;  // test al/eax, imm
+  for (unsigned i = 0xAA; i <= 0xAF; ++i) t[i] = kNone;  // stos/lods/scas
+  for (unsigned i = 0xB0; i <= 0xB7; ++i) t[i] = kImm8;  // mov r8, ib
+  for (unsigned i = 0xB8; i <= 0xBF; ++i) t[i] = kImmZ;  // mov r32, iz
+  t[0xC0] = kModRM | kImm8; t[0xC1] = kModRM | kImm8;  // shift groups
+  t[0xC2] = kImm16;  // ret iw
+  t[0xC3] = kNone;
+  t[0xC4] = kModRM; t[0xC5] = kModRM;  // les/lds
+  t[0xC6] = kModRM | kImm8; t[0xC7] = kModRM | kImmZ;  // mov r/m, imm
+  t[0xC8] = kImm16 | kImm8;  // enter iw, ib
+  t[0xC9] = kNone;           // leave
+  t[0xCA] = kImm16; t[0xCB] = kNone; t[0xCC] = kNone; t[0xCD] = kImm8;
+  t[0xCE] = kNone; t[0xCF] = kNone;
+  for (unsigned i = 0xD0; i <= 0xD3; ++i) t[i] = kModRM;  // shift by 1/cl
+  t[0xD4] = kImm8; t[0xD5] = kImm8; t[0xD6] = kNone; t[0xD7] = kNone;
+  for (unsigned i = 0xD8; i <= 0xDF; ++i) t[i] = kModRM;  // x87
+  for (unsigned i = 0xE0; i <= 0xE3; ++i) t[i] = kImm8;  // loop/jecxz
+  t[0xE4] = kImm8; t[0xE5] = kImm8; t[0xE6] = kImm8; t[0xE7] = kImm8;  // in/out
+  t[0xE8] = kImmZ; t[0xE9] = kImmZ;  // call/jmp rel32
+  t[0xEA] = kInvalid;  // jmp far
+  t[0xEB] = kImm8;     // jmp rel8
+  t[0xEC] = kNone; t[0xED] = kNone; t[0xEE] = kNone; t[0xEF] = kNone;
+  t[0xF0] = kPrefix;   // lock
+  t[0xF1] = kNone;
+  t[0xF2] = kPrefix; t[0xF3] = kPrefix;  // repne/rep
+  t[0xF4] = kNone; t[0xF5] = kNone;
+  t[0xF6] = kModRM | kGroup3; t[0xF7] = kModRM | kGroup3;
+  t[0xF8] = kNone; t[0xF9] = kNone; t[0xFA] = kNone; t[0xFB] = kNone;
+  t[0xFC] = kNone; t[0xFD] = kNone;
+  t[0xFE] = kModRM; t[0xFF] = kModRM;
+  return t;
+}
+
+constexpr Table build_two_byte_table() {
+  Table t{};
+  for (auto& e : t) e = kInvalid;
+  t[0x1F] = kModRM;  // long nop
+  t[0x31] = kNone;   // rdtsc
+  t[0xA2] = kNone;   // cpuid
+  for (unsigned i = 0x40; i <= 0x4F; ++i) t[i] = kModRM;  // cmovcc
+  for (unsigned i = 0x80; i <= 0x8F; ++i) t[i] = kImmZ;   // jcc rel32
+  for (unsigned i = 0x90; i <= 0x9F; ++i) t[i] = kModRM;  // setcc
+  t[0xA3] = kModRM;                  // bt
+  t[0xA4] = kModRM | kImm8;          // shld ib
+  t[0xA5] = kModRM;                  // shld cl
+  t[0xAB] = kModRM;                  // bts
+  t[0xAC] = kModRM | kImm8;          // shrd ib
+  t[0xAD] = kModRM;                  // shrd cl
+  t[0xAF] = kModRM;                  // imul r, r/m
+  t[0xB3] = kModRM;                  // btr
+  t[0xB6] = kModRM; t[0xB7] = kModRM;  // movzx
+  t[0xBA] = kModRM | kImm8;          // bt group, imm8
+  t[0xBB] = kModRM;                  // btc
+  t[0xBC] = kModRM; t[0xBD] = kModRM;  // bsf/bsr
+  t[0xBE] = kModRM; t[0xBF] = kModRM;  // movsx
+  t[0xC8 + 0] = kNone;               // bswap eax..edi
+  t[0xC9] = kNone; t[0xCA] = kNone; t[0xCB] = kNone;
+  t[0xCC] = kNone; t[0xCD] = kNone; t[0xCE] = kNone; t[0xCF] = kNone;
+  return t;
+}
+
+const Table kOneByte = build_one_byte_table();
+const Table kTwoByte = build_two_byte_table();
+
+}  // namespace
+
+InstrLayout decode_layout(std::span<const std::uint8_t> data) {
+  InstrLayout layout;
+  std::size_t pos = 0;
+  auto need = [&](std::size_t n) {
+    if (pos + n > data.size()) throw DecodeError("x86 instruction truncated");
+  };
+
+  // Legacy prefixes (at most 4 in real code; we allow up to 8 defensively).
+  bool operand_size_16 = false;
+  while (true) {
+    need(1);
+    const std::uint8_t b = data[pos];
+    if (!(kOneByte[b] & kPrefix)) break;
+    if (b == 0x66) operand_size_16 = true;
+    ++pos;
+    ++layout.prefix_len;
+    if (layout.prefix_len > 8) throw DecodeError("x86 prefix run too long");
+  }
+
+  need(1);
+  std::uint8_t opcode = data[pos++];
+  std::uint8_t attrs;
+  if (kOneByte[opcode] & kEscape) {
+    need(1);
+    opcode = data[pos++];
+    attrs = kTwoByte[opcode];
+    layout.opcode_len = 2;
+  } else {
+    attrs = kOneByte[opcode];
+    layout.opcode_len = 1;
+  }
+  if (attrs & kInvalid) throw DecodeError("unsupported x86 opcode");
+
+  std::uint8_t modrm = 0;
+  if (attrs & kModRM) {
+    need(1);
+    modrm = data[pos++];
+    layout.modrm_len = 1;
+    const std::uint8_t mod = modrm >> 6;
+    const std::uint8_t rm = modrm & 7;
+    if (mod != 3) {
+      std::uint8_t sib_base = 0xFF;
+      if (rm == 4) {  // SIB follows
+        need(1);
+        sib_base = data[pos++] & 7;
+        layout.modrm_len = 2;
+      }
+      if (mod == 1) {
+        layout.disp_len = 1;
+      } else if (mod == 2) {
+        layout.disp_len = 4;
+      } else {  // mod == 0
+        if (rm == 5 || (rm == 4 && sib_base == 5)) layout.disp_len = 4;
+      }
+    }
+  }
+
+  // Immediates.
+  unsigned imm = 0;
+  if (attrs & kGroup3) {
+    // F6/F7 TEST forms (/0, /1) carry an immediate; the rest do not.
+    const std::uint8_t reg = (modrm >> 3) & 7;
+    if (reg <= 1) imm += (opcode == 0xF6) ? 1 : (operand_size_16 ? 2 : 4);
+  }
+  if (attrs & kImm16) imm += 2;
+  if (attrs & kImm8) imm += 1;
+  if (attrs & kImmZ) imm += operand_size_16 ? 2 : 4;
+  layout.imm_len = static_cast<std::uint8_t>(imm);
+
+  need(imm + layout.disp_len);
+  layout.total = static_cast<std::uint8_t>(layout.prefix_len + layout.opcode_len +
+                                           layout.modrm_len + layout.disp_len + layout.imm_len);
+  return layout;
+}
+
+OpcodeClass classify_opcode(std::span<const std::uint8_t> opcode_bytes) {
+  OpcodeClass cls;
+  std::size_t pos = 0;
+  bool operand_size_16 = false;
+  while (pos < opcode_bytes.size() && (kOneByte[opcode_bytes[pos]] & kPrefix)) {
+    if (opcode_bytes[pos] == 0x66) operand_size_16 = true;
+    ++pos;
+  }
+  if (pos >= opcode_bytes.size()) throw DecodeError("opcode byte group has no opcode");
+  std::uint8_t opcode = opcode_bytes[pos++];
+  std::uint8_t attrs;
+  if (kOneByte[opcode] & kEscape) {
+    if (pos >= opcode_bytes.size()) throw DecodeError("truncated two-byte opcode");
+    opcode = opcode_bytes[pos++];
+    attrs = kTwoByte[opcode];
+  } else {
+    attrs = kOneByte[opcode];
+  }
+  if (attrs & kInvalid) throw DecodeError("unsupported x86 opcode");
+  if (pos != opcode_bytes.size()) throw DecodeError("trailing bytes in opcode group");
+  cls.has_modrm = (attrs & kModRM) != 0;
+  cls.group3 = (attrs & kGroup3) != 0;
+  if (attrs & kImm16) cls.imm_bytes += 2;
+  if (attrs & kImm8) cls.imm_bytes += 1;
+  if (attrs & kImmZ) cls.imm_bytes += operand_size_16 ? 2 : 4;
+  if (cls.group3) cls.group3_imm_bytes = (opcode == 0xF6) ? 1 : (operand_size_16 ? 2 : 4);
+  return cls;
+}
+
+bool is_prefix_byte(std::uint8_t byte) { return (kOneByte[byte] & kPrefix) != 0; }
+
+bool modrm_has_sib(std::uint8_t modrm) {
+  return (modrm >> 6) != 3 && (modrm & 7) == 4;
+}
+
+unsigned modrm_disp_bytes(std::uint8_t modrm, std::uint8_t sib) {
+  const std::uint8_t mod = modrm >> 6;
+  const std::uint8_t rm = modrm & 7;
+  if (mod == 3) return 0;
+  if (mod == 1) return 1;
+  if (mod == 2) return 4;
+  // mod == 0
+  if (rm == 5) return 4;
+  if (rm == 4 && (sib & 7) == 5) return 4;
+  return 0;
+}
+
+std::vector<InstrLayout> decode_all(std::span<const std::uint8_t> code) {
+  std::vector<InstrLayout> layouts;
+  std::size_t pos = 0;
+  while (pos < code.size()) {
+    const InstrLayout l = decode_layout(code.subspan(pos));
+    layouts.push_back(l);
+    pos += l.total;
+  }
+  return layouts;
+}
+
+StreamSplit split_streams(std::span<const std::uint8_t> code) {
+  StreamSplit split;
+  split.layouts = decode_all(code);
+  std::size_t pos = 0;
+  for (const InstrLayout& l : split.layouts) {
+    const std::size_t opcode_bytes = static_cast<std::size_t>(l.prefix_len) + l.opcode_len;
+    for (std::size_t i = 0; i < opcode_bytes; ++i) split.opcode.push_back(code[pos + i]);
+    for (std::size_t i = 0; i < l.modrm_len; ++i)
+      split.modrm.push_back(code[pos + opcode_bytes + i]);
+    const std::size_t tail = pos + opcode_bytes + l.modrm_len;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(l.disp_len) + l.imm_len; ++i)
+      split.imm.push_back(code[tail + i]);
+    pos += l.total;
+  }
+  return split;
+}
+
+std::vector<std::uint8_t> merge_streams(const StreamSplit& split) {
+  std::vector<std::uint8_t> code;
+  std::size_t op = 0, mo = 0, im = 0;
+  for (const InstrLayout& l : split.layouts) {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(l.prefix_len) + l.opcode_len; ++i)
+      code.push_back(split.opcode.at(op++));
+    for (std::size_t i = 0; i < l.modrm_len; ++i) code.push_back(split.modrm.at(mo++));
+    for (std::size_t i = 0; i < static_cast<std::size_t>(l.disp_len) + l.imm_len; ++i)
+      code.push_back(split.imm.at(im++));
+  }
+  if (op != split.opcode.size() || mo != split.modrm.size() || im != split.imm.size())
+    throw CorruptDataError("x86 stream lengths inconsistent with layouts");
+  return code;
+}
+
+}  // namespace ccomp::x86

@@ -1,0 +1,151 @@
+// IA-32 (Pentium Pro era) instruction-length decoder and stream splitter.
+//
+// The paper's Pentium experiments divide code into three byte-aligned
+// streams: opcode bytes (including prefixes), ModRM+SIB bytes, and
+// immediate+displacement bytes. Splitting requires knowing each
+// instruction's layout, which for x86 means a real length decoder:
+// prefixes, one- and two-byte opcodes, ModRM/SIB addressing forms, and
+// per-opcode immediate sizes. This module implements that decoder for the
+// integer subset of IA-32 in 32-bit mode (16-bit address-size override is
+// rejected; nothing in the workload generator emits it).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace ccomp::x86 {
+
+/// Byte-level layout of one instruction.
+struct InstrLayout {
+  std::uint8_t total = 0;       // full instruction length in bytes
+  std::uint8_t prefix_len = 0;  // legacy prefixes (lock/rep/66/seg)
+  std::uint8_t opcode_len = 0;  // 1 or 2 (0F xx)
+  std::uint8_t modrm_len = 0;   // ModRM byte + optional SIB byte (0..2)
+  std::uint8_t disp_len = 0;    // 0,1,2,4
+  std::uint8_t imm_len = 0;     // 0,1,2,3,4,6
+};
+
+/// Decode the layout of the instruction starting at data[0].
+/// Throws DecodeError on unsupported or truncated encodings.
+InstrLayout decode_layout(std::span<const std::uint8_t> data);
+
+/// Walk a code buffer instruction by instruction.
+/// Throws DecodeError if any instruction fails to parse.
+std::vector<InstrLayout> decode_all(std::span<const std::uint8_t> code);
+
+/// The paper's three Pentium streams plus the layout list needed to invert
+/// the split. Stream order within each instruction: prefixes+opcode ->
+/// opcode stream; modrm+sib -> modrm stream; disp then imm -> imm stream.
+struct StreamSplit {
+  std::vector<std::uint8_t> opcode;
+  std::vector<std::uint8_t> modrm;
+  std::vector<std::uint8_t> imm;  // displacement bytes then immediate bytes
+  std::vector<InstrLayout> layouts;
+};
+
+StreamSplit split_streams(std::span<const std::uint8_t> code);
+
+/// Exact inverse of split_streams.
+std::vector<std::uint8_t> merge_streams(const StreamSplit& split);
+
+/// Stream-wise reassembly support (used by the SADC/x86 decompressor, which
+/// holds the opcode bytes but must learn displacement/immediate lengths as
+/// it consumes the ModRM stream): attributes derivable from the
+/// prefix+opcode byte group alone.
+struct OpcodeClass {
+  bool has_modrm = false;
+  bool group3 = false;            // F6/F7: immediate present iff modrm.reg <= 1
+  unsigned imm_bytes = 0;         // fixed immediate bytes (operand size applied)
+  unsigned group3_imm_bytes = 0;  // extra immediate bytes when modrm.reg <= 1
+};
+OpcodeClass classify_opcode(std::span<const std::uint8_t> opcode_bytes);
+
+/// Is `byte` a legacy prefix (lock/rep/seg/operand-size)?
+bool is_prefix_byte(std::uint8_t byte);
+
+/// Is `byte` the two-byte-opcode escape (0F)?
+inline bool is_escape_byte(std::uint8_t byte) { return byte == 0x0F; }
+
+/// Whether a SIB byte follows this ModRM byte (32-bit addressing).
+bool modrm_has_sib(std::uint8_t modrm);
+
+/// Disassemble the instruction at data[0] (must parse under decode_layout).
+/// Covers the integer subset this library generates; anything else renders
+/// as raw "db" bytes rather than failing.
+std::string disassemble(std::span<const std::uint8_t> data);
+
+/// Disassemble a whole buffer with addresses.
+std::string disassemble_program(std::span<const std::uint8_t> code,
+                                std::uint32_t base_address = 0);
+
+/// Displacement bytes implied by a ModRM (+SIB, pass 0 when absent) pair.
+unsigned modrm_disp_bytes(std::uint8_t modrm, std::uint8_t sib);
+
+/// Minimal IA-32 assembler used by the synthetic workload generator. Emits
+/// only encodings decode_layout() understands; the generator/decoder pair is
+/// round-trip tested.
+class Assembler {
+ public:
+  enum Reg : std::uint8_t { EAX = 0, ECX, EDX, EBX, ESP, EBP, ESI, EDI };
+  // ALU /r opcode bases (op r32, r/m32 form = base + 3).
+  enum Alu : std::uint8_t { ADD = 0x00, OR = 0x08, ADC = 0x10, SBB = 0x18,
+                            AND = 0x20, SUB = 0x28, XOR = 0x30, CMP = 0x38 };
+
+  const std::vector<std::uint8_t>& code() const { return code_; }
+  std::vector<std::uint8_t> take() { return std::move(code_); }
+  std::size_t size() const { return code_.size(); }
+
+  void mov_r_imm32(Reg r, std::uint32_t imm);              // B8+r id
+  void mov_r_rm(Reg r, Reg base, std::int32_t disp);       // 8B /r [base+disp]
+  void mov_rm_r(Reg base, std::int32_t disp, Reg r);       // 89 /r
+  void mov_r_r(Reg dst, Reg src);                          // 89 /r (reg form)
+  void lea(Reg r, Reg base, std::int32_t disp);            // 8D /r
+  void alu_r_r(Alu op, Reg dst, Reg src);                  // op r/m32, r32
+  void alu_r_rm(Alu op, Reg r, Reg base, std::int32_t disp);
+  void alu_r_imm(Alu op, Reg r, std::int32_t imm);         // 83 /op ib or 81 /op id
+  void imul_r_r(Reg dst, Reg src);                         // 0F AF /r
+  void shift_r_imm(bool right, Reg r, std::uint8_t count); // C1 /4 or /5 ib
+  void test_r_r(Reg a, Reg b);                             // 85 /r
+  void push_r(Reg r);                                      // 50+r
+  void pop_r(Reg r);                                       // 58+r
+  void push_imm8(std::int8_t imm);                         // 6A ib
+  void inc_r(Reg r);                                       // 40+r
+  void dec_r(Reg r);                                       // 48+r
+  void jcc8(std::uint8_t cond, std::int8_t rel);           // 70+cond cb
+  void jcc32(std::uint8_t cond, std::int32_t rel);         // 0F 80+cond cd
+  void jmp8(std::int8_t rel);                              // EB cb
+  void jmp32(std::int32_t rel);                            // E9 cd
+  void call_rel32(std::int32_t rel);                       // E8 cd
+  void ret();                                              // C3
+  void leave();                                            // C9
+  void nop();                                              // 90
+  void movzx_r_rm8(Reg r, Reg base, std::int32_t disp);    // 0F B6 /r
+  void setcc(std::uint8_t cond, Reg r);                    // 0F 90+cond /r (r/m8)
+  void cmov(std::uint8_t cond, Reg dst, Reg src);          // 0F 40+cond /r
+  void xchg_r_r(Reg a, Reg b);                             // 87 /r
+  // x87 floating point (what Pentium-era SPECfp code is made of).
+  void fld_mem(Reg base, std::int32_t disp);   // D9 /0  fld dword [..]
+  void fstp_mem(Reg base, std::int32_t disp);  // D9 /3  fstp dword [..]
+  void fadd_mem(Reg base, std::int32_t disp);  // D8 /0
+  void fmul_mem(Reg base, std::int32_t disp);  // D8 /1
+  void faddp();                                // DE C1
+  void fmulp();                                // DE C9
+
+  /// `.byte` directive: append raw, already-encoded instruction bytes
+  /// (used when duplicating a previously assembled region).
+  void db(std::span<const std::uint8_t> bytes);
+
+ private:
+  void modrm_mem(std::uint8_t reg_field, Reg base, std::int32_t disp);
+  void emit8(std::uint8_t b) { code_.push_back(b); }
+  void emit32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) emit8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  std::vector<std::uint8_t> code_;
+};
+
+}  // namespace ccomp::x86

@@ -1,0 +1,52 @@
+#include "memsys/cache.h"
+
+namespace ccomp::memsys {
+namespace {
+
+bool is_pow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+ICache::ICache(const CacheConfig& config) : config_(config) {
+  if (!is_pow2(config_.line_bytes) || config_.line_bytes < 4)
+    throw ConfigError("cache line size must be a power of two >= 4");
+  if (config_.associativity == 0) throw ConfigError("associativity must be nonzero");
+  if (config_.size_bytes % (config_.line_bytes * config_.associativity) != 0)
+    throw ConfigError("cache size must be divisible by line_bytes * associativity");
+  sets_ = config_.size_bytes / (config_.line_bytes * config_.associativity);
+  if (!is_pow2(sets_)) throw ConfigError("number of sets must be a power of two");
+  ways_.assign(static_cast<std::size_t>(sets_) * config_.associativity, Way{});
+}
+
+bool ICache::access(std::uint32_t address) {
+  ++stats_.accesses;
+  ++clock_;
+  const std::uint64_t line = address / config_.line_bytes;
+  const std::uint32_t set = static_cast<std::uint32_t>(line) & (sets_ - 1);
+  const std::uint64_t tag = line / sets_;
+  Way* base = &ways_[static_cast<std::size_t>(set) * config_.associativity];
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.last_use = clock_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.last_use < victim->last_use) {
+      victim = &way;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = clock_;
+  return false;
+}
+
+void ICache::flush() {
+  for (Way& way : ways_) way.valid = false;
+}
+
+}  // namespace ccomp::memsys

@@ -1,0 +1,58 @@
+// Set-associative instruction cache with true-LRU replacement.
+//
+// In the Wolfe/Chanin organisation the I-cache holds *decompressed* lines
+// and acts as the decompression buffer: a hit costs one cycle, a miss
+// triggers the refill engine. The cache is a pure hit/miss model — line
+// contents are never stored because the simulator only needs the miss
+// stream and the refill costs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.h"
+
+namespace ccomp::memsys {
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 8 * 1024;
+  std::uint32_t line_bytes = 32;
+  std::uint32_t associativity = 2;
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  double miss_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+};
+
+class ICache {
+ public:
+  explicit ICache(const CacheConfig& config);
+
+  /// Access one instruction address. Returns true on hit; on miss the line
+  /// is brought in (evicting the set's LRU way).
+  bool access(std::uint32_t address);
+
+  /// Invalidate everything (keeps statistics).
+  void flush();
+
+  const CacheConfig& config() const { return config_; }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    std::uint64_t last_use = 0;
+  };
+  CacheConfig config_;
+  CacheStats stats_;
+  std::vector<Way> ways_;  // sets_ x associativity, row-major
+  std::uint32_t sets_ = 1;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace ccomp::memsys

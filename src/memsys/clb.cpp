@@ -1,0 +1,38 @@
+#include "memsys/clb.h"
+
+namespace ccomp::memsys {
+
+Clb::Clb(const ClbConfig& config) : config_(config) {
+  if (config_.entries == 0 || config_.blocks_per_entry == 0)
+    throw ConfigError("CLB needs nonzero entries and group size");
+  entries_.assign(config_.entries, Entry{});
+}
+
+bool Clb::access(std::uint64_t block_index) {
+  ++stats_.lookups;
+  ++clock_;
+  const std::uint64_t group = block_index / config_.blocks_per_entry;
+  Entry* victim = &entries_[0];
+  for (Entry& e : entries_) {
+    if (e.valid && e.group == group) {
+      e.last_use = clock_;
+      return true;
+    }
+    if (!e.valid) {
+      if (victim->valid) victim = &e;
+    } else if (victim->valid && e.last_use < victim->last_use) {
+      victim = &e;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->group = group;
+  victim->last_use = clock_;
+  return false;
+}
+
+void Clb::flush() {
+  for (Entry& e : entries_) e.valid = false;
+}
+
+}  // namespace ccomp::memsys

@@ -1,0 +1,55 @@
+// CLB — Cache Line Address Lookaside Buffer (paper Sec. 2).
+//
+// The LAT lives in main memory next to the compressed code; reading it on
+// every miss would add a memory access to the refill path. The CLB caches
+// recently used LAT entries exactly like a TLB caches page-table entries:
+// fully associative, LRU. Each entry covers one LAT *group* (8 consecutive
+// blocks — the granularity at which the serialized LAT stores an absolute
+// anchor), so sequential misses hit the CLB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.h"
+
+namespace ccomp::memsys {
+
+struct ClbConfig {
+  std::uint32_t entries = 16;
+  std::uint32_t blocks_per_entry = 8;  // LAT group size
+};
+
+struct ClbStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t misses = 0;
+  double hit_rate() const {
+    return lookups == 0 ? 0.0
+                        : 1.0 - static_cast<double>(misses) / static_cast<double>(lookups);
+  }
+};
+
+class Clb {
+ public:
+  explicit Clb(const ClbConfig& config);
+
+  /// Look up the LAT group covering `block_index`; inserts on miss.
+  /// Returns true on hit.
+  bool access(std::uint64_t block_index);
+
+  void flush();
+  const ClbStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::uint64_t group = 0;
+    bool valid = false;
+    std::uint64_t last_use = 0;
+  };
+  ClbConfig config_;
+  ClbStats stats_;
+  std::vector<Entry> entries_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace ccomp::memsys

@@ -1,0 +1,71 @@
+#include "memsys/functional.h"
+
+#include "support/error.h"
+
+namespace ccomp::memsys {
+
+FunctionalMemorySystem::FunctionalMemorySystem(const CacheConfig& cache_config,
+                                               const core::BlockCodec& codec,
+                                               const core::CompressedImage& image)
+    : image_(&image),
+      decompressor_(codec.make_decompressor(image)),
+      cache_(std::make_unique<ICache>(cache_config)),
+      line_bytes_(cache_config.line_bytes),
+      ways_(cache_config.associativity) {
+  if (image.has_variable_blocks())
+    throw ConfigError("functional memory system needs address-aligned blocks");
+  if (image.block_size() != line_bytes_)
+    throw ConfigError("image block size must equal the cache line size");
+  sets_ = cache_config.size_bytes / (line_bytes_ * ways_);
+  lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+}
+
+FunctionalMemorySystem::Line& FunctionalMemorySystem::lookup(std::uint32_t address) {
+  cache_->access(address);  // keep the stats model in sync
+  ++clock_;
+  const std::uint64_t line_index = address / line_bytes_;
+  const std::uint32_t set = static_cast<std::uint32_t>(line_index) & (sets_ - 1);
+  const std::uint64_t tag = line_index / sets_;
+  Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.last_use = clock_;
+      return line;
+    }
+    if (!line.valid) {
+      if (victim->valid) victim = &line;
+    } else if (victim->valid && line.last_use < victim->last_use) {
+      victim = &line;
+    }
+  }
+  // Miss: run the refill engine.
+  const std::size_t block = line_index;
+  if (block >= image_->block_count()) throw ConfigError("fetch outside the program");
+  ++refills_;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = clock_;
+  victim->bytes = decompressor_->block(block);
+  return *victim;
+}
+
+std::uint32_t FunctionalMemorySystem::fetch(std::uint32_t address) {
+  if (address % 4 != 0) throw ConfigError("instruction fetch must be word aligned");
+  const Line& line = lookup(address);
+  const std::uint32_t offset = address % line_bytes_;
+  if (offset + 4 > line.bytes.size()) throw ConfigError("fetch beyond program end");
+  std::uint32_t word = 0;
+  for (int b = 3; b >= 0; --b) word = (word << 8) | line.bytes[offset + static_cast<unsigned>(b)];
+  return word;
+}
+
+std::uint8_t FunctionalMemorySystem::fetch_byte(std::uint32_t address) {
+  const Line& line = lookup(address);
+  const std::uint32_t offset = address % line_bytes_;
+  if (offset >= line.bytes.size()) throw ConfigError("fetch beyond program end");
+  return line.bytes[offset];
+}
+
+}  // namespace ccomp::memsys

@@ -1,0 +1,58 @@
+// Functional model of the Wolfe/Chanin compressed-code memory system.
+//
+// Where sim.h only accounts cycles/energy, this model actually *runs*: the
+// I-cache stores decompressed line bytes, and a miss invokes the real
+// BlockDecompressor (the refill engine) on the real CompressedImage. A
+// fetch returns the instruction word the CPU would see, so tests can prove
+// end-to-end that a processor executing from the compressed system observes
+// exactly the original program, fetch by fetch, in any access order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/codec.h"
+#include "memsys/cache.h"
+
+namespace ccomp::memsys {
+
+class FunctionalMemorySystem {
+ public:
+  /// `image` must use uniform blocks equal to the cache line size and must
+  /// outlive this object. `codec` builds the refill engine's decompressor.
+  FunctionalMemorySystem(const CacheConfig& cache_config, const core::BlockCodec& codec,
+                         const core::CompressedImage& image);
+
+  /// Fetch the 32-bit instruction word at `address` (must be word-aligned
+  /// and inside the program). Refills through the decompressor on a miss.
+  std::uint32_t fetch(std::uint32_t address);
+
+  /// Fetch a single code byte.
+  std::uint8_t fetch_byte(std::uint32_t address);
+
+  const CacheStats& cache_stats() const { return cache_->stats(); }
+  std::uint64_t refills() const { return refills_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    std::uint64_t last_use = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  Line& lookup(std::uint32_t address);
+
+  const core::CompressedImage* image_;
+  std::unique_ptr<core::BlockDecompressor> decompressor_;
+  std::unique_ptr<ICache> cache_;  // hit/miss bookkeeping (stats only)
+  std::vector<Line> lines_;        // actual decompressed contents
+  std::uint32_t line_bytes_;
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t refills_ = 0;
+};
+
+}  // namespace ccomp::memsys

@@ -1,0 +1,87 @@
+#include "memsys/sim.h"
+
+namespace ccomp::memsys {
+
+SimResult simulate_uncompressed(const SimConfig& config,
+                                std::span<const std::uint32_t> trace) {
+  ICache cache(config.cache);
+  SimResult result;
+  const std::uint64_t refill_cycles =
+      config.refill.memory_latency +
+      static_cast<std::uint64_t>(config.cache.line_bytes) * config.refill.cycles_per_byte;
+  const double refill_energy =
+      config.energy.memory_access_nj +
+      config.energy.memory_byte_nj * static_cast<double>(config.cache.line_bytes);
+  for (const std::uint32_t address : trace) {
+    ++result.accesses;
+    result.fetch_energy_nj += config.energy.cache_hit_nj;
+    if (cache.access(address)) {
+      result.fetch_cycles += 1;
+    } else {
+      ++result.misses;
+      result.fetch_cycles += 1 + refill_cycles;
+      result.fetch_energy_nj += refill_energy;
+    }
+  }
+  return result;
+}
+
+SimResult simulate_compressed(const SimConfig& config, std::span<const std::uint32_t> trace,
+                              const core::CompressedImage& image) {
+  if (image.block_size() != config.cache.line_bytes)
+    throw ConfigError("image block size must equal the cache line size");
+  if (image.has_variable_blocks())
+    throw ConfigError("the memory-system model needs address-aligned (uniform) blocks");
+
+  ICache cache(config.cache);
+  Clb clb(config.clb);
+  SimResult result;
+  const std::size_t blocks = image.block_count();
+
+  for (const std::uint32_t address : trace) {
+    ++result.accesses;
+    result.fetch_energy_nj += config.energy.cache_hit_nj;
+    if (cache.access(address)) {
+      result.fetch_cycles += 1;
+      continue;
+    }
+    ++result.misses;
+    std::uint64_t cycles = 1 + config.refill.memory_latency;
+    double energy = config.energy.memory_access_nj;
+
+    const std::size_t block = address / image.block_size();
+    std::size_t compressed_bytes = config.cache.line_bytes;  // fallback off the image
+    std::size_t original_bytes = config.cache.line_bytes;
+    if (block < blocks) {
+      compressed_bytes = image.block_payload(block).size();
+      original_bytes = image.block_original_size(block);
+    }
+
+    // LAT lookup: free on CLB hit, one extra memory access on miss.
+    if (config.use_clb) {
+      ++result.clb_lookups;
+      if (!clb.access(block)) {
+        ++result.clb_misses;
+        cycles += config.refill.memory_latency;
+        energy += config.energy.memory_access_nj;
+      }
+    } else {
+      cycles += config.refill.memory_latency;  // every miss reads the LAT
+      energy += config.energy.memory_access_nj;
+    }
+
+    // Transfer the compressed block, then decompress it into the cache.
+    cycles += static_cast<std::uint64_t>(compressed_bytes) * config.refill.cycles_per_byte;
+    cycles += config.refill.decode_startup;
+    const std::uint64_t bits = static_cast<std::uint64_t>(original_bytes) * 8;
+    cycles += (bits + config.refill.decode_bits_per_cycle - 1) / config.refill.decode_bits_per_cycle;
+    energy += config.energy.memory_byte_nj * static_cast<double>(compressed_bytes);
+    energy += config.energy.decode_byte_nj * static_cast<double>(original_bytes);
+
+    result.fetch_cycles += cycles;
+    result.fetch_energy_nj += energy;
+  }
+  return result;
+}
+
+}  // namespace ccomp::memsys

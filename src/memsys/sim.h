@@ -1,0 +1,84 @@
+// Trace-driven simulator for the compressed-code memory system.
+//
+// Models the fetch path of Fig. 1: I-cache hit = 1 cycle; miss = LAT lookup
+// (free on CLB hit, a main-memory access on CLB miss) + transfer of the
+// *compressed* block from memory + the decompression engine's cycles.
+// An uncompressed baseline run (same cache, no LAT/CLB/decode, full-size
+// block transfer) gives the slowdown the paper argues is governed by the
+// I-cache hit ratio.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/image.h"
+#include "memsys/cache.h"
+#include "memsys/clb.h"
+
+namespace ccomp::memsys {
+
+struct RefillModel {
+  std::uint32_t memory_latency = 24;        // cycles to the first byte
+  std::uint32_t cycles_per_byte = 1;        // bus transfer per byte
+  std::uint32_t decode_startup = 4;         // decompressor per-block startup
+  /// Decompressor throughput in output bits per cycle (SAMC Fig. 5 decodes
+  /// 4 bits/cycle; SADC's dictionary path is table lookups, ~16 bits/cycle;
+  /// plain Huffman ~8).
+  std::uint32_t decode_bits_per_cycle = 4;
+};
+
+/// Per-event energy costs (nJ). The paper motivates code compression partly
+/// by power: off-chip memory traffic dominates fetch energy, and compressed
+/// refills move fewer bytes.
+struct EnergyModel {
+  double cache_hit_nj = 0.05;
+  double memory_access_nj = 2.0;  // fixed cost per off-chip transaction
+  double memory_byte_nj = 0.25;   // per byte transferred from memory
+  double decode_byte_nj = 0.04;   // decompression logic per output byte
+};
+
+struct SimConfig {
+  CacheConfig cache;
+  ClbConfig clb;
+  RefillModel refill;
+  EnergyModel energy;
+  bool use_clb = true;
+};
+
+struct SimResult {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t clb_lookups = 0;
+  std::uint64_t clb_misses = 0;
+  std::uint64_t fetch_cycles = 0;
+  double fetch_energy_nj = 0.0;
+
+  double miss_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+  double clb_hit_rate() const {
+    return clb_lookups == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(clb_misses) / static_cast<double>(clb_lookups);
+  }
+  /// Average fetch cycles per instruction.
+  double cycles_per_fetch() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(fetch_cycles) / static_cast<double>(accesses);
+  }
+  /// Average fetch energy per instruction (nJ).
+  double energy_per_fetch_nj() const {
+    return accesses == 0 ? 0.0 : fetch_energy_nj / static_cast<double>(accesses);
+  }
+};
+
+/// Run the trace against an uncompressed memory system (no LAT/CLB/decoder).
+SimResult simulate_uncompressed(const SimConfig& config,
+                                std::span<const std::uint32_t> trace);
+
+/// Run the trace against a compressed memory system; per-block compressed
+/// sizes come from `image` (its block_size must equal the cache line size).
+SimResult simulate_compressed(const SimConfig& config, std::span<const std::uint32_t> trace,
+                              const core::CompressedImage& image);
+
+}  // namespace ccomp::memsys

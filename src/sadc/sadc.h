@@ -1,0 +1,89 @@
+// SADC — Semiadaptive Dictionary Compression (paper Sec. 4).
+//
+// ISA-dependent. For MIPS, instructions split into four streams: opcode,
+// register, 16-bit immediate, 26-bit immediate. A per-program dictionary of
+// up to 256 symbols is grown iteratively: each cycle the builder counts
+// adjacent symbol pairs/triples and frequent opcode+register /
+// opcode+immediate combinations, computes the paper's gain heuristic for
+// every candidate, admits the best one, and re-parses the program (greedy,
+// never across cache-block boundaries, so every block stays independently
+// decodable). The final streams are canonical-Huffman coded.
+//
+// For x86 (Pentium), instructions split into three byte streams — opcode
+// (incl. prefixes), ModRM+SIB, immediates+displacements — with the same
+// sequence dictionary over opcode tokens but no operand specialisation
+// (the paper's deliberately crude CISC variant).
+#pragma once
+
+#include <memory>
+
+#include "core/codec.h"
+#include "sadc/symbols.h"
+
+namespace ccomp::sadc {
+
+/// How each block is segmented into dictionary symbols once the dictionary
+/// is fixed. The paper uses greedy parsing ("the most popular due to its
+/// simplicity and speed"); optimal parsing solves the same segmentation as
+/// a shortest path, trading compression time for a minimal symbol count.
+enum class ParseMode : std::uint8_t { kGreedy, kOptimal };
+
+struct SadcOptions {
+  std::uint32_t block_size = 32;   // uncompressed bytes per block
+  std::size_t max_symbols = kMaxSymbols;
+  /// Candidate group sizes scanned each cycle (the paper uses 2 and 3).
+  unsigned max_group = 3;
+  /// Enable opcode+register / opcode+immediate specialisation (MIPS only).
+  bool specialize_operands = true;
+  /// Upper bound on dictionary build cycles (safety valve; the gain
+  /// heuristic normally terminates the build well before this).
+  unsigned max_cycles = 512;
+  /// Final segmentation strategy (MIPS codec; the dictionary itself is
+  /// always grown with the paper's greedy/iterative procedure).
+  ParseMode parse_mode = ParseMode::kGreedy;
+};
+
+/// MIPS SADC codec.
+class SadcMipsCodec final : public core::BlockCodec {
+ public:
+  explicit SadcMipsCodec(SadcOptions options = {});
+
+  std::string_view name() const override { return "SADC"; }
+  core::CompressedImage compress(std::span<const std::uint8_t> code) const override;
+  std::unique_ptr<core::BlockDecompressor> make_decompressor(
+      const core::CompressedImage& image) const override;
+
+  /// Build a dictionary without compressing — the *static dictionary*
+  /// workflow of the paper's Sec. 4 taxonomy: build once on a donor
+  /// program, reuse for many subjects.
+  SymbolTable build_dictionary(std::span<const std::uint8_t> code) const;
+
+  /// Compress against a pre-built (donor) dictionary. Base opcodes the
+  /// donor lacks are appended (the extended table travels in the image);
+  /// segmentation against the donor's phrases uses the bit-cost DP parser.
+  core::CompressedImage compress_with_dictionary(std::span<const std::uint8_t> code,
+                                                 const SymbolTable& dictionary) const;
+
+  const SadcOptions& options() const { return options_; }
+
+ private:
+  SadcOptions options_;
+};
+
+/// x86 (Pentium) SADC codec: three byte streams, sequence dictionary only.
+class SadcX86Codec final : public core::BlockCodec {
+ public:
+  explicit SadcX86Codec(SadcOptions options = {});
+
+  std::string_view name() const override { return "SADC"; }
+  core::CompressedImage compress(std::span<const std::uint8_t> code) const override;
+  std::unique_ptr<core::BlockDecompressor> make_decompressor(
+      const core::CompressedImage& image) const override;
+
+  const SadcOptions& options() const { return options_; }
+
+ private:
+  SadcOptions options_;
+};
+
+}  // namespace ccomp::sadc

@@ -1,0 +1,712 @@
+#include <algorithm>
+#include <unordered_map>
+
+#include "coding/huffman.h"
+#include "isa/mips/mips.h"
+#include "sadc/sadc.h"
+#include "support/bitio.h"
+#include "support/error.h"
+
+namespace ccomp::sadc {
+namespace {
+
+using coding::HuffmanCode;
+
+struct Instr {
+  bool raw = false;
+  std::uint16_t token = 0;
+  std::uint8_t regs[4] = {};
+  std::uint16_t imm16 = 0;
+  std::uint32_t imm26 = 0;
+  std::uint32_t raw_word = 0;
+};
+
+struct Item {
+  std::uint16_t symbol;
+  std::uint32_t first_instr;  // global instruction index
+  std::uint32_t length;       // instructions covered
+};
+
+Instr decode_instr(std::uint32_t word) {
+  Instr instr;
+  if (const auto d = mips::decode(word)) {
+    instr.token = d->opcode;
+    for (int i = 0; i < 4; ++i) instr.regs[i] = d->regs[i];
+    instr.imm16 = d->imm16;
+    instr.imm26 = d->imm26;
+  } else {
+    instr.raw = true;
+    instr.raw_word = word;
+  }
+  return instr;
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary builder
+// ---------------------------------------------------------------------------
+
+struct Candidate {
+  enum class Kind { kNone, kPair, kTriple, kRegSpec, kImmSpec } kind = Kind::kNone;
+  double gain = 0.0;
+  std::uint16_t syms[3] = {};   // pair/triple components
+  std::uint16_t token = 0;      // spec target token
+  std::uint8_t regs[4] = {};    // regspec values
+  std::uint8_t reg_count = 0;
+  std::uint16_t imm16 = 0;      // immspec value
+};
+
+class Builder {
+ public:
+  Builder(const SadcOptions& options, std::vector<Instr> instrs, std::size_t block_instrs)
+      : options_(options), instrs_(std::move(instrs)) {
+    // Initial alphabet: one base symbol per distinct opcode token, in first-
+    // appearance order; plus one raw symbol if needed.
+    token_to_symbol_.assign(mips::opcode_count(), kNoSymbol);
+    for (const Instr& in : instrs_) {
+      if (in.raw) {
+        if (raw_symbol_ == kNoSymbol) {
+          Symbol s;
+          s.kind = Symbol::Kind::kRaw;
+          raw_symbol_ = table_.add(std::move(s));
+        }
+      } else if (token_to_symbol_[in.token] == kNoSymbol) {
+        Symbol s;
+        s.kind = Symbol::Kind::kBase;
+        s.token = in.token;
+        token_to_symbol_[in.token] = table_.add(std::move(s));
+      }
+    }
+    // Initial parse: one item per instruction, blocked.
+    const std::size_t blocks = (instrs_.size() + block_instrs - 1) / block_instrs;
+    blocks_.resize(blocks);
+    for (std::size_t i = 0; i < instrs_.size(); ++i) {
+      const Instr& in = instrs_[i];
+      const std::uint16_t sym = in.raw ? raw_symbol_ : token_to_symbol_[in.token];
+      blocks_[i / block_instrs].push_back(
+          {sym, static_cast<std::uint32_t>(i), 1});
+    }
+  }
+
+  void run() {
+    for (unsigned cycle = 0; cycle < options_.max_cycles; ++cycle) {
+      if (table_.size() >= options_.max_symbols) break;
+      const Candidate best = find_best_candidate();
+      if (best.kind == Candidate::Kind::kNone || best.gain <= 0.0) break;
+      apply(best);
+    }
+  }
+
+  SymbolTable take_table() { return std::move(table_); }
+  const std::vector<std::vector<Item>>& blocks() const { return blocks_; }
+  const std::vector<Instr>& instrs() const { return instrs_; }
+
+ private:
+  static constexpr std::uint16_t kNoSymbol = 0xFFFF;
+
+  bool is_plain_base(std::uint16_t sym) const {
+    return table_.at(sym).kind == Symbol::Kind::kBase;
+  }
+
+  Candidate find_best_candidate() const {
+    // Non-overlapping counts: remember where the previous accepted
+    // occurrence of each key ended (global item position).
+    std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint32_t>> pairs, triples;
+    std::unordered_map<std::uint64_t, std::uint32_t> regspecs, immspecs;
+
+    std::uint32_t pos = 0;
+    for (const auto& block : blocks_) {
+      for (std::size_t i = 0; i < block.size(); ++i, ++pos) {
+        if (i + 1 < block.size()) {
+          const std::uint64_t key = (std::uint64_t{block[i].symbol} << 16) | block[i + 1].symbol;
+          auto& [count, next_free] = pairs[key];
+          if (pos >= next_free) {
+            ++count;
+            next_free = pos + 2;
+          }
+        }
+        if (options_.max_group >= 3 && i + 2 < block.size()) {
+          const std::uint64_t key = (std::uint64_t{block[i].symbol} << 32) |
+                                    (std::uint64_t{block[i + 1].symbol} << 16) |
+                                    block[i + 2].symbol;
+          auto& [count, next_free] = triples[key];
+          if (pos >= next_free) {
+            ++count;
+            next_free = pos + 3;
+          }
+        }
+        if (options_.specialize_operands && block[i].length == 1 &&
+            is_plain_base(block[i].symbol)) {
+          const Instr& in = instrs_[block[i].first_instr];
+          const auto lengths = mips::operand_lengths(in.token);
+          if (lengths.regs > 0) {
+            std::uint64_t key = in.token;
+            for (unsigned k = 0; k < lengths.regs; ++k)
+              key = (key << 5) | in.regs[k];
+            key |= std::uint64_t{lengths.regs} << 40;
+            ++regspecs[key];
+          }
+          if (lengths.imm16) ++immspecs[(std::uint64_t{in.imm16} << 16) | in.token];
+        }
+      }
+    }
+
+    Candidate best;
+    // Gains in bits. Sequence: each occurrence saves (n-1) opcode-stream
+    // symbols (~8 bits each, the paper's accounting); the dictionary entry
+    // costs ~8 bits per component plus a header.
+    auto consider_seq = [&](std::uint64_t key, std::uint32_t f, unsigned n) {
+      if (f < 2) return;
+      const double gain = 8.0 * (static_cast<double>(f) * (n - 1)) -
+                          (8.0 * n + 16.0);
+      if (gain > best.gain) {
+        best.kind = n == 2 ? Candidate::Kind::kPair : Candidate::Kind::kTriple;
+        best.gain = gain;
+        for (unsigned k = 0; k < n; ++k)
+          best.syms[n - 1 - k] = static_cast<std::uint16_t>((key >> (16 * k)) & 0xFFFF);
+      }
+    };
+    for (const auto& [key, cf] : pairs) consider_seq(key, cf.first, 2);
+    for (const auto& [key, cf] : triples) consider_seq(key, cf.first, 3);
+
+    for (const auto& [key, f] : regspecs) {
+      if (f < 2) continue;
+      const unsigned n_regs = static_cast<unsigned>(key >> 40);
+      // Each occurrence saves n_regs 5-bit register-stream entries; the
+      // entry costs token + values + header.
+      const double gain =
+          5.0 * n_regs * static_cast<double>(f) - (24.0 + 5.0 * n_regs + 8.0);
+      if (gain > best.gain) {
+        best.kind = Candidate::Kind::kRegSpec;
+        best.gain = gain;
+        best.reg_count = static_cast<std::uint8_t>(n_regs);
+        std::uint64_t k = key & ((std::uint64_t{1} << 40) - 1);
+        for (unsigned i = n_regs; i-- > 0;) {
+          best.regs[i] = static_cast<std::uint8_t>(k & 0x1F);
+          k >>= 5;
+        }
+        best.token = static_cast<std::uint16_t>(k);
+      }
+    }
+    for (const auto& [key, f] : immspecs) {
+      if (f < 2) continue;
+      const double gain = 16.0 * static_cast<double>(f) - 48.0;
+      if (gain > best.gain) {
+        best.kind = Candidate::Kind::kImmSpec;
+        best.gain = gain;
+        best.token = static_cast<std::uint16_t>(key & 0xFFFF);
+        best.imm16 = static_cast<std::uint16_t>(key >> 16);
+      }
+    }
+    return best;
+  }
+
+  void apply(const Candidate& c) {
+    switch (c.kind) {
+      case Candidate::Kind::kPair:
+      case Candidate::Kind::kTriple: {
+        const unsigned n = c.kind == Candidate::Kind::kPair ? 2 : 3;
+        Symbol s;
+        s.kind = Symbol::Kind::kSeq;
+        s.components.assign(c.syms, c.syms + n);
+        const std::uint16_t id = table_.add(std::move(s));
+        for (auto& block : blocks_) {
+          std::vector<Item> merged;
+          merged.reserve(block.size());
+          std::size_t i = 0;
+          while (i < block.size()) {
+            bool match = i + n <= block.size();
+            for (unsigned k = 0; match && k < n; ++k)
+              match = block[i + k].symbol == c.syms[k];
+            if (match) {
+              std::uint32_t len = 0;
+              for (unsigned k = 0; k < n; ++k) len += block[i + k].length;
+              merged.push_back({id, block[i].first_instr, len});
+              i += n;
+            } else {
+              merged.push_back(block[i]);
+              ++i;
+            }
+          }
+          block = std::move(merged);
+        }
+        break;
+      }
+      case Candidate::Kind::kRegSpec: {
+        Symbol s;
+        s.kind = Symbol::Kind::kRegSpec;
+        s.token = c.token;
+        s.reg_count = c.reg_count;
+        for (int i = 0; i < 4; ++i) s.regs[i] = c.regs[i];
+        const std::uint16_t id = table_.add(std::move(s));
+        for (auto& block : blocks_) {
+          for (Item& item : block) {
+            if (item.length != 1 || !is_plain_base(item.symbol)) continue;
+            const Instr& in = instrs_[item.first_instr];
+            if (in.raw || in.token != c.token) continue;
+            bool match = true;
+            for (unsigned k = 0; match && k < c.reg_count; ++k)
+              match = in.regs[k] == c.regs[k];
+            if (match) item.symbol = id;
+          }
+        }
+        break;
+      }
+      case Candidate::Kind::kImmSpec: {
+        Symbol s;
+        s.kind = Symbol::Kind::kImmSpec;
+        s.token = c.token;
+        s.imm16 = c.imm16;
+        const std::uint16_t id = table_.add(std::move(s));
+        for (auto& block : blocks_) {
+          for (Item& item : block) {
+            if (item.length != 1 || !is_plain_base(item.symbol)) continue;
+            const Instr& in = instrs_[item.first_instr];
+            if (in.raw || in.token != c.token || in.imm16 != c.imm16) continue;
+            item.symbol = id;
+          }
+        }
+        break;
+      }
+      case Candidate::Kind::kNone:
+        break;
+    }
+  }
+
+  const SadcOptions& options_;
+  std::vector<Instr> instrs_;
+  SymbolTable table_;
+  std::vector<std::uint16_t> token_to_symbol_;
+  std::uint16_t raw_symbol_ = kNoSymbol;
+  std::vector<std::vector<Item>> blocks_;
+};
+
+// Walk the unabsorbed operands of instruction `in`, as seen through `leaf`.
+template <typename RegFn, typename ImmFn>
+void for_each_operand(const Instr& in, const Leaf& leaf, RegFn&& on_reg, ImmFn&& on_imm_byte) {
+  if (leaf.raw) {
+    for (int b = 0; b < 4; ++b)
+      on_imm_byte(static_cast<std::uint8_t>(in.raw_word >> (8 * b)));
+    return;
+  }
+  const auto lengths = mips::operand_lengths(leaf.token);
+  if (!leaf.regs_absorbed)
+    for (unsigned k = 0; k < lengths.regs; ++k) on_reg(in.regs[k]);
+  if (lengths.imm16 && !leaf.imm_absorbed) {
+    on_imm_byte(static_cast<std::uint8_t>(in.imm16));
+    on_imm_byte(static_cast<std::uint8_t>(in.imm16 >> 8));
+  }
+  if (lengths.imm26) {
+    for (int b = 0; b < 4; ++b)
+      on_imm_byte(static_cast<std::uint8_t>(in.imm26 >> (8 * b)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Optimal re-parse (shortest-path segmentation against the final dictionary)
+// ---------------------------------------------------------------------------
+
+// Does `symbol`'s expansion match the instructions starting at instrs[at]?
+bool symbol_matches(const SymbolTable& table, std::uint16_t symbol,
+                    const std::vector<Instr>& instrs, std::size_t at, std::size_t limit) {
+  const auto& leaves = table.leaves(symbol);
+  if (at + leaves.size() > limit) return false;
+  for (std::size_t j = 0; j < leaves.size(); ++j) {
+    const Leaf& leaf = leaves[j];
+    const Instr& in = instrs[at + j];
+    if (leaf.raw != in.raw) return false;
+    if (leaf.raw) continue;
+    if (leaf.token != in.token) return false;
+    if (leaf.regs_absorbed) {
+      const auto lengths = mips::operand_lengths(leaf.token);
+      for (unsigned k = 0; k < lengths.regs; ++k)
+        if (leaf.absorbed_regs[k] != in.regs[k]) return false;
+    }
+    if (leaf.imm_absorbed && leaf.absorbed_imm16 != in.imm16) return false;
+  }
+  return true;
+}
+
+// Bit cost of emitting `symbol` for the instructions at instrs[at..): the
+// symbol's own Huffman length plus the Huffman-coded operands its leaves do
+// NOT absorb. Minimizing symbol *count* alone would be wrong twice over: it
+// forfeits operand absorption (a sequence of plain bases beats a specialised
+// symbol on count but loses its absorbed registers) and it ignores the
+// Huffman skew greedy parsing produces.
+double symbol_cost_bits(const SymbolTable& table, std::uint16_t symbol,
+                        const std::vector<Instr>& instrs, std::size_t at,
+                        std::span<const double> sym_cost, std::span<const double> reg_cost,
+                        std::span<const double> imm_cost) {
+  double bits = sym_cost[symbol];
+  const auto& leaves = table.leaves(symbol);
+  for (std::size_t j = 0; j < leaves.size(); ++j) {
+    const Instr& in = instrs[at + j];
+    for_each_operand(
+        in, leaves[j], [&](std::uint8_t reg) { bits += reg_cost[reg]; },
+        [&](std::uint8_t byte) { bits += imm_cost[byte]; });
+  }
+  return bits;
+}
+
+// Re-segment every block with dynamic programming, minimizing estimated
+// encoded bits against per-symbol / per-operand costs taken from a first
+// (greedy) parse. Candidate symbols are indexed by their first base token
+// to keep the inner loop small.
+void optimal_reparse(const SymbolTable& table, const std::vector<Instr>& instrs,
+                     std::vector<std::vector<Item>>& blocks,
+                     std::span<const double> sym_cost, std::span<const double> reg_cost,
+                     std::span<const double> imm_cost) {
+  constexpr double kInfinity = 1e30;
+  // Index: first-token -> candidate symbols; raw-leading symbols separate.
+  std::vector<std::vector<std::uint16_t>> by_first_token(mips::opcode_count());
+  std::vector<std::uint16_t> raw_leading;
+  for (std::size_t s = 0; s < table.size(); ++s) {
+    const auto& leaves = table.leaves(static_cast<std::uint16_t>(s));
+    if (leaves.front().raw) {
+      raw_leading.push_back(static_cast<std::uint16_t>(s));
+    } else {
+      by_first_token[leaves.front().token].push_back(static_cast<std::uint16_t>(s));
+    }
+  }
+
+  for (auto& block : blocks) {
+    if (block.empty()) continue;
+    const std::size_t begin = block.front().first_instr;
+    std::size_t end = begin;
+    for (const Item& item : block) end += item.length;
+    const std::size_t n = end - begin;
+
+    std::vector<double> cost(n + 1, kInfinity);
+    std::vector<std::uint16_t> choice(n + 1, 0);
+    cost[0] = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cost[i] >= kInfinity) continue;
+      const Instr& in = instrs[begin + i];
+      const auto& candidates = in.raw ? raw_leading : by_first_token[in.token];
+      for (const std::uint16_t sym : candidates) {
+        if (!symbol_matches(table, sym, instrs, begin + i, end)) continue;
+        const std::size_t next = i + table.expanded_length(sym);
+        const double c = cost[i] + symbol_cost_bits(table, sym, instrs, begin + i, sym_cost,
+                                                    reg_cost, imm_cost);
+        if (c < cost[next]) {
+          cost[next] = c;
+          choice[next] = sym;
+        }
+      }
+    }
+    if (cost[n] >= kInfinity) continue;  // keep the greedy parse (shouldn't happen)
+
+    // Reconstruct the segmentation back to front.
+    std::vector<Item> parsed;
+    std::size_t at = n;
+    while (at > 0) {
+      const std::uint16_t sym = choice[at];
+      const std::uint32_t len = static_cast<std::uint32_t>(table.expanded_length(sym));
+      at -= len;
+      parsed.push_back({sym, static_cast<std::uint32_t>(begin + at), len});
+    }
+    block.assign(parsed.rbegin(), parsed.rend());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stream encoding
+// ---------------------------------------------------------------------------
+
+class SadcMipsDecompressor final : public core::BlockDecompressor {
+ public:
+  SadcMipsDecompressor(const core::CompressedImage& image, SymbolTable table,
+                       HuffmanCode sym_code, HuffmanCode reg_code, HuffmanCode imm_code)
+      : BlockDecompressor(image.block_count()),
+        image_(&image),
+        table_(std::move(table)),
+        sym_code_(std::move(sym_code)),
+        reg_code_(std::move(reg_code)),
+        imm_code_(std::move(imm_code)) {}
+
+  std::vector<std::uint8_t> block(std::size_t index) const override {
+    const std::size_t bytes = image_->block_original_size(index);
+    const std::size_t instr_count = bytes / 4;
+    BitReader in(image_->block_payload(index));
+
+    // Phase 1: opcode stream — symbols until the block's instructions are
+    // covered.
+    std::vector<const Leaf*> leaves;
+    leaves.reserve(instr_count);
+    while (leaves.size() < instr_count) {
+      const std::uint16_t sym = static_cast<std::uint16_t>(sym_code_.decode(in));
+      if (sym >= table_.size()) throw CorruptDataError("symbol id out of range");
+      for (const Leaf& leaf : table_.leaves(sym)) leaves.push_back(&leaf);
+      if (leaves.size() > instr_count)
+        throw CorruptDataError("SADC symbol overruns block boundary");
+    }
+
+    // Phase 2: register stream.
+    std::vector<std::uint8_t> regs;
+    for (const Leaf* leaf : leaves) {
+      if (leaf->raw || leaf->regs_absorbed) continue;
+      const auto lengths = mips::operand_lengths(leaf->token);
+      for (unsigned k = 0; k < lengths.regs; ++k)
+        regs.push_back(static_cast<std::uint8_t>(reg_code_.decode(in)));
+    }
+
+    // Phase 3: immediate stream.
+    std::vector<std::uint8_t> imm_bytes;
+    for (const Leaf* leaf : leaves) {
+      std::size_t need = 0;
+      if (leaf->raw) {
+        need = 4;
+      } else {
+        const auto lengths = mips::operand_lengths(leaf->token);
+        if (lengths.imm16 && !leaf->imm_absorbed) need += 2;
+        if (lengths.imm26) need += 4;
+      }
+      for (std::size_t k = 0; k < need; ++k)
+        imm_bytes.push_back(static_cast<std::uint8_t>(imm_code_.decode(in)));
+    }
+
+    // Instruction generation (paper Fig. 6): reassemble 32-bit words.
+    std::vector<std::uint8_t> out;
+    out.reserve(bytes);
+    std::size_t ri = 0, ii = 0;
+    for (const Leaf* leaf : leaves) {
+      std::uint32_t word;
+      if (leaf->raw) {
+        word = 0;
+        for (int b = 0; b < 4; ++b) word |= static_cast<std::uint32_t>(imm_bytes.at(ii++)) << (8 * b);
+      } else {
+        mips::Decoded d;
+        d.opcode = leaf->token;
+        const auto lengths = mips::operand_lengths(leaf->token);
+        if (leaf->regs_absorbed) {
+          for (unsigned k = 0; k < lengths.regs; ++k) d.regs[k] = leaf->absorbed_regs[k];
+        } else {
+          for (unsigned k = 0; k < lengths.regs; ++k) d.regs[k] = regs.at(ri++);
+        }
+        if (lengths.imm16) {
+          if (leaf->imm_absorbed) {
+            d.imm16 = leaf->absorbed_imm16;
+          } else {
+            const std::uint8_t lo = imm_bytes.at(ii++);
+            const std::uint8_t hi = imm_bytes.at(ii++);
+            d.imm16 = static_cast<std::uint16_t>(lo | (hi << 8));
+          }
+        }
+        if (lengths.imm26) {
+          std::uint32_t v = 0;
+          for (int b = 0; b < 4; ++b) v |= static_cast<std::uint32_t>(imm_bytes.at(ii++)) << (8 * b);
+          d.imm26 = v;
+        }
+        word = mips::encode(d);
+      }
+      for (int b = 0; b < 4; ++b) out.push_back(static_cast<std::uint8_t>(word >> (8 * b)));
+    }
+    return out;
+  }
+
+ private:
+  const core::CompressedImage* image_;
+  SymbolTable table_;
+  HuffmanCode sym_code_;
+  HuffmanCode reg_code_;
+  HuffmanCode imm_code_;
+};
+
+}  // namespace
+
+SadcMipsCodec::SadcMipsCodec(SadcOptions options) : options_(options) {
+  if (options_.block_size == 0 || options_.block_size % 4 != 0)
+    throw ConfigError("SADC/MIPS block size must be a multiple of 4");
+  if (options_.max_symbols > kMaxSymbols)
+    throw ConfigError("SADC dictionary limited to 256 symbols");
+}
+
+namespace {
+
+// Shared back half of compression: (optionally) re-segment, build the
+// Huffman post-coder, encode every block, and assemble the image.
+core::CompressedImage encode_streams(const SadcOptions& options, const SymbolTable& table,
+                                     std::vector<std::vector<Item>> blocks,
+                                     const std::vector<Instr>& final_instrs,
+                                     std::size_t code_size, bool force_reparse) {
+  // Gather stream statistics for the Huffman post-coder.
+  auto gather = [&](std::vector<std::uint64_t>& sym_freq, std::vector<std::uint64_t>& reg_freq,
+                    std::vector<std::uint64_t>& imm_freq) {
+    sym_freq.assign(table.size(), 0);
+    reg_freq.assign(32, 0);
+    imm_freq.assign(256, 0);
+    for (const auto& block : blocks) {
+      for (const Item& item : block) {
+        ++sym_freq[item.symbol];
+        const auto& leaves = table.leaves(item.symbol);
+        for (std::size_t j = 0; j < leaves.size(); ++j) {
+          for_each_operand(
+              final_instrs[item.first_instr + j], leaves[j],
+              [&](std::uint8_t reg) { ++reg_freq[reg]; },
+              [&](std::uint8_t byte) { ++imm_freq[byte]; });
+        }
+      }
+    }
+  };
+  std::vector<std::uint64_t> sym_freq, reg_freq, imm_freq;
+  gather(sym_freq, reg_freq, imm_freq);
+
+  if (force_reparse) {
+    // The incoming parse is trivial (one base symbol per instruction), so
+    // first-pass Huffman costs would price every dictionary phrase at the
+    // unseen-symbol penalty and the DP would never pick them. Run one
+    // neutral-cost round (8 bits per symbol, raw operand widths) so the
+    // donor's phrases compete, then let the cost-based round refine.
+    optimal_reparse(table, final_instrs, blocks, std::vector<double>(table.size(), 8.0),
+                    std::vector<double>(32, 5.0), std::vector<double>(256, 8.0));
+    gather(sym_freq, reg_freq, imm_freq);
+  }
+
+  if (options.parse_mode == ParseMode::kOptimal || force_reparse) {
+    // Derive bit costs from the greedy parse's codes, re-segment, and
+    // rebuild the statistics from the improved parse.
+    const HuffmanCode pass1_sym = HuffmanCode::from_frequencies(sym_freq);
+    const HuffmanCode pass1_reg = HuffmanCode::from_frequencies(reg_freq);
+    const HuffmanCode pass1_imm = HuffmanCode::from_frequencies(imm_freq);
+    auto costs_of = [](const HuffmanCode& code, std::size_t n) {
+      std::vector<double> costs(n);
+      for (std::size_t s = 0; s < n; ++s) {
+        const unsigned len = code.length_of(s);
+        costs[s] = len == 0 ? 18.0 : static_cast<double>(len);  // unseen: pessimistic
+      }
+      return costs;
+    };
+    optimal_reparse(table, final_instrs, blocks, costs_of(pass1_sym, table.size()),
+                    costs_of(pass1_reg, 32), costs_of(pass1_imm, 256));
+    gather(sym_freq, reg_freq, imm_freq);
+  }
+
+  const HuffmanCode sym_code = HuffmanCode::from_frequencies(sym_freq);
+  const HuffmanCode reg_code = HuffmanCode::from_frequencies(reg_freq);
+  const HuffmanCode imm_code = HuffmanCode::from_frequencies(imm_freq);
+
+  // Encode each block independently.
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint32_t> offsets;
+  for (const auto& block : blocks) {
+    offsets.push_back(static_cast<std::uint32_t>(payload.size()));
+    BitWriter bits;
+    for (const Item& item : block) sym_code.encode(bits, item.symbol);
+    for (const Item& item : block) {
+      const auto& leaves = table.leaves(item.symbol);
+      for (std::size_t j = 0; j < leaves.size(); ++j)
+        for_each_operand(
+            final_instrs[item.first_instr + j], leaves[j],
+            [&](std::uint8_t reg) { reg_code.encode(bits, reg); }, [](std::uint8_t) {});
+    }
+    for (const Item& item : block) {
+      const auto& leaves = table.leaves(item.symbol);
+      for (std::size_t j = 0; j < leaves.size(); ++j)
+        for_each_operand(
+            final_instrs[item.first_instr + j], leaves[j], [](std::uint8_t) {},
+            [&](std::uint8_t byte) { imm_code.encode(bits, byte); });
+    }
+    const std::vector<std::uint8_t> block_bytes = bits.take();
+    payload.insert(payload.end(), block_bytes.begin(), block_bytes.end());
+  }
+  offsets.push_back(static_cast<std::uint32_t>(payload.size()));
+
+  ByteSink tables;
+  table.serialize(tables);
+  sym_code.serialize(tables);
+  reg_code.serialize(tables);
+  imm_code.serialize(tables);
+  return core::CompressedImage(core::CodecKind::kSadc, core::IsaKind::kMips,
+                               options.block_size, code_size, tables.take(),
+                               std::move(offsets), std::move(payload));
+}
+
+}  // namespace
+
+SymbolTable SadcMipsCodec::build_dictionary(std::span<const std::uint8_t> code) const {
+  const std::vector<std::uint32_t> words = mips::bytes_to_words(code);
+  std::vector<Instr> instrs;
+  instrs.reserve(words.size());
+  for (const std::uint32_t w : words) instrs.push_back(decode_instr(w));
+  Builder builder(options_, std::move(instrs), options_.block_size / 4);
+  builder.run();
+  return builder.take_table();
+}
+
+core::CompressedImage SadcMipsCodec::compress(std::span<const std::uint8_t> code) const {
+  const std::vector<std::uint32_t> words = mips::bytes_to_words(code);
+  std::vector<Instr> instrs;
+  instrs.reserve(words.size());
+  for (const std::uint32_t w : words) instrs.push_back(decode_instr(w));
+
+  const std::size_t block_instrs = options_.block_size / 4;
+  Builder builder(options_, std::move(instrs), block_instrs);
+  builder.run();
+  std::vector<std::vector<Item>> blocks = builder.blocks();
+  SymbolTable table = builder.take_table();
+  return encode_streams(options_, table, std::move(blocks), builder.instrs(), code.size(),
+                        /*force_reparse=*/false);
+}
+
+core::CompressedImage SadcMipsCodec::compress_with_dictionary(
+    std::span<const std::uint8_t> code, const SymbolTable& dictionary) const {
+  const std::vector<std::uint32_t> words = mips::bytes_to_words(code);
+  std::vector<Instr> instrs;
+  instrs.reserve(words.size());
+  for (const std::uint32_t w : words) instrs.push_back(decode_instr(w));
+
+  // Extend the donor dictionary with any base tokens (or the raw escape)
+  // the subject program needs but the donor never saw. The extended table
+  // travels in the image, so decoding is self-contained.
+  SymbolTable table = dictionary;
+  std::vector<std::uint16_t> token_symbol(mips::opcode_count(), 0xFFFF);
+  std::uint16_t raw_symbol = 0xFFFF;
+  for (std::size_t s = 0; s < table.size(); ++s) {
+    const Symbol& sym = table.at(s);
+    if (sym.kind == Symbol::Kind::kBase && token_symbol[sym.token] == 0xFFFF)
+      token_symbol[sym.token] = static_cast<std::uint16_t>(s);
+    if (sym.kind == Symbol::Kind::kRaw && raw_symbol == 0xFFFF)
+      raw_symbol = static_cast<std::uint16_t>(s);
+  }
+  for (const Instr& in : instrs) {
+    if (in.raw) {
+      if (raw_symbol == 0xFFFF) {
+        Symbol s;
+        s.kind = Symbol::Kind::kRaw;
+        raw_symbol = table.add(std::move(s));
+      }
+    } else if (token_symbol[in.token] == 0xFFFF) {
+      Symbol s;
+      s.kind = Symbol::Kind::kBase;
+      s.token = in.token;
+      token_symbol[in.token] = table.add(std::move(s));
+    }
+  }
+  if (table.size() > kMaxSymbols)
+    throw ConfigError("donor dictionary leaves no room for the subject's base opcodes");
+
+  // Trivial initial parse; the forced re-segmentation inside encode_streams
+  // is what actually applies the donor's phrases to this program.
+  const std::size_t block_instrs = options_.block_size / 4;
+  std::vector<std::vector<Item>> blocks((instrs.size() + block_instrs - 1) / block_instrs);
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    const std::uint16_t sym = instrs[i].raw ? raw_symbol : token_symbol[instrs[i].token];
+    blocks[i / block_instrs].push_back({sym, static_cast<std::uint32_t>(i), 1});
+  }
+  return encode_streams(options_, table, std::move(blocks), instrs, code.size(),
+                        /*force_reparse=*/true);
+}
+
+std::unique_ptr<core::BlockDecompressor> SadcMipsCodec::make_decompressor(
+    const core::CompressedImage& image) const {
+  if (image.codec() != core::CodecKind::kSadc || image.isa() != core::IsaKind::kMips)
+    throw ConfigError("image was not produced by SADC/MIPS");
+  ByteSource src(image.tables());
+  SymbolTable table = SymbolTable::deserialize(src);
+  HuffmanCode sym_code = HuffmanCode::deserialize(src);
+  HuffmanCode reg_code = HuffmanCode::deserialize(src);
+  HuffmanCode imm_code = HuffmanCode::deserialize(src);
+  return std::make_unique<SadcMipsDecompressor>(image, std::move(table), std::move(sym_code),
+                                                std::move(reg_code), std::move(imm_code));
+}
+
+}  // namespace ccomp::sadc

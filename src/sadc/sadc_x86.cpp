@@ -1,0 +1,453 @@
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "coding/huffman.h"
+#include "isa/x86/x86.h"
+#include "sadc/sadc.h"
+#include "support/bitio.h"
+#include "support/error.h"
+
+namespace ccomp::sadc {
+namespace {
+
+using coding::HuffmanCode;
+
+// One tokenized x86 instruction.
+struct XInstr {
+  std::uint16_t token = 0;     // index into the opcode-string table; kEscape = raw
+  bool escape = false;
+  std::vector<std::uint8_t> opcode_bytes;  // prefixes + opcode
+  std::vector<std::uint8_t> modrm_bytes;   // modrm [+ sib]
+  std::vector<std::uint8_t> imm_bytes;     // disp + imm
+  std::vector<std::uint8_t> all_bytes;     // full encoding (escape path)
+};
+
+struct Item {
+  std::uint16_t symbol;
+  std::uint32_t first_instr;
+  std::uint32_t length;
+};
+
+// Sequence-only dictionary growth (the paper's x86 SADC does no operand
+// specialisation).
+class SeqBuilder {
+ public:
+  SeqBuilder(const SadcOptions& options, SymbolTable table,
+             std::vector<std::vector<Item>> blocks)
+      : options_(options), table_(std::move(table)), blocks_(std::move(blocks)) {}
+
+  void run() {
+    for (unsigned cycle = 0; cycle < options_.max_cycles; ++cycle) {
+      if (table_.size() >= options_.max_symbols) break;
+      if (!step()) break;
+    }
+  }
+
+  SymbolTable take_table() { return std::move(table_); }
+  const std::vector<std::vector<Item>>& blocks() const { return blocks_; }
+
+ private:
+  bool step() {
+    std::unordered_map<std::uint64_t, std::pair<std::uint32_t, std::uint32_t>> pairs, triples;
+    std::uint32_t pos = 0;
+    for (const auto& block : blocks_) {
+      for (std::size_t i = 0; i < block.size(); ++i, ++pos) {
+        if (i + 1 < block.size()) {
+          const std::uint64_t key = (std::uint64_t{block[i].symbol} << 16) | block[i + 1].symbol;
+          auto& [count, next_free] = pairs[key];
+          if (pos >= next_free) {
+            ++count;
+            next_free = pos + 2;
+          }
+        }
+        if (options_.max_group >= 3 && i + 2 < block.size()) {
+          const std::uint64_t key = (std::uint64_t{block[i].symbol} << 32) |
+                                    (std::uint64_t{block[i + 1].symbol} << 16) |
+                                    block[i + 2].symbol;
+          auto& [count, next_free] = triples[key];
+          if (pos >= next_free) {
+            ++count;
+            next_free = pos + 3;
+          }
+        }
+      }
+    }
+    double best_gain = 0.0;
+    std::uint64_t best_key = 0;
+    unsigned best_n = 0;
+    auto consider = [&](std::uint64_t key, std::uint32_t f, unsigned n) {
+      if (f < 2) return;
+      const double gain = 8.0 * (static_cast<double>(f) * (n - 1)) - (8.0 * n + 16.0);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_key = key;
+        best_n = n;
+      }
+    };
+    for (const auto& [key, cf] : pairs) consider(key, cf.first, 2);
+    for (const auto& [key, cf] : triples) consider(key, cf.first, 3);
+    if (best_n == 0) return false;
+
+    std::uint16_t syms[3];
+    for (unsigned k = 0; k < best_n; ++k)
+      syms[best_n - 1 - k] = static_cast<std::uint16_t>((best_key >> (16 * k)) & 0xFFFF);
+    Symbol s;
+    s.kind = Symbol::Kind::kSeq;
+    s.components.assign(syms, syms + best_n);
+    const std::uint16_t id = table_.add(std::move(s));
+    for (auto& block : blocks_) {
+      std::vector<Item> merged;
+      merged.reserve(block.size());
+      std::size_t i = 0;
+      while (i < block.size()) {
+        bool match = i + best_n <= block.size();
+        for (unsigned k = 0; match && k < best_n; ++k) match = block[i + k].symbol == syms[k];
+        if (match) {
+          std::uint32_t len = 0;
+          for (unsigned k = 0; k < best_n; ++k) len += block[i + k].length;
+          merged.push_back({id, block[i].first_instr, len});
+          i += best_n;
+        } else {
+          merged.push_back(block[i]);
+          ++i;
+        }
+      }
+      block = std::move(merged);
+    }
+    return true;
+  }
+
+  const SadcOptions& options_;
+  SymbolTable table_;
+  std::vector<std::vector<Item>> blocks_;
+};
+
+// Opcode byte-string table serialization.
+void serialize_opcode_strings(ByteSink& sink, const std::vector<std::string>& strings) {
+  sink.varint(strings.size());
+  for (const std::string& s : strings) {
+    sink.u8(static_cast<std::uint8_t>(s.size()));
+    for (const char c : s) sink.u8(static_cast<std::uint8_t>(c));
+  }
+}
+
+std::vector<std::string> deserialize_opcode_strings(ByteSource& src) {
+  const std::uint64_t count = src.varint();
+  if (count > kMaxSymbols) throw CorruptDataError("too many opcode strings");
+  std::vector<std::string> strings;
+  strings.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t len = src.u8();
+    std::string s;
+    for (unsigned k = 0; k < len; ++k) s.push_back(static_cast<char>(src.u8()));
+    strings.push_back(std::move(s));
+  }
+  return strings;
+}
+
+class SadcX86Decompressor final : public core::BlockDecompressor {
+ public:
+  SadcX86Decompressor(const core::CompressedImage& image, SymbolTable table,
+                      std::vector<std::string> opcode_strings, HuffmanCode sym_code,
+                      HuffmanCode modrm_code, HuffmanCode imm_code)
+      : BlockDecompressor(image.block_count()),
+        image_(&image),
+        table_(std::move(table)),
+        opcode_strings_(std::move(opcode_strings)),
+        sym_code_(std::move(sym_code)),
+        modrm_code_(std::move(modrm_code)),
+        imm_code_(std::move(imm_code)) {}
+
+  std::vector<std::uint8_t> block(std::size_t index) const override {
+    BitReader in(image_->block_payload(index));
+    const std::size_t instr_count = static_cast<std::size_t>(in.read_bits(8));
+
+    // Phase 1: opcode tokens.
+    std::vector<const Leaf*> leaves;
+    leaves.reserve(instr_count);
+    while (leaves.size() < instr_count) {
+      const std::uint16_t sym = static_cast<std::uint16_t>(sym_code_.decode(in));
+      if (sym >= table_.size()) throw CorruptDataError("symbol id out of range");
+      for (const Leaf& leaf : table_.leaves(sym)) leaves.push_back(&leaf);
+      if (leaves.size() > instr_count)
+        throw CorruptDataError("SADC symbol overruns block boundary");
+    }
+
+    // Phase 2: ModRM stream (escape instructions travel here whole).
+    struct Pending {
+      bool raw = false;
+      std::vector<std::uint8_t> raw_bytes;
+      const std::string* opcode = nullptr;
+      bool has_modrm = false;
+      std::uint8_t modrm = 0;
+      bool has_sib = false;
+      std::uint8_t sib = 0;
+      unsigned disp_len = 0;
+      unsigned imm_len = 0;
+      std::vector<std::uint8_t> tail;  // disp + imm
+    };
+    std::vector<Pending> pending(leaves.size());
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      Pending& p = pending[i];
+      if (leaves[i]->raw) {
+        p.raw = true;
+        const std::size_t len = modrm_code_.decode(in);
+        p.raw_bytes.reserve(len);
+        for (std::size_t k = 0; k < len; ++k)
+          p.raw_bytes.push_back(static_cast<std::uint8_t>(modrm_code_.decode(in)));
+        continue;
+      }
+      if (leaves[i]->token >= opcode_strings_.size())
+        throw CorruptDataError("opcode token beyond string table");
+      p.opcode = &opcode_strings_[leaves[i]->token];
+      const auto cls = x86::classify_opcode(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(p.opcode->data()), p.opcode->size()));
+      p.imm_len = cls.imm_bytes;
+      if (cls.has_modrm) {
+        p.has_modrm = true;
+        p.modrm = static_cast<std::uint8_t>(modrm_code_.decode(in));
+        if (x86::modrm_has_sib(p.modrm)) {
+          p.has_sib = true;
+          p.sib = static_cast<std::uint8_t>(modrm_code_.decode(in));
+        }
+        p.disp_len = x86::modrm_disp_bytes(p.modrm, p.sib);
+        if (cls.group3 && ((p.modrm >> 3) & 7) <= 1) p.imm_len += cls.group3_imm_bytes;
+      }
+    }
+
+    // Phase 3: displacement/immediate stream.
+    for (Pending& p : pending) {
+      if (p.raw) continue;
+      const unsigned need = p.disp_len + p.imm_len;
+      p.tail.reserve(need);
+      for (unsigned k = 0; k < need; ++k)
+        p.tail.push_back(static_cast<std::uint8_t>(imm_code_.decode(in)));
+    }
+
+    // Reassemble.
+    std::vector<std::uint8_t> out;
+    out.reserve(image_->block_original_size(index));
+    for (const Pending& p : pending) {
+      if (p.raw) {
+        out.insert(out.end(), p.raw_bytes.begin(), p.raw_bytes.end());
+        continue;
+      }
+      out.insert(out.end(), p.opcode->begin(), p.opcode->end());
+      if (p.has_modrm) out.push_back(p.modrm);
+      if (p.has_sib) out.push_back(p.sib);
+      out.insert(out.end(), p.tail.begin(), p.tail.end());
+    }
+    if (out.size() != image_->block_original_size(index))
+      throw CorruptDataError("SADC/x86 block size mismatch");
+    return out;
+  }
+
+ private:
+  const core::CompressedImage* image_;
+  SymbolTable table_;
+  std::vector<std::string> opcode_strings_;
+  HuffmanCode sym_code_;
+  HuffmanCode modrm_code_;
+  HuffmanCode imm_code_;
+};
+
+}  // namespace
+
+SadcX86Codec::SadcX86Codec(SadcOptions options) : options_(options) {
+  if (options_.block_size == 0 || options_.block_size > 200)
+    throw ConfigError("SADC/x86 block size must be in [1,200] (count byte limit)");
+  if (options_.max_symbols > kMaxSymbols)
+    throw ConfigError("SADC dictionary limited to 256 symbols");
+}
+
+core::CompressedImage SadcX86Codec::compress(std::span<const std::uint8_t> code) const {
+  // Tokenize.
+  const std::vector<x86::InstrLayout> layouts = x86::decode_all(code);
+  std::vector<XInstr> instrs;
+  instrs.reserve(layouts.size());
+  std::map<std::string, std::uint32_t> opcode_freq;
+  {
+    std::size_t pos = 0;
+    for (const x86::InstrLayout& l : layouts) {
+      XInstr in;
+      const std::size_t op_len = static_cast<std::size_t>(l.prefix_len) + l.opcode_len;
+      in.opcode_bytes.assign(code.begin() + static_cast<std::ptrdiff_t>(pos),
+                             code.begin() + static_cast<std::ptrdiff_t>(pos + op_len));
+      in.modrm_bytes.assign(
+          code.begin() + static_cast<std::ptrdiff_t>(pos + op_len),
+          code.begin() + static_cast<std::ptrdiff_t>(pos + op_len + l.modrm_len));
+      in.imm_bytes.assign(
+          code.begin() + static_cast<std::ptrdiff_t>(pos + op_len + l.modrm_len),
+          code.begin() + static_cast<std::ptrdiff_t>(pos + l.total));
+      in.all_bytes.assign(code.begin() + static_cast<std::ptrdiff_t>(pos),
+                          code.begin() + static_cast<std::ptrdiff_t>(pos + l.total));
+      ++opcode_freq[std::string(in.opcode_bytes.begin(), in.opcode_bytes.end())];
+      instrs.push_back(std::move(in));
+      pos += l.total;
+    }
+  }
+
+  // Choose base tokens: the most frequent opcode strings, leaving room for
+  // sequence entries. Rare strings fall back to the escape symbol.
+  const std::size_t reserve_for_sequences = options_.max_symbols / 3;
+  const std::size_t max_base =
+      options_.max_symbols > reserve_for_sequences + 1
+          ? options_.max_symbols - reserve_for_sequences - 1
+          : 1;
+  std::vector<std::pair<std::uint32_t, std::string>> by_freq;
+  by_freq.reserve(opcode_freq.size());
+  for (const auto& [s, f] : opcode_freq) by_freq.emplace_back(f, s);
+  std::sort(by_freq.begin(), by_freq.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::vector<std::string> opcode_strings;
+  std::unordered_map<std::string, std::uint16_t> string_to_token;
+  for (const auto& [f, s] : by_freq) {
+    if (opcode_strings.size() >= max_base) break;
+    string_to_token.emplace(s, static_cast<std::uint16_t>(opcode_strings.size()));
+    opcode_strings.push_back(s);
+  }
+
+  // Initial symbol table: escape + one base per kept opcode string.
+  SymbolTable table;
+  std::uint16_t escape_symbol = 0xFFFF;
+  std::vector<std::uint16_t> token_symbol(opcode_strings.size());
+  for (std::size_t t = 0; t < opcode_strings.size(); ++t) {
+    Symbol s;
+    s.kind = Symbol::Kind::kBase;
+    s.token = static_cast<std::uint16_t>(t);
+    token_symbol[t] = table.add(std::move(s));
+  }
+  for (XInstr& in : instrs) {
+    const std::string key(in.opcode_bytes.begin(), in.opcode_bytes.end());
+    const auto it = string_to_token.find(key);
+    if (it == string_to_token.end()) {
+      in.escape = true;
+      if (escape_symbol == 0xFFFF) {
+        Symbol s;
+        s.kind = Symbol::Kind::kRaw;
+        escape_symbol = table.add(std::move(s));
+      }
+    } else {
+      in.token = it->second;
+    }
+  }
+
+  // Block the instructions: accumulate until >= block_size original bytes
+  // (instruction-aligned blocks; the image records each block's true size).
+  std::vector<std::vector<Item>> blocks;
+  std::vector<std::uint32_t> block_sizes;
+  {
+    std::vector<Item> current;
+    std::uint32_t current_bytes = 0;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      const std::uint16_t sym = instrs[i].escape ? escape_symbol : token_symbol[instrs[i].token];
+      current.push_back({sym, static_cast<std::uint32_t>(i), 1});
+      current_bytes += static_cast<std::uint32_t>(instrs[i].all_bytes.size());
+      if (current_bytes >= options_.block_size || current.size() >= 200) {
+        blocks.push_back(std::move(current));
+        block_sizes.push_back(current_bytes);
+        current.clear();
+        current_bytes = 0;
+      }
+    }
+    if (!current.empty()) {
+      blocks.push_back(std::move(current));
+      block_sizes.push_back(current_bytes);
+    }
+  }
+
+  SeqBuilder builder(options_, std::move(table), std::move(blocks));
+  builder.run();
+  const auto& parsed = builder.blocks();
+  SymbolTable final_table = builder.take_table();
+
+  // Stream statistics.
+  std::vector<std::uint64_t> sym_freq(final_table.size(), 0);
+  std::vector<std::uint64_t> modrm_freq(256, 0);
+  std::vector<std::uint64_t> imm_freq(256, 0);
+  for (const auto& block : parsed) {
+    for (const Item& item : block) {
+      ++sym_freq[item.symbol];
+      const auto& leaves = final_table.leaves(item.symbol);
+      for (std::size_t j = 0; j < leaves.size(); ++j) {
+        const XInstr& in = instrs[item.first_instr + j];
+        if (leaves[j].raw || in.escape) {
+          ++modrm_freq[in.all_bytes.size() & 0xFF];
+          for (const std::uint8_t b : in.all_bytes) ++modrm_freq[b];
+        } else {
+          for (const std::uint8_t b : in.modrm_bytes) ++modrm_freq[b];
+          for (const std::uint8_t b : in.imm_bytes) ++imm_freq[b];
+        }
+      }
+    }
+  }
+  const HuffmanCode sym_code = HuffmanCode::from_frequencies(sym_freq);
+  const HuffmanCode modrm_code = HuffmanCode::from_frequencies(modrm_freq);
+  const HuffmanCode imm_code = HuffmanCode::from_frequencies(imm_freq);
+
+  // Encode blocks.
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint32_t> offsets;
+  for (const auto& block : parsed) {
+    offsets.push_back(static_cast<std::uint32_t>(payload.size()));
+    BitWriter bits;
+    std::size_t instr_total = 0;
+    for (const Item& item : block) instr_total += item.length;
+    bits.write_bits(instr_total, 8);
+    for (const Item& item : block) sym_code.encode(bits, item.symbol);
+    for (const Item& item : block) {
+      const auto& leaves = final_table.leaves(item.symbol);
+      for (std::size_t j = 0; j < leaves.size(); ++j) {
+        const XInstr& in = instrs[item.first_instr + j];
+        if (leaves[j].raw || in.escape) {
+          modrm_code.encode(bits, in.all_bytes.size() & 0xFF);
+          for (const std::uint8_t b : in.all_bytes) modrm_code.encode(bits, b);
+        } else {
+          for (const std::uint8_t b : in.modrm_bytes) modrm_code.encode(bits, b);
+        }
+      }
+    }
+    for (const Item& item : block) {
+      const auto& leaves = final_table.leaves(item.symbol);
+      for (std::size_t j = 0; j < leaves.size(); ++j) {
+        const XInstr& in = instrs[item.first_instr + j];
+        if (!leaves[j].raw && !in.escape)
+          for (const std::uint8_t b : in.imm_bytes) imm_code.encode(bits, b);
+      }
+    }
+    const std::vector<std::uint8_t> block_bytes = bits.take();
+    payload.insert(payload.end(), block_bytes.begin(), block_bytes.end());
+  }
+  offsets.push_back(static_cast<std::uint32_t>(payload.size()));
+
+  ByteSink tables;
+  final_table.serialize(tables);
+  serialize_opcode_strings(tables, opcode_strings);
+  sym_code.serialize(tables);
+  modrm_code.serialize(tables);
+  imm_code.serialize(tables);
+  return core::CompressedImage(core::CodecKind::kSadc, core::IsaKind::kX86,
+                               options_.block_size, code.size(), tables.take(),
+                               std::move(offsets), std::move(payload), std::move(block_sizes));
+}
+
+std::unique_ptr<core::BlockDecompressor> SadcX86Codec::make_decompressor(
+    const core::CompressedImage& image) const {
+  if (image.codec() != core::CodecKind::kSadc || image.isa() != core::IsaKind::kX86)
+    throw ConfigError("image was not produced by SADC/x86");
+  ByteSource src(image.tables());
+  SymbolTable table = SymbolTable::deserialize(src);
+  std::vector<std::string> opcode_strings = deserialize_opcode_strings(src);
+  HuffmanCode sym_code = HuffmanCode::deserialize(src);
+  HuffmanCode modrm_code = HuffmanCode::deserialize(src);
+  HuffmanCode imm_code = HuffmanCode::deserialize(src);
+  return std::make_unique<SadcX86Decompressor>(image, std::move(table),
+                                               std::move(opcode_strings), std::move(sym_code),
+                                               std::move(modrm_code), std::move(imm_code));
+}
+
+}  // namespace ccomp::sadc

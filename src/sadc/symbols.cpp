@@ -1,0 +1,130 @@
+#include "sadc/symbols.h"
+
+#include "support/error.h"
+
+namespace ccomp::sadc {
+
+std::uint16_t SymbolTable::add(Symbol symbol) {
+  const std::uint16_t id = static_cast<std::uint16_t>(symbols_.size());
+  if (symbol.kind == Symbol::Kind::kSeq) {
+    if (symbol.components.size() < 2) throw ConfigError("sequence symbol needs >= 2 components");
+    for (const std::uint16_t c : symbol.components)
+      if (c >= id) throw ConfigError("sequence component must precede the sequence");
+  }
+  symbols_.push_back(std::move(symbol));
+  leaves_.emplace_back();
+  build_leaves(id);
+  return id;
+}
+
+void SymbolTable::build_leaves(std::uint16_t id) {
+  const Symbol& s = symbols_[id];
+  std::vector<Leaf>& out = leaves_[id];
+  switch (s.kind) {
+    case Symbol::Kind::kBase: {
+      Leaf leaf;
+      leaf.token = s.token;
+      out.push_back(leaf);
+      break;
+    }
+    case Symbol::Kind::kRaw: {
+      Leaf leaf;
+      leaf.raw = true;
+      out.push_back(leaf);
+      break;
+    }
+    case Symbol::Kind::kRegSpec: {
+      Leaf leaf;
+      leaf.token = s.token;
+      leaf.regs_absorbed = true;
+      for (int i = 0; i < 4; ++i) leaf.absorbed_regs[i] = s.regs[i];
+      out.push_back(leaf);
+      break;
+    }
+    case Symbol::Kind::kImmSpec: {
+      Leaf leaf;
+      leaf.token = s.token;
+      leaf.imm_absorbed = true;
+      leaf.absorbed_imm16 = s.imm16;
+      out.push_back(leaf);
+      break;
+    }
+    case Symbol::Kind::kSeq: {
+      for (const std::uint16_t c : s.components) {
+        const std::vector<Leaf>& sub = leaves_[c];
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      break;
+    }
+  }
+}
+
+std::size_t SymbolTable::expanded_length(std::uint16_t id) const { return leaves_.at(id).size(); }
+
+const std::vector<Leaf>& SymbolTable::leaves(std::uint16_t id) const { return leaves_.at(id); }
+
+void SymbolTable::serialize(ByteSink& sink) const {
+  sink.varint(symbols_.size());
+  for (const Symbol& s : symbols_) {
+    sink.u8(static_cast<std::uint8_t>(s.kind));
+    switch (s.kind) {
+      case Symbol::Kind::kBase:
+        sink.u16(s.token);
+        break;
+      case Symbol::Kind::kRaw:
+        break;
+      case Symbol::Kind::kSeq:
+        sink.varint(s.components.size());
+        for (const std::uint16_t c : s.components) sink.u8(static_cast<std::uint8_t>(c));
+        break;
+      case Symbol::Kind::kRegSpec:
+        sink.u16(s.token);
+        sink.u8(s.reg_count);
+        for (unsigned i = 0; i < s.reg_count; ++i) sink.u8(s.regs[i]);
+        break;
+      case Symbol::Kind::kImmSpec:
+        sink.u16(s.token);
+        sink.u16(s.imm16);
+        break;
+    }
+  }
+}
+
+SymbolTable SymbolTable::deserialize(ByteSource& src) {
+  SymbolTable table;
+  const std::uint64_t count = src.varint();
+  if (count > kMaxSymbols) throw CorruptDataError("dictionary too large");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Symbol s;
+    s.kind = static_cast<Symbol::Kind>(src.u8());
+    switch (s.kind) {
+      case Symbol::Kind::kBase:
+        s.token = src.u16();
+        break;
+      case Symbol::Kind::kRaw:
+        break;
+      case Symbol::Kind::kSeq: {
+        const std::uint64_t n = src.varint();
+        if (n < 2 || n > kMaxSymbols) throw CorruptDataError("bad sequence length");
+        for (std::uint64_t k = 0; k < n; ++k) s.components.push_back(src.u8());
+        break;
+      }
+      case Symbol::Kind::kRegSpec:
+        s.token = src.u16();
+        s.reg_count = src.u8();
+        if (s.reg_count > 4) throw CorruptDataError("bad absorbed register count");
+        for (unsigned k = 0; k < s.reg_count; ++k) s.regs[k] = src.u8();
+        break;
+      case Symbol::Kind::kImmSpec:
+        s.token = src.u16();
+        s.imm16 = src.u16();
+        break;
+      default:
+        throw CorruptDataError("unknown symbol kind");
+    }
+    table.add(std::move(s));
+  }
+  return table;
+}
+
+}  // namespace ccomp::sadc

@@ -1,0 +1,72 @@
+// SADC dictionary symbols (paper Sec. 4).
+//
+// The semiadaptive dictionary maps one-byte-ish indices to opcodes or
+// opcode combinations. Symbols come in five kinds:
+//   kBase    — one ISA opcode token (a row of the MIPS opcode table, or a
+//              distinct x86 prefix+opcode byte string).
+//   kRaw     — an instruction the ISA layer could not tokenize; its bytes
+//              travel in the immediate stream.
+//   kSeq     — a sequence of existing symbols (the augmented opcodes built
+//              from adjacent pairs/triples; nesting yields longer groups).
+//   kRegSpec — a base opcode with all of its register operands frozen to
+//              specific values (the paper's "jr R31" example).
+//   kImmSpec — a base opcode with its 16-bit immediate frozen.
+//
+// The table serializes into the compressed image; its size is charged to
+// the compression ratio.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/serialize.h"
+
+namespace ccomp::sadc {
+
+inline constexpr std::size_t kMaxSymbols = 256;  // one-byte dictionary indices
+
+struct Symbol {
+  enum class Kind : std::uint8_t { kBase = 0, kRaw = 1, kSeq = 2, kRegSpec = 3, kImmSpec = 4 };
+  Kind kind = Kind::kBase;
+  std::uint16_t token = 0;                  // kBase/kRegSpec/kImmSpec
+  std::vector<std::uint16_t> components;    // kSeq (symbol ids, each < this id)
+  std::uint8_t reg_count = 0;               // kRegSpec: number of absorbed registers
+  std::uint8_t regs[4] = {};                // kRegSpec: absorbed values
+  std::uint16_t imm16 = 0;                  // kImmSpec: absorbed value
+};
+
+/// One fully-expanded instruction slot of a symbol: which opcode token it
+/// is and which operands the dictionary already supplies.
+struct Leaf {
+  std::uint16_t token = 0;
+  bool raw = false;
+  bool regs_absorbed = false;     // all register operands come from the dictionary
+  std::uint8_t absorbed_regs[4] = {};
+  bool imm_absorbed = false;
+  std::uint16_t absorbed_imm16 = 0;
+};
+
+class SymbolTable {
+ public:
+  std::uint16_t add(Symbol symbol);
+  const Symbol& at(std::size_t id) const { return symbols_.at(id); }
+  std::size_t size() const { return symbols_.size(); }
+
+  /// Number of instructions a symbol expands to.
+  std::size_t expanded_length(std::uint16_t id) const;
+
+  /// Expansion of a symbol into instruction leaves (the decompressor's
+  /// opcode-extractor + operand-length unit, precomputed).
+  const std::vector<Leaf>& leaves(std::uint16_t id) const;
+
+  /// Serialized dictionary size contribution.
+  void serialize(ByteSink& sink) const;
+  static SymbolTable deserialize(ByteSource& src);
+
+ private:
+  void build_leaves(std::uint16_t id);
+  std::vector<Symbol> symbols_;
+  std::vector<std::vector<Leaf>> leaves_;  // parallel to symbols_
+};
+
+}  // namespace ccomp::sadc

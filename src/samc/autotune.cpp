@@ -1,0 +1,67 @@
+#include "samc/autotune.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ccomp::samc {
+
+using coding::MarkovConfig;
+using coding::MarkovModel;
+using coding::StreamDivision;
+
+AutoTuneResult choose_markov_config(std::span<const std::uint32_t> words,
+                                    const AutoTuneOptions& options) {
+  if (words.empty()) throw ConfigError("auto-tune needs a non-empty program");
+  const std::span<const std::uint32_t> sample =
+      words.subspan(0, std::min(words.size(), options.sample_words));
+
+  std::vector<MarkovConfig> candidates;
+  for (const unsigned streams : {4u, 8u, 16u}) {
+    for (const unsigned ctx : {0u, 1u, 2u}) {
+      MarkovConfig config;
+      config.division = StreamDivision::contiguous(32, streams);
+      config.context_bits = ctx;
+      config.connect_across_words = ctx > 0;
+      candidates.push_back(config);
+    }
+  }
+  if (options.use_division_optimizer) {
+    OptimizerOptions opt;
+    opt.stream_count = 4;
+    opt.swap_attempts = options.optimizer_swaps;
+    opt.sample_words = options.sample_words;
+    opt.block_words = options.block_words;
+    opt.seed = options.seed;
+    const StreamDivision optimized = optimize_division(words, opt);
+    for (const unsigned ctx : {0u, 1u, 2u}) {
+      MarkovConfig config;
+      config.division = optimized;
+      config.context_bits = ctx;
+      config.connect_across_words = ctx > 0;
+      candidates.push_back(config);
+    }
+  }
+
+  AutoTuneResult best;
+  bool first = true;
+  for (const MarkovConfig& config : candidates) {
+    const MarkovModel model = MarkovModel::train(config, sample, options.block_words);
+    // Project the per-word payload cost measured on the sample onto the
+    // whole program before adding the (fixed) table cost — otherwise the
+    // tables look artificially expensive and the search under-models large
+    // programs.
+    const double payload_bits = model.estimate_bits(sample, options.block_words) *
+                                (static_cast<double>(words.size()) /
+                                 static_cast<double>(sample.size()));
+    const double bits = payload_bits + 8.0 * static_cast<double>(model.table_bytes());
+    if (first || bits < best.estimated_bits) {
+      first = false;
+      best.config = config;
+      best.estimated_bits = bits;
+      best.estimated_ratio = bits / (32.0 * static_cast<double>(words.size()));
+    }
+  }
+  return best;
+}
+
+}  // namespace ccomp::samc

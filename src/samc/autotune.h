@@ -1,0 +1,41 @@
+// Markov model selection — the paper's future work ("some research can be
+// done on how to generate the best Markov model given a subject program").
+//
+// Searches the model family implemented here: contiguous stream divisions
+// of several widths plus the randomized-swap-optimized division, crossed
+// with inter-stream context widths, scoring each candidate by its total
+// estimated cost on a training sample (model cross-entropy + probability
+// tables, exactly what ends up in the compressed image).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "coding/markov.h"
+#include "samc/optimizer.h"
+
+namespace ccomp::samc {
+
+struct AutoTuneOptions {
+  std::size_t sample_words = 16384;
+  std::size_t block_words = 8;
+  /// Also run the stream-division optimizer for each stream count (slower).
+  bool use_division_optimizer = true;
+  unsigned optimizer_swaps = 60;
+  std::uint64_t seed = 0x7E57ull;
+};
+
+struct AutoTuneResult {
+  coding::MarkovConfig config;
+  /// Estimated compressed bits (payload + tables) of the *sample* under the
+  /// chosen config; compare across candidates, not across programs.
+  double estimated_bits = 0.0;
+  /// Estimated compression ratio on the sample (payload + tables only).
+  double estimated_ratio = 0.0;
+};
+
+/// Pick the best Markov configuration for a program of 32-bit words.
+AutoTuneResult choose_markov_config(std::span<const std::uint32_t> words,
+                                    const AutoTuneOptions& options = {});
+
+}  // namespace ccomp::samc

@@ -1,0 +1,96 @@
+#include "samc/optimizer.h"
+
+#include <algorithm>
+
+#include "support/histogram.h"
+#include "support/rng.h"
+
+namespace ccomp::samc {
+
+using coding::MarkovConfig;
+using coding::MarkovModel;
+using coding::StreamDivision;
+
+double division_cost_bits(const StreamDivision& division, std::span<const std::uint32_t> words,
+                          unsigned context_bits, std::size_t block_words) {
+  MarkovConfig config;
+  config.division = division;
+  config.context_bits = context_bits;
+  const MarkovModel model = MarkovModel::train(config, words, block_words);
+  return model.estimate_bits(words, block_words) +
+         8.0 * static_cast<double>(model.table_bytes());
+}
+
+StreamDivision optimize_division(std::span<const std::uint32_t> words,
+                                 const OptimizerOptions& options) {
+  if (options.stream_count == 0 || 32 % options.stream_count != 0)
+    throw ConfigError("optimizer stream_count must divide 32");
+  const unsigned width = 32 / options.stream_count;
+  const std::span<const std::uint32_t> sample =
+      words.subspan(0, std::min(words.size(), options.sample_words));
+
+  // --- correlation-seeded initial grouping -----------------------------
+  const std::vector<double> corr = bit_correlation_matrix(sample);
+  std::vector<int> assigned(32, -1);
+  StreamDivision division;
+  division.word_bits = 32;
+  division.streams.assign(options.stream_count, {});
+
+  // Seed stream s with the highest unassigned bit position, then greedily
+  // pull in the bits most correlated with the stream's current members.
+  for (unsigned s = 0; s < options.stream_count; ++s) {
+    int seed_bit = -1;
+    for (int b = 31; b >= 0; --b)
+      if (assigned[static_cast<std::size_t>(b)] < 0) {
+        seed_bit = b;
+        break;
+      }
+    assigned[static_cast<std::size_t>(seed_bit)] = static_cast<int>(s);
+    division.streams[s].push_back(static_cast<std::uint8_t>(seed_bit));
+    while (division.streams[s].size() < width) {
+      int best = -1;
+      double best_score = -1.0;
+      for (int b = 0; b < 32; ++b) {
+        if (assigned[static_cast<std::size_t>(b)] >= 0) continue;
+        double score = 0.0;
+        for (const std::uint8_t member : division.streams[s])
+          score += corr[static_cast<std::size_t>(b) * 32 + member];
+        if (score > best_score) {
+          best_score = score;
+          best = b;
+        }
+      }
+      assigned[static_cast<std::size_t>(best)] = static_cast<int>(s);
+      division.streams[s].push_back(static_cast<std::uint8_t>(best));
+    }
+    // Keep a deterministic MSB-first order inside the stream.
+    std::sort(division.streams[s].begin(), division.streams[s].end(),
+              std::greater<std::uint8_t>());
+  }
+  division.validate();
+
+  // --- randomized exchange hill-climbing --------------------------------
+  Rng rng(options.seed);
+  double best_cost =
+      division_cost_bits(division, sample, options.context_bits, options.block_words);
+  for (unsigned it = 0; it < options.swap_attempts; ++it) {
+    const std::size_t s1 = rng.next_below(options.stream_count);
+    std::size_t s2 = rng.next_below(options.stream_count);
+    if (s1 == s2) s2 = (s2 + 1) % options.stream_count;
+    StreamDivision candidate = division;
+    auto& a = candidate.streams[s1];
+    auto& b = candidate.streams[s2];
+    std::swap(a[rng.next_below(a.size())], b[rng.next_below(b.size())]);
+    std::sort(a.begin(), a.end(), std::greater<std::uint8_t>());
+    std::sort(b.begin(), b.end(), std::greater<std::uint8_t>());
+    const double cost =
+        division_cost_bits(candidate, sample, options.context_bits, options.block_words);
+    if (cost < best_cost) {
+      best_cost = cost;
+      division = std::move(candidate);
+    }
+  }
+  return division;
+}
+
+}  // namespace ccomp::samc

@@ -1,0 +1,42 @@
+// Stream-division optimizer (paper Sec. 3).
+//
+// "Our program combines bits with high correlation to streams and
+//  calculates their entropies. It then attempts to exchange some bits
+//  between streams randomly and recalculates the entropies. If the new
+//  average entropy is lower it accepts this step, otherwise it tries a
+//  different combination."
+//
+// We reproduce that search: a correlation-seeded initial grouping followed
+// by randomized bit swaps between streams, accepting a swap when the
+// model-estimated compressed size (payload bits + probability-table bits,
+// measured on a training sample) decreases.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "coding/markov.h"
+
+namespace ccomp::samc {
+
+struct OptimizerOptions {
+  unsigned stream_count = 4;
+  unsigned swap_attempts = 150;   // randomized exchange steps
+  std::size_t sample_words = 16384;  // evaluate on a prefix sample for speed
+  std::size_t block_words = 8;       // training resets, as compression will
+  unsigned context_bits = 1;
+  std::uint64_t seed = 0x0D15EA5Eull;
+};
+
+/// Total cost (in bits) of compressing `words` under a division: model
+/// cross-entropy plus 8x the probability-table bytes.
+double division_cost_bits(const coding::StreamDivision& division,
+                          std::span<const std::uint32_t> words,
+                          unsigned context_bits, std::size_t block_words);
+
+/// Run the paper's randomized search. `words` should be (a sample of) the
+/// subject program.
+coding::StreamDivision optimize_division(std::span<const std::uint32_t> words,
+                                         const OptimizerOptions& options = {});
+
+}  // namespace ccomp::samc

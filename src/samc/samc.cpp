@@ -1,0 +1,256 @@
+#include "samc/samc.h"
+
+#include <algorithm>
+
+#include "coding/nibblecoder.h"
+#include "coding/rangecoder.h"
+#include "support/error.h"
+
+namespace ccomp::samc {
+
+using coding::MarkovCursor;
+using coding::MarkovModel;
+using coding::RangeDecoder;
+using coding::RangeEncoder;
+using coding::StreamDivision;
+
+SamcOptions mips_defaults() {
+  SamcOptions o;
+  o.markov.division = StreamDivision::contiguous(32, 4);
+  o.markov.context_bits = 1;
+  o.markov.connect_across_words = true;
+  o.block_size = 32;
+  o.isa = core::IsaKind::kMips;
+  return o;
+}
+
+SamcOptions x86_defaults() {
+  SamcOptions o;
+  o.markov.division = StreamDivision::single(8);
+  o.markov.context_bits = 1;
+  o.markov.connect_across_words = true;  // connect byte to byte
+  o.block_size = 32;
+  o.isa = core::IsaKind::kX86;
+  return o;
+}
+
+SamcCodec::SamcCodec(SamcOptions options) : options_(std::move(options)) {
+  options_.markov.division.validate();
+  const unsigned word_bytes = options_.markov.division.word_bits / 8;
+  if (options_.markov.division.word_bits % 8 != 0)
+    throw ConfigError("SAMC word width must be a whole number of bytes");
+  if (options_.block_size == 0 || options_.block_size % word_bytes != 0)
+    throw ConfigError("block size must be a multiple of the word size");
+  if (options_.parallel_nibble_mode) {
+    if (!options_.markov.quantized || options_.markov.max_shift > 8)
+      throw ConfigError("parallel nibble mode requires quantized probabilities (shift <= 8)");
+    for (const auto& stream : options_.markov.division.streams)
+      if (stream.size() % 4 != 0)
+        throw ConfigError("parallel nibble mode requires stream widths divisible by 4");
+  }
+}
+
+std::vector<std::uint32_t> SamcCodec::code_to_words(std::span<const std::uint8_t> code) const {
+  const unsigned word_bytes = options_.markov.division.word_bits / 8;
+  if (code.size() % word_bytes != 0)
+    throw ConfigError("code size is not a multiple of the instruction word size");
+  std::vector<std::uint32_t> words;
+  words.reserve(code.size() / word_bytes);
+  for (std::size_t i = 0; i < code.size(); i += word_bytes) {
+    std::uint32_t w = 0;
+    for (unsigned b = word_bytes; b-- > 0;) w = (w << 8) | code[i + b];  // little-endian
+    words.push_back(w);
+  }
+  return words;
+}
+
+coding::MarkovModel SamcCodec::train_model(std::span<const std::uint8_t> code) const {
+  const unsigned word_bytes = options_.markov.division.word_bits / 8;
+  const std::vector<std::uint32_t> words = code_to_words(code);
+  // Gather statistics exactly as the per-block coder will see them.
+  return MarkovModel::train(options_.markov, words, options_.block_size / word_bytes);
+}
+
+core::CompressedImage SamcCodec::compress(std::span<const std::uint8_t> code) const {
+  return compress_with_model(code, train_model(code));
+}
+
+core::CompressedImage SamcCodec::compress_with_model(std::span<const std::uint8_t> code,
+                                                     const MarkovModel& model) const {
+  if (!(model.config().division == options_.markov.division))
+    throw ConfigError("supplied model's stream division does not match the codec");
+  if (options_.parallel_nibble_mode && !model.config().quantized)
+    throw ConfigError("parallel nibble mode needs a quantized model");
+  const unsigned word_bytes = options_.markov.division.word_bits / 8;
+  const std::vector<std::uint32_t> words = code_to_words(code);
+  const std::size_t words_per_block = options_.block_size / word_bytes;
+
+  // Pass 2: arithmetic-code each block independently. The serial and the
+  // parallel-nibble coders share the walk; only the interval engine differs.
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint32_t> offsets;
+  MarkovCursor cursor(model);
+  auto encode_blocks = [&](auto& encoder) {
+    for (std::size_t begin = 0; begin < words.size(); begin += words_per_block) {
+      offsets.push_back(static_cast<std::uint32_t>(payload.size()));
+      const std::size_t end = std::min(begin + words_per_block, words.size());
+      cursor.reset();
+      encoder.reset();
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t word = words[i];
+        for (unsigned b = 0; b < options_.markov.division.word_bits; ++b) {
+          const unsigned bit = (word >> cursor.next_bit_position()) & 1u;
+          encoder.encode_bit(bit, cursor.prob());
+          cursor.advance(bit);
+        }
+      }
+      encoder.finish();
+      const std::vector<std::uint8_t> block = encoder.take();
+      payload.insert(payload.end(), block.begin(), block.end());
+    }
+  };
+  if (options_.parallel_nibble_mode) {
+    coding::NibbleRangeEncoder encoder;
+    encode_blocks(encoder);
+  } else {
+    RangeEncoder encoder;
+    encode_blocks(encoder);
+  }
+  offsets.push_back(static_cast<std::uint32_t>(payload.size()));
+  if (words.empty()) {
+    // Degenerate empty program: single sentinel only.
+    offsets.assign(1, 0);
+  }
+
+  ByteSink tables;
+  tables.u8(options_.parallel_nibble_mode ? 1 : 0);  // engine flag
+  model.serialize(tables);
+  return core::CompressedImage(core::CodecKind::kSamc, options_.isa, options_.block_size,
+                               code.size(), tables.take(), std::move(offsets),
+                               std::move(payload));
+}
+
+namespace {
+
+// Serial decompressor: one range-decoder bit per Markov step.
+class SamcDecompressor final : public core::BlockDecompressor {
+ public:
+  SamcDecompressor(const core::CompressedImage& image, MarkovModel model)
+      : BlockDecompressor(image.block_count()), image_(&image), model_(std::move(model)) {}
+
+  std::vector<std::uint8_t> block(std::size_t index) const override {
+    const unsigned word_bits = model_.config().division.word_bits;
+    const unsigned word_bytes = word_bits / 8;
+    const std::size_t bytes = image_->block_original_size(index);
+    const std::size_t word_count = bytes / word_bytes;
+
+    RangeDecoder decoder(image_->block_payload(index));
+    MarkovCursor cursor(model_);
+    std::vector<std::uint8_t> out;
+    out.reserve(bytes);
+    for (std::size_t w = 0; w < word_count; ++w) {
+      std::uint32_t word = 0;
+      for (unsigned b = 0; b < word_bits; ++b) {
+        const unsigned pos = cursor.next_bit_position();
+        const unsigned bit = decoder.decode_bit(cursor.prob());
+        word |= static_cast<std::uint32_t>(bit) << pos;
+        cursor.advance(bit);
+      }
+      for (unsigned b = 0; b < word_bytes; ++b)
+        out.push_back(static_cast<std::uint8_t>(word >> (8 * b)));
+    }
+    return out;
+  }
+
+ private:
+  const core::CompressedImage* image_;
+  MarkovModel model_;
+};
+
+// Parallel (Fig. 5) decompressor: prefetches the 15 probabilities of the
+// coming nibble's subtree and resolves 4 bits per decode_nibble call.
+class NibbleSamcDecompressor final : public core::BlockDecompressor {
+ public:
+  NibbleSamcDecompressor(const core::CompressedImage& image, MarkovModel model)
+      : BlockDecompressor(image.block_count()), image_(&image), model_(std::move(model)) {}
+
+  std::vector<std::uint8_t> block(std::size_t index) const override {
+    const unsigned word_bits = model_.config().division.word_bits;
+    const unsigned word_bytes = word_bits / 8;
+    const std::size_t bytes = image_->block_original_size(index);
+    const std::size_t word_count = bytes / word_bytes;
+
+    coding::NibbleRangeDecoder decoder(image_->block_payload(index));
+    MarkovCursor cursor(model_);
+    std::vector<std::uint8_t> out;
+    out.reserve(bytes);
+    for (std::size_t w = 0; w < word_count; ++w) {
+      std::uint32_t word = 0;
+      for (unsigned group = 0; group < word_bits / 4; ++group) {
+        // Gather the probability subtree rooted at the cursor's node — this
+        // is the "probability memory" fetch feeding the 15 midpoint units.
+        coding::Prob probs[15];
+        std::size_t tree_nodes[15];
+        tree_nodes[0] = cursor.node();
+        const std::size_t stream = cursor.stream();
+        const std::size_t ctx = cursor.context();
+        for (std::size_t i = 0; i < 7; ++i) {
+          tree_nodes[2 * i + 1] = 2 * tree_nodes[i] + 1;
+          tree_nodes[2 * i + 2] = 2 * tree_nodes[i] + 2;
+        }
+        for (std::size_t i = 0; i < 15; ++i)
+          probs[i] = model_.prob0(stream, ctx, tree_nodes[i]);
+
+        const unsigned nibble = decoder.decode_nibble(probs);
+        for (int b = 3; b >= 0; --b) {
+          const unsigned bit = (nibble >> b) & 1u;
+          word |= static_cast<std::uint32_t>(bit) << cursor.next_bit_position();
+          cursor.advance(bit);
+        }
+      }
+      for (unsigned b = 0; b < word_bytes; ++b)
+        out.push_back(static_cast<std::uint8_t>(word >> (8 * b)));
+    }
+    return out;
+  }
+
+ private:
+  const core::CompressedImage* image_;
+  MarkovModel model_;
+};
+
+}  // namespace
+
+std::unique_ptr<core::BlockDecompressor> SamcCodec::make_decompressor(
+    const core::CompressedImage& image) const {
+  if (image.codec() != core::CodecKind::kSamc)
+    throw ConfigError("image was not produced by SAMC");
+  ByteSource src(image.tables());
+  const bool nibble_mode = src.u8() != 0;
+  MarkovModel model = MarkovModel::deserialize(src);
+  if (nibble_mode)
+    return std::make_unique<NibbleSamcDecompressor>(image, std::move(model));
+  return std::make_unique<SamcDecompressor>(image, std::move(model));
+}
+
+double SamcCodec::estimate_payload_bits(std::span<const std::uint8_t> code) const {
+  const unsigned word_bytes = options_.markov.division.word_bits / 8;
+  const std::vector<std::uint32_t> words = code_to_words(code);
+  const std::size_t words_per_block = options_.block_size / word_bytes;
+  const MarkovModel model = MarkovModel::train(options_.markov, words, words_per_block);
+  return model.estimate_bits(words, words_per_block);
+}
+
+std::size_t parallel_decode_units(unsigned bits_per_cycle) {
+  if (bits_per_cycle == 0 || bits_per_cycle > 8)
+    throw ConfigError("parallel decode width must be 1..8");
+  return (std::size_t{1} << bits_per_cycle) - 1;
+}
+
+std::size_t samc_decode_cycles(std::uint32_t block_size, unsigned bits_per_cycle,
+                               unsigned startup_cycles) {
+  const std::size_t bits = static_cast<std::size_t>(block_size) * 8;
+  return startup_cycles + (bits + bits_per_cycle - 1) / bits_per_cycle;
+}
+
+}  // namespace ccomp::samc

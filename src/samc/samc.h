@@ -1,0 +1,92 @@
+// SAMC — Semiadaptive Markov Compression (paper Sec. 3).
+//
+// ISA-independent: assumes only fixed-size instruction words. Instructions
+// are split into bit streams (default: four 8-bit streams for 32-bit RISC
+// words; a single 8-bit stream for byte-granular CISC code), a Markov tree
+// per stream is trained over the subject program, and each cache block is
+// arithmetic-coded independently: the coder interval and the Markov walk
+// both reset at every block boundary so the refill engine can start from
+// any block (the paper's random-access requirement).
+//
+// The compressed image stores the probability tables (charged to the
+// compression ratio, as the paper does) and the per-block payloads behind a
+// LAT. The hardware-motivated variants — probabilities quantized to powers
+// of 1/2 so midpoint updates are shift-only, and the 4-bit parallel decode
+// organisation of Fig. 5 — are exposed as options / analysis helpers.
+#pragma once
+
+#include <memory>
+
+#include "coding/markov.h"
+#include "core/codec.h"
+
+namespace ccomp::samc {
+
+struct SamcOptions {
+  coding::MarkovConfig markov;
+  /// Uncompressed bytes per compression block (= cache line size).
+  std::uint32_t block_size = 32;
+  core::IsaKind isa = core::IsaKind::kMips;
+  /// Use the Fig. 5 parallel-decode arithmetic: nibble-granular interval
+  /// renormalization with the decoder evaluating all 15 midpoints of each
+  /// 4-bit group. Requires quantized probabilities (max_shift <= 8) and
+  /// stream widths divisible by 4 — the hardware's constraints.
+  bool parallel_nibble_mode = false;
+};
+
+/// Defaults the paper found close to optimal for MIPS: 4 adjacent 8-bit
+/// streams, connected trees (1 context bit).
+SamcOptions mips_defaults();
+
+/// Pentium/byte-granular defaults: one 8-bit stream per code byte,
+/// connected trees across bytes.
+SamcOptions x86_defaults();
+
+class SamcCodec final : public core::BlockCodec {
+ public:
+  explicit SamcCodec(SamcOptions options);
+
+  std::string_view name() const override { return "SAMC"; }
+
+  core::CompressedImage compress(std::span<const std::uint8_t> code) const override;
+
+  /// Compress with a caller-supplied (pre-trained) model instead of the
+  /// semiadaptive two-pass scheme. This is the *static model* alternative
+  /// the paper's dictionary taxonomy describes (Sec. 4: static tables are
+  /// built once for all programs, semiadaptive per program, with the
+  /// semiadaptive ones "clearly" compressing better — measured by
+  /// bench/tab_static). The model's division must match this codec's.
+  core::CompressedImage compress_with_model(std::span<const std::uint8_t> code,
+                                            const coding::MarkovModel& model) const;
+
+  /// Train this codec's model on a program without compressing (for the
+  /// static-model workflow: train once, ship the table, reuse everywhere).
+  coding::MarkovModel train_model(std::span<const std::uint8_t> code) const;
+
+  std::unique_ptr<core::BlockDecompressor> make_decompressor(
+      const core::CompressedImage& image) const override;
+
+  const SamcOptions& options() const { return options_; }
+
+  /// Model-only estimate of the compressed payload bits for `code` (no coder
+  /// or block-flush overhead) under this codec's configuration. Used by the
+  /// stream-division optimizer and by tests that bound coder overhead.
+  double estimate_payload_bits(std::span<const std::uint8_t> code) const;
+
+ private:
+  std::vector<std::uint32_t> code_to_words(std::span<const std::uint8_t> code) const;
+
+  SamcOptions options_;
+};
+
+/// Cost model of the paper's Fig. 5 parallel decoder: decoding d bits per
+/// cycle requires 2^d - 1 midpoint units and 2^d - 1 stored probabilities
+/// fetched per cycle. Returns the number of midpoint/comparator units.
+std::size_t parallel_decode_units(unsigned bits_per_cycle);
+
+/// Cycles to decompress one block of `block_size` bytes with a decoder that
+/// resolves `bits_per_cycle` bits per cycle (plus fixed per-block startup).
+std::size_t samc_decode_cycles(std::uint32_t block_size, unsigned bits_per_cycle,
+                               unsigned startup_cycles = 4);
+
+}  // namespace ccomp::samc

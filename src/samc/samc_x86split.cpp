@@ -1,0 +1,246 @@
+#include "samc/samc_x86split.h"
+
+#include <algorithm>
+
+#include "coding/rangecoder.h"
+#include "isa/x86/x86.h"
+#include "support/error.h"
+
+namespace ccomp::samc {
+namespace {
+
+using coding::MarkovConfig;
+using coding::MarkovCursor;
+using coding::MarkovModel;
+using coding::RangeDecoder;
+using coding::RangeEncoder;
+
+constexpr unsigned kMaxBlockInstrs = 200;
+
+struct SplitInstr {
+  std::vector<std::uint8_t> opcode;  // prefixes + opcode byte(s)
+  std::vector<std::uint8_t> modrm;   // modrm [+ sib]
+  std::vector<std::uint8_t> tail;    // disp + imm
+  std::size_t total() const { return opcode.size() + modrm.size() + tail.size(); }
+};
+
+MarkovConfig stream_model_config(unsigned context_bits) {
+  MarkovConfig config;
+  config.division = coding::StreamDivision::single(8);
+  config.context_bits = context_bits;
+  config.connect_across_words = true;  // byte-to-byte memory within a stream
+  return config;
+}
+
+void encode_byte(RangeEncoder& encoder, MarkovCursor& cursor, std::uint8_t byte) {
+  for (int b = 7; b >= 0; --b) {
+    const unsigned bit = (byte >> b) & 1u;
+    encoder.encode_bit(bit, cursor.prob());
+    cursor.advance(bit);
+  }
+}
+
+std::uint8_t decode_byte(RangeDecoder& decoder, MarkovCursor& cursor) {
+  std::uint8_t byte = 0;
+  for (int b = 7; b >= 0; --b) {
+    const unsigned bit = decoder.decode_bit(cursor.prob());
+    cursor.advance(bit);
+    byte = static_cast<std::uint8_t>((byte << 1) | bit);
+  }
+  return byte;
+}
+
+class SplitDecompressor final : public core::BlockDecompressor {
+ public:
+  SplitDecompressor(const core::CompressedImage& image, MarkovModel opcode_model,
+                    MarkovModel modrm_model, MarkovModel imm_model)
+      : BlockDecompressor(image.block_count()),
+        image_(&image),
+        opcode_model_(std::move(opcode_model)),
+        modrm_model_(std::move(modrm_model)),
+        imm_model_(std::move(imm_model)) {}
+
+  std::vector<std::uint8_t> block(std::size_t index) const override {
+    RangeDecoder decoder(image_->block_payload(index));
+    MarkovCursor op_cursor(opcode_model_);
+    MarkovCursor mod_cursor(modrm_model_);
+    MarkovCursor imm_cursor(imm_model_);
+
+    std::size_t instr_count = 0;
+    for (int b = 0; b < 8; ++b)
+      instr_count = (instr_count << 1) | decoder.decode_bit(coding::kProbHalf);
+
+    // Phase A: opcode stream — re-parse prefix runs and 0F escapes to find
+    // each instruction's opcode-group length (the decompressor-side
+    // complexity the paper warned about).
+    std::vector<SplitInstr> instrs(instr_count);
+    for (SplitInstr& in : instrs) {
+      unsigned prefix_run = 0;
+      for (;;) {
+        const std::uint8_t byte = decode_byte(decoder, op_cursor);
+        in.opcode.push_back(byte);
+        if (x86::is_prefix_byte(byte)) {
+          if (++prefix_run > 8) throw CorruptDataError("prefix run too long");
+          continue;
+        }
+        if (x86::is_escape_byte(byte)) in.opcode.push_back(decode_byte(decoder, op_cursor));
+        break;
+      }
+    }
+
+    // Phase B: ModRM stream.
+    struct Shape {
+      unsigned disp_len = 0;
+      unsigned imm_len = 0;
+    };
+    std::vector<Shape> shapes(instr_count);
+    for (std::size_t i = 0; i < instr_count; ++i) {
+      const auto cls = x86::classify_opcode(instrs[i].opcode);
+      shapes[i].imm_len = cls.imm_bytes;
+      if (!cls.has_modrm) continue;
+      const std::uint8_t modrm = decode_byte(decoder, mod_cursor);
+      instrs[i].modrm.push_back(modrm);
+      std::uint8_t sib = 0;
+      if (x86::modrm_has_sib(modrm)) {
+        sib = decode_byte(decoder, mod_cursor);
+        instrs[i].modrm.push_back(sib);
+      }
+      shapes[i].disp_len = x86::modrm_disp_bytes(modrm, sib);
+      if (cls.group3 && ((modrm >> 3) & 7) <= 1) shapes[i].imm_len += cls.group3_imm_bytes;
+    }
+
+    // Phase C: displacement/immediate stream.
+    for (std::size_t i = 0; i < instr_count; ++i)
+      for (unsigned k = 0; k < shapes[i].disp_len + shapes[i].imm_len; ++k)
+        instrs[i].tail.push_back(decode_byte(decoder, imm_cursor));
+
+    std::vector<std::uint8_t> out;
+    out.reserve(image_->block_original_size(index));
+    for (const SplitInstr& in : instrs) {
+      out.insert(out.end(), in.opcode.begin(), in.opcode.end());
+      out.insert(out.end(), in.modrm.begin(), in.modrm.end());
+      out.insert(out.end(), in.tail.begin(), in.tail.end());
+    }
+    if (out.size() != image_->block_original_size(index))
+      throw CorruptDataError("SAMC-split block size mismatch");
+    return out;
+  }
+
+ private:
+  const core::CompressedImage* image_;
+  MarkovModel opcode_model_;
+  MarkovModel modrm_model_;
+  MarkovModel imm_model_;
+};
+
+}  // namespace
+
+SamcX86SplitCodec::SamcX86SplitCodec(SamcX86SplitOptions options) : options_(options) {
+  if (options_.block_size == 0 || options_.block_size > 200)
+    throw ConfigError("SAMC-split block size must be in [1,200]");
+  if (options_.context_bits > 8) throw ConfigError("context_bits must be <= 8");
+}
+
+core::CompressedImage SamcX86SplitCodec::compress(std::span<const std::uint8_t> code) const {
+  // Tokenize into the three streams.
+  const std::vector<x86::InstrLayout> layouts = x86::decode_all(code);
+  std::vector<SplitInstr> instrs;
+  instrs.reserve(layouts.size());
+  {
+    std::size_t pos = 0;
+    for (const x86::InstrLayout& l : layouts) {
+      SplitInstr in;
+      const std::size_t op_len = static_cast<std::size_t>(l.prefix_len) + l.opcode_len;
+      auto at = [&](std::size_t o) { return code.begin() + static_cast<std::ptrdiff_t>(o); };
+      in.opcode.assign(at(pos), at(pos + op_len));
+      in.modrm.assign(at(pos + op_len), at(pos + op_len + l.modrm_len));
+      in.tail.assign(at(pos + op_len + l.modrm_len), at(pos + l.total));
+      instrs.push_back(std::move(in));
+      pos += l.total;
+    }
+  }
+
+  // Instruction-aligned blocks of ~block_size original bytes.
+  std::vector<std::pair<std::size_t, std::size_t>> blocks;  // [first, last) instr
+  std::vector<std::uint32_t> block_sizes;
+  {
+    std::size_t first = 0;
+    std::uint32_t bytes = 0;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      bytes += static_cast<std::uint32_t>(instrs[i].total());
+      const bool full = bytes >= options_.block_size || (i - first + 1) >= kMaxBlockInstrs;
+      if (full) {
+        blocks.emplace_back(first, i + 1);
+        block_sizes.push_back(bytes);
+        first = i + 1;
+        bytes = 0;
+      }
+    }
+    if (first < instrs.size()) {
+      blocks.emplace_back(first, instrs.size());
+      block_sizes.push_back(bytes);
+    }
+  }
+
+  // Train one byte model per stream. Training runs over the whole stream
+  // without block resets (a block's segment boundaries vary); the coder
+  // still resets per block, so this only slightly blurs the statistics.
+  const MarkovConfig config = stream_model_config(options_.context_bits);
+  auto train_stream = [&](auto member) {
+    std::vector<std::uint32_t> bytes;
+    for (const SplitInstr& in : instrs)
+      for (const std::uint8_t b : in.*member) bytes.push_back(b);
+    return MarkovModel::train(config, bytes);
+  };
+  const MarkovModel opcode_model = train_stream(&SplitInstr::opcode);
+  const MarkovModel modrm_model = train_stream(&SplitInstr::modrm);
+  const MarkovModel imm_model = train_stream(&SplitInstr::tail);
+
+  // Encode blocks: one coder, three model cursors, fixed phase order.
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint32_t> offsets;
+  RangeEncoder encoder;
+  for (const auto& [first, last] : blocks) {
+    offsets.push_back(static_cast<std::uint32_t>(payload.size()));
+    encoder.reset();
+    MarkovCursor op_cursor(opcode_model);
+    MarkovCursor mod_cursor(modrm_model);
+    MarkovCursor imm_cursor(imm_model);
+    const std::size_t count = last - first;
+    for (int b = 7; b >= 0; --b)
+      encoder.encode_bit(static_cast<unsigned>((count >> b) & 1), coding::kProbHalf);
+    for (std::size_t i = first; i < last; ++i)
+      for (const std::uint8_t b : instrs[i].opcode) encode_byte(encoder, op_cursor, b);
+    for (std::size_t i = first; i < last; ++i)
+      for (const std::uint8_t b : instrs[i].modrm) encode_byte(encoder, mod_cursor, b);
+    for (std::size_t i = first; i < last; ++i)
+      for (const std::uint8_t b : instrs[i].tail) encode_byte(encoder, imm_cursor, b);
+    encoder.finish();
+    const std::vector<std::uint8_t> block_bytes = encoder.take();
+    payload.insert(payload.end(), block_bytes.begin(), block_bytes.end());
+  }
+  offsets.push_back(static_cast<std::uint32_t>(payload.size()));
+
+  ByteSink tables;
+  opcode_model.serialize(tables);
+  modrm_model.serialize(tables);
+  imm_model.serialize(tables);
+  return core::CompressedImage(core::CodecKind::kSamcX86Split, core::IsaKind::kX86,
+                               options_.block_size, code.size(), tables.take(),
+                               std::move(offsets), std::move(payload),
+                               std::move(block_sizes));
+}
+
+std::unique_ptr<core::BlockDecompressor> SamcX86SplitCodec::make_decompressor(
+    const core::CompressedImage& image) const {
+  if (image.codec() != core::CodecKind::kSamcX86Split)
+    throw ConfigError("image was not produced by SAMC-split");
+  ByteSource src(image.tables());
+  MarkovModel opcode_model = MarkovModel::deserialize(src);
+  MarkovModel modrm_model = MarkovModel::deserialize(src);
+  MarkovModel imm_model = MarkovModel::deserialize(src);
+  return std::make_unique<SplitDecompressor>(image, std::move(opcode_model),
+                                             std::move(modrm_model), std::move(imm_model));
+}
+
+}  // namespace ccomp::samc

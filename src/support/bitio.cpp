@@ -1,0 +1,91 @@
+#include "support/bitio.h"
+
+namespace ccomp {
+
+void BitWriter::write_bits(std::uint64_t value, unsigned count) {
+  if (count > 64) throw ConfigError("BitWriter::write_bits count > 64");
+  if (count == 0) return;
+  if (count < 64) value &= (std::uint64_t{1} << count) - 1;
+  // Emit from the most significant of the `count` bits downward.
+  unsigned remaining = count;
+  while (remaining > 0) {
+    if (pending_bits_ == 0) bytes_.push_back(0);
+    const unsigned room = 8 - pending_bits_;
+    const unsigned take = remaining < room ? remaining : room;
+    const std::uint64_t chunk = (value >> (remaining - take)) & ((std::uint64_t{1} << take) - 1);
+    bytes_.back() = static_cast<std::uint8_t>(bytes_.back() | (chunk << (room - take)));
+    pending_bits_ = (pending_bits_ + take) & 7u;
+    remaining -= take;
+  }
+  bit_count_ += count;
+}
+
+void BitWriter::align_to_byte() {
+  if (pending_bits_ != 0) {
+    bit_count_ += 8 - pending_bits_;
+    pending_bits_ = 0;
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::take() {
+  align_to_byte();
+  bit_count_ = 0;
+  return std::move(bytes_);
+}
+
+std::uint64_t BitReader::read_bits(unsigned count) {
+  if (count > 64) throw ConfigError("BitReader::read_bits count > 64");
+  if (bit_pos_ + count > bit_size()) throw CorruptDataError("bit stream truncated");
+  std::uint64_t value = 0;
+  unsigned remaining = count;
+  while (remaining > 0) {
+    const std::size_t byte_index = static_cast<std::size_t>(bit_pos_ >> 3);
+    const unsigned bit_in_byte = static_cast<unsigned>(bit_pos_ & 7u);
+    const unsigned avail = 8 - bit_in_byte;
+    const unsigned take = remaining < avail ? remaining : avail;
+    const unsigned shift = avail - take;
+    const std::uint8_t chunk =
+        static_cast<std::uint8_t>((data_[byte_index] >> shift) & ((1u << take) - 1u));
+    value = (value << take) | chunk;
+    bit_pos_ += take;
+    remaining -= take;
+  }
+  return value;
+}
+
+std::uint64_t BitReader::peek_bits(unsigned count) const {
+  if (count > 64) throw ConfigError("BitReader::peek_bits count > 64");
+  std::uint64_t value = 0;
+  std::uint64_t pos = bit_pos_;
+  unsigned remaining = count;
+  const std::uint64_t size = bit_size();
+  while (remaining > 0) {
+    if (pos >= size) {
+      value <<= remaining;  // zero padding past the end
+      break;
+    }
+    const std::size_t byte_index = static_cast<std::size_t>(pos >> 3);
+    const unsigned bit_in_byte = static_cast<unsigned>(pos & 7u);
+    const unsigned avail = 8 - bit_in_byte;
+    const unsigned take = remaining < avail ? remaining : avail;
+    const unsigned shift = avail - take;
+    const std::uint8_t chunk =
+        static_cast<std::uint8_t>((data_[byte_index] >> shift) & ((1u << take) - 1u));
+    value = (value << take) | chunk;
+    pos += take;
+    remaining -= take;
+  }
+  return value;
+}
+
+void BitReader::align_to_byte() {
+  bit_pos_ = (bit_pos_ + 7) & ~std::uint64_t{7};
+  if (bit_pos_ > bit_size()) bit_pos_ = bit_size();
+}
+
+void BitReader::seek_bits(std::uint64_t bit_offset) {
+  if (bit_offset > bit_size()) throw CorruptDataError("seek past end of bit stream");
+  bit_pos_ = bit_offset;
+}
+
+}  // namespace ccomp

@@ -1,0 +1,92 @@
+// MSB-first bit-level I/O over byte buffers.
+//
+// BitWriter accumulates bits into a std::vector<uint8_t>; BitReader consumes
+// bits from a read-only span. Both are MSB-first (the first bit written is
+// the most significant bit of the first byte), which matches the convention
+// used by canonical Huffman codes and makes compressed dumps readable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/error.h"
+
+namespace ccomp {
+
+/// Writes bits MSB-first into an internal byte vector.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Append the low `count` bits of `value`, most significant first.
+  /// `count` must be in [0, 64].
+  void write_bits(std::uint64_t value, unsigned count);
+
+  /// Append a single bit (0 or 1).
+  void write_bit(unsigned bit) { write_bits(bit & 1u, 1); }
+
+  /// Append a whole byte (8 bits).
+  void write_byte(std::uint8_t byte) { write_bits(byte, 8); }
+
+  /// Pad with zero bits to the next byte boundary.
+  void align_to_byte();
+
+  /// Number of bits written so far.
+  std::uint64_t bit_count() const { return bit_count_; }
+
+  /// Finish (pads to byte boundary) and return the buffer.
+  std::vector<std::uint8_t> take();
+
+  /// View of the bytes written so far, excluding any partially filled byte.
+  std::span<const std::uint8_t> complete_bytes() const {
+    return {bytes_.data(), bytes_.size() - (pending_bits_ > 0 ? 1 : 0)};
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  unsigned pending_bits_ = 0;  // bits used in the last byte of bytes_ (0..7)
+  std::uint64_t bit_count_ = 0;
+};
+
+/// Reads bits MSB-first from a caller-owned byte span.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Read `count` bits (0..64) and return them right-aligned.
+  /// Throws CorruptDataError past the end of the buffer.
+  std::uint64_t read_bits(unsigned count);
+
+  /// Non-consuming lookahead: the next `count` bits left-aligned within
+  /// `count` (i.e. as read_bits would return them), with zero padding when
+  /// fewer than `count` bits remain. Never throws.
+  std::uint64_t peek_bits(unsigned count) const;
+
+  /// Read a single bit.
+  unsigned read_bit() { return static_cast<unsigned>(read_bits(1)); }
+
+  /// Read a full byte.
+  std::uint8_t read_byte() { return static_cast<std::uint8_t>(read_bits(8)); }
+
+  /// Skip forward to the next byte boundary.
+  void align_to_byte();
+
+  /// Reposition to an absolute bit offset.
+  void seek_bits(std::uint64_t bit_offset);
+
+  /// Bits consumed so far.
+  std::uint64_t bit_position() const { return bit_pos_; }
+
+  /// Total bits available.
+  std::uint64_t bit_size() const { return static_cast<std::uint64_t>(data_.size()) * 8; }
+
+  /// Bits remaining.
+  std::uint64_t bits_left() const { return bit_size() - bit_pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::uint64_t bit_pos_ = 0;
+};
+
+}  // namespace ccomp

@@ -1,0 +1,40 @@
+// Error types shared across the ccomp library.
+//
+// The library throws on programmer errors (bad arguments, malformed input
+// containers) and uses return values for expected conditions. All exception
+// types derive from ccomp::Error so callers can catch library failures with
+// one handler.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ccomp {
+
+/// Base class for all errors thrown by the ccomp library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or truncated compressed data / container.
+class CorruptDataError : public Error {
+ public:
+  explicit CorruptDataError(const std::string& what) : Error("corrupt data: " + what) {}
+};
+
+/// Invalid argument or configuration (e.g. a stream division that does not
+/// cover the instruction word, a block size that is not a multiple of the
+/// instruction width).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("bad config: " + what) {}
+};
+
+/// Instruction bytes that the ISA layer cannot parse.
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error("decode error: " + what) {}
+};
+
+}  // namespace ccomp

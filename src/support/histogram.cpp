@@ -1,0 +1,102 @@
+#include "support/histogram.h"
+
+#include <cmath>
+
+namespace ccomp {
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t t = 0;
+  for (auto c : counts_) t += c;
+  return t;
+}
+
+double Histogram::entropy_bits() const { return ccomp::entropy_bits(counts_); }
+
+std::size_t Histogram::distinct() const {
+  std::size_t d = 0;
+  for (auto c : counts_)
+    if (c != 0) ++d;
+  return d;
+}
+
+double entropy_bits(std::span<const std::uint64_t> counts) {
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  const double inv_total = 1.0 / static_cast<double>(total);
+  for (auto c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) * inv_total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double binary_entropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double binary_correlation(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  if (n == 0) return 0.0;
+  // For binary variables, Pearson correlation reduces to the phi coefficient.
+  std::uint64_t n11 = 0, na = 0, nb = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    na += a[i];
+    nb += b[i];
+    n11 += static_cast<std::uint64_t>(a[i] & b[i]);
+  }
+  const double pa = static_cast<double>(na) / static_cast<double>(n);
+  const double pb = static_cast<double>(nb) / static_cast<double>(n);
+  const double p11 = static_cast<double>(n11) / static_cast<double>(n);
+  const double var = pa * (1 - pa) * pb * (1 - pb);
+  if (var <= 0.0) return 0.0;
+  return (p11 - pa * pb) / std::sqrt(var);
+}
+
+std::vector<double> bit_correlation_matrix(std::span<const std::uint32_t> words) {
+  std::vector<double> m(32 * 32, 0.0);
+  const std::size_t n = words.size();
+  if (n == 0) return m;
+  // Gather pairwise joint one-counts in a single pass.
+  std::uint64_t ones[32] = {};
+  std::vector<std::uint64_t> joint(32 * 32, 0);
+  for (std::uint32_t w : words) {
+    for (int i = 0; i < 32; ++i) {
+      if (!((w >> i) & 1u)) continue;
+      ++ones[i];
+      for (int j = i + 1; j < 32; ++j) {
+        if ((w >> j) & 1u) ++joint[static_cast<std::size_t>(i) * 32 + j];
+      }
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (int i = 0; i < 32; ++i) {
+    m[static_cast<std::size_t>(i) * 32 + i] = 1.0;
+    const double pi = static_cast<double>(ones[i]) * inv_n;
+    for (int j = i + 1; j < 32; ++j) {
+      const double pj = static_cast<double>(ones[j]) * inv_n;
+      const double pij = static_cast<double>(joint[static_cast<std::size_t>(i) * 32 + j]) * inv_n;
+      const double var = pi * (1 - pi) * pj * (1 - pj);
+      double corr = 0.0;
+      if (var > 0.0) corr = std::fabs((pij - pi * pj) / std::sqrt(var));
+      m[static_cast<std::size_t>(i) * 32 + j] = corr;
+      m[static_cast<std::size_t>(j) * 32 + i] = corr;
+    }
+  }
+  return m;
+}
+
+std::vector<double> bit_one_probability(std::span<const std::uint32_t> words) {
+  std::vector<double> p(32, 0.0);
+  if (words.empty()) return p;
+  std::uint64_t ones[32] = {};
+  for (std::uint32_t w : words)
+    for (int i = 0; i < 32; ++i) ones[i] += (w >> i) & 1u;
+  for (int i = 0; i < 32; ++i) p[i] = static_cast<double>(ones[i]) / static_cast<double>(words.size());
+  return p;
+}
+
+}  // namespace ccomp

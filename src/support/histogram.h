@@ -1,0 +1,53 @@
+// Frequency counting and information-theoretic helpers.
+//
+// Used by the stream-division optimizer (bit correlation / entropy), the
+// Huffman builders, and the experiment reports.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ccomp {
+
+/// Frequency histogram over a fixed symbol alphabet [0, size).
+class Histogram {
+ public:
+  explicit Histogram(std::size_t alphabet_size) : counts_(alphabet_size, 0) {}
+
+  void add(std::size_t symbol, std::uint64_t n = 1) { counts_.at(symbol) += n; }
+
+  std::uint64_t count(std::size_t symbol) const { return counts_.at(symbol); }
+  std::uint64_t total() const;
+  std::size_t alphabet_size() const { return counts_.size(); }
+  std::span<const std::uint64_t> counts() const { return counts_; }
+
+  /// Shannon entropy in bits per symbol (0 for an empty histogram).
+  double entropy_bits() const;
+
+  /// Number of symbols with nonzero count.
+  std::size_t distinct() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Shannon entropy (bits/symbol) of an arbitrary count vector.
+double entropy_bits(std::span<const std::uint64_t> counts);
+
+/// Entropy of a Bernoulli(p) source, in bits. p outside (0,1) yields 0.
+double binary_entropy(double p);
+
+/// Pearson correlation between two binary (0/1) sequences of equal length.
+/// Returns 0 when either sequence is constant.
+double binary_correlation(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
+
+/// Pairwise |correlation| matrix between bit positions of 32-bit words:
+/// result[i*32+j] = |corr(bit_i, bit_j)| over all words.
+/// Bit position 0 is the least significant bit.
+std::vector<double> bit_correlation_matrix(std::span<const std::uint32_t> words);
+
+/// Empirical per-bit-position probability of a 1, for 32-bit words.
+std::vector<double> bit_one_probability(std::span<const std::uint32_t> words);
+
+}  // namespace ccomp

@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Everything in the benchmark pipeline must be reproducible from a single
+// seed, so we use our own small generators instead of std::mt19937 (whose
+// distributions are not guaranteed identical across standard libraries).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ccomp {
+
+/// SplitMix64: used for seeding and cheap hashing.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedc0de5eedc0deull) {
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (l < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli(p).
+  bool chance(double p) { return next_double() < p; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Pick an index from a discrete distribution given by non-negative weights.
+  /// Returns weights.size() if all weights are zero.
+  std::size_t pick_weighted(std::span<const double> weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    if (total <= 0) return weights.size();
+    double r = next_double() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Geometric-ish skew: picks from [0, n) with probability proportional to
+  /// decay^index. Used to model skewed register / opcode usage.
+  std::size_t pick_skewed(std::size_t n, double decay) {
+    if (n == 0) return 0;
+    // Inverse-CDF sampling on the truncated geometric distribution.
+    double u = next_double();
+    double p = 1.0 - decay;
+    double cum = 0.0;
+    double w = p;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      cum += w;
+      if (u < cum) return i;
+      w *= decay;
+    }
+    return n - 1;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4];
+};
+
+}  // namespace ccomp

@@ -1,0 +1,90 @@
+#include "support/serialize.h"
+
+namespace ccomp {
+
+void ByteSink::u16(std::uint16_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+  bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteSink::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteSink::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteSink::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteSink::bytes(std::span<const std::uint8_t> data) {
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+void ByteSink::sized_bytes(std::span<const std::uint8_t> data) {
+  varint(data.size());
+  bytes(data);
+}
+
+std::uint8_t ByteSource::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteSource::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteSource::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteSource::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+std::uint64_t ByteSource::varint() {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (;;) {
+    need(1);
+    const std::uint8_t b = data_[pos_++];
+    if (shift >= 64) throw CorruptDataError("varint too long");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+  }
+  return v;
+}
+
+std::span<const std::uint8_t> ByteSource::bytes(std::size_t n) {
+  need(n);
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::vector<std::uint8_t> ByteSource::sized_bytes() {
+  const std::uint64_t n = varint();
+  auto view = bytes(static_cast<std::size_t>(n));
+  return {view.begin(), view.end()};
+}
+
+}  // namespace ccomp

@@ -1,0 +1,64 @@
+// Little-endian primitive serialization for container formats.
+//
+// All ccomp on-disk / in-memory container structures (CompressedImage, LAT,
+// dictionaries, Markov tables) use these helpers so the byte layout is
+// platform independent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace ccomp {
+
+/// Append-only little-endian byte sink.
+class ByteSink {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// LEB128-style variable-length unsigned integer.
+  void varint(std::uint64_t v);
+  void bytes(std::span<const std::uint8_t> data);
+  /// varint length prefix followed by raw bytes.
+  void sized_bytes(std::span<const std::uint8_t> data);
+
+  std::size_t size() const { return bytes_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::span<const std::uint8_t> view() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian byte source. Throws CorruptDataError on
+/// truncation.
+class ByteSource {
+ public:
+  explicit ByteSource(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint64_t varint();
+  std::span<const std::uint8_t> bytes(std::size_t n);
+  std::vector<std::uint8_t> sized_bytes();
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw CorruptDataError("container truncated");
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ccomp

@@ -1,0 +1,296 @@
+#include "workload/mips_gen.h"
+
+#include <string_view>
+#include <unordered_map>
+
+#include "isa/mips/mips.h"
+#include "support/rng.h"
+
+namespace ccomp::workload {
+namespace {
+
+using mips::Decoded;
+
+class OpcodeIndex {
+ public:
+  OpcodeIndex() {
+    const auto table = mips::opcode_table();
+    for (std::size_t i = 0; i < table.size(); ++i)
+      map_.emplace(table[i].mnemonic, static_cast<std::uint16_t>(i));
+  }
+  std::uint16_t operator[](std::string_view mnemonic) const {
+    const auto it = map_.find(mnemonic);
+    if (it == map_.end()) throw ConfigError("unknown MIPS mnemonic in generator");
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<std::string_view, std::uint16_t> map_;
+};
+
+const OpcodeIndex& ops() {
+  static const OpcodeIndex index;
+  return index;
+}
+
+class MipsGenerator {
+ public:
+  explicit MipsGenerator(const Profile& prof)
+      : prof_(prof), rng_(prof.seed * 0x9E3779B97F4A7C15ull + 0xC0DEC0DEu) {}
+
+  MipsProgram run() {
+    const std::size_t target_words = static_cast<std::size_t>(prof_.code_kb) * 1024 / 4;
+    while (out_.words.size() < target_words) emit_function();
+    out_.words.resize(target_words);  // trim the final function's tail
+    return std::move(out_);
+  }
+
+ private:
+  // --- register pools -------------------------------------------------
+  static constexpr std::uint8_t kTemps[10] = {8, 9, 10, 11, 12, 13, 14, 15, 24, 25};
+  static constexpr std::uint8_t kSaved[8] = {16, 17, 18, 19, 20, 21, 22, 23};
+  static constexpr std::uint8_t kArgs[4] = {4, 5, 6, 7};
+  static constexpr std::uint8_t kSp = 29, kRa = 31, kZero = 0, kAt = 1, kV0 = 2;
+
+  std::uint8_t temp() { return kTemps[rng_.pick_skewed(10, prof_.reg_decay)]; }
+  std::uint8_t saved() { return kSaved[rng_.pick_skewed(8, prof_.reg_decay)]; }
+  std::uint8_t arg() { return kArgs[rng_.pick_skewed(4, prof_.reg_decay)]; }
+  std::uint8_t fpreg() { return static_cast<std::uint8_t>(2 * rng_.pick_skewed(16, prof_.reg_decay)); }
+  std::uint8_t base_reg() {
+    // Bases are mostly sp, then saved regs, then args/gp.
+    const double r = rng_.next_double();
+    if (r < 0.55) return kSp;
+    if (r < 0.80) return saved();
+    if (r < 0.92) return arg();
+    return 28;  // gp
+  }
+
+  // --- immediates ------------------------------------------------------
+  std::uint16_t stack_offset() {
+    // Multiples of 4 within the frame; small offsets dominate.
+    return static_cast<std::uint16_t>(4 * rng_.pick_skewed(frame_ / 4, 0.85));
+  }
+  std::uint16_t small_imm() {
+    if (rng_.chance(prof_.imm_small_bias)) {
+      static constexpr std::uint16_t kCommon[] = {0, 1, 2, 4, 8, 3, 16, 255, 0xFFFF, 32, 7, 12};
+      return kCommon[rng_.pick_skewed(12, 0.7)];
+    }
+    return static_cast<std::uint16_t>(rng_.next_below(1024));
+  }
+  std::uint16_t lui_hi() {
+    // Data-segment style constants: a handful of distinct high halves.
+    static constexpr std::uint16_t kHis[] = {0x1000, 0x1001, 0x1002, 0x1004, 0x0FFF, 0x1008};
+    return kHis[rng_.pick_skewed(6, 0.6)];
+  }
+
+  // --- emission helpers -------------------------------------------------
+  void emit(std::uint16_t opcode, std::uint8_t r0 = 0, std::uint8_t r1 = 0, std::uint8_t r2 = 0,
+            std::uint16_t imm16 = 0, std::uint32_t imm26 = 0) {
+    Decoded d;
+    d.opcode = opcode;
+    d.regs[0] = r0;
+    d.regs[1] = r1;
+    d.regs[2] = r2;
+    d.imm16 = imm16;
+    d.imm26 = imm26;
+    out_.words.push_back(mips::encode(d));
+  }
+  void emit(std::string_view mn, std::uint8_t r0 = 0, std::uint8_t r1 = 0, std::uint8_t r2 = 0,
+            std::uint16_t imm16 = 0, std::uint32_t imm26 = 0) {
+    emit(ops()[mn], r0, r1, r2, imm16, imm26);
+  }
+
+  std::uint16_t branch_offset(int max_mag = 24) {
+    const int off = static_cast<int>(rng_.next_in_range(-max_mag, max_mag));
+    return static_cast<std::uint16_t>(off == 0 ? 2 : off);
+  }
+
+  // --- idioms ------------------------------------------------------------
+  void idiom_load_op_store() {
+    const std::uint8_t t1 = temp(), t2 = temp(), b = base_reg();
+    emit("lw", t1, b, 0, stack_offset());
+    switch (rng_.next_below(4)) {
+      case 0: emit("addu", t1, t1, t2); break;
+      case 1: emit("addiu", t1, t1, 0, small_imm()); break;
+      case 2: emit("and", t1, t1, t2); break;
+      default: emit("or", t1, t1, t2); break;
+    }
+    if (rng_.chance(0.7)) emit("sw", t1, b, 0, stack_offset());
+  }
+
+  void idiom_alu_chain() {
+    const unsigned n = 2 + static_cast<unsigned>(rng_.next_below(3));
+    static constexpr const char* kOps[] = {"addu", "subu", "and", "or", "xor", "slt", "sltu"};
+    for (unsigned i = 0; i < n; ++i)
+      emit(kOps[rng_.pick_skewed(7, 0.6)], temp(), temp(), temp());
+  }
+
+  void idiom_const() {
+    const std::uint8_t t = temp();
+    emit("lui", t, 0, 0, lui_hi());
+    if (rng_.chance(0.8)) emit("ori", t, t, 0, small_imm());
+  }
+
+  void idiom_shift() {
+    // Shift amounts are overwhelmingly powers of two in compiled code.
+    const auto shamt = static_cast<std::uint8_t>(1u << rng_.next_below(5));
+    emit(rng_.chance(0.5) ? "sll" : "srl", temp(), temp(), shamt);
+  }
+
+  void idiom_byte_mem() {
+    const std::uint8_t t = temp(), b = base_reg();
+    emit(rng_.chance(0.6) ? "lbu" : "lb", t, b, 0, small_imm());
+    if (rng_.chance(0.5)) emit("sb", t, b, 0, small_imm());
+  }
+
+  void idiom_compare_branch() {
+    if (rng_.chance(0.5)) {
+      emit("slt", kAt, temp(), temp());
+      emit(rng_.chance(0.5) ? "bne" : "beq", kAt, kZero, 0, branch_offset());
+    } else {
+      emit(rng_.chance(0.5) ? "bne" : "beq", temp(), kZero, 0, branch_offset());
+    }
+    emit("sll", 0, 0, 0);  // delay slot nop
+  }
+
+  void idiom_call() {
+    if (out_.function_starts.size() < 2) return;
+    if (rng_.chance(0.5)) emit("addiu", arg(), kSp, 0, stack_offset());
+    // Call a previously generated function, skewed toward recent ones.
+    const std::size_t n = out_.function_starts.size() - 1;  // exclude current
+    const std::size_t pick = n - 1 - rng_.pick_skewed(n, 0.9);
+    const std::uint32_t addr = kMipsTextBase + out_.function_starts[pick] * 4;
+    emit("jal", 0, 0, 0, 0, (addr >> 2) & 0x03FFFFFFu);
+    emit("sll", 0, 0, 0);  // delay slot
+    if (rng_.chance(0.4)) emit("addu", temp(), kV0, kZero);
+  }
+
+  void idiom_fp() {
+    const std::uint8_t f1 = fpreg(), f2 = fpreg(), f3 = fpreg(), b = base_reg();
+    const bool dbl = rng_.chance(0.5);
+    if (dbl) {
+      emit("ldc1", f1, b, 0, stack_offset());
+      emit("ldc1", f2, b, 0, stack_offset());
+      emit(rng_.chance(0.5) ? "mul.d" : "add.d", f3, f1, f2);
+      if (rng_.chance(0.6)) emit("add.d", f3, f3, f1);
+      emit("sdc1", f3, b, 0, stack_offset());
+    } else {
+      emit("lwc1", f1, b, 0, stack_offset());
+      emit("lwc1", f2, b, 0, stack_offset());
+      emit(rng_.chance(0.5) ? "mul.s" : "add.s", f3, f1, f2);
+      if (rng_.chance(0.6)) emit("add.s", f3, f3, f1);
+      emit("swc1", f3, b, 0, stack_offset());
+    }
+  }
+
+  void idiom_loop_counter() {
+    const std::uint8_t c = saved();
+    emit("addiu", c, c, 0, 1);
+    emit("slt", kAt, c, temp());
+    emit("bne", kAt, kZero, 0, static_cast<std::uint16_t>(-static_cast<int>(
+        3 + rng_.next_below(12))));
+    emit("sll", 0, 0, 0);  // delay slot
+  }
+
+  // --- function structure ------------------------------------------------
+  void emit_function() {
+    out_.function_starts.push_back(static_cast<std::uint32_t>(out_.words.size()));
+
+    // Near-clone of an earlier function (compilers repeat themselves).
+    if (out_.function_starts.size() > 2 && rng_.chance(prof_.clone_rate)) {
+      emit_clone();
+      return;
+    }
+
+    frame_ = static_cast<std::uint16_t>(8 * (2 + rng_.next_below(14)));  // 16..120
+    // Prologue.
+    emit("addiu", kSp, kSp, 0, static_cast<std::uint16_t>(-frame_));
+    emit("sw", kRa, kSp, 0, static_cast<std::uint16_t>(frame_ - 4));
+    const unsigned saved_count = static_cast<unsigned>(rng_.next_below(3));
+    for (unsigned i = 0; i < saved_count; ++i)
+      emit("sw", kSaved[i], kSp, 0, static_cast<std::uint16_t>(frame_ - 8 - 4 * i));
+
+    // Body.
+    const unsigned blocks = 3 + static_cast<unsigned>(rng_.next_below(24));
+    for (unsigned bi = 0; bi < blocks; ++bi) {
+      const double weights[] = {
+          2.0,                       // load-op-store
+          1.6,                       // alu chain
+          0.9,                       // const
+          0.5,                       // shift
+          0.6,                       // byte mem
+          prof_.branch_density,      // compare-branch
+          prof_.call_density,        // call
+          prof_.fp_fraction * 4.0,   // fp block
+          0.7,                       // loop counter
+      };
+      switch (rng_.pick_weighted(weights)) {
+        case 0: idiom_load_op_store(); break;
+        case 1: idiom_alu_chain(); break;
+        case 2: idiom_const(); break;
+        case 3: idiom_shift(); break;
+        case 4: idiom_byte_mem(); break;
+        case 5: idiom_compare_branch(); break;
+        case 6: idiom_call(); break;
+        case 7: idiom_fp(); break;
+        default: idiom_loop_counter(); break;
+      }
+    }
+
+    // Epilogue.
+    for (unsigned i = saved_count; i-- > 0;)
+      emit("lw", kSaved[i], kSp, 0, static_cast<std::uint16_t>(frame_ - 8 - 4 * i));
+    emit("lw", kRa, kSp, 0, static_cast<std::uint16_t>(frame_ - 4));
+    emit("addiu", kSp, kSp, 0, frame_);
+    emit("jr", kRa);
+    emit("sll", 0, 0, 0);  // delay slot
+  }
+
+  void emit_clone() {
+    // Copy an earlier function verbatim or with temp-register renaming.
+    const std::size_t n = out_.function_starts.size() - 1;
+    const std::size_t pick = rng_.next_below(n);
+    const std::uint32_t begin = out_.function_starts[pick];
+    const std::uint32_t end = pick + 1 < n ? out_.function_starts[pick + 1]
+                                           : out_.function_starts[n];
+    if (end <= begin) return;
+    const bool rename = rng_.chance(0.5);
+    std::uint8_t perm[32];
+    for (unsigned i = 0; i < 32; ++i) perm[i] = static_cast<std::uint8_t>(i);
+    if (rename) {
+      // Rotate the temp pool by a random amount.
+      const unsigned rot = 1 + static_cast<unsigned>(rng_.next_below(9));
+      for (unsigned i = 0; i < 10; ++i) perm[kTemps[i]] = kTemps[(i + rot) % 10];
+    }
+    for (std::uint32_t w = begin; w < end; ++w) {
+      std::uint32_t word = out_.words[w];
+      if (rename) {
+        if (auto d = mips::decode(word)) {
+          const auto& info = mips::opcode_table()[d->opcode];
+          for (unsigned k = 0; k < info.reg_count; ++k)
+            if (info.reg_shifts[k] != 6)  // do not rename shift amounts
+              d->regs[k] = perm[d->regs[k]];
+          word = mips::encode(*d);
+        }
+      }
+      out_.words.push_back(word);
+    }
+  }
+
+  const Profile& prof_;
+  Rng rng_;
+  MipsProgram out_;
+  std::uint16_t frame_ = 32;
+};
+
+}  // namespace
+
+MipsProgram generate_mips_program(const Profile& profile) {
+  return MipsGenerator(profile).run();
+}
+
+std::vector<std::uint32_t> generate_mips(const Profile& profile) {
+  return generate_mips_program(profile).words;
+}
+
+}  // namespace ccomp::workload

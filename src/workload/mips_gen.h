@@ -1,0 +1,34 @@
+// Synthetic MIPS program generator.
+//
+// Produces deterministic programs whose statistics mimic compiled SPEC95
+// code: function prologue/epilogue idioms, skewed register usage, small
+// stack-offset immediates, lui/ori constant pairs sharing high bits,
+// loop/branch/call structure, FP blocks for the FP benchmarks, and — the
+// property that separates gzip from the block-based codecs — a profile-
+// controlled rate of near-clone functions (compilers emit heavily repeated
+// sequences).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/profile.h"
+
+namespace ccomp::workload {
+
+struct MipsProgram {
+  std::vector<std::uint32_t> words;
+  /// Word index of each function entry, ascending. Used by the trace
+  /// generator and by the jal targets inside the program itself.
+  std::vector<std::uint32_t> function_starts;
+};
+
+/// Text base address used for jal targets (typical MIPS text segment).
+inline constexpr std::uint32_t kMipsTextBase = 0x00400000u;
+
+MipsProgram generate_mips_program(const Profile& profile);
+
+/// Convenience: just the instruction words.
+std::vector<std::uint32_t> generate_mips(const Profile& profile);
+
+}  // namespace ccomp::workload

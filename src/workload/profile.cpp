@@ -1,0 +1,44 @@
+#include "workload/profile.h"
+
+#include <array>
+
+namespace ccomp::workload {
+namespace {
+
+// Sizes are scaled-down stand-ins for the SPEC95 text segments (the paper
+// never reports absolute sizes; ratios are what matter). FP benchmarks get
+// high fp_fraction; gcc/perl/vortex get large size and high clone rates
+// (big compiler-generated codebases repeat patterns heavily).
+constexpr std::array<Profile, 18> kProfiles = {{
+    //  name        kb   fp    clone  rdecay ismall brnch  call   loop   seed
+    {"applu",      112, 0.75, 0.22,  0.72,  0.66,  0.8,   0.5,   0.92,  0xA1u},
+    {"apsi",       160, 0.70, 0.20,  0.70,  0.62,  0.9,   0.6,   0.88,  0xA2u},
+    {"compress",    24, 0.02, 0.12,  0.66,  0.72,  1.3,   0.7,   0.90,  0xA3u},
+    {"fpppp",      224, 0.82, 0.30,  0.74,  0.60,  0.5,   0.4,   0.85,  0xA4u},
+    {"gcc",        768, 0.03, 0.34,  0.64,  0.70,  1.4,   1.2,   0.70,  0xA5u},
+    {"go",         288, 0.02, 0.26,  0.66,  0.74,  1.5,   0.9,   0.78,  0xA6u},
+    {"hydro2d",    128, 0.72, 0.24,  0.72,  0.64,  0.7,   0.5,   0.93,  0xA7u},
+    {"ijpeg",      160, 0.10, 0.22,  0.68,  0.70,  1.1,   0.8,   0.90,  0xA8u},
+    {"m88ksim",    224, 0.04, 0.28,  0.66,  0.72,  1.3,   1.0,   0.82,  0xA9u},
+    {"mgrid",       56, 0.80, 0.18,  0.74,  0.62,  0.6,   0.4,   0.95,  0xAAu},
+    {"perl",       448, 0.03, 0.32,  0.64,  0.72,  1.4,   1.2,   0.75,  0xABu},
+    {"su2cor",     128, 0.74, 0.22,  0.72,  0.63,  0.7,   0.5,   0.90,  0xACu},
+    {"swim",        40, 0.82, 0.16,  0.75,  0.60,  0.5,   0.3,   0.96,  0xADu},
+    {"tomcatv",     24, 0.80, 0.14,  0.75,  0.60,  0.6,   0.3,   0.96,  0xAEu},
+    {"turb3d",     128, 0.70, 0.22,  0.71,  0.64,  0.8,   0.6,   0.89,  0xAFu},
+    {"vortex",     512, 0.02, 0.36,  0.65,  0.71,  1.2,   1.3,   0.72,  0xB0u},
+    {"wave5",      192, 0.73, 0.24,  0.72,  0.63,  0.7,   0.5,   0.90,  0xB1u},
+    {"xlisp",       80, 0.02, 0.24,  0.66,  0.74,  1.5,   1.4,   0.80,  0xB2u},
+}};
+
+}  // namespace
+
+std::span<const Profile> spec95_profiles() { return kProfiles; }
+
+const Profile* find_profile(std::string_view name) {
+  for (const Profile& p : kProfiles)
+    if (name == p.name) return &p;
+  return nullptr;
+}
+
+}  // namespace ccomp::workload

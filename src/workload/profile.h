@@ -1,0 +1,38 @@
+// SPEC95-like benchmark profiles.
+//
+// The paper measures compressibility of the 18 SPEC95 benchmarks compiled
+// for MIPS and Pentium Pro. Those binaries are not redistributable, so each
+// benchmark is modelled by a statistical profile: approximate text-segment
+// size, integer/floating-point instruction mix, code-reuse (clone) rate —
+// the property gzip exploits — register-usage skew and immediate
+// distributions — the properties SAMC/SADC exploit — and loop behaviour for
+// the cache studies. Program synthesis from a profile is fully
+// deterministic (seeded), so every figure regenerates bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace ccomp::workload {
+
+struct Profile {
+  const char* name;
+  std::uint32_t code_kb;     // approximate generated text size
+  double fp_fraction;        // fraction of FP idiom blocks
+  double clone_rate;         // P(function is a near-clone of an earlier one)
+  double reg_decay;          // geometric skew of register selection (0..1)
+  double imm_small_bias;     // P(an ALU immediate is drawn from the tiny set)
+  double branch_density;     // relative weight of branch idioms
+  double call_density;       // relative weight of call idioms
+  double loop_intensity;     // trace locality: higher = tighter loops
+  std::uint64_t seed;
+};
+
+/// The 18 SPEC95 benchmarks in the order of the paper's figures.
+std::span<const Profile> spec95_profiles();
+
+/// Lookup by benchmark name; nullptr if unknown.
+const Profile* find_profile(std::string_view name);
+
+}  // namespace ccomp::workload

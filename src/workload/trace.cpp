@@ -1,0 +1,83 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ccomp::workload {
+
+std::vector<std::uint32_t> generate_trace(const Profile& profile,
+                                          std::span<const std::uint32_t> function_starts,
+                                          std::size_t code_words,
+                                          const TraceOptions& options) {
+  if (function_starts.empty() || code_words == 0)
+    throw ConfigError("trace generation needs a non-empty program");
+  Rng rng(profile.seed * 0x7E57ACEull + 17);
+
+  // Function extents.
+  struct Func {
+    std::uint32_t begin;
+    std::uint32_t end;
+  };
+  std::vector<Func> funcs;
+  funcs.reserve(function_starts.size());
+  for (std::size_t i = 0; i < function_starts.size(); ++i) {
+    const std::uint32_t begin = function_starts[i];
+    const std::uint32_t end = i + 1 < function_starts.size()
+                                  ? function_starts[i + 1]
+                                  : static_cast<std::uint32_t>(code_words);
+    if (end > begin) funcs.push_back({begin, end});
+  }
+  if (funcs.empty()) throw ConfigError("no non-empty functions");
+
+  // Hot set: a random subset of functions receives ~90% of visits.
+  std::vector<std::size_t> order(funcs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t i = order.size(); i-- > 1;)
+    std::swap(order[i], order[rng.next_below(i + 1)]);
+  const std::size_t hot_count =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+          static_cast<double>(funcs.size()) * options.hot_fraction));
+
+  std::vector<std::uint32_t> trace;
+  trace.reserve(options.length);
+  auto emit = [&](std::uint32_t word_index) {
+    trace.push_back(options.base_address + word_index * 4);
+  };
+
+  while (trace.size() < options.length) {
+    // Pick a function: 90% from the hot set (skewed), else anywhere.
+    std::size_t fi;
+    if (rng.chance(0.9)) {
+      fi = order[rng.pick_skewed(hot_count, 0.8)];
+    } else {
+      fi = order[rng.next_below(funcs.size())];
+    }
+    const Func& f = funcs[fi];
+    const std::uint32_t flen = f.end - f.begin;
+
+    // Execute the function: sequential sweep with inner loops.
+    std::uint32_t pc = f.begin;
+    while (pc < f.end && trace.size() < options.length) {
+      emit(pc++);
+      // Occasionally enter a loop: re-execute a recent short range.
+      if (flen > 8 && pc > f.begin + 4 && rng.chance(0.08)) {
+        const std::uint32_t body = static_cast<std::uint32_t>(
+            2 + rng.next_below(std::min<std::uint32_t>(16, pc - f.begin - 1)));
+        // Loop trip counts grow with loop_intensity (FP codes loop harder).
+        const std::uint64_t max_trips =
+            4 + static_cast<std::uint64_t>(profile.loop_intensity * 60.0);
+        const std::uint64_t trips = 1 + rng.next_below(max_trips);
+        for (std::uint64_t t = 0; t < trips && trace.size() < options.length; ++t)
+          for (std::uint32_t w = pc - body; w < pc && trace.size() < options.length; ++w)
+            emit(w);
+      }
+      // Early exit (branch out of the function).
+      if (rng.chance(0.002)) break;
+    }
+  }
+  return trace;
+}
+
+}  // namespace ccomp::workload

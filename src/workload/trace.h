@@ -1,0 +1,32 @@
+// Instruction-address trace synthesis for the memory-system experiments.
+//
+// The paper's architecture (Wolfe & Chanin) decompresses a cache line on
+// every I-cache miss, so run-time cost is governed by the miss stream. We
+// synthesize instruction-fetch traces with controllable locality from the
+// generated program's function map: a hot subset of functions receives most
+// of the control flow, functions execute mostly sequentially, and inner
+// loops re-execute short address ranges with profile-controlled intensity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "workload/profile.h"
+
+namespace ccomp::workload {
+
+struct TraceOptions {
+  std::size_t length = 1'000'000;  // number of instruction fetches
+  double hot_fraction = 0.15;      // fraction of functions that are hot
+  std::uint32_t base_address = 0;  // added to every emitted address
+};
+
+/// Generate a word-aligned instruction fetch trace over a program laid out
+/// as `code_words` 32-bit words with the given function entry points.
+std::vector<std::uint32_t> generate_trace(const Profile& profile,
+                                          std::span<const std::uint32_t> function_starts,
+                                          std::size_t code_words,
+                                          const TraceOptions& options = {});
+
+}  // namespace ccomp::workload

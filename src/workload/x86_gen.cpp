@@ -1,0 +1,227 @@
+#include "workload/x86_gen.h"
+
+#include "isa/x86/x86.h"
+#include "support/rng.h"
+
+namespace ccomp::workload {
+namespace {
+
+using x86::Assembler;
+using Reg = Assembler::Reg;
+using Alu = Assembler::Alu;
+
+class X86Generator {
+ public:
+  explicit X86Generator(const Profile& prof)
+      : prof_(prof), rng_(prof.seed * 0x9E3779B97F4A7C15ull + 0x86C0DEu) {}
+
+  X86Program run() {
+    const std::size_t target = static_cast<std::size_t>(prof_.code_kb) * 1024;
+    while (asm_.size() < target) emit_function();
+    X86Program out;
+    out.bytes = asm_.take();
+    // Trim to target at an instruction boundary: easiest is to keep whole
+    // functions; drop the excess by truncating at the last boundary we know.
+    if (out.bytes.size() > target && starts_.size() > 1) {
+      // Truncate at the start of the final function (all earlier bytes are
+      // complete instructions).
+      out.bytes.resize(last_function_start_);
+      starts_.pop_back();
+    }
+    out.function_starts = std::move(starts_);
+    return out;
+  }
+
+ private:
+  // Register selection: eax/ecx/edx dominate (caller-saved scratch), then
+  // esi/edi/ebx; esp/ebp are reserved for the frame.
+  Reg scratch() {
+    static constexpr Reg kOrder[] = {Reg::EAX, Reg::ECX, Reg::EDX,
+                                     Reg::ESI, Reg::EDI, Reg::EBX};
+    return kOrder[rng_.pick_skewed(6, prof_.reg_decay)];
+  }
+
+  std::int32_t frame_disp() {
+    // [ebp - small offset], multiples of 4.
+    return -static_cast<std::int32_t>(4 * (1 + rng_.pick_skewed(24, 0.82)));
+  }
+
+  std::int32_t imm_value() {
+    if (rng_.chance(prof_.imm_small_bias)) {
+      static constexpr std::int32_t kCommon[] = {1, 0, 4, 8, 2, 16, -1, 3, 255, 32};
+      return kCommon[rng_.pick_skewed(10, 0.7)];
+    }
+    return static_cast<std::int32_t>(rng_.next_below(4096));
+  }
+
+  std::uint32_t address_constant() {
+    // Data-segment addresses cluster: same high bytes, varied low bytes.
+    static constexpr std::uint32_t kBases[] = {0x0804A000u, 0x0804B000u, 0x08050000u};
+    return kBases[rng_.pick_skewed(3, 0.6)] + static_cast<std::uint32_t>(rng_.next_below(2048));
+  }
+
+  // --- idioms -----------------------------------------------------------
+  void idiom_load_op_store() {
+    const Reg r = scratch();
+    asm_.mov_r_rm(r, Reg::EBP, frame_disp());
+    switch (rng_.next_below(4)) {
+      case 0: asm_.alu_r_r(Alu::ADD, r, scratch()); break;
+      case 1: asm_.alu_r_imm(Alu::ADD, r, imm_value()); break;
+      case 2: asm_.alu_r_r(Alu::AND, r, scratch()); break;
+      default: asm_.alu_r_r(Alu::XOR, r, scratch()); break;
+    }
+    if (rng_.chance(0.7)) asm_.mov_rm_r(Reg::EBP, frame_disp(), r);
+  }
+
+  void idiom_alu_chain() {
+    const unsigned n = 2 + static_cast<unsigned>(rng_.next_below(3));
+    static constexpr Alu kOps[] = {Alu::ADD, Alu::SUB, Alu::AND, Alu::OR, Alu::XOR, Alu::CMP};
+    for (unsigned i = 0; i < n; ++i) {
+      if (rng_.chance(0.3)) {
+        asm_.alu_r_imm(kOps[rng_.pick_skewed(6, 0.6)], scratch(), imm_value());
+      } else {
+        asm_.alu_r_r(kOps[rng_.pick_skewed(6, 0.6)], scratch(), scratch());
+      }
+    }
+  }
+
+  void idiom_const() { asm_.mov_r_imm32(scratch(), address_constant()); }
+
+  void idiom_shift() {
+    asm_.shift_r_imm(rng_.chance(0.5),
+                     scratch(), static_cast<std::uint8_t>(1u << rng_.next_below(5)));
+  }
+
+  void idiom_byte_mem() {
+    asm_.movzx_r_rm8(scratch(), Reg::EBP, frame_disp());
+    if (rng_.chance(0.4)) asm_.setcc(static_cast<std::uint8_t>(rng_.next_below(16)), Reg::EAX);
+  }
+
+  void idiom_compare_branch() {
+    const Reg r = scratch();
+    if (rng_.chance(0.6)) {
+      asm_.alu_r_imm(Alu::CMP, r, imm_value());
+    } else {
+      asm_.test_r_r(r, r);
+    }
+    static constexpr std::uint8_t kConds[] = {0x4, 0x5, 0xC, 0xE, 0xD, 0xF, 0x2, 0x7};
+    asm_.jcc8(kConds[rng_.pick_skewed(8, 0.7)],
+              static_cast<std::int8_t>(rng_.next_in_range(-48, 48)));
+  }
+
+  void idiom_call() {
+    if (starts_.size() < 2) return;
+    if (rng_.chance(0.5)) asm_.push_r(scratch());
+    if (rng_.chance(0.3)) asm_.push_imm8(static_cast<std::int8_t>(rng_.next_below(16)));
+    const std::size_t n = starts_.size() - 1;
+    const std::size_t pick = n - 1 - rng_.pick_skewed(n, 0.9);
+    // rel32 from the end of the 5-byte call instruction.
+    const std::int64_t target = static_cast<std::int64_t>(starts_[pick]);
+    const std::int64_t next_ip = static_cast<std::int64_t>(asm_.size()) + 5;
+    asm_.call_rel32(static_cast<std::int32_t>(target - next_ip));
+    if (rng_.chance(0.5)) asm_.alu_r_imm(Alu::ADD, Reg::ESP, 4);
+    if (rng_.chance(0.4)) asm_.mov_r_r(scratch(), Reg::EAX);
+  }
+
+  void idiom_fp_like() {
+    // Pentium Pro SPECfp code is x87-heavy: load, multiply/add against
+    // memory, occasionally pop the stack, store the result.
+    asm_.fld_mem(Reg::EBP, frame_disp());
+    if (rng_.chance(0.5)) {
+      asm_.fmul_mem(Reg::EBP, frame_disp());
+    } else {
+      asm_.fadd_mem(Reg::EBP, frame_disp());
+    }
+    if (rng_.chance(0.3)) {
+      asm_.fld_mem(Reg::EBP, frame_disp());
+      asm_.faddp();
+    }
+    asm_.fstp_mem(Reg::EBP, frame_disp());
+  }
+
+  void idiom_loop_counter() {
+    asm_.inc_r(scratch());
+    asm_.alu_r_imm(Alu::CMP, scratch(), imm_value());
+    asm_.jcc8(0x2 /*jb*/, static_cast<std::int8_t>(-static_cast<int>(
+        5 + rng_.next_below(40))));
+  }
+
+  void emit_function() {
+    last_function_start_ = static_cast<std::uint32_t>(asm_.size());
+    starts_.push_back(last_function_start_);
+
+    if (starts_.size() > 2 && rng_.chance(prof_.clone_rate)) {
+      emit_clone();
+      return;
+    }
+
+    // Prologue: push ebp; mov ebp, esp; sub esp, frame.
+    asm_.push_r(Reg::EBP);
+    asm_.mov_r_r(Reg::EBP, Reg::ESP);
+    asm_.alu_r_imm(Alu::SUB, Reg::ESP, static_cast<std::int32_t>(8 * (2 + rng_.next_below(14))));
+    if (rng_.chance(0.5)) asm_.push_r(Reg::ESI);
+    if (rng_.chance(0.3)) asm_.push_r(Reg::EDI);
+
+    const unsigned blocks = 3 + static_cast<unsigned>(rng_.next_below(24));
+    for (unsigned bi = 0; bi < blocks; ++bi) {
+      const double weights[] = {
+          2.0,                      // load-op-store
+          1.6,                      // alu chain
+          0.9,                      // const
+          0.5,                      // shift
+          0.6,                      // byte mem
+          prof_.branch_density,     // compare-branch
+          prof_.call_density,       // call
+          prof_.fp_fraction * 4.0,  // fp-like
+          0.7,                      // loop counter
+      };
+      switch (rng_.pick_weighted(weights)) {
+        case 0: idiom_load_op_store(); break;
+        case 1: idiom_alu_chain(); break;
+        case 2: idiom_const(); break;
+        case 3: idiom_shift(); break;
+        case 4: idiom_byte_mem(); break;
+        case 5: idiom_compare_branch(); break;
+        case 6: idiom_call(); break;
+        case 7: idiom_fp_like(); break;
+        default: idiom_loop_counter(); break;
+      }
+    }
+
+    if (rng_.chance(0.3)) asm_.pop_r(Reg::EDI);
+    if (rng_.chance(0.5)) asm_.pop_r(Reg::ESI);
+    asm_.leave();
+    asm_.ret();
+  }
+
+  void emit_clone() {
+    const std::size_t n = starts_.size() - 1;
+    const std::size_t pick = rng_.next_below(n);
+    const std::uint32_t begin = starts_[pick];
+    const std::uint32_t end = pick + 1 < n ? starts_[pick + 1] : starts_[n];
+    if (end <= begin) return;
+    // Byte-exact clone: call rel32 values now point at shifted targets, which
+    // is harmless for compression studies (they are still plausible bytes)
+    // and mirrors how linkers duplicate template/inline bodies with
+    // relocated call sites.
+    const auto& code = asm_.code();
+    const std::vector<std::uint8_t> copy(code.begin() + begin, code.begin() + end);
+    asm_.db(copy);
+  }
+
+  const Profile& prof_;
+  Rng rng_;
+  Assembler asm_;
+  std::vector<std::uint32_t> starts_;
+  std::uint32_t last_function_start_ = 0;
+};
+
+}  // namespace
+
+X86Program generate_x86_program(const Profile& profile) { return X86Generator(profile).run(); }
+
+std::vector<std::uint8_t> generate_x86(const Profile& profile) {
+  return generate_x86_program(profile).bytes;
+}
+
+}  // namespace ccomp::workload

@@ -1,0 +1,161 @@
+#include "isa/mips/asm.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/mips/mips.h"
+
+namespace ccomp::mips {
+namespace {
+
+TEST(Assembler, EncodesCanonicalInstructions) {
+  const auto words = assemble(R"(
+    addiu $sp, $sp, -32
+    sw    $ra, 28($sp)
+    addu  $t0, $s1, $s2
+    jr    $ra
+  )");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], 0x27BDFFE0u);
+  EXPECT_EQ(words[1], 0xAFBF001Cu);
+  EXPECT_EQ(words[2], 0x02324021u);
+  EXPECT_EQ(words[3], 0x03E00008u);
+}
+
+TEST(Assembler, NumericRegistersAndHexImmediates) {
+  const auto words = assemble("ori $8, $0, 0xFF\nlui $9, 0x1000");
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(disassemble(words[0]), "ori $t0, $zero, 255");
+  const auto d = decode(words[1]);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->imm16, 0x1000);
+}
+
+TEST(Assembler, LabelsResolveBranchesAndJumps) {
+  const auto words = assemble(R"(
+start:
+    beq $a0, $zero, done
+    nop
+    b start
+    nop
+done:
+    jal start
+    nop
+  )");
+  ASSERT_EQ(words.size(), 6u);
+  // beq at 0 targets done at 4: offset = 4 - 1 = 3.
+  EXPECT_EQ(words[0] & 0xFFFF, 3u);
+  // b (beq) at 2 targets start at 0: offset = 0 - 3 = -3.
+  EXPECT_EQ(static_cast<std::int16_t>(words[2] & 0xFFFF), -3);
+  // jal targets base + 0.
+  EXPECT_EQ(words[4] & 0x03FFFFFF, 0x00400000u >> 2);
+}
+
+TEST(Assembler, PseudoInstructions) {
+  const auto words = assemble("nop\nmove $t0, $s0\nli $v0, 10");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], 0u);
+  EXPECT_EQ(disassemble(words[1]), "addu $t0, $s0, $zero");
+  EXPECT_EQ(disassemble(words[2]), "ori $v0, $zero, 10");
+}
+
+TEST(Assembler, NegativeLiRewritesToAddiu) {
+  const auto words = assemble("li $t0, -5");
+  const auto d = decode(words[0]);
+  ASSERT_TRUE(d);
+  EXPECT_STREQ(opcode_table()[d->opcode].mnemonic, "addiu");
+  EXPECT_EQ(static_cast<std::int16_t>(d->imm16), -5);
+}
+
+TEST(Assembler, ShiftAmounts) {
+  const auto words = assemble("sll $t0, $t1, 4\nsrl $t2, $t2, 16");
+  const auto d = decode(words[0]);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->regs[2], 4);
+}
+
+TEST(Assembler, FloatingPointRegisters) {
+  const auto words = assemble(R"(
+    lwc1 $f2, 8($sp)
+    lwc1 $f4, 12($sp)
+    add.s $f6, $f2, $f4
+    swc1 $f6, 16($sp)
+  )");
+  ASSERT_EQ(words.size(), 4u);
+  const auto d = decode(words[2]);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->regs[0], 6);  // fd
+  EXPECT_EQ(d->regs[1], 2);  // fs
+  EXPECT_EQ(d->regs[2], 4);  // ft
+}
+
+TEST(Assembler, WordDirectiveAndComments) {
+  const auto words = assemble(R"(
+    .word 0xDEADBEEF   # raw data
+    nop                ; other comment style
+  )");
+  ASSERT_EQ(words.size(), 2u);
+  EXPECT_EQ(words[0], 0xDEADBEEFu);
+}
+
+TEST(Assembler, RoundTripsThroughDisassembler) {
+  // Assemble, disassemble, re-assemble: the words must be identical.
+  const char* source = R"(
+    addiu $sp, $sp, -40
+    sw    $ra, 36($sp)
+    sw    $s0, 32($sp)
+    lw    $t0, 0($a1)
+    slt   $at, $t0, $a0
+    mult  $t0, $a3
+    mflo  $t2
+    andi  $t3, $t2, 0xFF
+    sb    $t3, 4($a2)
+    lw    $ra, 36($sp)
+    addiu $sp, $sp, 40
+    jr    $ra
+    nop
+  )";
+  const auto words = assemble(source);
+  std::string listing;
+  for (const auto w : words) listing += disassemble(w) + "\n";
+  // The disassembler prints "lw $t1, $sp, 44" style (flat operands), which
+  // the assembler accepts as reg, reg, imm for I-format rows.
+  const auto again = assemble(listing);
+  EXPECT_EQ(again, words);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\nbogus $t0, $t1\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Assembler, RejectsBadOperands) {
+  EXPECT_THROW(assemble("addu $t0, $t1"), AsmError);          // missing reg
+  EXPECT_THROW(assemble("addu $t0, $t1, $t2, $t3"), AsmError);  // extra reg
+  EXPECT_THROW(assemble("addiu $t0, $t1, 99999"), AsmError);  // imm range
+  EXPECT_THROW(assemble("jr $nosuch"), AsmError);             // bad register
+  EXPECT_THROW(assemble("beq $a0, $zero, nowhere"), AsmError);  // undefined label
+  EXPECT_THROW(assemble("x: nop\nx: nop"), AsmError);         // duplicate label
+  EXPECT_THROW(assemble("sll $t0, $t0, 42"), AsmError);       // shamt range
+  EXPECT_THROW(assemble("jr 5"), AsmError);                   // jr takes no imm
+}
+
+TEST(Assembler, AssembledProgramDecodesEverywhere) {
+  const auto words = assemble(R"(
+    f:  addiu $sp, $sp, -16
+        sw $ra, 12($sp)
+        jal f
+        nop
+        lw $ra, 12($sp)
+        addiu $sp, $sp, 16
+        jr $ra
+        nop
+  )");
+  for (const auto w : words) EXPECT_TRUE(decode(w).has_value());
+}
+
+}  // namespace
+}  // namespace ccomp::mips

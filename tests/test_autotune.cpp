@@ -1,0 +1,89 @@
+#include "samc/autotune.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/mips/mips.h"
+#include "samc/samc.h"
+#include "support/rng.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+
+namespace ccomp::samc {
+namespace {
+
+std::vector<std::uint32_t> words_for(const char* name, std::uint32_t kb) {
+  workload::Profile p = *workload::find_profile(name);
+  p.code_kb = kb;
+  return workload::generate_mips(p);
+}
+
+TEST(AutoTune, ReturnsValidConfig) {
+  const auto words = words_for("go", 32);
+  AutoTuneOptions opt;
+  opt.use_division_optimizer = false;
+  const AutoTuneResult result = choose_markov_config(words, opt);
+  result.config.division.validate();
+  EXPECT_GT(result.estimated_bits, 0.0);
+  EXPECT_GT(result.estimated_ratio, 0.0);
+  EXPECT_LT(result.estimated_ratio, 1.0);
+}
+
+TEST(AutoTune, BeatsOrMatchesEveryGridCandidate) {
+  const auto words = words_for("perl", 32);
+  AutoTuneOptions opt;
+  opt.use_division_optimizer = false;
+  opt.sample_words = 4096;
+  const AutoTuneResult best = choose_markov_config(words, opt);
+  const std::span<const std::uint32_t> sample(words.data(), opt.sample_words);
+  for (const unsigned streams : {4u, 8u, 16u}) {
+    for (const unsigned ctx : {0u, 1u, 2u}) {
+      coding::MarkovConfig config;
+      config.division = coding::StreamDivision::contiguous(32, streams);
+      config.context_bits = ctx;
+      config.connect_across_words = ctx > 0;
+      const auto model = coding::MarkovModel::train(config, sample, opt.block_words);
+      // Same cost the tuner minimizes: sample payload projected to the full
+      // program plus the fixed table cost.
+      const double scale =
+          static_cast<double>(words.size()) / static_cast<double>(sample.size());
+      const double bits = model.estimate_bits(sample, opt.block_words) * scale +
+                          8.0 * static_cast<double>(model.table_bytes());
+      EXPECT_LE(best.estimated_bits, bits + 1e-6) << streams << "x ctx" << ctx;
+    }
+  }
+}
+
+TEST(AutoTune, ChosenConfigCompressesWell) {
+  const auto words = words_for("m88ksim", 64);
+  const auto code = mips::words_to_bytes(words);
+  AutoTuneOptions opt;
+  opt.optimizer_swaps = 30;
+  const AutoTuneResult tuned = choose_markov_config(words, opt);
+
+  SamcOptions tuned_opts = mips_defaults();
+  tuned_opts.markov = tuned.config;
+  const double tuned_ratio = SamcCodec(tuned_opts).compress_verified(code).sizes().ratio();
+  const double default_ratio =
+      SamcCodec(mips_defaults()).compress(code).sizes().ratio();
+  // The tuner optimizes a sample estimate; on the full program it must be
+  // at least competitive with the paper's default.
+  EXPECT_LT(tuned_ratio, default_ratio + 0.02);
+}
+
+TEST(AutoTune, EmptyProgramThrows) {
+  EXPECT_THROW(choose_markov_config({}, {}), ConfigError);
+}
+
+TEST(AutoTune, DeterministicForFixedSeed) {
+  const auto words = words_for("swim", 16);
+  AutoTuneOptions opt;
+  opt.optimizer_swaps = 20;
+  const auto a = choose_markov_config(words, opt);
+  const auto b = choose_markov_config(words, opt);
+  EXPECT_EQ(a.config.division, b.config.division);
+  EXPECT_EQ(a.config.context_bits, b.config.context_bits);
+  EXPECT_DOUBLE_EQ(a.estimated_bits, b.estimated_bits);
+}
+
+}  // namespace
+}  // namespace ccomp::samc

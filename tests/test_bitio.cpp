@@ -1,0 +1,167 @@
+#include "support/bitio.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace ccomp {
+namespace {
+
+TEST(BitWriter, EmptyTakeYieldsNothing) {
+  BitWriter w;
+  EXPECT_TRUE(w.take().empty());
+}
+
+TEST(BitWriter, SingleBitsPackMsbFirst) {
+  BitWriter w;
+  w.write_bit(1);
+  w.write_bit(0);
+  w.write_bit(1);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10100000);
+}
+
+TEST(BitWriter, MultiBitValueSpansBytes) {
+  BitWriter w;
+  w.write_bits(0x1A5, 9);  // 1 1010 0101
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0xD2);  // 11010010
+  EXPECT_EQ(bytes[1], 0x80);  // 1.......
+}
+
+TEST(BitWriter, MasksHighBitsBeyondCount) {
+  BitWriter w;
+  w.write_bits(0xFFFF, 4);
+  EXPECT_EQ(w.take()[0], 0xF0);
+}
+
+TEST(BitWriter, CountOver64Throws) {
+  BitWriter w;
+  EXPECT_THROW(w.write_bits(0, 65), ConfigError);
+}
+
+TEST(BitWriter, AlignToByteIsIdempotent) {
+  BitWriter w;
+  w.write_bit(1);
+  w.align_to_byte();
+  w.align_to_byte();
+  EXPECT_EQ(w.bit_count(), 8u);
+  w.write_byte(0xAB);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[1], 0xAB);
+}
+
+TEST(BitWriter, CompleteBytesExcludesPartialByte) {
+  BitWriter w;
+  w.write_bits(0xABC, 12);
+  EXPECT_EQ(w.complete_bytes().size(), 1u);
+  EXPECT_EQ(w.complete_bytes()[0], 0xAB);
+  w.write_bits(0xD, 4);
+  EXPECT_EQ(w.complete_bytes().size(), 2u);
+}
+
+TEST(BitReader, ReadsBackWhatWasWritten) {
+  BitWriter w;
+  w.write_bits(0x5, 3);
+  w.write_bits(0x12345, 20);
+  w.write_bits(1, 1);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bits(3), 0x5u);
+  EXPECT_EQ(r.read_bits(20), 0x12345u);
+  EXPECT_EQ(r.read_bits(1), 1u);
+}
+
+TEST(BitReader, ThrowsPastEnd) {
+  const std::uint8_t data[1] = {0xFF};
+  BitReader r(data);
+  r.read_bits(8);
+  EXPECT_THROW(r.read_bit(), CorruptDataError);
+}
+
+TEST(BitReader, SeekRepositionsAbsolutely) {
+  BitWriter w;
+  w.write_bits(0xAB, 8);
+  w.write_bits(0xCD, 8);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  r.seek_bits(8);
+  EXPECT_EQ(r.read_bits(8), 0xCDu);
+  r.seek_bits(0);
+  EXPECT_EQ(r.read_bits(8), 0xABu);
+}
+
+TEST(BitReader, SeekPastEndThrows) {
+  const std::uint8_t data[2] = {0, 0};
+  BitReader r(data);
+  EXPECT_THROW(r.seek_bits(17), CorruptDataError);
+}
+
+TEST(BitIo, RandomRoundTrip) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<std::uint64_t, unsigned>> chunks;
+    for (int i = 0; i < 200; ++i) {
+      const unsigned count = 1 + static_cast<unsigned>(rng.next_below(64));
+      std::uint64_t value = rng.next_u64();
+      if (count < 64) value &= (std::uint64_t{1} << count) - 1;
+      chunks.emplace_back(value, count);
+      w.write_bits(value, count);
+    }
+    const auto bytes = w.take();
+    BitReader r(bytes);
+    for (const auto& [value, count] : chunks) {
+      EXPECT_EQ(r.read_bits(count), value);
+    }
+  }
+}
+
+TEST(BitReader, PeekDoesNotConsume) {
+  BitWriter w;
+  w.write_bits(0xABCD, 16);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.peek_bits(8), 0xABu);
+  EXPECT_EQ(r.peek_bits(12), 0xABCu);
+  EXPECT_EQ(r.bit_position(), 0u);
+  EXPECT_EQ(r.read_bits(16), 0xABCDu);
+}
+
+TEST(BitReader, PeekPastEndPadsWithZeros) {
+  const std::uint8_t data[1] = {0xFF};
+  BitReader r(data);
+  EXPECT_EQ(r.peek_bits(16), 0xFF00u);
+  r.read_bits(8);
+  EXPECT_EQ(r.peek_bits(4), 0u);
+}
+
+TEST(BitReader, PeekMatchesReadEverywhere) {
+  Rng rng(4321);
+  BitWriter w;
+  for (int i = 0; i < 300; ++i) w.write_bits(rng.next_u64(), 13);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  while (r.bits_left() >= 13) {
+    const auto peeked = r.peek_bits(13);
+    EXPECT_EQ(r.read_bits(13), peeked);
+  }
+}
+
+TEST(BitReader, AlignToByteSkipsToBoundary) {
+  BitWriter w;
+  w.write_bits(0x3, 2);
+  w.align_to_byte();
+  w.write_byte(0x77);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  r.read_bits(2);
+  r.align_to_byte();
+  EXPECT_EQ(r.read_byte(), 0x77);
+}
+
+}  // namespace
+}  // namespace ccomp

@@ -1,0 +1,76 @@
+#include "baseline/bytehuff.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/filecodecs.h"
+#include "isa/mips/mips.h"
+#include "support/rng.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+
+namespace ccomp::baseline {
+namespace {
+
+std::vector<std::uint8_t> mips_code(std::uint32_t kb) {
+  workload::Profile p = *workload::find_profile("ijpeg");
+  p.code_kb = kb;
+  return mips::words_to_bytes(workload::generate_mips(p));
+}
+
+TEST(ByteHuffman, RoundTrips) {
+  const auto code = mips_code(16);
+  const ByteHuffmanCodec codec;
+  codec.compress_verified(code);
+}
+
+TEST(ByteHuffman, RatioIsNearKozuchWolfe) {
+  // The paper reports ~0.73 for byte-Huffman on MIPS; our synthetic code
+  // should land in the same neighbourhood.
+  const auto code = mips_code(64);
+  const ByteHuffmanCodec codec;
+  const double ratio = codec.compress(code).sizes().ratio();
+  EXPECT_GT(ratio, 0.55);
+  EXPECT_LT(ratio, 0.85);
+}
+
+TEST(ByteHuffman, RandomDataDoesNotCompress) {
+  Rng rng(81);
+  std::vector<std::uint8_t> data(32768);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(256));
+  const ByteHuffmanCodec codec;
+  const double ratio = codec.compress(data).sizes().ratio();
+  EXPECT_GT(ratio, 0.98);
+}
+
+TEST(ByteHuffman, BlockAccessWorksAtOddSizes) {
+  // Final partial block handling.
+  auto code = mips_code(4);
+  code.resize(code.size() - 20);
+  const ByteHuffmanCodec codec;
+  codec.compress_verified(code);
+}
+
+TEST(FileCodecs, CompressAndGzipRatiosOnCode) {
+  const auto code = mips_code(64);
+  const auto lzw = unix_compress(code);
+  const auto gz = gzip_like(code);
+  EXPECT_EQ(lzw.original, code.size());
+  EXPECT_LT(lzw.ratio(), 0.85);
+  EXPECT_LT(gz.ratio(), lzw.ratio());  // gzip beats compress on code
+}
+
+TEST(FileCodecs, ByteLevelRoundTrips) {
+  const auto code = mips_code(8);
+  const auto lzw = unix_compress_bytes(code);
+  EXPECT_EQ(unix_decompress_bytes(lzw, code.size()), code);
+  const auto gz = gzip_like_bytes(code);
+  EXPECT_EQ(gzip_like_decompress(gz), code);
+}
+
+TEST(FileCodecs, EmptyInputs) {
+  EXPECT_EQ(unix_compress({}).compressed, 3u);  // header only
+  EXPECT_EQ(gzip_like({}).compressed, 18u + gzip_like_bytes({}).size());
+}
+
+}  // namespace
+}  // namespace ccomp::baseline

@@ -1,0 +1,115 @@
+// Failure-injection tests: corrupted or truncated containers must never
+// crash — every outcome is either a ccomp::Error or a well-formed (if
+// wrong) result. This is the robustness contract a boot ROM loader needs.
+#include <gtest/gtest.h>
+
+#include "baseline/bytehuff.h"
+#include "isa/mips/mips.h"
+#include "sadc/sadc.h"
+#include "samc/samc.h"
+#include "support/rng.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+#include "workload/x86_gen.h"
+
+namespace ccomp {
+namespace {
+
+std::vector<std::uint8_t> serialized_image(const core::BlockCodec& codec,
+                                           std::span<const std::uint8_t> code) {
+  const auto image = codec.compress(code);
+  ByteSink sink;
+  image.serialize(sink);
+  return sink.take();
+}
+
+// Deserialize + fully decompress; any ccomp::Error is acceptable, crashes
+// and non-ccomp exceptions are not.
+void try_load(const core::BlockCodec& codec, std::span<const std::uint8_t> bytes) {
+  try {
+    ByteSource src(bytes);
+    const auto image = core::CompressedImage::deserialize(src);
+    const auto decompressor = codec.make_decompressor(image);
+    for (std::size_t b = 0; b < image.block_count(); ++b) (void)decompressor->block(b);
+  } catch (const Error&) {
+    // Expected for most corruptions.
+  }
+}
+
+std::vector<std::uint8_t> mips_code(std::uint32_t kb) {
+  workload::Profile p = *workload::find_profile("go");
+  p.code_kb = kb;
+  return mips::words_to_bytes(workload::generate_mips(p));
+}
+
+class CorruptionTest : public ::testing::Test {
+ protected:
+  void fuzz(const core::BlockCodec& codec, std::span<const std::uint8_t> code,
+            std::uint64_t seed) {
+    const auto good = serialized_image(codec, code);
+    Rng rng(seed);
+    // Single-byte flips all over the container.
+    for (int trial = 0; trial < 200; ++trial) {
+      auto bad = good;
+      const std::size_t at = rng.next_below(bad.size());
+      bad[at] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+      try_load(codec, bad);
+    }
+    // Truncations.
+    for (int trial = 0; trial < 50; ++trial) {
+      auto bad = good;
+      bad.resize(rng.next_below(bad.size()));
+      try_load(codec, bad);
+    }
+    // Multi-byte scrambles.
+    for (int trial = 0; trial < 50; ++trial) {
+      auto bad = good;
+      for (int k = 0; k < 16; ++k)
+        bad[rng.next_below(bad.size())] = static_cast<std::uint8_t>(rng.next_below(256));
+      try_load(codec, bad);
+    }
+  }
+};
+
+TEST_F(CorruptionTest, SamcSurvivesCorruptImages) {
+  fuzz(samc::SamcCodec(samc::mips_defaults()), mips_code(8), 1);
+}
+
+TEST_F(CorruptionTest, SamcNibbleModeSurvivesCorruptImages) {
+  samc::SamcOptions o = samc::mips_defaults();
+  o.markov.quantized = true;
+  o.parallel_nibble_mode = true;
+  fuzz(samc::SamcCodec(o), mips_code(8), 2);
+}
+
+TEST_F(CorruptionTest, SadcMipsSurvivesCorruptImages) {
+  fuzz(sadc::SadcMipsCodec(), mips_code(8), 3);
+}
+
+TEST_F(CorruptionTest, SadcX86SurvivesCorruptImages) {
+  workload::Profile p = *workload::find_profile("go");
+  p.code_kb = 8;
+  fuzz(sadc::SadcX86Codec(), workload::generate_x86(p), 4);
+}
+
+TEST_F(CorruptionTest, ByteHuffmanSurvivesCorruptImages) {
+  fuzz(baseline::ByteHuffmanCodec(), mips_code(8), 5);
+}
+
+TEST(CorruptionMisc, WrongCodecRejected) {
+  const auto code = mips_code(4);
+  const samc::SamcCodec samc_codec(samc::mips_defaults());
+  const sadc::SadcMipsCodec sadc_codec;
+  const auto image = samc_codec.compress(code);
+  EXPECT_THROW(sadc_codec.make_decompressor(image), ConfigError);
+}
+
+TEST(CorruptionMisc, EmptyContainerRejected) {
+  const samc::SamcCodec codec(samc::mips_defaults());
+  try_load(codec, {});
+  const std::vector<std::uint8_t> tiny = {0x50, 0x4D};
+  try_load(codec, tiny);
+}
+
+}  // namespace
+}  // namespace ccomp

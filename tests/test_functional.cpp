@@ -1,0 +1,130 @@
+// End-to-end functional tests: a CPU fetching through the compressed
+// memory system must observe exactly the original program, in any order.
+#include "memsys/functional.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/mips/mips.h"
+#include "sadc/sadc.h"
+#include "samc/samc.h"
+#include "support/rng.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+#include "workload/trace.h"
+
+namespace ccomp::memsys {
+namespace {
+
+struct ProgramSetup {
+  std::vector<std::uint32_t> words;
+  std::vector<std::uint32_t> function_starts;
+  std::vector<std::uint8_t> code;
+};
+
+ProgramSetup make_setup(std::uint32_t kb = 16) {
+  workload::Profile p = *workload::find_profile("m88ksim");
+  p.code_kb = kb;
+  ProgramSetup s;
+  auto prog = workload::generate_mips_program(p);
+  s.words = std::move(prog.words);
+  s.function_starts = std::move(prog.function_starts);
+  s.code = mips::words_to_bytes(s.words);
+  return s;
+}
+
+TEST(Functional, SequentialFetchReturnsProgram) {
+  const ProgramSetup s = make_setup();
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const auto image = codec.compress(s.code);
+  FunctionalMemorySystem mem({2 * 1024, 32, 2}, codec, image);
+  for (std::size_t i = 0; i < s.words.size(); ++i)
+    ASSERT_EQ(mem.fetch(static_cast<std::uint32_t>(i * 4)), s.words[i]) << "word " << i;
+  EXPECT_GT(mem.refills(), 0u);
+}
+
+TEST(Functional, RandomFetchOrderStillCorrect) {
+  const ProgramSetup s = make_setup();
+  const sadc::SadcMipsCodec codec;
+  const auto image = codec.compress(s.code);
+  FunctionalMemorySystem mem({1024, 32, 1}, codec, image);  // tiny, thrashy cache
+  Rng rng(7331);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint32_t w = static_cast<std::uint32_t>(rng.next_below(s.words.size()));
+    ASSERT_EQ(mem.fetch(w * 4), s.words[w]);
+  }
+  // A 1 KiB direct-mapped cache over 16 KiB of code must have evicted and
+  // re-refilled lines many times.
+  EXPECT_GT(mem.refills(), 1000u);
+}
+
+TEST(Functional, TraceReplayMatchesProgram) {
+  const ProgramSetup s = make_setup();
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const auto image = codec.compress(s.code);
+  FunctionalMemorySystem mem({4 * 1024, 32, 2}, codec, image);
+  workload::TraceOptions topt;
+  topt.length = 100000;
+  workload::Profile p = *workload::find_profile("m88ksim");
+  const auto trace = workload::generate_trace(p, s.function_starts, s.words.size(), topt);
+  for (const std::uint32_t addr : trace)
+    ASSERT_EQ(mem.fetch(addr), s.words[addr / 4]);
+  // Locality means hit rate should be high.
+  EXPECT_LT(mem.cache_stats().miss_rate(), 0.05);
+}
+
+TEST(Functional, ByteFetchesWork) {
+  const ProgramSetup s = make_setup(8);
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const auto image = codec.compress(s.code);
+  FunctionalMemorySystem mem({2 * 1024, 32, 2}, codec, image);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint32_t a = static_cast<std::uint32_t>(rng.next_below(s.code.size()));
+    ASSERT_EQ(mem.fetch_byte(a), s.code[a]);
+  }
+}
+
+TEST(Functional, RefillCountMatchesStatsModel) {
+  const ProgramSetup s = make_setup(8);
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const auto image = codec.compress(s.code);
+  FunctionalMemorySystem mem({1024, 32, 2}, codec, image);
+  for (std::size_t i = 0; i < s.words.size(); ++i)
+    mem.fetch(static_cast<std::uint32_t>(i * 4));
+  EXPECT_EQ(mem.refills(), mem.cache_stats().misses);
+}
+
+TEST(Functional, RejectsBadGeometry) {
+  const ProgramSetup s = make_setup(8);
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const auto image = codec.compress(s.code);
+  EXPECT_THROW(FunctionalMemorySystem({1024, 64, 2}, codec, image), ConfigError);
+  FunctionalMemorySystem mem({1024, 32, 2}, codec, image);
+  EXPECT_THROW(mem.fetch(2), ConfigError);  // misaligned
+  EXPECT_THROW(mem.fetch(static_cast<std::uint32_t>(s.code.size()) + 64), ConfigError);
+}
+
+TEST(Functional, WorksWithEveryBlockCodec) {
+  const ProgramSetup s = make_setup(8);
+  const samc::SamcCodec samc_codec(samc::mips_defaults());
+  samc::SamcOptions nib = samc::mips_defaults();
+  nib.markov.quantized = true;
+  nib.parallel_nibble_mode = true;
+  const samc::SamcCodec nibble_codec(nib);
+  const sadc::SadcMipsCodec sadc_codec;
+  for (const core::BlockCodec* codec :
+       {static_cast<const core::BlockCodec*>(&samc_codec),
+        static_cast<const core::BlockCodec*>(&nibble_codec),
+        static_cast<const core::BlockCodec*>(&sadc_codec)}) {
+    const auto image = codec->compress(s.code);
+    FunctionalMemorySystem mem({2 * 1024, 32, 2}, *codec, image);
+    Rng rng(13);
+    for (int i = 0; i < 3000; ++i) {
+      const std::uint32_t w = static_cast<std::uint32_t>(rng.next_below(s.words.size()));
+      ASSERT_EQ(mem.fetch(w * 4), s.words[w]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccomp::memsys

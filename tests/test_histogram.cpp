@@ -1,0 +1,96 @@
+#include "support/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.h"
+
+namespace ccomp {
+namespace {
+
+TEST(Histogram, CountsAndTotals) {
+  Histogram h(4);
+  h.add(0);
+  h.add(1, 5);
+  h.add(3, 2);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 5u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.total(), 8u);
+  EXPECT_EQ(h.distinct(), 3u);
+}
+
+TEST(Entropy, UniformIsLogN) {
+  std::vector<std::uint64_t> counts(8, 10);
+  EXPECT_NEAR(entropy_bits(counts), 3.0, 1e-12);
+}
+
+TEST(Entropy, DegenerateIsZero) {
+  std::vector<std::uint64_t> counts = {0, 42, 0};
+  EXPECT_DOUBLE_EQ(entropy_bits(counts), 0.0);
+  EXPECT_DOUBLE_EQ(entropy_bits(std::vector<std::uint64_t>{}), 0.0);
+}
+
+TEST(BinaryEntropy, HalfIsOneBit) {
+  EXPECT_NEAR(binary_entropy(0.5), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_LT(binary_entropy(0.1), binary_entropy(0.3));
+}
+
+TEST(BinaryCorrelation, IdenticalSequencesCorrelatePerfectly) {
+  const std::uint8_t a[] = {0, 1, 1, 0, 1, 0, 0, 1};
+  EXPECT_NEAR(binary_correlation(a, a), 1.0, 1e-12);
+}
+
+TEST(BinaryCorrelation, ComplementIsMinusOne) {
+  const std::uint8_t a[] = {0, 1, 1, 0, 1, 0, 0, 1};
+  const std::uint8_t b[] = {1, 0, 0, 1, 0, 1, 1, 0};
+  EXPECT_NEAR(binary_correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(BinaryCorrelation, ConstantSequenceIsZero) {
+  const std::uint8_t a[] = {1, 1, 1, 1};
+  const std::uint8_t b[] = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(binary_correlation(a, b), 0.0);
+}
+
+TEST(BitCorrelationMatrix, DiagonalIsOneAndSymmetric) {
+  Rng rng(7);
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 500; ++i) words.push_back(rng.next_u32());
+  const auto m = bit_correlation_matrix(words);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(m[static_cast<std::size_t>(i) * 32 + i], 1.0);
+    for (int j = 0; j < 32; ++j)
+      EXPECT_DOUBLE_EQ(m[static_cast<std::size_t>(i) * 32 + j],
+                       m[static_cast<std::size_t>(j) * 32 + i]);
+  }
+}
+
+TEST(BitCorrelationMatrix, DetectsCopiedBit) {
+  // Bit 5 copies bit 17 in every word.
+  Rng rng(11);
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 2000; ++i) {
+    std::uint32_t w = rng.next_u32() & ~(1u << 5);
+    w |= ((w >> 17) & 1u) << 5;
+    words.push_back(w);
+  }
+  const auto m = bit_correlation_matrix(words);
+  EXPECT_NEAR(m[5 * 32 + 17], 1.0, 1e-9);
+  // Independent bits stay near zero.
+  EXPECT_LT(m[3 * 32 + 21], 0.15);
+}
+
+TEST(BitOneProbability, MatchesConstruction) {
+  std::vector<std::uint32_t> words(100, 1u | (1u << 31));
+  const auto p = bit_one_probability(words);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[31], 1.0);
+  EXPECT_DOUBLE_EQ(p[10], 0.0);
+}
+
+}  // namespace
+}  // namespace ccomp

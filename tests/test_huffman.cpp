@@ -1,0 +1,215 @@
+#include "coding/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/histogram.h"
+#include "support/rng.h"
+
+namespace ccomp::coding {
+namespace {
+
+std::vector<std::uint64_t> random_freq(Rng& rng, std::size_t n, double skew) {
+  std::vector<std::uint64_t> freq(n, 0);
+  for (int i = 0; i < 20000; ++i) ++freq[rng.pick_skewed(n, skew)];
+  return freq;
+}
+
+TEST(Huffman, RoundTripsSkewedAlphabet) {
+  Rng rng(42);
+  const auto freq = random_freq(rng, 64, 0.7);
+  const HuffmanCode code = HuffmanCode::from_frequencies(freq);
+
+  std::vector<std::size_t> message;
+  for (int i = 0; i < 5000; ++i) message.push_back(rng.pick_skewed(64, 0.7));
+  BitWriter w;
+  for (const auto s : message)
+    if (freq[s] > 0) code.encode(w, s);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  for (const auto s : message) {
+    if (freq[s] > 0) {
+      EXPECT_EQ(code.decode(r), s);
+    }
+  }
+}
+
+TEST(Huffman, WithinOneBitOfEntropy) {
+  Rng rng(43);
+  const auto freq = random_freq(rng, 256, 0.8);
+  const HuffmanCode code = HuffmanCode::from_frequencies(freq);
+  std::uint64_t total = 0;
+  for (const auto f : freq) total += f;
+  const double avg_bits =
+      static_cast<double>(code.encoded_bits(freq)) / static_cast<double>(total);
+  const double h = entropy_bits(freq);
+  EXPECT_GE(avg_bits + 1e-9, h);
+  EXPECT_LE(avg_bits, h + 1.0);
+}
+
+TEST(Huffman, DegenerateSingleSymbol) {
+  std::vector<std::uint64_t> freq(10, 0);
+  freq[3] = 100;
+  const HuffmanCode code = HuffmanCode::from_frequencies(freq);
+  EXPECT_EQ(code.length_of(3), 1u);
+  BitWriter w;
+  code.encode(w, 3);
+  code.encode(w, 3);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(code.decode(r), 3u);
+  EXPECT_EQ(code.decode(r), 3u);
+}
+
+TEST(Huffman, EmptyAlphabetProducesNoCodes) {
+  std::vector<std::uint64_t> freq(16, 0);
+  const HuffmanCode code = HuffmanCode::from_frequencies(freq);
+  for (std::size_t s = 0; s < 16; ++s) EXPECT_EQ(code.length_of(s), 0u);
+}
+
+TEST(Huffman, EncodingAbsentSymbolThrows) {
+  std::vector<std::uint64_t> freq = {10, 0, 5};
+  const HuffmanCode code = HuffmanCode::from_frequencies(freq);
+  BitWriter w;
+  EXPECT_THROW(code.encode(w, 1), ConfigError);
+}
+
+TEST(Huffman, LengthLimitIsRespected) {
+  // Fibonacci-like frequencies force very skewed (deep) optimal codes.
+  std::vector<std::uint64_t> freq;
+  std::uint64_t a = 1, b = 1;
+  for (int i = 0; i < 40; ++i) {
+    freq.push_back(a);
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const HuffmanCode code = HuffmanCode::from_frequencies(freq, 12);
+  for (std::size_t s = 0; s < freq.size(); ++s) {
+    EXPECT_GT(code.length_of(s), 0u);
+    EXPECT_LE(code.length_of(s), 12u);
+  }
+  // Kraft equality must still hold for a complete code; verify by decode.
+  BitWriter w;
+  for (std::size_t s = 0; s < freq.size(); ++s) code.encode(w, s);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  for (std::size_t s = 0; s < freq.size(); ++s) EXPECT_EQ(code.decode(r), s);
+}
+
+TEST(Huffman, SerializeRoundTrip) {
+  Rng rng(44);
+  const auto freq = random_freq(rng, 256, 0.85);
+  const HuffmanCode code = HuffmanCode::from_frequencies(freq);
+  ByteSink sink;
+  code.serialize(sink);
+  const auto bytes = sink.take();
+  ByteSource src(bytes);
+  const HuffmanCode restored = HuffmanCode::deserialize(src);
+  ASSERT_EQ(restored.alphabet_size(), code.alphabet_size());
+  for (std::size_t s = 0; s < 256; ++s) {
+    EXPECT_EQ(restored.length_of(s), code.length_of(s));
+    if (code.length_of(s) > 0) {
+      EXPECT_EQ(restored.code_of(s), code.code_of(s));
+    }
+  }
+}
+
+TEST(Huffman, SerializationUsesZeroRuns) {
+  std::vector<std::uint64_t> freq(1000, 0);
+  freq[0] = 5;
+  freq[999] = 5;
+  const HuffmanCode code = HuffmanCode::from_frequencies(freq);
+  EXPECT_LT(code.table_bytes(), 20u);  // the 998 zero lengths collapse
+}
+
+TEST(Huffman, KraftViolatingLengthsRejected) {
+  // Three symbols of length 1 violate Kraft.
+  EXPECT_THROW(HuffmanCode::from_lengths({1, 1, 1}), CorruptDataError);
+}
+
+TEST(Huffman, InvalidPrefixThrowsOnDecode) {
+  // Incomplete code: lengths {2,2} leave half the code space unused; a
+  // stream of 1-bits never resolves.
+  const HuffmanCode code = HuffmanCode::from_lengths({2, 2});
+  std::vector<std::uint8_t> ones(4, 0xFF);
+  BitReader r(ones);
+  EXPECT_THROW(code.decode(r), CorruptDataError);
+}
+
+TEST(Huffman, FastAndSerialPathsAgree) {
+  // Force codes longer than the fast table's 10-bit window so decode()
+  // exercises both the LUT hit and the serial fallback in one stream.
+  std::vector<std::uint64_t> freq;
+  std::uint64_t a = 1, b = 1;
+  for (int i = 0; i < 30; ++i) {
+    freq.push_back(a);
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const HuffmanCode code = HuffmanCode::from_frequencies(freq, 16);
+  unsigned max_len = 0;
+  for (std::size_t s = 0; s < freq.size(); ++s) max_len = std::max(max_len, code.length_of(s));
+  ASSERT_GT(max_len, 10u);  // the sweep must actually cross the LUT limit
+
+  Rng rng(4242);
+  BitWriter w;
+  std::vector<std::size_t> message;
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t s = rng.pick_skewed(freq.size(), 0.55);
+    message.push_back(s);
+    code.encode(w, s);
+  }
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  for (const auto s : message) ASSERT_EQ(code.decode(r), s);
+}
+
+TEST(Huffman, CanonicalOrderIsByLengthThenSymbol) {
+  // Equal frequencies: canonical codes must be assigned in symbol order.
+  std::vector<std::uint64_t> freq = {10, 10, 10, 10};
+  const HuffmanCode code = HuffmanCode::from_frequencies(freq);
+  for (std::size_t s = 1; s < 4; ++s) {
+    ASSERT_EQ(code.length_of(s), code.length_of(0));
+    EXPECT_EQ(code.code_of(s), code.code_of(s - 1) + 1);
+  }
+}
+
+struct HuffmanSweepParam {
+  std::size_t alphabet;
+  double skew;
+  unsigned limit;
+};
+
+class HuffmanSweep : public ::testing::TestWithParam<HuffmanSweepParam> {};
+
+TEST_P(HuffmanSweep, RoundTripAndLimitHold) {
+  const auto param = GetParam();
+  Rng rng(param.alphabet * 7919 + param.limit);
+  const auto freq = random_freq(rng, param.alphabet, param.skew);
+  const HuffmanCode code = HuffmanCode::from_frequencies(freq, param.limit);
+  BitWriter w;
+  std::vector<std::size_t> message;
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t s = rng.pick_skewed(param.alphabet, param.skew);
+    if (freq[s] == 0) continue;
+    message.push_back(s);
+    code.encode(w, s);
+  }
+  for (std::size_t s = 0; s < param.alphabet; ++s)
+    EXPECT_LE(code.length_of(s), param.limit);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  for (const auto s : message) EXPECT_EQ(code.decode(r), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphabetsAndLimits, HuffmanSweep,
+    ::testing::Values(HuffmanSweepParam{2, 0.5, 16}, HuffmanSweepParam{3, 0.9, 4},
+                      HuffmanSweepParam{32, 0.6, 8}, HuffmanSweepParam{256, 0.8, 16},
+                      HuffmanSweepParam{256, 0.95, 10}, HuffmanSweepParam{500, 0.7, 16}));
+
+}  // namespace
+}  // namespace ccomp::coding

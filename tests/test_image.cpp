@@ -1,0 +1,132 @@
+#include "core/image.h"
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "support/error.h"
+
+namespace ccomp::core {
+namespace {
+
+CompressedImage make_uniform_image() {
+  std::vector<std::uint8_t> tables = {1, 2, 3};
+  std::vector<std::uint32_t> offsets = {0, 10, 17, 30};
+  std::vector<std::uint8_t> payload(30, 0xAB);
+  return CompressedImage(CodecKind::kSamc, IsaKind::kMips, 32, 96, std::move(tables),
+                         std::move(offsets), std::move(payload));
+}
+
+TEST(Image, BlockGeometry) {
+  const auto image = make_uniform_image();
+  EXPECT_EQ(image.block_count(), 3u);
+  EXPECT_EQ(image.block_payload(0).size(), 10u);
+  EXPECT_EQ(image.block_payload(2).size(), 13u);
+  EXPECT_EQ(image.block_original_size(0), 32u);
+  EXPECT_EQ(image.block_original_size(2), 32u);
+  EXPECT_EQ(image.block_original_offset(2), 64u);
+  EXPECT_THROW(image.block_payload(3), ConfigError);
+}
+
+TEST(Image, PartialLastBlock) {
+  std::vector<std::uint32_t> offsets = {0, 5, 9};
+  const CompressedImage image(CodecKind::kSamc, IsaKind::kMips, 32, 40, {},
+                              std::move(offsets), std::vector<std::uint8_t>(9, 0));
+  EXPECT_EQ(image.block_count(), 2u);
+  EXPECT_EQ(image.block_original_size(1), 8u);
+}
+
+TEST(Image, SizesAndRatios) {
+  const auto image = make_uniform_image();
+  const SizeBreakdown s = image.sizes();
+  EXPECT_EQ(s.original, 96u);
+  EXPECT_EQ(s.payload, 30u);
+  EXPECT_EQ(s.tables, 3u);
+  EXPECT_GT(s.lat, 0u);
+  EXPECT_NEAR(s.ratio(), 33.0 / 96.0, 1e-12);
+  EXPECT_GT(s.ratio_with_lat(), s.ratio());
+}
+
+TEST(Image, LatEncodingIsCompact) {
+  // 3 blocks: one 4-byte group anchor + 3 one-byte lengths = 7 bytes.
+  EXPECT_EQ(make_uniform_image().lat_bytes(), 7u);
+}
+
+TEST(Image, ConstructorValidation) {
+  // Sentinel mismatch.
+  EXPECT_THROW(CompressedImage(CodecKind::kSamc, IsaKind::kMips, 32, 96, {}, {0, 10},
+                               std::vector<std::uint8_t>(30, 0)),
+               ConfigError);
+  // Block count inconsistent with original size.
+  EXPECT_THROW(CompressedImage(CodecKind::kSamc, IsaKind::kMips, 32, 200, {}, {0, 10, 30},
+                               std::vector<std::uint8_t>(30, 0)),
+               ConfigError);
+  // Decreasing offsets.
+  EXPECT_THROW(CompressedImage(CodecKind::kSamc, IsaKind::kMips, 32, 64, {}, {0, 20, 10},
+                               std::vector<std::uint8_t>(10, 0)),
+               ConfigError);
+}
+
+TEST(Image, VariableBlocks) {
+  std::vector<std::uint32_t> offsets = {0, 8, 20, 23};
+  std::vector<std::uint32_t> sizes = {33, 30, 37};
+  const CompressedImage image(CodecKind::kSadc, IsaKind::kX86, 32, 100, {},
+                              std::move(offsets), std::vector<std::uint8_t>(23, 0),
+                              std::move(sizes));
+  EXPECT_TRUE(image.has_variable_blocks());
+  EXPECT_EQ(image.block_original_size(1), 30u);
+  EXPECT_EQ(image.block_original_offset(2), 63u);
+  // Sizes must sum to the original size.
+  EXPECT_THROW(CompressedImage(CodecKind::kSadc, IsaKind::kX86, 32, 99, {}, {0, 8, 20, 23},
+                               std::vector<std::uint8_t>(23, 0), {33, 30, 37}),
+               ConfigError);
+}
+
+TEST(Image, SerializeRoundTripUniform) {
+  const auto image = make_uniform_image();
+  ByteSink sink;
+  image.serialize(sink);
+  const auto bytes = sink.take();
+  ByteSource src(bytes);
+  const auto restored = CompressedImage::deserialize(src);
+  EXPECT_EQ(restored.block_count(), image.block_count());
+  EXPECT_EQ(restored.original_size(), image.original_size());
+  EXPECT_EQ(restored.block_offset(1), image.block_offset(1));
+  EXPECT_TRUE(std::equal(restored.payload().begin(), restored.payload().end(),
+                         image.payload().begin()));
+}
+
+TEST(Image, SerializeRoundTripVariable) {
+  const CompressedImage image(CodecKind::kSadc, IsaKind::kX86, 32, 100, {1, 2},
+                              {0, 8, 20, 23}, std::vector<std::uint8_t>(23, 7),
+                              {33, 30, 37});
+  ByteSink sink;
+  image.serialize(sink);
+  const auto bytes = sink.take();
+  ByteSource src(bytes);
+  const auto restored = CompressedImage::deserialize(src);
+  EXPECT_TRUE(restored.has_variable_blocks());
+  EXPECT_EQ(restored.block_original_size(2), 37u);
+}
+
+TEST(Image, DeserializeRejectsGarbage) {
+  const std::vector<std::uint8_t> garbage = {1, 2, 3, 4, 5, 6, 7, 8};
+  ByteSource src(garbage);
+  EXPECT_THROW(CompressedImage::deserialize(src), CorruptDataError);
+}
+
+TEST(RatioTable, MeansAreColumnwise) {
+  RatioTable table("test", {"a", "b"});
+  const double r1[] = {0.5, 1.0};
+  const double r2[] = {0.7, 0.8};
+  table.add_row("x", r1);
+  table.add_row("y", r2);
+  const auto means = table.column_means();
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_NEAR(means[0], 0.6, 1e-12);
+  EXPECT_NEAR(means[1], 0.9, 1e-12);
+  const double bad[] = {1.0};
+  EXPECT_THROW(table.add_row("z", bad), ConfigError);
+}
+
+}  // namespace
+}  // namespace ccomp::core

@@ -1,0 +1,139 @@
+#include "coding/lz77.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ccomp::coding {
+namespace {
+
+void round_trip(std::span<const std::uint8_t> data, const Lz77Options& opt = {}) {
+  const auto compressed = lz77_compress(data, opt);
+  const auto restored = lz77_decompress(compressed);
+  ASSERT_EQ(restored.size(), data.size());
+  EXPECT_TRUE(std::equal(restored.begin(), restored.end(), data.begin()));
+}
+
+TEST(Lz77, EmptyInput) { round_trip({}); }
+
+TEST(Lz77, TinyInputsAreLiterals) {
+  const std::uint8_t data[] = {1, 2};
+  round_trip(data);
+}
+
+TEST(Lz77, OverlappingMatchReplication) {
+  // dist < length forces byte-wise replication (RLE-style match).
+  std::vector<std::uint8_t> data(5000, 0x5A);
+  round_trip(data);
+  const auto compressed = lz77_compress(data);
+  EXPECT_LT(compressed.size(), 120u);
+}
+
+TEST(Lz77, LongRangeRepeatsAreFound) {
+  // A 2 KiB chunk repeated 16 times: gzip-like must exploit it.
+  Rng rng(21);
+  std::vector<std::uint8_t> chunk;
+  for (int i = 0; i < 2048; ++i) chunk.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+  std::vector<std::uint8_t> data;
+  for (int r = 0; r < 16; ++r) data.insert(data.end(), chunk.begin(), chunk.end());
+  const auto compressed = lz77_compress(data);
+  EXPECT_LT(static_cast<double>(compressed.size()) / static_cast<double>(data.size()), 0.15);
+  round_trip(data);
+}
+
+TEST(Lz77, IncompressibleRandomDataSurvives) {
+  Rng rng(22);
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 60000; ++i) data.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+  round_trip(data);
+}
+
+TEST(Lz77, MatchesBeyondWindowAreNotUsed) {
+  // Two identical chunks separated by more than the window: must still
+  // round-trip (the second chunk simply re-compresses fresh).
+  Lz77Options opt;
+  opt.window_bits = 8;  // 256-byte window
+  Rng rng(23);
+  std::vector<std::uint8_t> chunk;
+  for (int i = 0; i < 128; ++i) chunk.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+  std::vector<std::uint8_t> data = chunk;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+  data.insert(data.end(), chunk.begin(), chunk.end());
+  round_trip(data, opt);
+}
+
+TEST(Lz77, MaxMatchLengthBoundary) {
+  // Runs exactly at and around the 258-byte match cap.
+  for (const std::size_t n : {257u, 258u, 259u, 516u, 1033u}) {
+    std::vector<std::uint8_t> data(n, 0x11);
+    data.push_back(0x22);
+    round_trip(data);
+  }
+}
+
+TEST(Lz77, LazyMatchingStillRoundTrips) {
+  // Construct data where a longer match starts one byte later.
+  std::vector<std::uint8_t> data;
+  const std::uint8_t a[] = {'x', 'a', 'b', 'c', 'd', 'e'};
+  const std::uint8_t b[] = {'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'};
+  data.insert(data.end(), std::begin(a), std::end(a));
+  data.insert(data.end(), std::begin(b), std::end(b));
+  data.push_back('x');
+  data.insert(data.end(), std::begin(b), std::end(b));  // longer match at +1
+  round_trip(data);
+}
+
+TEST(Lz77, CodeLikeDataBeatsByteEntropy) {
+  // Instruction-like structured data with cloned functions: LZ77 should do
+  // substantially better than 1x.
+  Rng rng(24);
+  std::vector<std::uint8_t> function;
+  for (int i = 0; i < 400; ++i)
+    function.push_back(static_cast<std::uint8_t>(rng.pick_skewed(64, 0.8)));
+  std::vector<std::uint8_t> data;
+  for (int f = 0; f < 50; ++f) {
+    data.insert(data.end(), function.begin(), function.end());
+    for (int i = 0; i < 100; ++i)
+      data.push_back(static_cast<std::uint8_t>(rng.pick_skewed(64, 0.8)));
+  }
+  const auto compressed = lz77_compress(data);
+  EXPECT_LT(static_cast<double>(compressed.size()) / static_cast<double>(data.size()), 0.45);
+  round_trip(data);
+}
+
+TEST(Lz77, CorruptPayloadThrows) {
+  std::vector<std::uint8_t> data(1000, 7);
+  auto compressed = lz77_compress(data);
+  compressed.resize(compressed.size() - 3);
+  EXPECT_THROW(lz77_decompress(compressed), CorruptDataError);
+}
+
+TEST(Lz77, BadWindowBitsThrow) {
+  Lz77Options opt;
+  opt.window_bits = 20;
+  EXPECT_THROW(lz77_compress(std::vector<std::uint8_t>{1}, opt), ConfigError);
+}
+
+class Lz77Sweep : public ::testing::TestWithParam<std::tuple<unsigned, bool, std::size_t>> {};
+
+TEST_P(Lz77Sweep, RoundTrips) {
+  const auto [window_bits, lazy, size] = GetParam();
+  Lz77Options opt;
+  opt.window_bits = window_bits;
+  opt.lazy_matching = lazy;
+  Rng rng(window_bits * 31 + size);
+  std::vector<std::uint8_t> data;
+  for (std::size_t i = 0; i < size; ++i)
+    data.push_back(static_cast<std::uint8_t>(rng.pick_skewed(48, 0.85)));
+  round_trip(data, opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowsAndModes, Lz77Sweep,
+    ::testing::Combine(::testing::Values(8u, 12u, 15u), ::testing::Bool(),
+                       ::testing::Values(std::size_t{100}, std::size_t{10000},
+                                         std::size_t{80000})));
+
+}  // namespace
+}  // namespace ccomp::coding

@@ -1,0 +1,102 @@
+#include "coding/lzw.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ccomp::coding {
+namespace {
+
+void round_trip(std::span<const std::uint8_t> data, const LzwOptions& opt = {}) {
+  const auto compressed = lzw_compress(data, opt);
+  const auto restored = lzw_decompress(compressed, data.size(), opt);
+  ASSERT_EQ(restored.size(), data.size());
+  EXPECT_TRUE(std::equal(restored.begin(), restored.end(), data.begin()));
+}
+
+TEST(Lzw, EmptyInput) {
+  round_trip({});
+  EXPECT_TRUE(lzw_compress({}).empty());
+}
+
+TEST(Lzw, SingleByte) {
+  const std::uint8_t data[] = {0x42};
+  round_trip(data);
+}
+
+TEST(Lzw, KwKwKCase) {
+  // "abababab..." produces the classic code-equal-to-next-entry case.
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 100; ++i) data.push_back(i % 2 ? 'b' : 'a');
+  round_trip(data);
+}
+
+TEST(Lzw, RunsOfOneByte) {
+  std::vector<std::uint8_t> data(10000, 0xAA);
+  round_trip(data);
+  const auto compressed = lzw_compress(data);
+  EXPECT_LT(compressed.size(), data.size() / 10);
+}
+
+TEST(Lzw, RandomDataRoundTrips) {
+  Rng rng(3);
+  for (const std::size_t n : {1u, 7u, 256u, 4096u, 100000u}) {
+    std::vector<std::uint8_t> data;
+    data.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      data.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+    round_trip(data);
+  }
+}
+
+TEST(Lzw, RepetitiveTextCompressesWell) {
+  std::vector<std::uint8_t> data;
+  const char* phrase = "the quick brown fox jumps over the lazy dog. ";
+  for (int i = 0; i < 500; ++i)
+    for (const char* p = phrase; *p; ++p) data.push_back(static_cast<std::uint8_t>(*p));
+  const auto compressed = lzw_compress(data);
+  EXPECT_LT(static_cast<double>(compressed.size()) / static_cast<double>(data.size()), 0.2);
+  round_trip(data);
+}
+
+TEST(Lzw, DictionaryResetPathIsExercised) {
+  // Enough distinct material to fill a 12-bit dictionary several times.
+  LzwOptions opt;
+  opt.max_code_bits = 12;
+  Rng rng(4);
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 200000; ++i)
+    data.push_back(static_cast<std::uint8_t>(rng.pick_skewed(200, 0.97)));
+  round_trip(data, opt);
+}
+
+TEST(Lzw, StructuredBinaryRoundTrips) {
+  // Word-structured data similar to instruction streams.
+  Rng rng(5);
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 30000; ++i) {
+    data.push_back(static_cast<std::uint8_t>(rng.pick_skewed(16, 0.6)));
+    data.push_back(static_cast<std::uint8_t>(rng.pick_skewed(32, 0.7)));
+    data.push_back(0x00);
+    data.push_back(0x24);
+  }
+  round_trip(data);
+}
+
+TEST(Lzw, BadOptionsThrow) {
+  LzwOptions opt;
+  opt.min_code_bits = 8;
+  EXPECT_THROW(lzw_compress(std::vector<std::uint8_t>{1, 2, 3}, opt), ConfigError);
+}
+
+TEST(Lzw, TruncatedStreamThrows) {
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i * 7);
+  auto compressed = lzw_compress(data);
+  compressed.resize(compressed.size() / 2);
+  EXPECT_THROW(lzw_decompress(compressed, data.size()), CorruptDataError);
+}
+
+}  // namespace
+}  // namespace ccomp::coding

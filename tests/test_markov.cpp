@@ -1,0 +1,214 @@
+#include "coding/markov.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace ccomp::coding {
+namespace {
+
+TEST(StreamDivision, ContiguousCoversWordMsbFirst) {
+  const auto d = StreamDivision::contiguous(32, 4);
+  ASSERT_EQ(d.stream_count(), 4u);
+  EXPECT_EQ(d.streams[0].front(), 31);
+  EXPECT_EQ(d.streams[0].back(), 24);
+  EXPECT_EQ(d.streams[3].front(), 7);
+  EXPECT_EQ(d.streams[3].back(), 0);
+  d.validate();
+}
+
+TEST(StreamDivision, SingleStream) {
+  const auto d = StreamDivision::single(8);
+  ASSERT_EQ(d.stream_count(), 1u);
+  EXPECT_EQ(d.streams[0].size(), 8u);
+  d.validate();
+}
+
+TEST(StreamDivision, ValidationRejectsBadPartitions) {
+  StreamDivision d;
+  d.word_bits = 8;
+  d.streams = {{7, 6, 5, 4}, {3, 2, 1, 1}};  // bit 1 twice, bit 0 missing
+  EXPECT_THROW(d.validate(), ConfigError);
+  d.streams = {{7, 6, 5, 4}, {3, 2, 1}};  // does not cover
+  EXPECT_THROW(d.validate(), ConfigError);
+  d.streams = {{7, 6, 5, 4, 3, 2, 1, 0}, {}};  // empty stream
+  EXPECT_THROW(d.validate(), ConfigError);
+  EXPECT_THROW(StreamDivision::contiguous(32, 5), ConfigError);
+}
+
+TEST(StreamDivision, SerializeRoundTrip) {
+  const auto d = StreamDivision::contiguous(32, 8);
+  ByteSink sink;
+  d.serialize(sink);
+  const auto bytes = sink.take();
+  ByteSource src(bytes);
+  EXPECT_EQ(StreamDivision::deserialize(src), d);
+}
+
+TEST(MarkovModel, LearnsDeterministicPattern) {
+  // Words alternate 0x00 / 0xFF per 8-bit word; with connection across
+  // words and 1 context bit, the model should become nearly certain.
+  MarkovConfig cfg;
+  cfg.division = StreamDivision::single(8);
+  cfg.context_bits = 1;
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 2000; ++i) words.push_back(i % 2 ? 0xFFu : 0x00u);
+  const auto model = MarkovModel::train(cfg, words);
+  // Estimate must be far below 8 bits/word.
+  const double bits = model.estimate_bits(words);
+  EXPECT_LT(bits / static_cast<double>(words.size()), 1.0);
+}
+
+TEST(MarkovModel, UniformRandomCostsNearEightBitsPerByte) {
+  MarkovConfig cfg;
+  cfg.division = StreamDivision::single(8);
+  cfg.context_bits = 0;
+  Rng rng(5);
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 20000; ++i) words.push_back(rng.next_below(256));
+  const auto model = MarkovModel::train(cfg, words);
+  const double bits_per_word = model.estimate_bits(words) / static_cast<double>(words.size());
+  EXPECT_GT(bits_per_word, 7.9);
+  EXPECT_LT(bits_per_word, 8.2);
+}
+
+TEST(MarkovModel, SkewedBitsCompress) {
+  // Top byte always zero, rest random: expect ~24 bits/word.
+  MarkovConfig cfg;
+  cfg.division = StreamDivision::contiguous(32, 4);
+  cfg.context_bits = 1;
+  Rng rng(6);
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 10000; ++i) words.push_back(rng.next_u32() & 0x00FFFFFFu);
+  const auto model = MarkovModel::train(cfg, words);
+  const double bits_per_word = model.estimate_bits(words) / static_cast<double>(words.size());
+  EXPECT_LT(bits_per_word, 24.6);
+  EXPECT_GT(bits_per_word, 23.0);
+}
+
+TEST(MarkovModel, SerializeRoundTripPreservesProbs) {
+  MarkovConfig cfg;
+  cfg.division = StreamDivision::contiguous(16, 2);
+  cfg.context_bits = 2;
+  Rng rng(8);
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 3000; ++i) words.push_back(rng.next_below(65536));
+  const auto model = MarkovModel::train(cfg, words);
+  ByteSink sink;
+  model.serialize(sink);
+  const auto bytes = sink.take();
+  ByteSource src(bytes);
+  const auto restored = MarkovModel::deserialize(src);
+  ASSERT_EQ(restored.config().division, model.config().division);
+  ASSERT_EQ(restored.config().context_bits, model.config().context_bits);
+  for (std::size_t s = 0; s < 2; ++s)
+    for (std::size_t ctx = 0; ctx < 4; ++ctx)
+      for (std::size_t node = 0; node < model.tree_node_count(s); ++node)
+        EXPECT_EQ(restored.prob0(s, ctx, node), model.prob0(s, ctx, node));
+}
+
+TEST(MarkovModel, QuantizedProbsArePowersOfHalf) {
+  MarkovConfig cfg;
+  cfg.division = StreamDivision::single(8);
+  cfg.quantized = true;
+  cfg.max_shift = 7;
+  Rng rng(9);
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 4000; ++i) words.push_back(rng.pick_skewed(256, 0.8));
+  const auto model = MarkovModel::train(cfg, words);
+  for (std::size_t ctx = 0; ctx < model.context_count(); ++ctx) {
+    for (std::size_t node = 0; node < model.tree_node_count(0); ++node) {
+      const Prob p = model.prob0(0, ctx, node);
+      const std::uint32_t lps = p <= kProbHalf ? p : 0x10000u - p;
+      bool pow2 = false;
+      for (unsigned s = 1; s <= 7; ++s) pow2 |= (lps == (0x10000u >> s));
+      EXPECT_TRUE(pow2);
+    }
+  }
+}
+
+TEST(MarkovModel, QuantizedSerializationIsOneBytePerProbAndExact) {
+  MarkovConfig cfg;
+  cfg.division = StreamDivision::contiguous(16, 2);
+  cfg.context_bits = 1;
+  cfg.quantized = true;
+  cfg.max_shift = 8;
+  Rng rng(12);
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 4000; ++i) words.push_back(rng.pick_skewed(1024, 0.8));
+  const auto model = MarkovModel::train(cfg, words);
+
+  ByteSink sink;
+  model.serialize(sink);
+  const auto bytes = sink.take();
+  // 2 streams x 2 contexts x 255 nodes, one byte each, plus small headers.
+  const std::size_t probs = 2 * 2 * 255;
+  EXPECT_LE(bytes.size(), probs + 64);
+
+  ByteSource src(bytes);
+  const auto restored = MarkovModel::deserialize(src);
+  for (std::size_t s = 0; s < 2; ++s)
+    for (std::size_t ctx = 0; ctx < 2; ++ctx)
+      for (std::size_t node = 0; node < model.tree_node_count(s); ++node)
+        EXPECT_EQ(restored.prob0(s, ctx, node), model.prob0(s, ctx, node));
+}
+
+TEST(MarkovModel, ConnectedTreesBeatIndependentOnCorrelatedStreams) {
+  // Second byte equals first byte: context should capture some of it.
+  Rng rng(10);
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 8000; ++i) {
+    const std::uint32_t b = rng.pick_skewed(4, 0.5);  // tiny alphabet
+    words.push_back((b << 8) | b);
+  }
+  MarkovConfig connected;
+  connected.division = StreamDivision::contiguous(16, 2);
+  connected.context_bits = 2;
+  MarkovConfig independent = connected;
+  independent.context_bits = 0;
+  const double bits_connected =
+      MarkovModel::train(connected, words).estimate_bits(words);
+  const double bits_independent =
+      MarkovModel::train(independent, words).estimate_bits(words);
+  EXPECT_LT(bits_connected, bits_independent);
+}
+
+TEST(MarkovModel, TableBytesMatchesStructure) {
+  MarkovConfig cfg;
+  cfg.division = StreamDivision::contiguous(32, 4);
+  cfg.context_bits = 1;
+  std::vector<std::uint32_t> words(100, 0);
+  const auto model = MarkovModel::train(cfg, words);
+  // 4 streams x 2 contexts x 255 probs x 2 bytes, plus small headers.
+  const std::size_t probs_bytes = 4 * 2 * 255 * 2;
+  EXPECT_GE(model.table_bytes(), probs_bytes);
+  EXPECT_LE(model.table_bytes(), probs_bytes + 64);
+}
+
+TEST(MarkovCursor, BlockResetsMakeBlocksIdentical) {
+  // Two identical blocks must produce identical probability walks when the
+  // cursor resets (verified through estimate_bits linearity).
+  MarkovConfig cfg;
+  cfg.division = StreamDivision::single(8);
+  cfg.context_bits = 1;
+  Rng rng(11);
+  std::vector<std::uint32_t> block;
+  for (int i = 0; i < 32; ++i) block.push_back(rng.next_below(256));
+  std::vector<std::uint32_t> doubled = block;
+  doubled.insert(doubled.end(), block.begin(), block.end());
+  const auto model = MarkovModel::train(cfg, doubled, block.size());
+  const double one = model.estimate_bits(block, block.size());
+  const double two = model.estimate_bits(doubled, block.size());
+  EXPECT_NEAR(two, 2 * one, 1e-9);
+}
+
+TEST(MarkovModel, RejectsBadContextBits) {
+  MarkovConfig cfg;
+  cfg.division = StreamDivision::single(8);
+  cfg.context_bits = 9;
+  std::vector<std::uint32_t> words(10, 0);
+  EXPECT_THROW(MarkovModel::train(cfg, words), ConfigError);
+}
+
+}  // namespace
+}  // namespace ccomp::coding

@@ -1,0 +1,173 @@
+#include "memsys/sim.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/mips/mips.h"
+#include "memsys/cache.h"
+#include "memsys/clb.h"
+#include "samc/samc.h"
+#include "support/rng.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+#include "workload/trace.h"
+
+namespace ccomp::memsys {
+namespace {
+
+TEST(ICache, SequentialAccessMissesOncePerLine) {
+  ICache cache({1024, 32, 1});
+  for (std::uint32_t a = 0; a < 1024; a += 4) cache.access(a);
+  EXPECT_EQ(cache.stats().accesses, 256u);
+  EXPECT_EQ(cache.stats().misses, 32u);
+  // Second sweep over the same working set: all hits.
+  for (std::uint32_t a = 0; a < 1024; a += 4) cache.access(a);
+  EXPECT_EQ(cache.stats().misses, 32u);
+}
+
+TEST(ICache, LruEvictsOldest) {
+  // 2-way, 1 set (64-byte cache, 32-byte lines): three lines thrash.
+  ICache cache({64, 32, 2});
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_FALSE(cache.access(32));
+  EXPECT_TRUE(cache.access(0));    // refresh line 0
+  EXPECT_FALSE(cache.access(64));  // evicts line 32 (LRU)
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_FALSE(cache.access(32));
+}
+
+TEST(ICache, FlushInvalidates) {
+  ICache cache({1024, 32, 2});
+  cache.access(0);
+  cache.flush();
+  EXPECT_FALSE(cache.access(0));
+}
+
+TEST(ICache, ConfigValidation) {
+  EXPECT_THROW(ICache({1000, 32, 2}), ConfigError);  // not divisible
+  EXPECT_THROW(ICache({1024, 24, 2}), ConfigError);  // non-pow2 line
+  EXPECT_THROW(ICache({1024, 32, 0}), ConfigError);
+}
+
+TEST(Clb, GroupLocalityHits) {
+  Clb clb({4, 8});
+  EXPECT_FALSE(clb.access(0));
+  for (std::uint64_t b = 1; b < 8; ++b) EXPECT_TRUE(clb.access(b));  // same group
+  EXPECT_FALSE(clb.access(8));  // next group
+  EXPECT_NEAR(clb.stats().hit_rate(), 7.0 / 9.0, 1e-12);
+}
+
+TEST(Clb, LruReplacement) {
+  Clb clb({2, 1});
+  clb.access(0);
+  clb.access(1);
+  clb.access(0);      // refresh 0
+  clb.access(2);      // evicts 1
+  EXPECT_TRUE(clb.access(0));
+  EXPECT_FALSE(clb.access(1));
+}
+
+struct SimSetup {
+  std::vector<std::uint32_t> trace;
+  core::CompressedImage image;
+};
+
+SimSetup make_setup(std::uint32_t cache_kb = 4) {
+  (void)cache_kb;
+  workload::Profile p = *workload::find_profile("go");
+  p.code_kb = 64;
+  const auto prog = workload::generate_mips_program(p);
+  const auto code = mips::words_to_bytes(prog.words);
+  const samc::SamcCodec codec(samc::mips_defaults());
+  workload::TraceOptions topt;
+  topt.length = 200000;
+  return {workload::generate_trace(p, prog.function_starts, prog.words.size(), topt),
+          codec.compress(code)};
+}
+
+TEST(Sim, CompressedIsSlowerButBounded) {
+  const SimSetup setup = make_setup();
+  SimConfig config;
+  config.cache = {4 * 1024, 32, 2};
+  const auto base = simulate_uncompressed(config, setup.trace);
+  const auto comp = simulate_compressed(config, setup.trace, setup.image);
+  EXPECT_EQ(base.accesses, comp.accesses);
+  EXPECT_EQ(base.misses, comp.misses);  // same cache, same trace
+  EXPECT_GE(comp.fetch_cycles, base.fetch_cycles);
+  // Slowdown is tied to the miss ratio; with a sane cache it stays small.
+  EXPECT_LT(comp.cycles_per_fetch() / base.cycles_per_fetch(), 2.0);
+}
+
+TEST(Sim, BiggerCacheShrinksOverhead) {
+  const SimSetup setup = make_setup();
+  double overhead[2];
+  int i = 0;
+  for (const std::uint32_t kb : {1u, 16u}) {
+    SimConfig config;
+    config.cache = {kb * 1024, 32, 2};
+    const auto base = simulate_uncompressed(config, setup.trace);
+    const auto comp = simulate_compressed(config, setup.trace, setup.image);
+    overhead[i++] = comp.cycles_per_fetch() / base.cycles_per_fetch();
+  }
+  EXPECT_LT(overhead[1], overhead[0]);
+}
+
+TEST(Sim, ClbReducesRefillCycles) {
+  const SimSetup setup = make_setup();
+  SimConfig with;
+  with.cache = {2 * 1024, 32, 2};
+  SimConfig without = with;
+  without.use_clb = false;
+  const auto a = simulate_compressed(with, setup.trace, setup.image);
+  const auto b = simulate_compressed(without, setup.trace, setup.image);
+  EXPECT_LT(a.fetch_cycles, b.fetch_cycles);
+  EXPECT_GT(a.clb_hit_rate(), 0.2);
+}
+
+TEST(Sim, MismatchedBlockSizeThrows) {
+  const SimSetup setup = make_setup();
+  SimConfig config;
+  config.cache = {4 * 1024, 64, 2};  // line != image block size
+  EXPECT_THROW(simulate_compressed(config, setup.trace, setup.image), ConfigError);
+}
+
+TEST(Sim, EnergyAccountingIsConsistent) {
+  const SimSetup setup = make_setup();
+  SimConfig config;
+  config.cache = {4 * 1024, 32, 2};
+  const auto base = simulate_uncompressed(config, setup.trace);
+  const auto comp = simulate_compressed(config, setup.trace, setup.image);
+  EXPECT_GT(base.energy_per_fetch_nj(), 0.0);
+  EXPECT_GT(comp.energy_per_fetch_nj(), 0.0);
+  // Every fetch pays at least the cache-hit energy.
+  EXPECT_GE(base.energy_per_fetch_nj(), config.energy.cache_hit_nj);
+  // Compressed refills move fewer memory bytes; with the default decode
+  // energy they must not cost dramatically more than uncompressed ones.
+  EXPECT_LT(comp.fetch_energy_nj, base.fetch_energy_nj * 1.5);
+}
+
+TEST(Sim, ZeroDecodeEnergyMakesCompressionWin) {
+  // With free decoding, fewer transferred bytes must mean less energy
+  // (modulo CLB-miss transactions, which the CLB keeps rare).
+  const SimSetup setup = make_setup();
+  SimConfig config;
+  config.cache = {4 * 1024, 32, 2};
+  config.energy.decode_byte_nj = 0.0;
+  const auto base = simulate_uncompressed(config, setup.trace);
+  const auto comp = simulate_compressed(config, setup.trace, setup.image);
+  EXPECT_LT(comp.fetch_energy_nj, base.fetch_energy_nj);
+}
+
+TEST(Sim, MissRateMonotonicInCacheSize) {
+  const SimSetup setup = make_setup();
+  double prev = 1.1;
+  for (const std::uint32_t kb : {1u, 4u, 16u, 64u}) {
+    SimConfig config;
+    config.cache = {kb * 1024, 32, 2};
+    const auto r = simulate_uncompressed(config, setup.trace);
+    EXPECT_LE(r.miss_rate(), prev + 0.02);  // allow tiny LRU anomalies
+    prev = r.miss_rate();
+  }
+}
+
+}  // namespace
+}  // namespace ccomp::memsys

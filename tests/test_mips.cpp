@@ -1,0 +1,215 @@
+#include "isa/mips/mips.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+
+namespace ccomp::mips {
+namespace {
+
+std::uint16_t find_op(std::string_view mnemonic) {
+  const auto table = opcode_table();
+  for (std::size_t i = 0; i < table.size(); ++i)
+    if (mnemonic == table[i].mnemonic) return static_cast<std::uint16_t>(i);
+  ADD_FAILURE() << "mnemonic not found: " << mnemonic;
+  return 0;
+}
+
+TEST(MipsTable, HasCanonicalEncodings) {
+  // addu $t0, $s1, $s2 = 0x02324021
+  Decoded d;
+  d.opcode = find_op("addu");
+  d.regs[0] = 8;   // rd = t0
+  d.regs[1] = 17;  // rs = s1
+  d.regs[2] = 18;  // rt = s2
+  EXPECT_EQ(encode(d), 0x02324021u);
+
+  // addiu $sp, $sp, -32 = 0x27BDFFE0
+  Decoded a;
+  a.opcode = find_op("addiu");
+  a.regs[0] = 29;
+  a.regs[1] = 29;
+  a.imm16 = static_cast<std::uint16_t>(-32);
+  EXPECT_EQ(encode(a), 0x27BDFFE0u);
+
+  // lw $ra, 28($sp) = 0x8FBF001C
+  Decoded l;
+  l.opcode = find_op("lw");
+  l.regs[0] = 31;
+  l.regs[1] = 29;
+  l.imm16 = 28;
+  EXPECT_EQ(encode(l), 0x8FBF001Cu);
+
+  // jr $ra = 0x03E00008
+  Decoded j;
+  j.opcode = find_op("jr");
+  j.regs[0] = 31;
+  EXPECT_EQ(encode(j), 0x03E00008u);
+
+  // jal 0x00400000 -> imm26 = 0x100000 -> 0x0C100000
+  Decoded c;
+  c.opcode = find_op("jal");
+  c.imm26 = 0x100000;
+  EXPECT_EQ(encode(c), 0x0C100000u);
+}
+
+TEST(MipsDecode, NopIsSll) {
+  const auto d = decode(0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_STREQ(opcode_table()[d->opcode].mnemonic, "sll");
+  EXPECT_EQ(disassemble(0), "nop");
+}
+
+TEST(MipsDecode, RoundTripsWholeTable) {
+  // Every table row, with pseudo-random operand values, must round-trip
+  // word -> decode -> encode -> same word.
+  Rng rng(31);
+  const auto table = opcode_table();
+  for (std::size_t op = 0; op < table.size(); ++op) {
+    for (int trial = 0; trial < 20; ++trial) {
+      Decoded d;
+      d.opcode = static_cast<std::uint16_t>(op);
+      for (unsigned k = 0; k < table[op].reg_count; ++k)
+        d.regs[k] = static_cast<std::uint8_t>(rng.next_below(32));
+      if (table[op].has_imm16) d.imm16 = static_cast<std::uint16_t>(rng.next_below(65536));
+      if (table[op].has_imm26) d.imm26 = static_cast<std::uint32_t>(rng.next_below(1u << 26));
+      const std::uint32_t word = encode(d);
+      const auto back = decode(word);
+      ASSERT_TRUE(back.has_value()) << table[op].mnemonic;
+      EXPECT_EQ(encode(*back), word) << table[op].mnemonic;
+    }
+  }
+}
+
+TEST(MipsDecode, UnknownWordsRejected) {
+  // Primary opcode 0x3F is unassigned in our table.
+  EXPECT_FALSE(decode(0xFC000000u).has_value());
+  // SPECIAL with unassigned funct 0x3F.
+  EXPECT_FALSE(decode(0x0000003Fu).has_value());
+}
+
+TEST(MipsOperandLengths, MatchTableRows) {
+  const auto j = operand_lengths(find_op("jal"));
+  EXPECT_EQ(j.regs, 0u);
+  EXPECT_FALSE(j.imm16);
+  EXPECT_TRUE(j.imm26);
+  const auto b = operand_lengths(find_op("beq"));
+  EXPECT_EQ(b.regs, 2u);
+  EXPECT_TRUE(b.imm16);
+  const auto r = operand_lengths(find_op("addu"));
+  EXPECT_EQ(r.regs, 3u);
+  EXPECT_FALSE(r.imm16);
+}
+
+TEST(MipsBytes, WordsToBytesRoundTrip) {
+  const std::vector<std::uint32_t> words = {0x01234567, 0x89ABCDEF, 0};
+  const auto bytes = words_to_bytes(words);
+  ASSERT_EQ(bytes.size(), 12u);
+  EXPECT_EQ(bytes[0], 0x67);  // little-endian
+  EXPECT_EQ(bytes[3], 0x01);
+  EXPECT_EQ(bytes_to_words(bytes), words);
+}
+
+TEST(MipsBytes, MisalignedSizeThrows) {
+  const std::vector<std::uint8_t> bytes(7, 0);
+  EXPECT_THROW(bytes_to_words(bytes), ConfigError);
+}
+
+TEST(MipsDisasm, FormatsCommonInstructions) {
+  Decoded d;
+  d.opcode = find_op("addiu");
+  d.regs[0] = 29;
+  d.regs[1] = 29;
+  d.imm16 = static_cast<std::uint16_t>(-32);
+  EXPECT_EQ(disassemble(encode(d)), "addiu $sp, $sp, -32");
+
+  Decoded j;
+  j.opcode = find_op("jr");
+  j.regs[0] = 31;
+  EXPECT_EQ(disassemble(encode(j)), "jr $ra");
+
+  Decoded l;
+  l.opcode = find_op("lw");
+  l.regs[0] = 31;
+  l.regs[1] = 29;
+  l.imm16 = 28;
+  EXPECT_EQ(disassemble(encode(l)), "lw $ra, 28($sp)");
+
+  Decoded f;
+  f.opcode = find_op("swc1");
+  f.regs[0] = 4;
+  f.regs[1] = 29;
+  f.imm16 = static_cast<std::uint16_t>(-8);
+  EXPECT_EQ(disassemble(encode(f)), "swc1 $f4, -8($sp)");
+}
+
+TEST(MipsDisasm, UnknownWordFormatsAsRaw) {
+  EXPECT_EQ(disassemble(0xFC000000u), ".word 0xfc000000");
+}
+
+TEST(MipsDisasm, ProgramListingHasOneLinePerWord) {
+  const workload::Profile* prof = workload::find_profile("tomcatv");
+  ASSERT_NE(prof, nullptr);
+  auto program = workload::generate_mips(*prof);
+  program.resize(100);
+  const std::string listing = disassemble_program(program, 0x00400000);
+  std::size_t lines = 0;
+  for (const char c : listing) lines += (c == '\n');
+  EXPECT_EQ(lines, 100u);
+}
+
+TEST(MipsTable, MasksDoNotOverlapOperands) {
+  // A row's mask must cover its match and exclude its operand fields.
+  for (const auto& row : opcode_table()) {
+    EXPECT_EQ(row.match & ~row.mask, 0u) << row.mnemonic;
+    for (unsigned k = 0; k < row.reg_count; ++k) {
+      const std::uint32_t field = 0x1Fu << row.reg_shifts[k];
+      EXPECT_EQ(row.mask & field, 0u) << row.mnemonic << " reg " << k;
+    }
+    if (row.has_imm16) {
+      EXPECT_EQ(row.mask & 0xFFFFu, 0u) << row.mnemonic;
+    }
+    if (row.has_imm26) {
+      EXPECT_EQ(row.mask & 0x03FFFFFFu, 0u) << row.mnemonic;
+    }
+  }
+}
+
+TEST(MipsDecode, RandomWordFuzzIsIdempotent) {
+  // For arbitrary 32-bit words: decode either rejects, or encode(decode(w))
+  // reproduces a word that decodes to the same row and operands (encode may
+  // canonicalize fixed fields the mask zeroes out).
+  Rng rng(4096);
+  std::size_t accepted = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint32_t w = rng.next_u32();
+    const auto d = decode(w);
+    if (!d) continue;
+    ++accepted;
+    const std::uint32_t w2 = encode(*d);
+    const auto d2 = decode(w2);
+    ASSERT_TRUE(d2.has_value());
+    EXPECT_EQ(d2->opcode, d->opcode);
+    EXPECT_EQ(encode(*d2), w2);  // canonical form is a fixed point
+  }
+  // Sanity: a decent share of random words hit I-format rows.
+  EXPECT_GT(accepted, 50000u);
+}
+
+TEST(MipsTable, NoTwoRowsMatchTheSameCanonicalWord) {
+  // Encoding a row with zero operands must decode back to that same row.
+  const auto table = opcode_table();
+  for (std::size_t op = 0; op < table.size(); ++op) {
+    Decoded d;
+    d.opcode = static_cast<std::uint16_t>(op);
+    const auto back = decode(encode(d));
+    ASSERT_TRUE(back.has_value()) << table[op].mnemonic;
+    EXPECT_EQ(back->opcode, op) << table[op].mnemonic << " collides with "
+                                << table[back->opcode].mnemonic;
+  }
+}
+
+}  // namespace
+}  // namespace ccomp::mips

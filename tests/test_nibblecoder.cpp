@@ -1,0 +1,153 @@
+#include "coding/nibblecoder.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace ccomp::coding {
+namespace {
+
+Prob random_quantized(Rng& rng, unsigned max_shift = 8) {
+  return quantize_prob_pow2(
+      clamp_prob(1 + static_cast<std::uint32_t>(rng.next_below(65535))), max_shift);
+}
+
+TEST(NibbleCoder, RoundTripsBitSerial) {
+  Rng rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 4 * (1 + rng.next_below(2000));
+    std::vector<unsigned> bits;
+    std::vector<Prob> probs;
+    for (std::size_t i = 0; i < n; ++i) {
+      bits.push_back(static_cast<unsigned>(rng.next_below(2)));
+      probs.push_back(random_quantized(rng));
+    }
+    NibbleRangeEncoder enc;
+    for (std::size_t i = 0; i < n; ++i) enc.encode_bit(bits[i], probs[i]);
+    enc.finish();
+    const auto payload = enc.take();
+    NibbleRangeDecoder dec(payload);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(dec.decode_bit(probs[i]), bits[i]) << "trial " << trial << " bit " << i;
+  }
+}
+
+TEST(NibbleCoder, DecodeNibbleMatchesBitSerial) {
+  // Decode the same payload once bit-serially and once through the Fig. 5
+  // 15-midpoint path: results must be identical.
+  Rng rng(102);
+  const std::size_t nibbles = 3000;
+  // Build a per-nibble probability tree (15 heap-ordered probs each).
+  std::vector<std::array<Prob, 15>> trees(nibbles);
+  for (auto& tree : trees)
+    for (auto& p : tree) p = random_quantized(rng);
+
+  std::vector<unsigned> bits;
+  NibbleRangeEncoder enc;
+  for (const auto& tree : trees) {
+    std::size_t node = 0;
+    for (int level = 0; level < 4; ++level) {
+      const unsigned bit = static_cast<unsigned>(rng.next_below(2));
+      bits.push_back(bit);
+      enc.encode_bit(bit, tree[node]);
+      node = 2 * node + 1 + bit;
+    }
+  }
+  enc.finish();
+  const auto payload = enc.take();
+
+  NibbleRangeDecoder serial(payload);
+  NibbleRangeDecoder parallel(payload);
+  std::size_t bit_index = 0;
+  for (const auto& tree : trees) {
+    unsigned serial_nibble = 0;
+    std::size_t node = 0;
+    for (int level = 0; level < 4; ++level) {
+      const unsigned bit = serial.decode_bit(tree[node]);
+      serial_nibble = (serial_nibble << 1) | bit;
+      node = 2 * node + 1 + bit;
+    }
+    const unsigned parallel_nibble = parallel.decode_nibble(tree.data());
+    ASSERT_EQ(parallel_nibble, serial_nibble);
+    for (int level = 3; level >= 0; --level)
+      ASSERT_EQ((parallel_nibble >> level) & 1u, bits[bit_index++]);
+  }
+}
+
+TEST(NibbleCoder, RejectsUnquantizedProbabilities) {
+  NibbleRangeEncoder enc;
+  EXPECT_THROW(enc.encode_bit(0, 12345), ConfigError);  // not a power of 1/2
+}
+
+TEST(NibbleCoder, DecodeNibbleRequiresAlignment) {
+  NibbleRangeEncoder enc;
+  for (int i = 0; i < 8; ++i) enc.encode_bit(0, kProbHalf);
+  enc.finish();
+  const auto payload = enc.take();
+  NibbleRangeDecoder dec(payload);
+  dec.decode_bit(kProbHalf);
+  Prob tree[15];
+  for (auto& p : tree) p = kProbHalf;
+  EXPECT_THROW(dec.decode_nibble(tree), ConfigError);
+}
+
+TEST(NibbleCoder, ExtremeQuantizedRuns) {
+  // Long runs at the coarsest allowed probability (2^-8) stress the 56-bit
+  // window's worst-case shrink.
+  const Prob likely0 = quantize_prob_pow2(65535, 8);   // LPS(1) = 2^-8
+  const Prob likely1 = quantize_prob_pow2(1, 8);       // LPS(0) = 2^-8
+  std::vector<unsigned> bits;
+  std::vector<Prob> probs;
+  for (int i = 0; i < 4000; ++i) {
+    bits.push_back(i % 997 == 0 ? 1u : 0u);  // rare surprises
+    probs.push_back(likely0);
+  }
+  for (int i = 0; i < 4000; ++i) {
+    bits.push_back(i % 991 == 0 ? 0u : 1u);
+    probs.push_back(likely1);
+  }
+  NibbleRangeEncoder enc;
+  for (std::size_t i = 0; i < bits.size(); ++i) enc.encode_bit(bits[i], probs[i]);
+  enc.finish();
+  const auto payload = enc.take();
+  NibbleRangeDecoder dec(payload);
+  for (std::size_t i = 0; i < bits.size(); ++i) ASSERT_EQ(dec.decode_bit(probs[i]), bits[i]);
+}
+
+TEST(NibbleCoder, CompressionMatchesSerialCoderClosely) {
+  // Same quantized probabilities through both engines: sizes should agree
+  // within a few bytes (renorm granularity does not change the entropy).
+  Rng rng(103);
+  const std::size_t n = 40000;
+  std::vector<unsigned> bits;
+  std::vector<Prob> probs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Prob p = random_quantized(rng, 6);
+    probs.push_back(p);
+    bits.push_back(rng.next_double() < (1.0 - p / 65536.0) ? 1u : 0u);
+  }
+  RangeEncoder serial;
+  NibbleRangeEncoder nibble;
+  for (std::size_t i = 0; i < n; ++i) {
+    serial.encode_bit(bits[i], probs[i]);
+    nibble.encode_bit(bits[i], probs[i]);
+  }
+  serial.finish();
+  nibble.finish();
+  const auto a = serial.take();
+  const auto b = nibble.take();
+  EXPECT_NEAR(static_cast<double>(a.size()), static_cast<double>(b.size()),
+              0.01 * static_cast<double>(a.size()) + 16.0);
+}
+
+TEST(NibbleCoder, EmptyBlock) {
+  NibbleRangeEncoder enc;
+  enc.finish();
+  EXPECT_LE(enc.take().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ccomp::coding

@@ -1,0 +1,98 @@
+#include "samc/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/mips/mips.h"
+#include "samc/samc.h"
+#include "support/rng.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+
+namespace ccomp::samc {
+namespace {
+
+TEST(Optimizer, ReturnsValidDivision) {
+  Rng rng(61);
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 4000; ++i) words.push_back(rng.next_u32());
+  OptimizerOptions opt;
+  opt.swap_attempts = 20;
+  const auto division = optimize_division(words, opt);
+  division.validate();  // throws if not a partition
+  EXPECT_EQ(division.stream_count(), 4u);
+}
+
+TEST(Optimizer, NeverWorseThanItsStartingPoint) {
+  workload::Profile p = *workload::find_profile("go");
+  p.code_kb = 24;
+  const auto words = workload::generate_mips(p);
+  OptimizerOptions opt;
+  opt.swap_attempts = 60;
+  opt.sample_words = 4096;
+  const auto optimized = optimize_division(words, opt);
+  const std::span<const std::uint32_t> sample(words.data(), opt.sample_words);
+  const double cost_optimized =
+      division_cost_bits(optimized, sample, opt.context_bits, opt.block_words);
+  const double cost_contiguous = division_cost_bits(
+      coding::StreamDivision::contiguous(32, 4), sample, opt.context_bits, opt.block_words);
+  // Hill climbing accepts only improvements over its own start; it should
+  // also not be dramatically worse than the paper's default division.
+  EXPECT_LT(cost_optimized, cost_contiguous * 1.05);
+}
+
+TEST(Optimizer, FindsStructureInPlantedData) {
+  // Plant structure: bits {0..7} copy bits {8..15}; an optimizer that groups
+  // correlated bits should beat the contiguous division.
+  Rng rng(62);
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 8000; ++i) {
+    const std::uint32_t low = rng.next_below(256);
+    const std::uint32_t rest = rng.next_u32() & 0xFFFF0000u;
+    words.push_back(rest | (low << 8) | low);
+  }
+  OptimizerOptions opt;
+  opt.swap_attempts = 120;
+  opt.sample_words = 4096;
+  opt.seed = 7;
+  const auto optimized = optimize_division(words, opt);
+  const std::span<const std::uint32_t> sample(words.data(), opt.sample_words);
+  const double cost_optimized =
+      division_cost_bits(optimized, sample, opt.context_bits, opt.block_words);
+  const double cost_contiguous = division_cost_bits(
+      coding::StreamDivision::contiguous(32, 4), sample, opt.context_bits, opt.block_words);
+  EXPECT_LE(cost_optimized, cost_contiguous);
+}
+
+TEST(Optimizer, OptimizedDivisionRoundTripsInCodec) {
+  workload::Profile p = *workload::find_profile("wave5");
+  p.code_kb = 8;
+  const auto words = workload::generate_mips(p);
+  OptimizerOptions opt;
+  opt.swap_attempts = 20;
+  opt.sample_words = 2048;
+  SamcOptions samc_opt = mips_defaults();
+  samc_opt.markov.division = optimize_division(words, opt);
+  const SamcCodec codec(samc_opt);
+  codec.compress_verified(mips::words_to_bytes(words));
+}
+
+TEST(Optimizer, RejectsBadStreamCount) {
+  std::vector<std::uint32_t> words(100, 0);
+  OptimizerOptions opt;
+  opt.stream_count = 5;
+  EXPECT_THROW(optimize_division(words, opt), ConfigError);
+}
+
+TEST(Optimizer, DeterministicForFixedSeed) {
+  Rng rng(63);
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 2000; ++i) words.push_back(rng.next_u32() & 0x00FFFFFF);
+  OptimizerOptions opt;
+  opt.swap_attempts = 30;
+  const auto a = optimize_division(words, opt);
+  const auto b = optimize_division(words, opt);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ccomp::samc

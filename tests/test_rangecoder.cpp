@@ -1,0 +1,160 @@
+#include "coding/rangecoder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/rng.h"
+
+namespace ccomp::coding {
+namespace {
+
+// Encode `bits` against `probs`, then decode and compare.
+void round_trip(std::span<const unsigned> bits, std::span<const Prob> probs) {
+  ASSERT_EQ(bits.size(), probs.size());
+  RangeEncoder enc;
+  for (std::size_t i = 0; i < bits.size(); ++i) enc.encode_bit(bits[i], probs[i]);
+  enc.finish();
+  const auto payload = enc.take();
+  RangeDecoder dec(payload);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    ASSERT_EQ(dec.decode_bit(probs[i]), bits[i]) << "bit " << i;
+}
+
+TEST(RangeCoder, EmptyBlock) {
+  RangeEncoder enc;
+  enc.finish();
+  const auto payload = enc.take();
+  EXPECT_LE(payload.size(), 1u);
+}
+
+TEST(RangeCoder, SingleBits) {
+  for (const unsigned bit : {0u, 1u}) {
+    for (const Prob p : {Prob{1}, Prob{100}, kProbHalf, Prob{65000}, Prob{65535}}) {
+      const unsigned bits[1] = {bit};
+      const Prob probs[1] = {p};
+      round_trip(bits, probs);
+    }
+  }
+}
+
+TEST(RangeCoder, RandomBitsRandomProbs) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<unsigned> bits;
+    std::vector<Prob> probs;
+    const std::size_t n = 1 + rng.next_below(4000);
+    for (std::size_t i = 0; i < n; ++i) {
+      bits.push_back(static_cast<unsigned>(rng.next_below(2)));
+      probs.push_back(clamp_prob(1 + static_cast<std::uint32_t>(rng.next_below(65535))));
+    }
+    round_trip(bits, probs);
+  }
+}
+
+TEST(RangeCoder, SkewedSourceCompressesNearEntropy) {
+  // p(1) = 0.05: entropy = 0.286 bits/bit. 80k bits should land within a few
+  // percent of 80k * H(0.05) / 8 bytes.
+  Rng rng(78);
+  const double p1 = 0.05;
+  const Prob p0 = clamp_prob(static_cast<std::uint32_t>((1.0 - p1) * 65536.0));
+  RangeEncoder enc;
+  std::size_t n = 80000;
+  std::vector<unsigned> bits;
+  for (std::size_t i = 0; i < n; ++i) bits.push_back(rng.chance(p1) ? 1u : 0u);
+  for (const unsigned b : bits) enc.encode_bit(b, p0);
+  enc.finish();
+  const auto payload = enc.take();
+  const double entropy = -(p1 * std::log2(p1) + (1 - p1) * std::log2(1 - p1));
+  const double ideal_bytes = entropy * static_cast<double>(n) / 8.0;
+  EXPECT_LT(static_cast<double>(payload.size()), ideal_bytes * 1.05 + 16);
+  // And it must still round-trip.
+  RangeDecoder dec(payload);
+  for (const unsigned b : bits) ASSERT_EQ(dec.decode_bit(p0), b);
+}
+
+TEST(RangeCoder, ExtremeProbabilityRuns) {
+  // Long runs of the likely symbol followed by the unlikely one, at both
+  // extremes — stresses renormalization and carry chains.
+  for (const Prob p0 : {Prob{65535}, Prob{1}}) {
+    std::vector<unsigned> bits(5000, p0 == 65535 ? 0u : 1u);
+    bits.push_back(p0 == 65535 ? 1u : 0u);  // one surprise at the end
+    std::vector<Prob> probs(bits.size(), p0);
+    round_trip(bits, probs);
+  }
+}
+
+TEST(RangeCoder, AlternatingCarryStress) {
+  // Probabilities very close to 1/2 with alternating bits exercise the
+  // 0xFF-pending byte chain.
+  std::vector<unsigned> bits;
+  std::vector<Prob> probs;
+  for (int i = 0; i < 20000; ++i) {
+    bits.push_back(static_cast<unsigned>(i & 1));
+    probs.push_back(static_cast<Prob>(0x8000 + (i % 3) - 1));
+  }
+  round_trip(bits, probs);
+}
+
+TEST(RangeCoder, ResetIsolatesBlocks) {
+  // Two blocks with the same encoder instance must decode independently.
+  RangeEncoder enc;
+  const Prob p = 0x4000;
+  enc.encode_bit(1, p);
+  enc.encode_bit(1, p);
+  enc.finish();
+  const auto block1 = enc.take();
+  enc.encode_bit(0, p);
+  enc.encode_bit(1, p);
+  enc.finish();
+  const auto block2 = enc.take();
+
+  RangeDecoder d1(block1);
+  EXPECT_EQ(d1.decode_bit(p), 1u);
+  EXPECT_EQ(d1.decode_bit(p), 1u);
+  RangeDecoder d2(block2);
+  EXPECT_EQ(d2.decode_bit(p), 0u);
+  EXPECT_EQ(d2.decode_bit(p), 1u);
+}
+
+TEST(QuantizeProb, ProducesPowersOfHalf) {
+  for (const Prob p : {Prob{1}, Prob{1000}, Prob{20000}, kProbHalf, Prob{50000}, Prob{65535}}) {
+    const Prob q = quantize_prob_pow2(p, 8);
+    const std::uint32_t lps = q <= kProbHalf ? q : 0x10000u - q;
+    // lps must be 2^(16-s) for s in [1,8].
+    bool found = false;
+    for (unsigned s = 1; s <= 8; ++s) found |= (lps == (0x10000u >> s));
+    EXPECT_TRUE(found) << "p=" << p << " q=" << q;
+  }
+}
+
+TEST(QuantizeProb, HalfStaysHalf) {
+  EXPECT_EQ(quantize_prob_pow2(kProbHalf, 8), kProbHalf);
+}
+
+TEST(QuantizeProb, QuantizedStreamRoundTrips) {
+  Rng rng(79);
+  std::vector<unsigned> bits;
+  std::vector<Prob> probs;
+  for (int i = 0; i < 10000; ++i) {
+    bits.push_back(static_cast<unsigned>(rng.next_below(2)));
+    probs.push_back(quantize_prob_pow2(
+        clamp_prob(1 + static_cast<std::uint32_t>(rng.next_below(65535))), 6));
+  }
+  round_trip(bits, probs);
+}
+
+TEST(QuantizeProb, EfficiencyLossIsBounded) {
+  // Witten et al.: restricting the LPS to powers of 1/2 costs a bounded
+  // fraction of coding efficiency. Check the redundancy at p0 = 0.8:
+  // quantized to LPS=1/4 -> code 1s at 2 bits, 0s at log2(4/3).
+  const double p0 = 0.8;
+  const Prob q = quantize_prob_pow2(clamp_prob(static_cast<std::uint32_t>(p0 * 65536)), 8);
+  const double q0 = q / 65536.0;
+  const double cross_entropy = -(p0 * std::log2(q0) + (1 - p0) * std::log2(1 - q0));
+  const double entropy = -(p0 * std::log2(p0) + (1 - p0) * std::log2(1 - p0));
+  EXPECT_LT(cross_entropy / entropy, 1.10);
+}
+
+}  // namespace
+}  // namespace ccomp::coding

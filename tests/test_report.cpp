@@ -1,0 +1,39 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace ccomp::core {
+namespace {
+
+TEST(RatioTable, PrintsHeaderRowsAndMeans) {
+  RatioTable table("unit test table", {"alpha", "beta"});
+  const double r1[] = {0.25, 0.75};
+  const double r2[] = {0.35, 0.65};
+  table.add_row("first", r1);
+  table.add_row("second", r2);
+
+  ::testing::internal::CaptureStdout();
+  table.print();
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("unit test table"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("first"), std::string::npos);
+  EXPECT_NE(out.find("0.250"), std::string::npos);
+  EXPECT_NE(out.find("MEAN"), std::string::npos);
+  EXPECT_NE(out.find("0.300"), std::string::npos);  // mean of alpha column
+  EXPECT_NE(out.find("0.700"), std::string::npos);  // mean of beta column
+}
+
+TEST(RatioTable, EmptyTableMeansAreZero) {
+  RatioTable table("empty", {"a"});
+  const auto means = table.column_means();
+  ASSERT_EQ(means.size(), 1u);
+  EXPECT_DOUBLE_EQ(means[0], 0.0);
+  ::testing::internal::CaptureStdout();
+  table.print();  // must not crash with zero rows
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("MEAN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccomp::core

@@ -1,0 +1,274 @@
+#include "sadc/sadc.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/mips/mips.h"
+#include "sadc/symbols.h"
+#include "support/rng.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+#include "workload/x86_gen.h"
+
+namespace ccomp::sadc {
+namespace {
+
+std::vector<std::uint8_t> small_mips_code(const char* name, std::uint32_t kb) {
+  workload::Profile p = *workload::find_profile(name);
+  p.code_kb = kb;
+  return mips::words_to_bytes(workload::generate_mips(p));
+}
+
+TEST(SymbolTable, SequenceExpansionIsRecursive) {
+  SymbolTable t;
+  Symbol base;
+  base.kind = Symbol::Kind::kBase;
+  base.token = 7;
+  const auto a = t.add(base);
+  base.token = 9;
+  const auto b = t.add(base);
+  Symbol pair;
+  pair.kind = Symbol::Kind::kSeq;
+  pair.components = {a, b};
+  const auto ab = t.add(pair);
+  Symbol triple;
+  triple.kind = Symbol::Kind::kSeq;
+  triple.components = {ab, a};
+  const auto aba = t.add(triple);
+  EXPECT_EQ(t.expanded_length(aba), 3u);
+  EXPECT_EQ(t.leaves(aba)[0].token, 7);
+  EXPECT_EQ(t.leaves(aba)[1].token, 9);
+  EXPECT_EQ(t.leaves(aba)[2].token, 7);
+}
+
+TEST(SymbolTable, ForwardReferencesRejected) {
+  SymbolTable t;
+  Symbol seq;
+  seq.kind = Symbol::Kind::kSeq;
+  seq.components = {0, 1};
+  EXPECT_THROW(t.add(seq), ConfigError);
+}
+
+TEST(SymbolTable, SerializeRoundTrip) {
+  SymbolTable t;
+  Symbol base;
+  base.kind = Symbol::Kind::kBase;
+  base.token = 3;
+  const auto a = t.add(base);
+  Symbol spec;
+  spec.kind = Symbol::Kind::kRegSpec;
+  spec.token = 3;
+  spec.reg_count = 2;
+  spec.regs[0] = 29;
+  spec.regs[1] = 31;
+  t.add(spec);
+  Symbol imm;
+  imm.kind = Symbol::Kind::kImmSpec;
+  imm.token = 3;
+  imm.imm16 = 0xFFE0;
+  t.add(imm);
+  Symbol seq;
+  seq.kind = Symbol::Kind::kSeq;
+  seq.components = {a, a};
+  t.add(seq);
+  ByteSink sink;
+  t.serialize(sink);
+  const auto bytes = sink.take();
+  ByteSource src(bytes);
+  const SymbolTable r = SymbolTable::deserialize(src);
+  ASSERT_EQ(r.size(), t.size());
+  EXPECT_EQ(r.at(1).regs[1], 31);
+  EXPECT_EQ(r.at(2).imm16, 0xFFE0);
+  EXPECT_EQ(r.expanded_length(3), 2u);
+}
+
+TEST(SadcMips, RoundTripsGeneratedCode) {
+  const auto code = small_mips_code("compress", 16);
+  const SadcMipsCodec codec;
+  const auto image = codec.compress_verified(code);
+  EXPECT_EQ(image.original_size(), code.size());
+}
+
+TEST(SadcMips, CompressesBetterThanSamcAccounting) {
+  const auto code = small_mips_code("gcc", 64);
+  const SadcMipsCodec codec;
+  const double ratio = codec.compress(code).sizes().ratio();
+  EXPECT_LT(ratio, 0.70);
+  EXPECT_GT(ratio, 0.15);
+}
+
+TEST(SadcMips, DictionaryStaysWithinBudget) {
+  // The base alphabet (distinct opcodes, < 90 on MIPS) always fits; the
+  // budget caps how many sequence/specialisation entries are added on top.
+  const auto code = small_mips_code("vortex", 48);
+  SadcOptions opt;
+  opt.max_symbols = 120;
+  const SadcMipsCodec codec(opt);
+  const auto image = codec.compress_verified(code);
+  ByteSource src(image.tables());
+  const SymbolTable table = SymbolTable::deserialize(src);
+  EXPECT_LE(table.size(), 120u);
+}
+
+TEST(SadcMips, SpecializationHelps) {
+  const auto code = small_mips_code("m88ksim", 48);
+  SadcOptions with;
+  SadcOptions without;
+  without.specialize_operands = false;
+  const double r_with = SadcMipsCodec(with).compress(code).sizes().ratio();
+  const double r_without = SadcMipsCodec(without).compress(code).sizes().ratio();
+  EXPECT_LT(r_with, r_without + 1e-9);
+}
+
+TEST(SadcMips, OptimalParsingRoundTripsAndNeverLoses) {
+  const auto code = small_mips_code("gcc", 48);
+  SadcOptions greedy;
+  SadcOptions optimal;
+  optimal.parse_mode = ParseMode::kOptimal;
+  const auto greedy_image = SadcMipsCodec(greedy).compress(code);
+  const auto optimal_image = SadcMipsCodec(optimal).compress_verified(code);
+  // Optimal segmentation can only reduce the number of opcode symbols; the
+  // Huffman-coded payload tracks that closely.
+  EXPECT_LE(optimal_image.sizes().ratio(), greedy_image.sizes().ratio() + 0.002);
+}
+
+TEST(SadcMips, StaticDictionaryRoundTripsAndIsWorse) {
+  // Paper Sec. 4: semiadaptive dictionaries "clearly" beat static ones on
+  // the program they were built for. A donor dictionary must still decode
+  // correctly (it travels in the image, extended with missing opcodes).
+  const auto donor = small_mips_code("gcc", 32);
+  const auto subject = small_mips_code("swim", 32);
+  const SadcMipsCodec codec;
+  const SymbolTable dictionary = codec.build_dictionary(donor);
+
+  const auto static_image = codec.compress_with_dictionary(subject, dictionary);
+  EXPECT_EQ(codec.decompress_all(static_image), subject);
+  const auto own_image = codec.compress(subject);
+  EXPECT_GT(static_image.sizes().total(), own_image.sizes().total() * 95 / 100);
+}
+
+TEST(SadcMips, StaticDictionaryOnOwnProgramIsClose) {
+  // Feeding a program its own dictionary through the static path must be
+  // roughly as good as the normal pipeline (the DP parser may even shave a
+  // little off the greedy parse).
+  const auto code = small_mips_code("go", 24);
+  const SadcMipsCodec codec;
+  const auto dict = codec.build_dictionary(code);
+  const double r_static = codec.compress_with_dictionary(code, dict).sizes().ratio();
+  const double r_normal = codec.compress(code).sizes().ratio();
+  EXPECT_NEAR(r_static, r_normal, 0.02);
+}
+
+TEST(SadcMips, OptimalParsingHandlesRawWords) {
+  auto code = small_mips_code("go", 8);
+  Rng rng(73);
+  for (int i = 0; i < 100; ++i) code[rng.next_below(code.size() / 4) * 4 + 3] = 0xFC;
+  SadcOptions optimal;
+  optimal.parse_mode = ParseMode::kOptimal;
+  SadcMipsCodec(optimal).compress_verified(code);
+}
+
+TEST(SadcMips, HandlesUndecodableWords) {
+  // Mix valid instructions with raw garbage words; the kRaw path must
+  // round-trip them exactly.
+  auto code = small_mips_code("xlisp", 4);
+  Rng rng(71);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t w = rng.next_below(code.size() / 4);
+    code[w * 4 + 3] = 0xFC;  // unassigned primary opcode
+    code[w * 4] = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  const SadcMipsCodec codec;
+  codec.compress_verified(code);
+}
+
+TEST(SadcMips, RandomBlockAccess) {
+  const auto code = small_mips_code("go", 12);
+  const SadcMipsCodec codec;
+  const auto image = codec.compress(code);
+  const auto dec = codec.make_decompressor(image);
+  Rng rng(72);
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t b = rng.next_below(image.block_count());
+    const auto block = dec->block(b);
+    EXPECT_TRUE(std::equal(block.begin(), block.end(),
+                           code.begin() + static_cast<long>(b * 32)));
+  }
+}
+
+TEST(SadcMips, EmptyAndTinyPrograms) {
+  const SadcMipsCodec codec;
+  EXPECT_TRUE(codec.decompress_all(codec.compress({})).empty());
+  const auto one = small_mips_code("swim", 4);
+  const std::vector<std::uint8_t> tiny(one.begin(), one.begin() + 4);
+  codec.compress_verified(tiny);
+}
+
+TEST(SadcMips, RejectsMisalignedCode) {
+  const std::vector<std::uint8_t> code(10, 0);
+  const SadcMipsCodec codec;
+  EXPECT_THROW(codec.compress(code), ConfigError);
+}
+
+TEST(SadcX86, RoundTripsGeneratedCode) {
+  workload::Profile p = *workload::find_profile("perl");
+  p.code_kb = 16;
+  const auto code = workload::generate_x86(p);
+  const SadcX86Codec codec;
+  const auto image = codec.compress_verified(code);
+  EXPECT_EQ(image.original_size(), code.size());
+  EXPECT_TRUE(image.has_variable_blocks());
+}
+
+TEST(SadcX86, BlocksApproximateRequestedSize) {
+  workload::Profile p = *workload::find_profile("go");
+  p.code_kb = 16;
+  const auto code = workload::generate_x86(p);
+  SadcOptions opt;
+  opt.block_size = 32;
+  const SadcX86Codec codec(opt);
+  const auto image = codec.compress(code);
+  for (std::size_t b = 0; b + 1 < image.block_count(); ++b) {
+    EXPECT_GE(image.block_original_size(b), 32u);
+    EXPECT_LE(image.block_original_size(b), 32u + 16u);  // one instruction of slack
+  }
+}
+
+TEST(SadcX86, CompressesGeneratedCode) {
+  workload::Profile p = *workload::find_profile("gcc");
+  p.code_kb = 64;
+  const auto code = workload::generate_x86(p);
+  const SadcX86Codec codec;
+  const double ratio = codec.compress(code).sizes().ratio();
+  EXPECT_LT(ratio, 0.9);
+  EXPECT_GT(ratio, 0.3);
+}
+
+class SadcBlockSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SadcBlockSweep, MipsRoundTripsAtEveryBlockSize) {
+  const auto code = small_mips_code("tomcatv", 8);
+  SadcOptions opt;
+  opt.block_size = GetParam();
+  const SadcMipsCodec codec(opt);
+  codec.compress_verified(code);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, SadcBlockSweep,
+                         ::testing::Values(8u, 16u, 32u, 64u, 128u));
+
+class SadcDictSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SadcDictSweep, RoundTripsAtEveryDictionarySize) {
+  const auto code = small_mips_code("mgrid", 8);
+  SadcOptions opt;
+  opt.max_symbols = GetParam();
+  const SadcMipsCodec codec(opt);
+  codec.compress_verified(code);
+}
+
+INSTANTIATE_TEST_SUITE_P(DictSizes, SadcDictSweep,
+                         ::testing::Values(std::size_t{64}, std::size_t{96},
+                                           std::size_t{128}, std::size_t{256}));
+
+}  // namespace
+}  // namespace ccomp::sadc

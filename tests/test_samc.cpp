@@ -1,0 +1,244 @@
+#include "samc/samc.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/mips/mips.h"
+#include "support/rng.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+#include "workload/x86_gen.h"
+
+namespace ccomp::samc {
+namespace {
+
+std::vector<std::uint8_t> small_mips_code(const char* name, std::uint32_t kb) {
+  workload::Profile p = *workload::find_profile(name);
+  p.code_kb = kb;
+  return mips::words_to_bytes(workload::generate_mips(p));
+}
+
+TEST(Samc, RoundTripsMipsCode) {
+  const auto code = small_mips_code("compress", 16);
+  const SamcCodec codec(mips_defaults());
+  const auto image = codec.compress_verified(code);  // throws on mismatch
+  EXPECT_EQ(image.original_size(), code.size());
+  EXPECT_EQ(image.block_count(), (code.size() + 31) / 32);
+}
+
+TEST(Samc, CompressesMipsCodeSubstantially) {
+  const auto code = small_mips_code("gcc", 64);
+  const SamcCodec codec(mips_defaults());
+  const auto image = codec.compress(code);
+  const double ratio = image.sizes().ratio();
+  EXPECT_LT(ratio, 0.75);
+  EXPECT_GT(ratio, 0.2);
+}
+
+TEST(Samc, RandomBlockAccessMatchesSequential) {
+  const auto code = small_mips_code("go", 8);
+  const SamcCodec codec(mips_defaults());
+  const auto image = codec.compress(code);
+  const auto dec = codec.make_decompressor(image);
+  Rng rng(55);
+  for (int i = 0; i < 64; ++i) {
+    const std::size_t b = rng.next_below(image.block_count());
+    const auto block = dec->block(b);
+    ASSERT_EQ(block.size(), image.block_original_size(b));
+    EXPECT_TRUE(std::equal(block.begin(), block.end(), code.begin() + static_cast<long>(b * 32)));
+  }
+}
+
+TEST(Samc, WorksOnX86ByteCode) {
+  workload::Profile p = *workload::find_profile("ijpeg");
+  p.code_kb = 16;
+  const auto code = workload::generate_x86(p);
+  const SamcCodec codec(x86_defaults());
+  const auto image = codec.compress_verified(code);
+  EXPECT_LT(image.sizes().ratio(), 0.95);
+}
+
+TEST(Samc, QuantizedModeRoundTripsAndCostsLittle) {
+  const auto code = small_mips_code("perl", 24);
+  SamcOptions exact = mips_defaults();
+  SamcOptions quant = mips_defaults();
+  quant.markov.quantized = true;
+  quant.markov.max_shift = 8;
+  const SamcCodec exact_codec(exact);
+  const SamcCodec quant_codec(quant);
+  const auto exact_image = exact_codec.compress(code);
+  const auto quant_image = quant_codec.compress_verified(code);
+  // Coarser probabilities can only lengthen the coded payload (Witten et
+  // al. bound the loss at a few percent)...
+  EXPECT_GE(quant_image.sizes().payload, exact_image.sizes().payload);
+  EXPECT_LT(static_cast<double>(quant_image.sizes().payload),
+            static_cast<double>(exact_image.sizes().payload) * 1.12);
+  // ...while the hardware probability format halves the stored tables, so
+  // the total can even come out ahead.
+  EXPECT_LE(quant_image.sizes().tables * 2, exact_image.sizes().tables + 64);
+  EXPECT_LT(quant_image.sizes().ratio(), exact_image.sizes().ratio() * 1.12);
+}
+
+TEST(Samc, ConnectedTreesImproveCompression) {
+  // Connecting trees doubles the probability tables (charged to the ratio),
+  // so the payload savings only win above ~70 KB of text — use a realistic
+  // program size, as the paper's SPEC95 binaries were.
+  const auto code = small_mips_code("m88ksim", 128);
+  SamcOptions connected = mips_defaults();
+  SamcOptions independent = mips_defaults();
+  independent.markov.context_bits = 0;
+  independent.markov.connect_across_words = false;
+  const double r_connected = SamcCodec(connected).compress(code).sizes().ratio();
+  const double r_independent = SamcCodec(independent).compress(code).sizes().ratio();
+  EXPECT_LT(r_connected, r_independent);
+}
+
+TEST(Samc, BlockSizeHasMinimalImpact) {
+  // The paper: "different cache block sizes have a minimal impact".
+  const auto code = small_mips_code("applu", 32);
+  double ratios[3];
+  int i = 0;
+  for (const std::uint32_t bs : {16u, 32u, 64u}) {
+    SamcOptions o = mips_defaults();
+    o.block_size = bs;
+    ratios[i++] = SamcCodec(o).compress(code).sizes().ratio();
+  }
+  EXPECT_LT(std::abs(ratios[0] - ratios[2]), 0.08);
+}
+
+TEST(Samc, CoderOverheadIsBounded) {
+  // Payload must stay within a few bytes/block of the model's entropy bound.
+  const auto code = small_mips_code("xlisp", 16);
+  const SamcCodec codec(mips_defaults());
+  const auto image = codec.compress(code);
+  const double model_bits = codec.estimate_payload_bits(code);
+  const double payload_bits = 8.0 * static_cast<double>(image.sizes().payload);
+  const double blocks = static_cast<double>(image.block_count());
+  EXPECT_LT(payload_bits, model_bits + blocks * 40.0);  // < 5 bytes/block overhead
+}
+
+TEST(Samc, EmptyProgram) {
+  const SamcCodec codec(mips_defaults());
+  const auto image = codec.compress({});
+  EXPECT_EQ(image.block_count(), 0u);
+  EXPECT_TRUE(codec.decompress_all(image).empty());
+}
+
+TEST(Samc, MisalignedCodeThrows) {
+  const std::vector<std::uint8_t> code(30, 0);  // not a multiple of 4
+  const SamcCodec codec(mips_defaults());
+  EXPECT_THROW(codec.compress(code), ConfigError);
+}
+
+TEST(Samc, RejectsBadConfigs) {
+  SamcOptions o = mips_defaults();
+  o.block_size = 30;  // not a multiple of word size
+  EXPECT_THROW(SamcCodec{o}, ConfigError);
+}
+
+TEST(Samc, StaticModelRoundTripsAndIsWorse) {
+  // Paper Sec. 4 taxonomy: a model trained on a different program (static)
+  // still decodes correctly — the tables travel with the image — but a
+  // semiadaptive (per-program) model compresses the payload better.
+  const auto donor = small_mips_code("gcc", 32);
+  const auto subject = small_mips_code("swim", 32);
+  const SamcCodec codec(mips_defaults());
+  const coding::MarkovModel static_model = codec.train_model(donor);
+
+  const auto static_image = codec.compress_with_model(subject, static_model);
+  EXPECT_EQ(codec.decompress_all(static_image), subject);
+  const auto own_image = codec.compress(subject);
+  EXPECT_GT(static_image.sizes().payload, own_image.sizes().payload);
+}
+
+TEST(Samc, StaticModelValidatesDivision) {
+  const auto code = small_mips_code("go", 8);
+  const SamcCodec four(mips_defaults());
+  SamcOptions other = mips_defaults();
+  other.markov.division = coding::StreamDivision::contiguous(32, 8);
+  const SamcCodec eight(other);
+  const coding::MarkovModel model = eight.train_model(code);
+  EXPECT_THROW(four.compress_with_model(code, model), ConfigError);
+}
+
+TEST(Samc, ParallelNibbleModeRoundTrips) {
+  const auto code = small_mips_code("hydro2d", 16);
+  samc::SamcOptions o = mips_defaults();
+  o.markov.quantized = true;
+  o.parallel_nibble_mode = true;
+  const SamcCodec codec(o);
+  codec.compress_verified(code);
+}
+
+TEST(Samc, ParallelNibbleModeCostsLittleOverQuantizedSerial) {
+  const auto code = small_mips_code("apsi", 24);
+  samc::SamcOptions serial = mips_defaults();
+  serial.markov.quantized = true;
+  samc::SamcOptions nibble = serial;
+  nibble.parallel_nibble_mode = true;
+  const double r_serial = SamcCodec(serial).compress(code).sizes().ratio();
+  const double r_nibble = SamcCodec(nibble).compress(code).sizes().ratio();
+  EXPECT_NEAR(r_nibble, r_serial, 0.02);
+}
+
+TEST(Samc, ParallelNibbleModeValidatesConstraints) {
+  samc::SamcOptions o = mips_defaults();
+  o.parallel_nibble_mode = true;  // missing quantization
+  EXPECT_THROW(SamcCodec{o}, ConfigError);
+  o.markov.quantized = true;
+  o.markov.max_shift = 12;  // too fine for the shift-only hardware
+  EXPECT_THROW(SamcCodec{o}, ConfigError);
+  o.markov.max_shift = 8;
+  o.markov.division = coding::StreamDivision::contiguous(32, 16);  // 2-bit streams
+  EXPECT_THROW(SamcCodec{o}, ConfigError);
+}
+
+TEST(Samc, NibbleImagesSelfDescribe) {
+  // A nibble-mode image decodes through make_decompressor without the
+  // caller restating the mode.
+  const auto code = small_mips_code("wave5", 8);
+  samc::SamcOptions o = mips_defaults();
+  o.markov.quantized = true;
+  o.parallel_nibble_mode = true;
+  const SamcCodec nibble_codec(o);
+  const auto image = nibble_codec.compress(code);
+  // Decode with a codec configured for the *serial* mode: the image's
+  // engine flag must still route to the nibble decompressor.
+  const SamcCodec serial_codec(mips_defaults());
+  EXPECT_EQ(serial_codec.decompress_all(image), code);
+}
+
+TEST(Samc, ParallelDecodeCostModel) {
+  EXPECT_EQ(parallel_decode_units(4), 15u);  // the paper's 15 midpoints
+  EXPECT_EQ(parallel_decode_units(1), 1u);
+  EXPECT_THROW(parallel_decode_units(0), ConfigError);
+  // 32-byte block at 4 bits/cycle: 64 cycles + startup.
+  EXPECT_EQ(samc_decode_cycles(32, 4, 4), 68u);
+}
+
+class SamcBlockSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SamcBlockSweep, RoundTripsAtEveryBlockSize) {
+  const auto code = small_mips_code("tomcatv", 8);
+  SamcOptions o = mips_defaults();
+  o.block_size = GetParam();
+  const SamcCodec codec(o);
+  codec.compress_verified(code);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, SamcBlockSweep,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u, 128u, 256u));
+
+class SamcDivisionSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SamcDivisionSweep, RoundTripsUnderEveryContiguousDivision) {
+  const auto code = small_mips_code("mgrid", 8);
+  SamcOptions o = mips_defaults();
+  o.markov.division = coding::StreamDivision::contiguous(32, GetParam());
+  const SamcCodec codec(o);
+  codec.compress_verified(code);
+}
+
+INSTANTIATE_TEST_SUITE_P(StreamCounts, SamcDivisionSweep, ::testing::Values(2u, 4u, 8u, 16u));
+
+}  // namespace
+}  // namespace ccomp::samc

@@ -1,0 +1,99 @@
+#include "support/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace ccomp {
+namespace {
+
+TEST(ByteSink, PrimitivesAreLittleEndian) {
+  ByteSink sink;
+  sink.u16(0x1234);
+  sink.u32(0xDEADBEEF);
+  sink.u64(0x0102030405060708ull);
+  const auto bytes = sink.take();
+  ASSERT_EQ(bytes.size(), 14u);
+  EXPECT_EQ(bytes[0], 0x34);
+  EXPECT_EQ(bytes[1], 0x12);
+  EXPECT_EQ(bytes[2], 0xEF);
+  EXPECT_EQ(bytes[5], 0xDE);
+  EXPECT_EQ(bytes[6], 0x08);
+  EXPECT_EQ(bytes[13], 0x01);
+}
+
+TEST(ByteSource, ReadsBackPrimitives) {
+  ByteSink sink;
+  sink.u8(0xAB);
+  sink.u16(0x1234);
+  sink.u32(0xCAFEBABE);
+  sink.u64(0xFFFFFFFFFFFFFFFFull);
+  const auto bytes = sink.take();
+  ByteSource src(bytes);
+  EXPECT_EQ(src.u8(), 0xAB);
+  EXPECT_EQ(src.u16(), 0x1234);
+  EXPECT_EQ(src.u32(), 0xCAFEBABEu);
+  EXPECT_EQ(src.u64(), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_TRUE(src.at_end());
+}
+
+TEST(Varint, SmallValuesAreOneByte) {
+  ByteSink sink;
+  sink.varint(0);
+  sink.varint(127);
+  EXPECT_EQ(sink.size(), 2u);
+}
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {0,      1,        127,        128,
+                                  16383,  16384,    0xFFFFFFFF, 0x100000000ull,
+                                  0xFFFFFFFFFFFFFFFFull};
+  ByteSink sink;
+  for (const auto v : values) sink.varint(v);
+  const auto bytes = sink.take();
+  ByteSource src(bytes);
+  for (const auto v : values) EXPECT_EQ(src.varint(), v);
+}
+
+TEST(Varint, RandomRoundTrip) {
+  Rng rng(99);
+  ByteSink sink;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    // Mix magnitudes so all length classes are hit.
+    const std::uint64_t v = rng.next_u64() >> rng.next_below(64);
+    values.push_back(v);
+    sink.varint(v);
+  }
+  const auto bytes = sink.take();
+  ByteSource src(bytes);
+  for (const auto v : values) EXPECT_EQ(src.varint(), v);
+}
+
+TEST(ByteSource, TruncationThrows) {
+  ByteSink sink;
+  sink.u16(7);
+  const auto bytes = sink.take();
+  ByteSource src(bytes);
+  EXPECT_THROW(src.u32(), CorruptDataError);
+}
+
+TEST(SizedBytes, RoundTrips) {
+  ByteSink sink;
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  sink.sized_bytes(payload);
+  sink.sized_bytes({});
+  const auto bytes = sink.take();
+  ByteSource src(bytes);
+  EXPECT_EQ(src.sized_bytes(), payload);
+  EXPECT_TRUE(src.sized_bytes().empty());
+}
+
+TEST(ByteSource, OverlongVarintThrows) {
+  std::vector<std::uint8_t> bytes(11, 0x80);
+  ByteSource src(bytes);
+  EXPECT_THROW(src.varint(), CorruptDataError);
+}
+
+}  // namespace
+}  // namespace ccomp

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/mips/mips.h"
+#include "isa/x86/x86.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+#include "workload/trace.h"
+#include "workload/x86_gen.h"
+
+namespace ccomp::workload {
+namespace {
+
+TEST(Profiles, AllEighteenPresent) {
+  EXPECT_EQ(spec95_profiles().size(), 18u);
+  for (const char* name : {"applu", "compress", "gcc", "go", "swim", "xlisp"})
+    EXPECT_NE(find_profile(name), nullptr) << name;
+  EXPECT_EQ(find_profile("quake"), nullptr);
+}
+
+Profile small_profile(const char* name, std::uint32_t kb) {
+  const Profile* p = find_profile(name);
+  EXPECT_NE(p, nullptr);
+  Profile copy = *p;
+  copy.code_kb = kb;
+  return copy;
+}
+
+TEST(MipsGen, DeterministicAndSized) {
+  const Profile p = small_profile("compress", 32);
+  const auto a = generate_mips(p);
+  const auto b = generate_mips(p);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 32u * 1024 / 4);
+}
+
+TEST(MipsGen, AllInstructionsDecode) {
+  const Profile p = small_profile("gcc", 48);
+  const auto words = generate_mips(p);
+  std::size_t undecodable = 0;
+  for (const std::uint32_t w : words)
+    if (!mips::decode(w)) ++undecodable;
+  EXPECT_EQ(undecodable, 0u);
+}
+
+TEST(MipsGen, FunctionStartsAreOrderedAndInRange) {
+  const Profile p = small_profile("go", 32);
+  const auto prog = generate_mips_program(p);
+  ASSERT_FALSE(prog.function_starts.empty());
+  for (std::size_t i = 1; i < prog.function_starts.size(); ++i)
+    EXPECT_LT(prog.function_starts[i - 1], prog.function_starts[i]);
+  EXPECT_LT(prog.function_starts.back(), prog.words.size());
+}
+
+TEST(MipsGen, FpProfilesEmitFpInstructions) {
+  const Profile fp = small_profile("swim", 32);
+  const Profile intp = small_profile("gcc", 32);
+  auto count_fp = [](const std::vector<std::uint32_t>& words) {
+    std::size_t n = 0;
+    for (const std::uint32_t w : words) {
+      const auto d = mips::decode(w);
+      if (!d) continue;
+      const std::string_view mn = mips::opcode_table()[d->opcode].mnemonic;
+      if (mn.find('.') != std::string_view::npos || mn == "lwc1" || mn == "swc1" ||
+          mn == "ldc1" || mn == "sdc1")
+        ++n;
+    }
+    return n;
+  };
+  const auto fp_count = count_fp(generate_mips(fp));
+  const auto int_count = count_fp(generate_mips(intp));
+  EXPECT_GT(fp_count, 10 * (int_count + 1));
+}
+
+TEST(MipsGen, UsesRealisticOpcodeMix) {
+  const Profile p = small_profile("perl", 64);
+  const auto words = generate_mips(p);
+  std::set<std::uint16_t> distinct;
+  for (const std::uint32_t w : words) {
+    const auto d = mips::decode(w);
+    if (d) distinct.insert(d->opcode);
+  }
+  // A real program uses a few dozen opcodes, not two and not all.
+  EXPECT_GE(distinct.size(), 15u);
+  EXPECT_LE(distinct.size(), 60u);
+}
+
+TEST(X86Gen, DeterministicAndParsable) {
+  const Profile p = small_profile("compress", 24);
+  const auto a = generate_x86(p);
+  const auto b = generate_x86(p);
+  EXPECT_EQ(a, b);
+  ASSERT_FALSE(a.empty());
+  // decode_all throws on any unparsable byte sequence.
+  const auto layouts = x86::decode_all(a);
+  std::size_t total = 0;
+  for (const auto& l : layouts) total += l.total;
+  EXPECT_EQ(total, a.size());
+}
+
+TEST(X86Gen, SizeIsApproximatelyRequested) {
+  const Profile p = small_profile("vortex", 64);
+  const auto code = generate_x86(p);
+  EXPECT_GE(code.size(), 50u * 1024);
+  EXPECT_LE(code.size(), 66u * 1024);
+}
+
+TEST(X86Gen, FunctionStartsValid) {
+  const Profile p = small_profile("ijpeg", 24);
+  const auto prog = generate_x86_program(p);
+  ASSERT_FALSE(prog.function_starts.empty());
+  for (std::size_t i = 1; i < prog.function_starts.size(); ++i)
+    EXPECT_LT(prog.function_starts[i - 1], prog.function_starts[i]);
+  // Every function start must be an instruction boundary: prologue push ebp
+  // or a clone of one.
+  EXPECT_LT(prog.function_starts.back(), prog.bytes.size());
+}
+
+TEST(Trace, CoversProgramAndRespectsLength) {
+  const Profile p = small_profile("hydro2d", 32);
+  const auto prog = generate_mips_program(p);
+  TraceOptions opt;
+  opt.length = 50000;
+  const auto trace = generate_trace(p, prog.function_starts, prog.words.size(), opt);
+  EXPECT_EQ(trace.size(), opt.length);
+  for (const std::uint32_t addr : trace) {
+    EXPECT_EQ(addr % 4, 0u);
+    EXPECT_LT(addr / 4, prog.words.size());
+  }
+}
+
+TEST(Trace, HasTemporalLocality) {
+  const Profile p = small_profile("swim", 32);
+  const auto prog = generate_mips_program(p);
+  TraceOptions opt;
+  opt.length = 200000;
+  const auto trace = generate_trace(p, prog.function_starts, prog.words.size(), opt);
+  // Count distinct 32-byte lines touched: locality means far fewer than
+  // trace length.
+  std::set<std::uint32_t> lines;
+  for (const std::uint32_t addr : trace) lines.insert(addr / 32);
+  EXPECT_LT(lines.size(), trace.size() / 20);
+}
+
+TEST(Trace, EmptyProgramThrows) {
+  const Profile p = small_profile("swim", 32);
+  EXPECT_THROW(generate_trace(p, {}, 0, {}), ConfigError);
+}
+
+TEST(MipsGen, CloneRateIncreasesRepetition) {
+  // Compare gzip-style repetition proxies: count repeated 8-word windows.
+  Profile lo = small_profile("gcc", 48);
+  lo.clone_rate = 0.0;
+  Profile hi = lo;
+  hi.clone_rate = 0.5;
+  auto repeated_windows = [](const std::vector<std::uint32_t>& words) {
+    std::set<std::string> seen;
+    std::size_t repeats = 0;
+    for (std::size_t i = 0; i + 8 <= words.size(); i += 8) {
+      std::string key(reinterpret_cast<const char*>(&words[i]), 32);
+      if (!seen.insert(key).second) ++repeats;
+    }
+    return repeats;
+  };
+  EXPECT_GT(repeated_windows(generate_mips(hi)), repeated_windows(generate_mips(lo)) * 2);
+}
+
+}  // namespace
+}  // namespace ccomp::workload

@@ -1,0 +1,209 @@
+#include "isa/x86/x86.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+#include "workload/profile.h"
+#include "workload/x86_gen.h"
+
+namespace ccomp::x86 {
+namespace {
+
+InstrLayout layout_of(std::initializer_list<std::uint8_t> bytes) {
+  const std::vector<std::uint8_t> v(bytes);
+  return decode_layout(v);
+}
+
+TEST(X86Length, KnownEncodings) {
+  // push ebp
+  EXPECT_EQ(layout_of({0x55}).total, 1);
+  // mov ebp, esp (89 E5)
+  EXPECT_EQ(layout_of({0x89, 0xE5}).total, 2);
+  // sub esp, 0x18 (83 EC 18)
+  EXPECT_EQ(layout_of({0x83, 0xEC, 0x18}).total, 3);
+  // mov eax, [ebp-8] (8B 45 F8)
+  EXPECT_EQ(layout_of({0x8B, 0x45, 0xF8}).total, 3);
+  // mov eax, [ebp+0x100] (8B 85 00 01 00 00)
+  EXPECT_EQ(layout_of({0x8B, 0x85, 0x00, 0x01, 0x00, 0x00}).total, 6);
+  // mov eax, imm32 (B8 xx xx xx xx)
+  EXPECT_EQ(layout_of({0xB8, 1, 2, 3, 4}).total, 5);
+  // call rel32 (E8 ...)
+  EXPECT_EQ(layout_of({0xE8, 0, 0, 0, 0}).total, 5);
+  // ret
+  EXPECT_EQ(layout_of({0xC3}).total, 1);
+  // jcc rel8
+  EXPECT_EQ(layout_of({0x74, 0x10}).total, 2);
+  // two-byte jcc rel32 (0F 84 ...)
+  EXPECT_EQ(layout_of({0x0F, 0x84, 0, 0, 0, 0}).total, 6);
+  // movzx eax, byte [ebp-1] (0F B6 45 FF)
+  EXPECT_EQ(layout_of({0x0F, 0xB6, 0x45, 0xFF}).total, 4);
+  // imul eax, ecx (0F AF C1)
+  EXPECT_EQ(layout_of({0x0F, 0xAF, 0xC1}).total, 3);
+}
+
+TEST(X86Length, SibAndDispForms) {
+  // mov eax, [esp] needs SIB: 8B 04 24
+  const auto l1 = layout_of({0x8B, 0x04, 0x24});
+  EXPECT_EQ(l1.total, 3);
+  EXPECT_EQ(l1.modrm_len, 2);
+  // mov eax, [esp+8]: 8B 44 24 08
+  const auto l2 = layout_of({0x8B, 0x44, 0x24, 0x08});
+  EXPECT_EQ(l2.total, 4);
+  EXPECT_EQ(l2.disp_len, 1);
+  // mov eax, [disp32]: 8B 05 xx xx xx xx (mod=00 rm=101)
+  const auto l3 = layout_of({0x8B, 0x05, 0, 0, 0, 0});
+  EXPECT_EQ(l3.total, 6);
+  EXPECT_EQ(l3.disp_len, 4);
+  // SIB with base=EBP & mod=00 -> disp32: 8B 04 2D xx xx xx xx
+  const auto l4 = layout_of({0x8B, 0x04, 0x2D, 0, 0, 0, 0});
+  EXPECT_EQ(l4.total, 7);
+}
+
+TEST(X86Length, OperandSizePrefixShrinksImmZ) {
+  // mov ax, imm16: 66 B8 xx xx
+  const auto l = layout_of({0x66, 0xB8, 0x34, 0x12});
+  EXPECT_EQ(l.total, 4);
+  EXPECT_EQ(l.prefix_len, 1);
+  EXPECT_EQ(l.imm_len, 2);
+  // cmp eax, imm32 under no prefix: 3D xx xx xx xx
+  EXPECT_EQ(layout_of({0x3D, 0, 0, 0, 0}).total, 5);
+}
+
+TEST(X86Length, Group3ImmediateDependsOnModRmReg) {
+  // test eax, imm32: F7 /0 -> F7 C0 xx xx xx xx
+  EXPECT_EQ(layout_of({0xF7, 0xC0, 0, 0, 0, 0}).total, 6);
+  // not eax: F7 /2 -> F7 D0 (no immediate)
+  EXPECT_EQ(layout_of({0xF7, 0xD0}).total, 2);
+  // test byte [ebp-1], 5: F6 /0 -> F6 45 FF 05
+  EXPECT_EQ(layout_of({0xF6, 0x45, 0xFF, 0x05}).total, 4);
+}
+
+TEST(X86Length, UnsupportedOpcodesThrow) {
+  EXPECT_THROW(layout_of({0x67, 0x8B, 0x45, 0xF8}), DecodeError);  // addr-size prefix
+  EXPECT_THROW(layout_of({0x9A, 0, 0, 0, 0, 0, 0}), DecodeError);  // far call
+  EXPECT_THROW(layout_of({0x0F, 0x01, 0xC0}), DecodeError);        // unhandled 0F op
+}
+
+TEST(X86Length, TruncationThrows) {
+  EXPECT_THROW(layout_of({0x8B}), DecodeError);
+  EXPECT_THROW(layout_of({0xB8, 1, 2}), DecodeError);
+  EXPECT_THROW(layout_of({0x0F}), DecodeError);
+}
+
+TEST(X86Assembler, EmitsDecodableCode) {
+  Assembler a;
+  a.push_r(Assembler::EBP);
+  a.mov_r_r(Assembler::EBP, Assembler::ESP);
+  a.alu_r_imm(Assembler::SUB, Assembler::ESP, 0x18);
+  a.mov_r_rm(Assembler::EAX, Assembler::EBP, -8);
+  a.alu_r_r(Assembler::ADD, Assembler::EAX, Assembler::ECX);
+  a.mov_rm_r(Assembler::EBP, -12, Assembler::EAX);
+  a.alu_r_imm(Assembler::CMP, Assembler::EAX, 1000);  // forces 81 /7 id
+  a.jcc8(0x5, -10);
+  a.mov_r_rm(Assembler::EDX, Assembler::ESP, 4);  // SIB path
+  a.movzx_r_rm8(Assembler::ECX, Assembler::EBP, -1);
+  a.setcc(0x4, Assembler::EAX);
+  a.cmov(0x5, Assembler::EAX, Assembler::EDX);
+  a.imul_r_r(Assembler::EAX, Assembler::EDX);
+  a.shift_r_imm(true, Assembler::EAX, 4);
+  a.push_imm8(3);
+  a.call_rel32(-100);
+  a.leave();
+  a.ret();
+  const auto code = a.code();
+  const auto layouts = decode_all(code);
+  std::size_t total = 0;
+  for (const auto& l : layouts) total += l.total;
+  EXPECT_EQ(total, code.size());
+  EXPECT_EQ(layouts.size(), 18u);
+}
+
+TEST(X86Streams, SplitAndMergeAreInverse) {
+  const workload::Profile* prof = workload::find_profile("compress");
+  ASSERT_NE(prof, nullptr);
+  workload::Profile small = *prof;
+  small.code_kb = 16;
+  const auto code = workload::generate_x86(small);
+  ASSERT_FALSE(code.empty());
+  const StreamSplit split = split_streams(code);
+  EXPECT_EQ(merge_streams(split), code);
+  // Stream sizes partition the code.
+  EXPECT_EQ(split.opcode.size() + split.modrm.size() + split.imm.size(), code.size());
+  EXPECT_FALSE(split.opcode.empty());
+  EXPECT_FALSE(split.modrm.empty());
+  EXPECT_FALSE(split.imm.empty());
+}
+
+TEST(X86Classify, AgreesWithDecodeLayout) {
+  const workload::Profile* prof = workload::find_profile("xlisp");
+  ASSERT_NE(prof, nullptr);
+  workload::Profile small = *prof;
+  small.code_kb = 8;
+  const auto code = workload::generate_x86(small);
+  std::size_t pos = 0;
+  while (pos < code.size()) {
+    const InstrLayout l = decode_layout(std::span<const std::uint8_t>(code).subspan(pos));
+    const std::size_t op_len = static_cast<std::size_t>(l.prefix_len) + l.opcode_len;
+    const OpcodeClass cls =
+        classify_opcode(std::span<const std::uint8_t>(code).subspan(pos, op_len));
+    EXPECT_EQ(cls.has_modrm, l.modrm_len > 0);
+    if (cls.has_modrm) {
+      const std::uint8_t modrm = code[pos + op_len];
+      EXPECT_EQ(modrm_has_sib(modrm), l.modrm_len == 2);
+      const std::uint8_t sib = l.modrm_len == 2 ? code[pos + op_len + 1] : 0;
+      EXPECT_EQ(modrm_disp_bytes(modrm, sib), l.disp_len);
+      unsigned imm = cls.imm_bytes;
+      if (cls.group3 && ((modrm >> 3) & 7) <= 1) imm += cls.group3_imm_bytes;
+      EXPECT_EQ(imm, l.imm_len);
+    } else {
+      EXPECT_EQ(cls.imm_bytes, l.imm_len);
+    }
+    pos += l.total;
+  }
+}
+
+TEST(X86Length, RandomByteFuzzNeverCrashes) {
+  // Arbitrary byte windows either parse to a bounded-length instruction or
+  // throw DecodeError — no other exception, no hang, no overread.
+  Rng rng(86);
+  std::vector<std::uint8_t> pool(4096);
+  for (auto& b : pool) b = static_cast<std::uint8_t>(rng.next_below(256));
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t at = rng.next_below(pool.size() - 16);
+    const std::size_t len = 1 + rng.next_below(16);
+    try {
+      const InstrLayout l =
+          decode_layout(std::span<const std::uint8_t>(pool).subspan(at, len));
+      EXPECT_LE(l.total, len);
+      EXPECT_EQ(l.total, static_cast<unsigned>(l.prefix_len) + l.opcode_len + l.modrm_len +
+                             l.disp_len + l.imm_len);
+    } catch (const DecodeError&) {
+      // fine
+    }
+  }
+}
+
+TEST(X86Disasm, RandomValidInstructionsDisassembleWithoutCrashing) {
+  Rng rng(87);
+  std::vector<std::uint8_t> pool(4096);
+  for (auto& b : pool) b = static_cast<std::uint8_t>(rng.next_below(256));
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t at = rng.next_below(pool.size() - 16);
+    try {
+      const std::string text =
+          disassemble(std::span<const std::uint8_t>(pool).subspan(at, 16));
+      EXPECT_FALSE(text.empty());
+    } catch (const DecodeError&) {
+      // fine
+    }
+  }
+}
+
+TEST(X86Length, PrefixRunTooLongThrows) {
+  std::vector<std::uint8_t> bytes(12, 0x66);
+  bytes.push_back(0x90);
+  EXPECT_THROW(decode_layout(bytes), DecodeError);
+}
+
+}  // namespace
+}  // namespace ccomp::x86

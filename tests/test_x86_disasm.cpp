@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "isa/x86/x86.h"
+#include "workload/profile.h"
+#include "workload/x86_gen.h"
+
+namespace ccomp::x86 {
+namespace {
+
+std::string dis(std::initializer_list<std::uint8_t> bytes) {
+  const std::vector<std::uint8_t> v(bytes);
+  return disassemble(v);
+}
+
+TEST(X86Disasm, CommonInstructions) {
+  EXPECT_EQ(dis({0x55}), "push ebp");
+  EXPECT_EQ(dis({0x89, 0xE5}), "mov ebp, esp");
+  EXPECT_EQ(dis({0x8B, 0x45, 0xF8}), "mov eax, [ebp-8]");
+  EXPECT_EQ(dis({0x89, 0x45, 0xF8}), "mov [ebp-8], eax");
+  EXPECT_EQ(dis({0x83, 0xEC, 0x18}), "sub esp, 24");
+  EXPECT_EQ(dis({0xC3}), "ret");
+  EXPECT_EQ(dis({0xC9}), "leave");
+  EXPECT_EQ(dis({0x90}), "nop");
+  EXPECT_EQ(dis({0xB8, 0x01, 0x00, 0x00, 0x00}), "mov eax, 0x1");
+  EXPECT_EQ(dis({0xE8, 0xFB, 0xFF, 0xFF, 0xFF}), "call -5");
+  EXPECT_EQ(dis({0x74, 0x10}), "je 16");
+  EXPECT_EQ(dis({0x75, 0xF0}), "jne -16");
+  EXPECT_EQ(dis({0x01, 0xD8}), "add eax, ebx");
+  EXPECT_EQ(dis({0x31, 0xC0}), "xor eax, eax");
+  EXPECT_EQ(dis({0x85, 0xC0}), "test eax, eax");
+  EXPECT_EQ(dis({0x40}), "inc eax");
+  EXPECT_EQ(dis({0x4F}), "dec edi");
+  EXPECT_EQ(dis({0x6A, 0x03}), "push 3");
+}
+
+TEST(X86Disasm, SibAndScaledIndex) {
+  EXPECT_EQ(dis({0x8B, 0x04, 0x24}), "mov eax, [esp]");
+  EXPECT_EQ(dis({0x8B, 0x44, 0x24, 0x08}), "mov eax, [esp+8]");
+  EXPECT_EQ(dis({0x8B, 0x04, 0x8B}), "mov eax, [ebx+ecx*4]");
+  EXPECT_EQ(dis({0x8B, 0x05, 0x10, 0x20, 0x00, 0x00}), "mov eax, [8208]");
+}
+
+TEST(X86Disasm, TwoByteOpcodes) {
+  EXPECT_EQ(dis({0x0F, 0xAF, 0xC1}), "imul eax, ecx");
+  EXPECT_EQ(dis({0x0F, 0xB6, 0x45, 0xFF}), "movzx eax, [ebp-1]");
+  EXPECT_EQ(dis({0x0F, 0x94, 0xC0}), "sete al");
+  EXPECT_EQ(dis({0x0F, 0x45, 0xC2}), "cmovne eax, edx");
+  EXPECT_EQ(dis({0x0F, 0x84, 0x00, 0x01, 0x00, 0x00}), "je 256");
+}
+
+TEST(X86Disasm, ShiftsAndGroups) {
+  EXPECT_EQ(dis({0xC1, 0xE0, 0x04}), "shl eax, 4");
+  EXPECT_EQ(dis({0xC1, 0xE8, 0x02}), "shr eax, 2");
+  EXPECT_EQ(dis({0xF7, 0xD8}), "neg eax");
+  EXPECT_EQ(dis({0xF7, 0xC0, 0x01, 0x00, 0x00, 0x00}), "test eax, 0x1");
+  EXPECT_EQ(dis({0xFF, 0x75, 0x08}), "push [ebp+8]");
+}
+
+TEST(X86Disasm, X87Instructions) {
+  EXPECT_EQ(dis({0xD9, 0x45, 0xF8}), "fld dword [ebp-8]");
+  EXPECT_EQ(dis({0xD9, 0x5D, 0xF8}), "fstp dword [ebp-8]");
+  EXPECT_EQ(dis({0xD8, 0x45, 0xF4}), "fadd dword [ebp-12]");
+  EXPECT_EQ(dis({0xD8, 0x4D, 0xF4}), "fmul dword [ebp-12]");
+  EXPECT_EQ(dis({0xDE, 0xC1}), "faddp st(1)");
+  EXPECT_EQ(dis({0xDE, 0xC9}), "fmulp st(1)");
+}
+
+TEST(X86Disasm, PrefixesRender) {
+  EXPECT_EQ(dis({0x66, 0xB8, 0x34, 0x12}), "mov ax, 0x1234");
+  EXPECT_EQ(dis({0xF3, 0x90}), "rep nop");  // pause
+}
+
+TEST(X86Disasm, ProgramListingCoversGeneratedCode) {
+  workload::Profile p = *workload::find_profile("m88ksim");
+  p.code_kb = 8;
+  const auto code = workload::generate_x86(p);
+  const std::string listing = disassemble_program(code, 0x08048000);
+  // One line per instruction, none of them a raw-byte fallback.
+  std::size_t lines = 0;
+  for (const char c : listing) lines += (c == '\n');
+  EXPECT_EQ(lines, x86::decode_all(code).size());
+  EXPECT_EQ(listing.find(" db 0x"), std::string::npos);
+}
+
+TEST(X86Disasm, AssemblerOutputReadsBack) {
+  Assembler a;
+  a.mov_r_rm(Assembler::EAX, Assembler::EBP, -8);
+  a.alu_r_imm(Assembler::ADD, Assembler::EAX, 1);
+  a.mov_rm_r(Assembler::EBP, -8, Assembler::EAX);
+  const std::string listing = disassemble_program(a.code());
+  EXPECT_NE(listing.find("mov eax, [ebp-8]"), std::string::npos);
+  EXPECT_NE(listing.find("add eax, 1"), std::string::npos);
+  EXPECT_NE(listing.find("mov [ebp-8], eax"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccomp::x86
