@@ -11,8 +11,10 @@
 #include "isa/mips/mips.h"
 #include "sadc/sadc.h"
 #include "samc/samc.h"
+#include "support/parallel.h"
 #include "workload/mips_gen.h"
 #include "workload/profile.h"
+#include "workload/x86_gen.h"
 
 namespace {
 
@@ -26,6 +28,24 @@ const std::vector<std::uint8_t>& test_code() {
   }();
   return code;
 }
+
+const std::vector<std::uint8_t>& test_code_x86() {
+  static const std::vector<std::uint8_t> code = [] {
+    workload::Profile p = *workload::find_profile("go");
+    p.code_kb = 64;
+    return workload::generate_x86(p);
+  }();
+  return code;
+}
+
+// Pins the parallel layer to state.range(0) threads for the duration of one
+// benchmark run, restoring the default (env / hardware) on scope exit.
+struct ThreadCountGuard {
+  explicit ThreadCountGuard(std::int64_t threads) {
+    par::set_thread_count(static_cast<std::size_t>(threads));
+  }
+  ~ThreadCountGuard() { par::set_thread_count(0); }
+};
 
 void BM_SamcCompress(benchmark::State& state) {
   const samc::SamcCodec codec(samc::mips_defaults());
@@ -82,6 +102,74 @@ void BM_SadcDecompressBlock(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * 32));
 }
 BENCHMARK(BM_SadcDecompressBlock);
+
+void BM_SadcX86DecompressBlock(benchmark::State& state) {
+  const sadc::SadcX86Codec codec;
+  const auto image = codec.compress(test_code_x86());
+  const auto dec = codec.make_decompressor(image);
+  std::size_t b = 0;
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec->block(b));
+    bytes += static_cast<std::int64_t>(image.block_original_size(b));
+    b = (b + 1) % image.block_count();
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_SadcX86DecompressBlock);
+
+// --- Thread sweeps (arg = thread count). UseRealTime so the sweep measures
+// wall clock across the pool, not the calling thread's CPU time. ---
+
+void BM_SamcCompressThreads(benchmark::State& state) {
+  const ThreadCountGuard guard(state.range(0));
+  const samc::SamcCodec codec(samc::mips_defaults());
+  for (auto _ : state) benchmark::DoNotOptimize(codec.compress(test_code()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * test_code().size()));
+}
+BENCHMARK(BM_SamcCompressThreads)
+    ->RangeMultiplier(2)
+    ->Range(1, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_SadcCompressThreads(benchmark::State& state) {
+  const ThreadCountGuard guard(state.range(0));
+  const sadc::SadcMipsCodec codec;
+  for (auto _ : state) benchmark::DoNotOptimize(codec.compress(test_code()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * test_code().size()));
+}
+BENCHMARK(BM_SadcCompressThreads)
+    ->RangeMultiplier(2)
+    ->Range(1, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_SamcDecompressAllThreads(benchmark::State& state) {
+  const ThreadCountGuard guard(state.range(0));
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const auto image = codec.compress(test_code());
+  for (auto _ : state) benchmark::DoNotOptimize(codec.decompress_all(image));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * test_code().size()));
+}
+BENCHMARK(BM_SamcDecompressAllThreads)
+    ->RangeMultiplier(2)
+    ->Range(1, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_SadcDecompressAllThreads(benchmark::State& state) {
+  const ThreadCountGuard guard(state.range(0));
+  const sadc::SadcMipsCodec codec;
+  const auto image = codec.compress(test_code());
+  for (auto _ : state) benchmark::DoNotOptimize(codec.decompress_all(image));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * test_code().size()));
+}
+BENCHMARK(BM_SadcDecompressAllThreads)
+    ->RangeMultiplier(2)
+    ->Range(1, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_ByteHuffmanCompress(benchmark::State& state) {
   const baseline::ByteHuffmanCodec codec;

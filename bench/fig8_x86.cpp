@@ -6,34 +6,38 @@
 // better than SAMC but stays behind gzip.
 #include <cstdio>
 
+#include <array>
+
 #include "baseline/filecodecs.h"
 #include "bench_common.h"
 #include "core/report.h"
 #include "sadc/sadc.h"
 #include "samc/samc.h"
+#include "support/parallel.h"
 #include "workload/x86_gen.h"
 
 int main(int argc, char** argv) {
   using namespace ccomp;
   const double scale = bench::parse_scale(argc, argv);
-  std::printf("Figure 8: compression ratios on Pentium Pro (scale=%.2f)\n", scale);
+  std::printf("Figure 8: compression ratios on Pentium Pro (scale=%.2f, threads=%zu)\n", scale,
+              par::thread_count());
 
   core::RatioTable table("Fig.8 x86: compressed/original",
                          {"compress", "gzip", "SAMC", "SADC"});
   const samc::SamcCodec samc_codec(samc::x86_defaults());
   const sadc::SadcX86Codec sadc_codec;
 
-  for (const workload::Profile& profile : workload::spec95_profiles()) {
-    const workload::Profile p = bench::scaled_profile(profile, scale);
-    const auto code = workload::generate_x86(p);
-    const double r_compress = baseline::unix_compress(code).ratio();
-    const double r_gzip = baseline::gzip_like(code).ratio();
-    const double r_samc = samc_codec.compress(code).sizes().ratio();
-    const double r_sadc = sadc_codec.compress(code).sizes().ratio();
-    const double row[] = {r_compress, r_gzip, r_samc, r_sadc};
-    table.add_row(p.name, row);
-    std::fflush(stdout);
-  }
+  // One benchmark program per task (see fig7_mips.cpp).
+  const std::span<const workload::Profile> profiles = workload::spec95_profiles();
+  const auto rows =
+      par::parallel_map(profiles.size(), [&](std::size_t i) -> std::array<double, 4> {
+        const workload::Profile p = bench::scaled_profile(profiles[i], scale);
+        const auto code = workload::generate_x86(p);
+        return {baseline::unix_compress(code).ratio(), baseline::gzip_like(code).ratio(),
+                samc_codec.compress(code).sizes().ratio(),
+                sadc_codec.compress(code).sizes().ratio()};
+      });
+  for (std::size_t i = 0; i < profiles.size(); ++i) table.add_row(profiles[i].name, rows[i]);
   table.print();
 
   const auto means = table.column_means();

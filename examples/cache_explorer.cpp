@@ -3,20 +3,43 @@
 // benchmark and prints miss rate, slowdown, and CLB effectiveness, for both
 // SAMC and SADC refill engines.
 //
-//   $ ./cache_explorer [benchmark-name] [trace-length]
+//   $ ./cache_explorer [benchmark-name] [trace-length] [--threads=N]
+//
+// --threads=N sets the worker count for the parallel compressors (default:
+// hardware concurrency; CCOMP_THREADS overrides the default). Results are
+// byte-identical at any thread count.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "isa/mips/mips.h"
 #include "memsys/sim.h"
 #include "sadc/sadc.h"
 #include "samc/samc.h"
+#include "support/parallel.h"
 #include "workload/mips_gen.h"
 #include "workload/profile.h"
 #include "workload/trace.h"
 
 int main(int argc, char** argv) {
   using namespace ccomp;
+  // Peel off --threads / --help before reading the positional arguments.
+  int args = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      par::set_thread_count(static_cast<std::size_t>(std::atoi(argv[i] + 10)));
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: %s [benchmark-name] [trace-length] [--threads=N]\n"
+                  "  --threads=N  worker threads for the parallel compressors\n"
+                  "               (default: hardware concurrency, %zu here;\n"
+                  "               CCOMP_THREADS overrides the default)\n",
+                  argv[0], par::hardware_threads());
+      return 0;
+    } else {
+      argv[args++] = argv[i];
+    }
+  }
+  argc = args;
   const char* name = argc > 1 ? argv[1] : "ijpeg";
   const std::size_t trace_len = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500000;
   const workload::Profile* profile = workload::find_profile(name);

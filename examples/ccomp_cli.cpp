@@ -7,6 +7,9 @@
 //   ccomp_cli info       <in.ccmp>
 //   ccomp_cli asm        <in.s> <out.bin>   # assemble MIPS source
 //   ccomp_cli disasm     <in.bin>           # disassemble MIPS binary
+//
+// The global `--threads=N` flag (any position) sets the worker count for the
+// parallel block encoders and verification; see --help.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,6 +23,7 @@
 #include "sadc/sadc.h"
 #include "samc/samc.h"
 #include "samc/samc_x86split.h"
+#include "support/parallel.h"
 
 namespace {
 
@@ -203,12 +207,50 @@ int cmd_disasm(int argc, char** argv) {
   return 0;
 }
 
+void print_help(const char* prog) {
+  std::printf(
+      "usage: %s <command> [args] [options]\n"
+      "\n"
+      "commands:\n"
+      "  compress   <in> <out.ccmp> [--codec=samc|sadc|samc-split|huffman]\n"
+      "                             [--isa=mips|x86|bytes] [--block=N]\n"
+      "  decompress <in.ccmp> <out>\n"
+      "  info       <in.ccmp>\n"
+      "  asm        <in.s> <out.bin>   assemble MIPS source\n"
+      "  disasm     <in.bin>           disassemble MIPS binary\n"
+      "\n"
+      "global options:\n"
+      "  --threads=N  worker threads for parallel block encoding, decoding,\n"
+      "               and round-trip verification (default: hardware\n"
+      "               concurrency, %zu here; CCOMP_THREADS overrides the\n"
+      "               default). Output is byte-identical at any setting.\n"
+      "  --help       this message\n",
+      prog, ccomp::par::hardware_threads());
+}
+
+// Strips --threads=N (applying it) and --help from argv; returns the new argc.
+int handle_global_flags(int argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      ccomp::par::set_thread_count(static_cast<std::size_t>(std::atoi(argv[i] + 10)));
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      print_help(argv[0]);
+      std::exit(0);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  argc = handle_global_flags(argc, argv);
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s compress|decompress|info|asm|disasm ... (see source header)\n",
+                 "usage: %s compress|decompress|info|asm|disasm ... (--help for details)\n",
                  argv[0]);
     return 1;
   }

@@ -3,17 +3,25 @@
 #include <algorithm>
 
 #include "support/error.h"
+#include "support/parallel.h"
 
 namespace ccomp::core {
 
+void BlockDecompressor::block_into(std::size_t index, std::span<std::uint8_t> out) const {
+  const std::vector<std::uint8_t> bytes = block(index);
+  if (bytes.size() != out.size())
+    throw CorruptDataError("block_into destination does not match the block's original size");
+  std::copy(bytes.begin(), bytes.end(), out.begin());
+}
+
 std::vector<std::uint8_t> BlockCodec::decompress_all(const CompressedImage& image) const {
   const auto decompressor = make_decompressor(image);
-  std::vector<std::uint8_t> out;
-  out.reserve(static_cast<std::size_t>(image.original_size()));
-  for (std::size_t b = 0; b < image.block_count(); ++b) {
-    const std::vector<std::uint8_t> block = decompressor->block(b);
-    out.insert(out.end(), block.begin(), block.end());
-  }
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(image.original_size()));
+  const std::span<std::uint8_t> span(out);
+  par::parallel_for(image.block_count(), [&](std::size_t b) {
+    const std::size_t begin = static_cast<std::size_t>(image.block_original_offset(b));
+    decompressor->block_into(b, span.subspan(begin, image.block_original_size(b)));
+  });
   return out;
 }
 
@@ -23,15 +31,19 @@ CompressedImage BlockCodec::compress_verified(std::span<const std::uint8_t> code
   const std::vector<std::uint8_t> round = decompress_all(image);
   if (round.size() != code.size() || !std::equal(round.begin(), round.end(), code.begin()))
     throw CorruptDataError("codec round trip failed (sequential order)");
-  // Random access: decompress blocks back to front and spot-check.
+  // Random access: every block independently, out of order. Under the
+  // parallel schedule blocks are checked in whatever order workers reach
+  // them; the serial fallback keeps the historical back-to-front sweep.
   const auto decompressor = make_decompressor(image);
-  for (std::size_t b = image.block_count(); b-- > 0;) {
+  const std::size_t blocks = image.block_count();
+  par::parallel_for(blocks, [&](std::size_t i) {
+    const std::size_t b = blocks - 1 - i;
     const std::vector<std::uint8_t> block = decompressor->block(b);
     const std::size_t begin = static_cast<std::size_t>(image.block_original_offset(b));
     if (block.size() != image.block_original_size(b) ||
         !std::equal(block.begin(), block.end(), code.begin() + static_cast<std::ptrdiff_t>(begin)))
       throw CorruptDataError("codec round trip failed (random access)");
-  }
+  });
   return image;
 }
 

@@ -21,6 +21,11 @@
 namespace ccomp::core {
 
 /// Per-image decompressor holding the deserialized model state.
+///
+/// Decompressors are immutable after construction: block() / block_into()
+/// are const and keep all walk state on the stack, so one decompressor may
+/// serve concurrent block requests from multiple threads (what the parallel
+/// decompress_all and the verification pass rely on).
 class BlockDecompressor {
  public:
   virtual ~BlockDecompressor() = default;
@@ -28,6 +33,12 @@ class BlockDecompressor {
   /// Decompress block `index` to its original bytes. Must work for any
   /// index in any order (random access).
   virtual std::vector<std::uint8_t> block(std::size_t index) const = 0;
+
+  /// Decompress block `index` directly into `out`, whose size must equal
+  /// the block's original size. The default forwards to block() and copies;
+  /// hot-path decompressors override it to skip the per-call allocation
+  /// (the cache refill engine reuses its line buffers across refills).
+  virtual void block_into(std::size_t index, std::span<std::uint8_t> out) const;
 
   std::size_t block_count() const { return block_count_; }
 
@@ -51,12 +62,16 @@ class BlockCodec {
   virtual std::unique_ptr<BlockDecompressor> make_decompressor(
       const CompressedImage& image) const = 0;
 
-  /// Convenience: decompress every block and concatenate.
+  /// Convenience: decompress every block and concatenate. Blocks are
+  /// decompressed in parallel (see support/parallel.h); each block writes
+  /// its own span of the output, so the result is identical at any thread
+  /// count.
   std::vector<std::uint8_t> decompress_all(const CompressedImage& image) const;
 
   /// Convenience: compress, decompress, and verify the round trip (also in
-  /// random block order); returns the image. Throws CorruptDataError on any
-  /// mismatch. Used by tests and by the examples' --verify mode.
+  /// out-of-order block access, in parallel); returns the image. Throws
+  /// CorruptDataError on any mismatch. Used by tests and by the examples'
+  /// --verify mode.
   CompressedImage compress_verified(std::span<const std::uint8_t> code) const;
 };
 

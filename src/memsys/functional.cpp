@@ -47,7 +47,10 @@ FunctionalMemorySystem::Line& FunctionalMemorySystem::lookup(std::uint32_t addre
   victim->valid = true;
   victim->tag = tag;
   victim->last_use = clock_;
-  victim->bytes = decompressor_->block(block);
+  // Decompress straight into the line's buffer: after warmup every refill
+  // reuses the victim line's capacity instead of allocating a fresh vector.
+  victim->bytes.resize(image_->block_original_size(block));
+  decompressor_->block_into(block, victim->bytes);
   return *victim;
 }
 

@@ -6,6 +6,7 @@
 #include "sadc/sadc.h"
 #include "support/bitio.h"
 #include "support/error.h"
+#include "support/parallel.h"
 
 namespace ccomp::sadc {
 namespace {
@@ -368,8 +369,11 @@ void optimal_reparse(const SymbolTable& table, const std::vector<Instr>& instrs,
     }
   }
 
-  for (auto& block : blocks) {
-    if (block.empty()) continue;
+  // Each block's shortest-path segmentation is independent (the candidate
+  // index and costs are shared read-only), so blocks re-parse in parallel.
+  par::parallel_for(blocks.size(), [&](std::size_t block_index) {
+    auto& block = blocks[block_index];
+    if (block.empty()) return;
     const std::size_t begin = block.front().first_instr;
     std::size_t end = begin;
     for (const Item& item : block) end += item.length;
@@ -393,7 +397,7 @@ void optimal_reparse(const SymbolTable& table, const std::vector<Instr>& instrs,
         }
       }
     }
-    if (cost[n] >= kInfinity) continue;  // keep the greedy parse (shouldn't happen)
+    if (cost[n] >= kInfinity) return;  // keep the greedy parse (shouldn't happen)
 
     // Reconstruct the segmentation back to front.
     std::vector<Item> parsed;
@@ -405,7 +409,7 @@ void optimal_reparse(const SymbolTable& table, const std::vector<Instr>& instrs,
       parsed.push_back({sym, static_cast<std::uint32_t>(begin + at), len});
     }
     block.assign(parsed.rbegin(), parsed.rend());
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -584,28 +588,35 @@ core::CompressedImage encode_streams(const SadcOptions& options, const SymbolTab
   const HuffmanCode reg_code = HuffmanCode::from_frequencies(reg_freq);
   const HuffmanCode imm_code = HuffmanCode::from_frequencies(imm_freq);
 
-  // Encode each block independently.
+  // Encode each block independently — in parallel (blocks share only the
+  // frozen dictionary and Huffman codes), concatenated in index order so
+  // the payload matches a serial encode byte for byte.
+  const std::vector<std::vector<std::uint8_t>> encoded =
+      par::parallel_map(blocks.size(), [&](std::size_t bi) {
+        const auto& block = blocks[bi];
+        BitWriter bits;
+        for (const Item& item : block) sym_code.encode(bits, item.symbol);
+        for (const Item& item : block) {
+          const auto& leaves = table.leaves(item.symbol);
+          for (std::size_t j = 0; j < leaves.size(); ++j)
+            for_each_operand(
+                final_instrs[item.first_instr + j], leaves[j],
+                [&](std::uint8_t reg) { reg_code.encode(bits, reg); }, [](std::uint8_t) {});
+        }
+        for (const Item& item : block) {
+          const auto& leaves = table.leaves(item.symbol);
+          for (std::size_t j = 0; j < leaves.size(); ++j)
+            for_each_operand(
+                final_instrs[item.first_instr + j], leaves[j], [](std::uint8_t) {},
+                [&](std::uint8_t byte) { imm_code.encode(bits, byte); });
+        }
+        return bits.take();
+      });
   std::vector<std::uint8_t> payload;
   std::vector<std::uint32_t> offsets;
-  for (const auto& block : blocks) {
+  offsets.reserve(encoded.size() + 1);
+  for (const std::vector<std::uint8_t>& block_bytes : encoded) {
     offsets.push_back(static_cast<std::uint32_t>(payload.size()));
-    BitWriter bits;
-    for (const Item& item : block) sym_code.encode(bits, item.symbol);
-    for (const Item& item : block) {
-      const auto& leaves = table.leaves(item.symbol);
-      for (std::size_t j = 0; j < leaves.size(); ++j)
-        for_each_operand(
-            final_instrs[item.first_instr + j], leaves[j],
-            [&](std::uint8_t reg) { reg_code.encode(bits, reg); }, [](std::uint8_t) {});
-    }
-    for (const Item& item : block) {
-      const auto& leaves = table.leaves(item.symbol);
-      for (std::size_t j = 0; j < leaves.size(); ++j)
-        for_each_operand(
-            final_instrs[item.first_instr + j], leaves[j], [](std::uint8_t) {},
-            [&](std::uint8_t byte) { imm_code.encode(bits, byte); });
-    }
-    const std::vector<std::uint8_t> block_bytes = bits.take();
     payload.insert(payload.end(), block_bytes.begin(), block_bytes.end());
   }
   offsets.push_back(static_cast<std::uint32_t>(payload.size()));

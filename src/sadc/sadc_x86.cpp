@@ -8,6 +8,7 @@
 #include "sadc/sadc.h"
 #include "support/bitio.h"
 #include "support/error.h"
+#include "support/parallel.h"
 
 namespace ccomp::sadc {
 namespace {
@@ -389,37 +390,43 @@ core::CompressedImage SadcX86Codec::compress(std::span<const std::uint8_t> code)
   const HuffmanCode modrm_code = HuffmanCode::from_frequencies(modrm_freq);
   const HuffmanCode imm_code = HuffmanCode::from_frequencies(imm_freq);
 
-  // Encode blocks.
+  // Encode blocks in parallel (shared read-only dictionary + codes),
+  // concatenating in index order for a thread-count-independent payload.
+  const std::vector<std::vector<std::uint8_t>> encoded =
+      par::parallel_map(parsed.size(), [&](std::size_t bi) {
+        const auto& block = parsed[bi];
+        BitWriter bits;
+        std::size_t instr_total = 0;
+        for (const Item& item : block) instr_total += item.length;
+        bits.write_bits(instr_total, 8);
+        for (const Item& item : block) sym_code.encode(bits, item.symbol);
+        for (const Item& item : block) {
+          const auto& leaves = final_table.leaves(item.symbol);
+          for (std::size_t j = 0; j < leaves.size(); ++j) {
+            const XInstr& in = instrs[item.first_instr + j];
+            if (leaves[j].raw || in.escape) {
+              modrm_code.encode(bits, in.all_bytes.size() & 0xFF);
+              for (const std::uint8_t b : in.all_bytes) modrm_code.encode(bits, b);
+            } else {
+              for (const std::uint8_t b : in.modrm_bytes) modrm_code.encode(bits, b);
+            }
+          }
+        }
+        for (const Item& item : block) {
+          const auto& leaves = final_table.leaves(item.symbol);
+          for (std::size_t j = 0; j < leaves.size(); ++j) {
+            const XInstr& in = instrs[item.first_instr + j];
+            if (!leaves[j].raw && !in.escape)
+              for (const std::uint8_t b : in.imm_bytes) imm_code.encode(bits, b);
+          }
+        }
+        return bits.take();
+      });
   std::vector<std::uint8_t> payload;
   std::vector<std::uint32_t> offsets;
-  for (const auto& block : parsed) {
+  offsets.reserve(encoded.size() + 1);
+  for (const std::vector<std::uint8_t>& block_bytes : encoded) {
     offsets.push_back(static_cast<std::uint32_t>(payload.size()));
-    BitWriter bits;
-    std::size_t instr_total = 0;
-    for (const Item& item : block) instr_total += item.length;
-    bits.write_bits(instr_total, 8);
-    for (const Item& item : block) sym_code.encode(bits, item.symbol);
-    for (const Item& item : block) {
-      const auto& leaves = final_table.leaves(item.symbol);
-      for (std::size_t j = 0; j < leaves.size(); ++j) {
-        const XInstr& in = instrs[item.first_instr + j];
-        if (leaves[j].raw || in.escape) {
-          modrm_code.encode(bits, in.all_bytes.size() & 0xFF);
-          for (const std::uint8_t b : in.all_bytes) modrm_code.encode(bits, b);
-        } else {
-          for (const std::uint8_t b : in.modrm_bytes) modrm_code.encode(bits, b);
-        }
-      }
-    }
-    for (const Item& item : block) {
-      const auto& leaves = final_table.leaves(item.symbol);
-      for (std::size_t j = 0; j < leaves.size(); ++j) {
-        const XInstr& in = instrs[item.first_instr + j];
-        if (!leaves[j].raw && !in.escape)
-          for (const std::uint8_t b : in.imm_bytes) imm_code.encode(bits, b);
-      }
-    }
-    const std::vector<std::uint8_t> block_bytes = bits.take();
     payload.insert(payload.end(), block_bytes.begin(), block_bytes.end());
   }
   offsets.push_back(static_cast<std::uint32_t>(payload.size()));

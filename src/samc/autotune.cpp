@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "support/parallel.h"
+
 namespace ccomp::samc {
 
 using coding::MarkovConfig;
@@ -42,23 +44,31 @@ AutoTuneResult choose_markov_config(std::span<const std::uint32_t> words,
     }
   }
 
+  // Candidates are independent: train and score them concurrently, then
+  // pick the winner with an ordered scan (first-best wins on ties), so the
+  // chosen config is identical at any thread count.
+  const std::vector<double> scores =
+      par::parallel_map(candidates.size(), [&](std::size_t i) {
+        const MarkovModel model =
+            MarkovModel::train(candidates[i], sample, options.block_words);
+        // Project the per-word payload cost measured on the sample onto the
+        // whole program before adding the (fixed) table cost — otherwise the
+        // tables look artificially expensive and the search under-models
+        // large programs.
+        const double payload_bits = model.estimate_bits(sample, options.block_words) *
+                                    (static_cast<double>(words.size()) /
+                                     static_cast<double>(sample.size()));
+        return payload_bits + 8.0 * static_cast<double>(model.table_bytes());
+      });
+
   AutoTuneResult best;
   bool first = true;
-  for (const MarkovConfig& config : candidates) {
-    const MarkovModel model = MarkovModel::train(config, sample, options.block_words);
-    // Project the per-word payload cost measured on the sample onto the
-    // whole program before adding the (fixed) table cost — otherwise the
-    // tables look artificially expensive and the search under-models large
-    // programs.
-    const double payload_bits = model.estimate_bits(sample, options.block_words) *
-                                (static_cast<double>(words.size()) /
-                                 static_cast<double>(sample.size()));
-    const double bits = payload_bits + 8.0 * static_cast<double>(model.table_bytes());
-    if (first || bits < best.estimated_bits) {
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (first || scores[i] < best.estimated_bits) {
       first = false;
-      best.config = config;
-      best.estimated_bits = bits;
-      best.estimated_ratio = bits / (32.0 * static_cast<double>(words.size()));
+      best.config = candidates[i];
+      best.estimated_bits = scores[i];
+      best.estimated_ratio = scores[i] / (32.0 * static_cast<double>(words.size()));
     }
   }
   return best;

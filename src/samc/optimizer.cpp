@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/histogram.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 
 namespace ccomp::samc {
@@ -70,25 +71,65 @@ StreamDivision optimize_division(std::span<const std::uint32_t> words,
   division.validate();
 
   // --- randomized exchange hill-climbing --------------------------------
+  //
+  // The serial algorithm draws one swap per iteration and accepts it when
+  // the cost drops. Stream sizes never change (a swap exchanges one bit per
+  // side), so every RNG bound is fixed after seeding and the full swap
+  // sequence can be materialized up front from the single seed — identical
+  // draws to the serial loop.
+  struct Swap {
+    std::size_t s1, s2, i1, i2;
+  };
+  std::vector<Swap> swaps;
+  swaps.reserve(options.swap_attempts);
   Rng rng(options.seed);
-  double best_cost =
-      division_cost_bits(division, sample, options.context_bits, options.block_words);
   for (unsigned it = 0; it < options.swap_attempts; ++it) {
     const std::size_t s1 = rng.next_below(options.stream_count);
     std::size_t s2 = rng.next_below(options.stream_count);
     if (s1 == s2) s2 = (s2 + 1) % options.stream_count;
-    StreamDivision candidate = division;
-    auto& a = candidate.streams[s1];
-    auto& b = candidate.streams[s2];
-    std::swap(a[rng.next_below(a.size())], b[rng.next_below(b.size())]);
+    swaps.push_back({s1, s2, rng.next_below(division.streams[s1].size()),
+                     rng.next_below(division.streams[s2].size())});
+  }
+  const auto apply_swap = [](StreamDivision base, const Swap& sw) {
+    auto& a = base.streams[sw.s1];
+    auto& b = base.streams[sw.s2];
+    std::swap(a[sw.i1], b[sw.i2]);
     std::sort(a.begin(), a.end(), std::greater<std::uint8_t>());
     std::sort(b.begin(), b.end(), std::greater<std::uint8_t>());
-    const double cost =
-        division_cost_bits(candidate, sample, options.context_bits, options.block_words);
-    if (cost < best_cost) {
-      best_cost = cost;
-      division = std::move(candidate);
+    return base;
+  };
+
+  // Speculative batch evaluation. In the serial loop, a run of rejected
+  // swaps leaves the division untouched, so candidates it..it+B-1 are all
+  // generated against the same division until one is accepted. A batch
+  // evaluates those candidates concurrently, then an ordered scan accepts
+  // the FIRST improving one and discards the (speculative) rest — the
+  // accepted-swap sequence, and therefore the result, is bit-identical to
+  // the serial algorithm at any thread count and any batch size.
+  double best_cost =
+      division_cost_bits(division, sample, options.context_bits, options.block_words);
+  std::size_t it = 0;
+  while (it < swaps.size()) {
+    const std::size_t batch =
+        std::min(swaps.size() - it, std::max<std::size_t>(2 * par::thread_count(), 4));
+    const std::vector<double> costs = par::parallel_map(batch, [&](std::size_t k) {
+      return division_cost_bits(apply_swap(division, swaps[it + k]), sample,
+                                options.context_bits, options.block_words);
+    });
+    std::size_t accepted = batch;
+    for (std::size_t k = 0; k < batch; ++k) {
+      if (costs[k] < best_cost) {
+        accepted = k;
+        break;
+      }
     }
+    if (accepted == batch) {
+      it += batch;
+      continue;
+    }
+    best_cost = costs[accepted];
+    division = apply_swap(std::move(division), swaps[it + accepted]);
+    it += accepted + 1;
   }
   return division;
 }

@@ -10,6 +10,11 @@
 // by randomized bit swaps between streams, accepting a swap when the
 // model-estimated compressed size (payload bits + probability-table bits,
 // measured on a training sample) decreases.
+//
+// Candidate swaps are evaluated in speculative batches on the shared thread
+// pool (support/parallel.h); the swap sequence is precomputed from the seed
+// and acceptance scans each batch in order, so the returned division is
+// bit-identical to the serial hill climb at any thread count.
 #pragma once
 
 #include <cstdint>

@@ -5,6 +5,7 @@
 #include "coding/nibblecoder.h"
 #include "coding/rangecoder.h"
 #include "support/error.h"
+#include "support/parallel.h"
 
 namespace ccomp::samc {
 
@@ -85,36 +86,48 @@ core::CompressedImage SamcCodec::compress_with_model(std::span<const std::uint8_
   const std::vector<std::uint32_t> words = code_to_words(code);
   const std::size_t words_per_block = options_.block_size / word_bytes;
 
-  // Pass 2: arithmetic-code each block independently. The serial and the
-  // parallel-nibble coders share the walk; only the interval engine differs.
+  // Pass 2: arithmetic-code each block independently. The coder interval
+  // and the Markov walk both reset at every block boundary (the paper's
+  // random-access requirement), so blocks are encoded in parallel — each
+  // task carries its own encoder and cursor over the shared frozen model —
+  // and concatenated in index order, making the payload byte-identical to a
+  // serial encode at any thread count.
+  const std::size_t block_count =
+      words.empty() ? 0 : (words.size() + words_per_block - 1) / words_per_block;
+  auto encode_block = [&](std::size_t b, auto& encoder) {
+    const std::size_t begin = b * words_per_block;
+    const std::size_t end = std::min(begin + words_per_block, words.size());
+    MarkovCursor cursor(model);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t word = words[i];
+      for (unsigned bit_no = 0; bit_no < options_.markov.division.word_bits; ++bit_no) {
+        const unsigned bit = (word >> cursor.next_bit_position()) & 1u;
+        encoder.encode_bit(bit, cursor.prob());
+        cursor.advance(bit);
+      }
+    }
+    encoder.finish();
+    return encoder.take();
+  };
+  std::vector<std::vector<std::uint8_t>> blocks;
+  if (options_.parallel_nibble_mode) {
+    blocks = par::parallel_map(block_count, [&](std::size_t b) {
+      coding::NibbleRangeEncoder encoder;
+      return encode_block(b, encoder);
+    });
+  } else {
+    blocks = par::parallel_map(block_count, [&](std::size_t b) {
+      RangeEncoder encoder;
+      return encode_block(b, encoder);
+    });
+  }
+
   std::vector<std::uint8_t> payload;
   std::vector<std::uint32_t> offsets;
-  MarkovCursor cursor(model);
-  auto encode_blocks = [&](auto& encoder) {
-    for (std::size_t begin = 0; begin < words.size(); begin += words_per_block) {
-      offsets.push_back(static_cast<std::uint32_t>(payload.size()));
-      const std::size_t end = std::min(begin + words_per_block, words.size());
-      cursor.reset();
-      encoder.reset();
-      for (std::size_t i = begin; i < end; ++i) {
-        const std::uint32_t word = words[i];
-        for (unsigned b = 0; b < options_.markov.division.word_bits; ++b) {
-          const unsigned bit = (word >> cursor.next_bit_position()) & 1u;
-          encoder.encode_bit(bit, cursor.prob());
-          cursor.advance(bit);
-        }
-      }
-      encoder.finish();
-      const std::vector<std::uint8_t> block = encoder.take();
-      payload.insert(payload.end(), block.begin(), block.end());
-    }
-  };
-  if (options_.parallel_nibble_mode) {
-    coding::NibbleRangeEncoder encoder;
-    encode_blocks(encoder);
-  } else {
-    RangeEncoder encoder;
-    encode_blocks(encoder);
+  offsets.reserve(block_count + 1);
+  for (const std::vector<std::uint8_t>& block : blocks) {
+    offsets.push_back(static_cast<std::uint32_t>(payload.size()));
+    payload.insert(payload.end(), block.begin(), block.end());
   }
   offsets.push_back(static_cast<std::uint32_t>(payload.size()));
   if (words.empty()) {
@@ -139,15 +152,21 @@ class SamcDecompressor final : public core::BlockDecompressor {
       : BlockDecompressor(image.block_count()), image_(&image), model_(std::move(model)) {}
 
   std::vector<std::uint8_t> block(std::size_t index) const override {
+    std::vector<std::uint8_t> out(image_->block_original_size(index));
+    block_into(index, out);
+    return out;
+  }
+
+  void block_into(std::size_t index, std::span<std::uint8_t> out) const override {
     const unsigned word_bits = model_.config().division.word_bits;
     const unsigned word_bytes = word_bits / 8;
-    const std::size_t bytes = image_->block_original_size(index);
-    const std::size_t word_count = bytes / word_bytes;
+    if (out.size() != image_->block_original_size(index))
+      throw CorruptDataError("block_into destination does not match the block's original size");
+    const std::size_t word_count = out.size() / word_bytes;
 
     RangeDecoder decoder(image_->block_payload(index));
     MarkovCursor cursor(model_);
-    std::vector<std::uint8_t> out;
-    out.reserve(bytes);
+    std::size_t at = 0;
     for (std::size_t w = 0; w < word_count; ++w) {
       std::uint32_t word = 0;
       for (unsigned b = 0; b < word_bits; ++b) {
@@ -157,9 +176,8 @@ class SamcDecompressor final : public core::BlockDecompressor {
         cursor.advance(bit);
       }
       for (unsigned b = 0; b < word_bytes; ++b)
-        out.push_back(static_cast<std::uint8_t>(word >> (8 * b)));
+        out[at++] = static_cast<std::uint8_t>(word >> (8 * b));
     }
-    return out;
   }
 
  private:
@@ -175,15 +193,21 @@ class NibbleSamcDecompressor final : public core::BlockDecompressor {
       : BlockDecompressor(image.block_count()), image_(&image), model_(std::move(model)) {}
 
   std::vector<std::uint8_t> block(std::size_t index) const override {
+    std::vector<std::uint8_t> out(image_->block_original_size(index));
+    block_into(index, out);
+    return out;
+  }
+
+  void block_into(std::size_t index, std::span<std::uint8_t> out) const override {
     const unsigned word_bits = model_.config().division.word_bits;
     const unsigned word_bytes = word_bits / 8;
-    const std::size_t bytes = image_->block_original_size(index);
-    const std::size_t word_count = bytes / word_bytes;
+    if (out.size() != image_->block_original_size(index))
+      throw CorruptDataError("block_into destination does not match the block's original size");
+    const std::size_t word_count = out.size() / word_bytes;
 
     coding::NibbleRangeDecoder decoder(image_->block_payload(index));
     MarkovCursor cursor(model_);
-    std::vector<std::uint8_t> out;
-    out.reserve(bytes);
+    std::size_t at = 0;
     for (std::size_t w = 0; w < word_count; ++w) {
       std::uint32_t word = 0;
       for (unsigned group = 0; group < word_bits / 4; ++group) {
@@ -209,9 +233,8 @@ class NibbleSamcDecompressor final : public core::BlockDecompressor {
         }
       }
       for (unsigned b = 0; b < word_bytes; ++b)
-        out.push_back(static_cast<std::uint8_t>(word >> (8 * b)));
+        out[at++] = static_cast<std::uint8_t>(word >> (8 * b));
     }
-    return out;
   }
 
  private:

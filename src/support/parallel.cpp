@@ -1,0 +1,165 @@
+#include "support/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace ccomp::par {
+namespace {
+
+/// Upper bound on pool workers — honors oversubscription requests (tests run
+/// 8 threads on small machines) without letting a bad CCOMP_THREADS value
+/// spawn thousands of threads.
+constexpr std::size_t kMaxPoolThreads = 64;
+
+/// True on pool worker threads; nested parallel regions run serially.
+thread_local bool t_in_worker = false;
+
+std::atomic<std::size_t> g_thread_override{0};
+
+std::size_t env_or_hardware_threads() {
+  static const std::size_t value = [] {
+    if (const char* env = std::getenv("CCOMP_THREADS")) {
+      const long n = std::atol(env);
+      if (n > 0) return std::min<std::size_t>(static_cast<std::size_t>(n), kMaxPoolThreads);
+    }
+    return hardware_threads();
+  }();
+  return value;
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool(0);  // workers spawn on demand via ensure_workers
+  return pool;
+}
+
+}  // namespace
+
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t thread_count() {
+  const std::size_t override = g_thread_override.load(std::memory_order_relaxed);
+  return override != 0 ? override : env_or_hardware_threads();
+}
+
+void set_thread_count(std::size_t threads) {
+  g_thread_override.store(std::min(threads, kMaxPoolThreads), std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) { ensure_workers(threads); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ensure_workers(std::size_t threads) {
+  const std::size_t target = std::min(threads, kMaxPoolThreads);
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (workers_.size() < target) workers_.emplace_back([this] { worker_loop(); });
+}
+
+std::size_t ThreadPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+void ThreadPool::worker_loop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads) {
+  if (n == 0) return;
+  std::size_t t = threads != 0 ? std::min(threads, kMaxPoolThreads) : thread_count();
+  t = std::min(t, n);
+  if (t <= 1 || t_in_worker) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Chunked self-scheduling: enough chunks per worker to absorb imbalance,
+  // big enough to keep the atomic counter off the critical path.
+  const std::size_t chunk = std::max<std::size_t>(1, n / (t * 8));
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  auto body = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(begin + chunk, n);
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  ThreadPool& pool = shared_pool();
+  pool.ensure_workers(t - 1);
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t done = 0;
+  const std::size_t helpers = t - 1;
+  for (std::size_t w = 0; w < helpers; ++w) {
+    pool.submit([&] {
+      body();
+      // Notify while holding the mutex: the waiter owns done_cv on its stack
+      // and may destroy it the moment the predicate holds, so the signal must
+      // complete before the lock is released.
+      std::lock_guard<std::mutex> lock(done_mutex);
+      ++done;
+      done_cv.notify_one();
+    });
+  }
+
+  // The calling thread participates; mark it as a worker so parallel
+  // regions inside fn fall back to serial here too.
+  const bool saved = t_in_worker;
+  t_in_worker = true;
+  body();
+  t_in_worker = saved;
+
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return done == helpers; });
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ccomp::par

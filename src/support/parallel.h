@@ -1,0 +1,97 @@
+// Deterministic parallel execution primitives.
+//
+// The paper's random-access constraint makes every per-block computation
+// independent, so the whole pipeline — block encoding, block verification,
+// model-search candidate evaluation, benchmark programs — parallelizes over
+// a small shared thread pool. The contract everything here upholds:
+//
+//   * Results are collected BY INDEX, never by completion order, so every
+//     parallel entry point produces output byte-identical to its serial
+//     equivalent at any thread count (enforced by tests/test_parallel.cpp).
+//   * Scheduling is chunked self-scheduling ("work-stealing-lite"): workers
+//     grab contiguous index chunks from an atomic counter, so load imbalance
+//     between blocks/candidates is absorbed without per-index overhead.
+//   * Nested parallel_for calls (a parallel region invoked from inside a
+//     worker) degrade to serial execution — no deadlock, no oversubscription.
+//   * `threads == 1` (or n <= 1, or a single-core machine with no override)
+//     runs entirely on the calling thread: no pool, no synchronization.
+//
+// Thread-count resolution, in priority order: an explicit `threads` argument
+// to parallel_for/parallel_map, the process-wide set_thread_count() override
+// (what `--threads N` sets), the CCOMP_THREADS environment variable, and
+// finally std::thread::hardware_concurrency().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccomp::par {
+
+/// Hardware thread count (always >= 1).
+std::size_t hardware_threads();
+
+/// Effective default parallelism: set_thread_count() override if set, else
+/// CCOMP_THREADS, else hardware_threads().
+std::size_t thread_count();
+
+/// Process-wide override of the default parallelism (what `--threads N`
+/// sets). 0 restores automatic selection.
+void set_thread_count(std::size_t threads);
+
+/// A fixed set of worker threads draining a task queue. The destructor
+/// finishes every queued task, then joins — a pool can be scoped to a
+/// computation and its destruction is the completion barrier.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw (parallel_for catches inside its
+  /// own task bodies and rethrows on the calling thread).
+  void submit(std::function<void()> task);
+
+  /// Spawn additional workers until the pool has at least `threads`
+  /// (bounded by an internal cap; used to honor explicit oversubscription
+  /// requests like `--threads 8` on a smaller machine).
+  void ensure_workers(std::size_t threads);
+
+  std::size_t size() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for every i in [0, n). Blocks until all iterations finish; the
+/// first exception thrown by any iteration is rethrown on the calling
+/// thread (remaining chunks are abandoned). `threads == 0` uses
+/// thread_count(). Iterations must be independent; determinism follows from
+/// writing results by index.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+/// Ordered parallel map: out[i] = fn(i), with out in index order regardless
+/// of execution order. The result type must be default-constructible.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn, std::size_t threads = 0) {
+  using R = std::decay_t<decltype(fn(std::size_t{0}))>;
+  std::vector<R> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = fn(i); }, threads);
+  return out;
+}
+
+}  // namespace ccomp::par

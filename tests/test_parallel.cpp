@@ -1,0 +1,163 @@
+// Tests for the parallel execution layer (support/parallel.h): pool
+// lifecycle, parallel_for/parallel_map semantics, exception propagation, and
+// the headline guarantee — codec and optimizer output is byte-identical at
+// any thread count.
+#include "support/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "isa/mips/mips.h"
+#include "sadc/sadc.h"
+#include "samc/optimizer.h"
+#include "samc/samc.h"
+#include "support/rng.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+
+namespace ccomp {
+namespace {
+
+// Restores the default thread count even if a test fails mid-way.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { par::set_thread_count(0); }
+};
+
+TEST(Parallel, ThreadPoolRunsSubmittedTasksAndJoinsOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    par::ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }  // destructor must drain the queue and join
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Parallel, ParallelForMatchesSerial) {
+  const std::size_t n = 1000;
+  std::vector<int> serial(n), parallel(n);
+  for (std::size_t i = 0; i < n; ++i) serial[i] = static_cast<int>(i * i % 97);
+  par::parallel_for(n, [&](std::size_t i) { parallel[i] = static_cast<int>(i * i % 97); }, 4);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Parallel, ParallelForHandlesEdgeSizes) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    std::atomic<std::size_t> hits{0};
+    par::parallel_for(n, [&](std::size_t) { hits.fetch_add(1); }, 8);
+    EXPECT_EQ(hits.load(), n);
+  }
+}
+
+TEST(Parallel, ParallelMapPreservesIndexOrder) {
+  const auto out = par::parallel_map(257, [](std::size_t i) { return 3 * i + 1; }, 8);
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 3 * i + 1);
+}
+
+TEST(Parallel, PropagatesExceptionFromTask) {
+  EXPECT_THROW(par::parallel_for(
+                   1000,
+                   [](std::size_t i) {
+                     if (i == 371) throw std::runtime_error("boom");
+                   },
+                   4),
+               std::runtime_error);
+  // The pool must still be usable after a failed region.
+  std::atomic<std::size_t> hits{0};
+  par::parallel_for(100, [&](std::size_t) { hits.fetch_add(1); }, 4);
+  EXPECT_EQ(hits.load(), 100u);
+}
+
+TEST(Parallel, NestedRegionsRunSerially) {
+  // A parallel_for inside a worker must degrade to serial instead of
+  // deadlocking on the shared pool.
+  std::atomic<std::size_t> hits{0};
+  par::parallel_for(
+      8,
+      [&](std::size_t) {
+        par::parallel_for(16, [&](std::size_t) { hits.fetch_add(1); }, 4);
+      },
+      4);
+  EXPECT_EQ(hits.load(), 8u * 16u);
+}
+
+TEST(Parallel, SetThreadCountOverridesDefault) {
+  const ThreadCountGuard guard;
+  par::set_thread_count(3);
+  EXPECT_EQ(par::thread_count(), 3u);
+  par::set_thread_count(0);
+  EXPECT_GE(par::thread_count(), 1u);
+}
+
+// --- Determinism: the tentpole guarantee. Same input, any thread count,
+// byte-identical artifacts. ---
+
+std::vector<std::uint8_t> serialize(const core::CompressedImage& image) {
+  ByteSink sink;
+  image.serialize(sink);
+  return sink.take();
+}
+
+std::vector<std::uint8_t> test_program() {
+  workload::Profile p = *workload::find_profile("go");
+  p.code_kb = 32;
+  return mips::words_to_bytes(workload::generate_mips(p));
+}
+
+TEST(Parallel, SamcCompressIsByteIdenticalAtAnyThreadCount) {
+  const ThreadCountGuard guard;
+  const auto code = test_program();
+  const samc::SamcCodec codec(samc::mips_defaults());
+  par::set_thread_count(1);
+  const auto serial = serialize(codec.compress(code));
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    par::set_thread_count(threads);
+    EXPECT_EQ(serialize(codec.compress(code)), serial) << "threads=" << threads;
+  }
+}
+
+TEST(Parallel, SadcCompressIsByteIdenticalAtAnyThreadCount) {
+  const ThreadCountGuard guard;
+  const auto code = test_program();
+  const sadc::SadcMipsCodec codec;
+  par::set_thread_count(1);
+  const auto serial = serialize(codec.compress(code));
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    par::set_thread_count(threads);
+    EXPECT_EQ(serialize(codec.compress(code)), serial) << "threads=" << threads;
+  }
+}
+
+TEST(Parallel, DecompressAllMatchesInputAtAnyThreadCount) {
+  const ThreadCountGuard guard;
+  const auto code = test_program();
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const auto image = codec.compress(code);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    par::set_thread_count(threads);
+    EXPECT_EQ(codec.decompress_all(image), code) << "threads=" << threads;
+  }
+}
+
+TEST(Parallel, OptimizeDivisionIsIdenticalAtAnyThreadCount) {
+  const ThreadCountGuard guard;
+  Rng rng(64);
+  std::vector<std::uint32_t> words;
+  for (int i = 0; i < 4000; ++i) words.push_back(rng.next_u32());
+  samc::OptimizerOptions opt;
+  opt.swap_attempts = 40;
+  par::set_thread_count(1);
+  const auto serial = samc::optimize_division(words, opt);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    par::set_thread_count(threads);
+    EXPECT_EQ(samc::optimize_division(words, opt), serial) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace ccomp
