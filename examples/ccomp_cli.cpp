@@ -24,6 +24,7 @@
 #include "samc/samc.h"
 #include "samc/samc_x86split.h"
 #include "support/parallel.h"
+#include "verify/verify.h"
 
 namespace {
 
@@ -139,11 +140,14 @@ int cmd_compress(int argc, char** argv) {
   if (argc < 4) return 1;
   std::string codec = "sadc", isa = "mips";
   std::uint32_t block = 32;
+  bool verify_static = false;
   for (int i = 4; i < argc; ++i) {
     if (std::strncmp(argv[i], "--codec=", 8) == 0) codec = argv[i] + 8;
     else if (std::strncmp(argv[i], "--isa=", 6) == 0) isa = argv[i] + 6;
     else if (std::strncmp(argv[i], "--block=", 8) == 0)
       block = static_cast<std::uint32_t>(std::atoi(argv[i] + 8));
+    else if (std::strcmp(argv[i], "--verify-static") == 0)
+      verify_static = true;
   }
   const auto code = read_file(argv[2]);
   const auto c = make_codec(codec, isa, block);
@@ -155,6 +159,16 @@ int cmd_compress(int argc, char** argv) {
   const auto s = image.sizes();
   std::printf("%s: %zu -> %zu bytes (ratio %.3f; %.3f with LAT), verified\n", codec.c_str(),
               s.original, s.payload + s.tables, s.ratio(), s.ratio_with_lat());
+  if (verify_static) {
+    verify::VerifyOptions opts;
+    opts.original_code = code;
+    const verify::VerifyReport report = verify::verify_serialized(bytes, opts);
+    std::printf("static verify: %zu error(s), %zu warning(s), %zu info\n",
+                report.count(verify::Severity::kError), report.count(verify::Severity::kWarn),
+                report.count(verify::Severity::kInfo));
+    if (!report.findings().empty()) std::fputs(report.to_string().c_str(), stdout);
+    if (!report.ok()) return 1;
+  }
   return 0;
 }
 
@@ -214,6 +228,8 @@ void print_help(const char* prog) {
       "commands:\n"
       "  compress   <in> <out.ccmp> [--codec=samc|sadc|samc-split|huffman]\n"
       "                             [--isa=mips|x86|bytes] [--block=N]\n"
+      "                             [--verify-static]  run the image linter\n"
+      "                             on the result; nonzero exit on errors\n"
       "  decompress <in.ccmp> <out>\n"
       "  info       <in.ccmp>\n"
       "  asm        <in.s> <out.bin>   assemble MIPS source\n"

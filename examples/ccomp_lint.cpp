@@ -1,0 +1,174 @@
+// ccomp_lint — static image verifier / decodability linter.
+//
+// Proves a serialized compressed image well-formed without running the
+// decoder: container framing and integrity trailer, LAT monotonicity and
+// coverage, Huffman/dictionary/Markov table soundness, and (given the
+// original program) ISA-level control-flow checks — every branch target must
+// land on a block the LAT maps.
+//
+//   ccomp_lint <image.ccmp> [--code=<original.bin>]   lint one image
+//   ccomp_lint --suite [--kb=N]                       lint every image the
+//       SAMC/SADC/SAMC-split codecs produce over the synthetic SPEC95 suite
+//       (N kB per benchmark; 0 = each profile's full size; default 16)
+//   ccomp_lint --checks                               print the check catalogue
+//
+// Exit status: 0 = no error-severity findings, 1 = errors found, 2 = usage.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/mips/mips.h"
+#include "sadc/sadc.h"
+#include "samc/samc.h"
+#include "samc/samc_x86split.h"
+#include "support/parallel.h"
+#include "verify/verify.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+#include "workload/x86_gen.h"
+
+namespace {
+
+using namespace ccomp;
+
+std::vector<std::uint8_t> read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(2);
+  }
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void print_report(const std::string& label, const verify::VerifyReport& report) {
+  if (report.findings().empty()) {
+    std::printf("%s: clean\n", label.c_str());
+    return;
+  }
+  std::printf("%s: %zu error(s), %zu warning(s), %zu info\n", label.c_str(),
+              report.count(verify::Severity::kError), report.count(verify::Severity::kWarn),
+              report.count(verify::Severity::kInfo));
+  std::fputs(report.to_string().c_str(), stdout);
+}
+
+int cmd_checks() {
+  std::printf("%-8s %-6s %s\n", "check", "level", "invariant");
+  for (const verify::CheckInfo& info : verify::check_catalogue())
+    std::printf("%-8s %-6s %s\n", info.id,
+                std::string(verify::severity_name(info.severity)).c_str(), info.summary);
+  return 0;
+}
+
+int cmd_lint_file(const char* image_path, const char* code_path) {
+  const std::vector<std::uint8_t> bytes = read_file(image_path);
+  std::vector<std::uint8_t> code;
+  verify::VerifyOptions opts;
+  if (code_path != nullptr) {
+    code = read_file(code_path);
+    opts.original_code = code;
+  }
+  const verify::VerifyReport report = verify::verify_serialized(bytes, opts);
+  print_report(image_path, report);
+  return report.ok() ? 0 : 1;
+}
+
+std::vector<std::uint8_t> serialized(const core::CompressedImage& image) {
+  ByteSink sink;
+  image.serialize(sink);
+  return sink.take();
+}
+
+int cmd_suite(std::uint32_t kb) {
+  std::size_t errors = 0;
+  std::size_t images = 0;
+  for (const workload::Profile& base : workload::spec95_profiles()) {
+    workload::Profile profile = base;
+    if (kb != 0) profile.code_kb = kb;
+
+    const std::vector<std::uint8_t> mips_code =
+        mips::words_to_bytes(workload::generate_mips(profile));
+    const std::vector<std::uint8_t> x86_code = workload::generate_x86(profile);
+
+    struct Job {
+      const char* label;
+      std::unique_ptr<core::BlockCodec> codec;
+      const std::vector<std::uint8_t>* code;
+    };
+    std::vector<Job> jobs;
+    jobs.push_back({"SAMC/mips", std::make_unique<samc::SamcCodec>(samc::mips_defaults()),
+                    &mips_code});
+    jobs.push_back({"SADC/mips", std::make_unique<sadc::SadcMipsCodec>(), &mips_code});
+    jobs.push_back({"SAMC/x86", std::make_unique<samc::SamcCodec>(samc::x86_defaults()),
+                    &x86_code});
+    jobs.push_back({"SADC/x86", std::make_unique<sadc::SadcX86Codec>(), &x86_code});
+    jobs.push_back({"SAMC-split/x86", std::make_unique<samc::SamcX86SplitCodec>(), &x86_code});
+
+    for (const Job& job : jobs) {
+      const core::CompressedImage image = job.codec->compress(*job.code);
+      verify::VerifyOptions opts;
+      opts.original_code = *job.code;
+      const verify::VerifyReport report = verify::verify_serialized(serialized(image), opts);
+      ++images;
+      const std::string label = std::string(profile.name) + " " + job.label;
+      if (!report.ok()) ++errors;
+      if (report.findings().empty()) {
+        std::printf("%-28s clean\n", label.c_str());
+      } else {
+        print_report(label, report);
+      }
+    }
+  }
+  std::printf("suite: %zu image(s), %zu with errors\n", images, errors);
+  return errors == 0 ? 0 : 1;
+}
+
+void print_help(const char* prog) {
+  std::printf(
+      "usage: %s <image.ccmp> [--code=<original.bin>]\n"
+      "       %s --suite [--kb=N]\n"
+      "       %s --checks\n",
+      prog, prog, prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* image_path = nullptr;
+  const char* code_path = nullptr;
+  bool suite = false;
+  std::uint32_t kb = 16;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--checks") == 0) return cmd_checks();
+    if (std::strcmp(argv[i], "--suite") == 0) {
+      suite = true;
+    } else if (std::strncmp(argv[i], "--kb=", 5) == 0) {
+      kb = static_cast<std::uint32_t>(std::atoi(argv[i] + 5));
+    } else if (std::strncmp(argv[i], "--code=", 7) == 0) {
+      code_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      par::set_thread_count(static_cast<std::size_t>(std::atoi(argv[i] + 10)));
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      print_help(argv[0]);
+      return 0;
+    } else if (argv[i][0] != '-') {
+      image_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  try {
+    if (suite) return cmd_suite(kb);
+    if (image_path == nullptr) {
+      print_help(argv[0]);
+      return 2;
+    }
+    return cmd_lint_file(image_path, code_path);
+  } catch (const ccomp::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,5 +1,6 @@
 #include "core/image.h"
 
+#include "support/crc32.h"
 #include "support/error.h"
 
 namespace ccomp::core {
@@ -101,6 +102,7 @@ SizeBreakdown CompressedImage::sizes() const {
 }
 
 void CompressedImage::serialize(ByteSink& sink) const {
+  const std::size_t start = sink.size();
   sink.u32(0x43434D50u);  // 'CCMP'
   sink.u8(static_cast<std::uint8_t>(codec_));
   sink.u8(static_cast<std::uint8_t>(isa_));
@@ -118,9 +120,13 @@ void CompressedImage::serialize(ByteSink& sink) const {
     for (const std::uint32_t s : block_original_sizes_) sink.varint(s);
   }
   sink.sized_bytes(payload_);
+  // Integrity trailer: a loader can reject a flipped bit anywhere in the
+  // image before trusting any table or offset.
+  sink.u32(crc32(sink.view().subspan(start)));
 }
 
-CompressedImage CompressedImage::deserialize(ByteSource& src) {
+CompressedImage CompressedImage::deserialize(ByteSource& src, bool verify_checksum) {
+  const std::size_t start = src.position();
   if (src.u32() != 0x43434D50u) throw CorruptDataError("bad image magic");
   const auto codec = static_cast<CodecKind>(src.u8());
   const auto isa = static_cast<IsaKind>(src.u8());
@@ -151,6 +157,10 @@ CompressedImage CompressedImage::deserialize(ByteSource& src) {
     }
   }
   std::vector<std::uint8_t> payload = src.sized_bytes();
+  const std::size_t end = src.position();
+  const std::uint32_t stored_crc = src.u32();
+  if (verify_checksum && stored_crc != crc32(src.window(start, end)))
+    throw ChecksumError("image CRC mismatch");
   return CompressedImage(codec, isa, block_size, original_size, std::move(tables),
                          std::move(offsets), std::move(payload), std::move(original_sizes));
 }

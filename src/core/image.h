@@ -102,9 +102,13 @@ class CompressedImage {
 
   SizeBreakdown sizes() const;
 
-  /// Whole-container (de)serialization.
+  /// Whole-container (de)serialization. The serialized form ends with a
+  /// CRC-32 trailer over every preceding container byte; deserialize verifies
+  /// it (throwing ChecksumError on mismatch) unless `verify_checksum` is
+  /// false, which the static verifier uses to run best-effort deep checks on
+  /// an image whose trailer already failed.
   void serialize(ByteSink& sink) const;
-  static CompressedImage deserialize(ByteSource& src);
+  static CompressedImage deserialize(ByteSource& src, bool verify_checksum = true);
 
  private:
   CodecKind codec_ = CodecKind::kSamc;

@@ -1,17 +1,24 @@
 #include "memsys/functional.h"
 
 #include "support/error.h"
+#include "verify/verify.h"
 
 namespace ccomp::memsys {
 
 FunctionalMemorySystem::FunctionalMemorySystem(const CacheConfig& cache_config,
                                                const core::BlockCodec& codec,
-                                               const core::CompressedImage& image)
+                                               const core::CompressedImage& image,
+                                               bool verify_on_load)
     : image_(&image),
       decompressor_(codec.make_decompressor(image)),
       cache_(std::make_unique<ICache>(cache_config)),
       line_bytes_(cache_config.line_bytes),
       ways_(cache_config.associativity) {
+  if (verify_on_load) {
+    const verify::VerifyReport report = verify::verify_image(image);
+    if (!report.ok())
+      throw CorruptDataError("image rejected at load time:\n" + report.to_string());
+  }
   if (image.has_variable_blocks())
     throw ConfigError("functional memory system needs address-aligned blocks");
   if (image.block_size() != line_bytes_)

@@ -21,8 +21,12 @@ class FunctionalMemorySystem {
  public:
   /// `image` must use uniform blocks equal to the cache line size and must
   /// outlive this object. `codec` builds the refill engine's decompressor.
+  /// With `verify_on_load` set (the default), the static verifier audits the
+  /// image's structure and tables first and the constructor throws
+  /// CorruptDataError on any error-severity finding — the memory system
+  /// rejects a bad image at load time instead of failing mid-refill.
   FunctionalMemorySystem(const CacheConfig& cache_config, const core::BlockCodec& codec,
-                         const core::CompressedImage& image);
+                         const core::CompressedImage& image, bool verify_on_load = true);
 
   /// Fetch the 32-bit instruction word at `address` (must be word-aligned
   /// and inside the program). Refills through the decompressor on a miss.

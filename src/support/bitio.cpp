@@ -35,7 +35,9 @@ std::vector<std::uint8_t> BitWriter::take() {
 
 std::uint64_t BitReader::read_bits(unsigned count) {
   if (count > 64) throw ConfigError("BitReader::read_bits count > 64");
-  if (bit_pos_ + count > bit_size()) throw CorruptDataError("bit stream truncated");
+  // Compare against bits_left() rather than bit_pos_ + count so a position
+  // near UINT64_MAX (from a hostile seek offset) cannot wrap the check.
+  if (count > bits_left()) throw CorruptDataError("bit stream truncated");
   std::uint64_t value = 0;
   unsigned remaining = count;
   while (remaining > 0) {

@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used as the integrity trailer of serialized CompressedImage containers:
+// a boot-ROM loader verifies the checksum before trusting any table, so a
+// single flipped bit anywhere in the image is rejected at load time instead
+// of surfacing as a wrong instruction word mid-refill.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ccomp {
+
+/// CRC of `data` continuing from `seed` (pass the previous return value to
+/// checksum discontiguous pieces). The default seed is the standard
+/// whole-buffer CRC-32.
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+}  // namespace ccomp

@@ -23,6 +23,15 @@ class CorruptDataError : public Error {
   explicit CorruptDataError(const std::string& what) : Error("corrupt data: " + what) {}
 };
 
+/// Integrity trailer (CRC-32) of a serialized container does not match its
+/// contents. A subclass of CorruptDataError so existing catch sites treat it
+/// as corruption; callers that can retry without checksum verification (the
+/// static verifier's best-effort deep checks) catch it specifically.
+class ChecksumError : public CorruptDataError {
+ public:
+  explicit ChecksumError(const std::string& what) : CorruptDataError("checksum: " + what) {}
+};
+
 /// Invalid argument or configuration (e.g. a stream division that does not
 /// cover the instruction word, a block size that is not a multiple of the
 /// instruction width).

@@ -67,6 +67,9 @@ std::uint64_t ByteSource::varint() {
     need(1);
     const std::uint8_t b = data_[pos_++];
     if (shift >= 64) throw CorruptDataError("varint too long");
+    // The 10th byte supplies bits 63.. — anything beyond bit 63 would be
+    // silently dropped by the shift, so reject it as malformed.
+    if (shift == 63 && (b & 0x7f) > 1) throw CorruptDataError("varint overflows 64 bits");
     v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
     if (!(b & 0x80)) break;
     shift += 7;
@@ -83,8 +86,16 @@ std::span<const std::uint8_t> ByteSource::bytes(std::size_t n) {
 
 std::vector<std::uint8_t> ByteSource::sized_bytes() {
   const std::uint64_t n = varint();
+  // Check against the 64-bit length before narrowing: on a 32-bit size_t the
+  // cast could otherwise wrap a huge length into a small in-bounds read.
+  if (n > remaining()) throw CorruptDataError("container truncated");
   auto view = bytes(static_cast<std::size_t>(n));
   return {view.begin(), view.end()};
+}
+
+std::span<const std::uint8_t> ByteSource::window(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > data_.size()) throw CorruptDataError("bad window bounds");
+  return data_.subspan(begin, end - begin);
 }
 
 }  // namespace ccomp

@@ -52,10 +52,15 @@ class ByteSource {
   std::size_t position() const { return pos_; }
   std::size_t remaining() const { return data_.size() - pos_; }
   bool at_end() const { return pos_ == data_.size(); }
+  /// View of the underlying bytes in [begin, end). Used to checksum a region
+  /// that has already been consumed. Throws CorruptDataError on bad bounds.
+  std::span<const std::uint8_t> window(std::size_t begin, std::size_t end) const;
 
  private:
+  // Phrased against remaining() so an attacker-controlled length near
+  // SIZE_MAX cannot overflow pos_ + n past the bound check.
   void need(std::size_t n) const {
-    if (pos_ + n > data_.size()) throw CorruptDataError("container truncated");
+    if (n > data_.size() - pos_) throw CorruptDataError("container truncated");
   }
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;

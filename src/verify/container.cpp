@@ -1,0 +1,192 @@
+// Container-layer checks: an independent re-parse of the serialized image.
+//
+// CompressedImage::deserialize throws at the first malformed field; this
+// parser instead scans the whole container, recording a finding per violated
+// invariant with the region named, so a corrupted LAT reads as a LAT finding
+// rather than a generic parse failure. It mirrors the serialize() layout in
+// core/image.cpp — any format change must be reflected here (test_verify
+// locks the two together).
+#include <string>
+
+#include "support/crc32.h"
+#include "support/error.h"
+#include "support/serialize.h"
+#include "verify/internal.h"
+#include "verify/verify.h"
+
+namespace ccomp::verify {
+namespace {
+
+using detail::emit;
+
+constexpr std::uint32_t kMagic = 0x43434D50u;  // 'CCMP'
+
+/// Scan the container framing, emitting SER/IMG/LAT findings. Returns true
+/// when the framing parsed far enough that deserialize() is worth trying.
+bool scan_container(std::span<const std::uint8_t> bytes, VerifyReport& report) {
+  ByteSource src(bytes);
+  const char* region = "header";
+  try {
+    if (src.u32() != kMagic) {
+      emit(report, "SER003", "container magic is not 'CCMP'");
+      return false;
+    }
+    const std::uint8_t codec = src.u8();
+    const std::uint8_t isa = src.u8();
+    const std::uint8_t variable = src.u8();
+    const std::uint32_t block_size = src.u32();
+    const std::uint64_t original_size = src.u64();
+    if (codec < 1 || codec > 4)
+      emit(report, "IMG001", "codec id " + std::to_string(codec) + " is not a known codec");
+    if (isa < 1 || isa > 3)
+      emit(report, "IMG002", "ISA id " + std::to_string(isa) + " is not a known ISA");
+    if (block_size == 0) emit(report, "IMG003", "header block size is zero");
+
+    region = "codec tables";
+    const std::vector<std::uint8_t> tables = src.sized_bytes();
+
+    region = "line address table";
+    const std::uint64_t offset_count = src.varint();
+    if (offset_count == 0) {
+      emit(report, "LAT003", "LAT entry count is zero (no sentinel)");
+      return false;
+    }
+    if (offset_count > src.remaining()) {
+      emit(report, "LAT003",
+           "LAT claims " + std::to_string(offset_count) + " entries but only " +
+               std::to_string(src.remaining()) + " container bytes remain");
+      return false;
+    }
+    std::uint64_t acc = 0;
+    std::uint64_t sentinel = 0;
+    bool lat_ok = true;
+    for (std::uint64_t i = 0; i < offset_count; ++i) {
+      acc += src.varint();
+      if (acc > 0xFFFFFFFFull) {
+        emit(report, "LAT001",
+             "LAT offset " + std::to_string(i) + " overflows 32 bits (" + std::to_string(acc) +
+                 ")");
+        lat_ok = false;
+        break;
+      }
+      sentinel = acc;
+    }
+    if (!lat_ok) return false;
+
+    region = "per-block sizes";
+    std::uint64_t variable_sum = 0;
+    if (variable != 0) {
+      for (std::uint64_t i = 0; i + 1 < offset_count; ++i) {
+        const std::uint64_t s = src.varint();
+        if (s > 0xFFFFFFFFull) {
+          emit(report, "IMG005",
+               "per-block original size " + std::to_string(i) + " overflows 32 bits");
+          return false;
+        }
+        variable_sum += s;
+      }
+      if (variable_sum != original_size)
+        emit(report, "IMG005",
+             "per-block original sizes sum to " + std::to_string(variable_sum) +
+                 ", header says " + std::to_string(original_size));
+    } else if (block_size != 0) {
+      const std::uint64_t expected_blocks = (original_size + block_size - 1) / block_size;
+      if (offset_count != expected_blocks + 1)
+        emit(report, "IMG004",
+             "LAT has " + std::to_string(offset_count - 1) + " blocks, original size " +
+                 std::to_string(original_size) + " needs " + std::to_string(expected_blocks));
+    }
+
+    region = "payload";
+    const std::size_t payload_len = src.sized_bytes().size();
+    if (sentinel != payload_len)
+      emit(report, "LAT002",
+           "LAT sentinel " + std::to_string(sentinel) + " != payload size " +
+               std::to_string(payload_len));
+
+    region = "checksum trailer";
+    const std::size_t body_end = src.position();
+    const std::uint32_t stored = src.u32();
+    const std::uint32_t computed = crc32(src.window(0, body_end));
+    if (stored != computed)
+      emit(report, "SER002", "stored CRC-32 does not match the container contents");
+
+    if (!src.at_end())
+      emit(report, "SER004",
+           std::to_string(src.remaining()) + " byte(s) follow the container trailer");
+  } catch (const Error&) {
+    emit(report, "SER001", std::string("container truncated in ") + region);
+    // The framing is gone, so the trailer position is unknown — fall back to
+    // the loader convention that the last 4 bytes checksum the rest.
+    if (bytes.size() >= 8) {
+      ByteSource tail(bytes.subspan(bytes.size() - 4));
+      if (tail.u32() != crc32(bytes.subspan(0, bytes.size() - 4)))
+        emit(report, "SER002", "trailing CRC-32 does not match the container contents");
+    }
+    return false;
+  }
+  return report.count(Severity::kError) == 0;
+}
+
+}  // namespace
+
+namespace detail {
+
+// Structure checks on a constructed image. The CompressedImage constructor
+// already proves the hard LAT invariants (sentinel, monotonicity, block
+// count), so what remains are the soft payload-shape properties a loader
+// wants flagged but can survive.
+void check_structure(const core::CompressedImage& image, VerifyReport& report) {
+  const std::size_t blocks = image.block_count();
+  // Worst-case per-block expansion: every codec's output is bounded by the
+  // original bytes plus coder flush/count overhead; double-plus-slack is far
+  // outside anything a sound encoder emits.
+  const std::size_t expansion_bound = 2 * static_cast<std::size_t>(image.block_size()) + 16;
+  for (std::size_t i = 0; i < blocks; ++i) {
+    const std::size_t compressed = image.block_payload(i).size();
+    const std::size_t original = image.block_original_size(i);
+    if (compressed == 0 && original != 0)
+      emit(report, "LAT004",
+           "block " + std::to_string(i) + " has no compressed bytes but covers " +
+               std::to_string(original) + " original bytes");
+    if (compressed > expansion_bound)
+      emit(report, "LAT005",
+           "block " + std::to_string(i) + " holds " + std::to_string(compressed) +
+               " compressed bytes, over the " + std::to_string(expansion_bound) +
+               "-byte worst-case bound");
+  }
+}
+
+}  // namespace detail
+
+VerifyReport verify_image(const core::CompressedImage& image, const VerifyOptions& opts) {
+  VerifyReport report;
+  detail::check_structure(image, report);
+  detail::check_tables(image, report);
+  if (opts.control_flow && !opts.original_code.empty())
+    detail::check_control_flow(image, opts, report);
+  return report;
+}
+
+VerifyReport verify_serialized(std::span<const std::uint8_t> bytes, const VerifyOptions& opts) {
+  VerifyReport report;
+  const bool framing_ok = scan_container(bytes, report);
+  // Deep checks run best-effort even past a checksum mismatch (the flipped
+  // bit may sit in a table the structural checks can still name), but only
+  // when the framing itself held together.
+  if (!framing_ok && report.error_count() > (report.has("SER002") ? 1u : 0u)) return report;
+  try {
+    ByteSource src(bytes);
+    const core::CompressedImage image =
+        core::CompressedImage::deserialize(src, /*verify_checksum=*/false);
+    report.merge(verify_image(image, opts));
+  } catch (const Error& e) {
+    // The independent scan accepted what deserialize rejected — surface the
+    // stricter parser's complaint so the report never claims a clean bill
+    // for an unloadable image.
+    if (report.ok()) emit(report, "SER001", std::string("image rejected at load: ") + e.what());
+  }
+  return report;
+}
+
+}  // namespace ccomp::verify

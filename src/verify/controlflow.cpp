@@ -1,0 +1,198 @@
+// ISA-level control-flow checks (the paper's random-access argument).
+//
+// A compressed-code memory system services a branch by looking the target's
+// block up in the LAT and decompressing that block from its start, so the
+// static property to prove is: every branch/jump target of the original
+// program lands inside a block the LAT maps (MIPS), and — for variable-size
+// x86 blocks — every block boundary the image chose coincides with an
+// instruction boundary of the original stream, i.e. the length decoder
+// re-synchronizes at each block start.
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "isa/mips/mips.h"
+#include "isa/x86/x86.h"
+#include "support/error.h"
+#include "verify/internal.h"
+#include "verify/verify.h"
+
+namespace ccomp::verify {
+namespace {
+
+using detail::emit;
+
+void check_mips_flow(const core::CompressedImage& image, const VerifyOptions& opts,
+                     VerifyReport& report) {
+  const std::span<const std::uint8_t> code = opts.original_code;
+  if (code.size() % 4 != 0) {
+    emit(report, "CFG001",
+         "MIPS program size " + std::to_string(code.size()) + " is not word-aligned");
+    return;
+  }
+  const std::vector<std::uint32_t> words = mips::bytes_to_words(code);
+  const std::size_t block_count = image.block_count();
+  const std::uint32_t block_size = image.block_size();
+
+  auto check_target = [&](std::size_t source_word, std::uint64_t target_byte, const char* kind) {
+    if (target_byte % 4 != 0) {
+      emit(report, "CFG001",
+           std::string(kind) + " at word " + std::to_string(source_word) + " targets offset " +
+               std::to_string(target_byte) + ", not instruction-aligned");
+      return;
+    }
+    const std::size_t block = static_cast<std::size_t>(target_byte / block_size);
+    if (block >= block_count)
+      emit(report, "CFG003",
+           std::string(kind) + " at word " + std::to_string(source_word) + " targets block " +
+               std::to_string(block) + ", LAT maps " + std::to_string(block_count));
+  };
+
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const auto decoded = mips::decode(words[i]);
+    if (!decoded) continue;
+    const mips::OpcodeInfo& info = mips::opcode_table()[decoded->opcode];
+    if (info.is_branch) {
+      // PC-relative: target = pc + 4 + signext(imm16) << 2, in word units
+      // target_word = i + 1 + signext(imm16).
+      const std::int64_t target_word =
+          static_cast<std::int64_t>(i) + 1 + static_cast<std::int16_t>(decoded->imm16);
+      if (target_word < 0 || target_word >= static_cast<std::int64_t>(words.size())) {
+        emit(report, "CFG002",
+             "branch at word " + std::to_string(i) + " targets word " +
+                 std::to_string(target_word) + ", outside the program");
+        continue;
+      }
+      check_target(i, static_cast<std::uint64_t>(target_word) * 4, "branch");
+    } else if (info.is_jump) {
+      const std::uint64_t target_addr = static_cast<std::uint64_t>(decoded->imm26) << 2;
+      if (target_addr < opts.mips_text_base ||
+          target_addr >= opts.mips_text_base + code.size()) {
+        emit(report, "CFG002",
+             "jump at word " + std::to_string(i) + " targets address " +
+                 std::to_string(target_addr) + ", outside the text segment");
+        continue;
+      }
+      check_target(i, target_addr - opts.mips_text_base, "jump");
+    }
+  }
+}
+
+/// Relative branch displacement of the instruction at `off`, if it is one of
+/// the IA-32 relative control transfers (jcc8/jcc32, jmp8/jmp32, call).
+/// Returns false for everything else.
+bool relative_branch(std::span<const std::uint8_t> code, std::size_t off,
+                     const x86::InstrLayout& layout, std::int64_t& rel_out) {
+  const std::uint8_t op = code[off + layout.prefix_len];
+  bool rel8 = false;
+  bool rel32 = false;
+  if (layout.opcode_len == 1) {
+    rel8 = (op >= 0x70 && op <= 0x7F) || op == 0xEB;
+    rel32 = op == 0xE8 || op == 0xE9;
+  } else if (layout.opcode_len == 2 && op == 0x0F) {
+    const std::uint8_t op2 = code[off + layout.prefix_len + 1];
+    rel32 = op2 >= 0x80 && op2 <= 0x8F;
+  }
+  if (!rel8 && !rel32) return false;
+  const std::size_t imm_at = off + layout.total - layout.imm_len;
+  if (rel8) {
+    rel_out = static_cast<std::int8_t>(code[off + layout.total - 1]);
+  } else {
+    std::uint32_t v = 0;
+    for (int b = 3; b >= 0; --b) v = (v << 8) | code[imm_at + static_cast<std::size_t>(b)];
+    rel_out = static_cast<std::int32_t>(v);
+  }
+  return true;
+}
+
+void check_x86_flow(const core::CompressedImage& image, const VerifyOptions& opts,
+                    VerifyReport& report) {
+  const std::span<const std::uint8_t> code = opts.original_code;
+  std::vector<x86::InstrLayout> layouts;
+  try {
+    layouts = x86::decode_all(code);
+  } catch (const Error& e) {
+    emit(report, "CFG004", std::string("original program does not length-decode: ") + e.what());
+    return;
+  }
+  std::set<std::uint64_t> starts;
+  std::uint64_t off = 0;
+  for (const x86::InstrLayout& layout : layouts) {
+    starts.insert(off);
+    off += layout.total;
+  }
+
+  // The splitter's re-synchronization property: decoding block i fresh only
+  // works if its first byte starts an instruction. That promise is only made
+  // by the instruction-aligned (variable-block) codecs — byte-granular SAMC
+  // blocks legitimately cut instructions, since the refill engine hands the
+  // CPU raw bytes, not parsed instructions.
+  if (image.has_variable_blocks()) {
+    for (std::size_t i = 0; i < image.block_count(); ++i) {
+      const std::uint64_t begin = image.block_original_offset(i);
+      if (!starts.count(begin))
+        emit(report, "CFG004",
+             "block " + std::to_string(i) + " begins at offset " + std::to_string(begin) +
+                 ", inside an instruction");
+    }
+  }
+
+  // Branch-target discipline. Aggregated: one finding per kind with a count
+  // and the first offending site, since a single bad jump table can
+  // otherwise flood the report.
+  std::size_t outside = 0;
+  std::size_t misaligned = 0;
+  std::int64_t first_outside = -1;
+  std::int64_t first_misaligned = -1;
+  off = 0;
+  for (std::size_t i = 0; i < layouts.size(); ++i) {
+    std::int64_t rel = 0;
+    if (relative_branch(code, static_cast<std::size_t>(off), layouts[i], rel)) {
+      const std::int64_t target = static_cast<std::int64_t>(off) + layouts[i].total + rel;
+      if (target < 0 || target >= static_cast<std::int64_t>(code.size())) {
+        if (outside++ == 0) first_outside = static_cast<std::int64_t>(off);
+      } else if (!starts.count(static_cast<std::uint64_t>(target))) {
+        if (misaligned++ == 0) first_misaligned = static_cast<std::int64_t>(off);
+      }
+    }
+    off += layouts[i].total;
+  }
+  if (outside > 0)
+    emit(report, "CFG002",
+         std::to_string(outside) + " branch target(s) outside the program (first at offset " +
+             std::to_string(first_outside) + ")");
+  if (misaligned > 0)
+    emit(report, "CFG006",
+         std::to_string(misaligned) +
+             " branch target(s) not on an instruction start (first at offset " +
+             std::to_string(first_misaligned) + ")");
+}
+
+}  // namespace
+
+namespace detail {
+
+void check_control_flow(const core::CompressedImage& image, const VerifyOptions& opts,
+                        VerifyReport& report) {
+  if (opts.original_code.size() != image.original_size()) {
+    emit(report, "CFG005",
+         "supplied original code is " + std::to_string(opts.original_code.size()) +
+             " bytes, image says " + std::to_string(image.original_size()));
+    return;
+  }
+  switch (image.isa()) {
+    case core::IsaKind::kMips:
+      check_mips_flow(image, opts, report);
+      break;
+    case core::IsaKind::kX86:
+      check_x86_flow(image, opts, report);
+      break;
+    case core::IsaKind::kRawBytes:
+      break;  // no ISA-level structure to prove
+  }
+}
+
+}  // namespace detail
+}  // namespace ccomp::verify

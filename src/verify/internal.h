@@ -1,0 +1,17 @@
+// Shared helpers for the verifier's translation units (not installed API).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "verify/verify.h"
+
+namespace ccomp::verify::detail {
+
+/// Catalogue severity of a check ID (kError for unknown IDs, defensively).
+Severity severity_of(std::string_view check);
+
+/// Record a finding with its catalogue severity.
+void emit(VerifyReport& report, std::string_view check, std::string message);
+
+}  // namespace ccomp::verify::detail

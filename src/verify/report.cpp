@@ -1,0 +1,139 @@
+#include "verify/verify.h"
+
+#include <array>
+
+#include "verify/internal.h"
+
+namespace ccomp::verify {
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarn:
+      return "warn";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void VerifyReport::add(std::string_view check, Severity severity, std::string message) {
+  findings_.push_back({std::string(check), severity, std::move(message)});
+}
+
+void VerifyReport::merge(const VerifyReport& other) {
+  findings_.insert(findings_.end(), other.findings_.begin(), other.findings_.end());
+}
+
+std::size_t VerifyReport::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const Finding& f : findings_)
+    if (f.severity == severity) ++n;
+  return n;
+}
+
+bool VerifyReport::has(std::string_view check) const {
+  for (const Finding& f : findings_)
+    if (f.check == check) return true;
+  return false;
+}
+
+std::string VerifyReport::to_string() const {
+  std::string out;
+  for (const Finding& f : findings_) {
+    out += f.check;
+    out += " [";
+    out += severity_name(f.severity);
+    out += "] ";
+    out += f.message;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+constexpr std::array<CheckInfo, 35> kCatalogue = {{
+    // Container framing + integrity.
+    {"SER001", Severity::kError, "container truncated or unparseable"},
+    {"SER002", Severity::kError, "integrity checksum (CRC-32 trailer) mismatch"},
+    {"SER003", Severity::kError, "bad container magic"},
+    {"SER004", Severity::kWarn, "trailing bytes after the container"},
+    // Header cross-checks.
+    {"IMG001", Severity::kError, "unknown codec id"},
+    {"IMG002", Severity::kError, "unknown ISA id"},
+    {"IMG003", Severity::kError, "block size is zero"},
+    {"IMG004", Severity::kError, "block count inconsistent with original size"},
+    {"IMG005", Severity::kError, "per-block original sizes inconsistent"},
+    // Line address table.
+    {"LAT001", Severity::kError, "LAT offset overflows or is non-monotone"},
+    {"LAT002", Severity::kError, "LAT sentinel does not equal the payload size"},
+    {"LAT003", Severity::kError, "LAT missing or empty"},
+    {"LAT004", Severity::kWarn, "empty compressed block for a non-empty original block"},
+    {"LAT005", Severity::kWarn, "compressed block exceeds the worst-case expansion bound"},
+    // Codec side tables (generic).
+    {"TBL001", Severity::kError, "codec table blob failed to parse"},
+    {"TBL002", Severity::kError, "trailing bytes after the codec tables"},
+    // Canonical Huffman codes.
+    {"HUF001", Severity::kError, "Huffman code overfull (Kraft sum > 1): not prefix-free"},
+    {"HUF002", Severity::kError, "Huffman code incomplete (Kraft sum < 1): undecodable prefixes"},
+    {"HUF003", Severity::kError, "Huffman alphabet size does not match the stream it codes"},
+    {"HUF004", Severity::kError, "Huffman code length exceeds the decoder limit"},
+    // SADC dictionary.
+    {"DIC001", Severity::kError, "dictionary empty for a non-empty payload"},
+    {"DIC002", Severity::kError, "dictionary token beyond the ISA opcode table"},
+    {"DIC003", Severity::kError, "register-specialised symbol operands malformed"},
+    {"DIC004", Severity::kError, "immediate-specialised symbol on a token without imm16"},
+    {"DIC005", Severity::kError, "duplicate dictionary entries"},
+    {"DIC006", Severity::kWarn, "dictionary symbol expands beyond one block"},
+    {"DIC007", Severity::kInfo, "dead dictionary symbol (no Huffman code assigned)"},
+    {"DIC008", Severity::kError, "x86 opcode-string table malformed"},
+    // Markov models.
+    {"MKV001", Severity::kError, "Markov probability out of the encodable range"},
+    {"MKV002", Severity::kError, "invalid stream division / model configuration"},
+    {"MKV003", Severity::kError, "Markov tree size inconsistent with its stream width"},
+    {"MKV004", Severity::kWarn, "quantized probability shift exceeds the model's max_shift"},
+    {"MKV005", Severity::kInfo, "unreachable Markov tree copy (dead table bytes)"},
+    {"MKV006", Severity::kError, "nibble-mode engine constraints violated"},
+    {"MKV007", Severity::kError, "model word width incompatible with the block size"},
+}};
+
+constexpr std::array<CheckInfo, 6> kCfgCatalogue = {{
+    {"CFG001", Severity::kError, "branch/jump target not instruction-aligned"},
+    {"CFG002", Severity::kWarn, "branch/jump target outside the image"},
+    {"CFG003", Severity::kError, "branch/jump target block not mapped by the LAT"},
+    {"CFG004", Severity::kError, "x86 block boundary not on an instruction boundary"},
+    {"CFG005", Severity::kError, "supplied original code does not match the image size"},
+    {"CFG006", Severity::kWarn, "x86 branch target not an instruction start"},
+}};
+
+constexpr auto make_full_catalogue() {
+  std::array<CheckInfo, kCatalogue.size() + kCfgCatalogue.size()> all{};
+  std::size_t i = 0;
+  for (const CheckInfo& c : kCatalogue) all[i++] = c;
+  for (const CheckInfo& c : kCfgCatalogue) all[i++] = c;
+  return all;
+}
+
+constexpr auto kFullCatalogue = make_full_catalogue();
+
+}  // namespace
+
+std::span<const CheckInfo> check_catalogue() { return kFullCatalogue; }
+
+namespace detail {
+
+Severity severity_of(std::string_view check) {
+  for (const CheckInfo& info : kFullCatalogue)
+    if (check == info.id) return info.severity;
+  return Severity::kError;
+}
+
+void emit(VerifyReport& report, std::string_view check, std::string message) {
+  report.add(check, severity_of(check), std::move(message));
+}
+
+}  // namespace detail
+
+}  // namespace ccomp::verify

@@ -1,0 +1,403 @@
+// Table-soundness checks: Huffman codes, SADC dictionaries, Markov models.
+//
+// The table blob is re-parsed with the library's own deserializers (so the
+// verifier and the decoder agree on the format by construction); a parse
+// failure becomes a TBL001 finding naming the component, and every component
+// that does parse gets its semantic invariants proved: Kraft discipline for
+// the canonical Huffman codes, operand consistency for dictionary symbols,
+// probability-range / reachability properties for the Markov state graphs.
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "coding/huffman.h"
+#include "coding/markov.h"
+#include "isa/mips/mips.h"
+#include "isa/x86/x86.h"
+#include "sadc/symbols.h"
+#include "support/error.h"
+#include "support/serialize.h"
+#include "verify/internal.h"
+#include "verify/verify.h"
+
+namespace ccomp::verify {
+namespace {
+
+using coding::HuffmanCode;
+using coding::MarkovModel;
+using detail::emit;
+using sadc::Symbol;
+using sadc::SymbolTable;
+
+std::string describe(const char* which, const std::string& rest) {
+  return std::string(which) + ": " + rest;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical Huffman: Kraft equality / prefix-freeness / alphabet agreement.
+
+void check_huffman(const HuffmanCode& code, std::size_t expected_alphabet, const char* which,
+                   VerifyReport& report) {
+  if (code.alphabet_size() != expected_alphabet)
+    emit(report, "HUF003",
+         describe(which, "alphabet has " + std::to_string(code.alphabet_size()) +
+                             " symbols, the stream it codes has " +
+                             std::to_string(expected_alphabet)));
+  // Kraft sum in units of 2^-kMaxCodeLength: equality with 2^kMaxCodeLength
+  // is a complete prefix-free code; > is overfull (ambiguous prefixes), < is
+  // decodable but leaves undecodable bit patterns.
+  std::uint64_t kraft = 0;
+  std::size_t coded = 0;
+  for (const std::uint8_t len : code.lengths()) {
+    if (len == 0) continue;
+    ++coded;
+    if (len > coding::kMaxCodeLength) {
+      emit(report, "HUF004",
+           describe(which, "code length " + std::to_string(len) + " exceeds the limit " +
+                               std::to_string(coding::kMaxCodeLength)));
+      return;
+    }
+    kraft += std::uint64_t{1} << (coding::kMaxCodeLength - len);
+  }
+  const std::uint64_t full = std::uint64_t{1} << coding::kMaxCodeLength;
+  if (kraft > full) {
+    emit(report, "HUF001", describe(which, "Kraft sum exceeds 1: code is not prefix-free"));
+  } else if (kraft < full && coded >= 2) {
+    // A single-symbol code legitimately uses one 1-bit codeword (half the
+    // Kraft budget) so the stream stays self-delimiting — not a finding.
+    emit(report, "HUF002",
+         describe(which, "Kraft sum below 1: some prefixes decode to nothing"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Markov models: configuration, probability range, state-graph reachability.
+
+void check_markov(const MarkovModel& model, const char* which, std::uint32_t block_size,
+                  VerifyReport& report) {
+  const coding::MarkovConfig& cfg = model.config();
+  try {
+    cfg.division.validate();
+  } catch (const Error& e) {
+    emit(report, "MKV002", describe(which, e.what()));
+    return;
+  }
+  if (cfg.context_bits > 8) {
+    emit(report, "MKV002",
+         describe(which, "context_bits " + std::to_string(cfg.context_bits) + " exceeds 8"));
+    return;
+  }
+
+  // SAMC words map onto whole bytes of the program; a division that does not
+  // tile the block leaves a partial word no block can contain.
+  if (cfg.division.word_bits % 8 != 0) {
+    emit(report, "MKV007",
+         describe(which, "word width " + std::to_string(cfg.division.word_bits) +
+                             " is not a whole number of bytes"));
+  } else if (block_size % (cfg.division.word_bits / 8) != 0) {
+    emit(report, "MKV007",
+         describe(which, "block size " + std::to_string(block_size) +
+                             " is not a multiple of the " +
+                             std::to_string(cfg.division.word_bits / 8) + "-byte word"));
+  }
+
+  const std::size_t streams = cfg.division.stream_count();
+  const std::size_t ctx_count = model.context_count();
+  std::size_t bad_probs = 0;
+  std::size_t overshift = 0;
+  for (std::size_t s = 0; s < streams; ++s) {
+    for (std::size_t c = 0; c < ctx_count; ++c) {
+      for (std::size_t n = 0; n < model.tree_node_count(s); ++n) {
+        const coding::Prob p = model.prob0(s, c, n);
+        if (p == 0) {
+          ++bad_probs;
+          continue;
+        }
+        if (!cfg.quantized) continue;
+        const std::uint32_t lps = p <= coding::kProbHalf ? p : 0x10000u - p;
+        if ((lps & (lps - 1)) != 0) {
+          ++bad_probs;  // shift-only hardware cannot represent this midpoint
+          continue;
+        }
+        unsigned shift = 0;
+        for (std::uint32_t v = lps; v < 0x10000u; v <<= 1) ++shift;
+        if (shift > cfg.max_shift) ++overshift;
+      }
+    }
+  }
+  if (bad_probs > 0)
+    emit(report, "MKV001",
+         describe(which, std::to_string(bad_probs) +
+                             " probability value(s) outside the encodable range"));
+  if (overshift > 0)
+    emit(report, "MKV004",
+         describe(which, std::to_string(overshift) + " quantized shift(s) exceed max_shift " +
+                             std::to_string(cfg.max_shift)));
+
+  // State-graph reachability from the start-of-block state (stream 0, zero
+  // context). Tree copies no bit history can select are dead table bytes an
+  // embedded image is paying ROM for. Every probability is nonzero, so an
+  // edge exists for every bit value; after consuming a stream of width w the
+  // next context is the trailing context_bits of the rolled bit history.
+  if (ctx_count > 1 && bad_probs == 0) {
+    std::vector<std::vector<bool>> reachable(streams, std::vector<bool>(ctx_count, false));
+    std::vector<std::pair<std::size_t, std::size_t>> work = {{0, 0}};
+    reachable[0][0] = true;
+    const std::size_t ctx_mask = ctx_count - 1;
+    while (!work.empty()) {
+      const auto [s, c] = work.back();
+      work.pop_back();
+      const std::size_t width = cfg.division.streams[s].size();
+      const bool wraps = s + 1 == streams;
+      const std::size_t next = wraps ? 0 : s + 1;
+      auto visit = [&](std::size_t ctx) {
+        if (!reachable[next][ctx]) {
+          reachable[next][ctx] = true;
+          work.emplace_back(next, ctx);
+        }
+      };
+      if (wraps && !cfg.connect_across_words) {
+        visit(0);  // context resets at the word boundary
+      } else if (width >= cfg.context_bits) {
+        for (std::size_t v = 0; v < ctx_count; ++v) visit(v);
+      } else {
+        for (std::size_t v = 0; v < (std::size_t{1} << width); ++v)
+          visit(((c << width) | v) & ctx_mask);
+      }
+    }
+    std::size_t dead = 0;
+    for (std::size_t s = 0; s < streams; ++s)
+      for (std::size_t c = 0; c < ctx_count; ++c)
+        if (!reachable[s][c]) ++dead;
+    if (dead > 0)
+      emit(report, "MKV005",
+           describe(which, std::to_string(dead) + " of " + std::to_string(streams * ctx_count) +
+                               " tree copies are unreachable from the block-start state"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SADC dictionaries.
+
+std::string symbol_key(const Symbol& s) {
+  std::string key(1, static_cast<char>(s.kind));
+  key += static_cast<char>(s.token & 0xFF);
+  key += static_cast<char>(s.token >> 8);
+  for (const std::uint16_t c : s.components) {
+    key += static_cast<char>(c & 0xFF);
+    key += static_cast<char>(c >> 8);
+  }
+  key.append(reinterpret_cast<const char*>(s.regs), s.reg_count);
+  key += static_cast<char>(s.imm16 & 0xFF);
+  key += static_cast<char>(s.imm16 >> 8);
+  return key;
+}
+
+void check_dictionary_common(const SymbolTable& table, const HuffmanCode& sym_code,
+                             bool payload_empty, std::size_t max_expansion, const char* unit,
+                             VerifyReport& report) {
+  if (table.size() == 0) {
+    if (!payload_empty)
+      emit(report, "DIC001", "dictionary is empty but the payload holds compressed blocks");
+    return;
+  }
+  std::set<std::string> seen;
+  std::size_t duplicates = 0;
+  std::size_t dead = 0;
+  for (std::size_t id = 0; id < table.size(); ++id) {
+    const Symbol& s = table.at(id);
+    if (!seen.insert(symbol_key(s)).second) ++duplicates;
+    if (id < sym_code.alphabet_size() && sym_code.length_of(id) == 0) ++dead;
+    const std::size_t expansion = table.expanded_length(static_cast<std::uint16_t>(id));
+    if (expansion > max_expansion)
+      emit(report, "DIC006",
+           "symbol " + std::to_string(id) + " expands to " + std::to_string(expansion) + " " +
+               unit + ", more than one block holds (" + std::to_string(max_expansion) + ")");
+  }
+  if (duplicates > 0)
+    emit(report, "DIC005",
+         std::to_string(duplicates) +
+             " duplicate dictionary entries (the builder emits each encoding once)");
+  if (dead > 0)
+    emit(report, "DIC007",
+         std::to_string(dead) + " dictionary symbol(s) have no Huffman code (dead entries)");
+}
+
+void check_dictionary_mips(const SymbolTable& table, VerifyReport& report) {
+  for (std::size_t id = 0; id < table.size(); ++id) {
+    const Symbol& s = table.at(id);
+    const bool has_token = s.kind == Symbol::Kind::kBase || s.kind == Symbol::Kind::kRegSpec ||
+                           s.kind == Symbol::Kind::kImmSpec;
+    if (!has_token) continue;
+    if (s.token >= mips::opcode_count()) {
+      emit(report, "DIC002",
+           "symbol " + std::to_string(id) + " names opcode token " + std::to_string(s.token) +
+               ", table has " + std::to_string(mips::opcode_count()));
+      continue;
+    }
+    const mips::OperandLengths lengths = mips::operand_lengths(s.token);
+    if (s.kind == Symbol::Kind::kRegSpec) {
+      if (s.reg_count != lengths.regs)
+        emit(report, "DIC003",
+             "symbol " + std::to_string(id) + " freezes " + std::to_string(s.reg_count) +
+                 " registers, its opcode takes " + std::to_string(lengths.regs));
+      for (unsigned r = 0; r < s.reg_count && r < 4; ++r)
+        if (s.regs[r] >= 32)
+          emit(report, "DIC003",
+               "symbol " + std::to_string(id) + " freezes register value " +
+                   std::to_string(s.regs[r]) + " (>= 32)");
+    }
+    if (s.kind == Symbol::Kind::kImmSpec && !lengths.imm16)
+      emit(report, "DIC004",
+           "symbol " + std::to_string(id) + " freezes an imm16 on an opcode without one");
+  }
+}
+
+void check_dictionary_x86(const SymbolTable& table, const std::vector<std::string>& strings,
+                          VerifyReport& report) {
+  for (std::size_t t = 0; t < strings.size(); ++t) {
+    if (strings[t].empty()) {
+      emit(report, "DIC008", "opcode string " + std::to_string(t) + " is empty");
+      continue;
+    }
+    try {
+      x86::classify_opcode(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(strings[t].data()), strings[t].size()));
+    } catch (const Error& e) {
+      emit(report, "DIC008",
+           "opcode string " + std::to_string(t) + " does not classify: " + e.what());
+    }
+  }
+  for (std::size_t id = 0; id < table.size(); ++id) {
+    const Symbol& s = table.at(id);
+    if (s.kind == Symbol::Kind::kBase && s.token >= strings.size())
+      emit(report, "DIC002",
+           "symbol " + std::to_string(id) + " names opcode string " + std::to_string(s.token) +
+               ", table has " + std::to_string(strings.size()));
+  }
+}
+
+// Mirrors the (file-static) reader in sadc_x86.cpp.
+std::vector<std::string> read_opcode_strings(ByteSource& src, VerifyReport& report) {
+  const std::uint64_t count = src.varint();
+  if (count > sadc::kMaxSymbols) {
+    emit(report, "DIC008",
+         "opcode-string table claims " + std::to_string(count) + " entries, limit is " +
+             std::to_string(sadc::kMaxSymbols));
+    throw CorruptDataError("too many opcode strings");
+  }
+  std::vector<std::string> strings;
+  strings.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t len = src.u8();
+    std::string s;
+    for (unsigned k = 0; k < len; ++k) s.push_back(static_cast<char>(src.u8()));
+    strings.push_back(std::move(s));
+  }
+  return strings;
+}
+
+}  // namespace
+
+namespace detail {
+
+void check_tables(const core::CompressedImage& image, VerifyReport& report) {
+  ByteSource src(image.tables());
+  const bool payload_empty = image.payload().empty();
+  const char* component = "codec tables";
+  try {
+    switch (image.codec()) {
+      case core::CodecKind::kSamc: {
+        component = "SAMC model";
+        const std::uint8_t engine = src.u8();
+        const MarkovModel model = MarkovModel::deserialize(src);
+        check_markov(model, component, image.block_size(), report);
+        if (engine != 0) {
+          // Nibble-parallel engine (Fig. 5): interval updates are shift-only
+          // and renormalization is nibble-granular, so the model must honour
+          // the hardware's constraints.
+          const coding::MarkovConfig& cfg = model.config();
+          if (!cfg.quantized || cfg.max_shift > 8)
+            emit(report, "MKV006",
+                 "nibble engine flag set but the model is not quantized to max_shift <= 8");
+          for (const auto& stream : cfg.division.streams)
+            if (stream.size() % 4 != 0) {
+              emit(report, "MKV006",
+                   "nibble engine flag set but a stream width is not a multiple of 4");
+              break;
+            }
+        }
+        break;
+      }
+      case core::CodecKind::kSamcX86Split: {
+        const char* names[3] = {"opcode model", "modrm model", "imm model"};
+        for (const char* name : names) {
+          component = name;
+          const MarkovModel model = MarkovModel::deserialize(src);
+          if (model.config().division.word_bits != 8)
+            emit(report, "MKV007",
+                 describe(name, "split-stream models must be byte-granular (word_bits == 8)"));
+          else
+            check_markov(model, name, image.block_size(), report);
+        }
+        break;
+      }
+      case core::CodecKind::kSadc: {
+        if (image.isa() == core::IsaKind::kMips) {
+          component = "SADC dictionary";
+          const SymbolTable table = SymbolTable::deserialize(src);
+          component = "symbol Huffman code";
+          const HuffmanCode sym_code = HuffmanCode::deserialize(src);
+          component = "register Huffman code";
+          const HuffmanCode reg_code = HuffmanCode::deserialize(src);
+          component = "immediate Huffman code";
+          const HuffmanCode imm_code = HuffmanCode::deserialize(src);
+          check_huffman(sym_code, table.size(), "symbol Huffman code", report);
+          check_huffman(reg_code, 32, "register Huffman code", report);
+          check_huffman(imm_code, 256, "immediate Huffman code", report);
+          check_dictionary_common(table, sym_code, payload_empty,
+                                  image.block_size() / 4, "instructions", report);
+          check_dictionary_mips(table, report);
+        } else if (image.isa() == core::IsaKind::kX86) {
+          component = "SADC dictionary";
+          const SymbolTable table = SymbolTable::deserialize(src);
+          component = "opcode-string table";
+          const std::vector<std::string> strings = read_opcode_strings(src, report);
+          component = "symbol Huffman code";
+          const HuffmanCode sym_code = HuffmanCode::deserialize(src);
+          component = "modrm Huffman code";
+          const HuffmanCode modrm_code = HuffmanCode::deserialize(src);
+          component = "immediate Huffman code";
+          const HuffmanCode imm_code = HuffmanCode::deserialize(src);
+          check_huffman(sym_code, table.size(), "symbol Huffman code", report);
+          check_huffman(modrm_code, 256, "modrm Huffman code", report);
+          check_huffman(imm_code, 256, "immediate Huffman code", report);
+          // An x86 block's instruction count travels in an 8-bit prefix, so
+          // no symbol may expand past 255 instructions.
+          check_dictionary_common(table, sym_code, payload_empty, 255, "instructions", report);
+          check_dictionary_x86(table, strings, report);
+        } else {
+          emit(report, "TBL001", "SADC image with an ISA the dictionary codec does not support");
+          return;
+        }
+        break;
+      }
+      case core::CodecKind::kByteHuffman: {
+        component = "byte Huffman code";
+        const HuffmanCode code = HuffmanCode::deserialize(src);
+        check_huffman(code, 256, "byte Huffman code", report);
+        break;
+      }
+    }
+  } catch (const Error& e) {
+    emit(report, "TBL001", describe(component, e.what()));
+    return;
+  }
+  if (!src.at_end())
+    emit(report, "TBL002",
+         std::to_string(src.remaining()) + " trailing byte(s) after the codec tables");
+}
+
+}  // namespace detail
+}  // namespace ccomp::verify

@@ -1,0 +1,106 @@
+// Static image verifier (decodability linter).
+//
+// Audits a serialized compressed image and its side tables *without running
+// the decoder*: the random-access guarantee of the Wolfe/Chanin organisation
+// rests on structural invariants (a monotone LAT that covers the payload,
+// sound Huffman/Markov/dictionary tables, branch targets that land on mapped
+// blocks) which are proved here as static properties, so a loader can reject
+// a bad image before the refill engine ever touches it.
+//
+// Three layers of checks:
+//   1. Container (SER/IMG/LAT): an independent re-parse of the serialized
+//      byte stream — framing, integrity checksum, header cross-checks, LAT
+//      monotonicity/coverage — with findings tied to the corrupted region.
+//   2. Tables (TBL/HUF/DIC/MKV): codec-specific side-table soundness —
+//      canonical-Huffman Kraft discipline, SADC dictionary well-formedness,
+//      Markov model validity and state-graph reachability.
+//   3. Control flow (CFG): with the original program supplied, disassemble
+//      it, build the branch/jump target set, and verify every target lands
+//      on a block the LAT maps (x86: that the stream splitter's length
+//      decode re-synchronizes at each block start).
+//
+// Every finding carries a stable check ID from check_catalogue() and a
+// severity; `error` means the image is not guaranteed decodable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/image.h"
+
+namespace ccomp::verify {
+
+enum class Severity : std::uint8_t { kInfo = 0, kWarn = 1, kError = 2 };
+
+std::string_view severity_name(Severity severity);
+
+/// One verifier observation: a stable check ID, a severity, and a message
+/// describing the specific violation (region, value, expectation).
+struct Finding {
+  std::string check;
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+class VerifyReport {
+ public:
+  void add(std::string_view check, Severity severity, std::string message);
+  void merge(const VerifyReport& other);
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  std::size_t count(Severity severity) const;
+  std::size_t error_count() const { return count(Severity::kError); }
+  /// True when no error-severity finding was recorded (warn/info allowed).
+  bool ok() const { return error_count() == 0; }
+  bool has(std::string_view check) const;
+
+  /// Multi-line human-readable listing, one finding per line.
+  std::string to_string() const;
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+/// Catalogue entry: the invariant each check ID proves.
+struct CheckInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;
+};
+
+/// Every check ID the verifier can emit, with its severity and the invariant
+/// it enforces. Stable across releases; IDs are never reused.
+std::span<const CheckInfo> check_catalogue();
+
+struct VerifyOptions {
+  /// The original (uncompressed) program. When non-empty, ISA-level
+  /// control-flow checks (CFG*) run against it; when empty they are skipped.
+  std::span<const std::uint8_t> original_code;
+  /// Master switch for the CFG layer (table/structure checks always run).
+  bool control_flow = true;
+  /// Load address of the MIPS text segment, used to resolve absolute
+  /// 26-bit jump targets back to program offsets.
+  std::uint64_t mips_text_base = 0x00400000;
+};
+
+/// Audit an already-deserialized image: structure, tables, control flow.
+VerifyReport verify_image(const core::CompressedImage& image, const VerifyOptions& opts = {});
+
+/// Audit a serialized container from its raw bytes. Re-parses the framing
+/// independently (so findings name the corrupted region even when
+/// CompressedImage::deserialize would reject the container outright),
+/// verifies the integrity trailer, then runs the deep verify_image checks
+/// best-effort on whatever still parses.
+VerifyReport verify_serialized(std::span<const std::uint8_t> bytes, const VerifyOptions& opts = {});
+
+namespace detail {
+void check_structure(const core::CompressedImage& image, VerifyReport& report);
+void check_tables(const core::CompressedImage& image, VerifyReport& report);
+void check_control_flow(const core::CompressedImage& image, const VerifyOptions& opts,
+                        VerifyReport& report);
+}  // namespace detail
+
+}  // namespace ccomp::verify

@@ -8,6 +8,7 @@
 #include "sadc/sadc.h"
 #include "samc/samc.h"
 #include "support/rng.h"
+#include "verify/verify.h"
 #include "workload/mips_gen.h"
 #include "workload/profile.h"
 #include "workload/x86_gen.h"
@@ -24,15 +25,24 @@ std::vector<std::uint8_t> serialized_image(const core::BlockCodec& codec,
 }
 
 // Deserialize + fully decompress; any ccomp::Error is acceptable, crashes
-// and non-ccomp exceptions are not.
+// and non-ccomp exceptions are not. And the loader contract: if decoding
+// throws, the static verifier must already have flagged the container —
+// a boot loader running ccomp_lint first never hands the refill engine an
+// image that makes it crash.
 void try_load(const core::BlockCodec& codec, std::span<const std::uint8_t> bytes) {
+  bool threw = false;
   try {
     ByteSource src(bytes);
     const auto image = core::CompressedImage::deserialize(src);
     const auto decompressor = codec.make_decompressor(image);
     for (std::size_t b = 0; b < image.block_count(); ++b) (void)decompressor->block(b);
   } catch (const Error&) {
-    // Expected for most corruptions.
+    threw = true;  // Expected for most corruptions.
+  }
+  if (threw) {
+    const verify::VerifyReport report = verify::verify_serialized(bytes);
+    EXPECT_GE(report.error_count(), 1u)
+        << "decoder rejected a container the static verifier passed";
   }
 }
 

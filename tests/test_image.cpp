@@ -108,6 +108,23 @@ TEST(Image, SerializeRoundTripVariable) {
   EXPECT_EQ(restored.block_original_size(2), 37u);
 }
 
+TEST(Image, ChecksumTrailerRejectsFlippedBit) {
+  const auto image = make_uniform_image();
+  ByteSink sink;
+  image.serialize(sink);
+  auto bytes = sink.take();
+  // Flip a payload bit: every field still parses, only the CRC catches it.
+  bytes[bytes.size() - 10] ^= 0x04;
+  {
+    ByteSource src(bytes);
+    EXPECT_THROW(CompressedImage::deserialize(src), ChecksumError);
+  }
+  // A loader that has already checked integrity elsewhere can opt out.
+  ByteSource src(bytes);
+  const auto restored = CompressedImage::deserialize(src, /*verify_checksum=*/false);
+  EXPECT_EQ(restored.block_count(), image.block_count());
+}
+
 TEST(Image, DeserializeRejectsGarbage) {
   const std::vector<std::uint8_t> garbage = {1, 2, 3, 4, 5, 6, 7, 8};
   ByteSource src(garbage);
