@@ -1,0 +1,87 @@
+// Table T-FAULT: run-time cost of the self-healing refill path. The fault
+// tolerance ISSUE adds to the Wolfe/Chanin memory system is not free — every
+// refill pays a CRC gate, and ECC verification/ correction costs more — so
+// this table measures refill latency clean vs faulted, with the ECC rung on
+// and off, plus scrubber throughput and the storage cost of the check bytes.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "isa/mips/mips.h"
+#include "memsys/selfheal.h"
+#include "samc/samc.h"
+#include "support/faultinject.h"
+#include "workload/mips_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace ccomp;
+  const double scale = bench::parse_scale(argc, argv, 0.5);
+  std::printf("Table T-FAULT: cost of the self-healing refill ladder (scale=%.2f)\n\n",
+              scale);
+
+  const workload::Profile p = bench::scaled_profile(*workload::find_profile("go"), scale);
+  const auto code = mips::words_to_bytes(workload::generate_mips(p));
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const auto image = codec.compress(code);
+  const std::size_t blocks = image.block_count();
+
+  auto make_system = [&](bool use_ecc) {
+    memsys::SelfHealingMemorySystem::Options options;
+    options.cache.line_bytes = image.block_size();
+    options.cache.size_bytes = image.block_size() * 256;
+    options.use_ecc = use_ecc;
+    return memsys::SelfHealingMemorySystem(options, codec, image);
+  };
+
+  {
+    auto with = make_system(true);
+    const auto sizes = with.store().sizes();
+    std::printf("benchmark go: %zu KB text, %zu blocks of %u B, ECC adds %zu B (+%.2f%%)\n\n",
+                code.size() / 1024, blocks, image.block_size(), sizes.ecc,
+                100.0 * static_cast<double>(sizes.ecc) /
+                    static_cast<double>(sizes.payload));
+  }
+
+  std::printf("%-28s %14s %14s\n", "refill path", "ecc on", "ecc off");
+  const std::size_t rounds = 40;
+  for (const bool faulted : {false, true}) {
+    double ns[2] = {0, 0};
+    for (const bool use_ecc : {true, false}) {
+      auto sys = make_system(use_ecc);
+      fault::FaultInjector injector(42);
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t r = 0; r < rounds; ++r) {
+        for (std::size_t b = 0; b < blocks; ++b) {
+          if (faulted) injector.flip_one(sys.store_payload());
+          (void)sys.read_block(b);
+        }
+        if (faulted) sys.repair_all();
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      ns[use_ecc ? 0 : 1] = std::chrono::duration<double, std::nano>(stop - start).count() /
+                            static_cast<double>(rounds * blocks);
+    }
+    std::printf("%-28s %12.0fns %12.0fns\n",
+                faulted ? "faulted (1 flip per round)" : "clean", ns[0], ns[1]);
+  }
+
+  // Scrubber: SECDED sweep throughput over a clean store (the steady-state
+  // background cost) and over a store taking constant single-bit damage.
+  std::printf("\n%-28s %14s\n", "scrubber", "blocks/ms");
+  for (const bool faulted : {false, true}) {
+    auto sys = make_system(true);
+    fault::FaultInjector injector(43);
+    const std::size_t sweeps = 200;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t s = 0; s < sweeps; ++s) {
+      if (faulted) injector.flip_one(sys.store_payload());
+      (void)sys.scrub(blocks);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(stop - start).count();
+    std::printf("%-28s %14.0f\n", faulted ? "under fault load" : "clean store",
+                static_cast<double>(sweeps * blocks) / ms);
+  }
+
+  return 0;
+}

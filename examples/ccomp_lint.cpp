@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -54,6 +55,22 @@ void print_report(const std::string& label, const verify::VerifyReport& report) 
   std::fputs(report.to_string().c_str(), stdout);
 }
 
+/// Aggregate finding counts by check id and print one summary line — emitted
+/// even when everything is clean, so CI logs always show what ran.
+void print_check_summary(const std::map<std::string, std::size_t>& by_check) {
+  std::printf("checks: %zu in catalogue,", verify::check_catalogue().size());
+  if (by_check.empty()) {
+    std::printf(" none triggered\n");
+    return;
+  }
+  for (const auto& [check, count] : by_check) std::printf(" %s x%zu", check.c_str(), count);
+  std::printf("\n");
+}
+
+void tally(const verify::VerifyReport& report, std::map<std::string, std::size_t>& by_check) {
+  for (const verify::Finding& f : report.findings()) ++by_check[f.check];
+}
+
 int cmd_checks() {
   std::printf("%-8s %-6s %s\n", "check", "level", "invariant");
   for (const verify::CheckInfo& info : verify::check_catalogue())
@@ -72,6 +89,9 @@ int cmd_lint_file(const char* image_path, const char* code_path) {
   }
   const verify::VerifyReport report = verify::verify_serialized(bytes, opts);
   print_report(image_path, report);
+  std::map<std::string, std::size_t> by_check;
+  tally(report, by_check);
+  print_check_summary(by_check);
   return report.ok() ? 0 : 1;
 }
 
@@ -84,6 +104,7 @@ std::vector<std::uint8_t> serialized(const core::CompressedImage& image) {
 int cmd_suite(std::uint32_t kb) {
   std::size_t errors = 0;
   std::size_t images = 0;
+  std::map<std::string, std::size_t> by_check;
   for (const workload::Profile& base : workload::spec95_profiles()) {
     workload::Profile profile = base;
     if (kb != 0) profile.code_kb = kb;
@@ -107,20 +128,29 @@ int cmd_suite(std::uint32_t kb) {
     jobs.push_back({"SAMC-split/x86", std::make_unique<samc::SamcX86SplitCodec>(), &x86_code});
 
     for (const Job& job : jobs) {
-      const core::CompressedImage image = job.codec->compress(*job.code);
-      verify::VerifyOptions opts;
-      opts.original_code = *job.code;
-      const verify::VerifyReport report = verify::verify_serialized(serialized(image), opts);
       ++images;
       const std::string label = std::string(profile.name) + " " + job.label;
-      if (!report.ok()) ++errors;
-      if (report.findings().empty()) {
-        std::printf("%-28s clean\n", label.c_str());
-      } else {
-        print_report(label, report);
+      // One job blowing up (a codec bug, a verifier crash) must not silence
+      // the rest of the suite — count it as a failed image and continue.
+      try {
+        const core::CompressedImage image = job.codec->compress(*job.code);
+        verify::VerifyOptions opts;
+        opts.original_code = *job.code;
+        const verify::VerifyReport report = verify::verify_serialized(serialized(image), opts);
+        tally(report, by_check);
+        if (!report.ok()) ++errors;
+        if (report.findings().empty()) {
+          std::printf("%-28s clean\n", label.c_str());
+        } else {
+          print_report(label, report);
+        }
+      } catch (const ccomp::Error& e) {
+        ++errors;
+        std::printf("%-28s exception: %s\n", label.c_str(), e.what());
       }
     }
   }
+  print_check_summary(by_check);
   std::printf("suite: %zu image(s), %zu with errors\n", images, errors);
   return errors == 0 ? 0 : 1;
 }

@@ -1,0 +1,431 @@
+// fault_campaign — Monte-Carlo runtime fault injection over the self-healing
+// compressed memory system.
+//
+// For each codec (SAMC/mips, SADC/mips, byte-Huffman) the campaign builds a
+// SelfHealingMemorySystem over a synthetic benchmark, then injects seeded
+// faults — one per trial, surface drawn from {store payload, ECC bytes, LAT,
+// CLB, bus} — and drives the recovery ladder. Every trial re-reads the
+// affected block(s) and compares against the pristine program: recovered
+// bytes that differ without a thrown error are *silent corruption*, the one
+// outcome a compressed store must never produce, and fail the whole campaign.
+//
+//   fault_campaign [--trials=N] [--seed=S] [--kb=N] [--model=single|multi|
+//                  stuck0|stuck1|burst|all] [--no-ecc] [--json=path]
+//   fault_campaign --bench-overhead [--kb=N]
+//
+// Exit status: 0 = survivable (zero silent corruptions), 1 = silent
+// corruption observed, 2 = usage error.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baseline/bytehuff.h"
+#include "isa/mips/mips.h"
+#include "memsys/selfheal.h"
+#include "sadc/sadc.h"
+#include "samc/samc.h"
+#include "support/ecc.h"
+#include "support/error.h"
+#include "support/faultinject.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+
+namespace {
+
+using namespace ccomp;
+
+struct Outcomes {
+  std::uint64_t trials = 0;
+  std::uint64_t masked = 0;         // no observable effect (dead bits, padding)
+  std::uint64_t corrected = 0;      // healed in place by SECDED (refill or scrub)
+  std::uint64_t bus_recovered = 0;  // transient noise cleared by the bus retry
+  std::uint64_t refetched = 0;      // healed from the golden backing copy
+  std::uint64_t clb_repaired = 0;   // caught by CLB parity / LAT cross-check
+  std::uint64_t escalated = 0;      // ladder exhausted; typed error thrown
+  std::uint64_t silent = 0;         // wrong bytes, no error — MUST stay zero
+
+  void accumulate(const Outcomes& other) {
+    trials += other.trials;
+    masked += other.masked;
+    corrected += other.corrected;
+    bus_recovered += other.bus_recovered;
+    refetched += other.refetched;
+    clb_repaired += other.clb_repaired;
+    escalated += other.escalated;
+    silent += other.silent;
+  }
+};
+
+constexpr const char* kSurfaceNames[] = {"payload", "lat", "ecc", "clb", "bus"};
+constexpr std::size_t kSurfaces = 5;
+
+struct CodecResult {
+  std::string name;
+  std::size_t blocks = 0;
+  Outcomes by_surface[kSurfaces];
+  Outcomes totals;
+  memsys::RecoveryStats stats;
+};
+
+struct CampaignConfig {
+  std::uint64_t trials = 3400;  // per codec; 3 codecs ≈ 10k faults
+  std::uint64_t seed = 20260805;
+  std::uint32_t kb = 8;
+  bool use_ecc = true;
+  std::vector<fault::Model> models = {fault::Model::kSingleBit};
+};
+
+/// Map a payload byte offset to its block (golden offsets; the campaign
+/// indexes faults with pristine geometry even when the stored LAT is the
+/// thing it just corrupted).
+std::size_t block_of_payload_offset(const core::CompressedImage& image, std::size_t offset) {
+  std::size_t lo = 0, hi = image.block_count();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (image.block_offset(mid) <= offset)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+Outcomes run_trial(memsys::SelfHealingMemorySystem& sys, const core::CompressedImage& image,
+                   const std::vector<std::vector<std::uint8_t>>& golden_blocks,
+                   const std::vector<std::size_t>& ecc_starts, fault::FaultInjector& injector,
+                   std::size_t surface, const fault::FaultSpec& spec) {
+  Outcomes out;
+  out.trials = 1;
+  const std::size_t blocks = image.block_count();
+  std::vector<std::size_t> affected;
+
+  switch (surface) {
+    case 0: {  // store payload
+      const auto events = injector.inject(sys.store_payload(), spec);
+      for (const fault::FaultEvent& e : events) {
+        const std::size_t b = block_of_payload_offset(image, e.byte_offset);
+        if (std::find(affected.begin(), affected.end(), b) == affected.end())
+          affected.push_back(b);
+      }
+      break;
+    }
+    case 1: {  // LAT words
+      const auto events = injector.inject(sys.store_lat_bytes(), spec);
+      for (const fault::FaultEvent& e : events) {
+        const std::size_t word = e.byte_offset / sizeof(std::uint32_t);
+        // LAT word w bounds blocks w-1 and w.
+        for (const std::size_t b : {word == 0 ? std::size_t{0} : word - 1, word})
+          if (b < blocks && std::find(affected.begin(), affected.end(), b) == affected.end())
+            affected.push_back(b);
+      }
+      break;
+    }
+    case 2: {  // ECC section
+      const auto events = injector.inject(sys.store_ecc(), spec);
+      for (const fault::FaultEvent& e : events) {
+        const auto it = std::upper_bound(ecc_starts.begin(), ecc_starts.end(), e.byte_offset);
+        const std::size_t b = static_cast<std::size_t>(it - ecc_starts.begin()) - 1;
+        if (b < blocks && std::find(affected.begin(), affected.end(), b) == affected.end())
+          affected.push_back(b);
+      }
+      break;
+    }
+    case 3: {  // CLB entry bytes — populate an entry first, then attack it
+      const std::size_t b = injector.rng().next_below(blocks);
+      (void)sys.read_block(b);
+      injector.inject(sys.clb_bytes(), spec);
+      affected.push_back(b);
+      break;
+    }
+    case 4: {  // transient bus noise over the next transfer of block b
+      const std::size_t b = injector.rng().next_below(blocks);
+      const std::size_t len = image.block_payload(b).size();
+      if (len > 0) injector.inject(sys.bus_buffer().subspan(0, len), spec);
+      affected.push_back(b);
+      break;
+    }
+    default:
+      break;
+  }
+
+  const memsys::RecoveryStats before = sys.stats();
+  bool threw = false;
+  bool wrong = false;
+  for (const std::size_t b : affected) {
+    try {
+      if (sys.read_block(b) != golden_blocks[b]) wrong = true;
+    } catch (const FaultEscalationError&) {
+      threw = true;
+    }
+  }
+  // Latent-fault sweep: the background scrubber finds store/ECC damage the
+  // reads above masked (e.g. a flip in coder padding bits).
+  sys.scrub(blocks);
+  const memsys::RecoveryStats& after = sys.stats();
+
+  if (wrong) {
+    ++out.silent;
+  } else if (threw) {
+    ++out.escalated;
+  } else if (after.ecc_corrected > before.ecc_corrected ||
+             after.scrub_corrected > before.scrub_corrected) {
+    ++out.corrected;
+  } else if (after.bus_recovered > before.bus_recovered) {
+    ++out.bus_recovered;
+  } else if (after.refetched > before.refetched || after.scrub_refetched > before.scrub_refetched) {
+    ++out.refetched;
+  } else if (after.clb_repaired > before.clb_repaired) {
+    ++out.clb_repaired;
+  } else {
+    ++out.masked;
+  }
+
+  sys.repair_all();
+  return out;
+}
+
+CodecResult run_codec(const char* label, const core::BlockCodec& codec,
+                      std::span<const std::uint8_t> code, const CampaignConfig& config) {
+  CodecResult result;
+  result.name = label;
+
+  const core::CompressedImage image = codec.compress(code);
+  result.blocks = image.block_count();
+
+  memsys::SelfHealingMemorySystem::Options options;
+  options.cache.line_bytes = image.block_size();
+  options.cache.size_bytes = image.block_size() * 256;  // 128 sets x 2 ways
+  options.use_ecc = config.use_ecc;
+  memsys::SelfHealingMemorySystem sys(options, codec, image);
+
+  std::vector<std::vector<std::uint8_t>> golden_blocks(image.block_count());
+  const auto dec = codec.make_decompressor(image);
+  for (std::size_t b = 0; b < golden_blocks.size(); ++b) golden_blocks[b] = dec->block(b);
+
+  std::vector<std::size_t> ecc_starts(image.block_count(), 0);
+  for (std::size_t b = 0, at = 0; b < image.block_count(); ++b) {
+    ecc_starts[b] = at;
+    at += ecc::ecc_bytes_for(image.block_payload(b).size());
+  }
+
+  fault::FaultInjector injector(config.seed ^ std::hash<std::string>{}(result.name));
+  // Surface mix: the store dominates a real die's area, so it dominates the
+  // draw; the ECC surface only exists when check bytes are attached.
+  const double weights[kSurfaces] = {0.55, 0.15, config.use_ecc ? 0.10 : 0.0, 0.10, 0.10};
+  for (std::uint64_t t = 0; t < config.trials; ++t) {
+    const std::size_t surface = injector.rng().pick_weighted(weights);
+    fault::FaultSpec spec;
+    spec.model = config.models[t % config.models.size()];
+    const Outcomes trial =
+        run_trial(sys, image, golden_blocks, ecc_starts, injector, surface, spec);
+    result.by_surface[surface].accumulate(trial);
+    result.totals.accumulate(trial);
+  }
+  result.stats = sys.stats();
+  return result;
+}
+
+void print_outcomes(const char* label, const Outcomes& o) {
+  std::printf(
+      "  %-8s trials=%-6llu masked=%-5llu corrected=%-5llu bus=%-4llu refetched=%-5llu "
+      "clb=%-4llu escalated=%-3llu silent=%llu\n",
+      label, static_cast<unsigned long long>(o.trials), static_cast<unsigned long long>(o.masked),
+      static_cast<unsigned long long>(o.corrected),
+      static_cast<unsigned long long>(o.bus_recovered),
+      static_cast<unsigned long long>(o.refetched),
+      static_cast<unsigned long long>(o.clb_repaired),
+      static_cast<unsigned long long>(o.escalated), static_cast<unsigned long long>(o.silent));
+}
+
+void append_json_outcomes(std::string& json, const Outcomes& o) {
+  json += "{\"trials\":" + std::to_string(o.trials) + ",\"masked\":" + std::to_string(o.masked) +
+          ",\"corrected\":" + std::to_string(o.corrected) +
+          ",\"bus_recovered\":" + std::to_string(o.bus_recovered) +
+          ",\"refetched\":" + std::to_string(o.refetched) +
+          ",\"clb_repaired\":" + std::to_string(o.clb_repaired) +
+          ",\"escalated\":" + std::to_string(o.escalated) +
+          ",\"silent\":" + std::to_string(o.silent) + "}";
+}
+
+int cmd_campaign(const CampaignConfig& config, const char* json_path) {
+  const workload::Profile profile = [&] {
+    workload::Profile p = *workload::find_profile("go");
+    p.code_kb = config.kb;
+    return p;
+  }();
+  const std::vector<std::uint8_t> code = mips::words_to_bytes(workload::generate_mips(profile));
+
+  struct Job {
+    const char* label;
+    std::unique_ptr<core::BlockCodec> codec;
+  };
+  std::vector<Job> jobs;
+  jobs.push_back({"SAMC/mips", std::make_unique<samc::SamcCodec>(samc::mips_defaults())});
+  jobs.push_back({"SADC/mips", std::make_unique<sadc::SadcMipsCodec>()});
+  jobs.push_back({"Huffman", std::make_unique<baseline::ByteHuffmanCodec>()});
+
+  std::printf("fault campaign: %llu trial(s)/codec, seed=%llu, %ukB benchmark, ECC %s\n",
+              static_cast<unsigned long long>(config.trials),
+              static_cast<unsigned long long>(config.seed), config.kb,
+              config.use_ecc ? "on" : "off");
+
+  std::vector<CodecResult> results;
+  Outcomes grand;
+  for (const Job& job : jobs) {
+    results.push_back(run_codec(job.label, *job.codec, code, config));
+    const CodecResult& r = results.back();
+    std::printf("%s (%zu blocks):\n", r.name.c_str(), r.blocks);
+    for (std::size_t s = 0; s < kSurfaces; ++s)
+      if (r.by_surface[s].trials > 0) print_outcomes(kSurfaceNames[s], r.by_surface[s]);
+    print_outcomes("total", r.totals);
+    grand.accumulate(r.totals);
+  }
+
+  const std::uint64_t detected = grand.trials - grand.masked - grand.silent;
+  std::printf("campaign: %llu fault(s), %llu observable, %llu silent corruption(s)\n",
+              static_cast<unsigned long long>(grand.trials),
+              static_cast<unsigned long long>(detected),
+              static_cast<unsigned long long>(grand.silent));
+
+  if (json_path != nullptr) {
+    std::string json = "{\"seed\":" + std::to_string(config.seed) +
+                       ",\"trials_per_codec\":" + std::to_string(config.trials) +
+                       ",\"ecc\":" + (config.use_ecc ? std::string("true") : std::string("false")) +
+                       ",\"codecs\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const CodecResult& r = results[i];
+      if (i > 0) json += ",";
+      json += "{\"name\":\"" + r.name + "\",\"blocks\":" + std::to_string(r.blocks) +
+              ",\"surfaces\":{";
+      bool first = true;
+      for (std::size_t s = 0; s < kSurfaces; ++s) {
+        if (r.by_surface[s].trials == 0) continue;
+        if (!first) json += ",";
+        first = false;
+        json += std::string("\"") + kSurfaceNames[s] + "\":";
+        append_json_outcomes(json, r.by_surface[s]);
+      }
+      json += "},\"totals\":";
+      append_json_outcomes(json, r.totals);
+      json += "}";
+    }
+    json += "],\"silent_corruption\":" + std::to_string(grand.silent) +
+            ",\"survived\":" + (grand.silent == 0 ? std::string("true") : std::string("false")) +
+            "}\n";
+    std::ofstream out(json_path, std::ios::binary);
+    out << json;
+    std::printf("report written to %s\n", json_path);
+  }
+  return grand.silent == 0 ? 0 : 1;
+}
+
+/// --bench-overhead: refill latency with the ladder engaged, ECC on vs off.
+int cmd_bench_overhead(std::uint32_t kb) {
+  workload::Profile profile = *workload::find_profile("go");
+  profile.code_kb = kb;
+  const std::vector<std::uint8_t> code = mips::words_to_bytes(workload::generate_mips(profile));
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const core::CompressedImage image = codec.compress(code);
+
+  std::printf("refill latency, SAMC/mips, %ukB benchmark, %zu blocks\n", kb,
+              image.block_count());
+  std::printf("%-22s %12s %12s\n", "path", "ecc on", "ecc off");
+  for (const bool faulted : {false, true}) {
+    double ns[2] = {0, 0};
+    for (const bool use_ecc : {true, false}) {
+      memsys::SelfHealingMemorySystem::Options options;
+      options.cache.line_bytes = image.block_size();
+      options.cache.size_bytes = image.block_size() * 256;
+      options.use_ecc = use_ecc;
+      memsys::SelfHealingMemorySystem sys(options, codec, image);
+      fault::FaultInjector injector(42);
+      const std::size_t blocks = image.block_count();
+      const std::size_t rounds = 20;
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t r = 0; r < rounds; ++r) {
+        for (std::size_t b = 0; b < blocks; ++b) {
+          if (faulted) injector.flip_one(sys.store_payload());
+          (void)sys.read_block(b);
+        }
+        sys.repair_all();
+      }
+      const auto stop = std::chrono::steady_clock::now();
+      ns[use_ecc ? 0 : 1] =
+          std::chrono::duration<double, std::nano>(stop - start).count() /
+          static_cast<double>(rounds * blocks);
+    }
+    std::printf("%-22s %10.0fns %10.0fns\n", faulted ? "faulted (1 flip/refill)" : "clean",
+                ns[0], ns[1]);
+  }
+  std::printf("\nECC storage overhead: 1 check byte per 8 payload bytes (+%.1f%%)\n",
+              100.0 / 8.0);
+  return 0;
+}
+
+void print_help(const char* prog) {
+  std::printf(
+      "usage: %s [--trials=N] [--seed=S] [--kb=N] [--model=single|multi|stuck0|stuck1|burst|all]\n"
+      "       %*s [--no-ecc] [--json=path]\n"
+      "       %s --bench-overhead [--kb=N]\n",
+      prog, static_cast<int>(std::strlen(prog)), "", prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CampaignConfig config;
+  config.seed = 20260805;
+  const char* json_path = nullptr;
+  bool bench = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trials=", 9) == 0) {
+      config.trials = static_cast<std::uint64_t>(std::atoll(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      config.seed = static_cast<std::uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--kb=", 5) == 0) {
+      config.kb = static_cast<std::uint32_t>(std::atoi(argv[i] + 5));
+    } else if (std::strncmp(argv[i], "--model=", 8) == 0) {
+      const std::string_view name = argv[i] + 8;
+      config.models.clear();
+      if (name == "all") {
+        config.models = {fault::Model::kSingleBit, fault::Model::kMultiBit,
+                         fault::Model::kStuckAt0, fault::Model::kStuckAt1, fault::Model::kBurst};
+      } else {
+        fault::Model model;
+        if (!fault::parse_model(name, model)) {
+          std::fprintf(stderr, "unknown fault model %s\n", argv[i] + 8);
+          return 2;
+        }
+        config.models.push_back(model);
+      }
+    } else if (std::strcmp(argv[i], "--no-ecc") == 0) {
+      config.use_ecc = false;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--bench-overhead") == 0) {
+      bench = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      print_help(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  try {
+    if (bench) return cmd_bench_overhead(config.kb);
+    return cmd_campaign(config, json_path);
+  } catch (const ccomp::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

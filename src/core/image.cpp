@@ -1,9 +1,20 @@
 #include "core/image.h"
 
 #include "support/crc32.h"
+#include "support/ecc.h"
 #include "support/error.h"
 
 namespace ccomp::core {
+
+namespace {
+
+// Header flags byte (format v2; was the 0/1 "variable blocks" byte in v1,
+// so bit 0 keeps the v1 meaning and v1 images parse unchanged).
+constexpr std::uint8_t kFlagVariableBlocks = 0x01;
+constexpr std::uint8_t kFlagHasEcc = 0x02;
+constexpr std::uint8_t kKnownFlags = kFlagVariableBlocks | kFlagHasEcc;
+
+}  // namespace
 
 CompressedImage::CompressedImage(CodecKind codec, IsaKind isa, std::uint32_t block_size,
                                  std::uint64_t original_size, std::vector<std::uint8_t> tables,
@@ -55,6 +66,11 @@ std::span<const std::uint8_t> CompressedImage::block_payload(std::size_t index) 
   if (index + 1 >= block_offsets_.size()) throw ConfigError("block index out of range");
   const std::uint32_t begin = block_offsets_[index];
   const std::uint32_t end = block_offsets_[index + 1];
+  // The constructor proves these invariants, but a runtime fault in the
+  // stored LAT (mutable_lat_bytes) can break them afterwards — re-check so a
+  // damaged offset is a typed error, never an out-of-bounds span.
+  if (begin > end || end > payload_.size())
+    throw CorruptDataError("LAT offset points outside the payload");
   return std::span<const std::uint8_t>(payload_).subspan(begin, end - begin);
 }
 
@@ -71,6 +87,50 @@ std::uint64_t CompressedImage::block_original_offset(std::size_t index) const {
   if (index >= block_offsets_.size()) throw ConfigError("block index out of range");
   if (!block_original_offsets_.empty()) return block_original_offsets_[index];
   return static_cast<std::uint64_t>(index) * block_size_;
+}
+
+void CompressedImage::attach_ecc() {
+  const std::size_t blocks = block_count();
+  ecc_offsets_.assign(1, 0);
+  ecc_offsets_.reserve(blocks + 1);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < blocks; ++i) {
+    total += ecc::ecc_bytes_for(block_offsets_[i + 1] - block_offsets_[i]);
+    ecc_offsets_.push_back(static_cast<std::uint32_t>(total));
+  }
+  ecc_.assign(total, 0);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    ecc::encode_block(block_payload(i),
+                      std::span<std::uint8_t>(ecc_).subspan(
+                          ecc_offsets_[i], ecc_offsets_[i + 1] - ecc_offsets_[i]));
+  }
+}
+
+void CompressedImage::attach_ecc(std::vector<std::uint8_t> ecc) {
+  const std::size_t blocks = block_count();
+  std::vector<std::uint32_t> offsets(1, 0);
+  offsets.reserve(blocks + 1);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < blocks; ++i) {
+    total += ecc::ecc_bytes_for(block_offsets_[i + 1] - block_offsets_[i]);
+    offsets.push_back(static_cast<std::uint32_t>(total));
+  }
+  if (ecc.size() != total)
+    throw CorruptDataError("ECC section size inconsistent with block payload sizes");
+  ecc_ = std::move(ecc);
+  ecc_offsets_ = std::move(offsets);
+}
+
+void CompressedImage::drop_ecc() {
+  ecc_.clear();
+  ecc_offsets_.clear();
+}
+
+std::span<const std::uint8_t> CompressedImage::block_ecc(std::size_t index) const {
+  if (!has_ecc()) throw ConfigError("image has no ECC section");
+  if (index + 1 >= ecc_offsets_.size()) throw ConfigError("block index out of range");
+  return std::span<const std::uint8_t>(ecc_).subspan(
+      ecc_offsets_[index], ecc_offsets_[index + 1] - ecc_offsets_[index]);
 }
 
 std::size_t CompressedImage::lat_bytes() const {
@@ -98,6 +158,7 @@ SizeBreakdown CompressedImage::sizes() const {
   s.payload = payload_.size();
   s.tables = tables_.size();
   s.lat = lat_bytes();
+  s.ecc = ecc_.size();
   return s;
 }
 
@@ -106,7 +167,10 @@ void CompressedImage::serialize(ByteSink& sink) const {
   sink.u32(0x43434D50u);  // 'CCMP'
   sink.u8(static_cast<std::uint8_t>(codec_));
   sink.u8(static_cast<std::uint8_t>(isa_));
-  sink.u8(block_original_sizes_.empty() ? 0 : 1);
+  std::uint8_t flags = 0;
+  if (!block_original_sizes_.empty()) flags |= kFlagVariableBlocks;
+  if (has_ecc()) flags |= kFlagHasEcc;
+  sink.u8(flags);
   sink.u32(block_size_);
   sink.u64(original_size_);
   sink.sized_bytes(tables_);
@@ -120,6 +184,7 @@ void CompressedImage::serialize(ByteSink& sink) const {
     for (const std::uint32_t s : block_original_sizes_) sink.varint(s);
   }
   sink.sized_bytes(payload_);
+  if (has_ecc()) sink.sized_bytes(ecc_);
   // Integrity trailer: a loader can reject a flipped bit anywhere in the
   // image before trusting any table or offset.
   sink.u32(crc32(sink.view().subspan(start)));
@@ -130,7 +195,10 @@ CompressedImage CompressedImage::deserialize(ByteSource& src, bool verify_checks
   if (src.u32() != 0x43434D50u) throw CorruptDataError("bad image magic");
   const auto codec = static_cast<CodecKind>(src.u8());
   const auto isa = static_cast<IsaKind>(src.u8());
-  const bool variable = src.u8() != 0;
+  const std::uint8_t flags = src.u8();
+  if ((flags & ~kKnownFlags) != 0) throw CorruptDataError("unknown image header flags");
+  const bool variable = (flags & kFlagVariableBlocks) != 0;
+  const bool has_ecc = (flags & kFlagHasEcc) != 0;
   const std::uint32_t block_size = src.u32();
   const std::uint64_t original_size = src.u64();
   std::vector<std::uint8_t> tables = src.sized_bytes();
@@ -157,12 +225,16 @@ CompressedImage CompressedImage::deserialize(ByteSource& src, bool verify_checks
     }
   }
   std::vector<std::uint8_t> payload = src.sized_bytes();
+  std::vector<std::uint8_t> ecc;
+  if (has_ecc) ecc = src.sized_bytes();
   const std::size_t end = src.position();
   const std::uint32_t stored_crc = src.u32();
   if (verify_checksum && stored_crc != crc32(src.window(start, end)))
     throw ChecksumError("image CRC mismatch");
-  return CompressedImage(codec, isa, block_size, original_size, std::move(tables),
-                         std::move(offsets), std::move(payload), std::move(original_sizes));
+  CompressedImage image(codec, isa, block_size, original_size, std::move(tables),
+                        std::move(offsets), std::move(payload), std::move(original_sizes));
+  if (has_ecc) image.attach_ecc(std::move(ecc));
+  return image;
 }
 
 }  // namespace ccomp::core

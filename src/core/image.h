@@ -35,19 +35,21 @@ struct SizeBreakdown {
   std::size_t payload = 0;  // compressed blocks
   std::size_t tables = 0;   // models / dictionaries / Huffman tables
   std::size_t lat = 0;      // serialized line address table
+  std::size_t ecc = 0;      // per-block SECDED check bytes (0 when absent)
 
   /// Everything the embedded system stores for this image.
-  std::size_t total() const { return payload + tables + lat; }
+  std::size_t total() const { return payload + tables + lat + ecc; }
 
   /// Paper-equivalent compression ratio: (payload + tables) / original.
   double ratio() const {
     return original == 0 ? 0.0
                          : static_cast<double>(payload + tables) / static_cast<double>(original);
   }
-  /// Ratio with the LAT charged as well (the full embedded cost).
+  /// Ratio with the LAT and ECC overheads charged as well (the full
+  /// embedded cost).
   double ratio_with_lat() const {
     return original == 0 ? 0.0
-                         : static_cast<double>(payload + tables + lat) /
+                         : static_cast<double>(payload + tables + lat + ecc) /
                                static_cast<double>(original);
   }
 };
@@ -94,6 +96,42 @@ class CompressedImage {
 
   bool has_variable_blocks() const { return !block_original_sizes_.empty(); }
 
+  // --- Per-block SECDED ECC (format v2, header flag bit 1) ---------------
+  //
+  // One 8-bit Hamming(72,64) check word per 8 payload bytes of each block,
+  // concatenated in block order. The self-healing memory system uses it to
+  // repair single-bit store faults in place; images without ECC still load
+  // everywhere (the flag bit gates the section).
+
+  bool has_ecc() const { return !ecc_offsets_.empty(); }
+  /// Compute and attach per-block SECDED check bytes over the payload.
+  /// Idempotent (recomputes when already present).
+  void attach_ecc();
+  /// Attach externally produced check bytes; size must equal the sum of
+  /// ecc::ecc_bytes_for(block payload size) over all blocks.
+  void attach_ecc(std::vector<std::uint8_t> ecc);
+  /// Remove the ECC section (images compare/serialize as format v1).
+  void drop_ecc();
+  std::span<const std::uint8_t> ecc() const { return ecc_; }
+  /// Check bytes covering one block's payload. Requires has_ecc().
+  std::span<const std::uint8_t> block_ecc(std::size_t index) const;
+
+  // --- Fault-injection surface -------------------------------------------
+  //
+  // Mutable views of the regions a fault-prone store physically holds,
+  // used by the fault injector (support/faultinject.h) and the self-healing
+  // memory system's writeback path. Not part of the codec API.
+
+  std::span<std::uint8_t> mutable_payload() { return payload_; }
+  std::span<std::uint8_t> mutable_tables() { return tables_; }
+  std::span<std::uint8_t> mutable_ecc() { return ecc_; }
+  /// The LAT words as raw little-endian-in-memory bytes (what the stored
+  /// serialized table decodes to in the refill engine's view).
+  std::span<std::uint8_t> mutable_lat_bytes() {
+    return {reinterpret_cast<std::uint8_t*>(block_offsets_.data()),
+            block_offsets_.size() * sizeof(std::uint32_t)};
+  }
+
   /// The LAT lookup the cache refill engine performs.
   std::uint32_t block_offset(std::size_t index) const { return block_offsets_.at(index); }
 
@@ -124,6 +162,11 @@ class CompressedImage {
   std::vector<std::uint32_t> block_original_sizes_;
   /// Cumulative original offsets when variable (size = blocks + 1).
   std::vector<std::uint64_t> block_original_offsets_;
+  /// Per-block SECDED check bytes, concatenated; empty when absent.
+  std::vector<std::uint8_t> ecc_;
+  /// ecc_ offset of each block's check bytes (size = blocks + 1); empty
+  /// when no ECC section is attached.
+  std::vector<std::uint32_t> ecc_offsets_;
 };
 
 }  // namespace ccomp::core

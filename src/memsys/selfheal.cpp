@@ -1,0 +1,316 @@
+#include "memsys/selfheal.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <string>
+
+#include "support/crc32.h"
+#include "support/ecc.h"
+#include "support/error.h"
+
+namespace ccomp::memsys {
+
+namespace {
+
+/// Mutable view of one block's payload bytes. Throws CorruptDataError when a
+/// faulted LAT places the block outside the payload (block_payload re-checks).
+std::span<std::uint8_t> mutable_block_payload(core::CompressedImage& image, std::size_t block) {
+  const std::span<const std::uint8_t> view = image.block_payload(block);
+  const std::size_t offset = static_cast<std::size_t>(view.data() - image.payload().data());
+  return image.mutable_payload().subspan(offset, view.size());
+}
+
+std::span<std::uint8_t> mutable_block_ecc(core::CompressedImage& image, std::size_t block) {
+  const std::span<const std::uint8_t> view = image.block_ecc(block);
+  const std::size_t offset = static_cast<std::size_t>(view.data() - image.ecc().data());
+  return image.mutable_ecc().subspan(offset, view.size());
+}
+
+bool all_zero(std::span<const std::uint8_t> bytes) {
+  return std::all_of(bytes.begin(), bytes.end(), [](std::uint8_t b) { return b == 0; });
+}
+
+}  // namespace
+
+SelfHealingMemorySystem::SelfHealingMemorySystem(const Options& options,
+                                                 const core::BlockCodec& codec,
+                                                 const core::CompressedImage& golden)
+    : options_(options),
+      golden_(golden),
+      store_(golden),
+      line_bytes_(options.cache.line_bytes),
+      ways_(options.cache.associativity) {
+  if (options_.use_ecc && !golden_.has_ecc()) {
+    golden_.attach_ecc();
+    store_.attach_ecc();
+  }
+  decompressor_ = codec.make_decompressor(store_);
+
+  // Golden per-block CRCs of the *decompressed* bytes, the ladder's
+  // detection gate. Modelled as protected controller SRAM, computed once
+  // from the pristine copy at provisioning time.
+  const auto golden_dec = codec.make_decompressor(golden_);
+  golden_crc_.resize(golden_.block_count());
+  for (std::size_t b = 0; b < golden_crc_.size(); ++b)
+    golden_crc_[b] = crc32(golden_dec->block(b));
+
+  cache_ = std::make_unique<ICache>(options.cache);
+  if (!store_.has_variable_blocks()) {
+    if (store_.block_size() != line_bytes_)
+      throw ConfigError("image block size must equal the cache line size");
+    sets_ = options.cache.size_bytes / (line_bytes_ * ways_);
+    lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+  }
+  clb_.resize(options_.clb_entries);
+
+  std::size_t max_compressed = 1;
+  for (std::size_t b = 0; b < store_.block_count(); ++b)
+    max_compressed = std::max(max_compressed, store_.block_payload(b).size());
+  bus_noise_.assign(max_compressed, 0);
+}
+
+std::span<std::uint8_t> SelfHealingMemorySystem::clb_bytes() {
+  return {reinterpret_cast<std::uint8_t*>(clb_.data()), clb_.size() * sizeof(ClbEntry)};
+}
+
+std::uint8_t SelfHealingMemorySystem::entry_parity(const ClbEntry& entry) {
+  // XOR fold over every byte the parity protects; any single-bit fault in
+  // the entry changes the fold, multi-bit faults fall to the cross-check.
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&entry);
+  std::uint8_t p = 0x5A;
+  for (std::size_t i = 0; i < offsetof(ClbEntry, parity); ++i) p ^= bytes[i];
+  return p;
+}
+
+void SelfHealingMemorySystem::clb_access(std::size_t block) {
+  if (clb_.empty()) return;
+  // What the stored LAT currently says (itself a fault surface — the CLB
+  // only guarantees it mirrors the LAT, the block CRC guards the rest).
+  const std::uint32_t lat_offset = store_.block_offset(block);
+  const std::uint32_t lat_length = store_.block_offset(block + 1) - lat_offset;
+  for (ClbEntry& entry : clb_) {
+    if (!entry.valid || entry.block != block) continue;
+    if (entry_parity(entry) != entry.parity || entry.offset != lat_offset ||
+        entry.length != lat_length) {
+      ++stats_.clb_repaired;
+      entry.offset = lat_offset;
+      entry.length = lat_length;
+      entry.parity = entry_parity(entry);
+    }
+    return;
+  }
+  ClbEntry& entry = clb_[clb_cursor_++ % clb_.size()];
+  entry.block = static_cast<std::uint32_t>(block);
+  entry.offset = lat_offset;
+  entry.length = lat_length;
+  entry.valid = 1;
+  entry.parity = entry_parity(entry);
+}
+
+bool SelfHealingMemorySystem::try_decode(std::size_t block, std::vector<std::uint8_t>& out) {
+  try {
+    out.resize(store_.block_original_size(block));
+    decompressor_->block_into(block, out);
+  } catch (const Error&) {
+    return false;  // typed decoder failure: detected, recoverable
+  }
+  return crc32(out) == golden_crc_[block];
+}
+
+void SelfHealingMemorySystem::refetch_block(std::size_t block) {
+  // Heal the LAT words bounding the block first so the payload span can be
+  // located again, then restore the payload and check bytes.
+  const std::span<std::uint8_t> golden_lat = golden_.mutable_lat_bytes();
+  const std::span<std::uint8_t> store_lat = store_.mutable_lat_bytes();
+  const std::size_t lat_begin = block * sizeof(std::uint32_t);
+  const std::size_t lat_bytes = 2 * sizeof(std::uint32_t);
+  std::copy_n(golden_lat.begin() + static_cast<std::ptrdiff_t>(lat_begin), lat_bytes,
+              store_lat.begin() + static_cast<std::ptrdiff_t>(lat_begin));
+
+  const std::span<const std::uint8_t> src = golden_.block_payload(block);
+  const std::size_t offset = static_cast<std::size_t>(src.data() - golden_.payload().data());
+  std::copy(src.begin(), src.end(),
+            store_.mutable_payload().begin() + static_cast<std::ptrdiff_t>(offset));
+  if (store_.has_ecc() && golden_.has_ecc()) {
+    const std::span<const std::uint8_t> esrc = golden_.block_ecc(block);
+    const std::size_t eoffset = static_cast<std::size_t>(esrc.data() - golden_.ecc().data());
+    std::copy(esrc.begin(), esrc.end(),
+              store_.mutable_ecc().begin() + static_cast<std::ptrdiff_t>(eoffset));
+  }
+  for (ClbEntry& entry : clb_)
+    if (entry.valid && entry.block == block) entry.valid = 0;
+}
+
+void SelfHealingMemorySystem::refill(std::size_t block, std::vector<std::uint8_t>& out) {
+  ++stats_.refills;
+  clb_access(block);
+
+  // Transient bus noise: the refill engine sees store XOR noise on the first
+  // transfer; the noise is gone on retry.
+  bool noise_applied = false;
+  if (!all_zero(bus_noise_)) {
+    try {
+      const std::span<std::uint8_t> target = mutable_block_payload(store_, block);
+      if (!target.empty()) {
+        for (std::size_t i = 0; i < target.size() && i < bus_noise_.size(); ++i)
+          target[i] ^= bus_noise_[i];
+        noise_applied = true;
+      }
+    } catch (const Error&) {
+      // A faulted LAT hides the block from the bus model; decode will fail
+      // and the ladder below recovers.
+    }
+  }
+  bool ok = try_decode(block, out);
+  if (noise_applied) {
+    const std::span<std::uint8_t> target = mutable_block_payload(store_, block);
+    for (std::size_t i = 0; i < target.size() && i < bus_noise_.size(); ++i)
+      target[i] ^= bus_noise_[i];
+    std::fill(bus_noise_.begin(), bus_noise_.end(), 0);
+  }
+  if (ok) return;
+  ++stats_.faults_detected;
+
+  // Rung 2: bus retry — only meaningful when noise rode the first transfer.
+  if (noise_applied && try_decode(block, out)) {
+    ++stats_.bus_recovered;
+    return;
+  }
+
+  // Rung 3: SECDED correction, written back into the store (self-heal).
+  if (store_.has_ecc()) {
+    try {
+      const ecc::BlockResult result =
+          ecc::correct_block(mutable_block_payload(store_, block), mutable_block_ecc(store_, block));
+      if (result.recovered() && try_decode(block, out)) {
+        ++stats_.ecc_corrected;
+        return;
+      }
+    } catch (const Error&) {
+      // LAT fault: the block cannot even be located; fall through.
+    }
+  }
+
+  // Rung 4: re-fetch payload, ECC and LAT words from the golden copy.
+  refetch_block(block);
+  if (try_decode(block, out)) {
+    ++stats_.refetched;
+    return;
+  }
+
+  // Rung 5: escalate. The fault is detected and reported — wrong bytes are
+  // never served.
+  ++stats_.escalated;
+  fault_log_.push_back(
+      {block, "block " + std::to_string(block) +
+                  " failed its CRC gate after bus retry, ECC correction, and golden refetch"});
+  throw FaultEscalationError(fault_log_.back().message);
+}
+
+std::vector<std::uint8_t> SelfHealingMemorySystem::read_block(std::size_t index) {
+  if (index >= store_.block_count()) throw ConfigError("block index out of range");
+  std::vector<std::uint8_t> out;
+  refill(index, out);
+  return out;
+}
+
+std::size_t SelfHealingMemorySystem::scrub(std::size_t max_blocks) {
+  const std::size_t blocks = store_.block_count();
+  if (blocks == 0) return 0;
+  std::size_t visited = 0;
+  for (; visited < max_blocks && visited < blocks; ++visited) {
+    const std::size_t block = scrub_cursor_++ % blocks;
+    ++stats_.scrubbed;
+    bool healthy = false;
+    if (store_.has_ecc()) {
+      // An ECC-only sweep, like a hardware scrubber: cheap, no decompression.
+      // A ≥3-bit fault can alias to a miscorrection here; the refill CRC gate
+      // still catches it before any byte is served.
+      try {
+        const ecc::BlockResult result = ecc::correct_block(mutable_block_payload(store_, block),
+                                                           mutable_block_ecc(store_, block));
+        if (result.corrected_words > 0) ++stats_.scrub_corrected;
+        healthy = result.uncorrectable_words == 0;
+      } catch (const Error&) {
+        healthy = false;  // LAT fault over this block
+      }
+    } else {
+      std::vector<std::uint8_t> buf;
+      healthy = try_decode(block, buf);
+    }
+    if (!healthy) {
+      refetch_block(block);
+      ++stats_.scrub_refetched;
+    }
+  }
+  return visited;
+}
+
+void SelfHealingMemorySystem::invalidate_cache() {
+  for (Line& line : lines_) line.valid = false;
+  for (ClbEntry& entry : clb_) entry.valid = 0;
+}
+
+void SelfHealingMemorySystem::repair_all() {
+  const std::span<const std::uint8_t> payload = golden_.payload();
+  std::copy(payload.begin(), payload.end(), store_.mutable_payload().begin());
+  if (golden_.has_ecc() && store_.has_ecc()) {
+    const std::span<const std::uint8_t> ecc = golden_.ecc();
+    std::copy(ecc.begin(), ecc.end(), store_.mutable_ecc().begin());
+  }
+  const std::span<std::uint8_t> golden_lat = golden_.mutable_lat_bytes();
+  std::copy(golden_lat.begin(), golden_lat.end(), store_.mutable_lat_bytes().begin());
+  std::fill(bus_noise_.begin(), bus_noise_.end(), 0);
+  invalidate_cache();
+}
+
+SelfHealingMemorySystem::Line& SelfHealingMemorySystem::lookup(std::uint32_t address) {
+  if (store_.has_variable_blocks())
+    throw ConfigError("address fetch needs uniform address-aligned blocks");
+  cache_->access(address);
+  ++clock_;
+  const std::uint64_t line_index = address / line_bytes_;
+  const std::uint32_t set = static_cast<std::uint32_t>(line_index) & (sets_ - 1);
+  const std::uint64_t tag = line_index / sets_;
+  Line* base = &lines_[static_cast<std::size_t>(set) * ways_];
+  Line* victim = base;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.last_use = clock_;
+      return line;
+    }
+    if (!line.valid) {
+      if (victim->valid) victim = &line;
+    } else if (victim->valid && line.last_use < victim->last_use) {
+      victim = &line;
+    }
+  }
+  const std::size_t block = line_index;
+  if (block >= store_.block_count()) throw ConfigError("fetch outside the program");
+  refill(block, victim->bytes);
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = clock_;
+  return *victim;
+}
+
+std::uint32_t SelfHealingMemorySystem::fetch(std::uint32_t address) {
+  if (address % 4 != 0) throw ConfigError("instruction fetch must be word aligned");
+  const Line& line = lookup(address);
+  const std::uint32_t offset = address % line_bytes_;
+  if (offset + 4 > line.bytes.size()) throw ConfigError("fetch beyond program end");
+  std::uint32_t word = 0;
+  for (int b = 3; b >= 0; --b) word = (word << 8) | line.bytes[offset + static_cast<unsigned>(b)];
+  return word;
+}
+
+std::uint8_t SelfHealingMemorySystem::fetch_byte(std::uint32_t address) {
+  const Line& line = lookup(address);
+  const std::uint32_t offset = address % line_bytes_;
+  if (offset >= line.bytes.size()) throw ConfigError("fetch beyond program end");
+  return line.bytes[offset];
+}
+
+}  // namespace ccomp::memsys

@@ -1,0 +1,165 @@
+// Self-healing compressed-code memory system.
+//
+// Extends the functional Wolfe/Chanin model with the fault tolerance a
+// compressed store makes mandatory: one flipped bit in a compressed block
+// corrupts the whole decompressed line, so the refill engine cannot trust
+// the store. This model keeps a *mutable* copy of the image — the
+// fault-prone store the injector (support/faultinject.h) attacks — and runs
+// every refill through a recovery ladder:
+//
+//   1. decode + golden per-block CRC-32 check   (detection; never skipped)
+//   2. bus retry                                (clears transient bus noise)
+//   3. SECDED ECC correction, written back      (self-heal in place)
+//   4. re-fetch from the golden backing copy    (repair from reference)
+//   5. escalation                               (FaultEscalationError)
+//
+// The golden CRCs are computed at load time from the pristine image and
+// modelled as living in protected controller SRAM, like the decompressor's
+// tables. Wrong decompressed bytes are never returned: a refill either
+// passes the CRC gate or throws.
+//
+// The CLB (cached LAT entries) carries a parity byte per entry and is
+// cross-checked against the stored LAT on use — standing in for the per-entry
+// ECC a hardware CLB would carry — so a corrupted entry redirects no refill.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/codec.h"
+#include "memsys/cache.h"
+
+namespace ccomp::memsys {
+
+/// Counters the recovery ladder maintains. A fault campaign classifies each
+/// injected fault by which counter moved.
+struct RecoveryStats {
+  std::uint64_t refills = 0;          // ladder invocations (cache misses + reads)
+  std::uint64_t faults_detected = 0;  // first decode attempt failed CRC or threw
+  std::uint64_t bus_recovered = 0;    // clean after dropping transient bus noise
+  std::uint64_t ecc_corrected = 0;    // healed in place by SECDED writeback
+  std::uint64_t refetched = 0;        // healed from the golden backing copy
+  std::uint64_t escalated = 0;        // ladder exhausted; FaultEscalationError
+  std::uint64_t clb_repaired = 0;     // CLB entries caught by parity/cross-check
+  std::uint64_t scrubbed = 0;         // blocks visited by the background scrubber
+  std::uint64_t scrub_corrected = 0;  // scrubber SECDED corrections
+  std::uint64_t scrub_refetched = 0;  // scrubber golden refetches
+};
+
+/// One escalated (uncorrectable) fault, kept for post-mortem reporting.
+struct FaultReport {
+  std::size_t block = 0;
+  std::string message;
+};
+
+class SelfHealingMemorySystem {
+ public:
+  struct Options {
+    CacheConfig cache;
+    /// Attach/consult per-block SECDED check bytes (rung 3 of the ladder).
+    bool use_ecc = true;
+    /// Cached LAT entries ("CLB"); 0 disables the cache.
+    std::uint32_t clb_entries = 16;
+  };
+
+  /// Copies `golden` twice: once as the pristine backing reference and once
+  /// as the mutable store faults are injected into. When options.use_ecc is
+  /// set and the image has no ECC section, one is attached to both copies.
+  SelfHealingMemorySystem(const Options& options, const core::BlockCodec& codec,
+                          const core::CompressedImage& golden);
+
+  /// Fetch through the I-cache (uniform-block images only), refilling via
+  /// the recovery ladder on a miss. Throws FaultEscalationError when the
+  /// ladder fails; never returns wrong bytes.
+  std::uint32_t fetch(std::uint32_t address);
+  std::uint8_t fetch_byte(std::uint32_t address);
+
+  /// Run one block through the recovery ladder, bypassing the I-cache.
+  /// Works for variable-block images too (what the fault campaign sweeps).
+  std::vector<std::uint8_t> read_block(std::size_t index);
+
+  /// Background scrubber: SECDED-sweep up to `max_blocks` blocks from a
+  /// round-robin cursor, writing corrections back and refetching blocks the
+  /// code cannot repair. Returns the number of blocks visited.
+  std::size_t scrub(std::size_t max_blocks);
+
+  /// Drop every cached line (and CLB entry) so the next access re-reads the
+  /// store. Campaigns call this after injecting a fault.
+  void invalidate_cache();
+
+  /// Restore the store (payload, ECC, LAT) from the golden copy and reset
+  /// the CLB — a campaign's between-trial reset. Counters are kept.
+  void repair_all();
+
+  // --- Fault-injection surface ------------------------------------------
+  // Byte regions the injector may corrupt. Everything else (decompressor
+  // tables, golden CRCs, golden copy) models protected controller memory.
+
+  std::span<std::uint8_t> store_payload() { return store_.mutable_payload(); }
+  std::span<std::uint8_t> store_ecc() { return store_.mutable_ecc(); }
+  std::span<std::uint8_t> store_lat_bytes() { return store_.mutable_lat_bytes(); }
+  /// Raw bytes of the CLB entry array (offsets, lengths, parity).
+  std::span<std::uint8_t> clb_bytes();
+  /// Transient bus noise: XORed onto the next refill's compressed bytes,
+  /// then cleared (a retry reads clean data).
+  std::span<std::uint8_t> bus_buffer() { return bus_noise_; }
+
+  const core::CompressedImage& store() const { return store_; }
+  const RecoveryStats& stats() const { return stats_; }
+  const std::vector<FaultReport>& fault_log() const { return fault_log_; }
+  const CacheStats& cache_stats() const { return cache_->stats(); }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    std::uint64_t last_use = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+  /// One cached LAT entry. Stored as plain bytes so the injector can attack
+  /// it; `parity` covers every preceding byte (even parity).
+  struct ClbEntry {
+    std::uint32_t block = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+    std::uint8_t valid = 0;
+    std::uint8_t parity = 0;
+    std::uint8_t pad[2] = {0, 0};
+  };
+
+  Line& lookup(std::uint32_t address);
+  /// The recovery ladder. Fills `out` with verified bytes or throws.
+  void refill(std::size_t block, std::vector<std::uint8_t>& out);
+  /// One decode attempt against the current store contents. Returns false
+  /// on a typed decode error or a CRC mismatch.
+  bool try_decode(std::size_t block, std::vector<std::uint8_t>& out);
+  /// Consult (and heal) the CLB for `block`; returns after the entry agrees
+  /// with the stored LAT.
+  void clb_access(std::size_t block);
+  /// Copy one block's payload, ECC and LAT words back from the golden copy.
+  void refetch_block(std::size_t block);
+  static std::uint8_t entry_parity(const ClbEntry& entry);
+
+  Options options_;
+  core::CompressedImage golden_;  // pristine backing copy (never mutated)
+  core::CompressedImage store_;   // fault-prone store
+  std::unique_ptr<core::BlockDecompressor> decompressor_;  // bound to store_
+  std::vector<std::uint32_t> golden_crc_;  // per-block CRC of decompressed bytes
+  std::unique_ptr<ICache> cache_;
+  std::vector<Line> lines_;
+  std::uint32_t line_bytes_ = 0;
+  std::uint32_t sets_ = 0;
+  std::uint32_t ways_ = 0;
+  std::uint64_t clock_ = 0;
+  std::vector<ClbEntry> clb_;
+  std::size_t clb_cursor_ = 0;  // round-robin insertion
+  std::vector<std::uint8_t> bus_noise_;
+  std::size_t scrub_cursor_ = 0;
+  RecoveryStats stats_;
+  std::vector<FaultReport> fault_log_;
+};
+
+}  // namespace ccomp::memsys

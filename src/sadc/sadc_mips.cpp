@@ -436,10 +436,20 @@ class SadcMipsDecompressor final : public core::BlockDecompressor {
     // covered.
     std::vector<const Leaf*> leaves;
     leaves.reserve(instr_count);
+    // Fuel bound: every valid symbol yields at least one instruction, so a
+    // well-formed stream converges within instr_count symbols. Malformed
+    // input (e.g. a symbol expanding to nothing) burns fuel instead of
+    // looping.
+    std::size_t fuel = instr_count;
     while (leaves.size() < instr_count) {
+      if (fuel == 0)
+        throw FuelExhaustedError("SADC opcode stream does not cover the block");
+      --fuel;
       const std::uint16_t sym = static_cast<std::uint16_t>(sym_code_.decode(in));
       if (sym >= table_.size()) throw CorruptDataError("symbol id out of range");
-      for (const Leaf& leaf : table_.leaves(sym)) leaves.push_back(&leaf);
+      const auto& expansion = table_.leaves(sym);
+      if (expansion.empty()) throw CorruptDataError("SADC symbol expands to no instructions");
+      for (const Leaf& leaf : expansion) leaves.push_back(&leaf);
       if (leaves.size() > instr_count)
         throw CorruptDataError("SADC symbol overruns block boundary");
     }

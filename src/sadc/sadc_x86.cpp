@@ -168,10 +168,19 @@ class SadcX86Decompressor final : public core::BlockDecompressor {
     // Phase 1: opcode tokens.
     std::vector<const Leaf*> leaves;
     leaves.reserve(instr_count);
+    // Fuel bound mirroring the MIPS decoder: instr_count symbols suffice for
+    // any well-formed stream, so malformed input runs out of fuel instead of
+    // spinning on zero-expansion symbols.
+    std::size_t fuel = instr_count;
     while (leaves.size() < instr_count) {
+      if (fuel == 0)
+        throw FuelExhaustedError("SADC opcode stream does not cover the block");
+      --fuel;
       const std::uint16_t sym = static_cast<std::uint16_t>(sym_code_.decode(in));
       if (sym >= table_.size()) throw CorruptDataError("symbol id out of range");
-      for (const Leaf& leaf : table_.leaves(sym)) leaves.push_back(&leaf);
+      const auto& expansion = table_.leaves(sym);
+      if (expansion.empty()) throw CorruptDataError("SADC symbol expands to no instructions");
+      for (const Leaf& leaf : expansion) leaves.push_back(&leaf);
       if (leaves.size() > instr_count)
         throw CorruptDataError("SADC symbol overruns block boundary");
     }

@@ -122,7 +122,14 @@ SymbolTable SymbolTable::deserialize(ByteSource& src) {
       default:
         throw CorruptDataError("unknown symbol kind");
     }
-    table.add(std::move(s));
+    // add() validates cross-symbol invariants and throws ConfigError, but in
+    // this context a bad symbol means corrupt serialized input — re-type it
+    // so loaders see every malformed-container failure as CorruptDataError.
+    try {
+      table.add(std::move(s));
+    } catch (const ConfigError& e) {
+      throw CorruptDataError(std::string("dictionary symbol rejected: ") + e.what());
+    }
   }
   return table;
 }

@@ -84,6 +84,12 @@ class BitReader {
   /// Bits remaining.
   std::uint64_t bits_left() const { return bit_size() - bit_pos_; }
 
+  /// Alias of bits_left(): the primitive decoder fuel bounds are written
+  /// against. Reading past this count raises CorruptDataError (a typed,
+  /// catchable error — never an assert), so hardened decoders can charge
+  /// every read against the remaining budget.
+  std::uint64_t bits_remaining() const { return bits_left(); }
+
  private:
   std::span<const std::uint8_t> data_;
   std::uint64_t bit_pos_ = 0;

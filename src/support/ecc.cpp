@@ -1,0 +1,134 @@
+#include "support/ecc.h"
+
+#include <bit>
+
+#include "support/error.h"
+
+namespace ccomp::ecc {
+namespace {
+
+// Hamming codeword positions 1..71: powers of two hold the 7 parity bits,
+// the remaining 64 positions hold data bits in index order. Position 0 is
+// unused (the overall parity travels as bit 7 of the check byte).
+constexpr bool is_pow2(unsigned v) { return v != 0 && (v & (v - 1)) == 0; }
+
+struct PositionTables {
+  std::uint8_t data_pos[64] = {};   // data bit i -> codeword position
+  std::int8_t pos_to_data[72] = {};  // codeword position -> data bit (-1 = parity)
+};
+
+constexpr PositionTables make_tables() {
+  PositionTables t;
+  for (auto& p : t.pos_to_data) p = -1;
+  unsigned i = 0;
+  for (unsigned pos = 1; pos <= 71; ++pos) {
+    if (is_pow2(pos)) continue;
+    t.data_pos[i] = static_cast<std::uint8_t>(pos);
+    t.pos_to_data[pos] = static_cast<std::int8_t>(i);
+    ++i;
+  }
+  return t;
+}
+
+constexpr PositionTables kTables = make_tables();
+
+// XOR of the codeword positions of every set data bit. Parity bit k sits at
+// position 2^k, so bit k of this value is exactly the Hamming parity p_k.
+unsigned data_syndrome(std::uint64_t data) {
+  unsigned syn = 0;
+  while (data != 0) {
+    const int i = std::countr_zero(data);
+    syn ^= kTables.data_pos[i];
+    data &= data - 1;
+  }
+  return syn;
+}
+
+std::uint64_t load_le(std::span<const std::uint8_t> bytes) {
+  std::uint64_t w = 0;
+  for (std::size_t b = bytes.size(); b-- > 0;) w = (w << 8) | bytes[b];
+  return w;
+}
+
+void store_le(std::uint64_t w, std::span<std::uint8_t> bytes) {
+  for (std::size_t b = 0; b < bytes.size(); ++b)
+    bytes[b] = static_cast<std::uint8_t>(w >> (8 * b));
+}
+
+}  // namespace
+
+std::uint8_t secded_encode(std::uint64_t data) {
+  std::uint8_t check = static_cast<std::uint8_t>(data_syndrome(data) & 0x7F);
+  const int ones = std::popcount(data) + std::popcount(static_cast<unsigned>(check));
+  if (ones & 1) check |= 0x80;  // even overall parity across all 72 bits
+  return check;
+}
+
+Status secded_correct(std::uint64_t& data, std::uint8_t& check) {
+  // Parity bits contribute their own positions (2^k) to the syndrome, which
+  // is exactly the low 7 bits of the stored check byte.
+  const unsigned syn = data_syndrome(data) ^ (check & 0x7Fu);
+  const bool parity_odd =
+      ((std::popcount(data) + std::popcount(static_cast<unsigned>(check))) & 1) != 0;
+  if (syn == 0 && !parity_odd) return Status::kClean;
+  if (!parity_odd) return Status::kUncorrectable;  // nonzero syndrome, even parity: double
+  // Odd overall parity: a single flipped bit, located by the syndrome.
+  if (syn == 0) {
+    check ^= 0x80;  // the overall parity bit itself
+    return Status::kCorrected;
+  }
+  if (syn > 71) return Status::kUncorrectable;  // syndrome names no stored bit
+  if (is_pow2(syn)) {
+    check = static_cast<std::uint8_t>(check ^ syn);  // a Hamming parity bit
+    return Status::kCorrected;
+  }
+  data ^= std::uint64_t{1} << kTables.pos_to_data[syn];
+  return Status::kCorrected;
+}
+
+void encode_block(std::span<const std::uint8_t> data, std::span<std::uint8_t> out) {
+  if (out.size() != ecc_bytes_for(data.size()))
+    throw ConfigError("ECC output span does not match the data size");
+  std::size_t w = 0;
+  for (std::size_t at = 0; at < data.size(); at += 8, ++w) {
+    const std::size_t len = data.size() - at < 8 ? data.size() - at : 8;
+    out[w] = secded_encode(load_le(data.subspan(at, len)));
+  }
+}
+
+BlockResult correct_block(std::span<std::uint8_t> data, std::span<std::uint8_t> check) {
+  // Callers can hand in a span located through a *faulted* LAT, so the size
+  // relation is an input invariant here, not a programmer guarantee.
+  if (check.size() != ecc_bytes_for(data.size()))
+    throw CorruptDataError("ECC check span does not match the data size");
+  BlockResult result;
+  std::size_t w = 0;
+  for (std::size_t at = 0; at < data.size(); at += 8, ++w) {
+    const std::size_t len = data.size() - at < 8 ? data.size() - at : 8;
+    std::uint64_t word = load_le(data.subspan(at, len));
+    std::uint8_t c = check[w];
+    const Status status = secded_correct(word, c);
+    switch (status) {
+      case Status::kClean:
+        break;
+      case Status::kCorrected:
+        // A short tail is zero-padded; a "correction" that lands in the
+        // padding can only come from multi-bit damage — refuse it rather
+        // than store a word that disagrees with its own length.
+        if (len < 8 && (word >> (8 * len)) != 0) {
+          ++result.uncorrectable_words;
+        } else {
+          store_le(word, data.subspan(at, len));
+          check[w] = c;
+          ++result.corrected_words;
+        }
+        break;
+      case Status::kUncorrectable:
+        ++result.uncorrectable_words;
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ccomp::ecc

@@ -1,0 +1,53 @@
+// SECDED Hamming(72,64) error-correcting code over byte buffers.
+//
+// The self-healing compressed memory system stores one 8-bit check word per
+// 8 bytes of compressed block payload: a (72,64) Hamming code (7 syndrome
+// bits + 1 overall parity), the standard embedded DRAM/flash SECDED layout.
+// Any single flipped bit in the data or check bits is corrected in place;
+// any double flip is detected and reported as uncorrectable, never silently
+// mis-corrected. The refill engine's recovery ladder (memsys/selfheal.h)
+// uses this between the per-block CRC check and the golden-copy re-fetch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ccomp::ecc {
+
+/// Outcome of checking one 72-bit codeword (64 data + 8 check bits).
+enum class Status : std::uint8_t {
+  kClean = 0,          // syndrome zero, parity even: no error
+  kCorrected = 1,      // single-bit error located and flipped back
+  kUncorrectable = 2,  // double-bit (or worse) error: detected, not fixable
+};
+
+/// Compute the 8 SECDED check bits for a 64-bit data word.
+std::uint8_t secded_encode(std::uint64_t data);
+
+/// Check one codeword and correct a single-bit error in place (the error may
+/// sit in `data` or in `check` itself). Returns the outcome; on
+/// kUncorrectable both values are left untouched.
+Status secded_correct(std::uint64_t& data, std::uint8_t& check);
+
+/// Check bytes needed to protect `data_bytes` payload bytes (one per 8-byte
+/// chunk, short tails zero-padded).
+constexpr std::size_t ecc_bytes_for(std::size_t data_bytes) { return (data_bytes + 7) / 8; }
+
+/// Fill `out` (size ecc_bytes_for(data.size())) with per-chunk check bytes.
+void encode_block(std::span<const std::uint8_t> data, std::span<std::uint8_t> out);
+
+/// Tally of a block-level check/correct pass.
+struct BlockResult {
+  std::size_t corrected_words = 0;      // chunks repaired (data or check bit)
+  std::size_t uncorrectable_words = 0;  // chunks with multi-bit damage
+  bool clean() const { return corrected_words == 0 && uncorrectable_words == 0; }
+  bool recovered() const { return uncorrectable_words == 0; }
+};
+
+/// Check every 8-byte chunk of `data` against `check` and repair single-bit
+/// errors in place (in the data and the check bytes both). `check` must hold
+/// exactly ecc_bytes_for(data.size()) bytes.
+BlockResult correct_block(std::span<std::uint8_t> data, std::span<std::uint8_t> check);
+
+}  // namespace ccomp::ecc

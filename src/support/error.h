@@ -32,6 +32,27 @@ class ChecksumError : public CorruptDataError {
   explicit ChecksumError(const std::string& what) : CorruptDataError("checksum: " + what) {}
 };
 
+/// A decoder exhausted its fuel bound: malformed input would otherwise make
+/// it loop, over-read, or over-produce. Every ccomp decoder charges fuel
+/// against the block's declared output size, so decode time stays linear in
+/// the output no matter what bytes arrive.
+class FuelExhaustedError : public CorruptDataError {
+ public:
+  explicit FuelExhaustedError(const std::string& what)
+      : CorruptDataError("decoder fuel exhausted: " + what) {}
+};
+
+/// The self-healing memory system exhausted its recovery ladder (CRC check,
+/// ECC correction, bus retry, golden re-fetch) without producing a block
+/// that passes integrity checks. The fault is *detected* — this error is the
+/// escalation, carrying the refill that could not be served; wrong bytes are
+/// never returned.
+class FaultEscalationError : public Error {
+ public:
+  explicit FaultEscalationError(const std::string& what)
+      : Error("uncorrectable memory fault: " + what) {}
+};
+
 /// Invalid argument or configuration (e.g. a stream division that does not
 /// cover the instruction word, a block size that is not a multiple of the
 /// instruction width).

@@ -1,0 +1,89 @@
+#include "support/faultinject.h"
+
+namespace ccomp::fault {
+
+std::string_view model_name(Model model) {
+  switch (model) {
+    case Model::kSingleBit:
+      return "single";
+    case Model::kMultiBit:
+      return "multi";
+    case Model::kStuckAt0:
+      return "stuck0";
+    case Model::kStuckAt1:
+      return "stuck1";
+    case Model::kBurst:
+      return "burst";
+  }
+  return "unknown";
+}
+
+bool parse_model(std::string_view name, Model& out) {
+  if (name == "single") out = Model::kSingleBit;
+  else if (name == "multi") out = Model::kMultiBit;
+  else if (name == "stuck0") out = Model::kStuckAt0;
+  else if (name == "stuck1") out = Model::kStuckAt1;
+  else if (name == "burst") out = Model::kBurst;
+  else return false;
+  return true;
+}
+
+std::vector<FaultEvent> FaultInjector::inject(std::span<std::uint8_t> region,
+                                              const FaultSpec& spec) {
+  std::vector<FaultEvent> events;
+  if (region.empty()) return events;
+  const std::uint64_t total_bits = static_cast<std::uint64_t>(region.size()) * 8;
+
+  auto flip = [&](std::uint64_t bit) {
+    const std::size_t byte = static_cast<std::size_t>(bit >> 3);
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (bit & 7));
+    region[byte] ^= mask;
+    events.push_back({byte, mask});
+  };
+  auto stick = [&](std::uint64_t bit, bool value) {
+    const std::size_t byte = static_cast<std::size_t>(bit >> 3);
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (bit & 7));
+    const bool current = (region[byte] & mask) != 0;
+    if (current == value) return;  // cell already holds the stuck value
+    region[byte] ^= mask;
+    events.push_back({byte, mask});
+  };
+
+  switch (spec.model) {
+    case Model::kSingleBit:
+      flip(rng_.next_below(total_bits));
+      break;
+    case Model::kMultiBit:
+      for (unsigned i = 0; i < (spec.bits == 0 ? 1 : spec.bits); ++i)
+        flip(rng_.next_below(total_bits));
+      break;
+    case Model::kStuckAt0:
+      stick(rng_.next_below(total_bits), false);
+      break;
+    case Model::kStuckAt1:
+      stick(rng_.next_below(total_bits), true);
+      break;
+    case Model::kBurst: {
+      const unsigned len = spec.burst_bits == 0 ? 1 : spec.burst_bits;
+      const std::uint64_t start = rng_.next_below(total_bits);
+      for (unsigned i = 0; i < len && start + i < total_bits; ++i) flip(start + i);
+      break;
+    }
+  }
+  return events;
+}
+
+FaultEvent FaultInjector::flip_one(std::span<std::uint8_t> region) {
+  FaultSpec spec;
+  spec.model = Model::kSingleBit;
+  const std::vector<FaultEvent> events = inject(region, spec);
+  return events.empty() ? FaultEvent{} : events.front();
+}
+
+void FaultInjector::revert(std::span<std::uint8_t> region,
+                           std::span<const FaultEvent> events) {
+  for (const FaultEvent& e : events)
+    if (e.byte_offset < region.size()) region[e.byte_offset] ^= e.bit_mask;
+}
+
+}  // namespace ccomp::fault

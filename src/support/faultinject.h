@@ -1,0 +1,77 @@
+// Deterministic, seedable runtime fault injector.
+//
+// Models the bit-level failure modes of fault-prone embedded ROM/flash and
+// SRAM: single-event upsets (single/multi-bit flips), stuck-at cells, and
+// burst errors (a run of consecutive bits damaged by one physical event).
+// Faults are applied to caller-owned byte regions — the compressed store,
+// the serialized LAT, a CLB entry, or a bus transfer buffer — so the same
+// injector drives every attack surface of the self-healing memory system
+// (memsys/selfheal.h) and the Monte-Carlo campaigns in
+// examples/fault_campaign.cpp.
+//
+// Everything is reproducible from the seed: the same seed over the same
+// region sizes yields the same fault sequence, which is what lets CI assert
+// exact survivability numbers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace ccomp::fault {
+
+/// Physical failure mode of one injected fault.
+enum class Model : std::uint8_t {
+  kSingleBit = 0,  // one random bit flips
+  kMultiBit = 1,   // `bits` independent random bits flip
+  kStuckAt0 = 2,   // one random bit reads as 0 regardless of contents
+  kStuckAt1 = 3,   // one random bit reads as 1 regardless of contents
+  kBurst = 4,      // `burst_bits` consecutive bits flip
+};
+
+std::string_view model_name(Model model);
+/// Parse "single" / "multi" / "stuck0" / "stuck1" / "burst". Returns false
+/// on an unknown name.
+bool parse_model(std::string_view name, Model& out);
+
+/// One fault to inject.
+struct FaultSpec {
+  Model model = Model::kSingleBit;
+  unsigned bits = 2;        // kMultiBit: number of independent flips
+  unsigned burst_bits = 4;  // kBurst: length of the damaged run
+};
+
+/// One bit-level mutation that was applied (stuck-at faults that hit a cell
+/// already holding the stuck value produce no event).
+struct FaultEvent {
+  std::size_t byte_offset = 0;
+  std::uint8_t bit_mask = 0;  // bits changed within that byte
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// Apply one fault of the given spec to `region`. Returns the mutations
+  /// actually performed (empty when the region is empty or a stuck-at fault
+  /// was absorbed). Deterministic in (seed, call sequence, region size).
+  std::vector<FaultEvent> inject(std::span<std::uint8_t> region, const FaultSpec& spec);
+
+  /// Convenience: flip exactly one random bit. Returns the event.
+  FaultEvent flip_one(std::span<std::uint8_t> region);
+
+  /// Undo recorded events (XOR the masks back). Only meaningful for flip
+  /// models; campaigns use it to restore a store between trials.
+  static void revert(std::span<std::uint8_t> region, std::span<const FaultEvent> events);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace ccomp::fault

@@ -48,6 +48,10 @@ class ByteSource {
   std::uint64_t varint();
   std::span<const std::uint8_t> bytes(std::size_t n);
   std::vector<std::uint8_t> sized_bytes();
+  /// Like sized_bytes(), but a view aliasing the source buffer (no copy).
+  std::span<const std::uint8_t> sized_bytes_view() {
+    return bytes(static_cast<std::size_t>(varint()));
+  }
 
   std::size_t position() const { return pos_; }
   std::size_t remaining() const { return data_.size() - pos_; }

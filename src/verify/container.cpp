@@ -6,9 +6,11 @@
 // rather than a generic parse failure. It mirrors the serialize() layout in
 // core/image.cpp — any format change must be reflected here (test_verify
 // locks the two together).
+#include <algorithm>
 #include <string>
 
 #include "support/crc32.h"
+#include "support/ecc.h"
 #include "support/error.h"
 #include "support/serialize.h"
 #include "verify/internal.h"
@@ -33,7 +35,9 @@ bool scan_container(std::span<const std::uint8_t> bytes, VerifyReport& report) {
     }
     const std::uint8_t codec = src.u8();
     const std::uint8_t isa = src.u8();
-    const std::uint8_t variable = src.u8();
+    const std::uint8_t flags = src.u8();
+    const bool variable = (flags & 0x01) != 0;
+    const bool has_ecc = (flags & 0x02) != 0;
     const std::uint32_t block_size = src.u32();
     const std::uint64_t original_size = src.u64();
     if (codec < 1 || codec > 4)
@@ -41,6 +45,9 @@ bool scan_container(std::span<const std::uint8_t> bytes, VerifyReport& report) {
     if (isa < 1 || isa > 3)
       emit(report, "IMG002", "ISA id " + std::to_string(isa) + " is not a known ISA");
     if (block_size == 0) emit(report, "IMG003", "header block size is zero");
+    if ((flags & ~0x03) != 0)
+      emit(report, "IMG006",
+           "header flags byte has unknown bits set (value " + std::to_string(flags) + ")");
 
     region = "codec tables";
     const std::vector<std::uint8_t> tables = src.sized_bytes();
@@ -60,6 +67,8 @@ bool scan_container(std::span<const std::uint8_t> bytes, VerifyReport& report) {
     std::uint64_t acc = 0;
     std::uint64_t sentinel = 0;
     bool lat_ok = true;
+    std::vector<std::uint32_t> block_starts;
+    block_starts.reserve(static_cast<std::size_t>(offset_count));
     for (std::uint64_t i = 0; i < offset_count; ++i) {
       acc += src.varint();
       if (acc > 0xFFFFFFFFull) {
@@ -70,12 +79,13 @@ bool scan_container(std::span<const std::uint8_t> bytes, VerifyReport& report) {
         break;
       }
       sentinel = acc;
+      block_starts.push_back(static_cast<std::uint32_t>(acc));
     }
     if (!lat_ok) return false;
 
     region = "per-block sizes";
     std::uint64_t variable_sum = 0;
-    if (variable != 0) {
+    if (variable) {
       for (std::uint64_t i = 0; i + 1 < offset_count; ++i) {
         const std::uint64_t s = src.varint();
         if (s > 0xFFFFFFFFull) {
@@ -98,11 +108,43 @@ bool scan_container(std::span<const std::uint8_t> bytes, VerifyReport& report) {
     }
 
     region = "payload";
-    const std::size_t payload_len = src.sized_bytes().size();
+    const std::span<const std::uint8_t> payload = src.sized_bytes_view();
+    const std::size_t payload_len = payload.size();
     if (sentinel != payload_len)
       emit(report, "LAT002",
            "LAT sentinel " + std::to_string(sentinel) + " != payload size " +
                std::to_string(payload_len));
+
+    region = "ECC section";
+    if (has_ecc) {
+      const std::span<const std::uint8_t> ecc_bytes = src.sized_bytes_view();
+      std::size_t expected_ecc = 0;
+      for (std::size_t i = 0; i + 1 < block_starts.size(); ++i)
+        expected_ecc += ecc::ecc_bytes_for(block_starts[i + 1] - block_starts[i]);
+      if (ecc_bytes.size() != expected_ecc) {
+        emit(report, "ECC001",
+             "ECC section holds " + std::to_string(ecc_bytes.size()) +
+                 " check byte(s), block payload sizes need " + std::to_string(expected_ecc));
+      } else if (sentinel == payload_len) {
+        // Recompute each block's check bytes and compare: a mismatch means a
+        // latent fault in the stored payload or ECC, already present at rest.
+        std::size_t bad_blocks = 0;
+        std::size_t ecc_off = 0;
+        for (std::size_t i = 0; i + 1 < block_starts.size(); ++i) {
+          const std::span<const std::uint8_t> body =
+              payload.subspan(block_starts[i], block_starts[i + 1] - block_starts[i]);
+          const std::size_t n = ecc::ecc_bytes_for(body.size());
+          std::vector<std::uint8_t> fresh(n);
+          ecc::encode_block(body, fresh);
+          if (!std::equal(fresh.begin(), fresh.end(), ecc_bytes.begin() + ecc_off)) ++bad_blocks;
+          ecc_off += n;
+        }
+        if (bad_blocks != 0)
+          emit(report, "ECC002",
+               std::to_string(bad_blocks) +
+                   " block(s) whose stored SECDED check bytes do not match the payload");
+      }
+    }
 
     region = "checksum trailer";
     const std::size_t body_end = src.position();

@@ -54,7 +54,7 @@ std::string VerifyReport::to_string() const {
 
 namespace {
 
-constexpr std::array<CheckInfo, 35> kCatalogue = {{
+constexpr std::array<CheckInfo, 38> kCatalogue = {{
     // Container framing + integrity.
     {"SER001", Severity::kError, "container truncated or unparseable"},
     {"SER002", Severity::kError, "integrity checksum (CRC-32 trailer) mismatch"},
@@ -66,6 +66,10 @@ constexpr std::array<CheckInfo, 35> kCatalogue = {{
     {"IMG003", Severity::kError, "block size is zero"},
     {"IMG004", Severity::kError, "block count inconsistent with original size"},
     {"IMG005", Severity::kError, "per-block original sizes inconsistent"},
+    {"IMG006", Severity::kError, "header flags byte has unknown bits set"},
+    // Per-block SECDED ECC section.
+    {"ECC001", Severity::kError, "ECC section size inconsistent with block payload sizes"},
+    {"ECC002", Severity::kError, "stored SECDED check bytes do not match the payload"},
     // Line address table.
     {"LAT001", Severity::kError, "LAT offset overflows or is non-monotone"},
     {"LAT002", Severity::kError, "LAT sentinel does not equal the payload size"},
