@@ -4,11 +4,21 @@
 // the generated benchmark sizes (default 1.0, the DESIGN.md sizes). Use
 // smaller scales for quick smoke runs; the ratio *ordering* is stable under
 // scaling, absolute ratios move slightly.
+//
+// Harnesses print their human-readable table to stdout (redirected into
+// bench_results/<name>.txt when regenerating the committed artifacts) and
+// additionally emit the same numbers machine-readably through JsonReporter
+// as bench_results/<name>.json — rows of {name, metric, value, unit} — so CI
+// can diff runs without parsing the tables. `--json=<path>` overrides the
+// output path.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -30,5 +40,75 @@ inline workload::Profile scaled_profile(const workload::Profile& p, double scale
   copy.code_kb = kb < 8.0 ? 8u : static_cast<std::uint32_t>(kb);
   return copy;
 }
+
+// --- Wall-clock timing ----------------------------------------------------
+
+/// Total wall-clock nanoseconds for `rounds` calls of `body(round)` in one
+/// timed region. Divide by the per-round work count for amortized latency.
+template <typename Fn>
+double time_total_ns(std::size_t rounds, Fn&& body) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) body(r);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(stop - start).count();
+}
+
+/// Median wall-clock nanoseconds of `samples` independently timed runs of
+/// `body()` — robust to a stray slow run on a noisy machine.
+template <typename Fn>
+double median_time_ns(std::size_t samples, Fn&& body) {
+  std::vector<double> ns(samples == 0 ? 1 : samples);
+  for (double& sample : ns) sample = time_total_ns(1, [&](std::size_t) { body(); });
+  std::sort(ns.begin(), ns.end());
+  return ns[ns.size() / 2];
+}
+
+// --- Machine-readable results ---------------------------------------------
+
+/// Collects {name, metric, value, unit} rows and writes them as a JSON array
+/// on destruction (or an explicit write()). Default output path is
+/// bench_results/<bench>.json next to the committed .txt artifacts; --json=
+/// anywhere in argv overrides it. An unwritable path warns on stderr but
+/// never fails the bench — the stdout table is the primary artifact.
+class JsonReporter {
+ public:
+  JsonReporter(std::string bench_name, int argc, char** argv)
+      : path_("bench_results/" + bench_name + ".json") {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--json=", 7) == 0) path_ = argv[i] + 7;
+    }
+  }
+  ~JsonReporter() { write(); }
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  void add(const std::string& name, const std::string& metric, double value,
+           const std::string& unit) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", value);
+    rows_.push_back("{\"name\":\"" + name + "\",\"metric\":\"" + metric +
+                    "\",\"value\":" + buf + ",\"unit\":\"" + unit + "\"}");
+  }
+
+  void write() {
+    if (written_) return;
+    written_ = true;
+    std::ofstream out(path_, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "note: cannot write %s (run from the repo root or pass --json=)\n",
+                   path_.c_str());
+      return;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      out << "  " << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+    out << "]\n";
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> rows_;
+  bool written_ = false;
+};
 
 }  // namespace ccomp::bench

@@ -20,6 +20,7 @@
 int main(int argc, char** argv) {
   using namespace ccomp;
   const double scale = bench::parse_scale(argc, argv);
+  bench::JsonReporter json("fig7_mips", argc, argv);
   std::printf("Figure 7: compression ratios on MIPS (scale=%.2f, threads=%zu)\n", scale,
               par::thread_count());
 
@@ -39,10 +40,20 @@ int main(int argc, char** argv) {
                 samc_codec.compress(code).sizes().ratio(),
                 sadc_codec.compress(code).sizes().ratio()};
       });
-  for (std::size_t i = 0; i < profiles.size(); ++i) table.add_row(profiles[i].name, rows[i]);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    table.add_row(profiles[i].name, rows[i]);
+    json.add(profiles[i].name, "compress_ratio", rows[i][0], "ratio");
+    json.add(profiles[i].name, "gzip_ratio", rows[i][1], "ratio");
+    json.add(profiles[i].name, "samc_ratio", rows[i][2], "ratio");
+    json.add(profiles[i].name, "sadc_ratio", rows[i][3], "ratio");
+  }
   table.print();
 
   const auto means = table.column_means();
+  json.add("mean", "compress_ratio", means[0], "ratio");
+  json.add("mean", "gzip_ratio", means[1], "ratio");
+  json.add("mean", "samc_ratio", means[2], "ratio");
+  json.add("mean", "sadc_ratio", means[3], "ratio");
   std::printf("\nShape checks (paper expectations):\n");
   std::printf("  SADC better than SAMC by %.1f%% absolute (paper: 4-6%%)\n",
               (means[2] - means[3]) * 100.0);

@@ -22,6 +22,7 @@
 int main(int argc, char** argv) {
   using namespace ccomp;
   const double scale = bench::parse_scale(argc, argv);
+  bench::JsonReporter json("fig9_average", argc, argv);
   std::printf("Figure 9: average instruction-compression ratios (scale=%.2f, threads=%zu)\n",
               scale, par::thread_count());
 
@@ -50,6 +51,9 @@ int main(int argc, char** argv) {
     const double n = static_cast<double>(ratios.size());
     const double row[] = {sums[0] / n, sums[1] / n, sums[2] / n};
     table.add_row("MIPS", row);
+    json.add("mips", "huffman_ratio", row[0], "ratio");
+    json.add("mips", "samc_ratio", row[1], "ratio");
+    json.add("mips", "sadc_ratio", row[2], "ratio");
   }
 
   // x86 row.
@@ -71,6 +75,9 @@ int main(int argc, char** argv) {
     const double n = static_cast<double>(ratios.size());
     const double row[] = {sums[0] / n, sums[1] / n, sums[2] / n};
     table.add_row("x86", row);
+    json.add("x86", "huffman_ratio", row[0], "ratio");
+    json.add("x86", "samc_ratio", row[1], "ratio");
+    json.add("x86", "sadc_ratio", row[2], "ratio");
   }
 
   table.print();

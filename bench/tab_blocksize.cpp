@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace ccomp;
   const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::JsonReporter json("tab_blocksize", argc, argv);
   std::printf("Table T-BS: block-size sensitivity on MIPS (scale=%.2f)\n", scale);
 
   const std::uint32_t block_sizes[] = {16, 32, 64, 128};
@@ -36,6 +37,12 @@ int main(int argc, char** argv) {
     }
     samc_table.add_row(name, samc_row);
     sadc_table.add_row(name, sadc_row);
+    for (std::size_t k = 0; k < std::size(block_sizes); ++k) {
+      std::string suffix = std::to_string(block_sizes[k]);
+      suffix += 'b';
+      json.add(name, "samc_ratio_" + suffix, samc_row[k], "ratio");
+      json.add(name, "sadc_ratio_" + suffix, sadc_row[k], "ratio");
+    }
     std::fflush(stdout);
   }
   samc_table.print();

@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace ccomp;
   const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::JsonReporter json("tab_connected", argc, argv);
   std::printf("Table T-CONN: connected Markov trees (scale=%.2f)\n", scale);
 
   core::RatioTable table("SAMC ratio vs inter-stream context bits",
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
       o.markov.context_bits = bits;
       o.markov.connect_across_words = bits > 0;
       row.push_back(samc::SamcCodec(o).compress(code).sizes().ratio());
+      json.add(name, "samc_ratio_ctx" + std::to_string(bits), row.back(), "ratio");
     }
     table.add_row(name, row);
     std::fflush(stdout);

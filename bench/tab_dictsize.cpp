@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace ccomp;
   const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::JsonReporter json("tab_dictsize", argc, argv);
   std::printf("Table T-DS: SADC dictionary-size sensitivity (scale=%.2f)\n", scale);
 
   const std::size_t sizes[] = {96, 128, 192, 256};
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
       sadc::SadcOptions opt;
       opt.max_symbols = n;
       row.push_back(sadc::SadcMipsCodec(opt).compress(code).sizes().ratio());
+      json.add(name, "sadc_ratio_dict" + std::to_string(n), row.back(), "ratio");
     }
     table.add_row(name, row);
     std::fflush(stdout);

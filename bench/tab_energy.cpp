@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace ccomp;
   const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::JsonReporter json("tab_energy", argc, argv);
   std::printf("Table T-E: fetch energy of the compressed memory system (scale=%.2f)\n\n",
               scale);
 
@@ -45,6 +46,9 @@ int main(int argc, char** argv) {
                 100.0 * (1.0 - samc_run.energy_per_fetch_nj() / base.energy_per_fetch_nj()),
                 sadc_run.energy_per_fetch_nj(),
                 100.0 * (1.0 - sadc_run.energy_per_fetch_nj() / base.energy_per_fetch_nj()));
+    json.add(p.name, "base_energy_per_fetch", base.energy_per_fetch_nj(), "nJ");
+    json.add(p.name, "samc_energy_per_fetch", samc_run.energy_per_fetch_nj(), "nJ");
+    json.add(p.name, "sadc_energy_per_fetch", sadc_run.energy_per_fetch_nj(), "nJ");
     std::fflush(stdout);
   }
   std::printf("\nCompressed refills transfer ~half the bytes; whether that nets a\n"

@@ -3,7 +3,6 @@
 // refill pays a CRC gate, and ECC verification/ correction costs more — so
 // this table measures refill latency clean vs faulted, with the ECC rung on
 // and off, plus scrubber throughput and the storage cost of the check bytes.
-#include <chrono>
 #include <cstdio>
 
 #include "bench_common.h"
@@ -16,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace ccomp;
   const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::JsonReporter json("tab_fault", argc, argv);
   std::printf("Table T-FAULT: cost of the self-healing refill ladder (scale=%.2f)\n\n",
               scale);
 
@@ -49,17 +49,17 @@ int main(int argc, char** argv) {
     for (const bool use_ecc : {true, false}) {
       auto sys = make_system(use_ecc);
       fault::FaultInjector injector(42);
-      const auto start = std::chrono::steady_clock::now();
-      for (std::size_t r = 0; r < rounds; ++r) {
+      const double total = bench::time_total_ns(rounds, [&](std::size_t) {
         for (std::size_t b = 0; b < blocks; ++b) {
           if (faulted) injector.flip_one(sys.store_payload());
           (void)sys.read_block(b);
         }
         if (faulted) sys.repair_all();
-      }
-      const auto stop = std::chrono::steady_clock::now();
-      ns[use_ecc ? 0 : 1] = std::chrono::duration<double, std::nano>(stop - start).count() /
-                            static_cast<double>(rounds * blocks);
+      });
+      ns[use_ecc ? 0 : 1] = total / static_cast<double>(rounds * blocks);
+      json.add(faulted ? "faulted" : "clean",
+               use_ecc ? "refill_latency_ecc_on" : "refill_latency_ecc_off",
+               ns[use_ecc ? 0 : 1], "ns");
     }
     std::printf("%-28s %12.0fns %12.0fns\n",
                 faulted ? "faulted (1 flip per round)" : "clean", ns[0], ns[1]);
@@ -72,15 +72,13 @@ int main(int argc, char** argv) {
     auto sys = make_system(true);
     fault::FaultInjector injector(43);
     const std::size_t sweeps = 200;
-    const auto start = std::chrono::steady_clock::now();
-    for (std::size_t s = 0; s < sweeps; ++s) {
+    const double total = bench::time_total_ns(sweeps, [&](std::size_t) {
       if (faulted) injector.flip_one(sys.store_payload());
       (void)sys.scrub(blocks);
-    }
-    const auto stop = std::chrono::steady_clock::now();
-    const double ms = std::chrono::duration<double, std::milli>(stop - start).count();
-    std::printf("%-28s %14.0f\n", faulted ? "under fault load" : "clean store",
-                static_cast<double>(sweeps * blocks) / ms);
+    });
+    const double per_ms = static_cast<double>(sweeps * blocks) / (total / 1e6);
+    json.add(faulted ? "faulted" : "clean", "scrub_throughput", per_ms, "blocks/ms");
+    std::printf("%-28s %14.0f\n", faulted ? "under fault load" : "clean store", per_ms);
   }
 
   return 0;

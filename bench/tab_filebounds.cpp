@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace ccomp;
   const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::JsonReporter json("tab_filebounds", argc, argv);
   std::printf("Table T-FB: file-oriented bounds vs block codecs, MIPS (scale=%.2f)\n", scale);
 
   core::RatioTable table("ratio (lower = better)",
@@ -40,6 +41,11 @@ int main(int argc, char** argv) {
         static_cast<double>(ppm.size()) / static_cast<double>(code.size()),
         samc_image.sizes().ratio(), sadc_image.sizes().ratio()};
     table.add_row(p.name, row);
+    json.add(p.name, "compress_ratio", row[0], "ratio");
+    json.add(p.name, "gzip_ratio", row[1], "ratio");
+    json.add(p.name, "ppm_ratio", row[2], "ratio");
+    json.add(p.name, "samc_ratio", row[3], "ratio");
+    json.add(p.name, "sadc_ratio", row[4], "ratio");
     std::fflush(stdout);
   }
   table.print();

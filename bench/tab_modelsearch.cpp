@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace ccomp;
   const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::JsonReporter json("tab_modelsearch", argc, argv);
   std::printf("Table T-MS: automatic Markov model selection (scale=%.2f)\n", scale);
 
   core::RatioTable table("SAMC ratio: paper default vs auto-tuned model",
@@ -36,6 +37,8 @@ int main(int argc, char** argv) {
 
     const double row[] = {r_default, r_tuned};
     table.add_row(p.name, row);
+    json.add(p.name, "samc_ratio_default", r_default, "ratio");
+    json.add(p.name, "samc_ratio_tuned", r_tuned, "ratio");
     std::printf("  %-10s -> %zu streams, %u context bits\n", p.name,
                 tuned.config.division.stream_count(), tuned.config.context_bits);
     std::fflush(stdout);

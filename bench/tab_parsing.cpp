@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace ccomp;
   const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::JsonReporter json("tab_parsing", argc, argv);
   std::printf("Table T-PARSE: SADC greedy vs optimal block parsing (scale=%.2f)\n", scale);
 
   core::RatioTable table("SADC ratio by parse mode", {"greedy", "optimal"});
@@ -27,6 +28,8 @@ int main(int argc, char** argv) {
         sadc::SadcMipsCodec(greedy).compress(code).sizes().ratio(),
         sadc::SadcMipsCodec(optimal).compress(code).sizes().ratio()};
     table.add_row(p.name, row);
+    json.add(p.name, "sadc_ratio_greedy", row[0], "ratio");
+    json.add(p.name, "sadc_ratio_optimal", row[1], "ratio");
     std::fflush(stdout);
   }
   table.print();

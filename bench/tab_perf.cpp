@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace ccomp;
   const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::JsonReporter json("tab_perf", argc, argv);
   std::printf("Table T-PERF: memory-system cost of compressed code (scale=%.2f)\n\n", scale);
 
   const workload::Profile p =
@@ -40,6 +41,9 @@ int main(int argc, char** argv) {
     std::printf("%6u KB %9.4f %12.3f %12.3f %11.3fx %9.3f\n", kb, base.miss_rate(),
                 base.cycles_per_fetch(), comp.cycles_per_fetch(),
                 comp.cycles_per_fetch() / base.cycles_per_fetch(), comp.clb_hit_rate());
+    const std::string cache = std::to_string(kb) + "kb";
+    json.add(cache, "slowdown", comp.cycles_per_fetch() / base.cycles_per_fetch(), "x");
+    json.add(cache, "clb_hit_rate", comp.clb_hit_rate(), "ratio");
   }
 
   std::printf("\nCLB ablation (4 KB cache):\n");
@@ -50,6 +54,8 @@ int main(int argc, char** argv) {
     const auto comp = memsys::simulate_compressed(config, trace, image);
     std::printf("  CLB %-3s: %.3f cycles/fetch\n", use_clb ? "on" : "off",
                 comp.cycles_per_fetch());
+    json.add(use_clb ? "clb_on" : "clb_off", "cycles_per_fetch",
+             comp.cycles_per_fetch(), "cycles");
   }
 
   std::printf("\nDecoder width ablation (Fig. 5 parallel midpoints, 4 KB cache):\n");
@@ -60,6 +66,8 @@ int main(int argc, char** argv) {
     const auto comp = memsys::simulate_compressed(config, trace, image);
     std::printf("  %u bit/cycle (%3zu midpoint units): %.3f cycles/fetch\n", bits,
                 samc::parallel_decode_units(bits), comp.cycles_per_fetch());
+    json.add("decode_" + std::to_string(bits) + "bit", "cycles_per_fetch",
+             comp.cycles_per_fetch(), "cycles");
   }
   std::printf("\nPaper expectation: slowdown shrinks as the I-cache hit ratio rises;\n"
               "the CLB removes most LAT-lookup cost; wider decode helps linearly.\n");

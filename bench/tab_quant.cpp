@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace ccomp;
   const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::JsonReporter json("tab_quant", argc, argv);
   std::printf("Table T-Q: SAMC probability quantization cost (scale=%.2f)\n", scale);
 
   core::RatioTable table("SAMC ratio: exact vs power-of-1/2 probabilities",
@@ -24,11 +25,13 @@ int main(int argc, char** argv) {
     const auto code = mips::words_to_bytes(workload::generate_mips(p));
     std::vector<double> row;
     row.push_back(samc::SamcCodec(samc::mips_defaults()).compress(code).sizes().ratio());
+    json.add(name, "samc_ratio_exact", row.back(), "ratio");
     for (const unsigned shift : {4u, 6u, 8u}) {
       samc::SamcOptions o = samc::mips_defaults();
       o.markov.quantized = true;
       o.markov.max_shift = shift;
       row.push_back(samc::SamcCodec(o).compress(code).sizes().ratio());
+      json.add(name, "samc_ratio_shift" + std::to_string(shift), row.back(), "ratio");
     }
     table.add_row(name, row);
     std::fflush(stdout);

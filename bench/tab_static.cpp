@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace ccomp;
   const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::JsonReporter json("tab_static", argc, argv);
   std::printf("Table T-ST: SAMC semiadaptive vs static (gcc-trained) model (scale=%.2f)\n",
               scale);
 
@@ -40,6 +41,9 @@ int main(int argc, char** argv) {
         static_cast<double>(static_image.sizes().payload) / static_cast<double>(code.size()),
         static_image.sizes().ratio()};
     table.add_row(p.name, row);
+    json.add(p.name, "samc_ratio_semiadaptive", row[0], "ratio");
+    json.add(p.name, "samc_ratio_static", row[1], "ratio");
+    json.add(p.name, "samc_ratio_static_tbl", row[2], "ratio");
     std::fflush(stdout);
   }
   table.print();
@@ -61,6 +65,9 @@ int main(int argc, char** argv) {
         static_cast<double>(static_image.sizes().payload) / static_cast<double>(code.size()),
         static_image.sizes().ratio()};
     sadc_table.add_row(p.name, row);
+    json.add(p.name, "sadc_ratio_semiadaptive", row[0], "ratio");
+    json.add(p.name, "sadc_ratio_static", row[1], "ratio");
+    json.add(p.name, "sadc_ratio_static_tbl", row[2], "ratio");
     std::fflush(stdout);
   }
   sadc_table.print();

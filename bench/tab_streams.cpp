@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace ccomp;
   const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::JsonReporter json("tab_streams", argc, argv);
   std::printf("Table T-SD: SAMC stream-division sensitivity (scale=%.2f)\n", scale);
 
   core::RatioTable table("SAMC ratio vs stream division",
@@ -29,6 +30,8 @@ int main(int argc, char** argv) {
       samc::SamcOptions o = samc::mips_defaults();
       o.markov.division = coding::StreamDivision::contiguous(32, streams);
       row.push_back(samc::SamcCodec(o).compress(code).sizes().ratio());
+      json.add(name, "samc_ratio_" + std::to_string(streams) + "streams", row.back(),
+               "ratio");
     }
     samc::OptimizerOptions opt;
     opt.swap_attempts = 120;
@@ -36,6 +39,7 @@ int main(int argc, char** argv) {
     samc::SamcOptions o = samc::mips_defaults();
     o.markov.division = samc::optimize_division(words, opt);
     row.push_back(samc::SamcCodec(o).compress(code).sizes().ratio());
+    json.add(name, "samc_ratio_optimized", row.back(), "ratio");
     table.add_row(name, row);
     std::fflush(stdout);
   }

@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace ccomp;
   const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::JsonReporter json("tab_x86split", argc, argv);
   std::printf("Table T-XS: SAMC/x86 byte streams vs field streams (scale=%.2f)\n", scale);
 
   core::RatioTable table("x86 SAMC ratio by stream subdivision",
@@ -27,6 +28,8 @@ int main(int argc, char** argv) {
     const double row[] = {byte_codec.compress(code).sizes().ratio(),
                           split_codec.compress(code).sizes().ratio()};
     table.add_row(p.name, row);
+    json.add(p.name, "samc_ratio_byte", row[0], "ratio");
+    json.add(p.name, "samc_ratio_field", row[1], "ratio");
     std::fflush(stdout);
   }
   table.print();

@@ -14,6 +14,7 @@
 
 #include "isa/mips/mips.h"
 #include "memsys/sim.h"
+#include "obs_flags.h"
 #include "sadc/sadc.h"
 #include "samc/samc.h"
 #include "support/parallel.h"
@@ -23,6 +24,8 @@
 
 int main(int argc, char** argv) {
   using namespace ccomp;
+  examples::ObsFlags obs_flags;
+  argc = examples::strip_obs_flags(argc, argv, obs_flags);
   // Peel off --threads / --help before reading the positional arguments.
   int args = 1;
   for (int i = 1; i < argc; ++i) {
@@ -32,7 +35,10 @@ int main(int argc, char** argv) {
       std::printf("usage: %s [benchmark-name] [trace-length] [--threads=N]\n"
                   "  --threads=N  worker threads for the parallel compressors\n"
                   "               (default: hardware concurrency, %zu here;\n"
-                  "               CCOMP_THREADS overrides the default)\n",
+                  "               CCOMP_THREADS overrides the default)\n"
+                  "  --metrics=F  write the telemetry registry at exit\n"
+                  "               (Prometheus text; JSON when F ends in .json)\n"
+                  "  --trace=F    record spans; write chrome://tracing JSON to F\n",
                   argv[0], par::hardware_threads());
       return 0;
     } else {
@@ -93,5 +99,5 @@ int main(int argc, char** argv) {
   std::printf("\nAs the paper argues, the loss tracks the I-cache miss ratio: with a\n"
               "reasonable cache the compressed system runs within a few percent of\n"
               "the uncompressed one while storing far less code.\n");
-  return 0;
+  return examples::finish_obs(obs_flags, 0);
 }

@@ -20,6 +20,7 @@
 #include "baseline/bytehuff.h"
 #include "isa/mips/asm.h"
 #include "isa/mips/mips.h"
+#include "obs_flags.h"
 #include "sadc/sadc.h"
 #include "samc/samc.h"
 #include "samc/samc_x86split.h"
@@ -240,6 +241,10 @@ void print_help(const char* prog) {
       "               and round-trip verification (default: hardware\n"
       "               concurrency, %zu here; CCOMP_THREADS overrides the\n"
       "               default). Output is byte-identical at any setting.\n"
+      "  --metrics=F  write the telemetry registry at exit: Prometheus text,\n"
+      "               or a JSON snapshot when F ends in .json\n"
+      "  --trace=F    record tracing spans; write chrome://tracing JSON to F\n"
+      "               (open via chrome://tracing or https://ui.perfetto.dev)\n"
       "  --help       this message\n",
       prog, ccomp::par::hardware_threads());
 }
@@ -263,6 +268,8 @@ int handle_global_flags(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  examples::ObsFlags obs_flags;
+  argc = examples::strip_obs_flags(argc, argv, obs_flags);
   argc = handle_global_flags(argc, argv);
   if (argc < 2) {
     std::fprintf(stderr,
@@ -270,17 +277,18 @@ int main(int argc, char** argv) {
                  argv[0]);
     return 1;
   }
+  int rc = 1;
   try {
     const std::string cmd = argv[1];
-    if (cmd == "compress") return cmd_compress(argc, argv);
-    if (cmd == "decompress") return cmd_decompress(argc, argv);
-    if (cmd == "info") return cmd_info(argc, argv);
-    if (cmd == "asm") return cmd_asm(argc, argv);
-    if (cmd == "disasm") return cmd_disasm(argc, argv);
-    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
-    return 1;
+    if (cmd == "compress") rc = cmd_compress(argc, argv);
+    else if (cmd == "decompress") rc = cmd_decompress(argc, argv);
+    else if (cmd == "info") rc = cmd_info(argc, argv);
+    else if (cmd == "asm") rc = cmd_asm(argc, argv);
+    else if (cmd == "disasm") rc = cmd_disasm(argc, argv);
+    else std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   } catch (const ccomp::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
+  return examples::finish_obs(obs_flags, rc);
 }

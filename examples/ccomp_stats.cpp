@@ -1,0 +1,105 @@
+// ccomp_stats — a guided tour of the telemetry subsystem (ccomp::obs).
+//
+// Runs one end-to-end workload — generate a synthetic MIPS benchmark,
+// compress it with SAMC and SADC, lint it, then execute a fetch loop
+// against the functional and self-healing memory systems — and prints the
+// aggregated metrics registry as a table: per-block encode/decode latency
+// histograms, cache hit/miss counters, refill latencies, recovery-ladder
+// rung counters, and thread-pool load-balance counters.
+//
+//   ccomp_stats [benchmark-name] [--kb=N] [--threads=N]
+//               [--metrics=F]   also write Prometheus text (JSON if F ends
+//                               in .json)
+//   ccomp_stats --trace=F       record spans; write chrome://tracing JSON
+//
+// This doubles as the smoke test for the exporters: the CI metrics job
+// validates its --metrics JSON against tools/metrics_schema.json.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "isa/mips/mips.h"
+#include "memsys/functional.h"
+#include "memsys/selfheal.h"
+#include "obs_flags.h"
+#include "sadc/sadc.h"
+#include "samc/samc.h"
+#include "support/parallel.h"
+#include "verify/verify.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+#include "workload/trace.h"
+
+int main(int argc, char** argv) {
+  using namespace ccomp;
+  examples::ObsFlags obs_flags;
+  argc = examples::strip_obs_flags(argc, argv, obs_flags);
+
+  const char* name = "ijpeg";
+  std::uint32_t kb = 32;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      par::set_thread_count(static_cast<std::size_t>(std::atoi(argv[i] + 10)));
+    } else if (std::strncmp(argv[i], "--kb=", 5) == 0) {
+      kb = static_cast<std::uint32_t>(std::atoi(argv[i] + 5));
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: %s [benchmark-name] [--kb=N] [--threads=N]\n"
+                  "          [--metrics=F] [--trace=F]\n",
+                  argv[0]);
+      return 0;
+    } else if (argv[i][0] != '-') {
+      name = argv[i];
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const workload::Profile* profile = workload::find_profile(name);
+  if (profile == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name);
+    return 2;
+  }
+  workload::Profile p = *profile;
+  p.code_kb = std::min(p.code_kb, kb);
+
+  try {
+    const auto prog = workload::generate_mips_program(p);
+    const auto code = mips::words_to_bytes(prog.words);
+
+    // Compression + linting: feeds the samc.*/sadc.*/verify.* series.
+    const samc::SamcCodec samc_codec(samc::mips_defaults());
+    const sadc::SadcMipsCodec sadc_codec;
+    const auto samc_image = samc_codec.compress_verified(code);
+    const auto sadc_image = sadc_codec.compress(code);
+    const verify::VerifyReport report = verify::verify_image(samc_image);
+
+    // A short fetch trace through both memory systems: feeds the
+    // memsys.cache.* counters and memsys.refill_ns / selfheal histograms.
+    workload::TraceOptions topt;
+    topt.length = 50000;
+    const auto trace =
+        workload::generate_trace(p, prog.function_starts, prog.words.size(), topt);
+    memsys::CacheConfig cache{2 * 1024, 32, 2};
+    memsys::FunctionalMemorySystem fun(cache, samc_codec, samc_image);
+    memsys::SelfHealingMemorySystem::Options sh_opts;
+    sh_opts.cache = cache;
+    memsys::SelfHealingMemorySystem heal(sh_opts, sadc_codec, sadc_image);
+    for (const std::uint32_t address : trace) {
+      fun.fetch(address);
+      heal.fetch(address);
+    }
+    heal.scrub(heal.store().block_count());
+
+    std::printf("%s-like: %zu KB text, %zu fetches, lint %s\n", p.name, code.size() / 1024,
+                trace.size(), report.ok() ? "clean" : "FINDINGS");
+    std::printf("SAMC ratio %.3f | SADC ratio %.3f\n\n", samc_image.sizes().ratio(),
+                sadc_image.sizes().ratio());
+    std::fputs(obs::to_table(obs::Registry::instance().snapshot()).c_str(), stdout);
+  } catch (const ccomp::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return examples::finish_obs(obs_flags, 1);
+  }
+  return examples::finish_obs(obs_flags, 0);
+}

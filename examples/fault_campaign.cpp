@@ -31,6 +31,7 @@
 #include "baseline/bytehuff.h"
 #include "isa/mips/mips.h"
 #include "memsys/selfheal.h"
+#include "obs_flags.h"
 #include "sadc/sadc.h"
 #include "samc/samc.h"
 #include "support/ecc.h"
@@ -374,7 +375,7 @@ int cmd_bench_overhead(std::uint32_t kb) {
 void print_help(const char* prog) {
   std::printf(
       "usage: %s [--trials=N] [--seed=S] [--kb=N] [--model=single|multi|stuck0|stuck1|burst|all]\n"
-      "       %*s [--no-ecc] [--json=path]\n"
+      "       %*s [--no-ecc] [--json=path] [--metrics=path] [--trace=path]\n"
       "       %s --bench-overhead [--kb=N]\n",
       prog, static_cast<int>(std::strlen(prog)), "", prog);
 }
@@ -386,6 +387,8 @@ int main(int argc, char** argv) {
   config.seed = 20260805;
   const char* json_path = nullptr;
   bool bench = false;
+  examples::ObsFlags obs_flags;
+  argc = examples::strip_obs_flags(argc, argv, obs_flags);
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trials=", 9) == 0) {
       config.trials = static_cast<std::uint64_t>(std::atoll(argv[i] + 9));
@@ -421,11 +424,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  int rc = 2;
   try {
-    if (bench) return cmd_bench_overhead(config.kb);
-    return cmd_campaign(config, json_path);
+    rc = bench ? cmd_bench_overhead(config.kb) : cmd_campaign(config, json_path);
   } catch (const ccomp::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
+    rc = 2;
   }
+  return examples::finish_obs(obs_flags, rc);
 }

@@ -1,0 +1,92 @@
+// Shared --metrics/--trace handling for the example CLIs.
+//
+//   --metrics=<file>  (or --metrics <file>)  write a registry snapshot at
+//                     exit: Prometheus text exposition, or the JSON snapshot
+//                     when the path ends in ".json"
+//   --trace=<file>    (or --trace <file>)    enable span recording and write
+//                     chrome://tracing (trace_event) JSON at exit
+//
+// Usage in a main():
+//
+//   ccomp::examples::ObsFlags obs_flags;
+//   argc = ccomp::examples::strip_obs_flags(argc, argv, obs_flags);
+//   ...
+//   return ccomp::examples::finish_obs(obs_flags, exit_code);
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace ccomp::examples {
+
+struct ObsFlags {
+  std::string metrics_path;
+  std::string trace_path;
+};
+
+/// Strip --metrics/--trace (either =value or space-separated form) from argv,
+/// compacting it in place; returns the new argc. Enables span recording when
+/// --trace is present so the run captures events from the start.
+inline int strip_obs_flags(int argc, char** argv, ObsFlags& flags) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string* target = nullptr;
+    const char* value = nullptr;
+    if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      target = &flags.metrics_path;
+      value = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      target = &flags.metrics_path;
+      value = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      target = &flags.trace_path;
+      value = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      target = &flags.trace_path;
+      value = argv[++i];
+    }
+    if (target != nullptr) {
+      *target = value;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  if (!flags.trace_path.empty()) obs::set_trace_enabled(true);
+  return out;
+}
+
+/// Write the requested exports. Returns `exit_code` unchanged on success so
+/// callers can `return finish_obs(flags, rc);`; an unwritable output file
+/// turns a zero exit code into 1.
+inline int finish_obs(const ObsFlags& flags, int exit_code) {
+  bool io_ok = true;
+  if (!flags.metrics_path.empty()) {
+    const obs::Snapshot snapshot = obs::Registry::instance().snapshot();
+    const bool json = flags.metrics_path.size() >= 5 &&
+                      flags.metrics_path.compare(flags.metrics_path.size() - 5, 5, ".json") == 0;
+    std::ofstream out(flags.metrics_path, std::ios::binary);
+    out << (json ? obs::to_json(snapshot) : obs::to_prometheus(snapshot));
+    if (!out) {
+      std::fprintf(stderr, "cannot write metrics to %s\n", flags.metrics_path.c_str());
+      io_ok = false;
+    }
+  }
+  if (!flags.trace_path.empty()) {
+    // main() is a quiescent point: the pool workers are idle, so the ring
+    // holds no in-flight writes.
+    const std::vector<obs::SpanEvent> events = obs::trace_events();
+    std::ofstream out(flags.trace_path, std::ios::binary);
+    out << obs::to_chrome_trace(events);
+    if (!out) {
+      std::fprintf(stderr, "cannot write trace to %s\n", flags.trace_path.c_str());
+      io_ok = false;
+    }
+  }
+  return exit_code == 0 && !io_ok ? 1 : exit_code;
+}
+
+}  // namespace ccomp::examples

@@ -1,5 +1,7 @@
 #include "coding/rangecoder.h"
 
+#include "obs/obs.h"
+
 namespace ccomp::coding {
 
 Prob quantize_prob_pow2(Prob p, unsigned max_shift) {
@@ -42,6 +44,7 @@ void RangeEncoder::encode_bit(unsigned bit, Prob p0) {
     range_ -= bound;
   }
   while (range_ < (1u << 24)) {
+    ++renorms_;
     shift_low();
     range_ <<= 8;
   }
@@ -73,6 +76,10 @@ void RangeEncoder::finish() {
     }
   }
   for (int i = 0; i < 5; ++i) shift_low();
+  // Renorm counts are batched per block (one registry add per finish), so
+  // the per-bit encode loop never touches the registry.
+  CCOMP_COUNT("coder.range.encode_renorms", renorms_);
+  renorms_ = 0;
 }
 
 std::vector<std::uint8_t> RangeEncoder::take() {
@@ -87,7 +94,17 @@ std::vector<std::uint8_t> RangeEncoder::take() {
   return bytes;
 }
 
+RangeDecoder::~RangeDecoder() { flush_metrics(); }
+
+void RangeDecoder::flush_metrics() {
+  // Batched like the encoder's: one registry add per block, not per bit.
+  if (renorms_ == 0) return;
+  CCOMP_COUNT("coder.range.decode_renorms", renorms_);
+  renorms_ = 0;
+}
+
 void RangeDecoder::reset(std::span<const std::uint8_t> data) {
+  flush_metrics();
   data_ = data;
   pos_ = 0;
   range_ = 0xFFFFFFFFu;
@@ -109,6 +126,7 @@ unsigned RangeDecoder::decode_bit(Prob p0) {
     range_ -= bound;
   }
   while (range_ < (1u << 24)) {
+    ++renorms_;
     code_ = (code_ << 8) | next_byte();
     range_ <<= 8;
   }

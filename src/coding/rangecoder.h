@@ -67,6 +67,7 @@ class RangeEncoder {
   std::uint32_t range_ = 0xFFFFFFFFu;
   std::uint8_t cache_ = 0;
   std::uint64_t cache_size_ = 1;
+  std::uint64_t renorms_ = 0;  // batched into the obs registry at finish()
 };
 
 /// Decodes a bit sequence produced by RangeEncoder, given the same
@@ -76,6 +77,9 @@ class RangeDecoder {
   /// Attach to one block's payload. Reading past the payload returns zero
   /// bytes, which is safe because callers decode an exact number of bits.
   explicit RangeDecoder(std::span<const std::uint8_t> data) { reset(data); }
+  ~RangeDecoder();
+  RangeDecoder(const RangeDecoder&) = delete;
+  RangeDecoder& operator=(const RangeDecoder&) = delete;
 
   /// Re-attach (block boundary).
   void reset(std::span<const std::uint8_t> data);
@@ -89,11 +93,13 @@ class RangeDecoder {
 
  private:
   std::uint8_t next_byte() { return pos_ < data_.size() ? data_[pos_++] : 0; }
+  void flush_metrics();
 
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
   std::uint32_t range_ = 0xFFFFFFFFu;
   std::uint32_t code_ = 0;
+  std::uint64_t renorms_ = 0;  // batched into the obs registry per block
 };
 
 }  // namespace ccomp::coding

@@ -1,5 +1,7 @@
 #include "memsys/cache.h"
 
+#include "obs/obs.h"
+
 namespace ccomp::memsys {
 namespace {
 
@@ -30,6 +32,7 @@ bool ICache::access(std::uint32_t address) {
     Way& way = base[w];
     if (way.valid && way.tag == tag) {
       way.last_use = clock_;
+      CCOMP_COUNT("memsys.cache.hits", 1);
       return true;
     }
     if (!way.valid) {
@@ -39,6 +42,7 @@ bool ICache::access(std::uint32_t address) {
     }
   }
   ++stats_.misses;
+  CCOMP_COUNT("memsys.cache.misses", 1);
   victim->valid = true;
   victim->tag = tag;
   victim->last_use = clock_;

@@ -26,6 +26,9 @@ struct CacheStats {
   double miss_rate() const {
     return accesses == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(accesses);
   }
+  /// Zero all counters. Nothing else zeroes a CacheStats once it is live —
+  /// reloading a memory system preserves its stats unless this is called.
+  void reset() { *this = CacheStats{}; }
 };
 
 class ICache {
@@ -41,6 +44,9 @@ class ICache {
 
   const CacheConfig& config() const { return config_; }
   const CacheStats& stats() const { return stats_; }
+
+  /// Zero the hit/miss counters without touching cache contents.
+  void reset_stats() { stats_.reset(); }
 
  private:
   struct Way {

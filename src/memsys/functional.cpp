@@ -1,5 +1,6 @@
 #include "memsys/functional.h"
 
+#include "obs/obs.h"
 #include "support/error.h"
 #include "verify/verify.h"
 
@@ -51,6 +52,9 @@ FunctionalMemorySystem::Line& FunctionalMemorySystem::lookup(std::uint32_t addre
   const std::size_t block = line_index;
   if (block >= image_->block_count()) throw ConfigError("fetch outside the program");
   ++refills_;
+  CCOMP_SPAN("memsys.refill");
+  CCOMP_TIMER("memsys.refill_ns");
+  CCOMP_COUNT("memsys.refills", 1);
   victim->valid = true;
   victim->tag = tag;
   victim->last_use = clock_;
@@ -59,6 +63,31 @@ FunctionalMemorySystem::Line& FunctionalMemorySystem::lookup(std::uint32_t addre
   victim->bytes.resize(image_->block_original_size(block));
   decompressor_->block_into(block, victim->bytes);
   return *victim;
+}
+
+void FunctionalMemorySystem::reload(const core::BlockCodec& codec,
+                                    const core::CompressedImage& image, bool verify_on_load) {
+  if (verify_on_load) {
+    const verify::VerifyReport report = verify::verify_image(image);
+    if (!report.ok())
+      throw CorruptDataError("image rejected at reload time:\n" + report.to_string());
+  }
+  if (image.has_variable_blocks())
+    throw ConfigError("functional memory system needs address-aligned blocks");
+  if (image.block_size() != line_bytes_)
+    throw ConfigError("image block size must equal the cache line size");
+  // Build the new decompressor before touching any member so a throwing
+  // codec leaves the system on the old image.
+  auto decompressor = codec.make_decompressor(image);
+  image_ = &image;
+  decompressor_ = std::move(decompressor);
+  for (Line& line : lines_) line.valid = false;
+  cache_->flush();  // invalidates the stats model's tags; counters survive
+}
+
+void FunctionalMemorySystem::reset_stats() {
+  cache_->reset_stats();
+  refills_ = 0;
 }
 
 std::uint32_t FunctionalMemorySystem::fetch(std::uint32_t address) {

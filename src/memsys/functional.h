@@ -35,6 +35,18 @@ class FunctionalMemorySystem {
   /// Fetch a single code byte.
   std::uint8_t fetch_byte(std::uint32_t address);
 
+  /// Swap in a new image (and decompressor) without losing statistics: the
+  /// cache contents are invalidated — they belong to the old image — but
+  /// cache_stats() and refills() keep accumulating across the reload. Call
+  /// reset_stats() explicitly for a fresh measurement window. The new image
+  /// must satisfy the same constraints as the constructor's (same block
+  /// size, address-aligned blocks) and must outlive this object.
+  void reload(const core::BlockCodec& codec, const core::CompressedImage& image,
+              bool verify_on_load = true);
+
+  /// Zero cache_stats() and refills(). Cache contents are untouched.
+  void reset_stats();
+
   const CacheStats& cache_stats() const { return cache_->stats(); }
   std::uint64_t refills() const { return refills_; }
 

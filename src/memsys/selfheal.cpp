@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/obs.h"
 #include "support/crc32.h"
 #include "support/ecc.h"
 #include "support/error.h"
@@ -94,6 +95,7 @@ void SelfHealingMemorySystem::clb_access(std::size_t block) {
     if (entry_parity(entry) != entry.parity || entry.offset != lat_offset ||
         entry.length != lat_length) {
       ++stats_.clb_repaired;
+      CCOMP_COUNT("memsys.selfheal.clb_repaired", 1);
       entry.offset = lat_offset;
       entry.length = lat_length;
       entry.parity = entry_parity(entry);
@@ -143,7 +145,10 @@ void SelfHealingMemorySystem::refetch_block(std::size_t block) {
 }
 
 void SelfHealingMemorySystem::refill(std::size_t block, std::vector<std::uint8_t>& out) {
+  CCOMP_SPAN("selfheal.refill");
+  CCOMP_TIMER("memsys.selfheal.refill_ns");
   ++stats_.refills;
+  CCOMP_COUNT("memsys.selfheal.refills", 1);
   clb_access(block);
 
   // Transient bus noise: the refill engine sees store XOR noise on the first
@@ -171,10 +176,12 @@ void SelfHealingMemorySystem::refill(std::size_t block, std::vector<std::uint8_t
   }
   if (ok) return;
   ++stats_.faults_detected;
+  CCOMP_COUNT("memsys.selfheal.faults_detected", 1);
 
   // Rung 2: bus retry — only meaningful when noise rode the first transfer.
   if (noise_applied && try_decode(block, out)) {
     ++stats_.bus_recovered;
+    CCOMP_COUNT("memsys.selfheal.bus_recovered", 1);
     return;
   }
 
@@ -185,6 +192,7 @@ void SelfHealingMemorySystem::refill(std::size_t block, std::vector<std::uint8_t
           ecc::correct_block(mutable_block_payload(store_, block), mutable_block_ecc(store_, block));
       if (result.recovered() && try_decode(block, out)) {
         ++stats_.ecc_corrected;
+        CCOMP_COUNT("memsys.selfheal.ecc_corrected", 1);
         return;
       }
     } catch (const Error&) {
@@ -196,12 +204,14 @@ void SelfHealingMemorySystem::refill(std::size_t block, std::vector<std::uint8_t
   refetch_block(block);
   if (try_decode(block, out)) {
     ++stats_.refetched;
+    CCOMP_COUNT("memsys.selfheal.refetched", 1);
     return;
   }
 
   // Rung 5: escalate. The fault is detected and reported — wrong bytes are
   // never served.
   ++stats_.escalated;
+  CCOMP_COUNT("memsys.selfheal.escalated", 1);
   fault_log_.push_back(
       {block, "block " + std::to_string(block) +
                   " failed its CRC gate after bus retry, ECC correction, and golden refetch"});
@@ -216,12 +226,14 @@ std::vector<std::uint8_t> SelfHealingMemorySystem::read_block(std::size_t index)
 }
 
 std::size_t SelfHealingMemorySystem::scrub(std::size_t max_blocks) {
+  CCOMP_SPAN("selfheal.scrub");
   const std::size_t blocks = store_.block_count();
   if (blocks == 0) return 0;
   std::size_t visited = 0;
   for (; visited < max_blocks && visited < blocks; ++visited) {
     const std::size_t block = scrub_cursor_++ % blocks;
     ++stats_.scrubbed;
+    CCOMP_COUNT("memsys.selfheal.scrubbed", 1);
     bool healthy = false;
     if (store_.has_ecc()) {
       // An ECC-only sweep, like a hardware scrubber: cheap, no decompression.
@@ -230,7 +242,10 @@ std::size_t SelfHealingMemorySystem::scrub(std::size_t max_blocks) {
       try {
         const ecc::BlockResult result = ecc::correct_block(mutable_block_payload(store_, block),
                                                            mutable_block_ecc(store_, block));
-        if (result.corrected_words > 0) ++stats_.scrub_corrected;
+        if (result.corrected_words > 0) {
+          ++stats_.scrub_corrected;
+          CCOMP_COUNT("memsys.selfheal.scrub_corrected", 1);
+        }
         healthy = result.uncorrectable_words == 0;
       } catch (const Error&) {
         healthy = false;  // LAT fault over this block
@@ -242,9 +257,15 @@ std::size_t SelfHealingMemorySystem::scrub(std::size_t max_blocks) {
     if (!healthy) {
       refetch_block(block);
       ++stats_.scrub_refetched;
+      CCOMP_COUNT("memsys.selfheal.scrub_refetched", 1);
     }
   }
   return visited;
+}
+
+void SelfHealingMemorySystem::reset_stats() {
+  stats_.reset();
+  cache_->reset_stats();
 }
 
 void SelfHealingMemorySystem::invalidate_cache() {

@@ -47,6 +47,10 @@ struct RecoveryStats {
   std::uint64_t scrubbed = 0;         // blocks visited by the background scrubber
   std::uint64_t scrub_corrected = 0;  // scrubber SECDED corrections
   std::uint64_t scrub_refetched = 0;  // scrubber golden refetches
+
+  /// Zero all counters. Only an explicit call does this — repair_all() and
+  /// invalidate_cache() deliberately keep counters accumulating.
+  void reset() { *this = RecoveryStats{}; }
 };
 
 /// One escalated (uncorrectable) fault, kept for post-mortem reporting.
@@ -106,6 +110,10 @@ class SelfHealingMemorySystem {
   /// Transient bus noise: XORed onto the next refill's compressed bytes,
   /// then cleared (a retry reads clean data).
   std::span<std::uint8_t> bus_buffer() { return bus_noise_; }
+
+  /// Zero stats() and cache_stats() (a campaign's measurement-window reset).
+  /// Cache contents, CLB, store, and the fault log are untouched.
+  void reset_stats();
 
   const core::CompressedImage& store() const { return store_; }
   const RecoveryStats& stats() const { return stats_; }

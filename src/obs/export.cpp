@@ -1,0 +1,207 @@
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/obs.h"
+
+namespace ccomp::obs {
+namespace {
+
+/// Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. Internal names use
+/// dotted paths ("memsys.cache.misses"); map everything else to '_' and
+/// namespace with "ccomp_".
+std::string prom_name(std::string_view name) {
+  std::string out = "ccomp_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  for (const CounterValue& c : snapshot.counters) {
+    const std::string name = prom_name(c.name) + "_total";
+    if (!c.help.empty()) out += "# HELP " + name + " " + c.help + "\n";
+    out += "# TYPE " + name + " counter\n" + name + " ";
+    append_u64(out, c.value);
+    out += "\n";
+  }
+  for (const GaugeValue& g : snapshot.gauges) {
+    const std::string name = prom_name(g.name);
+    if (!g.help.empty()) out += "# HELP " + name + " " + g.help + "\n";
+    out += "# TYPE " + name + " gauge\n" + name + " ";
+    append_i64(out, g.value);
+    out += "\n";
+  }
+  for (const HistogramValue& h : snapshot.histograms) {
+    const std::string name = prom_name(h.name);
+    if (!h.help.empty()) out += "# HELP " + name + " " + h.help + "\n";
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      out += name + "_bucket{le=\"";
+      append_u64(out, h.bounds[i]);
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, h.count);
+    out += "\n" + name + "_sum ";
+    append_u64(out, h.sum);
+    out += "\n" + name + "_count ";
+    append_u64(out, h.count);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"";
+    out += json_escape(snapshot.counters[i].name);
+    out += "\":";
+    append_u64(out, snapshot.counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"";
+    out += json_escape(snapshot.gauges[i].name);
+    out += "\":";
+    append_i64(out, snapshot.gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramValue& h = snapshot.histograms[i];
+    if (i > 0) out += ",";
+    out += "\"";
+    out += json_escape(h.name);
+    out += "\":{\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out += ",";
+      append_u64(out, h.bounds[b]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      if (b > 0) out += ",";
+      append_u64(out, h.bucket_counts[b]);
+    }
+    out += "],\"count\":";
+    append_u64(out, h.count);
+    out += ",\"sum\":";
+    append_u64(out, h.sum);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string to_table(const Snapshot& snapshot) {
+  std::string out;
+  char line[256];
+  std::size_t width = 24;
+  for (const CounterValue& c : snapshot.counters) width = std::max(width, c.name.size());
+  for (const GaugeValue& g : snapshot.gauges) width = std::max(width, g.name.size());
+  for (const HistogramValue& h : snapshot.histograms) width = std::max(width, h.name.size());
+  const int w = static_cast<int>(width);
+
+  if (!snapshot.counters.empty()) out += "counters:\n";
+  for (const CounterValue& c : snapshot.counters) {
+    std::snprintf(line, sizeof line, "  %-*s %16" PRIu64 "\n", w, c.name.c_str(), c.value);
+    out += line;
+  }
+  if (!snapshot.gauges.empty()) out += "gauges:\n";
+  for (const GaugeValue& g : snapshot.gauges) {
+    std::snprintf(line, sizeof line, "  %-*s %16" PRId64 "\n", w, g.name.c_str(), g.value);
+    out += line;
+  }
+  if (!snapshot.histograms.empty()) out += "histograms:\n";
+  for (const HistogramValue& h : snapshot.histograms) {
+    const double mean = h.count == 0 ? 0.0 : static_cast<double>(h.sum) / static_cast<double>(h.count);
+    // p50/p99 from the bucket counts: the upper bound of the bucket where
+    // the cumulative count crosses the quantile (conservative estimate).
+    auto quantile = [&](double q) -> double {
+      if (h.count == 0) return 0.0;
+      const double target = q * static_cast<double>(h.count);
+      std::uint64_t cumulative = 0;
+      for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
+        cumulative += h.bucket_counts[b];
+        if (static_cast<double>(cumulative) >= target)
+          return b < h.bounds.size() ? static_cast<double>(h.bounds[b])
+                                     : static_cast<double>(h.bounds.empty() ? 0 : h.bounds.back());
+      }
+      return h.bounds.empty() ? 0.0 : static_cast<double>(h.bounds.back());
+    };
+    std::snprintf(line, sizeof line,
+                  "  %-*s count=%-10" PRIu64 " mean=%-12.0f p50<=%-12.0f p99<=%-12.0f\n", w,
+                  h.name.c_str(), h.count, mean, quantile(0.5), quantile(0.99));
+    out += line;
+  }
+  return out;
+}
+
+std::string to_chrome_trace(std::span<const SpanEvent> events) {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanEvent& e : events) {
+    if (e.name == nullptr) continue;  // unwritten ring slot
+    if (!first) out += ",";
+    first = false;
+    char buf[192];
+    // trace_event timestamps are microseconds; keep ns precision in the
+    // fraction. "X" = complete event (begin + duration in one record).
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"%s\",\"cat\":\"ccomp\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"depth\":%u}}",
+                  json_escape(e.name).c_str(), static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0, e.thread, e.depth);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ccomp::obs

@@ -1,0 +1,279 @@
+// ccomp::obs — telemetry and tracing for the compressed-code pipeline.
+//
+// Three facilities, all process-wide:
+//
+//   * A metrics REGISTRY of named counters, gauges, and fixed-bucket
+//     latency histograms. Counters and histograms write to lock-free
+//     per-thread shards (one relaxed atomic add on a thread-owned cache
+//     line — safe from pool workers without serializing them) and are
+//     summed across shards on read; a thread's shard folds into a retired
+//     accumulator when the thread exits, so totals never go backward.
+//     Metrics are interned by name: every call site naming
+//     "memsys.cache.misses" feeds the same series.
+//
+//   * Scoped tracing SPANS (`CCOMP_SPAN("samc.decode_block")`): RAII
+//     regions recording {name, thread, depth, start, duration} into a
+//     bounded global ring buffer (oldest events overwritten). Recording is
+//     off by default and costs one predictable branch per span; `--trace`
+//     turns it on. Drain the buffer at a quiescent point — the ring is
+//     written lock-free and a drain racing live writers may observe a
+//     torn event.
+//
+//   * EXPORTERS over an aggregated Snapshot: Prometheus text exposition,
+//     a JSON snapshot, a human-readable table, and chrome://tracing
+//     (trace_event) JSON for the span buffer.
+//
+// Instrument through the CCOMP_* macros, never the Registry directly: the
+// macros intern the metric once per call site (function-local static id)
+// and compile to nothing when CCOMP_OBS_DISABLE is defined (cmake
+// -DCCOMP_OBS=OFF), which is the ≤1 %-overhead configuration the bench
+// acceptance gate measures. The registry API itself stays available in
+// disabled builds so exporters and CLIs always link.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccomp::obs {
+
+/// Monotonic nanoseconds (steady clock) — the time base for histograms,
+/// span timestamps, and the chrome-trace export.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// --- Aggregated state (what exporters consume) ---------------------------
+
+struct CounterValue {
+  std::string name;
+  std::string help;
+  std::uint64_t value = 0;
+};
+
+struct GaugeValue {
+  std::string name;
+  std::string help;
+  std::int64_t value = 0;
+};
+
+struct HistogramValue {
+  std::string name;
+  std::string help;
+  /// Upper bucket bounds (inclusive, "le" semantics); an implicit +Inf
+  /// bucket follows, so bucket_counts.size() == bounds.size() + 1.
+  std::vector<std::uint64_t> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+};
+
+struct Snapshot {
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+// --- Registry -------------------------------------------------------------
+
+class Registry {
+ public:
+  /// The process-wide registry (leaky singleton: never destroyed, so
+  /// thread-exit hooks and exporters running during shutdown stay safe).
+  static Registry& instance();
+
+  /// Intern a metric; the same name always returns the same id. A name may
+  /// be registered from many call sites but must keep one kind — a kind
+  /// mismatch throws. Capacity is fixed (kMaxMetrics / kMaxSlots);
+  /// exceeding it throws rather than silently dropping series.
+  std::uint32_t counter(std::string_view name, std::string_view help = {});
+  std::uint32_t gauge(std::string_view name, std::string_view help = {});
+  /// Empty `bounds` selects default_latency_bounds_ns(). Bounds must be
+  /// strictly increasing.
+  std::uint32_t histogram(std::string_view name, std::span<const std::uint64_t> bounds = {},
+                          std::string_view help = {});
+
+  void add(std::uint32_t counter_id, std::uint64_t n = 1);
+  void gauge_set(std::uint32_t gauge_id, std::int64_t value);
+  void gauge_add(std::uint32_t gauge_id, std::int64_t delta);
+  void record(std::uint32_t histogram_id, std::uint64_t value);
+
+  /// Sum every live shard plus the retired accumulator into a stable,
+  /// registration-ordered snapshot.
+  Snapshot snapshot() const;
+
+  /// Zero every series (registrations and interned ids survive). Counters
+  /// are cumulative by design; this exists for tests and for tools that
+  /// want per-phase deltas without bookkeeping.
+  void reset();
+
+  /// The default latency ladder: 250 ns .. 50 ms in a 1-2.5-5 progression,
+  /// wide enough for a single block decode and a full golden refetch.
+  static std::span<const std::uint64_t> default_latency_bounds_ns();
+
+  // Internal (used by the shard thread-exit hook).
+  struct Shard;
+  void attach_(Shard* shard);
+  void detach_(Shard* shard);
+
+ private:
+  Registry();
+  struct Impl;
+  Impl* impl_;
+};
+
+// --- Tracing spans --------------------------------------------------------
+
+struct SpanEvent {
+  const char* name = nullptr;  // string literal supplied to CCOMP_SPAN
+  std::uint32_t thread = 0;    // small sequential id, stable per thread
+  std::uint32_t depth = 0;     // nesting depth within the thread
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// Turn span recording on/off (off by default; `--trace` turns it on).
+void set_trace_enabled(bool enabled);
+bool trace_enabled();
+
+/// Resize the ring (dropping recorded events). Only meaningful while
+/// tracing is disabled; the default capacity is 65536 events.
+void set_trace_capacity(std::size_t events);
+
+/// Recorded events, oldest first. Drain at a quiescent point.
+std::vector<SpanEvent> trace_events();
+void clear_trace();
+
+namespace detail {
+void record_span(const char* name, std::uint32_t depth, std::uint64_t start_ns,
+                 std::uint64_t dur_ns);
+extern thread_local std::uint32_t t_span_depth;
+}  // namespace detail
+
+/// RAII span. Construction is a single branch when tracing is off.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name) {
+    if (!trace_enabled()) return;
+    name_ = name;
+    depth_ = detail::t_span_depth++;
+    start_ = now_ns();
+  }
+  ~SpanScope() {
+    if (name_ == nullptr) return;
+    --detail::t_span_depth;
+    detail::record_span(name_, depth_, start_, now_ns() - start_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint32_t depth_ = 0;
+  std::uint64_t start_ = 0;
+};
+
+/// RAII histogram timer: records elapsed nanoseconds on scope exit.
+class HistTimer {
+ public:
+  explicit HistTimer(std::uint32_t histogram_id) : id_(histogram_id), start_(now_ns()) {}
+  ~HistTimer() { Registry::instance().record(id_, now_ns() - start_); }
+  HistTimer(const HistTimer&) = delete;
+  HistTimer& operator=(const HistTimer&) = delete;
+
+ private:
+  std::uint32_t id_;
+  std::uint64_t start_;
+};
+
+// --- Exporters ------------------------------------------------------------
+
+/// Prometheus text exposition format. Metric names are sanitized
+/// (dots/dashes -> '_', "ccomp_" prefix, counters get "_total").
+std::string to_prometheus(const Snapshot& snapshot);
+
+/// JSON snapshot: {"counters":{..}, "gauges":{..}, "histograms":{..}}.
+std::string to_json(const Snapshot& snapshot);
+
+/// Aligned human-readable table (what `ccomp_stats` prints).
+std::string to_table(const Snapshot& snapshot);
+
+/// chrome://tracing / Perfetto trace_event JSON ("X" complete events).
+std::string to_chrome_trace(std::span<const SpanEvent> events);
+
+}  // namespace ccomp::obs
+
+// --- Instrumentation macros ----------------------------------------------
+//
+// Enabled by default; a build with CCOMP_OBS_DISABLE (cmake -DCCOMP_OBS=OFF)
+// compiles every macro to a dead expression: arguments are type-checked but
+// never evaluated, so no clock reads, no atomics, no statics remain.
+
+#define CCOMP_OBS_CONCAT_IMPL_(a, b) a##b
+#define CCOMP_OBS_CONCAT_(a, b) CCOMP_OBS_CONCAT_IMPL_(a, b)
+
+#if !defined(CCOMP_OBS_DISABLE)
+
+#define CCOMP_COUNT(name, n)                                                      \
+  do {                                                                            \
+    static const std::uint32_t ccomp_obs_id_ =                                    \
+        ::ccomp::obs::Registry::instance().counter(name);                         \
+    ::ccomp::obs::Registry::instance().add(ccomp_obs_id_,                         \
+                                           static_cast<std::uint64_t>(n));        \
+  } while (0)
+
+#define CCOMP_GAUGE_SET(name, v)                                                  \
+  do {                                                                            \
+    static const std::uint32_t ccomp_obs_id_ =                                    \
+        ::ccomp::obs::Registry::instance().gauge(name);                           \
+    ::ccomp::obs::Registry::instance().gauge_set(ccomp_obs_id_,                   \
+                                                 static_cast<std::int64_t>(v));   \
+  } while (0)
+
+#define CCOMP_GAUGE_ADD(name, d)                                                  \
+  do {                                                                            \
+    static const std::uint32_t ccomp_obs_id_ =                                    \
+        ::ccomp::obs::Registry::instance().gauge(name);                           \
+    ::ccomp::obs::Registry::instance().gauge_add(ccomp_obs_id_,                   \
+                                                 static_cast<std::int64_t>(d));   \
+  } while (0)
+
+#define CCOMP_HIST(name, value)                                                   \
+  do {                                                                            \
+    static const std::uint32_t ccomp_obs_id_ =                                    \
+        ::ccomp::obs::Registry::instance().histogram(name);                       \
+    ::ccomp::obs::Registry::instance().record(ccomp_obs_id_,                      \
+                                              static_cast<std::uint64_t>(value)); \
+  } while (0)
+
+/// Scoped trace span (see SpanScope); statement position, block scope.
+#define CCOMP_SPAN(name) \
+  ::ccomp::obs::SpanScope CCOMP_OBS_CONCAT_(ccomp_obs_span_, __LINE__)(name)
+
+/// Scoped latency histogram: records elapsed ns into `name` on scope exit.
+#define CCOMP_TIMER(name)                                                       \
+  static const std::uint32_t CCOMP_OBS_CONCAT_(ccomp_obs_timer_id_, __LINE__) = \
+      ::ccomp::obs::Registry::instance().histogram(name);                       \
+  ::ccomp::obs::HistTimer CCOMP_OBS_CONCAT_(ccomp_obs_timer_, __LINE__)(        \
+      CCOMP_OBS_CONCAT_(ccomp_obs_timer_id_, __LINE__))
+
+#else  // CCOMP_OBS_DISABLE
+
+// The sizeof operand is type-checked but never evaluated, so no side
+// effects, clocks, or statics survive — and no -Wunused-value noise.
+#define CCOMP_OBS_SINK_(...) ((void)sizeof(((void)(__VA_ARGS__), 0)))
+
+#define CCOMP_COUNT(name, n) CCOMP_OBS_SINK_(name, n)
+#define CCOMP_GAUGE_SET(name, v) CCOMP_OBS_SINK_(name, v)
+#define CCOMP_GAUGE_ADD(name, d) CCOMP_OBS_SINK_(name, d)
+#define CCOMP_HIST(name, value) CCOMP_OBS_SINK_(name, value)
+#define CCOMP_SPAN(name) CCOMP_OBS_SINK_(name)
+#define CCOMP_TIMER(name) CCOMP_OBS_SINK_(name)
+
+#endif  // CCOMP_OBS_DISABLE

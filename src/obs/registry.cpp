@@ -1,0 +1,245 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+
+namespace ccomp::obs {
+namespace {
+
+// Fixed capacities: shards are plain arrays so the write path never
+// allocates, resizes, or takes a lock. Exceeding either limit throws at
+// registration time (a programming error, not a runtime condition).
+constexpr std::size_t kMaxMetrics = 512;
+constexpr std::size_t kMaxSlots = 8192;
+constexpr std::size_t kMaxGauges = 128;
+
+enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+struct MetricInfo {
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+  std::uint32_t first_slot = 0;  // counters/histograms: shard slot range
+  std::uint32_t slot_count = 0;  // histogram: buckets(+Inf incl.) + 1 sum slot
+  std::uint32_t gauge_index = 0;
+  std::vector<std::uint64_t> bounds;
+};
+
+constexpr std::uint64_t kDefaultLatencyBoundsNs[] = {
+    250,        500,        1'000,      2'500,      5'000,      10'000,
+    25'000,     50'000,     100'000,    250'000,    500'000,    1'000'000,
+    2'500'000,  5'000'000,  10'000'000, 50'000'000,
+};
+
+}  // namespace
+
+/// One thread's slice of every counter/histogram. Owned by a thread_local;
+/// writers use relaxed atomic adds on slots nobody else writes, readers sum
+/// concurrently. Attach/detach bracket the owning thread's lifetime.
+struct Registry::Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxSlots> slots{};
+};
+
+struct Registry::Impl {
+  mutable std::mutex mutex;  // registration, shard list, snapshot
+  std::array<MetricInfo, kMaxMetrics> metrics;
+  std::atomic<std::uint32_t> metric_count{0};
+  std::uint32_t next_slot = 0;
+  std::uint32_t gauge_count = 0;
+  std::array<std::atomic<std::int64_t>, kMaxGauges> gauges{};
+  std::vector<Shard*> shards;
+  std::array<std::uint64_t, kMaxSlots> retired{};  // folded-in exited threads
+
+  std::uint32_t find_locked(std::string_view name) const {
+    const std::uint32_t n = metric_count.load(std::memory_order_relaxed);
+    for (std::uint32_t i = 0; i < n; ++i)
+      if (metrics[i].name == name) return i;
+    return kMaxMetrics;
+  }
+};
+
+namespace {
+
+Registry::Shard& local_shard() {
+  // The owner struct (not the shard) is thread_local so the destructor can
+  // fold this thread's totals into the retired accumulator exactly once.
+  struct Owner {
+    Registry::Shard shard;
+    Owner() { Registry::instance().attach_(&shard); }
+    ~Owner() { Registry::instance().detach_(&shard); }
+  };
+  thread_local Owner owner;
+  return owner.shard;
+}
+
+}  // namespace
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry& Registry::instance() {
+  // Leaky: outlives every thread_local shard owner and atexit exporter.
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+std::uint32_t Registry::counter(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::uint32_t existing = impl_->find_locked(name);
+  if (existing != kMaxMetrics) {
+    if (impl_->metrics[existing].kind != Kind::kCounter)
+      throw std::logic_error("obs: metric '" + std::string(name) + "' re-registered as counter");
+    return existing;
+  }
+  const std::uint32_t id = impl_->metric_count.load(std::memory_order_relaxed);
+  if (id >= kMaxMetrics || impl_->next_slot + 1 > kMaxSlots)
+    throw std::logic_error("obs: metric capacity exhausted");
+  MetricInfo& m = impl_->metrics[id];
+  m.name = std::string(name);
+  m.help = std::string(help);
+  m.kind = Kind::kCounter;
+  m.first_slot = impl_->next_slot;
+  m.slot_count = 1;
+  impl_->next_slot += 1;
+  impl_->metric_count.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+std::uint32_t Registry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::uint32_t existing = impl_->find_locked(name);
+  if (existing != kMaxMetrics) {
+    if (impl_->metrics[existing].kind != Kind::kGauge)
+      throw std::logic_error("obs: metric '" + std::string(name) + "' re-registered as gauge");
+    return existing;
+  }
+  const std::uint32_t id = impl_->metric_count.load(std::memory_order_relaxed);
+  if (id >= kMaxMetrics || impl_->gauge_count >= kMaxGauges)
+    throw std::logic_error("obs: gauge capacity exhausted");
+  MetricInfo& m = impl_->metrics[id];
+  m.name = std::string(name);
+  m.help = std::string(help);
+  m.kind = Kind::kGauge;
+  m.gauge_index = impl_->gauge_count++;
+  impl_->metric_count.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+std::uint32_t Registry::histogram(std::string_view name, std::span<const std::uint64_t> bounds,
+                                  std::string_view help) {
+  if (bounds.empty()) bounds = default_latency_bounds_ns();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const std::uint32_t existing = impl_->find_locked(name);
+  if (existing != kMaxMetrics) {
+    if (impl_->metrics[existing].kind != Kind::kHistogram)
+      throw std::logic_error("obs: metric '" + std::string(name) + "' re-registered as histogram");
+    return existing;
+  }
+  if (!std::is_sorted(bounds.begin(), bounds.end()) ||
+      std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end())
+    throw std::logic_error("obs: histogram bounds must be strictly increasing");
+  // bounds.size() finite buckets + one +Inf bucket + one sum slot.
+  const std::uint32_t slots = static_cast<std::uint32_t>(bounds.size()) + 2;
+  const std::uint32_t id = impl_->metric_count.load(std::memory_order_relaxed);
+  if (id >= kMaxMetrics || impl_->next_slot + slots > kMaxSlots)
+    throw std::logic_error("obs: metric capacity exhausted");
+  MetricInfo& m = impl_->metrics[id];
+  m.name = std::string(name);
+  m.help = std::string(help);
+  m.kind = Kind::kHistogram;
+  m.first_slot = impl_->next_slot;
+  m.slot_count = slots;
+  m.bounds.assign(bounds.begin(), bounds.end());
+  impl_->next_slot += slots;
+  impl_->metric_count.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+void Registry::add(std::uint32_t counter_id, std::uint64_t n) {
+  const MetricInfo& m = impl_->metrics[counter_id];
+  local_shard().slots[m.first_slot].fetch_add(n, std::memory_order_relaxed);
+}
+
+void Registry::gauge_set(std::uint32_t gauge_id, std::int64_t value) {
+  const MetricInfo& m = impl_->metrics[gauge_id];
+  impl_->gauges[m.gauge_index].store(value, std::memory_order_relaxed);
+}
+
+void Registry::gauge_add(std::uint32_t gauge_id, std::int64_t delta) {
+  const MetricInfo& m = impl_->metrics[gauge_id];
+  impl_->gauges[m.gauge_index].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Registry::record(std::uint32_t histogram_id, std::uint64_t value) {
+  const MetricInfo& m = impl_->metrics[histogram_id];
+  const auto it = std::lower_bound(m.bounds.begin(), m.bounds.end(), value);
+  const std::uint32_t bucket = static_cast<std::uint32_t>(it - m.bounds.begin());
+  Shard& shard = local_shard();
+  shard.slots[m.first_slot + bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.slots[m.first_slot + m.slot_count - 1].fetch_add(value, std::memory_order_relaxed);
+}
+
+void Registry::attach_(Shard* shard) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->shards.push_back(shard);
+}
+
+void Registry::detach_(Shard* shard) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (std::size_t i = 0; i < kMaxSlots; ++i)
+    impl_->retired[i] += shard->slots[i].load(std::memory_order_relaxed);
+  impl_->shards.erase(std::remove(impl_->shards.begin(), impl_->shards.end(), shard),
+                      impl_->shards.end());
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::array<std::uint64_t, kMaxSlots> totals = impl_->retired;
+  for (const Shard* shard : impl_->shards)
+    for (std::size_t i = 0; i < impl_->next_slot; ++i)
+      totals[i] += shard->slots[i].load(std::memory_order_relaxed);
+
+  Snapshot snap;
+  const std::uint32_t n = impl_->metric_count.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const MetricInfo& m = impl_->metrics[i];
+    switch (m.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back({m.name, m.help, totals[m.first_slot]});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back(
+            {m.name, m.help, impl_->gauges[m.gauge_index].load(std::memory_order_relaxed)});
+        break;
+      case Kind::kHistogram: {
+        HistogramValue h;
+        h.name = m.name;
+        h.help = m.help;
+        h.bounds = m.bounds;
+        h.bucket_counts.assign(totals.begin() + m.first_slot,
+                               totals.begin() + m.first_slot + m.slot_count - 1);
+        for (const std::uint64_t c : h.bucket_counts) h.count += c;
+        h.sum = totals[m.first_slot + m.slot_count - 1];
+        snap.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->retired.fill(0);
+  for (Shard* shard : impl_->shards)
+    for (auto& slot : shard->slots) slot.store(0, std::memory_order_relaxed);
+  for (auto& gauge : impl_->gauges) gauge.store(0, std::memory_order_relaxed);
+}
+
+std::span<const std::uint64_t> Registry::default_latency_bounds_ns() {
+  return kDefaultLatencyBoundsNs;
+}
+
+}  // namespace ccomp::obs

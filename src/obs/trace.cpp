@@ -1,0 +1,86 @@
+#include "obs/obs.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace ccomp::obs {
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+/// The span ring. `head` counts every recorded event forever; an event
+/// lands at head % capacity, so the ring holds the most recent `capacity`
+/// events and older ones are overwritten in place. Slot writes are plain
+/// stores — each claimed index is written by exactly one thread — so a
+/// drain must happen at a quiescent point (see obs.h).
+struct Ring {
+  std::vector<SpanEvent> slots;
+  std::atomic<std::uint64_t> head{0};
+};
+
+Ring& ring() {
+  static Ring* r = [] {
+    auto* ring = new Ring;
+    ring->slots.resize(65536);
+    return ring;
+  }();
+  return *r;
+}
+
+std::uint32_t thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+namespace detail {
+
+thread_local std::uint32_t t_span_depth = 0;
+
+void record_span(const char* name, std::uint32_t depth, std::uint64_t start_ns,
+                 std::uint64_t dur_ns) {
+  Ring& r = ring();
+  const std::uint64_t index = r.head.fetch_add(1, std::memory_order_relaxed);
+  SpanEvent& slot = r.slots[index % r.slots.size()];
+  slot.name = name;
+  slot.thread = thread_id();
+  slot.depth = depth;
+  slot.start_ns = start_ns;
+  slot.dur_ns = dur_ns;
+}
+
+}  // namespace detail
+
+void set_trace_enabled(bool enabled) {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool trace_enabled() { return g_trace_enabled.load(std::memory_order_relaxed); }
+
+void set_trace_capacity(std::size_t events) {
+  Ring& r = ring();
+  r.slots.assign(events == 0 ? 1 : events, SpanEvent{});
+  r.head.store(0, std::memory_order_relaxed);
+}
+
+std::vector<SpanEvent> trace_events() {
+  Ring& r = ring();
+  const std::uint64_t head = r.head.load(std::memory_order_relaxed);
+  const std::uint64_t capacity = r.slots.size();
+  std::vector<SpanEvent> out;
+  if (head <= capacity) {
+    out.assign(r.slots.begin(), r.slots.begin() + static_cast<std::ptrdiff_t>(head));
+    return out;
+  }
+  // Wrapped: the oldest surviving event sits at head % capacity.
+  out.reserve(capacity);
+  for (std::uint64_t i = 0; i < capacity; ++i)
+    out.push_back(r.slots[(head + i) % capacity]);
+  return out;
+}
+
+void clear_trace() { ring().head.store(0, std::memory_order_relaxed); }
+
+}  // namespace ccomp::obs

@@ -3,6 +3,7 @@
 
 #include "coding/huffman.h"
 #include "isa/mips/mips.h"
+#include "obs/obs.h"
 #include "sadc/sadc.h"
 #include "support/bitio.h"
 #include "support/error.h"
@@ -428,6 +429,8 @@ class SadcMipsDecompressor final : public core::BlockDecompressor {
         imm_code_(std::move(imm_code)) {}
 
   std::vector<std::uint8_t> block(std::size_t index) const override {
+    CCOMP_SPAN("sadc.decode_block");
+    CCOMP_TIMER("sadc.decode.block_ns");
     const std::size_t bytes = image_->block_original_size(index);
     const std::size_t instr_count = bytes / 4;
     BitReader in(image_->block_payload(index));
@@ -453,6 +456,9 @@ class SadcMipsDecompressor final : public core::BlockDecompressor {
       if (leaves.size() > instr_count)
         throw CorruptDataError("SADC symbol overruns block boundary");
     }
+    CCOMP_COUNT("sadc.decode.blocks", 1);
+    CCOMP_COUNT("sadc.decode.symbols", instr_count - fuel);
+    CCOMP_COUNT("sadc.decode.instructions", leaves.size());
 
     // Phase 2: register stream.
     std::vector<std::uint8_t> regs;
@@ -603,7 +609,11 @@ core::CompressedImage encode_streams(const SadcOptions& options, const SymbolTab
   // the payload matches a serial encode byte for byte.
   const std::vector<std::vector<std::uint8_t>> encoded =
       par::parallel_map(blocks.size(), [&](std::size_t bi) {
+        CCOMP_SPAN("sadc.encode_block");
+        CCOMP_TIMER("sadc.encode.block_ns");
         const auto& block = blocks[bi];
+        CCOMP_COUNT("sadc.encode.blocks", 1);
+        CCOMP_COUNT("sadc.encode.symbols", block.size());
         BitWriter bits;
         for (const Item& item : block) sym_code.encode(bits, item.symbol);
         for (const Item& item : block) {
@@ -654,6 +664,7 @@ SymbolTable SadcMipsCodec::build_dictionary(std::span<const std::uint8_t> code) 
 }
 
 core::CompressedImage SadcMipsCodec::compress(std::span<const std::uint8_t> code) const {
+  CCOMP_SPAN("sadc.compress");
   const std::vector<std::uint32_t> words = mips::bytes_to_words(code);
   std::vector<Instr> instrs;
   instrs.reserve(words.size());

@@ -5,6 +5,7 @@
 
 #include "coding/huffman.h"
 #include "isa/x86/x86.h"
+#include "obs/obs.h"
 #include "sadc/sadc.h"
 #include "support/bitio.h"
 #include "support/error.h"
@@ -162,6 +163,8 @@ class SadcX86Decompressor final : public core::BlockDecompressor {
         imm_code_(std::move(imm_code)) {}
 
   std::vector<std::uint8_t> block(std::size_t index) const override {
+    CCOMP_SPAN("sadc.decode_block");
+    CCOMP_TIMER("sadc.decode.block_ns");
     BitReader in(image_->block_payload(index));
     const std::size_t instr_count = static_cast<std::size_t>(in.read_bits(8));
 
@@ -184,6 +187,9 @@ class SadcX86Decompressor final : public core::BlockDecompressor {
       if (leaves.size() > instr_count)
         throw CorruptDataError("SADC symbol overruns block boundary");
     }
+    CCOMP_COUNT("sadc.decode.blocks", 1);
+    CCOMP_COUNT("sadc.decode.symbols", instr_count - fuel);
+    CCOMP_COUNT("sadc.decode.instructions", leaves.size());
 
     // Phase 2: ModRM stream (escape instructions travel here whole).
     struct Pending {
@@ -273,6 +279,7 @@ SadcX86Codec::SadcX86Codec(SadcOptions options) : options_(options) {
 }
 
 core::CompressedImage SadcX86Codec::compress(std::span<const std::uint8_t> code) const {
+  CCOMP_SPAN("sadc.compress");
   // Tokenize.
   const std::vector<x86::InstrLayout> layouts = x86::decode_all(code);
   std::vector<XInstr> instrs;
@@ -403,7 +410,11 @@ core::CompressedImage SadcX86Codec::compress(std::span<const std::uint8_t> code)
   // concatenating in index order for a thread-count-independent payload.
   const std::vector<std::vector<std::uint8_t>> encoded =
       par::parallel_map(parsed.size(), [&](std::size_t bi) {
+        CCOMP_SPAN("sadc.encode_block");
+        CCOMP_TIMER("sadc.encode.block_ns");
         const auto& block = parsed[bi];
+        CCOMP_COUNT("sadc.encode.blocks", 1);
+        CCOMP_COUNT("sadc.encode.symbols", block.size());
         BitWriter bits;
         std::size_t instr_total = 0;
         for (const Item& item : block) instr_total += item.length;

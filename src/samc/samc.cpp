@@ -4,6 +4,7 @@
 
 #include "coding/nibblecoder.h"
 #include "coding/rangecoder.h"
+#include "obs/obs.h"
 #include "support/error.h"
 #include "support/parallel.h"
 
@@ -78,6 +79,7 @@ core::CompressedImage SamcCodec::compress(std::span<const std::uint8_t> code) co
 
 core::CompressedImage SamcCodec::compress_with_model(std::span<const std::uint8_t> code,
                                                      const MarkovModel& model) const {
+  CCOMP_SPAN("samc.compress");
   if (!(model.config().division == options_.markov.division))
     throw ConfigError("supplied model's stream division does not match the codec");
   if (options_.parallel_nibble_mode && !model.config().quantized)
@@ -95,8 +97,12 @@ core::CompressedImage SamcCodec::compress_with_model(std::span<const std::uint8_
   const std::size_t block_count =
       words.empty() ? 0 : (words.size() + words_per_block - 1) / words_per_block;
   auto encode_block = [&](std::size_t b, auto& encoder) {
+    CCOMP_SPAN("samc.encode_block");
+    CCOMP_TIMER("samc.encode.block_ns");
     const std::size_t begin = b * words_per_block;
     const std::size_t end = std::min(begin + words_per_block, words.size());
+    CCOMP_COUNT("samc.encode.blocks", 1);
+    CCOMP_COUNT("samc.encode.words", end - begin);
     MarkovCursor cursor(model);
     for (std::size_t i = begin; i < end; ++i) {
       const std::uint32_t word = words[i];
@@ -158,11 +164,15 @@ class SamcDecompressor final : public core::BlockDecompressor {
   }
 
   void block_into(std::size_t index, std::span<std::uint8_t> out) const override {
+    CCOMP_SPAN("samc.decode_block");
+    CCOMP_TIMER("samc.decode.block_ns");
     const unsigned word_bits = model_.config().division.word_bits;
     const unsigned word_bytes = word_bits / 8;
     if (out.size() != image_->block_original_size(index))
       throw CorruptDataError("block_into destination does not match the block's original size");
     const std::size_t word_count = out.size() / word_bytes;
+    CCOMP_COUNT("samc.decode.blocks", 1);
+    CCOMP_COUNT("samc.decode.words", word_count);
 
     RangeDecoder decoder(image_->block_payload(index));
     MarkovCursor cursor(model_);
@@ -199,11 +209,15 @@ class NibbleSamcDecompressor final : public core::BlockDecompressor {
   }
 
   void block_into(std::size_t index, std::span<std::uint8_t> out) const override {
+    CCOMP_SPAN("samc.decode_block");
+    CCOMP_TIMER("samc.decode.block_ns");
     const unsigned word_bits = model_.config().division.word_bits;
     const unsigned word_bytes = word_bits / 8;
     if (out.size() != image_->block_original_size(index))
       throw CorruptDataError("block_into destination does not match the block's original size");
     const std::size_t word_count = out.size() / word_bytes;
+    CCOMP_COUNT("samc.decode.blocks", 1);
+    CCOMP_COUNT("samc.decode.words", word_count);
 
     coding::NibbleRangeDecoder decoder(image_->block_payload(index));
     MarkovCursor cursor(model_);

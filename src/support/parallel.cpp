@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/obs.h"
+
 namespace ccomp::par {
 namespace {
 
@@ -65,6 +67,8 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    CCOMP_COUNT("pool.tasks_submitted", 1);
+    CCOMP_GAUGE_SET("pool.queue_depth", queue_.size());
   }
   cv_.notify_one();
 }
@@ -90,6 +94,7 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
+      CCOMP_GAUGE_SET("pool.queue_depth", queue_.size());
     }
     task();
   }
@@ -118,6 +123,9 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
       if (failed.load(std::memory_order_relaxed)) return;
       const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) return;
+      // Each claim past a thread's fair share is work stolen from a slower
+      // sibling; the counter makes chunk-level load balancing visible.
+      CCOMP_COUNT("pool.chunks_claimed", 1);
       const std::size_t end = std::min(begin + chunk, n);
       try {
         for (std::size_t i = begin; i < end; ++i) fn(i);

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/obs.h"
 #include "support/crc32.h"
 #include "support/ecc.h"
 #include "support/error.h"
@@ -202,15 +203,32 @@ void check_structure(const core::CompressedImage& image, VerifyReport& report) {
 }  // namespace detail
 
 VerifyReport verify_image(const core::CompressedImage& image, const VerifyOptions& opts) {
+  CCOMP_SPAN("verify.image");
+  CCOMP_TIMER("verify.image_ns");
+  CCOMP_COUNT("verify.image_checks", 1);
   VerifyReport report;
-  detail::check_structure(image, report);
-  detail::check_tables(image, report);
-  if (opts.control_flow && !opts.original_code.empty())
+  {
+    CCOMP_SPAN("verify.structure");
+    CCOMP_TIMER("verify.structure_ns");
+    detail::check_structure(image, report);
+  }
+  {
+    CCOMP_SPAN("verify.tables");
+    CCOMP_TIMER("verify.tables_ns");
+    detail::check_tables(image, report);
+  }
+  if (opts.control_flow && !opts.original_code.empty()) {
+    CCOMP_SPAN("verify.control_flow");
+    CCOMP_TIMER("verify.control_flow_ns");
     detail::check_control_flow(image, opts, report);
+  }
   return report;
 }
 
 VerifyReport verify_serialized(std::span<const std::uint8_t> bytes, const VerifyOptions& opts) {
+  CCOMP_SPAN("verify.serialized");
+  CCOMP_TIMER("verify.serialized_ns");
+  CCOMP_COUNT("verify.serialized_checks", 1);
   VerifyReport report;
   const bool framing_ok = scan_container(bytes, report);
   // Deep checks run best-effort even past a checksum mismatch (the flipped

@@ -1,0 +1,336 @@
+// ccomp::obs — registry aggregation across threads, histogram bucket
+// semantics, span nesting and ring wraparound, and exporter golden output.
+// The registry is a process-wide singleton, so every test uses its own
+// metric names and asserts on deltas (or calls Registry::reset() first).
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "isa/mips/mips.h"
+#include "memsys/functional.h"
+#include "memsys/selfheal.h"
+#include "samc/samc.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+
+namespace ccomp::obs {
+namespace {
+
+const CounterValue* find_counter(const Snapshot& s, std::string_view name) {
+  for (const CounterValue& c : s.counters)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+const GaugeValue* find_gauge(const Snapshot& s, std::string_view name) {
+  for (const GaugeValue& g : s.gauges)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+const HistogramValue* find_histogram(const Snapshot& s, std::string_view name) {
+  for (const HistogramValue& h : s.histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+// --- Registry aggregation -------------------------------------------------
+
+TEST(ObsRegistry, CounterAggregatesAcrossThreads) {
+  Registry& reg = Registry::instance();
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const std::string name = "test.obs.threads" + std::to_string(threads);
+    const std::uint32_t id = reg.counter(name);
+    constexpr std::uint64_t kAddsPerThread = 10000;
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < threads; ++t)
+      workers.emplace_back([&reg, id] {
+        for (std::uint64_t i = 0; i < kAddsPerThread; ++i) reg.add(id, 1);
+      });
+    for (std::thread& w : workers) w.join();
+    // The worker threads have exited, so their shards have folded into the
+    // retired accumulator — the total must still be exact.
+    const Snapshot snap = reg.snapshot();
+    const CounterValue* c = find_counter(snap, name);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value, threads * kAddsPerThread) << threads << " threads";
+  }
+}
+
+TEST(ObsRegistry, InterningReturnsSameId) {
+  Registry& reg = Registry::instance();
+  const std::uint32_t a = reg.counter("test.obs.interned");
+  const std::uint32_t b = reg.counter("test.obs.interned");
+  EXPECT_EQ(a, b);
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  Registry& reg = Registry::instance();
+  (void)reg.counter("test.obs.kind");
+  EXPECT_THROW((void)reg.gauge("test.obs.kind"), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("test.obs.kind"), std::logic_error);
+}
+
+TEST(ObsRegistry, GaugeSetAndAdd) {
+  Registry& reg = Registry::instance();
+  const std::uint32_t id = reg.gauge("test.obs.gauge");
+  reg.gauge_set(id, 42);
+  reg.gauge_add(id, -50);
+  const Snapshot snap = reg.snapshot();
+  const GaugeValue* g = find_gauge(snap, "test.obs.gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value, -8);
+}
+
+TEST(ObsRegistry, HistogramBucketBoundariesAreInclusive) {
+  Registry& reg = Registry::instance();
+  const std::uint64_t bounds[] = {10, 100, 1000};
+  const std::uint32_t id = reg.histogram("test.obs.hist", bounds);
+  for (const std::uint64_t v : {5u, 10u, 11u, 100u, 1000u, 1001u}) reg.record(id, v);
+  const Snapshot snap = reg.snapshot();
+  const HistogramValue* h = find_histogram(snap, "test.obs.hist");
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->bounds.size(), 3u);
+  ASSERT_EQ(h->bucket_counts.size(), 4u);  // +Inf bucket appended
+  EXPECT_EQ(h->bucket_counts[0], 2u);      // 5, 10 (le is inclusive)
+  EXPECT_EQ(h->bucket_counts[1], 2u);      // 11, 100
+  EXPECT_EQ(h->bucket_counts[2], 1u);      // 1000
+  EXPECT_EQ(h->bucket_counts[3], 1u);      // 1001 overflows to +Inf
+  EXPECT_EQ(h->count, 6u);
+  EXPECT_EQ(h->sum, 5u + 10 + 11 + 100 + 1000 + 1001);
+}
+
+TEST(ObsRegistry, NonIncreasingBoundsThrow) {
+  Registry& reg = Registry::instance();
+  const std::uint64_t bad[] = {10, 10, 100};
+  EXPECT_THROW((void)reg.histogram("test.obs.badbounds", bad), std::logic_error);
+}
+
+TEST(ObsRegistry, ResetZeroesButKeepsRegistrations) {
+  Registry& reg = Registry::instance();
+  const std::uint32_t id = reg.counter("test.obs.reset");
+  reg.add(id, 7);
+  reg.reset();
+  const Snapshot after_reset = reg.snapshot();
+  const CounterValue* c = find_counter(after_reset, "test.obs.reset");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 0u);
+  reg.add(id, 3);  // the interned id stays live after reset
+  const Snapshot after_add = reg.snapshot();
+  EXPECT_EQ(find_counter(after_add, "test.obs.reset")->value, 3u);
+}
+
+// Guarded tests exercise the *enabled* macro expansion; under cmake
+// -DCCOMP_OBS=OFF the whole binary is compiled with CCOMP_OBS_DISABLE and
+// only the registry-API and stats tests remain meaningful (the disabled
+// expansion itself is covered by test_obs_disabled.cpp in every build).
+#if !defined(CCOMP_OBS_DISABLE)
+
+TEST(ObsRegistry, MacrosFeedTheRegistry) {
+  Registry& reg = Registry::instance();
+  CCOMP_COUNT("test.obs.macro", 5);
+  CCOMP_COUNT("test.obs.macro", 2);
+  const Snapshot snap = reg.snapshot();
+  const CounterValue* c = find_counter(snap, "test.obs.macro");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 7u);
+}
+
+// --- Tracing spans --------------------------------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_trace_enabled(false);
+    clear_trace();
+  }
+  void TearDown() override {
+    set_trace_enabled(false);
+    clear_trace();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  { CCOMP_SPAN("test.quiet"); }
+  EXPECT_TRUE(trace_events().empty());
+}
+
+TEST_F(TraceTest, SpanNestingRecordsDepth) {
+  set_trace_enabled(true);
+  {
+    CCOMP_SPAN("test.outer");
+    {
+      CCOMP_SPAN("test.inner");
+    }
+  }
+  set_trace_enabled(false);
+  const std::vector<SpanEvent> events = trace_events();
+  ASSERT_EQ(events.size(), 2u);
+  // The inner span closes first, so it lands in the ring first.
+  EXPECT_STREQ(events[0].name, "test.inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_STREQ(events[1].name, "test.outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+  EXPECT_GE(events[1].dur_ns, events[0].dur_ns);
+  EXPECT_EQ(events[0].thread, events[1].thread);
+}
+
+TEST_F(TraceTest, RingWrapsKeepingNewestEvents) {
+  set_trace_capacity(8);
+  set_trace_enabled(true);
+  for (int i = 0; i < 20; ++i) {
+    CCOMP_SPAN("test.wrap");
+  }
+  set_trace_enabled(false);
+  const std::vector<SpanEvent> events = trace_events();
+  ASSERT_EQ(events.size(), 8u);  // 12 oldest overwritten
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].start_ns, events[i].start_ns) << "oldest-first order";
+  set_trace_capacity(65536);
+}
+
+#endif  // !CCOMP_OBS_DISABLE
+
+// --- Exporter goldens (hand-built snapshot: fully deterministic) ----------
+
+Snapshot golden_snapshot() {
+  Snapshot s;
+  s.counters.push_back({"samc.decode.blocks", "decoded blocks", 12});
+  s.gauges.push_back({"pool.queue_depth", "", -3});
+  HistogramValue h;
+  h.name = "memsys.refill_ns";
+  h.bounds = {10, 100};
+  h.bucket_counts = {1, 2, 3};  // 3 land beyond the last bound
+  h.count = 6;
+  h.sum = 123;
+  s.histograms.push_back(h);
+  return s;
+}
+
+TEST(ObsExport, PrometheusGolden) {
+  const std::string expected =
+      "# HELP ccomp_samc_decode_blocks_total decoded blocks\n"
+      "# TYPE ccomp_samc_decode_blocks_total counter\n"
+      "ccomp_samc_decode_blocks_total 12\n"
+      "# TYPE ccomp_pool_queue_depth gauge\n"
+      "ccomp_pool_queue_depth -3\n"
+      "# TYPE ccomp_memsys_refill_ns histogram\n"
+      "ccomp_memsys_refill_ns_bucket{le=\"10\"} 1\n"
+      "ccomp_memsys_refill_ns_bucket{le=\"100\"} 3\n"  // cumulative
+      "ccomp_memsys_refill_ns_bucket{le=\"+Inf\"} 6\n"
+      "ccomp_memsys_refill_ns_sum 123\n"
+      "ccomp_memsys_refill_ns_count 6\n";
+  EXPECT_EQ(to_prometheus(golden_snapshot()), expected);
+}
+
+TEST(ObsExport, JsonGolden) {
+  const std::string expected =
+      "{\"counters\":{\"samc.decode.blocks\":12},"
+      "\"gauges\":{\"pool.queue_depth\":-3},"
+      "\"histograms\":{\"memsys.refill_ns\":{\"bounds\":[10,100],"
+      "\"counts\":[1,2,3],\"count\":6,\"sum\":123}}}";
+  EXPECT_EQ(to_json(golden_snapshot()), expected);
+}
+
+TEST(ObsExport, ChromeTraceGolden) {
+  std::vector<SpanEvent> events;
+  events.push_back({"samc.decode_block", 0, 0, 1500, 500});
+  events.push_back({"memsys.refill", 1, 1, 2000, 250});
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ns\",\"traceEvents\":["
+      "{\"name\":\"samc.decode_block\",\"cat\":\"ccomp\",\"ph\":\"X\","
+      "\"ts\":1.500,\"dur\":0.500,\"pid\":1,\"tid\":0,\"args\":{\"depth\":0}},"
+      "{\"name\":\"memsys.refill\",\"cat\":\"ccomp\",\"ph\":\"X\","
+      "\"ts\":2.000,\"dur\":0.250,\"pid\":1,\"tid\":1,\"args\":{\"depth\":1}}"
+      "]}";
+  EXPECT_EQ(to_chrome_trace(events), expected);
+}
+
+TEST(ObsExport, TableMentionsEverySeries) {
+  const std::string table = to_table(golden_snapshot());
+  EXPECT_NE(table.find("samc.decode.blocks"), std::string::npos);
+  EXPECT_NE(table.find("pool.queue_depth"), std::string::npos);
+  EXPECT_NE(table.find("memsys.refill_ns"), std::string::npos);
+}
+
+// --- Stats reset / reload across the memory system ------------------------
+
+std::vector<std::uint8_t> small_program(std::uint32_t seed_kb) {
+  workload::Profile p = *workload::find_profile("m88ksim");
+  p.code_kb = seed_kb;
+  return mips::words_to_bytes(workload::generate_mips(p));
+}
+
+TEST(ObsStats, CacheAndRecoveryStatsReset) {
+  memsys::CacheStats cs;
+  cs.accesses = 5;
+  cs.misses = 2;
+  cs.reset();
+  EXPECT_EQ(cs.accesses, 0u);
+  EXPECT_EQ(cs.misses, 0u);
+
+  memsys::RecoveryStats rs;
+  rs.refills = 3;
+  rs.ecc_corrected = 1;
+  rs.scrubbed = 9;
+  rs.reset();
+  EXPECT_EQ(rs.refills, 0u);
+  EXPECT_EQ(rs.ecc_corrected, 0u);
+  EXPECT_EQ(rs.scrubbed, 0u);
+}
+
+TEST(ObsStats, FunctionalReloadPreservesStats) {
+  const auto code_a = small_program(4);
+  const auto code_b = small_program(8);
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const auto image_a = codec.compress(code_a);
+  const auto image_b = codec.compress(code_b);
+
+  memsys::FunctionalMemorySystem mem({1024, 32, 2}, codec, image_a);
+  for (std::uint32_t a = 0; a < code_a.size(); a += 4) (void)mem.fetch(a);
+  const std::uint64_t accesses_before = mem.cache_stats().accesses;
+  const std::uint64_t refills_before = mem.refills();
+  ASSERT_GT(accesses_before, 0u);
+  ASSERT_GT(refills_before, 0u);
+
+  mem.reload(codec, image_b);
+  // The cache was invalidated, so the first fetch refills from image_b —
+  // and the counters keep accumulating across the swap.
+  EXPECT_EQ(mem.fetch(0), mips::bytes_to_words(code_b)[0]);
+  EXPECT_GT(mem.cache_stats().accesses, accesses_before);
+  EXPECT_GT(mem.refills(), refills_before);
+
+  mem.reset_stats();
+  EXPECT_EQ(mem.cache_stats().accesses, 0u);
+  EXPECT_EQ(mem.refills(), 0u);
+}
+
+TEST(ObsStats, SelfHealResetStats) {
+  const auto code = small_program(4);
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const auto image = codec.compress(code);
+  memsys::SelfHealingMemorySystem::Options options;
+  options.cache.line_bytes = image.block_size();
+  options.cache.size_bytes = image.block_size() * 16;
+  memsys::SelfHealingMemorySystem heal(options, codec, image);
+
+  (void)heal.fetch(0);  // through the I-cache; read_block bypasses it
+  (void)heal.read_block(0);
+  (void)heal.scrub(image.block_count());
+  ASSERT_GT(heal.stats().refills, 0u);
+  ASSERT_GT(heal.stats().scrubbed, 0u);
+  ASSERT_GT(heal.cache_stats().accesses, 0u);
+
+  heal.reset_stats();
+  EXPECT_EQ(heal.stats().refills, 0u);
+  EXPECT_EQ(heal.stats().scrubbed, 0u);
+  EXPECT_EQ(heal.cache_stats().accesses, 0u);
+}
+
+}  // namespace
+}  // namespace ccomp::obs

@@ -1,0 +1,39 @@
+// This translation unit is compiled with CCOMP_OBS_DISABLE (see
+// tests/CMakeLists.txt) — the configuration cmake -DCCOMP_OBS=OFF applies
+// to the whole tree. The macros must still parse their arguments (so a
+// disabled build catches the same typos) but never evaluate them: no
+// counts, no clock reads, no statics.
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+namespace ccomp::obs {
+namespace {
+
+TEST(ObsDisabled, MacrosDoNotEvaluateArguments) {
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  CCOMP_COUNT("test.disabled.count", touch());
+  CCOMP_GAUGE_SET("test.disabled.gauge", touch());
+  CCOMP_GAUGE_ADD("test.disabled.gauge", touch());
+  CCOMP_HIST("test.disabled.hist", touch());
+  {
+    CCOMP_SPAN("test.disabled.span");
+    CCOMP_TIMER("test.disabled.timer");
+  }
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ObsDisabled, RegistryStaysLinkedAndEmptyOfDisabledSeries) {
+  // The registry API itself remains available in disabled builds (exporters
+  // and CLIs still link); only the macro instrumentation is compiled out.
+  const Snapshot snap = Registry::instance().snapshot();
+  for (const CounterValue& c : snap.counters)
+    EXPECT_EQ(c.name.find("test.disabled."), std::string::npos) << c.name;
+}
+
+}  // namespace
+}  // namespace ccomp::obs

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate telemetry JSON artifacts against a checked-in schema.
+
+Usage:
+    check_metrics_json.py --schema tools/metrics_schema.json file.json [...]
+    check_metrics_json.py --schema tools/bench_results_schema.json bench_results/*.json
+    check_metrics_json.py --trace trace.json [...]
+
+Standard library only (CI runners have no jsonschema package): implements
+exactly the JSON-Schema subset the checked-in schemas use — type, required,
+properties, additionalProperties (bool or schema), items, minimum.
+
+Beyond the schema, metrics snapshots get semantic checks: every histogram's
+counts array must be one longer than bounds (the +Inf bucket), bucket counts
+must sum to `count`, and bounds must be strictly increasing. --trace checks
+that a file is a chrome://tracing trace_event JSON with well-formed "X"
+events (what chrome://tracing itself would reject otherwise).
+
+Exit status: 0 when every file validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+
+def validate(value, schema, path, errors):
+    expected = schema.get("type")
+    if expected is not None:
+        py_type = _TYPES[expected]
+        ok = isinstance(value, py_type) and not (
+            expected in ("number", "integer") and isinstance(value, bool)
+        )
+        if not ok:
+            errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+            return
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} below minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, child in value.items():
+            if key in props:
+                validate(child, props[key], f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                validate(child, extra, f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected key '{key}'")
+    if isinstance(value, list) and "items" in schema:
+        for i, child in enumerate(value):
+            validate(child, schema["items"], f"{path}[{i}]", errors)
+
+
+def check_snapshot_semantics(doc, errors):
+    for name, hist in doc.get("histograms", {}).items():
+        bounds, counts = hist.get("bounds", []), hist.get("counts", [])
+        if len(counts) != len(bounds) + 1:
+            errors.append(f"histograms.{name}: {len(counts)} counts for "
+                          f"{len(bounds)} bounds (want bounds+1 for +Inf)")
+        if sum(counts) != hist.get("count"):
+            errors.append(f"histograms.{name}: bucket counts sum to "
+                          f"{sum(counts)}, count says {hist.get('count')}")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            errors.append(f"histograms.{name}: bounds not strictly increasing")
+
+
+def check_trace(doc, errors):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append("trace: missing traceEvents array")
+        return
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if key not in e:
+                errors.append(f"traceEvents[{i}]: missing '{key}'")
+        if e.get("ph") != "X":
+            errors.append(f"traceEvents[{i}]: ph '{e.get('ph')}' != 'X'")
+        if e.get("dur", 0) < 0:
+            errors.append(f"traceEvents[{i}]: negative duration")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--schema", help="schema JSON to validate against")
+    parser.add_argument("--trace", action="store_true",
+                        help="validate files as chrome://tracing trace_event JSON")
+    parser.add_argument("files", nargs="+")
+    args = parser.parse_args()
+    if bool(args.schema) == args.trace:
+        parser.error("pass exactly one of --schema or --trace")
+
+    schema = None
+    if args.schema:
+        with open(args.schema) as f:
+            schema = json.load(f)
+
+    failed = False
+    for path in args.files:
+        errors = []
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            errors.append(str(exc))
+            doc = None
+        if doc is not None:
+            if schema is not None:
+                validate(doc, schema, "$", errors)
+                if isinstance(doc, dict) and "histograms" in doc:
+                    check_snapshot_semantics(doc, errors)
+            else:
+                check_trace(doc, errors)
+        if errors:
+            failed = True
+            print(f"FAIL {path}")
+            for e in errors:
+                print(f"  {e}")
+        else:
+            print(f"ok   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
