@@ -11,6 +11,7 @@
 #include "isa/mips/mips.h"
 #include "sadc/sadc.h"
 #include "samc/samc.h"
+#include "support/crc32.h"
 #include "support/parallel.h"
 #include "workload/mips_gen.h"
 #include "workload/profile.h"
@@ -67,6 +68,41 @@ void BM_SamcDecompressBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_SamcDecompressBlock);
 
+// Same decode through the forced MarkovCursor engine: the plan-vs-cursor
+// delta is the flattened-table speedup (tab_decodespeed records it).
+void BM_SamcDecompressBlockCursor(benchmark::State& state) {
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const auto image = codec.compress(test_code());
+  const auto dec = codec.make_decompressor(image, samc::DecodeEngine::kCursor);
+  std::size_t b = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec->block(b));
+    b = (b + 1) % image.block_count();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * 32));
+}
+BENCHMARK(BM_SamcDecompressBlockCursor);
+
+// The refill engine's actual call shape: block_into with caller-owned
+// scratch and a reused output buffer — zero heap allocations per block
+// (tests/test_allocfree.cpp proves it), so this is pure decode time.
+void BM_SamcDecompressBlockInto(benchmark::State& state) {
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const auto image = codec.compress(test_code());
+  const auto dec = codec.make_decompressor(image);
+  core::DecodeScratch scratch;
+  std::vector<std::uint8_t> out(32);
+  std::size_t b = 0;
+  for (auto _ : state) {
+    out.resize(image.block_original_size(b));
+    dec->block_into(b, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+    b = (b + 1) % image.block_count();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * 32));
+}
+BENCHMARK(BM_SamcDecompressBlockInto);
+
 void BM_SamcNibbleDecompressBlock(benchmark::State& state) {
   samc::SamcOptions o = samc::mips_defaults();
   o.markov.quantized = true;
@@ -82,6 +118,22 @@ void BM_SamcNibbleDecompressBlock(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * 32));
 }
 BENCHMARK(BM_SamcNibbleDecompressBlock);
+
+void BM_SamcNibbleDecompressBlockCursor(benchmark::State& state) {
+  samc::SamcOptions o = samc::mips_defaults();
+  o.markov.quantized = true;
+  o.parallel_nibble_mode = true;
+  const samc::SamcCodec codec(o);
+  const auto image = codec.compress(test_code());
+  const auto dec = codec.make_decompressor(image, samc::DecodeEngine::kCursor);
+  std::size_t b = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dec->block(b));
+    b = (b + 1) % image.block_count();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * 32));
+}
+BENCHMARK(BM_SamcNibbleDecompressBlockCursor);
 
 void BM_SadcCompress(benchmark::State& state) {
   const sadc::SadcMipsCodec codec;
@@ -203,5 +255,19 @@ void BM_RangeCoderEncodeBit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RangeCoderEncodeBit);
+
+// CRC-32 throughput (slicing-by-8): the self-healing store runs this over
+// every refilled block, so it must stay far off the refill critical path.
+void BM_Crc32(benchmark::State& state) {
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(state.range(0)));
+  std::uint32_t x = 0x12345678;
+  for (auto& byte : buf) {
+    x = x * 1664525 + 1013904223;
+    byte = static_cast<std::uint8_t>(x >> 24);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(crc32(buf));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * buf.size()));
+}
+BENCHMARK(BM_Crc32)->Arg(32)->Arg(4096)->Arg(1 << 20);
 
 }  // namespace

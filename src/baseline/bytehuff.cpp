@@ -15,13 +15,20 @@ class ByteHuffmanDecompressor final : public core::BlockDecompressor {
       : BlockDecompressor(image.block_count()), image_(&image), code_(std::move(code)) {}
 
   std::vector<std::uint8_t> block(std::size_t index) const override {
-    const std::size_t bytes = image_->block_original_size(index);
-    BitReader in(image_->block_payload(index));
-    std::vector<std::uint8_t> out;
-    out.reserve(bytes);
-    for (std::size_t i = 0; i < bytes; ++i)
-      out.push_back(static_cast<std::uint8_t>(code_.decode(in)));
+    std::vector<std::uint8_t> out(image_->block_original_size(index));
+    block_into(index, out);
     return out;
+  }
+
+  using BlockDecompressor::block_into;
+
+  // The whole block is one Huffman run straight into the caller's buffer:
+  // no intermediate state, so no scratch needed even on the refill path.
+  void block_into(std::size_t index, std::span<std::uint8_t> out) const override {
+    if (out.size() != image_->block_original_size(index))
+      throw CorruptDataError("block_into destination does not match the block's original size");
+    BitReader in(image_->block_payload(index));
+    code_.decode_run(in, out.data(), out.size());
   }
 
  private:

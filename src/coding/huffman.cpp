@@ -183,6 +183,28 @@ void HuffmanCode::build_canonical() {
       fast_[base + w] = FastEntry{static_cast<std::uint32_t>(s),
                                   static_cast<std::uint8_t>(l)};
   }
+
+  // Multi-symbol acceleration: re-decode each window through the fast table,
+  // packing as many complete codewords as fit. A symbol is only accepted
+  // when its codeword lies entirely inside the window's known bits, so the
+  // packing is exact regardless of what follows the window in the stream.
+  multi_.clear();
+  if (n <= 256) {
+    multi_.assign(std::size_t{1} << kFastBits, MultiEntry{});
+    for (std::uint32_t w = 0; w < (1u << kFastBits); ++w) {
+      MultiEntry e;
+      unsigned used = 0;
+      while (e.count < 3) {
+        const std::uint32_t idx = (w << used) & ((1u << kFastBits) - 1);
+        const FastEntry f = fast_[idx];
+        if (f.length == 0 || f.length > kFastBits - used) break;
+        e.syms[e.count++] = static_cast<std::uint8_t>(f.symbol);
+        used += f.length;
+      }
+      e.bits = static_cast<std::uint8_t>(used);
+      multi_[w] = e;
+    }
+  }
 }
 
 void HuffmanCode::encode(BitWriter& out, std::size_t symbol) const {
@@ -199,6 +221,29 @@ std::size_t HuffmanCode::decode(BitReader& in) const {
     return entry.symbol;
   }
   return decode_serial(in);
+}
+
+void HuffmanCode::decode_run(BitReader& in, std::uint8_t* out, std::size_t count) const {
+  if (lengths_.size() > 256)
+    throw ConfigError("decode_run requires an alphabet of at most 256 symbols");
+  std::size_t done = 0;
+  while (done < count) {
+    if (in.bits_left() >= kFastBits) {
+      const MultiEntry e =
+          multi_[static_cast<std::uint32_t>(in.peek_bits(kFastBits))];
+      // Take the packed symbols only when the run wants all of them; a
+      // partial take would consume bits belonging to the next stream.
+      if (e.count != 0 && e.count <= count - done) {
+        out[done] = e.syms[0];
+        if (e.count > 1) out[done + 1] = e.syms[1];
+        if (e.count > 2) out[done + 2] = e.syms[2];
+        done += e.count;
+        in.seek_bits(in.bit_position() + e.bits);
+        continue;
+      }
+    }
+    out[done++] = static_cast<std::uint8_t>(decode(in));
+  }
 }
 
 std::size_t HuffmanCode::decode_serial(BitReader& in) const {

@@ -50,6 +50,14 @@ class HuffmanCode {
   /// with a canonical bit-serial fallback for long codes and stream tails.
   std::size_t decode(BitReader& in) const;
 
+  /// Decode `count` symbols into `out`. Requires an alphabet of at most 256
+  /// symbols (SADC's streams all qualify: dictionary ids, registers, and
+  /// byte-valued operands). One window lookup resolves up to three short
+  /// symbols at a time — the multi-symbol analogue of the fast table, which
+  /// is where SADC's refill path spends its time — falling back to decode()
+  /// per symbol near the end of the run or on long codes.
+  void decode_run(BitReader& in, std::uint8_t* out, std::size_t count) const;
+
   /// Exact encoded size in bits of a frequency-weighted message.
   std::uint64_t encoded_bits(std::span<const std::uint64_t> freq) const;
 
@@ -72,9 +80,19 @@ class HuffmanCode {
     std::uint8_t length = 0;  // 0 = long code or invalid prefix: use serial path
   };
 
+  /// Up to three whole symbols resolved from one kFastBits window (only
+  /// built for alphabets of <= 256 symbols, so each fits a byte). count == 0
+  /// means the window's first code is long or invalid: take the slow path.
+  struct MultiEntry {
+    std::uint8_t syms[3] = {};
+    std::uint8_t count = 0;
+    std::uint8_t bits = 0;  // total bits consumed by the `count` symbols
+  };
+
   std::vector<std::uint8_t> lengths_;
   std::vector<std::uint32_t> codes_;
-  std::vector<FastEntry> fast_;  // 2^kFastBits entries
+  std::vector<FastEntry> fast_;    // 2^kFastBits entries
+  std::vector<MultiEntry> multi_;  // 2^kFastBits entries; empty if alphabet > 256
   // Canonical decode tables: for each length L (1..kMaxCodeLength), the first
   // canonical code of that length and the index of its first symbol in
   // sorted_symbols_.

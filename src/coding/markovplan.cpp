@@ -1,0 +1,69 @@
+#include "coding/markovplan.h"
+
+#include <bit>
+
+namespace ccomp::coding {
+
+MarkovDecodePlan::MarkovDecodePlan(const MarkovModel& model) {
+  const MarkovConfig& cfg = model.config();
+  const std::size_t stream_count = cfg.division.stream_count();
+  const std::size_t ctx_count = model.context_count();
+  const std::uint32_t ctx_mask = static_cast<std::uint32_t>(ctx_count - 1);
+
+  // State numbering mirrors the model's own table layout: per stream a
+  // ctx-major block of tree nodes, streams concatenated.
+  std::vector<std::size_t> stream_base(stream_count + 1, 0);
+  for (std::size_t s = 0; s < stream_count; ++s)
+    stream_base[s + 1] = stream_base[s] + ctx_count * model.tree_node_count(s);
+  const std::size_t states = stream_base[stream_count];
+  if (states == 0 || states > kMaxStates) return;  // not viable
+
+  prob0_.resize(states);
+  bit_pos_.resize(states);
+  next_.resize(2 * states);
+
+  for (std::size_t s = 0; s < stream_count; ++s) {
+    const std::vector<std::uint8_t>& positions = cfg.division.streams[s];
+    const std::size_t width = positions.size();
+    const std::size_t tree_nodes = model.tree_node_count(s);
+    const std::size_t next_stream = s + 1 == stream_count ? 0 : s + 1;
+    const std::size_t next_tree_nodes = model.tree_node_count(next_stream);
+    for (std::size_t c = 0; c < ctx_count; ++c) {
+      for (std::size_t n = 0; n < tree_nodes; ++n) {
+        const std::size_t state = stream_base[s] + c * tree_nodes + n;
+        // Heap depth of node n is floor(log2(n + 1)): the number of bits of
+        // this stream already consumed, i.e. the index of the bit position
+        // this state decodes.
+        const unsigned depth = static_cast<unsigned>(std::bit_width(n + 1)) - 1u;
+        prob0_[state] = model.prob0(s, c, n);
+        bit_pos_[state] = positions[depth];
+        for (unsigned bit = 0; bit < 2; ++bit) {
+          const std::size_t child = 2 * n + 1 + bit;
+          std::size_t succ;
+          if (child < tree_nodes) {
+            // Still inside this stream's tree.
+            succ = stream_base[s] + c * tree_nodes + child;
+          } else {
+            // Leaf transition: the stream is complete. Reconstruct its
+            // decoded value v from the heap index (a depth-d node encodes
+            // the d bits walked to reach it) and roll it into the context
+            // exactly as MarkovCursor rolls recent_bits_.
+            const std::uint32_t path =
+                static_cast<std::uint32_t>(n) - ((1u << depth) - 1);
+            const std::uint32_t v = (path << 1) | bit;
+            std::uint32_t ctx_next =
+                cfg.context_bits == 0
+                    ? 0
+                    : ((static_cast<std::uint32_t>(c) << width) | v) & ctx_mask;
+            if (next_stream == 0 && !cfg.connect_across_words) ctx_next = 0;
+            succ = stream_base[next_stream] + ctx_next * next_tree_nodes;
+          }
+          next_[2 * state + bit] = static_cast<std::uint32_t>(succ);
+        }
+      }
+    }
+  }
+  viable_ = true;
+}
+
+}  // namespace ccomp::coding

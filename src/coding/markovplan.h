@@ -1,0 +1,108 @@
+// Flattened decode plan for a MarkovModel (the precompiled-table engine).
+//
+// MarkovCursor resolves every decoded bit through two levels of indirection
+// (trees_[stream][ctx * tree_nodes + node]) plus per-bit stream/context
+// bookkeeping. That is faithful to the model definition but slow in the
+// refill hot path. A MarkovDecodePlan compiles the whole walk — stream
+// division, context selection, word-boundary resets — into one contiguous
+// struct-of-arrays state machine, built once when the decompressor is
+// constructed (as hardware would burn the tables into the decoder's local
+// memory):
+//
+//   state = plan.next(state, bit)
+//
+// with per-state probability and output bit position looked up by the same
+// index. A plan state is the triple (stream, ctx, node), which is a
+// sufficient statistic for the cursor: the only history the cursor keeps
+// beyond it is recent_bits_, and at a stream boundary the new context
+//
+//   ctx' = ((ctx << width) | v) & (2^context_bits - 1)
+//
+// depends only on the old context and the stream's decoded value v — the
+// trailing context_bits of history at stream entry *are* ctx (zero at block
+// start, reset with it at word boundaries when connect_across_words is
+// off). So the flattened machine reproduces the cursor transition for
+// transition, and plan-driven decoders are bit-exact with cursor-driven
+// ones (tests/test_decodeplan.cpp locks this in).
+//
+// Pathologically large models (wide streams x many contexts) are refused
+// rather than compiled: viable() reports whether the plan was built, and
+// callers fall back to the cursor engine. The cap is far above every
+// configuration the paper sweeps.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "coding/markov.h"
+
+namespace ccomp::coding {
+
+class MarkovDecodePlan {
+ public:
+  /// States above this are refused (viable() == false): the plan would no
+  /// longer fit a decoder's local table memory, and the build itself would
+  /// cost more than it saves. 2^20 states is ~11 MB of tables; the paper's
+  /// configurations stay under a few thousand states.
+  static constexpr std::size_t kMaxStates = std::size_t{1} << 20;
+
+  /// Compile `model`. The plan copies everything it needs; the model may be
+  /// destroyed afterwards.
+  explicit MarkovDecodePlan(const MarkovModel& model);
+
+  /// False when the model was too large to flatten; no other member may be
+  /// used in that case (callers keep a MarkovCursor fallback).
+  bool viable() const { return viable_; }
+
+  std::size_t state_count() const { return prob0_.size(); }
+
+  /// The start-of-block state (stream 0, context 0, tree root).
+  static constexpr std::uint32_t kStartState = 0;
+
+  /// P(bit == 0) for the bit decoded in state `s`.
+  Prob prob0(std::uint32_t s) const { return prob0_[s]; }
+
+  /// Bit position within the word that state `s` decodes.
+  unsigned bit_pos(std::uint32_t s) const { return bit_pos_[s]; }
+
+  /// Successor state after decoding `bit` in state `s`.
+  std::uint32_t next(std::uint32_t s, unsigned bit) const {
+    return next_[2 * std::size_t{s} + bit];
+  }
+
+  /// Both successors of `s` in one table fetch: low word is next(s, 0),
+  /// high word next(s, 1). The hot loops issue this before the coder
+  /// resolves the bit, so the successor is a register select instead of a
+  /// dependent load.
+  std::uint64_t next_pair(std::uint32_t s) const {
+    std::uint64_t pair;
+    std::memcpy(&pair, next_.data() + 2 * std::size_t{s}, sizeof pair);
+    if constexpr (std::endian::native == std::endian::big)
+      pair = (pair << 32) | (pair >> 32);
+    return pair;
+  }
+
+  /// Gather the 15 heap-ordered probabilities of the 4-bit subtree rooted at
+  /// state `s` (the Fig. 5 "probability memory" fetch). Only valid when the
+  /// model's stream widths are multiples of 4 (the nibble-mode constraint),
+  /// so the first three levels of the subtree never cross a stream boundary.
+  void gather_nibble(std::uint32_t s, Prob out[15]) const {
+    std::uint32_t st[15];
+    st[0] = s;
+    for (std::size_t i = 0; i < 7; ++i) {
+      st[2 * i + 1] = next(st[i], 0);
+      st[2 * i + 2] = next(st[i], 1);
+    }
+    for (std::size_t i = 0; i < 15; ++i) out[i] = prob0_[st[i]];
+  }
+
+ private:
+  bool viable_ = false;
+  std::vector<Prob> prob0_;         // per state
+  std::vector<std::uint8_t> bit_pos_;  // per state
+  std::vector<std::uint32_t> next_;    // 2 per state: [2s] on 0, [2s+1] on 1
+};
+
+}  // namespace ccomp::coding

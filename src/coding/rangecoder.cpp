@@ -114,23 +114,4 @@ void RangeDecoder::reset(std::span<const std::uint8_t> data) {
   for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | next_byte();
 }
 
-unsigned RangeDecoder::decode_bit(Prob p0) {
-  const std::uint32_t bound = (range_ >> kProbBits) * p0;
-  unsigned bit;
-  if (code_ < bound) {
-    bit = 0;
-    range_ = bound;
-  } else {
-    bit = 1;
-    code_ -= bound;
-    range_ -= bound;
-  }
-  while (range_ < (1u << 24)) {
-    ++renorms_;
-    code_ = (code_ << 8) | next_byte();
-    range_ <<= 8;
-  }
-  return bit;
-}
-
 }  // namespace ccomp::coding

@@ -14,13 +14,22 @@ void BlockDecompressor::block_into(std::size_t index, std::span<std::uint8_t> ou
   std::copy(bytes.begin(), bytes.end(), out.begin());
 }
 
+void BlockDecompressor::block_into(std::size_t index, std::span<std::uint8_t> out,
+                                   DecodeScratch&) const {
+  block_into(index, out);
+}
+
 std::vector<std::uint8_t> BlockCodec::decompress_all(const CompressedImage& image) const {
   const auto decompressor = make_decompressor(image);
   std::vector<std::uint8_t> out(static_cast<std::size_t>(image.original_size()));
   const std::span<std::uint8_t> span(out);
   par::parallel_for(image.block_count(), [&](std::size_t b) {
+    // One scratch per worker thread, reused across every block the worker
+    // decodes (and across calls — the arenas stay warm at their high-water
+    // mark).
+    thread_local DecodeScratch scratch;
     const std::size_t begin = static_cast<std::size_t>(image.block_original_offset(b));
-    decompressor->block_into(b, span.subspan(begin, image.block_original_size(b)));
+    decompressor->block_into(b, span.subspan(begin, image.block_original_size(b)), scratch);
   });
   return out;
 }
@@ -37,11 +46,15 @@ CompressedImage BlockCodec::compress_verified(std::span<const std::uint8_t> code
   const auto decompressor = make_decompressor(image);
   const std::size_t blocks = image.block_count();
   par::parallel_for(blocks, [&](std::size_t i) {
+    // Per-worker scratch; the block staging buffer is reused across every
+    // block this worker checks instead of allocating a fresh vector each.
+    thread_local DecodeScratch scratch;
     const std::size_t b = blocks - 1 - i;
-    const std::vector<std::uint8_t> block = decompressor->block(b);
+    scratch.block.resize(image.block_original_size(b));
+    decompressor->block_into(b, scratch.block, scratch);
     const std::size_t begin = static_cast<std::size_t>(image.block_original_offset(b));
-    if (block.size() != image.block_original_size(b) ||
-        !std::equal(block.begin(), block.end(), code.begin() + static_cast<std::ptrdiff_t>(begin)))
+    if (!std::equal(scratch.block.begin(), scratch.block.end(),
+                    code.begin() + static_cast<std::ptrdiff_t>(begin)))
       throw CorruptDataError("codec round trip failed (random access)");
   });
   return image;

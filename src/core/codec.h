@@ -20,12 +20,37 @@
 
 namespace ccomp::core {
 
+/// Caller-owned reusable buffers for the zero-allocation refill path.
+///
+/// Decoders that need intermediate per-block storage (SADC's stream arenas,
+/// the x86 splitters' per-instruction records) take it from here instead of
+/// allocating: the buffers grow to the high-water mark of the blocks they
+/// serve and are reused verbatim afterwards, so a steady-state cache refill
+/// touches the heap zero times (tests/test_allocfree.cpp asserts this).
+///
+/// A DecodeScratch belongs to exactly one caller at a time — the memory
+/// systems keep one as a member, parallel sweeps keep one per worker
+/// thread. The fields are deliberately generic untyped arenas; each decoder
+/// documents its own use. `block` is reserved for *callers* that need a
+/// whole-block staging buffer (verification, scrubbing) — decoders never
+/// touch it, so a caller may pass `scratch.block` as the output span of a
+/// block_into on the same scratch.
+struct DecodeScratch {
+  std::vector<std::uint8_t> bytes0;   // e.g. register / opcode-byte arena
+  std::vector<std::uint8_t> bytes1;   // e.g. displacement/immediate arena
+  std::vector<std::uint32_t> words0;  // e.g. per-instruction shape records
+  std::vector<const void*> ptrs0;     // e.g. dictionary leaf pointers
+  std::vector<std::uint8_t> block;    // caller-side whole-block staging
+};
+
 /// Per-image decompressor holding the deserialized model state.
 ///
 /// Decompressors are immutable after construction: block() / block_into()
-/// are const and keep all walk state on the stack, so one decompressor may
-/// serve concurrent block requests from multiple threads (what the parallel
-/// decompress_all and the verification pass rely on).
+/// are const and keep all walk state on the stack or in the caller's
+/// DecodeScratch, so one decompressor may serve concurrent block requests
+/// from multiple threads (what the parallel decompress_all and the
+/// verification pass rely on) as long as each caller brings its own
+/// scratch.
 class BlockDecompressor {
  public:
   virtual ~BlockDecompressor() = default;
@@ -39,6 +64,13 @@ class BlockDecompressor {
   /// hot-path decompressors override it to skip the per-call allocation
   /// (the cache refill engine reuses its line buffers across refills).
   virtual void block_into(std::size_t index, std::span<std::uint8_t> out) const;
+
+  /// Like block_into(out) but with caller-owned scratch for any
+  /// intermediate state, making the steady-state call allocation-free. The
+  /// default ignores the scratch and forwards to the two-argument overload;
+  /// decoders with per-block intermediates override this one.
+  virtual void block_into(std::size_t index, std::span<std::uint8_t> out,
+                          DecodeScratch& scratch) const;
 
   std::size_t block_count() const { return block_count_; }
 

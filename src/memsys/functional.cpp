@@ -59,9 +59,11 @@ FunctionalMemorySystem::Line& FunctionalMemorySystem::lookup(std::uint32_t addre
   victim->tag = tag;
   victim->last_use = clock_;
   // Decompress straight into the line's buffer: after warmup every refill
-  // reuses the victim line's capacity instead of allocating a fresh vector.
+  // reuses the victim line's capacity and the member scratch's arenas, so a
+  // steady-state miss touches the heap zero times (tests/test_allocfree.cpp
+  // asserts this).
   victim->bytes.resize(image_->block_original_size(block));
-  decompressor_->block_into(block, victim->bytes);
+  decompressor_->block_into(block, victim->bytes, scratch_);
   return *victim;
 }
 

@@ -63,6 +63,7 @@ class FunctionalMemorySystem {
   const core::CompressedImage* image_;
   std::unique_ptr<core::BlockDecompressor> decompressor_;
   std::unique_ptr<ICache> cache_;  // hit/miss bookkeeping (stats only)
+  core::DecodeScratch scratch_;    // refill-engine arenas, reused every miss
   std::vector<Line> lines_;        // actual decompressed contents
   std::uint32_t line_bytes_;
   std::uint32_t sets_;

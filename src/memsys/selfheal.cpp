@@ -113,7 +113,7 @@ void SelfHealingMemorySystem::clb_access(std::size_t block) {
 bool SelfHealingMemorySystem::try_decode(std::size_t block, std::vector<std::uint8_t>& out) {
   try {
     out.resize(store_.block_original_size(block));
-    decompressor_->block_into(block, out);
+    decompressor_->block_into(block, out, scratch_);
   } catch (const Error&) {
     return false;  // typed decoder failure: detected, recoverable
   }
@@ -219,10 +219,14 @@ void SelfHealingMemorySystem::refill(std::size_t block, std::vector<std::uint8_t
 }
 
 std::vector<std::uint8_t> SelfHealingMemorySystem::read_block(std::size_t index) {
-  if (index >= store_.block_count()) throw ConfigError("block index out of range");
   std::vector<std::uint8_t> out;
-  refill(index, out);
+  read_block_into(index, out);
   return out;
+}
+
+void SelfHealingMemorySystem::read_block_into(std::size_t index, std::vector<std::uint8_t>& out) {
+  if (index >= store_.block_count()) throw ConfigError("block index out of range");
+  refill(index, out);
 }
 
 std::size_t SelfHealingMemorySystem::scrub(std::size_t max_blocks) {
@@ -251,8 +255,10 @@ std::size_t SelfHealingMemorySystem::scrub(std::size_t max_blocks) {
         healthy = false;  // LAT fault over this block
       }
     } else {
-      std::vector<std::uint8_t> buf;
-      healthy = try_decode(block, buf);
+      // scratch_.block is the caller-side staging buffer (decoders never
+      // touch it), so the scrub sweep reuses it alongside the decode arenas
+      // instead of allocating a throwaway vector per block.
+      healthy = try_decode(block, scratch_.block);
     }
     if (!healthy) {
       refetch_block(block);

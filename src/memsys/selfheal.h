@@ -85,6 +85,11 @@ class SelfHealingMemorySystem {
   /// Works for variable-block images too (what the fault campaign sweeps).
   std::vector<std::uint8_t> read_block(std::size_t index);
 
+  /// Like read_block but into a caller-owned buffer (resized to the block's
+  /// original size), so campaign loops sweeping many blocks reuse one
+  /// buffer instead of allocating per read.
+  void read_block_into(std::size_t index, std::vector<std::uint8_t>& out);
+
   /// Background scrubber: SECDED-sweep up to `max_blocks` blocks from a
   /// round-robin cursor, writing corrections back and refetching blocks the
   /// code cannot repair. Returns the number of blocks visited.
@@ -155,6 +160,7 @@ class SelfHealingMemorySystem {
   core::CompressedImage golden_;  // pristine backing copy (never mutated)
   core::CompressedImage store_;   // fault-prone store
   std::unique_ptr<core::BlockDecompressor> decompressor_;  // bound to store_
+  core::DecodeScratch scratch_;  // refill/scrub arenas, reused every decode
   std::vector<std::uint32_t> golden_crc_;  // per-block CRC of decompressed bytes
   std::unique_ptr<ICache> cache_;
   std::vector<Line> lines_;

@@ -23,7 +23,12 @@ struct RefillModel {
   std::uint32_t decode_startup = 4;         // decompressor per-block startup
   /// Decompressor throughput in output bits per cycle (SAMC Fig. 5 decodes
   /// 4 bits/cycle; SADC's dictionary path is table lookups, ~16 bits/cycle;
-  /// plain Huffman ~8).
+  /// plain Huffman ~8). This is a *hardware* constant: Fig. 5 resolves a
+  /// full 4-bit group per cycle from dedicated midpoint units. Do not
+  /// calibrate it from bench/tab_decodespeed's bits-per-cycle column —
+  /// that measures this repo's software decoder, which spends a pipeline's
+  /// worth of instructions per bit and lands ~20x lower (the table prints
+  /// the same warning).
   std::uint32_t decode_bits_per_cycle = 4;
 };
 

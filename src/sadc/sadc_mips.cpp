@@ -429,15 +429,33 @@ class SadcMipsDecompressor final : public core::BlockDecompressor {
         imm_code_(std::move(imm_code)) {}
 
   std::vector<std::uint8_t> block(std::size_t index) const override {
+    core::DecodeScratch scratch;
+    std::vector<std::uint8_t> out(image_->block_original_size(index));
+    block_into(index, out, scratch);
+    return out;
+  }
+
+  using BlockDecompressor::block_into;
+
+  // Scratch use: ptrs0 = dictionary leaf pointers (phase 1), bytes0 = the
+  // register stream, bytes1 = the immediate stream. Each operand stream is
+  // sized by one pass over the leaves and decoded with one decode_run, so a
+  // steady-state refill does no per-block allocation and the Huffman
+  // multi-symbol table amortizes across the whole stream.
+  void block_into(std::size_t index, std::span<std::uint8_t> out,
+                  core::DecodeScratch& scratch) const override {
     CCOMP_SPAN("sadc.decode_block");
     CCOMP_TIMER("sadc.decode.block_ns");
     const std::size_t bytes = image_->block_original_size(index);
+    if (out.size() != bytes)
+      throw CorruptDataError("block_into destination does not match the block's original size");
     const std::size_t instr_count = bytes / 4;
     BitReader in(image_->block_payload(index));
 
     // Phase 1: opcode stream — symbols until the block's instructions are
     // covered.
-    std::vector<const Leaf*> leaves;
+    std::vector<const void*>& leaves = scratch.ptrs0;
+    leaves.clear();
     leaves.reserve(instr_count);
     // Fuel bound: every valid symbol yields at least one instruction, so a
     // well-formed stream converges within instr_count symbols. Malformed
@@ -460,67 +478,67 @@ class SadcMipsDecompressor final : public core::BlockDecompressor {
     CCOMP_COUNT("sadc.decode.symbols", instr_count - fuel);
     CCOMP_COUNT("sadc.decode.instructions", leaves.size());
 
-    // Phase 2: register stream.
-    std::vector<std::uint8_t> regs;
-    for (const Leaf* leaf : leaves) {
-      if (leaf->raw || leaf->regs_absorbed) continue;
+    // Size both operand streams up front (the leaf walk is cheap and
+    // memory-local), then decode each with a single multi-symbol run.
+    std::size_t reg_total = 0, imm_total = 0;
+    for (const void* p : leaves) {
+      const Leaf* leaf = static_cast<const Leaf*>(p);
+      if (leaf->raw) {
+        imm_total += 4;
+        continue;
+      }
       const auto lengths = mips::operand_lengths(leaf->token);
-      for (unsigned k = 0; k < lengths.regs; ++k)
-        regs.push_back(static_cast<std::uint8_t>(reg_code_.decode(in)));
+      if (!leaf->regs_absorbed) reg_total += lengths.regs;
+      if (lengths.imm16 && !leaf->imm_absorbed) imm_total += 2;
+      if (lengths.imm26) imm_total += 4;
     }
+
+    // Phase 2: register stream.
+    std::vector<std::uint8_t>& regs = scratch.bytes0;
+    regs.resize(reg_total);
+    reg_code_.decode_run(in, regs.data(), reg_total);
 
     // Phase 3: immediate stream.
-    std::vector<std::uint8_t> imm_bytes;
-    for (const Leaf* leaf : leaves) {
-      std::size_t need = 0;
-      if (leaf->raw) {
-        need = 4;
-      } else {
-        const auto lengths = mips::operand_lengths(leaf->token);
-        if (lengths.imm16 && !leaf->imm_absorbed) need += 2;
-        if (lengths.imm26) need += 4;
-      }
-      for (std::size_t k = 0; k < need; ++k)
-        imm_bytes.push_back(static_cast<std::uint8_t>(imm_code_.decode(in)));
-    }
+    std::vector<std::uint8_t>& imm_bytes = scratch.bytes1;
+    imm_bytes.resize(imm_total);
+    imm_code_.decode_run(in, imm_bytes.data(), imm_total);
 
     // Instruction generation (paper Fig. 6): reassemble 32-bit words.
-    std::vector<std::uint8_t> out;
-    out.reserve(bytes);
-    std::size_t ri = 0, ii = 0;
-    for (const Leaf* leaf : leaves) {
+    std::size_t at = 0, ri = 0, ii = 0;
+    for (const void* p : leaves) {
+      const Leaf* leaf = static_cast<const Leaf*>(p);
       std::uint32_t word;
       if (leaf->raw) {
         word = 0;
-        for (int b = 0; b < 4; ++b) word |= static_cast<std::uint32_t>(imm_bytes.at(ii++)) << (8 * b);
+        for (int b = 0; b < 4; ++b) word |= static_cast<std::uint32_t>(imm_bytes[ii++]) << (8 * b);
       } else {
         mips::Decoded d;
         d.opcode = leaf->token;
         const auto lengths = mips::operand_lengths(leaf->token);
+        const unsigned nregs = lengths.regs < 4 ? lengths.regs : 4;
         if (leaf->regs_absorbed) {
-          for (unsigned k = 0; k < lengths.regs; ++k) d.regs[k] = leaf->absorbed_regs[k];
+          for (unsigned k = 0; k < nregs; ++k) d.regs[k] = leaf->absorbed_regs[k];
         } else {
-          for (unsigned k = 0; k < lengths.regs; ++k) d.regs[k] = regs.at(ri++);
+          for (unsigned k = 0; k < nregs; ++k) d.regs[k] = regs[ri++];
         }
         if (lengths.imm16) {
           if (leaf->imm_absorbed) {
             d.imm16 = leaf->absorbed_imm16;
           } else {
-            const std::uint8_t lo = imm_bytes.at(ii++);
-            const std::uint8_t hi = imm_bytes.at(ii++);
+            const std::uint8_t lo = imm_bytes[ii++];
+            const std::uint8_t hi = imm_bytes[ii++];
             d.imm16 = static_cast<std::uint16_t>(lo | (hi << 8));
           }
         }
         if (lengths.imm26) {
           std::uint32_t v = 0;
-          for (int b = 0; b < 4; ++b) v |= static_cast<std::uint32_t>(imm_bytes.at(ii++)) << (8 * b);
+          for (int b = 0; b < 4; ++b) v |= static_cast<std::uint32_t>(imm_bytes[ii++]) << (8 * b);
           d.imm26 = v;
         }
         word = mips::encode(d);
       }
-      for (int b = 0; b < 4; ++b) out.push_back(static_cast<std::uint8_t>(word >> (8 * b)));
+      for (int b = 0; b < 4; ++b) out[at++] = static_cast<std::uint8_t>(word >> (8 * b));
     }
-    return out;
   }
 
  private:

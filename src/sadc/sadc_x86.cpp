@@ -163,13 +163,31 @@ class SadcX86Decompressor final : public core::BlockDecompressor {
         imm_code_(std::move(imm_code)) {}
 
   std::vector<std::uint8_t> block(std::size_t index) const override {
+    core::DecodeScratch scratch;
+    std::vector<std::uint8_t> out(image_->block_original_size(index));
+    block_into(index, out, scratch);
+    return out;
+  }
+
+  using BlockDecompressor::block_into;
+
+  // Scratch use: ptrs0 = dictionary leaf pointers (phase 1); words0 = two
+  // packed words per instruction (flags | modrm<<8 | sib<<16 | tail_len<<24,
+  // then token or raw length); bytes0 = escape instructions' literal bytes;
+  // bytes1 = the displacement/immediate stream, decoded with one
+  // multi-symbol run once phase 2 has fixed its length.
+  void block_into(std::size_t index, std::span<std::uint8_t> out,
+                  core::DecodeScratch& scratch) const override {
     CCOMP_SPAN("sadc.decode_block");
     CCOMP_TIMER("sadc.decode.block_ns");
+    if (out.size() != image_->block_original_size(index))
+      throw CorruptDataError("block_into destination does not match the block's original size");
     BitReader in(image_->block_payload(index));
     const std::size_t instr_count = static_cast<std::size_t>(in.read_bits(8));
 
     // Phase 1: opcode tokens.
-    std::vector<const Leaf*> leaves;
+    std::vector<const void*>& leaves = scratch.ptrs0;
+    leaves.clear();
     leaves.reserve(instr_count);
     // Fuel bound mirroring the MIPS decoder: instr_count symbols suffice for
     // any well-formed stream, so malformed input runs out of fuel instead of
@@ -192,72 +210,84 @@ class SadcX86Decompressor final : public core::BlockDecompressor {
     CCOMP_COUNT("sadc.decode.instructions", leaves.size());
 
     // Phase 2: ModRM stream (escape instructions travel here whole).
-    struct Pending {
-      bool raw = false;
-      std::vector<std::uint8_t> raw_bytes;
-      const std::string* opcode = nullptr;
-      bool has_modrm = false;
-      std::uint8_t modrm = 0;
-      bool has_sib = false;
-      std::uint8_t sib = 0;
-      unsigned disp_len = 0;
-      unsigned imm_len = 0;
-      std::vector<std::uint8_t> tail;  // disp + imm
-    };
-    std::vector<Pending> pending(leaves.size());
-    for (std::size_t i = 0; i < leaves.size(); ++i) {
-      Pending& p = pending[i];
-      if (leaves[i]->raw) {
-        p.raw = true;
+    constexpr std::uint32_t kRaw = 1, kHasModrm = 2, kHasSib = 4;
+    std::vector<std::uint32_t>& records = scratch.words0;
+    records.clear();
+    records.reserve(2 * leaves.size());
+    std::vector<std::uint8_t>& raw_bytes = scratch.bytes0;
+    raw_bytes.clear();
+    std::size_t tail_total = 0;
+    for (const void* lp : leaves) {
+      const Leaf* leaf = static_cast<const Leaf*>(lp);
+      if (leaf->raw) {
         const std::size_t len = modrm_code_.decode(in);
-        p.raw_bytes.reserve(len);
-        for (std::size_t k = 0; k < len; ++k)
-          p.raw_bytes.push_back(static_cast<std::uint8_t>(modrm_code_.decode(in)));
+        const std::size_t off = raw_bytes.size();
+        raw_bytes.resize(off + len);
+        modrm_code_.decode_run(in, raw_bytes.data() + off, len);
+        records.push_back(kRaw);
+        records.push_back(static_cast<std::uint32_t>(len));
         continue;
       }
-      if (leaves[i]->token >= opcode_strings_.size())
+      if (leaf->token >= opcode_strings_.size())
         throw CorruptDataError("opcode token beyond string table");
-      p.opcode = &opcode_strings_[leaves[i]->token];
+      const std::string& opcode = opcode_strings_[leaf->token];
       const auto cls = x86::classify_opcode(std::span<const std::uint8_t>(
-          reinterpret_cast<const std::uint8_t*>(p.opcode->data()), p.opcode->size()));
-      p.imm_len = cls.imm_bytes;
+          reinterpret_cast<const std::uint8_t*>(opcode.data()), opcode.size()));
+      std::uint32_t flags = 0;
+      std::uint8_t modrm = 0, sib = 0;
+      unsigned tail_len = cls.imm_bytes;
       if (cls.has_modrm) {
-        p.has_modrm = true;
-        p.modrm = static_cast<std::uint8_t>(modrm_code_.decode(in));
-        if (x86::modrm_has_sib(p.modrm)) {
-          p.has_sib = true;
-          p.sib = static_cast<std::uint8_t>(modrm_code_.decode(in));
+        flags |= kHasModrm;
+        modrm = static_cast<std::uint8_t>(modrm_code_.decode(in));
+        if (x86::modrm_has_sib(modrm)) {
+          flags |= kHasSib;
+          sib = static_cast<std::uint8_t>(modrm_code_.decode(in));
         }
-        p.disp_len = x86::modrm_disp_bytes(p.modrm, p.sib);
-        if (cls.group3 && ((p.modrm >> 3) & 7) <= 1) p.imm_len += cls.group3_imm_bytes;
+        tail_len += x86::modrm_disp_bytes(modrm, sib);
+        if (cls.group3 && ((modrm >> 3) & 7) <= 1) tail_len += cls.group3_imm_bytes;
       }
+      tail_total += tail_len;
+      records.push_back(flags | (std::uint32_t{modrm} << 8) | (std::uint32_t{sib} << 16) |
+                        (static_cast<std::uint32_t>(tail_len) << 24));
+      records.push_back(leaf->token);
     }
 
-    // Phase 3: displacement/immediate stream.
-    for (Pending& p : pending) {
-      if (p.raw) continue;
-      const unsigned need = p.disp_len + p.imm_len;
-      p.tail.reserve(need);
-      for (unsigned k = 0; k < need; ++k)
-        p.tail.push_back(static_cast<std::uint8_t>(imm_code_.decode(in)));
-    }
+    // Phase 3: displacement/immediate stream, one run for the whole block.
+    std::vector<std::uint8_t>& tails = scratch.bytes1;
+    tails.resize(tail_total);
+    imm_code_.decode_run(in, tails.data(), tail_total);
 
-    // Reassemble.
-    std::vector<std::uint8_t> out;
-    out.reserve(image_->block_original_size(index));
-    for (const Pending& p : pending) {
-      if (p.raw) {
-        out.insert(out.end(), p.raw_bytes.begin(), p.raw_bytes.end());
+    // Reassemble into the caller's span, guarding every write against the
+    // block's recorded size (corrupt streams may disagree).
+    std::size_t at = 0, ro = 0, to = 0;
+    auto put = [&](const std::uint8_t* data, std::size_t len) {
+      if (len > out.size() - at) throw CorruptDataError("SADC/x86 block size mismatch");
+      std::copy(data, data + len, out.begin() + static_cast<std::ptrdiff_t>(at));
+      at += len;
+    };
+    for (std::size_t i = 0; i < records.size(); i += 2) {
+      const std::uint32_t w0 = records[i];
+      const std::uint32_t w1 = records[i + 1];
+      if (w0 & kRaw) {
+        put(raw_bytes.data() + ro, w1);
+        ro += w1;
         continue;
       }
-      out.insert(out.end(), p.opcode->begin(), p.opcode->end());
-      if (p.has_modrm) out.push_back(p.modrm);
-      if (p.has_sib) out.push_back(p.sib);
-      out.insert(out.end(), p.tail.begin(), p.tail.end());
+      const std::string& opcode = opcode_strings_[w1];
+      put(reinterpret_cast<const std::uint8_t*>(opcode.data()), opcode.size());
+      if (w0 & kHasModrm) {
+        const std::uint8_t modrm = static_cast<std::uint8_t>(w0 >> 8);
+        put(&modrm, 1);
+      }
+      if (w0 & kHasSib) {
+        const std::uint8_t sib = static_cast<std::uint8_t>(w0 >> 16);
+        put(&sib, 1);
+      }
+      const std::size_t tail_len = w0 >> 24;
+      put(tails.data() + to, tail_len);
+      to += tail_len;
     }
-    if (out.size() != image_->block_original_size(index))
-      throw CorruptDataError("SADC/x86 block size mismatch");
-    return out;
+    if (at != out.size()) throw CorruptDataError("SADC/x86 block size mismatch");
   }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "coding/markovplan.h"
 #include "coding/nibblecoder.h"
 #include "coding/rangecoder.h"
 #include "obs/obs.h"
@@ -11,6 +12,7 @@
 namespace ccomp::samc {
 
 using coding::MarkovCursor;
+using coding::MarkovDecodePlan;
 using coding::MarkovModel;
 using coding::RangeDecoder;
 using coding::RangeEncoder;
@@ -151,17 +153,51 @@ core::CompressedImage SamcCodec::compress_with_model(std::span<const std::uint8_
 
 namespace {
 
-// Serial decompressor: one range-decoder bit per Markov step.
+// Serial decompressor: one range-decoder bit per Markov step. The Markov
+// walk either runs on the flattened decode plan (one table row per decoded
+// bit) or, when the plan is not viable or the cursor engine was requested,
+// on the original MarkovCursor — both produce byte-identical output.
 class SamcDecompressor final : public core::BlockDecompressor {
  public:
-  SamcDecompressor(const core::CompressedImage& image, MarkovModel model)
-      : BlockDecompressor(image.block_count()), image_(&image), model_(std::move(model)) {}
+  SamcDecompressor(const core::CompressedImage& image, MarkovModel model, DecodeEngine engine)
+      : BlockDecompressor(image.block_count()),
+        image_(&image),
+        model_(std::move(model)),
+        plan_(model_) {
+    use_plan_ = engine == DecodeEngine::kPlan && plan_.viable();
+    // The order bit positions are decoded in is a fixed property of the
+    // stream division (streams in sequence, each MSB-to-LSB of its position
+    // list), so the hot loop shifts every bit into a decode-order
+    // accumulator and the scatter to word-bit positions happens once per
+    // word, over maximal descending runs precomputed here. The default
+    // contiguous divisions collapse to a single run (the accumulator *is*
+    // the word); a pathological division degrades to one run per bit, which
+    // still only costs what the old per-bit scatter did.
+    std::vector<std::uint8_t> positions;
+    for (const auto& stream : model_.config().division.streams)
+      for (const std::uint8_t pos : stream) positions.push_back(pos);
+    const unsigned word_bits = model_.config().division.word_bits;
+    std::size_t i = 0;
+    while (i < positions.size()) {
+      std::size_t j = i + 1;
+      while (j < positions.size() && positions[j] + 1 == positions[j - 1]) ++j;
+      const unsigned width = static_cast<unsigned>(j - i);
+      OutputRun run;
+      run.rshift = static_cast<std::uint8_t>(word_bits - j);
+      run.lshift = positions[j - 1];
+      run.mask = width >= 32 ? 0xFFFFFFFFu : ((1u << width) - 1u);
+      runs_.push_back(run);
+      i = j;
+    }
+  }
 
   std::vector<std::uint8_t> block(std::size_t index) const override {
     std::vector<std::uint8_t> out(image_->block_original_size(index));
     block_into(index, out);
     return out;
   }
+
+  using BlockDecompressor::block_into;
 
   void block_into(std::size_t index, std::span<std::uint8_t> out) const override {
     CCOMP_SPAN("samc.decode_block");
@@ -174,9 +210,51 @@ class SamcDecompressor final : public core::BlockDecompressor {
     CCOMP_COUNT("samc.decode.blocks", 1);
     CCOMP_COUNT("samc.decode.words", word_count);
 
+    std::size_t at = 0;
+    if (use_plan_) {
+      const MarkovDecodePlan& plan = plan_;
+      const OutputRun* const runs = runs_.data();
+      const std::size_t run_count = runs_.size();
+      // Register-resident coder state attached straight to the payload: no
+      // RangeDecoder object, so no out-of-line construct/flush per block
+      // and nothing whose address could force the state out of registers
+      // (see RangeDecoder::Core).
+      coding::RangeDecoder::Core rc = RangeDecoder::attach(image_->block_payload(index));
+      std::uint32_t state = MarkovDecodePlan::kStartState;
+      for (std::size_t w = 0; w < word_count; ++w) {
+        std::uint32_t acc = 0;
+#pragma GCC unroll 8
+        for (unsigned b = 0; b < word_bits; ++b) {
+          // One 64-bit fetch loads both candidate successors before the bit
+          // resolves, so the table access overlaps the coder's compare
+          // instead of waiting on it (the walk is otherwise one long
+          // dependency chain). Bits land in decode order; the scatter to
+          // word positions runs once per word, below.
+          const std::uint64_t pair = plan.next_pair(state);
+          // Branch (not select) on the decoded bit: bits are predictable
+          // (that is why they compress), so the predictor speculates the
+          // state update and the next probability load instead of waiting
+          // for the coder's compare to retire. After inlining this threads
+          // straight onto decode_bit's own compare.
+          if (rc.decode_bit(plan.prob0(state))) {
+            acc = (acc << 1) | 1u;
+            state = static_cast<std::uint32_t>(pair >> 32);
+          } else {
+            acc <<= 1;
+            state = static_cast<std::uint32_t>(pair);
+          }
+        }
+        std::uint32_t word = 0;
+        for (std::size_t r = 0; r < run_count; ++r)
+          word |= ((acc >> runs[r].rshift) & runs[r].mask) << runs[r].lshift;
+        for (unsigned b = 0; b < word_bytes; ++b)
+          out[at++] = static_cast<std::uint8_t>(word >> (8 * b));
+      }
+      CCOMP_COUNT("coder.range.decode_renorms", rc.renorms);
+      return;
+    }
     RangeDecoder decoder(image_->block_payload(index));
     MarkovCursor cursor(model_);
-    std::size_t at = 0;
     for (std::size_t w = 0; w < word_count; ++w) {
       std::uint32_t word = 0;
       for (unsigned b = 0; b < word_bits; ++b) {
@@ -191,22 +269,41 @@ class SamcDecompressor final : public core::BlockDecompressor {
   }
 
  private:
+  /// One maximal descending run of the division's flattened bit-position
+  /// sequence: decoded chunk `(acc >> rshift) & mask` lands at `<< lshift`.
+  struct OutputRun {
+    std::uint8_t rshift;
+    std::uint8_t lshift;
+    std::uint32_t mask;
+  };
+
   const core::CompressedImage* image_;
   MarkovModel model_;
+  MarkovDecodePlan plan_;
+  bool use_plan_ = false;
+  std::vector<OutputRun> runs_;
 };
 
 // Parallel (Fig. 5) decompressor: prefetches the 15 probabilities of the
 // coming nibble's subtree and resolves 4 bits per decode_nibble call.
 class NibbleSamcDecompressor final : public core::BlockDecompressor {
  public:
-  NibbleSamcDecompressor(const core::CompressedImage& image, MarkovModel model)
-      : BlockDecompressor(image.block_count()), image_(&image), model_(std::move(model)) {}
+  NibbleSamcDecompressor(const core::CompressedImage& image, MarkovModel model,
+                         DecodeEngine engine)
+      : BlockDecompressor(image.block_count()),
+        image_(&image),
+        model_(std::move(model)),
+        plan_(model_) {
+    use_plan_ = engine == DecodeEngine::kPlan && plan_.viable();
+  }
 
   std::vector<std::uint8_t> block(std::size_t index) const override {
     std::vector<std::uint8_t> out(image_->block_original_size(index));
     block_into(index, out);
     return out;
   }
+
+  using BlockDecompressor::block_into;
 
   void block_into(std::size_t index, std::span<std::uint8_t> out) const override {
     CCOMP_SPAN("samc.decode_block");
@@ -220,8 +317,31 @@ class NibbleSamcDecompressor final : public core::BlockDecompressor {
     CCOMP_COUNT("samc.decode.words", word_count);
 
     coding::NibbleRangeDecoder decoder(image_->block_payload(index));
-    MarkovCursor cursor(model_);
     std::size_t at = 0;
+    if (use_plan_) {
+      // The nibble-mode constraint (stream widths divisible by 4) means a
+      // nibble never crosses a stream boundary, so the subtree gather can
+      // walk the plan's next-pointers directly.
+      const MarkovDecodePlan& plan = plan_;
+      std::uint32_t state = MarkovDecodePlan::kStartState;
+      for (std::size_t w = 0; w < word_count; ++w) {
+        std::uint32_t word = 0;
+        for (unsigned group = 0; group < word_bits / 4; ++group) {
+          coding::Prob probs[15];
+          plan.gather_nibble(state, probs);
+          const unsigned nibble = decoder.decode_nibble(probs);
+          for (int b = 3; b >= 0; --b) {
+            const unsigned bit = (nibble >> b) & 1u;
+            word |= static_cast<std::uint32_t>(bit) << plan.bit_pos(state);
+            state = plan.next(state, bit);
+          }
+        }
+        for (unsigned b = 0; b < word_bytes; ++b)
+          out[at++] = static_cast<std::uint8_t>(word >> (8 * b));
+      }
+      return;
+    }
+    MarkovCursor cursor(model_);
     for (std::size_t w = 0; w < word_count; ++w) {
       std::uint32_t word = 0;
       for (unsigned group = 0; group < word_bits / 4; ++group) {
@@ -254,20 +374,27 @@ class NibbleSamcDecompressor final : public core::BlockDecompressor {
  private:
   const core::CompressedImage* image_;
   MarkovModel model_;
+  MarkovDecodePlan plan_;
+  bool use_plan_ = false;
 };
 
 }  // namespace
 
 std::unique_ptr<core::BlockDecompressor> SamcCodec::make_decompressor(
     const core::CompressedImage& image) const {
+  return make_decompressor(image, DecodeEngine::kPlan);
+}
+
+std::unique_ptr<core::BlockDecompressor> SamcCodec::make_decompressor(
+    const core::CompressedImage& image, DecodeEngine engine) const {
   if (image.codec() != core::CodecKind::kSamc)
     throw ConfigError("image was not produced by SAMC");
   ByteSource src(image.tables());
   const bool nibble_mode = src.u8() != 0;
   MarkovModel model = MarkovModel::deserialize(src);
   if (nibble_mode)
-    return std::make_unique<NibbleSamcDecompressor>(image, std::move(model));
-  return std::make_unique<SamcDecompressor>(image, std::move(model));
+    return std::make_unique<NibbleSamcDecompressor>(image, std::move(model), engine);
+  return std::make_unique<SamcDecompressor>(image, std::move(model), engine);
 }
 
 double SamcCodec::estimate_payload_bits(std::span<const std::uint8_t> code) const {

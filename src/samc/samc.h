@@ -42,6 +42,15 @@ SamcOptions mips_defaults();
 /// connected trees across bytes.
 SamcOptions x86_defaults();
 
+/// Which decode engine make_decompressor builds.
+///
+/// kPlan (the default) compiles the model into a coding::MarkovDecodePlan —
+/// the flattened state machine the refill hot path runs on — and falls back
+/// to the cursor automatically when the model is too large to flatten.
+/// kCursor forces the original MarkovCursor walk; it exists for the
+/// plan-vs-cursor equivalence suite and benchmarks, not for production use.
+enum class DecodeEngine { kPlan, kCursor };
+
 class SamcCodec final : public core::BlockCodec {
  public:
   explicit SamcCodec(SamcOptions options);
@@ -65,6 +74,11 @@ class SamcCodec final : public core::BlockCodec {
 
   std::unique_ptr<core::BlockDecompressor> make_decompressor(
       const core::CompressedImage& image) const override;
+
+  /// Engine-selecting overload (see DecodeEngine). The BlockCodec override
+  /// above is equivalent to passing DecodeEngine::kPlan.
+  std::unique_ptr<core::BlockDecompressor> make_decompressor(
+      const core::CompressedImage& image, DecodeEngine engine) const;
 
   const SamcOptions& options() const { return options_; }
 

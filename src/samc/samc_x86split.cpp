@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "coding/markovplan.h"
 #include "coding/rangecoder.h"
 #include "isa/x86/x86.h"
 #include "support/error.h"
@@ -11,6 +12,7 @@ namespace {
 
 using coding::MarkovConfig;
 using coding::MarkovCursor;
+using coding::MarkovDecodePlan;
 using coding::MarkovModel;
 using coding::RangeDecoder;
 using coding::RangeEncoder;
@@ -58,79 +60,188 @@ class SplitDecompressor final : public core::BlockDecompressor {
         image_(&image),
         opcode_model_(std::move(opcode_model)),
         modrm_model_(std::move(modrm_model)),
-        imm_model_(std::move(imm_model)) {}
+        imm_model_(std::move(imm_model)),
+        opcode_plan_(opcode_model_),
+        modrm_plan_(modrm_model_),
+        imm_plan_(imm_model_),
+        use_plan_(opcode_plan_.viable() && modrm_plan_.viable() && imm_plan_.viable()) {}
 
   std::vector<std::uint8_t> block(std::size_t index) const override {
-    RangeDecoder decoder(image_->block_payload(index));
-    MarkovCursor op_cursor(opcode_model_);
-    MarkovCursor mod_cursor(modrm_model_);
-    MarkovCursor imm_cursor(imm_model_);
+    core::DecodeScratch scratch;
+    std::vector<std::uint8_t> out(image_->block_original_size(index));
+    block_into(index, out, scratch);
+    return out;
+  }
 
+  using BlockDecompressor::block_into;
+
+  void block_into(std::size_t index, std::span<std::uint8_t> out,
+                  core::DecodeScratch& scratch) const override {
+    if (out.size() != image_->block_original_size(index))
+      throw CorruptDataError("block_into destination does not match the block's original size");
+    if (use_plan_) {
+      // One register-resident coder shared by all three streams, each
+      // walking its own flattened plan (byte models connect across words,
+      // so a stream's state simply persists across its bytes).
+      PlanChannels ch{RangeDecoder::attach(image_->block_payload(index)),
+                     &opcode_plan_,
+                     &modrm_plan_,
+                     &imm_plan_,
+                     MarkovDecodePlan::kStartState,
+                     MarkovDecodePlan::kStartState,
+                     MarkovDecodePlan::kStartState};
+      decode_block(ch, out, scratch);
+    } else {
+      CursorChannels ch{RangeDecoder(image_->block_payload(index)),
+                        MarkovCursor(opcode_model_), MarkovCursor(modrm_model_),
+                        MarkovCursor(imm_model_)};
+      decode_block(ch, out, scratch);
+    }
+  }
+
+ private:
+  struct PlanChannels {
+    RangeDecoder::Core rc;
+    const MarkovDecodePlan* op_plan;
+    const MarkovDecodePlan* mod_plan;
+    const MarkovDecodePlan* imm_plan;
+    std::uint32_t op_state, mod_state, imm_state;
+
+    std::uint8_t step(const MarkovDecodePlan& plan, std::uint32_t& state) {
+      unsigned byte = 0;
+      for (int b = 0; b < 8; ++b) {
+        const std::uint64_t pair = plan.next_pair(state);
+        if (rc.decode_bit(plan.prob0(state))) {
+          byte = (byte << 1) | 1u;
+          state = static_cast<std::uint32_t>(pair >> 32);
+        } else {
+          byte <<= 1;
+          state = static_cast<std::uint32_t>(pair);
+        }
+      }
+      return static_cast<std::uint8_t>(byte);
+    }
+    unsigned count_bit() { return rc.decode_bit(coding::kProbHalf); }
+    std::uint8_t op_byte() { return step(*op_plan, op_state); }
+    std::uint8_t mod_byte() { return step(*mod_plan, mod_state); }
+    std::uint8_t imm_byte() { return step(*imm_plan, imm_state); }
+  };
+
+  struct CursorChannels {
+    RangeDecoder decoder;
+    MarkovCursor op_cursor;
+    MarkovCursor mod_cursor;
+    MarkovCursor imm_cursor;
+
+    unsigned count_bit() { return decoder.decode_bit(coding::kProbHalf); }
+    std::uint8_t op_byte() { return decode_byte(decoder, op_cursor); }
+    std::uint8_t mod_byte() { return decode_byte(decoder, mod_cursor); }
+    std::uint8_t imm_byte() { return decode_byte(decoder, imm_cursor); }
+  };
+
+  // Scratch use: bytes0 = concatenated opcode groups, bytes1 = concatenated
+  // disp/imm tails, words0 = two packed words per instruction
+  // (op_len | flags<<8 | modrm<<16 | sib<<24, then tail_len). No
+  // per-instruction vectors, so steady-state refills never allocate.
+  template <typename Channels>
+  void decode_block(Channels& ch, std::span<std::uint8_t> out,
+                    core::DecodeScratch& scratch) const {
+    constexpr std::uint32_t kHasModrm = 1, kHasSib = 2;
     std::size_t instr_count = 0;
-    for (int b = 0; b < 8; ++b)
-      instr_count = (instr_count << 1) | decoder.decode_bit(coding::kProbHalf);
+    for (int b = 0; b < 8; ++b) instr_count = (instr_count << 1) | ch.count_bit();
 
     // Phase A: opcode stream — re-parse prefix runs and 0F escapes to find
     // each instruction's opcode-group length (the decompressor-side
     // complexity the paper warned about).
-    std::vector<SplitInstr> instrs(instr_count);
-    for (SplitInstr& in : instrs) {
+    std::vector<std::uint8_t>& opcodes = scratch.bytes0;
+    opcodes.clear();
+    std::vector<std::uint32_t>& records = scratch.words0;
+    records.assign(2 * instr_count, 0);
+    for (std::size_t i = 0; i < instr_count; ++i) {
       unsigned prefix_run = 0;
+      unsigned op_len = 0;
       for (;;) {
-        const std::uint8_t byte = decode_byte(decoder, op_cursor);
-        in.opcode.push_back(byte);
+        const std::uint8_t byte = ch.op_byte();
+        opcodes.push_back(byte);
+        ++op_len;
         if (x86::is_prefix_byte(byte)) {
           if (++prefix_run > 8) throw CorruptDataError("prefix run too long");
           continue;
         }
-        if (x86::is_escape_byte(byte)) in.opcode.push_back(decode_byte(decoder, op_cursor));
+        if (x86::is_escape_byte(byte)) {
+          opcodes.push_back(ch.op_byte());
+          ++op_len;
+        }
         break;
       }
+      records[2 * i] = op_len;
     }
 
     // Phase B: ModRM stream.
-    struct Shape {
-      unsigned disp_len = 0;
-      unsigned imm_len = 0;
-    };
-    std::vector<Shape> shapes(instr_count);
+    std::size_t op_at = 0, tail_total = 0;
     for (std::size_t i = 0; i < instr_count; ++i) {
-      const auto cls = x86::classify_opcode(instrs[i].opcode);
-      shapes[i].imm_len = cls.imm_bytes;
-      if (!cls.has_modrm) continue;
-      const std::uint8_t modrm = decode_byte(decoder, mod_cursor);
-      instrs[i].modrm.push_back(modrm);
-      std::uint8_t sib = 0;
-      if (x86::modrm_has_sib(modrm)) {
-        sib = decode_byte(decoder, mod_cursor);
-        instrs[i].modrm.push_back(sib);
+      const unsigned op_len = records[2 * i] & 0xFF;
+      const auto cls = x86::classify_opcode(
+          std::span<const std::uint8_t>(opcodes.data() + op_at, op_len));
+      op_at += op_len;
+      unsigned tail_len = cls.imm_bytes;
+      if (cls.has_modrm) {
+        std::uint32_t flags = kHasModrm;
+        const std::uint8_t modrm = ch.mod_byte();
+        std::uint8_t sib = 0;
+        if (x86::modrm_has_sib(modrm)) {
+          flags |= kHasSib;
+          sib = ch.mod_byte();
+        }
+        tail_len += x86::modrm_disp_bytes(modrm, sib);
+        if (cls.group3 && ((modrm >> 3) & 7) <= 1) tail_len += cls.group3_imm_bytes;
+        records[2 * i] |= (flags << 8) | (std::uint32_t{modrm} << 16) |
+                          (std::uint32_t{sib} << 24);
       }
-      shapes[i].disp_len = x86::modrm_disp_bytes(modrm, sib);
-      if (cls.group3 && ((modrm >> 3) & 7) <= 1) shapes[i].imm_len += cls.group3_imm_bytes;
+      records[2 * i + 1] = tail_len;
+      tail_total += tail_len;
     }
 
     // Phase C: displacement/immediate stream.
-    for (std::size_t i = 0; i < instr_count; ++i)
-      for (unsigned k = 0; k < shapes[i].disp_len + shapes[i].imm_len; ++k)
-        instrs[i].tail.push_back(decode_byte(decoder, imm_cursor));
+    std::vector<std::uint8_t>& tails = scratch.bytes1;
+    tails.resize(tail_total);
+    for (std::size_t k = 0; k < tail_total; ++k) tails[k] = ch.imm_byte();
 
-    std::vector<std::uint8_t> out;
-    out.reserve(image_->block_original_size(index));
-    for (const SplitInstr& in : instrs) {
-      out.insert(out.end(), in.opcode.begin(), in.opcode.end());
-      out.insert(out.end(), in.modrm.begin(), in.modrm.end());
-      out.insert(out.end(), in.tail.begin(), in.tail.end());
+    // Reassemble into the caller's span, guarding every write against the
+    // block's recorded size (corrupt streams may disagree).
+    std::size_t at = 0, oo = 0, to = 0;
+    auto put = [&](const std::uint8_t* data, std::size_t len) {
+      if (len > out.size() - at) throw CorruptDataError("SAMC-split block size mismatch");
+      std::copy(data, data + len, out.begin() + static_cast<std::ptrdiff_t>(at));
+      at += len;
+    };
+    for (std::size_t i = 0; i < instr_count; ++i) {
+      const std::uint32_t w0 = records[2 * i];
+      const std::uint32_t tail_len = records[2 * i + 1];
+      put(opcodes.data() + oo, w0 & 0xFF);
+      oo += w0 & 0xFF;
+      if (w0 & (kHasModrm << 8)) {
+        const std::uint8_t modrm = static_cast<std::uint8_t>(w0 >> 16);
+        put(&modrm, 1);
+      }
+      if (w0 & (kHasSib << 8)) {
+        const std::uint8_t sib = static_cast<std::uint8_t>(w0 >> 24);
+        put(&sib, 1);
+      }
+      put(tails.data() + to, tail_len);
+      to += tail_len;
     }
-    if (out.size() != image_->block_original_size(index))
-      throw CorruptDataError("SAMC-split block size mismatch");
-    return out;
+    if (at != out.size()) throw CorruptDataError("SAMC-split block size mismatch");
   }
 
- private:
   const core::CompressedImage* image_;
   MarkovModel opcode_model_;
   MarkovModel modrm_model_;
   MarkovModel imm_model_;
+  MarkovDecodePlan opcode_plan_;
+  MarkovDecodePlan modrm_plan_;
+  MarkovDecodePlan imm_plan_;
+  bool use_plan_;
 };
 
 }  // namespace

@@ -1,30 +1,58 @@
 #include "support/crc32.h"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace ccomp {
 namespace {
 
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table for the
+// reflected polynomial; table[k][b] is the CRC of byte b followed by k zero
+// bytes. Eight bytes then fold in one round of eight independent lookups
+// (no serial table->shift->table chain per byte), which is what keeps the
+// self-healing store's per-refill CRC gate off the refill path's critical
+// time. All tables are built at compile time from the same polynomial.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k)
+    for (std::uint32_t i = 0; i < 256; ++i)
+      tables[k][i] = tables[0][tables[k - 1][i] & 0xFF] ^ (tables[k - 1][i] >> 8);
+  return tables;
 }
 
-constexpr std::array<std::uint32_t, 256> kTable = make_table();
+constexpr std::array<std::array<std::uint32_t, 256>, 8> kTables = make_tables();
 
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
   std::uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (std::uint8_t byte : data) {
-    c = kTable[(c ^ byte) & 0xFF] ^ (c >> 8);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  // Slicing-by-8 main loop (little-endian hosts; the byte loop below is the
+  // reference form and handles the tail and big-endian machines).
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      std::uint64_t chunk;
+      std::memcpy(&chunk, p, sizeof chunk);
+      chunk ^= c;
+      c = kTables[7][chunk & 0xFF] ^ kTables[6][(chunk >> 8) & 0xFF] ^
+          kTables[5][(chunk >> 16) & 0xFF] ^ kTables[4][(chunk >> 24) & 0xFF] ^
+          kTables[3][(chunk >> 32) & 0xFF] ^ kTables[2][(chunk >> 40) & 0xFF] ^
+          kTables[1][(chunk >> 48) & 0xFF] ^ kTables[0][chunk >> 56];
+      p += 8;
+      n -= 8;
+    }
+  }
+  for (; n > 0; --n, ++p) {
+    c = kTables[0][(c ^ *p) & 0xFF] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
 }

@@ -1,0 +1,191 @@
+// Golden equivalence suite for the flattened decode engine: every
+// MarkovConfig corner must decode byte-identically through the compiled
+// MarkovDecodePlan (DecodeEngine::kPlan) and the original MarkovCursor walk
+// (DecodeEngine::kCursor), and parallel decompress_all must be
+// deterministic across thread counts. This is the proof obligation stated
+// in coding/markovplan.h: the plan state (stream, ctx, node) is a
+// sufficient statistic for the cursor, so the two engines are bit-exact.
+#include "coding/markovplan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "isa/mips/mips.h"
+#include "samc/samc.h"
+#include "samc/samc_x86split.h"
+#include "support/parallel.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+#include "workload/x86_gen.h"
+
+namespace ccomp::samc {
+namespace {
+
+std::vector<std::uint8_t> small_mips_code(const char* name, std::uint32_t kb) {
+  workload::Profile p = *workload::find_profile(name);
+  p.code_kb = kb;
+  return mips::words_to_bytes(workload::generate_mips(p));
+}
+
+std::vector<std::uint8_t> small_x86_code(const char* name, std::uint32_t kb) {
+  workload::Profile p = *workload::find_profile(name);
+  p.code_kb = kb;
+  return workload::generate_x86(p);
+}
+
+// Compress `code`, then decode every block through both engines and demand
+// identical bytes — and demand both match the original program, so a shared
+// bug in the two engines cannot hide.
+void expect_plan_matches_cursor(const SamcCodec& codec, std::span<const std::uint8_t> code) {
+  const auto image = codec.compress(code);
+  const auto plan = codec.make_decompressor(image, DecodeEngine::kPlan);
+  const auto cursor = codec.make_decompressor(image, DecodeEngine::kCursor);
+  std::size_t at = 0;
+  for (std::size_t b = 0; b < image.block_count(); ++b) {
+    const auto p = plan->block(b);
+    const auto c = cursor->block(b);
+    ASSERT_EQ(p, c) << "engines disagree at block " << b;
+    ASSERT_LE(at + p.size(), code.size());
+    ASSERT_TRUE(std::equal(p.begin(), p.end(), code.begin() + static_cast<long>(at)))
+        << "both engines wrong at block " << b;
+    at += p.size();
+  }
+  EXPECT_EQ(at, code.size());
+}
+
+TEST(DecodePlan, MatchesCursorAcrossContextDepths) {
+  const auto code = small_mips_code("go", 8);
+  for (unsigned context_bits : {0u, 1u, 2u, 3u, 4u}) {
+    SamcOptions opt = mips_defaults();
+    opt.markov.context_bits = context_bits;
+    SCOPED_TRACE(context_bits);
+    expect_plan_matches_cursor(SamcCodec(opt), code);
+  }
+}
+
+TEST(DecodePlan, MatchesCursorWithQuantizedProbabilities) {
+  const auto code = small_mips_code("gcc", 8);
+  SamcOptions opt = mips_defaults();
+  opt.markov.quantized = true;
+  opt.markov.max_shift = 8;
+  opt.markov.context_bits = 2;
+  expect_plan_matches_cursor(SamcCodec(opt), code);
+}
+
+TEST(DecodePlan, MatchesCursorWithUnconnectedWords) {
+  const auto code = small_mips_code("compress", 8);
+  SamcOptions opt = mips_defaults();
+  opt.markov.connect_across_words = false;
+  expect_plan_matches_cursor(SamcCodec(opt), code);
+}
+
+TEST(DecodePlan, MatchesCursorOnUnevenStreamDivision) {
+  // 12/8/7/5 split, MSB-first: exercises stream widths that are neither
+  // equal nor nibble-aligned, so stream-boundary context carry hits every
+  // alignment.
+  coding::StreamDivision div;
+  div.word_bits = 32;
+  int bit = 31;
+  for (unsigned width : {12u, 8u, 7u, 5u}) {
+    std::vector<std::uint8_t> s;
+    for (unsigned i = 0; i < width; ++i) s.push_back(static_cast<std::uint8_t>(bit--));
+    div.streams.push_back(std::move(s));
+  }
+  div.validate();
+
+  const auto code = small_mips_code("go", 8);
+  SamcOptions opt = mips_defaults();
+  opt.markov.division = div;
+  opt.markov.context_bits = 3;
+  expect_plan_matches_cursor(SamcCodec(opt), code);
+}
+
+TEST(DecodePlan, MatchesCursorInNibbleMode) {
+  const auto code = small_mips_code("go", 8);
+  SamcOptions opt = mips_defaults();
+  opt.parallel_nibble_mode = true;
+  opt.markov.quantized = true;
+  opt.markov.max_shift = 8;
+  expect_plan_matches_cursor(SamcCodec(opt), code);
+}
+
+TEST(DecodePlan, MatchesCursorOnX86ByteStream) {
+  const auto code = small_x86_code("ijpeg", 8);
+  expect_plan_matches_cursor(SamcCodec(x86_defaults()), code);
+}
+
+TEST(DecodePlan, OversizedModelIsRefusedAndCursorFallbackDecodes) {
+  // Two 16-bit streams with 5 context bits: 2 streams x 32 contexts x
+  // (2^17 - 1) nodes ~ 8.4M states, far over kMaxStates. The plan must
+  // refuse to compile, and the codec must silently fall back to the cursor
+  // and still round-trip.
+  coding::StreamDivision div;
+  div.word_bits = 32;
+  div.streams.resize(2);
+  for (int b = 31; b >= 16; --b) div.streams[0].push_back(static_cast<std::uint8_t>(b));
+  for (int b = 15; b >= 0; --b) div.streams[1].push_back(static_cast<std::uint8_t>(b));
+  div.validate();
+
+  workload::Profile p = *workload::find_profile("go");
+  p.code_kb = 4;
+  const auto words = workload::generate_mips(p);
+  const auto code = mips::words_to_bytes(words);
+
+  coding::MarkovConfig cfg;
+  cfg.division = div;
+  cfg.context_bits = 5;
+  const auto model = coding::MarkovModel::train(cfg, words, 8);
+  EXPECT_FALSE(coding::MarkovDecodePlan(model).viable());
+
+  SamcOptions opt = mips_defaults();
+  opt.markov = cfg;
+  const SamcCodec codec(opt);
+  const auto image = codec.compress_verified(code);  // throws on mismatch
+  // Both engine selections must behave identically (both run the cursor).
+  expect_plan_matches_cursor(codec, code);
+  EXPECT_EQ(image.original_size(), code.size());
+}
+
+TEST(DecodePlan, DecompressAllIsDeterministicAcrossThreadCounts) {
+  const auto code = small_mips_code("go", 16);
+  const SamcCodec codec(mips_defaults());
+  const auto image = codec.compress(code);
+
+  const std::size_t restore = par::thread_count();
+  std::vector<std::uint8_t> first;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    par::set_thread_count(threads);
+    const auto out = codec.decompress_all(image);
+    if (first.empty())
+      first = out;
+    else
+      EXPECT_EQ(out, first) << "thread count " << threads;
+  }
+  par::set_thread_count(restore);
+  EXPECT_EQ(first.size(), code.size());
+  EXPECT_TRUE(std::equal(first.begin(), first.end(), code.begin()));
+}
+
+TEST(DecodePlan, X86SplitDecodesIdenticallyAcrossThreadCounts) {
+  const auto code = small_x86_code("gcc", 16);
+  const SamcX86SplitCodec codec;
+  const auto image = codec.compress_verified(code);
+
+  const std::size_t restore = par::thread_count();
+  std::vector<std::uint8_t> first;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    par::set_thread_count(threads);
+    const auto out = codec.decompress_all(image);
+    if (first.empty())
+      first = out;
+    else
+      EXPECT_EQ(out, first) << "thread count " << threads;
+  }
+  par::set_thread_count(restore);
+  EXPECT_EQ(first.size(), code.size());
+  EXPECT_TRUE(std::equal(first.begin(), first.end(), code.begin()));
+}
+
+}  // namespace
+}  // namespace ccomp::samc
