@@ -84,10 +84,19 @@ class JsonReporter {
 
   void add(const std::string& name, const std::string& metric, double value,
            const std::string& unit) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.10g", value);
-    rows_.push_back("{\"name\":\"" + name + "\",\"metric\":\"" + metric +
-                    "\",\"value\":" + buf + ",\"unit\":\"" + unit + "\"}");
+    rows_.push_back(row_prefix(name, metric, value, unit) + "}");
+  }
+
+  /// Row tagged with the decode-speed sweep dimensions: `streams` > 0 emits
+  /// an integer "streams" field, a non-empty `codec` emits "codec". Both are
+  /// optional in tools/bench_results_schema.json, so consumers that only
+  /// know {name, metric, value, unit} keep validating.
+  void add(const std::string& name, const std::string& metric, double value,
+           const std::string& unit, unsigned streams, const std::string& codec) {
+    std::string row = row_prefix(name, metric, value, unit);
+    if (streams > 0) row += ",\"streams\":" + std::to_string(streams);
+    if (!codec.empty()) row += ",\"codec\":\"" + codec + "\"";
+    rows_.push_back(row + "}");
   }
 
   void write() {
@@ -106,6 +115,14 @@ class JsonReporter {
   }
 
  private:
+  static std::string row_prefix(const std::string& name, const std::string& metric,
+                                double value, const std::string& unit) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", value);
+    return "{\"name\":\"" + name + "\",\"metric\":\"" + metric + "\",\"value\":" + buf +
+           ",\"unit\":\"" + unit + "\"";
+  }
+
   std::string path_;
   std::vector<std::string> rows_;
   bool written_ = false;

@@ -17,6 +17,7 @@
 #include "bench_common.h"
 #include "core/codec.h"
 #include "isa/mips/mips.h"
+#include "isa/x86/x86.h"
 #include "sadc/sadc.h"
 #include "samc/samc.h"
 #include "workload/mips_gen.h"
@@ -32,6 +33,10 @@ int main(int argc, char** argv) {
   p.code_kb = p.code_kb < 64 ? 64 : p.code_kb;  // enough blocks to defeat the L2
   const auto code = mips::words_to_bytes(workload::generate_mips(p));
   const auto code_x86 = workload::generate_x86(p);
+  // Instruction counts for the ns/instruction column: MIPS is fixed 4-byte
+  // words; x86 is variable-length, so count via the real decoder.
+  const std::size_t mips_instrs = code.size() / 4;
+  const std::size_t x86_instrs = x86::decode_all(code_x86).size();
 
   // Cycle-time calibration: a dependent add chain retires one add per cycle
   // on every core this runs on, so ns/add ~ ns/cycle.
@@ -56,9 +61,11 @@ int main(int argc, char** argv) {
     double ns_per_block;
     double mb_per_s;
     double bits_per_cycle;
+    double ns_per_instr;
   };
   const auto measure = [&](const core::BlockDecompressor& dec,
-                           const core::CompressedImage& image) -> Measurement {
+                           const core::CompressedImage& image,
+                           std::size_t instr_count) -> Measurement {
     core::DecodeScratch scratch;
     std::vector<std::uint8_t> out;
     std::size_t payload_bytes = 0;
@@ -76,16 +83,22 @@ int main(int argc, char** argv) {
     const double mb_per_s =
         static_cast<double>(image.original_size()) / (ns / 1e9) / (1024.0 * 1024.0);
     const double bits_per_cycle = static_cast<double>(payload_bytes) * 8.0 / (ns / cycle_ns);
-    return {ns_per_block, mb_per_s, bits_per_cycle};
+    const double ns_per_instr = ns / static_cast<double>(instr_count);
+    return {ns_per_block, mb_per_s, bits_per_cycle, ns_per_instr};
   };
 
-  std::printf("%-22s %12s %10s %12s\n", "decoder", "ns/block", "MB/s", "bits/cycle");
-  const auto report = [&](const char* name, const Measurement& m) {
-    std::printf("%-22s %12.0f %10.2f %12.3f\n", name, m.ns_per_block, m.mb_per_s,
-                m.bits_per_cycle);
-    json.add(name, "ns_per_block", m.ns_per_block, "ns");
-    json.add(name, "mb_per_s", m.mb_per_s, "MB/s");
-    json.add(name, "bits_per_cycle", m.bits_per_cycle, "bits");
+  std::printf("%-24s %12s %10s %12s %10s\n", "decoder", "ns/block", "MB/s", "bits/cycle",
+              "ns/instr");
+  // streams == 0 / codec == "" leave the optional JSON tags off (legacy rows
+  // keep the exact shape earlier CI runs diff against).
+  const auto report = [&](const char* name, const Measurement& m, unsigned streams = 0,
+                          const char* codec = "") {
+    std::printf("%-24s %12.0f %10.2f %12.3f %10.2f\n", name, m.ns_per_block, m.mb_per_s,
+                m.bits_per_cycle, m.ns_per_instr);
+    json.add(name, "ns_per_block", m.ns_per_block, "ns", streams, codec);
+    json.add(name, "mb_per_s", m.mb_per_s, "MB/s", streams, codec);
+    json.add(name, "bits_per_cycle", m.bits_per_cycle, "bits", streams, codec);
+    json.add(name, "ns_per_instr", m.ns_per_instr, "ns", streams, codec);
   };
 
   {
@@ -93,12 +106,12 @@ int main(int argc, char** argv) {
     const auto image = codec.compress(code);
     const auto plan = codec.make_decompressor(image, samc::DecodeEngine::kPlan);
     const auto cursor = codec.make_decompressor(image, samc::DecodeEngine::kCursor);
-    const auto mp = measure(*plan, image);
-    const auto mc = measure(*cursor, image);
+    const auto mp = measure(*plan, image, mips_instrs);
+    const auto mc = measure(*cursor, image, mips_instrs);
     report("samc_plan", mp);
     report("samc_cursor", mc);
     json.add("samc", "plan_speedup", mc.ns_per_block / mp.ns_per_block, "x");
-    std::printf("%-22s %12s %10s %11.2fx\n", "  plan speedup", "", "",
+    std::printf("%-24s %12s %10s %11.2fx\n", "  plan speedup", "", "",
                 mc.ns_per_block / mp.ns_per_block);
   }
   {
@@ -109,23 +122,58 @@ int main(int argc, char** argv) {
     const auto image = codec.compress(code);
     const auto plan = codec.make_decompressor(image, samc::DecodeEngine::kPlan);
     const auto cursor = codec.make_decompressor(image, samc::DecodeEngine::kCursor);
-    report("samc_nibble_plan", measure(*plan, image));
-    report("samc_nibble_cursor", measure(*cursor, image));
+    report("samc_nibble_plan", measure(*plan, image, mips_instrs));
+    report("samc_nibble_cursor", measure(*cursor, image, mips_instrs));
   }
   {
     const sadc::SadcMipsCodec codec;
     const auto image = codec.compress(code);
-    report("sadc_mips", measure(*codec.make_decompressor(image), image));
+    report("sadc_mips", measure(*codec.make_decompressor(image), image, mips_instrs));
   }
   {
     const sadc::SadcX86Codec codec;
     const auto image = codec.compress(code_x86);
-    report("sadc_x86", measure(*codec.make_decompressor(image), image));
+    report("sadc_x86", measure(*codec.make_decompressor(image), image, x86_instrs));
   }
   {
     const baseline::ByteHuffmanCodec codec;
     const auto image = codec.compress(code);
-    report("bytehuff", measure(*codec.make_decompressor(image), image));
+    report("bytehuff", measure(*codec.make_decompressor(image), image, mips_instrs));
+  }
+
+  // --- Interleaved multi-stream sweep --------------------------------------
+  // K independent entropy streams per block, decoded by one round-robin
+  // loop (DecodeEngine::kPlan) vs the same plan run chunk-after-chunk
+  // (kPlanSerial). The interleave_speedup row is the payoff of breaking the
+  // serial decoder's dependency/mispredict floor; the sweep races both
+  // entropy coders because their decode-loop shapes differ (DESIGN.md
+  // decision 16). K=1 is the sanity row: frameless format, both engines run
+  // the identical serial loop, ratio ~1.0.
+  std::printf("\ninterleaved sweep: kPlan (round-robin) vs kPlanSerial, per coder x K\n");
+  std::printf("%-24s %12s %10s %12s %10s\n", "decoder", "ns/block", "MB/s", "bits/cycle",
+              "ns/instr");
+  for (const samc::EntropyCoder coder : {samc::EntropyCoder::kRange, samc::EntropyCoder::kRans}) {
+    const char* cname = coder == samc::EntropyCoder::kRans ? "rans" : "range";
+    for (const unsigned k : {1u, 2u, 4u, 8u}) {
+      samc::SamcOptions o = samc::mips_defaults();
+      o.entropy_streams = k;
+      o.entropy_coder = coder;
+      const samc::SamcCodec codec(o);
+      const auto image = codec.compress(code);
+      const auto inter = codec.make_decompressor(image, samc::DecodeEngine::kPlan);
+      const auto serial = codec.make_decompressor(image, samc::DecodeEngine::kPlanSerial);
+      const auto mi = measure(*inter, image, mips_instrs);
+      const auto ms = measure(*serial, image, mips_instrs);
+      char name[48];
+      std::snprintf(name, sizeof name, "samc_%s_k%u", cname, k);
+      char serial_name[56];
+      std::snprintf(serial_name, sizeof serial_name, "%s_serial", name);
+      report(name, mi, k, cname);
+      report(serial_name, ms, k, cname);
+      json.add(name, "interleave_speedup", ms.ns_per_block / mi.ns_per_block, "x", k, cname);
+      std::printf("%-24s %12s %10s %11.2fx\n", "  interleave speedup", "", "",
+                  ms.ns_per_block / mi.ns_per_block);
+    }
   }
 
   std::printf(

@@ -4,13 +4,18 @@
 // SAMC and SADC refill engines.
 //
 //   $ ./cache_explorer [benchmark-name] [trace-length] [--threads=N]
+//                      [--streams=K]
 //
 // --threads=N sets the worker count for the parallel compressors (default:
 // hardware concurrency; CCOMP_THREADS overrides the default). Results are
-// byte-identical at any thread count.
+// byte-identical at any thread count. --streams=K encodes the SAMC image
+// with K independent entropy streams per block (1..16; out-of-range K is
+// rejected with a typed ConfigError) — the compression-ratio cost of the
+// interleaved-decode format shows up directly in the SAMC ratio column.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "isa/mips/mips.h"
 #include "memsys/sim.h"
@@ -26,16 +31,21 @@ int main(int argc, char** argv) {
   using namespace ccomp;
   examples::ObsFlags obs_flags;
   argc = examples::strip_obs_flags(argc, argv, obs_flags);
-  // Peel off --threads / --help before reading the positional arguments.
+  // Peel off --threads / --streams / --help before the positional arguments.
   int args = 1;
+  long streams = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       par::set_thread_count(static_cast<std::size_t>(std::atoi(argv[i] + 10)));
+    } else if (std::strncmp(argv[i], "--streams=", 10) == 0) {
+      streams = std::atol(argv[i] + 10);
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
-      std::printf("usage: %s [benchmark-name] [trace-length] [--threads=N]\n"
+      std::printf("usage: %s [benchmark-name] [trace-length] [--threads=N] [--streams=K]\n"
                   "  --threads=N  worker threads for the parallel compressors\n"
                   "               (default: hardware concurrency, %zu here;\n"
                   "               CCOMP_THREADS overrides the default)\n"
+                  "  --streams=K  SAMC entropy streams per block (1..16; K>1\n"
+                  "               decodes interleaved and costs some ratio)\n"
                   "  --metrics=F  write the telemetry registry at exit\n"
                   "               (Prometheus text; JSON when F ends in .json)\n"
                   "  --trace=F    record spans; write chrome://tracing JSON to F\n",
@@ -63,7 +73,19 @@ int main(int argc, char** argv) {
   const auto trace =
       workload::generate_trace(p, prog.function_starts, prog.words.size(), topt);
 
-  const samc::SamcCodec samc_codec(samc::mips_defaults());
+  // No clamping: an out-of-range K must surface as the codec's own typed
+  // ConfigError (negative values map to 0, which is rejected the same way).
+  samc::SamcOptions samc_opts = samc::mips_defaults();
+  samc_opts.entropy_streams = streams < 0 ? 0u : static_cast<unsigned>(streams);
+  const auto samc_codec_ptr = [&]() -> std::unique_ptr<samc::SamcCodec> {
+    try {
+      return std::make_unique<samc::SamcCodec>(samc_opts);
+    } catch (const ccomp::Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      std::exit(1);
+    }
+  }();
+  const samc::SamcCodec& samc_codec = *samc_codec_ptr;
   const sadc::SadcMipsCodec sadc_codec;
   const auto samc_image = samc_codec.compress(code);
   const auto sadc_image = sadc_codec.compress(code);

@@ -3,6 +3,7 @@
 //
 //   ccomp_cli compress   <in> <out.ccmp> [--codec=samc|sadc|huffman]
 //                                        [--isa=mips|x86|bytes] [--block=N]
+//                                        [--streams=K] [--coder=range|rans]
 //   ccomp_cli decompress <in.ccmp> <out>
 //   ccomp_cli info       <in.ccmp>
 //   ccomp_cli asm        <in.s> <out.bin>   # assemble MIPS source
@@ -24,6 +25,7 @@
 #include "sadc/sadc.h"
 #include "samc/samc.h"
 #include "samc/samc_x86split.h"
+#include "support/error.h"
 #include "support/parallel.h"
 #include "verify/verify.h"
 
@@ -51,24 +53,36 @@ void write_file(const char* path, std::span<const std::uint8_t> data) {
 }
 
 std::unique_ptr<core::BlockCodec> make_codec(const std::string& codec, const std::string& isa,
-                                             std::uint32_t block) {
+                                             std::uint32_t block, unsigned streams,
+                                             const std::string& coder) {
+  if (coder != "range" && coder != "rans")
+    throw ConfigError("unknown entropy coder '" + coder + "' (range|rans)");
   if (codec == "samc") {
     samc::SamcOptions o = isa == "mips" ? samc::mips_defaults() : samc::x86_defaults();
     o.block_size = block;
+    o.entropy_streams = streams;  // SamcCodec rejects out-of-range K with ConfigError
+    o.entropy_coder = coder == "rans" ? samc::EntropyCoder::kRans : samc::EntropyCoder::kRange;
     if (isa == "bytes") o.isa = core::IsaKind::kRawBytes;
     return std::make_unique<samc::SamcCodec>(o);
   }
   if (codec == "sadc") {
+    if (streams != 1)
+      throw ConfigError("--streams applies to the SAMC codecs only (sadc is sequential)");
     sadc::SadcOptions o;
     o.block_size = block;
     if (isa == "x86") return std::make_unique<sadc::SadcX86Codec>(o);
     return std::make_unique<sadc::SadcMipsCodec>(o);
   }
   if (codec == "samc-split") {
+    if (coder == "rans")
+      throw ConfigError("samc-split uses the range coder (its phases share one stream format)");
     samc::SamcX86SplitOptions o;
     o.block_size = block;
+    o.entropy_streams = streams;
     return std::make_unique<samc::SamcX86SplitCodec>(o);
   }
+  if (streams != 1 || coder == "rans")
+    throw ConfigError("--streams/--coder apply to the SAMC codecs only");
   if (codec == "huffman") {
     baseline::ByteHuffmanOptions o;
     o.block_size = block;
@@ -139,19 +153,29 @@ const char* isa_name(core::IsaKind k) {
 
 int cmd_compress(int argc, char** argv) {
   if (argc < 4) return 1;
-  std::string codec = "sadc", isa = "mips";
+  std::string codec = "sadc", isa = "mips", coder = "range";
   std::uint32_t block = 32;
+  long streams = 1;
   bool verify_static = false;
   for (int i = 4; i < argc; ++i) {
     if (std::strncmp(argv[i], "--codec=", 8) == 0) codec = argv[i] + 8;
     else if (std::strncmp(argv[i], "--isa=", 6) == 0) isa = argv[i] + 6;
     else if (std::strncmp(argv[i], "--block=", 8) == 0)
       block = static_cast<std::uint32_t>(std::atoi(argv[i] + 8));
+    else if (std::strncmp(argv[i], "--streams=", 10) == 0)
+      streams = std::atol(argv[i] + 10);
+    else if (std::strncmp(argv[i], "--coder=", 8) == 0)
+      coder = argv[i] + 8;
     else if (std::strcmp(argv[i], "--verify-static") == 0)
       verify_static = true;
   }
+  // Clamp-free: a nonsense count (0, negative, > 16) must reach the codec's
+  // own validation and come back as a typed ConfigError, not be silently
+  // "fixed" here. Negative values would wrap through unsigned, so map them
+  // to 0, which the codec rejects with the same error.
+  const unsigned streams_u = streams < 0 ? 0u : static_cast<unsigned>(streams);
   const auto code = read_file(argv[2]);
-  const auto c = make_codec(codec, isa, block);
+  const auto c = make_codec(codec, isa, block, streams_u, coder);
   const core::CompressedImage image = c->compress_verified(code);
   ByteSink sink;
   image.serialize(sink);
@@ -229,6 +253,10 @@ void print_help(const char* prog) {
       "commands:\n"
       "  compress   <in> <out.ccmp> [--codec=samc|sadc|samc-split|huffman]\n"
       "                             [--isa=mips|x86|bytes] [--block=N]\n"
+      "                             [--streams=K]  SAMC codecs: split each\n"
+      "                             block into K independent entropy streams\n"
+      "                             (1..16; K>1 enables interleaved decode)\n"
+      "                             [--coder=range|rans]  SAMC entropy coder\n"
       "                             [--verify-static]  run the image linter\n"
       "                             on the result; nonzero exit on errors\n"
       "  decompress <in.ccmp> <out>\n"

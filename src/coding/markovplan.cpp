@@ -63,6 +63,11 @@ MarkovDecodePlan::MarkovDecodePlan(const MarkovModel& model) {
       }
     }
   }
+  fused_.resize(states);
+  for (std::size_t st = 0; st < states; ++st)
+    fused_[st] = static_cast<std::uint64_t>(prob0_[st]) |
+                 (static_cast<std::uint64_t>(next_[2 * st]) << 16) |
+                 (static_cast<std::uint64_t>(next_[2 * st + 1]) << 40);
   viable_ = true;
 }
 

@@ -84,6 +84,29 @@ class MarkovDecodePlan {
     return pair;
   }
 
+  /// The whole decode record of state `s` in ONE table fetch: P(bit == 0)
+  /// in bits [0, 16), the bit-0 successor in [16, 40), the bit-1 successor
+  /// in [40, 64). Successor indices fit 24 bits because kMaxStates is 2^20.
+  /// The interleaved decoder runs on this instead of prob0()/next_pair():
+  /// one load per decoded bit instead of two halves the load-port pressure
+  /// of K round-robin lanes and frees the second table base register, and
+  /// the successor extraction is a variable shift off the decoded bit —
+  /// no branch, no cmov, nothing for the if-converter to undo.
+  std::uint64_t fused(std::uint32_t s) const { return fused_[s]; }
+
+  /// Extract P(bit == 0) from a fused() record.
+  static Prob fused_prob0(std::uint64_t f) { return static_cast<Prob>(f & 0xFFFFu); }
+
+  /// Extract the successor for `bit` from a fused() record. Constant
+  /// shifts + a mask select, not `f >> (16 + 24 * bit)`: GCC lowers the
+  /// latter to a flags-recompute + variable shift, which is both more ops
+  /// and a shift-port bottleneck with K lanes in flight.
+  static std::uint32_t fused_next(std::uint64_t f, unsigned bit) {
+    const std::uint32_t n0 = static_cast<std::uint32_t>(f >> 16) & 0xFFFFFFu;
+    const std::uint32_t n1 = static_cast<std::uint32_t>(f >> 40);
+    return n0 + ((0u - bit) & (n1 - n0));
+  }
+
   /// Gather the 15 heap-ordered probabilities of the 4-bit subtree rooted at
   /// state `s` (the Fig. 5 "probability memory" fetch). Only valid when the
   /// model's stream widths are multiples of 4 (the nibble-mode constraint),
@@ -103,6 +126,7 @@ class MarkovDecodePlan {
   std::vector<Prob> prob0_;         // per state
   std::vector<std::uint8_t> bit_pos_;  // per state
   std::vector<std::uint32_t> next_;    // 2 per state: [2s] on 0, [2s+1] on 1
+  std::vector<std::uint64_t> fused_;   // per state: prob0 | next0 << 16 | next1 << 40
 };
 
 }  // namespace ccomp::coding

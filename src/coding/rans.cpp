@@ -1,0 +1,66 @@
+#include "coding/rans.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+
+namespace ccomp::coding {
+
+void RansEncoder::finish() {
+  // Backward pass: the last bit recorded is the first one the decoder
+  // resolves, so walk pending_ in reverse, emitting renorm bytes
+  // little-end-first and reversing the whole buffer at the end.
+  std::uint32_t x = kRansLowerBound;
+  for (std::size_t i = pending_.size(); i-- > 0;) {
+    const std::uint32_t rec = pending_[i];
+    const Prob p0 = static_cast<Prob>(rec & 0xFFFFu);
+    const unsigned bit = (rec >> 16) & 1u;
+    const std::uint32_t freq = bit ? 0x10000u - p0 : p0;
+    const std::uint32_t start = bit ? p0 : 0;
+    // Emit while the transform would overflow the interval — the renorm
+    // bound is (L/M)·b·freq = freq << 16 for I = [2^24, 2^32). The
+    // decoder's refill loop replays these bytes in mirror order.
+    while (x >= (freq << 16)) {
+      out_.push_back(static_cast<std::uint8_t>(x));
+      x >>= 8;
+      ++renorms_;
+    }
+    x = ((x / freq) << kProbBits) + (x % freq) + start;
+  }
+  // Flush the final state (4 bytes: x < 2^32). After the reverse these are
+  // the stream's first bytes, MSB first — what Core::attach reads.
+  out_.push_back(static_cast<std::uint8_t>(x));
+  out_.push_back(static_cast<std::uint8_t>(x >> 8));
+  out_.push_back(static_cast<std::uint8_t>(x >> 16));
+  out_.push_back(static_cast<std::uint8_t>(x >> 24));
+  std::reverse(out_.begin(), out_.end());
+  pending_.clear();
+  CCOMP_COUNT("coder.rans.encode_renorms", renorms_);
+  renorms_ = 0;
+}
+
+std::vector<std::uint8_t> RansEncoder::take() {
+  auto bytes = std::move(out_);
+  out_.clear();
+  // Unlike the range coder there is nothing to strip: every byte of a rANS
+  // stream is load-bearing (the decoder consumes all of them exactly).
+  return bytes;
+}
+
+RansDecoder::~RansDecoder() { flush_metrics(); }
+
+void RansDecoder::flush_metrics() {
+  if (renorms_ == 0) return;
+  CCOMP_COUNT("coder.rans.decode_renorms", renorms_);
+  renorms_ = 0;
+}
+
+void RansDecoder::reset(std::span<const std::uint8_t> data) {
+  flush_metrics();
+  data_ = data;
+  const Core c = attach(data);
+  pos_ = c.pos;
+  x_ = c.x;
+}
+
+}  // namespace ccomp::coding

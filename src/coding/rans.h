@@ -1,0 +1,205 @@
+// Binary static rANS coder — the interleaving-friendly sibling of the
+// range coder (PAPERS.md: "RAS: A Bit-Exact rANS Accelerator").
+//
+// rANS (range asymmetric numeral systems) keeps the whole coder state in
+// ONE integer: decoding is `slot = x mod M; x = freq * (x / M) + ...` with
+// no carry propagation and no low/cache bookkeeping, which is why K
+// independent rANS states round-robin so well in an interleaved decode
+// loop — each step is a short, self-contained dependency chain.
+//
+// Configuration (fixed, bit-exact by construction):
+//   * probabilities are the library-wide 16-bit fixed point (coding::Prob,
+//     P(bit == 0) in [1, 65535]) so the Markov models drive this coder and
+//     the range coder interchangeably;
+//   * total M = 2^16, state interval I = [2^24, 2^32) (L = 256·M, so the
+//     state carries 8 bits of slack over the probability resolution and
+//     the redundancy vs the entropy bound is measured in hundredths of a
+//     percent), renormalization one BYTE at a time (encode emits when x
+//     would leave I, decode refills while x is below I) — classic b = 256
+//     rANS with a 32-bit state;
+//   * encoding runs BACKWARD over the bit sequence (the defining rANS
+//     quirk: the last bit encoded is the first decoded), so the encoder
+//     buffers (bit, prob) pairs and performs the reverse pass in finish().
+//
+// The decoder is strict: a state below the interval at attach time or a
+// refill past the end of the payload throws CorruptDataError. A valid
+// stream never triggers either — rANS decode consumes exactly the bytes
+// encode produced — so the typed-error paths fire only on truncated or
+// corrupted input (what the fault-injection framework expects).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coding/rangecoder.h"  // coding::Prob / kProbBits
+#include "support/error.h"
+
+namespace ccomp::coding {
+
+/// Lower bound of the rANS state interval [2^24, 2^32).
+inline constexpr std::uint32_t kRansLowerBound = 1u << 24;
+/// Serialized size of a flushed final state (4 bytes, since x < 2^32).
+inline constexpr std::size_t kRansFlushBytes = 4;
+
+/// Encodes a bit sequence against per-bit probabilities. Drop-in interface
+/// match for RangeEncoder (encode_bit / finish / take / reset) so SAMC's
+/// block encoder is generic over the two.
+class RansEncoder {
+ public:
+  RansEncoder() = default;
+
+  /// Restart the coder (block boundary). Discards internal state but not
+  /// previously taken output.
+  void reset() { pending_.clear(); }
+
+  /// Record one bit with probability `p0` that the bit is 0. Nothing is
+  /// emitted yet — rANS encodes backward, so the pass happens in finish().
+  void encode_bit(unsigned bit, Prob p0) {
+    pending_.push_back(static_cast<std::uint32_t>(p0) | (bit ? 0x10000u : 0u));
+  }
+
+  /// Run the backward encoding pass; afterwards take() yields the complete
+  /// stream (renorm bytes + 4-byte final state, in decode order).
+  void finish();
+
+  /// Return the encoded bytes and clear the buffer.
+  std::vector<std::uint8_t> take();
+
+  /// Bytes produced so far (valid after finish()).
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint32_t> pending_;  // p0 | bit << 16, in forward order
+  std::vector<std::uint8_t> out_;
+  std::uint64_t renorms_ = 0;  // batched into the obs registry at finish()
+};
+
+/// Decodes a bit sequence produced by RansEncoder, given the same
+/// probability sequence.
+class RansDecoder {
+ public:
+  /// Attach to one stream's payload. Throws CorruptDataError when the
+  /// payload cannot even hold a flushed state (truncation).
+  explicit RansDecoder(std::span<const std::uint8_t> data) { reset(data); }
+  ~RansDecoder();
+  RansDecoder(const RansDecoder&) = delete;
+  RansDecoder& operator=(const RansDecoder&) = delete;
+
+  /// Re-attach (block boundary).
+  void reset(std::span<const std::uint8_t> data);
+
+  /// Register-resident decoding state for hot loops — same contract as
+  /// RangeDecoder::Core: a plain value whose address never escapes, so the
+  /// whole coder lives in two registers across a block decode.
+  struct Core {
+    const std::uint8_t* data;
+    std::size_t size;
+    std::size_t pos;
+    std::uint32_t x;  // state in [2^24, 2^32)
+    std::uint64_t renorms;
+
+    /// Decode one bit given the probability `p0` that it is 0.
+    unsigned decode_bit(Prob p0) {
+      const std::uint32_t slot = x & 0xFFFFu;
+      // Branch (not select) on the bit for the same reason the range coder
+      // does: compressed bits are predictable, so the predictor speculates
+      // through the state update instead of serializing on it.
+      unsigned bit = 0;
+      if (slot < p0) {
+        x = p0 * (x >> kProbBits) + slot;
+      } else {
+        bit = 1;
+        x = (0x10000u - p0) * (x >> kProbBits) + slot - p0;
+      }
+      // Byte refill: at most two iterations (the transform keeps
+      // x >= freq * (x >> 16) >= 2^8, and two bytes lift that to 2^24).
+      // A refill past the payload is impossible for a well-formed stream
+      // (decode consumes exactly what encode emitted), so running out of
+      // bytes here is corruption, not a boundary condition.
+      while (x < kRansLowerBound) [[unlikely]] {
+        if (pos >= size) throw CorruptDataError("rANS stream truncated mid-decode");
+        x = (x << 8) | data[pos++];
+        ++renorms;
+      }
+      return bit;
+    }
+
+    /// Branchless bit resolve. Serially this loses — it turns the
+    /// predictor's speculation into a real data dependency — but in the
+    /// K-way interleaved decoder the other lanes hide that latency, and
+    /// what matters is that a coder mispredict no longer flushes K
+    /// streams' worth of in-flight work. Mask arithmetic rather than
+    /// ternaries on purpose: GCC's if-converter happily turns `bit ? a : b`
+    /// back into the very branch this function exists to avoid.
+    /// Bit-exact with decode_bit; only the refill check stays a branch.
+    unsigned decode_bit_branchless(Prob p0) {
+      const std::uint32_t slot = x & 0xFFFFu;
+      const std::uint32_t bit = slot >= p0;
+      // One unconditional multiply feeds BOTH candidate states:
+      //   t  = p0 * (x >> 16)
+      //   x0 = t + slot                       (freq p0, start 0)
+      //   x1 = x - t - p0                     (freq 2^16 - p0, start p0:
+      //        (2^16 - p0)(x >> 16) + slot - p0 = x - t - p0, since
+      //        (x >> 16) << 16 + slot = x — mod-2^32 exact)
+      // then a mask select the compiler cannot re-branch into the very
+      // mispredict this function exists to avoid.
+      const std::uint32_t t = p0 * (x >> kProbBits);
+      const std::uint32_t x0 = t + slot;
+      const std::uint32_t x1 = x - t - p0;
+      x = x0 + ((0u - bit) & (x1 - x0));
+      while (x < kRansLowerBound) [[unlikely]] {
+        if (pos >= size) throw CorruptDataError("rANS stream truncated mid-decode");
+        x = (x << 8) | data[pos++];
+        ++renorms;
+      }
+      return bit;
+    }
+  };
+
+  /// Build a Core directly attached to one stream's payload, bypassing the
+  /// RansDecoder object (hot paths tracking their own metrics use this).
+  static Core attach(std::span<const std::uint8_t> data) {
+    if (data.size() < kRansFlushBytes)
+      throw CorruptDataError("rANS stream shorter than a flushed state");
+    Core c{data.data(), data.size(), kRansFlushBytes, 0, 0};
+    c.x = (static_cast<std::uint32_t>(data[0]) << 24) |
+          (static_cast<std::uint32_t>(data[1]) << 16) |
+          (static_cast<std::uint32_t>(data[2]) << 8) | data[3];
+    if (c.x < kRansLowerBound)
+      throw CorruptDataError("rANS initial state below the coding interval");
+    return c;
+  }
+
+  /// Snapshot the coder state for a register-resident decode loop.
+  Core core() const { return {data_.data(), data_.size(), pos_, x_, renorms_}; }
+
+  /// Write back a Core obtained from core().
+  void adopt(const Core& c) {
+    pos_ = c.pos;
+    x_ = c.x;
+    renorms_ = c.renorms;
+  }
+
+  /// Decode one bit given the probability `p0` that it is 0.
+  unsigned decode_bit(Prob p0) {
+    Core c = core();
+    const unsigned bit = c.decode_bit(p0);
+    adopt(c);
+    return bit;
+  }
+
+  /// Bytes consumed from the input so far. A stream decoded to completion
+  /// has consumed exactly its payload (tests assert this).
+  std::size_t consumed() const { return pos_; }
+
+ private:
+  void flush_metrics();
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint32_t x_ = 0;
+  std::uint64_t renorms_ = 0;  // batched into the obs registry per block
+};
+
+}  // namespace ccomp::coding

@@ -1,0 +1,51 @@
+#include "core/streams.h"
+
+#include "support/error.h"
+
+namespace ccomp::core {
+
+std::vector<std::uint8_t> pack_stream_block(
+    std::span<const std::vector<std::uint8_t>> streams) {
+  if (streams.empty() || streams.size() > kMaxEntropyStreams)
+    throw ConfigError("entropy stream count must be in [1, 16]");
+  if (streams.size() == 1) return streams[0];  // frameless single-stream form
+  std::size_t total = 2 * (streams.size() - 1);
+  for (const auto& s : streams) total += s.size();
+  std::vector<std::uint8_t> block;
+  block.reserve(total);
+  for (std::size_t k = 0; k + 1 < streams.size(); ++k) {
+    if (streams[k].size() > 0xFFFF)
+      throw ConfigError("sub-stream exceeds the 16-bit block frame length");
+    block.push_back(static_cast<std::uint8_t>(streams[k].size()));
+    block.push_back(static_cast<std::uint8_t>(streams[k].size() >> 8));
+  }
+  for (const auto& s : streams) block.insert(block.end(), s.begin(), s.end());
+  return block;
+}
+
+StreamSpans split_stream_block(std::span<const std::uint8_t> payload, unsigned streams) {
+  if (streams == 0 || streams > kMaxEntropyStreams)
+    throw CorruptDataError("entropy stream count out of range");
+  StreamSpans out;
+  out.count = streams;
+  if (streams == 1) {
+    out.spans[0] = payload;
+    return out;
+  }
+  const std::size_t header = 2 * (static_cast<std::size_t>(streams) - 1);
+  if (payload.size() < header)
+    throw CorruptDataError("block payload shorter than its stream frame");
+  std::size_t at = header;
+  for (unsigned k = 0; k + 1 < streams; ++k) {
+    const std::size_t len = static_cast<std::size_t>(payload[2 * k]) |
+                            (static_cast<std::size_t>(payload[2 * k + 1]) << 8);
+    if (len > payload.size() - at)
+      throw CorruptDataError("sub-stream length overruns the block payload");
+    out.spans[k] = payload.subspan(at, len);
+    at += len;
+  }
+  out.spans[streams - 1] = payload.subspan(at);
+  return out;
+}
+
+}  // namespace ccomp::core

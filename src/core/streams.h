@@ -1,0 +1,73 @@
+// Multi-stream block layout: K independent entropy streams per block.
+//
+// The serial decoders are branch-mispredict bound — one long dependency
+// chain from the coder state through the model walk and back. The standard
+// cure is to encode each block as K INDEPENDENT entropy streams and decode
+// them round-robin in one loop, so the CPU overlaps K mispredict/load
+// latencies instead of serializing on one. This header defines the two
+// pieces every multi-stream codec shares:
+//
+//   * the contiguous near-even partition of a block's items (words,
+//     instructions) into K chunks — chunk k owns items
+//     [chunk_begin(n,K,k), chunk_begin(n,K,k+1)), sizes differing by at
+//     most one with the larger chunks first, so "streams still active in
+//     the final round" is always a prefix;
+//
+//   * the block payload frame: K-1 little-endian u16 sub-stream lengths
+//     (stream K-1's length is implicit) followed by the concatenated
+//     streams. K == 1 is frameless — byte-identical to the single-stream
+//     format, so existing images and ratios are untouched.
+//
+// The frame is deliberately tiny (2*(K-1) bytes per block) because it is
+// charged to the compression ratio; bench/tab_streams tracks that cost
+// explicitly per K.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ccomp::core {
+
+/// Hard cap on entropy streams per block: the interleaved decoders keep one
+/// coder + model state per stream in registers/stack, and the u16 frame
+/// stays negligible. Far above the ILP sweet spot (4-8 on current cores).
+inline constexpr unsigned kMaxEntropyStreams = 16;
+
+/// Number of items chunk `k` owns in a contiguous near-even K-way partition
+/// of `total` items (first `total % k_streams` chunks take the extra item).
+constexpr std::size_t chunk_size(std::size_t total, unsigned k_streams, unsigned k) {
+  return total / k_streams + (k < total % k_streams ? 1 : 0);
+}
+
+/// First item of chunk `k` in the same partition.
+constexpr std::size_t chunk_begin(std::size_t total, unsigned k_streams, unsigned k) {
+  const std::size_t base = total / k_streams;
+  const std::size_t extra = total % k_streams;
+  return base * k + (k < extra ? k : extra);
+}
+
+/// Assemble a block payload from its per-stream encodings: K-1 u16 length
+/// words, then the streams back to back. streams.size() must be in
+/// [1, kMaxEntropyStreams]; throws ConfigError when a sub-stream overflows
+/// the 16-bit length field (a block would have to compress to > 64 KiB).
+std::vector<std::uint8_t> pack_stream_block(
+    std::span<const std::vector<std::uint8_t>> streams);
+
+/// Per-stream views into a block payload framed by pack_stream_block.
+struct StreamSpans {
+  unsigned count = 0;
+  std::array<std::span<const std::uint8_t>, kMaxEntropyStreams> spans;
+
+  std::span<const std::uint8_t> operator[](unsigned k) const { return spans[k]; }
+};
+
+/// Slice a block payload into its `streams` sub-stream spans. `streams` is a
+/// table-level property (not per block), validated by the caller against
+/// [1, kMaxEntropyStreams]. Throws CorruptDataError when the payload cannot
+/// hold the frame or the recorded lengths overrun it — the typed error the
+/// hardened-decoder contract requires for corrupt LAT/payload bytes.
+StreamSpans split_stream_block(std::span<const std::uint8_t> payload, unsigned streams);
+
+}  // namespace ccomp::core

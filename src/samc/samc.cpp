@@ -1,10 +1,15 @@
 #include "samc/samc.h"
 
 #include <algorithm>
+#include <tuple>
+#include <type_traits>
+#include <utility>
 
 #include "coding/markovplan.h"
 #include "coding/nibblecoder.h"
 #include "coding/rangecoder.h"
+#include "coding/rans.h"
+#include "core/streams.h"
 #include "obs/obs.h"
 #include "support/error.h"
 #include "support/parallel.h"
@@ -51,7 +56,13 @@ SamcCodec::SamcCodec(SamcOptions options) : options_(std::move(options)) {
     for (const auto& stream : options_.markov.division.streams)
       if (stream.size() % 4 != 0)
         throw ConfigError("parallel nibble mode requires stream widths divisible by 4");
+    if (options_.entropy_coder == EntropyCoder::kRans)
+      throw ConfigError("parallel nibble mode uses its own nibble coder; rANS does not apply");
   }
+  if (options_.entropy_streams < 1 || options_.entropy_streams > core::kMaxEntropyStreams)
+    throw ConfigError("entropy stream count must be in [1, 16]");
+  if (options_.entropy_streams > options_.block_size / word_bytes)
+    throw ConfigError("entropy stream count exceeds the words per block");
 }
 
 std::vector<std::uint32_t> SamcCodec::code_to_words(std::span<const std::uint8_t> code) const {
@@ -98,35 +109,53 @@ core::CompressedImage SamcCodec::compress_with_model(std::span<const std::uint8_
   // serial encode at any thread count.
   const std::size_t block_count =
       words.empty() ? 0 : (words.size() + words_per_block - 1) / words_per_block;
-  auto encode_block = [&](std::size_t b, auto& encoder) {
+  // With entropy_streams = K > 1 a block's words are further partitioned
+  // into K contiguous near-even chunks, each coded by its OWN coder and
+  // Markov walk (both reset at the chunk boundary) and framed by
+  // core::pack_stream_block so the decoder can attach all K coders up
+  // front and round-robin them. K = 1 stays frameless and byte-identical
+  // to the single-stream format.
+  const unsigned n_streams = options_.entropy_streams;
+  auto encode_block = [&]<typename Encoder>(std::size_t b, Encoder*) {
     CCOMP_SPAN("samc.encode_block");
     CCOMP_TIMER("samc.encode.block_ns");
     const std::size_t begin = b * words_per_block;
     const std::size_t end = std::min(begin + words_per_block, words.size());
+    const std::size_t block_words = end - begin;
     CCOMP_COUNT("samc.encode.blocks", 1);
-    CCOMP_COUNT("samc.encode.words", end - begin);
-    MarkovCursor cursor(model);
-    for (std::size_t i = begin; i < end; ++i) {
-      const std::uint32_t word = words[i];
-      for (unsigned bit_no = 0; bit_no < options_.markov.division.word_bits; ++bit_no) {
-        const unsigned bit = (word >> cursor.next_bit_position()) & 1u;
-        encoder.encode_bit(bit, cursor.prob());
-        cursor.advance(bit);
+    CCOMP_COUNT("samc.encode.words", block_words);
+    std::vector<std::vector<std::uint8_t>> streams(n_streams);
+    for (unsigned k = 0; k < n_streams; ++k) {
+      const std::size_t chunk = core::chunk_size(block_words, n_streams, k);
+      if (chunk == 0) continue;  // short final block: trailing streams stay empty
+      const std::size_t first = begin + core::chunk_begin(block_words, n_streams, k);
+      Encoder encoder;
+      MarkovCursor cursor(model);
+      for (std::size_t i = first; i < first + chunk; ++i) {
+        const std::uint32_t word = words[i];
+        for (unsigned bit_no = 0; bit_no < options_.markov.division.word_bits; ++bit_no) {
+          const unsigned bit = (word >> cursor.next_bit_position()) & 1u;
+          encoder.encode_bit(bit, cursor.prob());
+          cursor.advance(bit);
+        }
       }
+      encoder.finish();
+      streams[k] = encoder.take();
     }
-    encoder.finish();
-    return encoder.take();
+    return core::pack_stream_block(streams);
   };
   std::vector<std::vector<std::uint8_t>> blocks;
   if (options_.parallel_nibble_mode) {
     blocks = par::parallel_map(block_count, [&](std::size_t b) {
-      coding::NibbleRangeEncoder encoder;
-      return encode_block(b, encoder);
+      return encode_block(b, static_cast<coding::NibbleRangeEncoder*>(nullptr));
+    });
+  } else if (options_.entropy_coder == EntropyCoder::kRans) {
+    blocks = par::parallel_map(block_count, [&](std::size_t b) {
+      return encode_block(b, static_cast<coding::RansEncoder*>(nullptr));
     });
   } else {
     blocks = par::parallel_map(block_count, [&](std::size_t b) {
-      RangeEncoder encoder;
-      return encode_block(b, encoder);
+      return encode_block(b, static_cast<RangeEncoder*>(nullptr));
     });
   }
 
@@ -144,7 +173,13 @@ core::CompressedImage SamcCodec::compress_with_model(std::span<const std::uint8_
   }
 
   ByteSink tables;
-  tables.u8(options_.parallel_nibble_mode ? 1 : 0);  // engine flag
+  // Layout: [u8 coder mode][u8 entropy streams][model]. Mode 0 is the
+  // bitwise range coder, 1 the Fig. 5 nibble range coder, 2 rANS.
+  const std::uint8_t mode = options_.parallel_nibble_mode                   ? 1
+                            : options_.entropy_coder == EntropyCoder::kRans ? 2
+                                                                            : 0;
+  tables.u8(mode);
+  tables.u8(static_cast<std::uint8_t>(n_streams));
   model.serialize(tables);
   return core::CompressedImage(core::CodecKind::kSamc, options_.isa, options_.block_size,
                                code.size(), tables.take(), std::move(offsets),
@@ -153,18 +188,25 @@ core::CompressedImage SamcCodec::compress_with_model(std::span<const std::uint8_
 
 namespace {
 
-// Serial decompressor: one range-decoder bit per Markov step. The Markov
-// walk either runs on the flattened decode plan (one table row per decoded
-// bit) or, when the plan is not viable or the cursor engine was requested,
-// on the original MarkovCursor — both produce byte-identical output.
+// Bitwise decompressor: one coder bit per Markov step. The Markov walk
+// either runs on the flattened decode plan (one table row per decoded bit)
+// or, when the plan is not viable or the cursor engine was requested, on
+// the original MarkovCursor. For images encoded with K > 1 entropy streams
+// the plan engine round-robins the K coder states in ONE loop (the
+// interleaved fast path); kPlanSerial and kCursor decode the K chunks one
+// after another. Every path produces byte-identical output.
 class SamcDecompressor final : public core::BlockDecompressor {
  public:
-  SamcDecompressor(const core::CompressedImage& image, MarkovModel model, DecodeEngine engine)
+  SamcDecompressor(const core::CompressedImage& image, MarkovModel model, DecodeEngine engine,
+                   unsigned streams, EntropyCoder coder)
       : BlockDecompressor(image.block_count()),
         image_(&image),
         model_(std::move(model)),
-        plan_(model_) {
-    use_plan_ = engine == DecodeEngine::kPlan && plan_.viable();
+        plan_(model_),
+        streams_(streams),
+        coder_(coder) {
+    use_plan_ = engine != DecodeEngine::kCursor && plan_.viable();
+    interleave_ = use_plan_ && engine == DecodeEngine::kPlan && streams_ > 1;
     // The order bit positions are decoded in is a fixed property of the
     // stream division (streams in sequence, each MSB-to-LSB of its position
     // list), so the hot loop shifts every bit into a decode-order
@@ -202,26 +244,231 @@ class SamcDecompressor final : public core::BlockDecompressor {
   void block_into(std::size_t index, std::span<std::uint8_t> out) const override {
     CCOMP_SPAN("samc.decode_block");
     CCOMP_TIMER("samc.decode.block_ns");
-    const unsigned word_bits = model_.config().division.word_bits;
-    const unsigned word_bytes = word_bits / 8;
+    const unsigned word_bytes = model_.config().division.word_bits / 8;
     if (out.size() != image_->block_original_size(index))
       throw CorruptDataError("block_into destination does not match the block's original size");
     const std::size_t word_count = out.size() / word_bytes;
     CCOMP_COUNT("samc.decode.blocks", 1);
     CCOMP_COUNT("samc.decode.words", word_count);
+    const core::StreamSpans spans =
+        core::split_stream_block(image_->block_payload(index), streams_);
+    if (coder_ == EntropyCoder::kRans)
+      decode_with<coding::RansDecoder>(spans, out, word_count);
+    else
+      decode_with<RangeDecoder>(spans, out, word_count);
+  }
 
+ private:
+  /// One maximal descending run of the division's flattened bit-position
+  /// sequence: decoded chunk `(acc >> rshift) & mask` lands at `<< lshift`.
+  struct OutputRun {
+    std::uint8_t rshift;
+    std::uint8_t lshift;
+    std::uint32_t mask;
+  };
+
+  template <typename Decoder>
+  static void count_renorms(std::uint64_t n) {
+    if constexpr (std::is_same_v<Decoder, coding::RansDecoder>) {
+      CCOMP_COUNT("coder.rans.decode_renorms", n);
+    } else {
+      CCOMP_COUNT("coder.range.decode_renorms", n);
+    }
+  }
+
+  template <typename Decoder>
+  void decode_with(const core::StreamSpans& spans, std::span<std::uint8_t> out,
+                   std::size_t word_count) const {
+    if (interleave_) {
+      // Fixed-K instantiations expand the lanes at compile time (the common
+      // CLI/bench values); anything else runs the runtime-K body.
+      switch (streams_) {
+        case 2: return interleaved_fixed<Decoder, 2>(spans, out, word_count);
+        case 4: return interleaved_fixed<Decoder, 4>(spans, out, word_count);
+        case 8: return interleaved_fixed<Decoder, 8>(spans, out, word_count);
+        default: return interleaved_generic<Decoder>(spans, out, word_count);
+      }
+    }
+    if (use_plan_) return plan_serial<Decoder>(spans, out, word_count);
+    cursor_serial<Decoder>(spans, out, word_count);
+  }
+
+  /// The tentpole hot loop: KF register-resident coder states decoded
+  /// round-robin. Each round resolves ONE word on every lane; the KF
+  /// coder/model dependency chains are independent, so the superscalar
+  /// core overlaps their compare/table-load/renorm latencies where the
+  /// serial loop stalls on a single chain between mispredicts.
+  ///
+  /// Two things make this fast where the obvious array-of-lanes loop is
+  /// actually SLOWER than serial (measured 0.74x at K = 4):
+  ///   * the lanes live in a std::tuple touched only through compile-time
+  ///     indices (index_sequence folds), so scalar replacement splits every
+  ///     lane into registers — an array indexed by a runtime loop variable
+  ///     pins all lane state in L1 and every chain step round-trips through
+  ///     a load/store;
+  ///   * bits resolve with the coders' branchless variant. Serially that
+  ///     loses ~45% (it trades speculation for a data dependency), but here
+  ///     the other lanes hide the select latency, and one mispredicted bit
+  ///     no longer flushes KF streams' worth of in-flight work.
+  /// The chunk partition puts larger chunks first, so the lanes still
+  /// active in the final partial round are exactly the prefix
+  /// [0, word_count % KF); the tail round guards each lane with a
+  /// constant-index compare.
+  template <typename Decoder, unsigned KF>
+  void interleaved_fixed(const core::StreamSpans& spans, std::span<std::uint8_t> out,
+                         std::size_t word_count) const {
+    // A block shorter than KF words leaves trailing chunks empty (nothing
+    // to attach a coder to); such blocks are tiny, so chunk-serial decode
+    // is both correct and free.
+    if (word_count < KF) return plan_serial<Decoder>(spans, out, word_count);
+    const MarkovDecodePlan& plan = plan_;
+    const OutputRun* const runs = runs_.data();
+    const std::size_t run_count = runs_.size();
+    const unsigned word_bits = model_.config().division.word_bits;
+    const unsigned word_bytes = word_bits / 8;
+    struct Lane {
+      typename Decoder::Core rc;
+      std::uint32_t state;
+      std::uint32_t acc;
+      std::size_t at;
+    };
+    auto lanes = [&]<std::size_t... I>(std::index_sequence<I...>) {
+      return std::tuple{Lane{Decoder::attach(spans[static_cast<unsigned>(I)]),
+                             MarkovDecodePlan::kStartState, 0,
+                             core::chunk_begin(word_count, KF, static_cast<unsigned>(I)) *
+                                 word_bytes}...};
+    }(std::make_index_sequence<KF>{});
+    // Apply fn(lane, integral_constant<index>) to every lane — a fold, not
+    // a loop, so each application has its own compile-time index. Every
+    // lambda in this nest is always_inline: the whole point is one flat
+    // loop body with all lane state in registers, and at K = 8 the body is
+    // big enough that the inliner otherwise outlines the per-bit step —
+    // which puts a call (and the Lane back in memory) on the hottest path.
+    auto for_lanes = [&](auto&& fn) __attribute__((always_inline)) {
+      [&]<std::size_t... I>(std::index_sequence<I...>) __attribute__((always_inline)) {
+        (fn(std::get<I>(lanes), std::integral_constant<std::size_t, I>{}), ...);
+      }(std::make_index_sequence<KF>{});
+    };
+    auto step = [&](Lane& l) __attribute__((always_inline)) {
+      // One fused table load supplies the probability and both candidate
+      // successors (see MarkovDecodePlan::fused): with K lanes in flight
+      // the load ports, not one chain's latency, are the scarce resource.
+      // The successor extraction is a variable shift off the decoded bit —
+      // branch-free, so a hard-to-predict bit costs latency (hidden by the
+      // other lanes), never a pipeline flush.
+      const std::uint64_t f = plan.fused(l.state);
+      const unsigned bit = l.rc.decode_bit_branchless(MarkovDecodePlan::fused_prob0(f));
+      l.acc = (l.acc << 1) | bit;
+      l.state = MarkovDecodePlan::fused_next(f, bit);
+    };
+    auto flush = [&](Lane& l) __attribute__((always_inline)) {
+      std::uint32_t word = 0;
+      for (std::size_t r = 0; r < run_count; ++r)
+        word |= ((l.acc >> runs[r].rshift) & runs[r].mask) << runs[r].lshift;
+      for (unsigned b = 0; b < word_bytes; ++b)
+        out[l.at++] = static_cast<std::uint8_t>(word >> (8 * b));
+      l.acc = 0;
+    };
+    const std::size_t full_rounds = word_count / KF;
+    const unsigned tail = static_cast<unsigned>(word_count % KF);
+    for (std::size_t r = 0; r < full_rounds; ++r) {
+      for (unsigned b = 0; b < word_bits; ++b)
+        for_lanes([&](Lane& l, auto) __attribute__((always_inline)) { step(l); });
+      for_lanes([&](Lane& l, auto) __attribute__((always_inline)) { flush(l); });
+    }
+    if (tail) {
+      for (unsigned b = 0; b < word_bits; ++b)
+        for_lanes([&](Lane& l, auto idx) __attribute__((always_inline)) {
+          if (idx() < tail) step(l);
+        });
+      for_lanes([&](Lane& l, auto idx) __attribute__((always_inline)) {
+        if (idx() < tail) flush(l);
+      });
+    }
+    std::uint64_t renorms = 0;
+    for_lanes([&](Lane& l, auto) __attribute__((always_inline)) { renorms += l.rc.renorms; });
+    count_renorms<Decoder>(renorms);
+  }
+
+  /// Runtime-K interleave for stream counts without a fixed instantiation
+  /// (K = 3, 5, 6, ...). Correct but array-based — lane state lives in L1,
+  /// so expect chunk-serial-like speed; the fixed-K sweet spots are 2/4/8.
+  template <typename Decoder>
+  void interleaved_generic(const core::StreamSpans& spans, std::span<std::uint8_t> out,
+                           std::size_t word_count) const {
+    using Core = typename Decoder::Core;
+    const unsigned K = streams_;
+    const MarkovDecodePlan& plan = plan_;
+    const OutputRun* const runs = runs_.data();
+    const std::size_t run_count = runs_.size();
+    const unsigned word_bits = model_.config().division.word_bits;
+    const unsigned word_bytes = word_bits / 8;
+    Core rc[core::kMaxEntropyStreams];
+    std::uint32_t state[core::kMaxEntropyStreams];
+    std::size_t at[core::kMaxEntropyStreams];
+    const unsigned attached = static_cast<unsigned>(std::min<std::size_t>(K, word_count));
+    for (unsigned k = 0; k < attached; ++k) {
+      rc[k] = Decoder::attach(spans[k]);
+      state[k] = MarkovDecodePlan::kStartState;
+      at[k] = core::chunk_begin(word_count, K, k) * word_bytes;
+    }
+    const std::size_t full_rounds = word_count / K;
+    const unsigned tail = static_cast<unsigned>(word_count % K);
+    auto round = [&](unsigned active) {
+      std::uint32_t acc[core::kMaxEntropyStreams];
+      for (unsigned k = 0; k < active; ++k) acc[k] = 0;
+      for (unsigned b = 0; b < word_bits; ++b) {
+        for (unsigned k = 0; k < active; ++k) {
+          // Same pair-prefetch + branch-on-bit shape as the serial plan
+          // loop (see plan_serial); what changes is that the NEXT decode
+          // step in program order belongs to a DIFFERENT stream, so the
+          // machine always has independent work in flight.
+          const std::uint64_t pair = plan.next_pair(state[k]);
+          if (rc[k].decode_bit(plan.prob0(state[k]))) {
+            acc[k] = (acc[k] << 1) | 1u;
+            state[k] = static_cast<std::uint32_t>(pair >> 32);
+          } else {
+            acc[k] <<= 1;
+            state[k] = static_cast<std::uint32_t>(pair);
+          }
+        }
+      }
+      for (unsigned k = 0; k < active; ++k) {
+        std::uint32_t word = 0;
+        for (std::size_t r = 0; r < run_count; ++r)
+          word |= ((acc[k] >> runs[r].rshift) & runs[r].mask) << runs[r].lshift;
+        for (unsigned b = 0; b < word_bytes; ++b)
+          out[at[k]++] = static_cast<std::uint8_t>(word >> (8 * b));
+      }
+    };
+    for (std::size_t r = 0; r < full_rounds; ++r) round(K);
+    if (tail) round(tail);
+    std::uint64_t renorms = 0;
+    for (unsigned k = 0; k < attached; ++k) renorms += rc[k].renorms;
+    count_renorms<Decoder>(renorms);
+  }
+
+  /// Chunk-serial plan decode (kPlanSerial, and kPlan for K = 1): the
+  /// original register-resident hot loop, run once per stream chunk.
+  template <typename Decoder>
+  void plan_serial(const core::StreamSpans& spans, std::span<std::uint8_t> out,
+                   std::size_t word_count) const {
+    const MarkovDecodePlan& plan = plan_;
+    const OutputRun* const runs = runs_.data();
+    const std::size_t run_count = runs_.size();
+    const unsigned word_bits = model_.config().division.word_bits;
+    const unsigned word_bytes = word_bits / 8;
+    std::uint64_t renorms = 0;
     std::size_t at = 0;
-    if (use_plan_) {
-      const MarkovDecodePlan& plan = plan_;
-      const OutputRun* const runs = runs_.data();
-      const std::size_t run_count = runs_.size();
+    for (unsigned k = 0; k < streams_; ++k) {
+      const std::size_t chunk = core::chunk_size(word_count, streams_, k);
+      if (chunk == 0) break;  // trailing streams of a short final block are empty
       // Register-resident coder state attached straight to the payload: no
-      // RangeDecoder object, so no out-of-line construct/flush per block
-      // and nothing whose address could force the state out of registers
-      // (see RangeDecoder::Core).
-      coding::RangeDecoder::Core rc = RangeDecoder::attach(image_->block_payload(index));
+      // decoder object, so no out-of-line construct/flush per block and
+      // nothing whose address could force the state out of registers.
+      typename Decoder::Core rc = Decoder::attach(spans[k]);
       std::uint32_t state = MarkovDecodePlan::kStartState;
-      for (std::size_t w = 0; w < word_count; ++w) {
+      for (std::size_t w = 0; w < chunk; ++w) {
         std::uint32_t acc = 0;
 #pragma GCC unroll 8
         for (unsigned b = 0; b < word_bits; ++b) {
@@ -250,37 +497,44 @@ class SamcDecompressor final : public core::BlockDecompressor {
         for (unsigned b = 0; b < word_bytes; ++b)
           out[at++] = static_cast<std::uint8_t>(word >> (8 * b));
       }
-      CCOMP_COUNT("coder.range.decode_renorms", rc.renorms);
-      return;
+      renorms += rc.renorms;
     }
-    RangeDecoder decoder(image_->block_payload(index));
-    MarkovCursor cursor(model_);
-    for (std::size_t w = 0; w < word_count; ++w) {
-      std::uint32_t word = 0;
-      for (unsigned b = 0; b < word_bits; ++b) {
-        const unsigned pos = cursor.next_bit_position();
-        const unsigned bit = decoder.decode_bit(cursor.prob());
-        word |= static_cast<std::uint32_t>(bit) << pos;
-        cursor.advance(bit);
-      }
-      for (unsigned b = 0; b < word_bytes; ++b)
-        out[at++] = static_cast<std::uint8_t>(word >> (8 * b));
-    }
+    count_renorms<Decoder>(renorms);
   }
 
- private:
-  /// One maximal descending run of the division's flattened bit-position
-  /// sequence: decoded chunk `(acc >> rshift) & mask` lands at `<< lshift`.
-  struct OutputRun {
-    std::uint8_t rshift;
-    std::uint8_t lshift;
-    std::uint32_t mask;
-  };
+  /// MarkovCursor fallback (kCursor, or a non-viable plan at any K).
+  template <typename Decoder>
+  void cursor_serial(const core::StreamSpans& spans, std::span<std::uint8_t> out,
+                     std::size_t word_count) const {
+    const unsigned word_bits = model_.config().division.word_bits;
+    const unsigned word_bytes = word_bits / 8;
+    std::size_t at = 0;
+    for (unsigned k = 0; k < streams_; ++k) {
+      const std::size_t chunk = core::chunk_size(word_count, streams_, k);
+      if (chunk == 0) break;
+      Decoder decoder(spans[k]);
+      MarkovCursor cursor(model_);
+      for (std::size_t w = 0; w < chunk; ++w) {
+        std::uint32_t word = 0;
+        for (unsigned b = 0; b < word_bits; ++b) {
+          const unsigned pos = cursor.next_bit_position();
+          const unsigned bit = decoder.decode_bit(cursor.prob());
+          word |= static_cast<std::uint32_t>(bit) << pos;
+          cursor.advance(bit);
+        }
+        for (unsigned b = 0; b < word_bytes; ++b)
+          out[at++] = static_cast<std::uint8_t>(word >> (8 * b));
+      }
+    }
+  }
 
   const core::CompressedImage* image_;
   MarkovModel model_;
   MarkovDecodePlan plan_;
+  unsigned streams_;
+  EntropyCoder coder_;
   bool use_plan_ = false;
+  bool interleave_ = false;
   std::vector<OutputRun> runs_;
 };
 
@@ -289,12 +543,13 @@ class SamcDecompressor final : public core::BlockDecompressor {
 class NibbleSamcDecompressor final : public core::BlockDecompressor {
  public:
   NibbleSamcDecompressor(const core::CompressedImage& image, MarkovModel model,
-                         DecodeEngine engine)
+                         DecodeEngine engine, unsigned streams)
       : BlockDecompressor(image.block_count()),
         image_(&image),
         model_(std::move(model)),
-        plan_(model_) {
-    use_plan_ = engine == DecodeEngine::kPlan && plan_.viable();
+        plan_(model_),
+        streams_(streams) {
+    use_plan_ = engine != DecodeEngine::kCursor && plan_.viable();
   }
 
   std::vector<std::uint8_t> block(std::size_t index) const override {
@@ -316,58 +571,68 @@ class NibbleSamcDecompressor final : public core::BlockDecompressor {
     CCOMP_COUNT("samc.decode.blocks", 1);
     CCOMP_COUNT("samc.decode.words", word_count);
 
-    coding::NibbleRangeDecoder decoder(image_->block_payload(index));
+    // Multi-stream nibble blocks decode chunk-serially (the nibble coder's
+    // 15-midpoint evaluation already packs the ILP the interleave would
+    // otherwise add); the K > 1 payoff here is format parity with the
+    // bitwise modes so the equivalence suite covers every combination.
+    const core::StreamSpans spans =
+        core::split_stream_block(image_->block_payload(index), streams_);
     std::size_t at = 0;
-    if (use_plan_) {
-      // The nibble-mode constraint (stream widths divisible by 4) means a
-      // nibble never crosses a stream boundary, so the subtree gather can
-      // walk the plan's next-pointers directly.
-      const MarkovDecodePlan& plan = plan_;
-      std::uint32_t state = MarkovDecodePlan::kStartState;
-      for (std::size_t w = 0; w < word_count; ++w) {
+    for (unsigned k = 0; k < streams_; ++k) {
+      const std::size_t chunk = core::chunk_size(word_count, streams_, k);
+      if (chunk == 0) break;  // trailing streams of a short final block are empty
+      coding::NibbleRangeDecoder decoder(spans[k]);
+      if (use_plan_) {
+        // The nibble-mode constraint (stream widths divisible by 4) means a
+        // nibble never crosses a stream boundary, so the subtree gather can
+        // walk the plan's next-pointers directly.
+        const MarkovDecodePlan& plan = plan_;
+        std::uint32_t state = MarkovDecodePlan::kStartState;
+        for (std::size_t w = 0; w < chunk; ++w) {
+          std::uint32_t word = 0;
+          for (unsigned group = 0; group < word_bits / 4; ++group) {
+            coding::Prob probs[15];
+            plan.gather_nibble(state, probs);
+            const unsigned nibble = decoder.decode_nibble(probs);
+            for (int b = 3; b >= 0; --b) {
+              const unsigned bit = (nibble >> b) & 1u;
+              word |= static_cast<std::uint32_t>(bit) << plan.bit_pos(state);
+              state = plan.next(state, bit);
+            }
+          }
+          for (unsigned b = 0; b < word_bytes; ++b)
+            out[at++] = static_cast<std::uint8_t>(word >> (8 * b));
+        }
+        continue;
+      }
+      MarkovCursor cursor(model_);
+      for (std::size_t w = 0; w < chunk; ++w) {
         std::uint32_t word = 0;
         for (unsigned group = 0; group < word_bits / 4; ++group) {
+          // Gather the probability subtree rooted at the cursor's node — this
+          // is the "probability memory" fetch feeding the 15 midpoint units.
           coding::Prob probs[15];
-          plan.gather_nibble(state, probs);
+          std::size_t tree_nodes[15];
+          tree_nodes[0] = cursor.node();
+          const std::size_t stream = cursor.stream();
+          const std::size_t ctx = cursor.context();
+          for (std::size_t i = 0; i < 7; ++i) {
+            tree_nodes[2 * i + 1] = 2 * tree_nodes[i] + 1;
+            tree_nodes[2 * i + 2] = 2 * tree_nodes[i] + 2;
+          }
+          for (std::size_t i = 0; i < 15; ++i)
+            probs[i] = model_.prob0(stream, ctx, tree_nodes[i]);
+
           const unsigned nibble = decoder.decode_nibble(probs);
           for (int b = 3; b >= 0; --b) {
             const unsigned bit = (nibble >> b) & 1u;
-            word |= static_cast<std::uint32_t>(bit) << plan.bit_pos(state);
-            state = plan.next(state, bit);
+            word |= static_cast<std::uint32_t>(bit) << cursor.next_bit_position();
+            cursor.advance(bit);
           }
         }
         for (unsigned b = 0; b < word_bytes; ++b)
           out[at++] = static_cast<std::uint8_t>(word >> (8 * b));
       }
-      return;
-    }
-    MarkovCursor cursor(model_);
-    for (std::size_t w = 0; w < word_count; ++w) {
-      std::uint32_t word = 0;
-      for (unsigned group = 0; group < word_bits / 4; ++group) {
-        // Gather the probability subtree rooted at the cursor's node — this
-        // is the "probability memory" fetch feeding the 15 midpoint units.
-        coding::Prob probs[15];
-        std::size_t tree_nodes[15];
-        tree_nodes[0] = cursor.node();
-        const std::size_t stream = cursor.stream();
-        const std::size_t ctx = cursor.context();
-        for (std::size_t i = 0; i < 7; ++i) {
-          tree_nodes[2 * i + 1] = 2 * tree_nodes[i] + 1;
-          tree_nodes[2 * i + 2] = 2 * tree_nodes[i] + 2;
-        }
-        for (std::size_t i = 0; i < 15; ++i)
-          probs[i] = model_.prob0(stream, ctx, tree_nodes[i]);
-
-        const unsigned nibble = decoder.decode_nibble(probs);
-        for (int b = 3; b >= 0; --b) {
-          const unsigned bit = (nibble >> b) & 1u;
-          word |= static_cast<std::uint32_t>(bit) << cursor.next_bit_position();
-          cursor.advance(bit);
-        }
-      }
-      for (unsigned b = 0; b < word_bytes; ++b)
-        out[at++] = static_cast<std::uint8_t>(word >> (8 * b));
     }
   }
 
@@ -375,6 +640,7 @@ class NibbleSamcDecompressor final : public core::BlockDecompressor {
   const core::CompressedImage* image_;
   MarkovModel model_;
   MarkovDecodePlan plan_;
+  unsigned streams_;
   bool use_plan_ = false;
 };
 
@@ -390,11 +656,17 @@ std::unique_ptr<core::BlockDecompressor> SamcCodec::make_decompressor(
   if (image.codec() != core::CodecKind::kSamc)
     throw ConfigError("image was not produced by SAMC");
   ByteSource src(image.tables());
-  const bool nibble_mode = src.u8() != 0;
+  const std::uint8_t mode = src.u8();
+  if (mode > 2) throw CorruptDataError("unknown SAMC coder mode byte");
+  const unsigned streams = src.u8();
+  if (streams < 1 || streams > core::kMaxEntropyStreams)
+    throw CorruptDataError("SAMC entropy stream count out of range");
   MarkovModel model = MarkovModel::deserialize(src);
-  if (nibble_mode)
-    return std::make_unique<NibbleSamcDecompressor>(image, std::move(model), engine);
-  return std::make_unique<SamcDecompressor>(image, std::move(model), engine);
+  if (mode == 1)
+    return std::make_unique<NibbleSamcDecompressor>(image, std::move(model), engine, streams);
+  return std::make_unique<SamcDecompressor>(
+      image, std::move(model), engine, streams,
+      mode == 2 ? EntropyCoder::kRans : EntropyCoder::kRange);
 }
 
 double SamcCodec::estimate_payload_bits(std::span<const std::uint8_t> code) const {

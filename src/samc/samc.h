@@ -22,6 +22,12 @@
 
 namespace ccomp::samc {
 
+/// Which entropy coder backs the per-block bit streams. Both are bit-exact
+/// and driven by the same Markov probabilities; they differ in decode-loop
+/// shape (the range coder carries low/range/code, rANS is a single integer
+/// state — see coding/rans.h) and race each other in bench/tab_decodespeed.
+enum class EntropyCoder { kRange, kRans };
+
 struct SamcOptions {
   coding::MarkovConfig markov;
   /// Uncompressed bytes per compression block (= cache line size).
@@ -32,6 +38,16 @@ struct SamcOptions {
   /// 4-bit group. Requires quantized probabilities (max_shift <= 8) and
   /// stream widths divisible by 4 — the hardware's constraints.
   bool parallel_nibble_mode = false;
+  /// Number of independent entropy streams per block (1..16). With K > 1 a
+  /// block's words are partitioned into K contiguous chunks, each coded by
+  /// its own coder + Markov walk, and the decoder round-robins K coder
+  /// states in one loop — K independent dependency chains instead of one,
+  /// which is what breaks the serial decoder's mispredict/latency floor.
+  /// K = 1 keeps the legacy frameless block format byte-identical.
+  unsigned entropy_streams = 1;
+  /// Entropy coder backend (ignored in parallel_nibble_mode, which has its
+  /// own nibble-granular range coder).
+  EntropyCoder entropy_coder = EntropyCoder::kRange;
 };
 
 /// Defaults the paper found close to optimal for MIPS: 4 adjacent 8-bit
@@ -46,10 +62,15 @@ SamcOptions x86_defaults();
 ///
 /// kPlan (the default) compiles the model into a coding::MarkovDecodePlan —
 /// the flattened state machine the refill hot path runs on — and falls back
-/// to the cursor automatically when the model is too large to flatten.
+/// to the cursor automatically when the model is too large to flatten. For
+/// images encoded with entropy_streams > 1 it round-robins the K coder
+/// states in one interleaved loop.
+/// kPlanSerial runs the same plan but decodes the K chunks one after the
+/// other — the yardstick the interleaved engine is raced against in the
+/// equivalence suite and bench/tab_decodespeed.
 /// kCursor forces the original MarkovCursor walk; it exists for the
 /// plan-vs-cursor equivalence suite and benchmarks, not for production use.
-enum class DecodeEngine { kPlan, kCursor };
+enum class DecodeEngine { kPlan, kPlanSerial, kCursor };
 
 class SamcCodec final : public core::BlockCodec {
  public:

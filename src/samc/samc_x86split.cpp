@@ -4,6 +4,7 @@
 
 #include "coding/markovplan.h"
 #include "coding/rangecoder.h"
+#include "core/streams.h"
 #include "isa/x86/x86.h"
 #include "support/error.h"
 
@@ -55,7 +56,7 @@ std::uint8_t decode_byte(RangeDecoder& decoder, MarkovCursor& cursor) {
 class SplitDecompressor final : public core::BlockDecompressor {
  public:
   SplitDecompressor(const core::CompressedImage& image, MarkovModel opcode_model,
-                    MarkovModel modrm_model, MarkovModel imm_model)
+                    MarkovModel modrm_model, MarkovModel imm_model, unsigned streams)
       : BlockDecompressor(image.block_count()),
         image_(&image),
         opcode_model_(std::move(opcode_model)),
@@ -64,6 +65,7 @@ class SplitDecompressor final : public core::BlockDecompressor {
         opcode_plan_(opcode_model_),
         modrm_plan_(modrm_model_),
         imm_plan_(imm_model_),
+        streams_(streams),
         use_plan_(opcode_plan_.viable() && modrm_plan_.viable() && imm_plan_.viable()) {}
 
   std::vector<std::uint8_t> block(std::size_t index) const override {
@@ -79,24 +81,35 @@ class SplitDecompressor final : public core::BlockDecompressor {
                   core::DecodeScratch& scratch) const override {
     if (out.size() != image_->block_original_size(index))
       throw CorruptDataError("block_into destination does not match the block's original size");
-    if (use_plan_) {
-      // One register-resident coder shared by all three streams, each
-      // walking its own flattened plan (byte models connect across words,
-      // so a stream's state simply persists across its bytes).
-      PlanChannels ch{RangeDecoder::attach(image_->block_payload(index)),
-                     &opcode_plan_,
-                     &modrm_plan_,
-                     &imm_plan_,
-                     MarkovDecodePlan::kStartState,
-                     MarkovDecodePlan::kStartState,
-                     MarkovDecodePlan::kStartState};
-      decode_block(ch, out, scratch);
-    } else {
-      CursorChannels ch{RangeDecoder(image_->block_payload(index)),
-                        MarkovCursor(opcode_model_), MarkovCursor(modrm_model_),
-                        MarkovCursor(imm_model_)};
-      decode_block(ch, out, scratch);
+    // Chunk-serial over the K sub-streams: x86 instructions are variable
+    // length, so a chunk's output offset is only known once the previous
+    // chunks have decoded — the round-robin interleave that pays off for
+    // the fixed-rate SAMC word loop would buy bookkeeping, not ILP, here
+    // (see DESIGN.md). K independent streams still pay for themselves as
+    // random-access attach points and in the equivalence/ratio sweeps.
+    const core::StreamSpans spans =
+        core::split_stream_block(image_->block_payload(index), streams_);
+    std::size_t at = 0;
+    for (unsigned k = 0; k < streams_; ++k) {
+      if (use_plan_) {
+        // One register-resident coder shared by all three streams, each
+        // walking its own flattened plan (byte models connect across words,
+        // so a stream's state simply persists across its bytes).
+        PlanChannels ch{RangeDecoder::attach(spans[k]),
+                       &opcode_plan_,
+                       &modrm_plan_,
+                       &imm_plan_,
+                       MarkovDecodePlan::kStartState,
+                       MarkovDecodePlan::kStartState,
+                       MarkovDecodePlan::kStartState};
+        decode_chunk(ch, out, at, scratch);
+      } else {
+        CursorChannels ch{RangeDecoder(spans[k]), MarkovCursor(opcode_model_),
+                          MarkovCursor(modrm_model_), MarkovCursor(imm_model_)};
+        decode_chunk(ch, out, at, scratch);
+      }
     }
+    if (at != out.size()) throw CorruptDataError("SAMC-split block size mismatch");
   }
 
  private:
@@ -144,7 +157,7 @@ class SplitDecompressor final : public core::BlockDecompressor {
   // (op_len | flags<<8 | modrm<<16 | sib<<24, then tail_len). No
   // per-instruction vectors, so steady-state refills never allocate.
   template <typename Channels>
-  void decode_block(Channels& ch, std::span<std::uint8_t> out,
+  void decode_chunk(Channels& ch, std::span<std::uint8_t> out, std::size_t& at,
                     core::DecodeScratch& scratch) const {
     constexpr std::uint32_t kHasModrm = 1, kHasSib = 2;
     std::size_t instr_count = 0;
@@ -209,7 +222,7 @@ class SplitDecompressor final : public core::BlockDecompressor {
 
     // Reassemble into the caller's span, guarding every write against the
     // block's recorded size (corrupt streams may disagree).
-    std::size_t at = 0, oo = 0, to = 0;
+    std::size_t oo = 0, to = 0;
     auto put = [&](const std::uint8_t* data, std::size_t len) {
       if (len > out.size() - at) throw CorruptDataError("SAMC-split block size mismatch");
       std::copy(data, data + len, out.begin() + static_cast<std::ptrdiff_t>(at));
@@ -231,7 +244,6 @@ class SplitDecompressor final : public core::BlockDecompressor {
       put(tails.data() + to, tail_len);
       to += tail_len;
     }
-    if (at != out.size()) throw CorruptDataError("SAMC-split block size mismatch");
   }
 
   const core::CompressedImage* image_;
@@ -241,6 +253,7 @@ class SplitDecompressor final : public core::BlockDecompressor {
   MarkovDecodePlan opcode_plan_;
   MarkovDecodePlan modrm_plan_;
   MarkovDecodePlan imm_plan_;
+  unsigned streams_;
   bool use_plan_;
 };
 
@@ -250,6 +263,8 @@ SamcX86SplitCodec::SamcX86SplitCodec(SamcX86SplitOptions options) : options_(opt
   if (options_.block_size == 0 || options_.block_size > 200)
     throw ConfigError("SAMC-split block size must be in [1,200]");
   if (options_.context_bits > 8) throw ConfigError("context_bits must be <= 8");
+  if (options_.entropy_streams < 1 || options_.entropy_streams > core::kMaxEntropyStreams)
+    throw ConfigError("entropy stream count must be in [1, 16]");
 }
 
 core::CompressedImage SamcX86SplitCodec::compress(std::span<const std::uint8_t> code) const {
@@ -307,32 +322,46 @@ core::CompressedImage SamcX86SplitCodec::compress(std::span<const std::uint8_t> 
   const MarkovModel modrm_model = train_stream(&SplitInstr::modrm);
   const MarkovModel imm_model = train_stream(&SplitInstr::tail);
 
-  // Encode blocks: one coder, three model cursors, fixed phase order.
+  // Encode blocks. Each block's instructions are partitioned into K
+  // contiguous chunks; every chunk is a self-contained mini-stream (its own
+  // 8-bit instruction count, then the three phases over its instructions,
+  // all from one fresh coder + cursor set), framed by pack_stream_block.
+  // Unlike the fixed-rate SAMC encoder, empty chunks still carry their
+  // count byte — the decoder cannot derive a chunk's instruction count any
+  // other way.
+  const unsigned n_streams = options_.entropy_streams;
   std::vector<std::uint8_t> payload;
   std::vector<std::uint32_t> offsets;
-  RangeEncoder encoder;
   for (const auto& [first, last] : blocks) {
     offsets.push_back(static_cast<std::uint32_t>(payload.size()));
-    encoder.reset();
-    MarkovCursor op_cursor(opcode_model);
-    MarkovCursor mod_cursor(modrm_model);
-    MarkovCursor imm_cursor(imm_model);
-    const std::size_t count = last - first;
-    for (int b = 7; b >= 0; --b)
-      encoder.encode_bit(static_cast<unsigned>((count >> b) & 1), coding::kProbHalf);
-    for (std::size_t i = first; i < last; ++i)
-      for (const std::uint8_t b : instrs[i].opcode) encode_byte(encoder, op_cursor, b);
-    for (std::size_t i = first; i < last; ++i)
-      for (const std::uint8_t b : instrs[i].modrm) encode_byte(encoder, mod_cursor, b);
-    for (std::size_t i = first; i < last; ++i)
-      for (const std::uint8_t b : instrs[i].tail) encode_byte(encoder, imm_cursor, b);
-    encoder.finish();
-    const std::vector<std::uint8_t> block_bytes = encoder.take();
+    const std::size_t block_instrs = last - first;
+    std::vector<std::vector<std::uint8_t>> streams(n_streams);
+    for (unsigned k = 0; k < n_streams; ++k) {
+      const std::size_t chunk = core::chunk_size(block_instrs, n_streams, k);
+      const std::size_t cf = first + core::chunk_begin(block_instrs, n_streams, k);
+      RangeEncoder encoder;
+      MarkovCursor op_cursor(opcode_model);
+      MarkovCursor mod_cursor(modrm_model);
+      MarkovCursor imm_cursor(imm_model);
+      for (int b = 7; b >= 0; --b)
+        encoder.encode_bit(static_cast<unsigned>((chunk >> b) & 1), coding::kProbHalf);
+      for (std::size_t i = cf; i < cf + chunk; ++i)
+        for (const std::uint8_t b : instrs[i].opcode) encode_byte(encoder, op_cursor, b);
+      for (std::size_t i = cf; i < cf + chunk; ++i)
+        for (const std::uint8_t b : instrs[i].modrm) encode_byte(encoder, mod_cursor, b);
+      for (std::size_t i = cf; i < cf + chunk; ++i)
+        for (const std::uint8_t b : instrs[i].tail) encode_byte(encoder, imm_cursor, b);
+      encoder.finish();
+      streams[k] = encoder.take();
+    }
+    const std::vector<std::uint8_t> block_bytes = core::pack_stream_block(streams);
     payload.insert(payload.end(), block_bytes.begin(), block_bytes.end());
   }
   offsets.push_back(static_cast<std::uint32_t>(payload.size()));
 
   ByteSink tables;
+  // Layout: [u8 entropy streams][opcode model][modrm model][imm model].
+  tables.u8(static_cast<std::uint8_t>(n_streams));
   opcode_model.serialize(tables);
   modrm_model.serialize(tables);
   imm_model.serialize(tables);
@@ -347,11 +376,15 @@ std::unique_ptr<core::BlockDecompressor> SamcX86SplitCodec::make_decompressor(
   if (image.codec() != core::CodecKind::kSamcX86Split)
     throw ConfigError("image was not produced by SAMC-split");
   ByteSource src(image.tables());
+  const unsigned streams = src.u8();
+  if (streams < 1 || streams > core::kMaxEntropyStreams)
+    throw CorruptDataError("SAMC-split entropy stream count out of range");
   MarkovModel opcode_model = MarkovModel::deserialize(src);
   MarkovModel modrm_model = MarkovModel::deserialize(src);
   MarkovModel imm_model = MarkovModel::deserialize(src);
   return std::make_unique<SplitDecompressor>(image, std::move(opcode_model),
-                                             std::move(modrm_model), std::move(imm_model));
+                                             std::move(modrm_model), std::move(imm_model),
+                                             streams);
 }
 
 }  // namespace ccomp::samc

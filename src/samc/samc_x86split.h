@@ -26,6 +26,13 @@ struct SamcX86SplitOptions {
   std::uint32_t block_size = 32;
   /// Inter-byte context within each stream's model.
   unsigned context_bits = 1;
+  /// Independent entropy streams per block (1..16). A block's instructions
+  /// are partitioned into K contiguous chunks; each chunk is a
+  /// self-contained mini-stream (its own 8-bit instruction count plus the
+  /// opcode/ModRM/immediate phases) behind the core/streams.h frame, so a
+  /// decoder can attach any chunk without touching the others. K = 1 keeps
+  /// the legacy frameless format byte-identical.
+  unsigned entropy_streams = 1;
 };
 
 class SamcX86SplitCodec final : public core::BlockCodec {

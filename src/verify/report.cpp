@@ -54,7 +54,7 @@ std::string VerifyReport::to_string() const {
 
 namespace {
 
-constexpr std::array<CheckInfo, 38> kCatalogue = {{
+constexpr std::array<CheckInfo, 40> kCatalogue = {{
     // Container framing + integrity.
     {"SER001", Severity::kError, "container truncated or unparseable"},
     {"SER002", Severity::kError, "integrity checksum (CRC-32 trailer) mismatch"},
@@ -101,6 +101,9 @@ constexpr std::array<CheckInfo, 38> kCatalogue = {{
     {"MKV005", Severity::kInfo, "unreachable Markov tree copy (dead table bytes)"},
     {"MKV006", Severity::kError, "nibble-mode engine constraints violated"},
     {"MKV007", Severity::kError, "model word width incompatible with the block size"},
+    // Multi-stream block frames (core/streams.h).
+    {"STR001", Severity::kError, "entropy stream count out of range for the codec"},
+    {"STR002", Severity::kError, "block payload inconsistent with its stream frame"},
 }};
 
 constexpr std::array<CheckInfo, 6> kCfgCatalogue = {{

@@ -13,6 +13,7 @@
 
 #include "coding/huffman.h"
 #include "coding/markov.h"
+#include "core/streams.h"
 #include "isa/mips/mips.h"
 #include "isa/x86/x86.h"
 #include "sadc/symbols.h"
@@ -298,6 +299,32 @@ std::vector<std::string> read_opcode_strings(ByteSource& src, VerifyReport& repo
   return strings;
 }
 
+// STR001/STR002: the multi-stream block frame (core/streams.h). The stream
+// count is a table-level property; every block's payload must then be
+// sliceable into that many sub-streams without the frame overrunning it.
+// `items_per_block` bounds a sensible count for fixed-rate codecs (words
+// per block); pass 0 when the per-block item count varies (x86 split).
+void check_entropy_streams(std::uint8_t streams, const core::CompressedImage& image,
+                           std::size_t items_per_block, VerifyReport& report) {
+  if (streams < 1 || streams > core::kMaxEntropyStreams) {
+    emit(report, "STR001",
+         "entropy stream count " + std::to_string(streams) + " outside [1, 16]");
+    return;
+  }
+  if (items_per_block != 0 && streams > items_per_block)
+    emit(report, "STR001", "entropy stream count " + std::to_string(streams) +
+                               " exceeds the block's " + std::to_string(items_per_block) +
+                               " coding items");
+  for (std::size_t b = 0; b < image.block_count(); ++b) {
+    try {
+      (void)core::split_stream_block(image.block_payload(b), streams);
+    } catch (const Error& e) {
+      emit(report, "STR002", "block " + std::to_string(b) + ": " + e.what());
+      return;  // one structural finding is enough; later blocks add noise
+    }
+  }
+}
+
 }  // namespace
 
 namespace detail {
@@ -310,10 +337,16 @@ void check_tables(const core::CompressedImage& image, VerifyReport& report) {
     switch (image.codec()) {
       case core::CodecKind::kSamc: {
         component = "SAMC model";
+        // Tables layout: [u8 coder mode][u8 entropy streams][model].
         const std::uint8_t engine = src.u8();
+        if (engine > 2) emit(report, "TBL001", "unknown SAMC coder mode byte");
+        const std::uint8_t streams = src.u8();
         const MarkovModel model = MarkovModel::deserialize(src);
         check_markov(model, component, image.block_size(), report);
-        if (engine != 0) {
+        check_entropy_streams(
+            streams, image,
+            image.block_size() / (model.config().division.word_bits / 8), report);
+        if (engine == 1) {
           // Nibble-parallel engine (Fig. 5): interval updates are shift-only
           // and renormalization is nibble-granular, so the model must honour
           // the hardware's constraints.
@@ -331,6 +364,9 @@ void check_tables(const core::CompressedImage& image, VerifyReport& report) {
         break;
       }
       case core::CodecKind::kSamcX86Split: {
+        component = "SAMC-split tables";
+        // Layout: [u8 entropy streams][opcode model][modrm model][imm model].
+        const std::uint8_t streams = src.u8();
         const char* names[3] = {"opcode model", "modrm model", "imm model"};
         for (const char* name : names) {
           component = name;
@@ -341,6 +377,8 @@ void check_tables(const core::CompressedImage& image, VerifyReport& report) {
           else
             check_markov(model, name, image.block_size(), report);
         }
+        // Instructions per block vary, so only the frame itself is checked.
+        check_entropy_streams(streams, image, 0, report);
         break;
       }
       case core::CodecKind::kSadc: {

@@ -34,21 +34,27 @@ std::vector<std::uint8_t> small_x86_code(const char* name, std::uint32_t kb) {
   return workload::generate_x86(p);
 }
 
-// Compress `code`, then decode every block through both engines and demand
-// identical bytes — and demand both match the original program, so a shared
-// bug in the two engines cannot hide.
+// Compress `code`, then decode every block through all three engines and
+// demand identical bytes — and demand they match the original program, so a
+// shared bug in the engines cannot hide. With entropy_streams > 1 the kPlan
+// engine runs the interleaved loop while kPlanSerial decodes the same
+// chunks one after another, so this is also the interleaved-vs-serial
+// byte-identity proof the tentpole requires.
 void expect_plan_matches_cursor(const SamcCodec& codec, std::span<const std::uint8_t> code) {
   const auto image = codec.compress(code);
   const auto plan = codec.make_decompressor(image, DecodeEngine::kPlan);
+  const auto serial = codec.make_decompressor(image, DecodeEngine::kPlanSerial);
   const auto cursor = codec.make_decompressor(image, DecodeEngine::kCursor);
   std::size_t at = 0;
   for (std::size_t b = 0; b < image.block_count(); ++b) {
     const auto p = plan->block(b);
+    const auto s = serial->block(b);
     const auto c = cursor->block(b);
-    ASSERT_EQ(p, c) << "engines disagree at block " << b;
+    ASSERT_EQ(p, c) << "plan and cursor engines disagree at block " << b;
+    ASSERT_EQ(p, s) << "interleaved and serial plan disagree at block " << b;
     ASSERT_LE(at + p.size(), code.size());
     ASSERT_TRUE(std::equal(p.begin(), p.end(), code.begin() + static_cast<long>(at)))
-        << "both engines wrong at block " << b;
+        << "all engines wrong at block " << b;
     at += p.size();
   }
   EXPECT_EQ(at, code.size());
@@ -145,6 +151,139 @@ TEST(DecodePlan, OversizedModelIsRefusedAndCursorFallbackDecodes) {
   // Both engine selections must behave identically (both run the cursor).
   expect_plan_matches_cursor(codec, code);
   EXPECT_EQ(image.original_size(), code.size());
+}
+
+TEST(DecodePlan, InterleavedMatchesSerialAcrossStreamsAndContexts) {
+  // The tentpole equivalence sweep: every K x context-depth combination
+  // must produce byte-identical output from the interleaved loop (kPlan),
+  // the chunk-serial plan (kPlanSerial), and the cursor walk.
+  const auto code = small_mips_code("go", 8);
+  for (unsigned streams : {1u, 2u, 4u, 8u}) {
+    for (unsigned context_bits : {0u, 1u, 2u, 3u, 4u}) {
+      SamcOptions opt = mips_defaults();
+      opt.entropy_streams = streams;
+      opt.markov.context_bits = context_bits;
+      SCOPED_TRACE(::testing::Message() << "K=" << streams << " ctx=" << context_bits);
+      expect_plan_matches_cursor(SamcCodec(opt), code);
+    }
+  }
+}
+
+TEST(DecodePlan, InterleavedMatchesSerialWithRansBackend) {
+  const auto code = small_mips_code("gcc", 8);
+  for (unsigned streams : {1u, 2u, 4u, 8u}) {
+    for (unsigned context_bits : {0u, 2u, 4u}) {
+      SamcOptions opt = mips_defaults();
+      opt.entropy_coder = EntropyCoder::kRans;
+      opt.entropy_streams = streams;
+      opt.markov.context_bits = context_bits;
+      SCOPED_TRACE(::testing::Message() << "K=" << streams << " ctx=" << context_bits);
+      expect_plan_matches_cursor(SamcCodec(opt), code);
+    }
+  }
+}
+
+TEST(DecodePlan, MultiStreamNibbleModeMatchesCursor) {
+  const auto code = small_mips_code("go", 8);
+  for (unsigned streams : {2u, 4u}) {
+    SamcOptions opt = mips_defaults();
+    opt.parallel_nibble_mode = true;
+    opt.markov.quantized = true;
+    opt.markov.max_shift = 8;
+    opt.entropy_streams = streams;
+    SCOPED_TRACE(streams);
+    expect_plan_matches_cursor(SamcCodec(opt), code);
+  }
+}
+
+TEST(DecodePlan, MultiStreamX86ByteStreamMatchesCursor) {
+  const auto code = small_x86_code("ijpeg", 8);
+  for (unsigned streams : {2u, 4u, 8u}) {
+    SamcOptions opt = x86_defaults();
+    opt.entropy_streams = streams;
+    SCOPED_TRACE(streams);
+    expect_plan_matches_cursor(SamcCodec(opt), code);
+  }
+}
+
+TEST(DecodePlan, RuntimeStreamCountUsesGenericInterleaveBody) {
+  // K values without a fixed-K template instantiation (3, 5) go through the
+  // runtime-K interleave body; it must be just as bit-exact.
+  const auto code = small_mips_code("compress", 8);
+  for (unsigned streams : {3u, 5u}) {
+    SamcOptions opt = mips_defaults();
+    opt.entropy_streams = streams;
+    SCOPED_TRACE(streams);
+    expect_plan_matches_cursor(SamcCodec(opt), code);
+  }
+}
+
+TEST(DecodePlan, X86SplitMultiStreamRoundTrips) {
+  const auto code = small_x86_code("gcc", 8);
+  for (unsigned streams : {1u, 2u, 4u, 8u}) {
+    SamcX86SplitOptions opt;
+    opt.entropy_streams = streams;
+    const SamcX86SplitCodec codec(opt);
+    SCOPED_TRACE(streams);
+    const auto image = codec.compress_verified(code);  // throws on mismatch
+    EXPECT_EQ(image.original_size(), code.size());
+  }
+}
+
+TEST(DecodePlan, RejectsUnsupportedStreamCounts) {
+  // Typed ConfigError, not an assert: the CLI surfaces these verbatim.
+  {
+    SamcOptions opt = mips_defaults();
+    opt.entropy_streams = 0;
+    EXPECT_THROW(SamcCodec{opt}, ConfigError);
+  }
+  {
+    SamcOptions opt = mips_defaults();
+    opt.entropy_streams = 17;
+    EXPECT_THROW(SamcCodec{opt}, ConfigError);
+  }
+  {
+    // 32-byte blocks of 4-byte words hold 8 words; K = 16 cannot give every
+    // stream work.
+    SamcOptions opt = mips_defaults();
+    opt.entropy_streams = 16;
+    EXPECT_THROW(SamcCodec{opt}, ConfigError);
+  }
+  {
+    SamcOptions opt = mips_defaults();
+    opt.parallel_nibble_mode = true;
+    opt.markov.quantized = true;
+    opt.markov.max_shift = 8;
+    opt.entropy_coder = EntropyCoder::kRans;
+    EXPECT_THROW(SamcCodec{opt}, ConfigError);
+  }
+  {
+    SamcX86SplitOptions opt;
+    opt.entropy_streams = 17;
+    EXPECT_THROW(SamcX86SplitCodec{opt}, ConfigError);
+  }
+}
+
+TEST(DecodePlan, MultiStreamFallsBackToCursorWhenPlanNotViable) {
+  // Same oversized model as OversizedModelIsRefused... but with K = 4: the
+  // non-viable plan must drop every engine to the chunk-serial cursor walk
+  // and still round-trip each sub-stream.
+  coding::StreamDivision div;
+  div.word_bits = 32;
+  div.streams.resize(2);
+  for (int b = 31; b >= 16; --b) div.streams[0].push_back(static_cast<std::uint8_t>(b));
+  for (int b = 15; b >= 0; --b) div.streams[1].push_back(static_cast<std::uint8_t>(b));
+  div.validate();
+
+  SamcOptions opt = mips_defaults();
+  opt.markov.division = div;
+  opt.markov.context_bits = 5;
+  opt.entropy_streams = 4;
+  const SamcCodec codec(opt);
+  EXPECT_FALSE(coding::MarkovDecodePlan(codec.train_model(small_mips_code("go", 4))).viable());
+  const auto code = small_mips_code("go", 4);
+  codec.compress_verified(code);  // throws on mismatch
+  expect_plan_matches_cursor(codec, code);
 }
 
 TEST(DecodePlan, DecompressAllIsDeterministicAcrossThreadCounts) {
