@@ -3,7 +3,10 @@
 // power consumption"; compressed refills move fewer bytes over the
 // power-hungry off-chip bus, at the price of decoder switching energy.
 #include <cstdio>
+#include <string>
+#include <utility>
 
+#include "analysis/certificate.h"
 #include "bench_common.h"
 #include "isa/mips/mips.h"
 #include "memsys/sim.h"
@@ -49,6 +52,19 @@ int main(int argc, char** argv) {
     json.add(p.name, "base_energy_per_fetch", base.energy_per_fetch_nj(), "nJ");
     json.add(p.name, "samc_energy_per_fetch", samc_run.energy_per_fetch_nj(), "nJ");
     json.add(p.name, "sadc_energy_per_fetch", sadc_run.energy_per_fetch_nj(), "nJ");
+    // Certified worst-case refill cycles for each image (decode
+    // certificate fed through the same refill calibration): the energy
+    // means above come from one trace, the WCET bound holds for any trace.
+    for (const auto& [codec, img] : {std::pair<const char*, const core::CompressedImage&>{
+                                         "samc", samc_image},
+                                     {"sadc", sadc_image}}) {
+      const analysis::DecodeCertificate cert = analysis::certify(img);
+      json.add(p.name, std::string(codec) + "_certified_wcet_cycles",
+               static_cast<double>(analysis::certified_block_cycles(
+                   cert, config.refill.memory_latency, config.refill.cycles_per_byte,
+                   config.refill.decode_startup, config.refill.decode_bits_per_cycle)),
+               "cycles");
+    }
     std::fflush(stdout);
   }
   std::printf("\nCompressed refills transfer ~half the bytes; whether that nets a\n"

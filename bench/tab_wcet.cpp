@@ -1,0 +1,142 @@
+// Table T-WCET: certified vs. observed worst-case block decode cost.
+//
+// For every codec x ISA x stream-count configuration the analysis engine
+// (src/analysis) proves a per-block payload bound and, through the memory
+// system's RefillModel calibration, a certified worst-case block-decode
+// cycle count. This table puts the proof next to reality: the observed
+// worst case is the cycle cost of the *largest block actually emitted* for
+// the synthetic SPEC95 suite, computed with the same RefillModel. The
+// certified/observed ratio is the soundness-and-usefulness headline —
+// soundness requires ratio >= 1 for every row (the proof may never
+// understate), usefulness wants it small (a loose proof certifies nothing
+// interesting). CI's certify-suite job gates on both, diffing this bench's
+// JSON against the committed bench_results/tab_wcet.json baseline so bound
+// regressions (a looser cost model, a codec emitting fatter blocks) are
+// caught at review time.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/certificate.h"
+#include "baseline/bytehuff.h"
+#include "bench_common.h"
+#include "core/codec.h"
+#include "isa/mips/mips.h"
+#include "memsys/sim.h"
+#include "sadc/sadc.h"
+#include "samc/samc.h"
+#include "samc/samc_x86split.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+#include "workload/x86_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace ccomp;
+  const double scale = bench::parse_scale(argc, argv);
+  bench::JsonReporter json("tab_wcet", argc, argv);
+  std::printf("Table T-WCET: certified vs observed worst-case block decode (scale=%.2f)\n\n",
+              scale);
+
+  // The refill calibration every number runs through — identical to the
+  // memsys simulator defaults, so certified cycles are directly comparable
+  // to sim traces.
+  const memsys::RefillModel refill{};
+  std::printf(
+      "refill model: latency=%u cycles, %u cycle(s)/byte, startup=%u, decode=%u bits/cycle\n\n",
+      refill.memory_latency, refill.cycles_per_byte, refill.decode_startup,
+      refill.decode_bits_per_cycle);
+
+  struct Config {
+    const char* name;
+    std::unique_ptr<core::BlockCodec> codec;
+    bool x86;
+    unsigned streams;
+  };
+  const auto samc = [](unsigned streams, samc::EntropyCoder coder, bool x86) {
+    samc::SamcOptions o = x86 ? samc::x86_defaults() : samc::mips_defaults();
+    o.entropy_streams = streams;
+    o.entropy_coder = coder;
+    return std::make_unique<samc::SamcCodec>(o);
+  };
+  std::vector<Config> configs;
+  configs.push_back({"samc_mips_k1", samc(1, samc::EntropyCoder::kRange, false), false, 1});
+  configs.push_back({"samc_mips_k4_range", samc(4, samc::EntropyCoder::kRange, false), false, 4});
+  configs.push_back({"samc_mips_k4_rans", samc(4, samc::EntropyCoder::kRans, false), false, 4});
+  configs.push_back({"samc_x86_k1", samc(1, samc::EntropyCoder::kRange, true), true, 1});
+  configs.push_back({"sadc_mips", std::make_unique<sadc::SadcMipsCodec>(), false, 1});
+  configs.push_back({"sadc_x86", std::make_unique<sadc::SadcX86Codec>(), true, 1});
+  configs.push_back({"samc_split_x86", std::make_unique<samc::SamcX86SplitCodec>(), true, 1});
+  configs.push_back(
+      {"bytehuff_mips", std::make_unique<baseline::ByteHuffmanCodec>(), false, 1});
+
+  // One representative workload per ISA — big enough that the worst block
+  // is a stable statistic, small enough to keep the bench quick.
+  workload::Profile p = bench::scaled_profile(*workload::find_profile("go"), scale);
+  const auto mips_code = mips::words_to_bytes(workload::generate_mips(p));
+  const auto x86_code = workload::generate_x86(p);
+
+  std::printf("%-20s %10s %10s %12s %12s %7s\n", "config", "cert B/blk", "obs B/blk",
+              "model cyc", "obs cyc", "ratio");
+  bool sound = true;
+  for (const Config& cfg : configs) {
+    const auto& code = cfg.x86 ? x86_code : mips_code;
+    const core::CompressedImage image = cfg.codec->compress(code);
+    const analysis::DecodeCertificate cert = analysis::certify(image);
+    if (!cert.certified()) {
+      std::printf("%-20s NOT CERTIFIED (%s)\n", cfg.name,
+                  std::string(analysis::verdict_name(cert.verdict)).c_str());
+      for (const std::string& why : cert.failures) std::printf("    %s\n", why.c_str());
+      sound = false;
+      continue;
+    }
+
+    // Observed worst case: the fattest block the codec actually produced,
+    // costed through the same refill model the certificate uses.
+    std::size_t worst_payload = 0;
+    for (std::size_t b = 0; b < image.block_count(); ++b)
+      worst_payload = std::max(worst_payload, image.block_payload(b).size());
+    const std::uint64_t decode_cycles =
+        (8u * image.block_size() + refill.decode_bits_per_cycle - 1) /
+        refill.decode_bits_per_cycle;
+    const std::uint64_t observed_cycles =
+        refill.memory_latency + refill.cycles_per_byte * worst_payload + refill.decode_startup +
+        decode_cycles;
+    // Two certified numbers: certified_cycles uses the image's statically
+    // known worst payload (exact for this image, the number a scheduler
+    // budgets), model_cycles uses the model-level bound model_block_bytes —
+    // the cost any block *could* have under these tables, i.e. the bound
+    // that survives re-encoding with the same model. The ratio column
+    // reports model vs observed: >= 1 proves soundness, and how far above 1
+    // measures how loose the abstract interpretation is.
+    const std::uint64_t certified_cycles = analysis::certified_block_cycles(
+        cert, refill.memory_latency, refill.cycles_per_byte, refill.decode_startup,
+        refill.decode_bits_per_cycle);
+    const std::uint64_t model_cycles = refill.memory_latency +
+                                       refill.cycles_per_byte * cert.model_block_bytes +
+                                       refill.decode_startup + decode_cycles;
+    const double ratio = static_cast<double>(model_cycles) / static_cast<double>(observed_cycles);
+    if (certified_cycles < observed_cycles || cert.model_block_bytes < worst_payload)
+      sound = false;
+
+    std::printf("%-20s %10llu %10zu %12llu %12llu %6.2fx\n", cfg.name,
+                static_cast<unsigned long long>(cert.model_block_bytes), worst_payload,
+                static_cast<unsigned long long>(model_cycles),
+                static_cast<unsigned long long>(observed_cycles), ratio);
+    json.add(cfg.name, "certified_block_bytes", static_cast<double>(cert.model_block_bytes),
+             "bytes", cfg.streams, "");
+    json.add(cfg.name, "observed_block_bytes", static_cast<double>(worst_payload), "bytes",
+             cfg.streams, "");
+    json.add(cfg.name, "certified_cycles", static_cast<double>(certified_cycles), "cycles",
+             cfg.streams, "");
+    json.add(cfg.name, "model_cycles", static_cast<double>(model_cycles), "cycles", cfg.streams,
+             "");
+    json.add(cfg.name, "observed_cycles", static_cast<double>(observed_cycles), "cycles",
+             cfg.streams, "");
+    json.add(cfg.name, "cert_over_observed", ratio, "ratio", cfg.streams, "");
+  }
+  std::printf("\nsoundness: certified >= observed for %s\n",
+              sound ? "every config" : "SOME CONFIGS VIOLATED — analysis bug");
+  return sound ? 0 : 1;
+}

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/certificate.h"
 #include "baseline/bytehuff.h"
 #include "isa/mips/asm.h"
 #include "isa/mips/mips.h"
@@ -157,6 +158,7 @@ int cmd_compress(int argc, char** argv) {
   std::uint32_t block = 32;
   long streams = 1;
   bool verify_static = false;
+  bool certify = false;
   for (int i = 4; i < argc; ++i) {
     if (std::strncmp(argv[i], "--codec=", 8) == 0) codec = argv[i] + 8;
     else if (std::strncmp(argv[i], "--isa=", 6) == 0) isa = argv[i] + 6;
@@ -168,6 +170,8 @@ int cmd_compress(int argc, char** argv) {
       coder = argv[i] + 8;
     else if (std::strcmp(argv[i], "--verify-static") == 0)
       verify_static = true;
+    else if (std::strcmp(argv[i], "--certify") == 0)
+      certify = true;
   }
   // Clamp-free: a nonsense count (0, negative, > 16) must reach the codec's
   // own validation and come back as a typed ConfigError, not be silently
@@ -176,7 +180,23 @@ int cmd_compress(int argc, char** argv) {
   const unsigned streams_u = streams < 0 ? 0u : static_cast<unsigned>(streams);
   const auto code = read_file(argv[2]);
   const auto c = make_codec(codec, isa, block, streams_u, coder);
-  const core::CompressedImage image = c->compress_verified(code);
+  core::CompressedImage image = c->compress_verified(code);
+  if (certify) {
+    // Prove the worst-case decode bounds and embed the certificate in the
+    // container; strict loaders can then demand it at load time.
+    const analysis::DecodeCertificate cert = analysis::certify(image);
+    std::printf("certificate: %s (%s, %u states, <=%u bits/byte, <=%llu model bytes/block)\n",
+                std::string(analysis::verdict_name(cert.verdict)).c_str(),
+                cert.exhaustive ? "exhaustive" : "widened", cert.explored_states,
+                cert.max_bits_per_byte,
+                static_cast<unsigned long long>(cert.model_block_bytes));
+    for (const std::string& reason : cert.failures)
+      std::printf("  certificate: %s\n", reason.c_str());
+    if (!cert.certified()) return 1;
+    ByteSink blob;
+    cert.serialize(blob);
+    image.attach_certificate(blob.take());
+  }
   ByteSink sink;
   image.serialize(sink);
   const auto bytes = sink.take();
@@ -225,6 +245,17 @@ int cmd_info(int argc, char** argv) {
   std::printf("tables:     %zu bytes\n", s.tables);
   std::printf("LAT:        %zu bytes\n", s.lat);
   std::printf("ratio:      %.4f (%.4f with LAT)\n", s.ratio(), s.ratio_with_lat());
+  if (image.has_certificate()) {
+    ByteSource cert_src(image.certificate());
+    const analysis::DecodeCertificate cert = analysis::DecodeCertificate::deserialize(cert_src);
+    std::printf("certified:  %s (<=%u bits/byte, <=%llu bits/block, depth %u)\n",
+                std::string(analysis::verdict_name(cert.verdict)).c_str(),
+                cert.max_bits_per_byte,
+                static_cast<unsigned long long>(cert.max_bits_per_block),
+                cert.max_decode_depth);
+  } else {
+    std::printf("certified:  no certificate section\n");
+  }
   return 0;
 }
 
@@ -259,6 +290,9 @@ void print_help(const char* prog) {
       "                             [--coder=range|rans]  SAMC entropy coder\n"
       "                             [--verify-static]  run the image linter\n"
       "                             on the result; nonzero exit on errors\n"
+      "                             [--certify]  prove worst-case decode\n"
+      "                             bounds and embed the certificate in the\n"
+      "                             container; nonzero exit when uncertified\n"
       "  decompress <in.ccmp> <out>\n"
       "  info       <in.ccmp>\n"
       "  asm        <in.s> <out.bin>   assemble MIPS source\n"

@@ -10,9 +10,14 @@
 //   ccomp_lint --suite [--kb=N]                       lint every image the
 //       SAMC/SADC/SAMC-split codecs produce over the synthetic SPEC95 suite
 //       (N kB per benchmark; 0 = each profile's full size; default 16)
-//   ccomp_lint --checks                               print the check catalogue
+//   ccomp_lint --checks[=ID,...]                      print the check catalogue
+//       (optionally only the listed IDs; unknown IDs are rejected)
+//   ccomp_lint --certify ...                          also run the decode-
+//       certificate layer (ANA/WCB): prove worst-case decode bounds and
+//       termination; kUnbounded and kFailed verdicts are errors
 //
 // Exit status: 0 = no error-severity findings, 1 = errors found, 2 = usage.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -25,6 +30,7 @@
 #include "sadc/sadc.h"
 #include "samc/samc.h"
 #include "samc/samc_x86split.h"
+#include "support/error.h"
 #include "support/parallel.h"
 #include "verify/verify.h"
 #include "workload/mips_gen.h"
@@ -71,18 +77,56 @@ void tally(const verify::VerifyReport& report, std::map<std::string, std::size_t
   for (const verify::Finding& f : report.findings()) ++by_check[f.check];
 }
 
-int cmd_checks() {
+/// Print the catalogue, optionally restricted to a comma-separated ID list.
+/// An unknown ID is a typed ConfigError naming the valid IDs — silently
+/// matching nothing would turn a typo into a false "nothing to report".
+int cmd_checks(const char* filter) {
+  std::vector<std::string> wanted;
+  if (filter != nullptr && *filter != '\0') {
+    std::string list(filter);
+    std::size_t begin = 0;
+    while (begin <= list.size()) {
+      const std::size_t comma = list.find(',', begin);
+      const std::string id =
+          list.substr(begin, comma == std::string::npos ? std::string::npos : comma - begin);
+      if (!id.empty()) {
+        bool known = false;
+        for (const verify::CheckInfo& info : verify::check_catalogue())
+          if (id == info.id) {
+            known = true;
+            break;
+          }
+        if (!known) {
+          std::string valid;
+          for (const verify::CheckInfo& info : verify::check_catalogue()) {
+            if (!valid.empty()) valid += ", ";
+            valid += info.id;
+          }
+          throw ConfigError("unknown check id '" + id + "'; valid ids: " + valid);
+        }
+        wanted.push_back(id);
+      }
+      if (comma == std::string::npos) break;
+      begin = comma + 1;
+    }
+    if (wanted.empty()) throw ConfigError("--checks= needs at least one check id");
+  }
   std::printf("%-8s %-6s %s\n", "check", "level", "invariant");
-  for (const verify::CheckInfo& info : verify::check_catalogue())
+  for (const verify::CheckInfo& info : verify::check_catalogue()) {
+    if (!wanted.empty() &&
+        std::find(wanted.begin(), wanted.end(), info.id) == wanted.end())
+      continue;
     std::printf("%-8s %-6s %s\n", info.id,
                 std::string(verify::severity_name(info.severity)).c_str(), info.summary);
+  }
   return 0;
 }
 
-int cmd_lint_file(const char* image_path, const char* code_path) {
+int cmd_lint_file(const char* image_path, const char* code_path, bool certify) {
   const std::vector<std::uint8_t> bytes = read_file(image_path);
   std::vector<std::uint8_t> code;
   verify::VerifyOptions opts;
+  opts.certify = certify;
   if (code_path != nullptr) {
     code = read_file(code_path);
     opts.original_code = code;
@@ -101,7 +145,7 @@ std::vector<std::uint8_t> serialized(const core::CompressedImage& image) {
   return sink.take();
 }
 
-int cmd_suite(std::uint32_t kb) {
+int cmd_suite(std::uint32_t kb, bool certify) {
   std::size_t errors = 0;
   std::size_t images = 0;
   std::map<std::string, std::size_t> by_check;
@@ -136,6 +180,7 @@ int cmd_suite(std::uint32_t kb) {
         const core::CompressedImage image = job.codec->compress(*job.code);
         verify::VerifyOptions opts;
         opts.original_code = *job.code;
+        opts.certify = certify;
         const verify::VerifyReport report = verify::verify_serialized(serialized(image), opts);
         tally(report, by_check);
         if (!report.ok()) ++errors;
@@ -157,9 +202,9 @@ int cmd_suite(std::uint32_t kb) {
 
 void print_help(const char* prog) {
   std::printf(
-      "usage: %s <image.ccmp> [--code=<original.bin>]\n"
-      "       %s --suite [--kb=N]\n"
-      "       %s --checks\n",
+      "usage: %s <image.ccmp> [--code=<original.bin>] [--certify]\n"
+      "       %s --suite [--kb=N] [--certify]\n"
+      "       %s --checks[=ID,...]\n",
       prog, prog, prog);
 }
 
@@ -168,11 +213,20 @@ void print_help(const char* prog) {
 int main(int argc, char** argv) {
   const char* image_path = nullptr;
   const char* code_path = nullptr;
+  const char* checks_filter = nullptr;
+  bool checks_mode = false;
   bool suite = false;
+  bool certify = false;
   std::uint32_t kb = 16;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--checks") == 0) return cmd_checks();
-    if (std::strcmp(argv[i], "--suite") == 0) {
+    if (std::strcmp(argv[i], "--checks") == 0) {
+      checks_mode = true;
+    } else if (std::strncmp(argv[i], "--checks=", 9) == 0) {
+      checks_mode = true;
+      checks_filter = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--certify") == 0) {
+      certify = true;
+    } else if (std::strcmp(argv[i], "--suite") == 0) {
       suite = true;
     } else if (std::strncmp(argv[i], "--kb=", 5) == 0) {
       kb = static_cast<std::uint32_t>(std::atoi(argv[i] + 5));
@@ -191,12 +245,13 @@ int main(int argc, char** argv) {
     }
   }
   try {
-    if (suite) return cmd_suite(kb);
+    if (checks_mode) return cmd_checks(checks_filter);
+    if (suite) return cmd_suite(kb, certify);
     if (image_path == nullptr) {
       print_help(argv[0]);
       return 2;
     }
-    return cmd_lint_file(image_path, code_path);
+    return cmd_lint_file(image_path, code_path, certify);
   } catch (const ccomp::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -1,0 +1,788 @@
+#include "analysis/certificate.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coding/huffman.h"
+#include "coding/markov.h"
+#include "core/streams.h"
+#include "obs/obs.h"
+#include "sadc/symbols.h"
+#include "support/error.h"
+
+namespace ccomp::analysis {
+
+std::string_view verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kCertified:
+      return "certified";
+    case Verdict::kFailed:
+      return "failed";
+    case Verdict::kUnbounded:
+      return "unbounded";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Certificate blob (de)serialization.
+
+namespace {
+constexpr std::uint8_t kCertVersion = 1;
+constexpr std::uint8_t kCertFlagExhaustive = 0x01;
+constexpr std::uint8_t kCertFlagTerminates = 0x02;
+}  // namespace
+
+void DecodeCertificate::serialize(ByteSink& sink) const {
+  sink.u8(kCertVersion);
+  sink.u8(static_cast<std::uint8_t>(verdict));
+  std::uint8_t flags = 0;
+  if (exhaustive) flags |= kCertFlagExhaustive;
+  if (terminates) flags |= kCertFlagTerminates;
+  sink.u8(flags);
+  sink.u32(explored_states);
+  sink.u32(max_fanout);
+  sink.u32(max_decode_depth);
+  sink.u32(max_phase1_fuel);
+  sink.u32(max_bits_per_byte);
+  sink.u64(max_bits_per_block);
+  sink.u64(model_block_bytes);
+  sink.u32(max_block_payload_bytes);
+  sink.u32(block_size);
+  sink.varint(failures.size());
+  for (const std::string& reason : failures) {
+    sink.sized_bytes(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(reason.data()), reason.size()));
+  }
+}
+
+DecodeCertificate DecodeCertificate::deserialize(ByteSource& src) {
+  if (src.u8() != kCertVersion) throw CorruptDataError("unknown certificate version");
+  DecodeCertificate cert;
+  const std::uint8_t verdict = src.u8();
+  if (verdict > static_cast<std::uint8_t>(Verdict::kUnbounded))
+    throw CorruptDataError("unknown certificate verdict");
+  cert.verdict = static_cast<Verdict>(verdict);
+  const std::uint8_t flags = src.u8();
+  if ((flags & ~(kCertFlagExhaustive | kCertFlagTerminates)) != 0)
+    throw CorruptDataError("unknown certificate flags");
+  cert.exhaustive = (flags & kCertFlagExhaustive) != 0;
+  cert.terminates = (flags & kCertFlagTerminates) != 0;
+  cert.explored_states = src.u32();
+  cert.max_fanout = src.u32();
+  cert.max_decode_depth = src.u32();
+  cert.max_phase1_fuel = src.u32();
+  cert.max_bits_per_byte = src.u32();
+  cert.max_bits_per_block = src.u64();
+  cert.model_block_bytes = src.u64();
+  cert.max_block_payload_bytes = src.u32();
+  cert.block_size = src.u32();
+  const std::uint64_t reasons = src.varint();
+  if (reasons > 256) throw CorruptDataError("implausible certificate failure count");
+  cert.failures.reserve(static_cast<std::size_t>(reasons));
+  for (std::uint64_t i = 0; i < reasons; ++i) {
+    const std::span<const std::uint8_t> bytes = src.sized_bytes_view();
+    cert.failures.emplace_back(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  }
+  return cert;
+}
+
+std::uint64_t certified_block_cycles(const DecodeCertificate& cert,
+                                     std::uint32_t memory_latency, std::uint32_t cycles_per_byte,
+                                     std::uint32_t decode_startup,
+                                     std::uint32_t decode_bits_per_cycle) {
+  if (!cert.certified()) return 0;
+  const std::uint64_t output_bits = std::uint64_t{8} * cert.block_size;
+  const std::uint64_t bits_per_cycle = decode_bits_per_cycle == 0 ? 1 : decode_bits_per_cycle;
+  return std::uint64_t{memory_latency} +
+         std::uint64_t{cycles_per_byte} * cert.max_block_payload_bytes +
+         std::uint64_t{decode_startup} + (output_bits + bits_per_cycle - 1) / bits_per_cycle;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Transition cost model.
+//
+// Costs are in 1/256-bit fixed point. A decode step taking the branch with
+// effective probability p (out of 2^16) consumes -log2(p / 2^16) bits of
+// coder state, plus the coder's integer-truncation loss: both backends keep
+// range/state >= 2^24 before a step, so the midpoint (range >> 16) * p
+// understates the exact product by < 2^-8 relatively, costing at most
+// -log2(1 - 2^-8) ~= 0.0057 extra bits per step — covered by 2/256 of
+// slack. Renormalization is byte-granular from a 4-byte attach with the
+// live register always in [2^24, 2^32), so total bytes consumed over a
+// chunk of S content bits is at most attach(4) + ceil(S/8) + 1; one more
+// byte of margin absorbs the encoder's flush tail rounding.
+
+constexpr std::uint64_t kUnitsPerBit = 256;
+constexpr std::uint64_t kUnitsPerByte = 8 * kUnitsPerBit;
+constexpr std::uint32_t kSlackUnits = 2;
+constexpr std::uint64_t kCoderAttachBytes = 4;
+constexpr std::uint64_t kCoderMarginBytes = 2;
+constexpr std::uint32_t kProbOne = 0x10000u;  // p == 2^16: the branch is certain
+
+/// Cost units of one decode step whose taken branch has effective
+/// probability `p_eff` in (0, 2^16].
+std::uint32_t step_cost_units(std::uint32_t p_eff) {
+  if (p_eff >= kProbOne) return kSlackUnits;  // certain branch: zero coder bits
+  const double bits = std::log2(static_cast<double>(kProbOne) / static_cast<double>(p_eff));
+  return static_cast<std::uint32_t>(std::ceil(bits * static_cast<double>(kUnitsPerBit))) +
+         kSlackUnits;
+}
+
+std::uint64_t units_to_bits_ceil(std::uint64_t units) {
+  return (units + kUnitsPerBit - 1) / kUnitsPerBit;
+}
+
+/// Model-bound payload bytes for one coder chunk holding `units` of content.
+std::uint64_t chunk_payload_bytes(std::uint64_t units) {
+  return kCoderAttachBytes + (units + kUnitsPerByte - 1) / kUnitsPerByte + kCoderMarginBytes;
+}
+
+// ---------------------------------------------------------------------------
+// Tolerant Markov model re-parse.
+//
+// Mirrors coding::MarkovModel::deserialize byte for byte but keeps the
+// pathological values the production parser rejects — zero probabilities
+// (unquantized p == 0) and zero quantized shifts (p == 0 or p == 2^16) —
+// because proving their consequence (a zero-bit decode cycle) is exactly
+// this engine's job. Structural damage (bad division, tree size mismatch,
+// truncation) still throws CorruptDataError.
+
+struct TolerantModel {
+  coding::StreamDivision division;
+  unsigned context_bits = 0;
+  bool connect_across_words = false;
+  std::vector<std::size_t> tree_nodes;          // per stream: 2^width - 1
+  std::vector<std::vector<std::uint32_t>> trees;  // p0 in [0, 2^16], ctx-major
+
+  std::size_t context_count() const { return std::size_t{1} << context_bits; }
+};
+
+TolerantModel parse_tolerant_model(ByteSource& src) {
+  TolerantModel m;
+  m.division = coding::StreamDivision::deserialize(src);
+  m.context_bits = src.u8();
+  const std::uint8_t flags = src.u8();
+  const bool quantized = (flags & 1) != 0;
+  m.connect_across_words = (flags & 2) != 0;
+  (void)src.u8();  // max_shift: a quantization-quality property, not a cost one
+  if (m.context_bits > 8) throw CorruptDataError("context_bits out of range");
+  const std::size_t stream_count = m.division.stream_count();
+  const std::size_t ctx_count = m.context_count();
+  m.tree_nodes.resize(stream_count);
+  m.trees.resize(stream_count);
+  for (std::size_t s = 0; s < stream_count; ++s) {
+    m.tree_nodes[s] = (std::size_t{1} << m.division.streams[s].size()) - 1;
+    const std::uint64_t n = src.varint();
+    if (n != ctx_count * m.tree_nodes[s]) throw CorruptDataError("Markov tree size mismatch");
+    m.trees[s].resize(static_cast<std::size_t>(n));
+    for (std::uint32_t& p : m.trees[s]) {
+      if (quantized) {
+        const std::uint8_t packed = src.u8();
+        const unsigned shift = packed & 0x0F;
+        const std::uint32_t lps = kProbOne >> shift;  // shift 0 => LPS "probability" 1
+        p = (packed & 0x80) ? lps : kProbOne - lps;
+      } else {
+        p = src.u16();
+      }
+    }
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Flattened model graph (the MarkovDecodePlan construction, tolerantly).
+
+constexpr std::uint32_t kNoEdge = 0xFFFFFFFFu;
+
+struct ModelGraph {
+  std::size_t states = 0;
+  std::vector<std::uint32_t> p0;    // per state, in [0, 2^16]
+  std::vector<std::uint32_t> next;  // 2 per state; kNoEdge when the branch is untakeable
+  unsigned word_bits = 0;
+
+  bool edge(std::size_t s, unsigned bit) const { return next[2 * s + bit] != kNoEdge; }
+  /// Effective probability of taking `bit` from state `s`.
+  std::uint32_t p_eff(std::size_t s, unsigned bit) const {
+    return bit == 0 ? p0[s] : kProbOne - p0[s];
+  }
+};
+
+/// Flatten `m` into the (stream, ctx, node) state machine, exactly as
+/// MarkovDecodePlan does, but keeping certain/impossible branches: a branch
+/// with effective probability 0 can never be taken by the coder (its decode
+/// midpoint is empty) and is recorded as absent.
+ModelGraph build_graph(const TolerantModel& m) {
+  ModelGraph g;
+  g.word_bits = m.division.word_bits;
+  const std::size_t stream_count = m.division.stream_count();
+  const std::size_t ctx_count = m.context_count();
+  const std::uint32_t ctx_mask = static_cast<std::uint32_t>(ctx_count - 1);
+  std::vector<std::size_t> stream_base(stream_count + 1, 0);
+  for (std::size_t s = 0; s < stream_count; ++s)
+    stream_base[s + 1] = stream_base[s] + ctx_count * m.tree_nodes[s];
+  g.states = stream_base[stream_count];
+  g.p0.resize(g.states);
+  g.next.assign(2 * g.states, kNoEdge);
+  for (std::size_t s = 0; s < stream_count; ++s) {
+    const std::size_t width = m.division.streams[s].size();
+    const std::size_t tree_nodes = m.tree_nodes[s];
+    const std::size_t next_stream = s + 1 == stream_count ? 0 : s + 1;
+    const std::size_t next_tree_nodes = m.tree_nodes[next_stream];
+    for (std::size_t c = 0; c < ctx_count; ++c) {
+      for (std::size_t n = 0; n < tree_nodes; ++n) {
+        const std::size_t state = stream_base[s] + c * tree_nodes + n;
+        const unsigned depth = static_cast<unsigned>(std::bit_width(n + 1)) - 1u;
+        g.p0[state] = m.trees[s][c * tree_nodes + n];
+        for (unsigned bit = 0; bit < 2; ++bit) {
+          const std::uint32_t p_eff = bit == 0 ? g.p0[state] : kProbOne - g.p0[state];
+          if (p_eff == 0) continue;  // untakeable branch
+          const std::size_t child = 2 * n + 1 + bit;
+          std::size_t succ;
+          if (child < tree_nodes) {
+            succ = stream_base[s] + c * tree_nodes + child;
+          } else {
+            const std::uint32_t path = static_cast<std::uint32_t>(n) - ((1u << depth) - 1);
+            const std::uint32_t v = (path << 1) | bit;
+            std::uint32_t ctx_next =
+                m.context_bits == 0
+                    ? 0
+                    : ((static_cast<std::uint32_t>(c) << width) | v) & ctx_mask;
+            if (next_stream == 0 && !m.connect_across_words) ctx_next = 0;
+            succ = stream_base[next_stream] + ctx_next * next_tree_nodes;
+          }
+          g.next[2 * state + bit] = static_cast<std::uint32_t>(succ);
+        }
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<bool> reachable_states(const ModelGraph& g) {
+  std::vector<bool> seen(g.states, false);
+  std::vector<std::uint32_t> work = {0};
+  seen[0] = true;
+  while (!work.empty()) {
+    const std::uint32_t s = work.back();
+    work.pop_back();
+    for (unsigned bit = 0; bit < 2; ++bit) {
+      if (!g.edge(s, bit)) continue;
+      const std::uint32_t succ = g.next[2 * s + bit];
+      if (!seen[succ]) {
+        seen[succ] = true;
+        work.push_back(succ);
+      }
+    }
+  }
+  return seen;
+}
+
+/// True when the reachable part of `g` contains a cycle every edge of which
+/// consumes zero coder bits (effective probability 2^16). Such a decoder
+/// state can recur without consuming input — the non-termination witness.
+bool has_zero_bit_cycle(const ModelGraph& g, const std::vector<bool>& reachable) {
+  // Work only on states with an outgoing zero-cost edge; iteratively remove
+  // those whose zero-cost successors have all been removed. A non-empty
+  // fixpoint is exactly a zero-cost cycle (plus its zero-cost ancestors).
+  std::vector<std::uint32_t> candidates;
+  std::vector<bool> alive(g.states, false);
+  for (std::size_t s = 0; s < g.states; ++s) {
+    if (!reachable[s]) continue;
+    for (unsigned bit = 0; bit < 2; ++bit) {
+      if (g.edge(s, bit) && g.p_eff(s, static_cast<unsigned>(bit)) >= kProbOne) {
+        candidates.push_back(static_cast<std::uint32_t>(s));
+        alive[s] = true;
+        break;
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::uint32_t s : candidates) {
+      if (!alive[s]) continue;
+      bool keeps_zero_succ = false;
+      for (unsigned bit = 0; bit < 2; ++bit) {
+        if (g.edge(s, bit) && g.p_eff(s, bit) >= kProbOne && alive[g.next[2 * s + bit]]) {
+          keeps_zero_succ = true;
+          break;
+        }
+      }
+      if (!keeps_zero_succ) {
+        alive[s] = false;
+        changed = true;
+      }
+    }
+  }
+  return std::any_of(candidates.begin(), candidates.end(),
+                     [&](std::uint32_t s) { return alive[s]; });
+}
+
+/// Worst-case decode cost analysis of one Markov model graph.
+struct ModelCost {
+  bool widened = false;
+  bool terminates = false;
+  std::size_t states = 0;
+  std::uint32_t max_fanout = 0;
+  std::uint32_t max_step_units = 0;  // worst single reachable transition
+  std::uint64_t word_units = 0;      // worst word_bits consecutive steps
+  /// series[t] = worst cost of t steps from the start-of-chunk state;
+  /// series.size() == max_steps + 1. Empty when widened (use max_step_units
+  /// * steps instead).
+  std::vector<std::uint64_t> series;
+
+  std::uint64_t chunk_units(std::size_t steps) const {
+    if (!series.empty()) return series[steps];
+    return static_cast<std::uint64_t>(max_step_units) * steps;
+  }
+};
+
+/// Exhaustive backward DP over the model graph:
+///   g_{t+1}[s] = max over takeable bits of cost(s, bit) + g_t[next(s, bit)]
+/// g_t[s] is the worst coder cost of decoding t bits starting in state s.
+/// `max_steps` is the longest chunk the image can ask for (chunk words x
+/// word_bits).
+ModelCost analyze_model_exhaustive(const ModelGraph& g, std::size_t max_steps) {
+  ModelCost cost;
+  cost.states = g.states;
+  const std::vector<bool> reachable = reachable_states(g);
+  cost.terminates = !has_zero_bit_cycle(g, reachable);
+  for (std::size_t s = 0; s < g.states; ++s) {
+    if (!reachable[s]) continue;
+    std::uint32_t fanout = 0;
+    for (unsigned bit = 0; bit < 2; ++bit) {
+      if (!g.edge(s, bit)) continue;
+      ++fanout;
+      cost.max_step_units = std::max(cost.max_step_units, step_cost_units(g.p_eff(s, bit)));
+    }
+    cost.max_fanout = std::max(cost.max_fanout, fanout);
+  }
+  std::vector<std::uint64_t> prev(g.states, 0);
+  std::vector<std::uint64_t> cur(g.states, 0);
+  cost.series.assign(max_steps + 1, 0);
+  for (std::size_t t = 1; t <= max_steps; ++t) {
+    for (std::size_t s = 0; s < g.states; ++s) {
+      std::uint64_t best = 0;
+      for (unsigned bit = 0; bit < 2; ++bit) {
+        if (!g.edge(s, bit)) continue;
+        const std::uint64_t c = step_cost_units(g.p_eff(s, bit)) + prev[g.next[2 * s + bit]];
+        best = std::max(best, c);
+      }
+      cur[s] = best;
+    }
+    std::swap(prev, cur);
+    cost.series[t] = prev[0];  // start-of-chunk state is always state 0
+    if (t == g.word_bits) {
+      std::uint64_t worst = 0;
+      for (std::size_t s = 0; s < g.states; ++s)
+        if (reachable[s]) worst = std::max(worst, prev[s]);
+      cost.word_units = worst;
+    }
+  }
+  if (max_steps < g.word_bits)
+    cost.word_units = static_cast<std::uint64_t>(cost.max_step_units) * g.word_bits;
+  return cost;
+}
+
+/// Widened analysis: per-transition worst cost x path length. Sound for any
+/// model, but termination can only be proved when no certain branch exists
+/// at all (a certain branch somewhere *might* close a zero-bit cycle).
+ModelCost analyze_model_widened(const TolerantModel& m) {
+  ModelCost cost;
+  cost.widened = true;
+  cost.max_fanout = 2;
+  bool any_certain = false;
+  for (const auto& tree : m.trees) {
+    for (const std::uint32_t p0 : tree) {
+      for (unsigned bit = 0; bit < 2; ++bit) {
+        const std::uint32_t p_eff = bit == 0 ? p0 : kProbOne - p0;
+        if (p_eff == 0) continue;
+        if (p_eff >= kProbOne) any_certain = true;
+        cost.max_step_units = std::max(cost.max_step_units, step_cost_units(p_eff));
+      }
+    }
+  }
+  cost.terminates = !any_certain;
+  cost.word_units = static_cast<std::uint64_t>(cost.max_step_units) * m.division.word_bits;
+  return cost;
+}
+
+ModelCost analyze_model(const TolerantModel& m, std::size_t max_steps,
+                        const CertifyOptions& opts) {
+  std::size_t states = 0;
+  const std::size_t ctx_count = m.context_count();
+  for (const std::size_t nodes : m.tree_nodes) states += ctx_count * nodes;
+  if (states == 0) throw CorruptDataError("Markov model has no states");
+  if (states > opts.state_cap) {
+    ModelCost cost = analyze_model_widened(m);
+    cost.states = states;
+    return cost;
+  }
+  return analyze_model_exhaustive(build_graph(m), max_steps);
+}
+
+// ---------------------------------------------------------------------------
+// Per-codec certification.
+
+void fail(DecodeCertificate& cert, std::string reason) {
+  cert.verdict = Verdict::kFailed;
+  cert.failures.push_back(std::move(reason));
+}
+
+std::size_t max_block_original_bytes(const core::CompressedImage& image) {
+  std::size_t worst = 0;
+  for (std::size_t b = 0; b < image.block_count(); ++b)
+    worst = std::max(worst, image.block_original_size(b));
+  return worst;
+}
+
+std::uint32_t max_payload_bytes(const core::CompressedImage& image) {
+  std::size_t worst = 0;
+  for (std::size_t b = 0; b < image.block_count(); ++b)
+    worst = std::max(worst, image.block_payload(b).size());
+  return static_cast<std::uint32_t>(worst);
+}
+
+/// Static per-block frame + coder-attach checks shared by the SAMC codecs:
+/// every block must slice into its K sub-streams, and (rANS) every non-empty
+/// chunk must hold a 4-byte attachable state >= 2^24.
+void check_stream_frames(const core::CompressedImage& image, unsigned streams, bool rans,
+                         unsigned word_bytes, DecodeCertificate& cert) {
+  for (std::size_t b = 0; b < image.block_count(); ++b) {
+    core::StreamSpans spans;
+    try {
+      spans = core::split_stream_block(image.block_payload(b), streams);
+    } catch (const Error& e) {
+      fail(cert, "block " + std::to_string(b) + ": " + e.what());
+      return;  // one structural failure is enough evidence
+    }
+    if (!rans) continue;
+    const std::size_t words =
+        word_bytes == 0 ? 0 : (image.block_original_size(b) + word_bytes - 1) / word_bytes;
+    for (unsigned k = 0; k < streams; ++k) {
+      if (core::chunk_size(words, streams, k) == 0) continue;
+      const std::span<const std::uint8_t> chunk = spans[k];
+      if (chunk.size() < kCoderAttachBytes) {
+        fail(cert, "block " + std::to_string(b) + " stream " + std::to_string(k) +
+                       ": rANS chunk holds " + std::to_string(chunk.size()) +
+                       " byte(s), the coder attach needs 4");
+        return;
+      }
+      const std::uint32_t state = (std::uint32_t{chunk[0]} << 24) |
+                                  (std::uint32_t{chunk[1]} << 16) |
+                                  (std::uint32_t{chunk[2]} << 8) | std::uint32_t{chunk[3]};
+      if (state < (1u << 24)) {
+        fail(cert, "block " + std::to_string(b) + " stream " + std::to_string(k) +
+                       ": rANS initial state " + std::to_string(state) + " is below 2^24");
+        return;
+      }
+    }
+  }
+}
+
+/// Fold one analyzed model's graph properties into the certificate.
+void fold_model(const ModelCost& cost, unsigned word_bits, DecodeCertificate& cert) {
+  cert.exhaustive = cert.exhaustive && !cost.widened;
+  cert.terminates = cert.terminates && cost.terminates;
+  cert.explored_states += static_cast<std::uint32_t>(cost.widened ? 0 : cost.states);
+  cert.max_fanout = std::max(cert.max_fanout, cost.max_fanout);
+  cert.max_decode_depth = std::max(cert.max_decode_depth, word_bits);
+}
+
+void certify_samc(const core::CompressedImage& image, const CertifyOptions& opts,
+                  DecodeCertificate& cert) {
+  ByteSource src(image.tables());
+  const std::uint8_t mode = src.u8();
+  if (mode > 2) {
+    fail(cert, "unknown SAMC coder mode byte " + std::to_string(mode));
+    return;
+  }
+  const std::uint8_t streams = src.u8();
+  if (streams == 0 || streams > core::kMaxEntropyStreams) {
+    fail(cert, "entropy stream count " + std::to_string(streams) + " outside [1, 16]");
+    return;
+  }
+  const TolerantModel model = parse_tolerant_model(src);
+  const unsigned word_bits = model.division.word_bits;
+  if (word_bits == 0 || word_bits % 8 != 0 || image.block_size() % (word_bits / 8) != 0) {
+    fail(cert, "model word width incompatible with the block size");
+    return;
+  }
+  const unsigned word_bytes = word_bits / 8;
+  const std::size_t words_per_block = image.block_size() / word_bytes;
+  const std::size_t chunk_words = core::chunk_size(words_per_block, streams, 0);
+  const std::size_t max_steps = chunk_words * word_bits;
+
+  const ModelCost cost = analyze_model(model, max_steps, opts);
+  fold_model(cost, word_bits, cert);
+  // Max stream width is the deepest per-decision tree walk.
+  std::size_t depth = 0;
+  for (const auto& stream : model.division.streams) depth = std::max(depth, stream.size());
+  cert.max_decode_depth = static_cast<std::uint32_t>(depth);
+
+  // Per-byte bound: any 8 model steps cost at most 8x the worst reachable
+  // single transition (output-byte bits are scattered across a word's
+  // steps, so consecutive-window costs do not bound them).
+  cert.max_bits_per_byte =
+      static_cast<std::uint32_t>(units_to_bits_ceil(std::uint64_t{8} * cost.max_step_units));
+
+  // Per-block bound: K chunks, each its own coder over its words' steps,
+  // behind the 2(K-1)-byte stream frame.
+  std::uint64_t block_units = 0;
+  std::uint64_t block_bytes = streams > 1 ? 2u * (streams - 1u) : 0u;
+  for (unsigned k = 0; k < streams; ++k) {
+    const std::size_t steps = core::chunk_size(words_per_block, streams, k) * word_bits;
+    const std::uint64_t units = cost.chunk_units(steps);
+    block_units += units;
+    block_bytes += chunk_payload_bytes(units);
+  }
+  cert.max_bits_per_block = units_to_bits_ceil(block_units);
+  cert.model_block_bytes = block_bytes;
+
+  check_stream_frames(image, streams, mode == 2, word_bytes, cert);
+}
+
+void certify_samc_split(const core::CompressedImage& image, const CertifyOptions& opts,
+                        DecodeCertificate& cert) {
+  ByteSource src(image.tables());
+  const std::uint8_t streams = src.u8();
+  if (streams == 0 || streams > core::kMaxEntropyStreams) {
+    fail(cert, "entropy stream count " + std::to_string(streams) + " outside [1, 16]");
+    return;
+  }
+  // Three byte-granular models: opcode, modrm, immediate/displacement.
+  // Every original byte decodes as one 8-bit word through exactly one of
+  // them, so the block bound is max-original-bytes x the worst per-word
+  // cost among the three.
+  std::uint64_t worst_word_units = 0;
+  std::uint32_t worst_step_units = 0;
+  for (const char* name : {"opcode model", "modrm model", "imm model"}) {
+    TolerantModel model;
+    try {
+      model = parse_tolerant_model(src);
+    } catch (const Error& e) {
+      fail(cert, std::string(name) + ": " + e.what());
+      return;
+    }
+    if (model.division.word_bits != 8) {
+      fail(cert, std::string(name) + ": split-stream models must be byte-granular");
+      return;
+    }
+    const ModelCost cost = analyze_model(model, 8, opts);
+    fold_model(cost, 8, cert);
+    worst_word_units = std::max(worst_word_units, cost.word_units);
+    worst_step_units = std::max(worst_step_units, cost.max_step_units);
+  }
+  const std::uint64_t max_bytes = max_block_original_bytes(image);
+  cert.max_bits_per_byte =
+      static_cast<std::uint32_t>(units_to_bits_ceil(std::uint64_t{8} * worst_step_units));
+  const std::uint64_t block_units = max_bytes * worst_word_units;
+  cert.max_bits_per_block = units_to_bits_ceil(block_units);
+  // The K chunks partition the block's instructions; bounding their content
+  // jointly (sum of per-chunk ceilings <= total ceiling + K) keeps the
+  // formula independent of where the instruction split lands.
+  cert.model_block_bytes = (streams > 1 ? 2u * (streams - 1u) : 0u) +
+                           std::uint64_t{streams} * (kCoderAttachBytes + kCoderMarginBytes) +
+                           (block_units + kUnitsPerByte - 1) / kUnitsPerByte + streams;
+  check_stream_frames(image, streams, /*rans=*/false, /*word_bytes=*/0, cert);
+}
+
+/// Max code length among symbols the code actually assigns (its used decode
+/// depth); 0 for an empty code.
+std::uint32_t used_depth(const coding::HuffmanCode& code) {
+  std::uint32_t depth = 0;
+  for (const std::uint8_t len : code.lengths()) depth = std::max(depth, std::uint32_t{len});
+  return depth;
+}
+
+/// Largest number of phase-1 symbols that can expand to exactly
+/// `instr_count` instructions, over the coded expansion lengths in `table`.
+/// This is the fuel actually reachable: a subset-sum DP, exact because
+/// instr_count is small (a cache block's instructions). Returns instr_count
+/// (the decoder's structural cap) when a coded symbol expands to nothing —
+/// such a symbol burns fuel without progress, so the cap is reachable.
+std::uint32_t reachable_fuel(const sadc::SymbolTable& table, const coding::HuffmanCode& sym_code,
+                             std::size_t instr_count) {
+  if (instr_count == 0 || table.size() == 0) return 0;
+  std::vector<std::size_t> lens;
+  bool zero_expansion = false;
+  for (std::size_t id = 0; id < table.size() && id < sym_code.alphabet_size(); ++id) {
+    if (sym_code.length_of(id) == 0) continue;
+    const std::size_t len = table.expanded_length(static_cast<std::uint16_t>(id));
+    if (len == 0) zero_expansion = true;
+    else if (len <= instr_count) lens.push_back(len);
+  }
+  if (zero_expansion) return static_cast<std::uint32_t>(instr_count);
+  std::sort(lens.begin(), lens.end());
+  lens.erase(std::unique(lens.begin(), lens.end()), lens.end());
+  constexpr int kUnreachable = -1;
+  std::vector<int> best(instr_count + 1, kUnreachable);
+  best[0] = 0;
+  for (std::size_t j = 1; j <= instr_count; ++j) {
+    for (const std::size_t len : lens) {
+      if (len > j || best[j - len] == kUnreachable) continue;
+      best[j] = std::max(best[j], best[j - len] + 1);
+    }
+  }
+  // No exact cover means phase 1 cannot legally complete for this count;
+  // the structural cap stays the sound bound for the failure path.
+  return best[instr_count] == kUnreachable ? static_cast<std::uint32_t>(instr_count)
+                                           : static_cast<std::uint32_t>(best[instr_count]);
+}
+
+void certify_sadc_mips(const core::CompressedImage& image, DecodeCertificate& cert) {
+  ByteSource src(image.tables());
+  const sadc::SymbolTable table = sadc::SymbolTable::deserialize(src);
+  const coding::HuffmanCode sym_code = coding::HuffmanCode::deserialize(src);
+  const coding::HuffmanCode reg_code = coding::HuffmanCode::deserialize(src);
+  const coding::HuffmanCode imm_code = coding::HuffmanCode::deserialize(src);
+  const std::size_t instr_count = image.block_size() / 4;
+  const std::uint64_t sym_len = used_depth(sym_code);
+  const std::uint64_t reg_len = used_depth(reg_code);
+  const std::uint64_t imm_len = used_depth(imm_code);
+  cert.exhaustive = true;
+  // Every Huffman decode consumes at least one bit and the symbol loop is
+  // fuel-bounded, so the dictionary walk terminates unconditionally.
+  cert.terminates = true;
+  cert.explored_states = static_cast<std::uint32_t>(table.size());
+  cert.max_fanout = 2;
+  cert.max_decode_depth = std::max({used_depth(sym_code), used_depth(reg_code),
+                                    used_depth(imm_code)});
+  cert.max_phase1_fuel = reachable_fuel(table, sym_code, instr_count);
+  // Phase 2 decodes at most 4 register values and phase 3 at most 4
+  // immediate bytes per instruction (the raw escape's full word).
+  const std::uint64_t block_bits = cert.max_phase1_fuel * sym_len +
+                                   static_cast<std::uint64_t>(instr_count) * 4 * reg_len +
+                                   static_cast<std::uint64_t>(instr_count) * 4 * imm_len;
+  cert.max_bits_per_byte =
+      static_cast<std::uint32_t>((sym_len + 4 * reg_len + 4 * imm_len + 3) / 4);
+  cert.max_bits_per_block = block_bits;
+  cert.model_block_bytes = (block_bits + 7) / 8;
+}
+
+void certify_sadc_x86(const core::CompressedImage& image, DecodeCertificate& cert) {
+  ByteSource src(image.tables());
+  const sadc::SymbolTable table = sadc::SymbolTable::deserialize(src);
+  // Opcode-string table (mirrors the reader in sadc_x86.cpp).
+  const std::uint64_t count = src.varint();
+  if (count > sadc::kMaxSymbols) {
+    fail(cert, "opcode-string table claims " + std::to_string(count) + " entries");
+    return;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t len = src.u8();
+    (void)src.bytes(len);
+  }
+  const coding::HuffmanCode sym_code = coding::HuffmanCode::deserialize(src);
+  const coding::HuffmanCode modrm_code = coding::HuffmanCode::deserialize(src);
+  const coding::HuffmanCode imm_code = coding::HuffmanCode::deserialize(src);
+  // The per-block instruction count travels as the first 8 bits of the
+  // payload, MSB-first — i.e. its first byte, statically readable.
+  std::size_t instr_count = 0;
+  for (std::size_t b = 0; b < image.block_count(); ++b) {
+    const std::span<const std::uint8_t> payload = image.block_payload(b);
+    if (!payload.empty()) instr_count = std::max(instr_count, std::size_t{payload[0]});
+  }
+  const std::uint64_t sym_len = used_depth(sym_code);
+  const std::uint64_t modrm_len = used_depth(modrm_code);
+  const std::uint64_t imm_len = used_depth(imm_code);
+  const std::uint64_t byte_len = std::max(modrm_len, imm_len);
+  const std::uint64_t max_bytes = max_block_original_bytes(image);
+  cert.exhaustive = true;
+  cert.terminates = true;
+  cert.explored_states = static_cast<std::uint32_t>(table.size());
+  cert.max_fanout = 2;
+  cert.max_decode_depth = static_cast<std::uint32_t>(std::max({sym_len, modrm_len, imm_len}));
+  cert.max_phase1_fuel = reachable_fuel(table, sym_code, instr_count);
+  // Per instruction: at most two structural decodes through the modrm code
+  // (escape length or ModRM, plus SIB); every further decode produces one
+  // original byte, so the byte-wise decodes total at most the block's
+  // original size.
+  const std::uint64_t block_bits = 8 + cert.max_phase1_fuel * sym_len +
+                                   static_cast<std::uint64_t>(instr_count) * 2 * modrm_len +
+                                   max_bytes * byte_len;
+  // Worst single output byte: a one-byte instruction paying the count
+  // prefix, its symbol, both structural decodes, and its own byte code.
+  cert.max_bits_per_byte = static_cast<std::uint32_t>(8 + sym_len + 2 * modrm_len + byte_len);
+  cert.max_bits_per_block = block_bits;
+  cert.model_block_bytes = (block_bits + 7) / 8;
+}
+
+void certify_byte_huffman(const core::CompressedImage& image, DecodeCertificate& cert) {
+  ByteSource src(image.tables());
+  const coding::HuffmanCode code = coding::HuffmanCode::deserialize(src);
+  std::uint32_t coded = 0;
+  for (const std::uint8_t len : code.lengths())
+    if (len > 0) ++coded;
+  const std::uint64_t depth = used_depth(code);
+  cert.exhaustive = true;
+  cert.terminates = true;  // every prefix-code decode consumes >= 1 bit
+  cert.explored_states = coded;
+  cert.max_fanout = 2;
+  cert.max_decode_depth = static_cast<std::uint32_t>(depth);
+  cert.max_bits_per_byte = static_cast<std::uint32_t>(depth);
+  cert.max_bits_per_block = static_cast<std::uint64_t>(image.block_size()) * depth;
+  cert.model_block_bytes = (cert.max_bits_per_block + 7) / 8;
+}
+
+}  // namespace
+
+DecodeCertificate certify(const core::CompressedImage& image, const CertifyOptions& opts) {
+  CCOMP_SPAN("analysis.certify");
+  CCOMP_TIMER("analysis.certify_ns");
+  CCOMP_COUNT("analysis.certify.images", 1);
+  DecodeCertificate cert;
+  cert.block_size = image.block_size();
+  cert.exhaustive = true;
+  cert.terminates = true;
+  cert.verdict = Verdict::kCertified;
+  try {
+    cert.max_block_payload_bytes = max_payload_bytes(image);
+    switch (image.codec()) {
+      case core::CodecKind::kSamc:
+        certify_samc(image, opts, cert);
+        break;
+      case core::CodecKind::kSamcX86Split:
+        certify_samc_split(image, opts, cert);
+        break;
+      case core::CodecKind::kSadc:
+        if (image.isa() == core::IsaKind::kMips) {
+          certify_sadc_mips(image, cert);
+        } else if (image.isa() == core::IsaKind::kX86) {
+          certify_sadc_x86(image, cert);
+        } else {
+          fail(cert, "SADC image with an ISA the dictionary codec does not support");
+        }
+        break;
+      case core::CodecKind::kByteHuffman:
+        certify_byte_huffman(image, cert);
+        break;
+      default:
+        fail(cert, "unknown codec id " +
+                       std::to_string(static_cast<unsigned>(image.codec())));
+        break;
+    }
+  } catch (const Error& e) {
+    fail(cert, e.what());
+  }
+  if (cert.verdict == Verdict::kCertified && !cert.terminates) {
+    cert.verdict = Verdict::kUnbounded;
+    cert.failures.emplace_back(
+        "a reachable model cycle consumes zero compressed bits (decode input does not advance)");
+  }
+  CCOMP_COUNT("analysis.certify.states", cert.explored_states);
+  if (!cert.exhaustive) CCOMP_COUNT("analysis.certify.widened", 1);
+  if (cert.verdict == Verdict::kFailed) CCOMP_COUNT("analysis.certify.failed", 1);
+  if (cert.verdict == Verdict::kUnbounded) CCOMP_COUNT("analysis.certify.unbounded", 1);
+  return cert;
+}
+
+}  // namespace ccomp::analysis

@@ -1,0 +1,126 @@
+// ccomp::analysis — decode certificates via abstract interpretation.
+//
+// The static verifier (ccomp::verify) proves *structural* invariants of a
+// compressed image; this pass proves *behavioral* ones. Every ccomp decoder
+// is a finite automaton — the flattened Markov plan, the canonical Huffman
+// tables, the SADC dictionary walk, the coder renorm loops — so its
+// worst-case paths can be bounded by exhaustive exploration of the state
+// graph rather than fuzzed. certify() analyzes a compiled image's decode
+// artifacts and emits a DecodeCertificate: machine-checked bounds on
+//
+//   * compressed bits consumed per output byte and per block, maximized
+//     over every reachable model state and coder renorm behavior
+//     (including the K-stream frame and per-chunk coder attach/flush);
+//   * Huffman/dictionary decode depth and the SADC phase-1 fuel actually
+//     reachable (a subset-sum over coded expansion lengths, not just the
+//     decoder's structural cap);
+//   * decode termination — no reachable cycle of the model graph consumes
+//     zero compressed bits (an image violating this gets Verdict::kUnbounded,
+//     which loaders must treat as a hard failure);
+//   * a worst-case block-decode cycle bound in the calibration of
+//     memsys::RefillModel, so simulators can report certified WCET next to
+//     measured means.
+//
+// Exploration is exhaustive below CertifyOptions::state_cap; above it the
+// engine widens to an interval abstraction (per-transition worst cost x
+// path length), which stays sound but marks the certificate non-exhaustive.
+//
+// The engine re-parses the table blobs itself, *tolerantly*: the production
+// deserializers reject pathologies like zero probabilities outright, but
+// the certificate must prove the consequence (a zero-bit decode cycle)
+// independently rather than inherit the parser's refusal — that is what
+// makes the kUnbounded verdict a proof and not an echo.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/image.h"
+#include "support/serialize.h"
+
+namespace ccomp::analysis {
+
+/// Outcome of the certification pass.
+enum class Verdict : std::uint8_t {
+  /// Every bound below is proved finite and decode termination holds.
+  kCertified = 0,
+  /// The artifacts could not be analyzed (parse failure, malformed frame,
+  /// coder attach impossible). The image is not proved decodable.
+  kFailed = 1,
+  /// A reachable model cycle consumes zero compressed bits, or widening
+  /// could not exclude one: no finite decode-cost bound exists. Hard
+  /// failure — strict loaders must refuse the image.
+  kUnbounded = 2,
+};
+
+std::string_view verdict_name(Verdict verdict);
+
+/// Machine-checked worst-case decode bounds for one image. All "max" fields
+/// are sound upper bounds (never below any behavior the image can exhibit);
+/// max_block_payload_bytes is exact (read from the LAT).
+struct DecodeCertificate {
+  Verdict verdict = Verdict::kFailed;
+  /// True when the state space was explored exhaustively; false when the
+  /// widening abstraction was used (bounds still sound, just looser).
+  bool exhaustive = false;
+  /// Proof that no reachable model cycle consumes zero compressed bits.
+  bool terminates = false;
+  /// Model states explored (0 when widened).
+  std::uint32_t explored_states = 0;
+  /// Max out-degree of any reachable model state (2 for binary machines).
+  std::uint32_t max_fanout = 0;
+  /// Max Huffman code length used / Markov tree depth walked per decision.
+  std::uint32_t max_decode_depth = 0;
+  /// Max SADC phase-1 symbol count actually reachable per block (0 for
+  /// codecs without a dictionary phase).
+  std::uint32_t max_phase1_fuel = 0;
+  /// Max compressed bits consumed per output byte, over all reachable
+  /// model states (ceiling).
+  std::uint32_t max_bits_per_byte = 0;
+  /// Model-level bound on compressed bits consumed by one block's payload.
+  std::uint64_t max_bits_per_block = 0;
+  /// Model-level bound on one block's payload bytes, coder attach/flush and
+  /// the K-stream frame included.
+  std::uint64_t model_block_bytes = 0;
+  /// Exact largest per-block payload in this image's LAT.
+  std::uint32_t max_block_payload_bytes = 0;
+  /// Uncompressed bytes per block (copied from the image header; feeds the
+  /// cycle bound's output term).
+  std::uint32_t block_size = 0;
+  /// Human-readable reasons when verdict != kCertified.
+  std::vector<std::string> failures;
+
+  bool certified() const { return verdict == Verdict::kCertified; }
+
+  /// Container-blob (de)serialization (core::CompressedImage carries the
+  /// certificate as an opaque section). Deserialize throws CorruptDataError
+  /// on a malformed blob.
+  void serialize(ByteSink& sink) const;
+  static DecodeCertificate deserialize(ByteSource& src);
+
+  bool operator==(const DecodeCertificate&) const = default;
+};
+
+struct CertifyOptions {
+  /// Exhaustive exploration up to this many model states; larger models
+  /// fall back to the widening abstraction.
+  std::size_t state_cap = std::size_t{1} << 16;
+};
+
+/// Analyze `image`'s decode artifacts and emit its certificate. Never
+/// throws on malformed artifacts — failures become Verdict::kFailed with
+/// reasons recorded.
+DecodeCertificate certify(const core::CompressedImage& image, const CertifyOptions& opts = {});
+
+/// Certified worst-case cycles to refill one cache block, in the
+/// calibration of memsys::RefillModel (latency to first byte, bus cycles
+/// per compressed byte, decoder startup, decoder output bits per cycle).
+/// Plain integers rather than the RefillModel struct keep this library
+/// independent of memsys. Returns 0 for an uncertified certificate.
+std::uint64_t certified_block_cycles(const DecodeCertificate& cert,
+                                     std::uint32_t memory_latency, std::uint32_t cycles_per_byte,
+                                     std::uint32_t decode_startup,
+                                     std::uint32_t decode_bits_per_cycle);
+
+}  // namespace ccomp::analysis

@@ -12,7 +12,8 @@ namespace {
 // so bit 0 keeps the v1 meaning and v1 images parse unchanged).
 constexpr std::uint8_t kFlagVariableBlocks = 0x01;
 constexpr std::uint8_t kFlagHasEcc = 0x02;
-constexpr std::uint8_t kKnownFlags = kFlagVariableBlocks | kFlagHasEcc;
+constexpr std::uint8_t kFlagHasCertificate = 0x04;
+constexpr std::uint8_t kKnownFlags = kFlagVariableBlocks | kFlagHasEcc | kFlagHasCertificate;
 
 }  // namespace
 
@@ -121,6 +122,11 @@ void CompressedImage::attach_ecc(std::vector<std::uint8_t> ecc) {
   ecc_offsets_ = std::move(offsets);
 }
 
+void CompressedImage::attach_certificate(std::vector<std::uint8_t> blob) {
+  if (blob.empty()) throw ConfigError("certificate blob must be non-empty");
+  certificate_ = std::move(blob);
+}
+
 void CompressedImage::drop_ecc() {
   ecc_.clear();
   ecc_offsets_.clear();
@@ -170,6 +176,7 @@ void CompressedImage::serialize(ByteSink& sink) const {
   std::uint8_t flags = 0;
   if (!block_original_sizes_.empty()) flags |= kFlagVariableBlocks;
   if (has_ecc()) flags |= kFlagHasEcc;
+  if (has_certificate()) flags |= kFlagHasCertificate;
   sink.u8(flags);
   sink.u32(block_size_);
   sink.u64(original_size_);
@@ -185,6 +192,7 @@ void CompressedImage::serialize(ByteSink& sink) const {
   }
   sink.sized_bytes(payload_);
   if (has_ecc()) sink.sized_bytes(ecc_);
+  if (has_certificate()) sink.sized_bytes(certificate_);
   // Integrity trailer: a loader can reject a flipped bit anywhere in the
   // image before trusting any table or offset.
   sink.u32(crc32(sink.view().subspan(start)));
@@ -199,6 +207,7 @@ CompressedImage CompressedImage::deserialize(ByteSource& src, bool verify_checks
   if ((flags & ~kKnownFlags) != 0) throw CorruptDataError("unknown image header flags");
   const bool variable = (flags & kFlagVariableBlocks) != 0;
   const bool has_ecc = (flags & kFlagHasEcc) != 0;
+  const bool has_certificate = (flags & kFlagHasCertificate) != 0;
   const std::uint32_t block_size = src.u32();
   const std::uint64_t original_size = src.u64();
   std::vector<std::uint8_t> tables = src.sized_bytes();
@@ -227,6 +236,11 @@ CompressedImage CompressedImage::deserialize(ByteSource& src, bool verify_checks
   std::vector<std::uint8_t> payload = src.sized_bytes();
   std::vector<std::uint8_t> ecc;
   if (has_ecc) ecc = src.sized_bytes();
+  std::vector<std::uint8_t> certificate;
+  if (has_certificate) {
+    certificate = src.sized_bytes();
+    if (certificate.empty()) throw CorruptDataError("empty certificate section");
+  }
   const std::size_t end = src.position();
   const std::uint32_t stored_crc = src.u32();
   if (verify_checksum && stored_crc != crc32(src.window(start, end)))
@@ -234,6 +248,7 @@ CompressedImage CompressedImage::deserialize(ByteSource& src, bool verify_checks
   CompressedImage image(codec, isa, block_size, original_size, std::move(tables),
                         std::move(offsets), std::move(payload), std::move(original_sizes));
   if (has_ecc) image.attach_ecc(std::move(ecc));
+  if (has_certificate) image.attach_certificate(std::move(certificate));
   return image;
 }
 

@@ -103,6 +103,22 @@ class CompressedImage {
   // repair single-bit store faults in place; images without ECC still load
   // everywhere (the flag bit gates the section).
 
+  // --- Decode certificate (format v3, header flag bit 2) -----------------
+  //
+  // An opaque serialized ccomp::analysis::DecodeCertificate blob: the
+  // machine-checked worst-case decode bounds proved for this image. Stored
+  // opaquely so core stays independent of the analysis layer; loaders that
+  // care (FunctionalMemorySystem strict mode, ccomp_lint --certify)
+  // deserialize and re-validate it. Images without one still load
+  // everywhere (the flag bit gates the section).
+
+  bool has_certificate() const { return !certificate_.empty(); }
+  /// Attach a serialized certificate blob (replaces any existing one).
+  /// Rejects an empty blob — use drop_certificate() to remove the section.
+  void attach_certificate(std::vector<std::uint8_t> blob);
+  void drop_certificate() { certificate_.clear(); }
+  std::span<const std::uint8_t> certificate() const { return certificate_; }
+
   bool has_ecc() const { return !ecc_offsets_.empty(); }
   /// Compute and attach per-block SECDED check bytes over the payload.
   /// Idempotent (recomputes when already present).
@@ -167,6 +183,8 @@ class CompressedImage {
   /// ecc_ offset of each block's check bytes (size = blocks + 1); empty
   /// when no ECC section is attached.
   std::vector<std::uint32_t> ecc_offsets_;
+  /// Serialized DecodeCertificate blob; empty when absent.
+  std::vector<std::uint8_t> certificate_;
 };
 
 }  // namespace ccomp::core

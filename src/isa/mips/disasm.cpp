@@ -39,10 +39,21 @@ std::string disassemble(std::uint32_t word) {
     // sdc1, ...) target coprocessor registers.
     const std::string_view mn = info.mnemonic;
     const bool fp_mem = mn.size() >= 2 && mn.substr(mn.size() - 2) == "c1";
+    // Sequential += instead of `"lit" + std::to_string(...)` temporaries:
+    // the rvalue operator+ overload trips GCC 12's -Wrestrict false
+    // positive (PR105651) once inlined, and appending in place is cheaper.
     out += " ";
-    out += fp_mem ? "$f" + std::to_string(decoded->regs[0]) : kRegNames[decoded->regs[0]];
-    out += ", " + std::to_string(static_cast<std::int16_t>(decoded->imm16));
-    out += "(" + std::string(kRegNames[decoded->regs[1]]) + ")";
+    if (fp_mem) {
+      out += "$f";
+      out += std::to_string(decoded->regs[0]);
+    } else {
+      out += kRegNames[decoded->regs[0]];
+    }
+    out += ", ";
+    out += std::to_string(static_cast<std::int16_t>(decoded->imm16));
+    out += "(";
+    out += kRegNames[decoded->regs[1]];
+    out += ")";
     return out;
   }
   bool first = true;

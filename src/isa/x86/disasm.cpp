@@ -62,7 +62,12 @@ std::string rm_operand(Cursor& c, unsigned& reg_out, bool byte_regs = false) {
       const unsigned scale = 1u << (sib >> 6);
       if (!base.empty()) base += "+";
       base += kReg32[index];
-      if (scale > 1) base += "*" + std::to_string(scale);
+      if (scale > 1) {
+        // Split += avoids the rvalue operator+ that trips GCC 12's
+        // -Wrestrict false positive (PR105651) under inlining.
+        base += "*";
+        base += std::to_string(scale);
+      }
     }
   } else if (rm == 5 && mod == 0) {
     have_base = false;

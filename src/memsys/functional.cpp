@@ -1,25 +1,56 @@
 #include "memsys/functional.h"
 
+#include <string>
+
+#include "analysis/certificate.h"
 #include "obs/obs.h"
 #include "support/error.h"
 #include "verify/verify.h"
 
 namespace ccomp::memsys {
 
+namespace {
+
+/// Load-time audit shared by the constructor and reload(). In strict mode
+/// the image must carry an embedded certificate with a kCertified verdict,
+/// and the ANA/WCB re-verification must come back clean — an image nobody
+/// certified (or whose certificate no longer matches its artifacts) is
+/// refused before the refill engine ever touches it.
+void audit_image(const core::CompressedImage& image, bool verify_on_load,
+                 bool require_certificate, const char* when) {
+  if (require_certificate) {
+    if (!image.has_certificate())
+      throw CorruptDataError(std::string("strict mode: image carries no decode certificate (") +
+                             when + ")");
+    ByteSource src(image.certificate());
+    const analysis::DecodeCertificate cert = analysis::DecodeCertificate::deserialize(src);
+    if (!cert.certified())
+      throw CorruptDataError(
+          std::string("strict mode: embedded certificate verdict is ") +
+          std::string(analysis::verdict_name(cert.verdict)) + " (" + when + ")");
+  }
+  if (verify_on_load || require_certificate) {
+    verify::VerifyOptions opts;
+    opts.certify = require_certificate;
+    const verify::VerifyReport report = verify::verify_image(image, opts);
+    if (!report.ok())
+      throw CorruptDataError(std::string("image rejected at ") + when + " time:\n" +
+                             report.to_string());
+  }
+}
+
+}  // namespace
+
 FunctionalMemorySystem::FunctionalMemorySystem(const CacheConfig& cache_config,
                                                const core::BlockCodec& codec,
                                                const core::CompressedImage& image,
-                                               bool verify_on_load)
+                                               bool verify_on_load, bool require_certificate)
     : image_(&image),
       decompressor_(codec.make_decompressor(image)),
       cache_(std::make_unique<ICache>(cache_config)),
       line_bytes_(cache_config.line_bytes),
       ways_(cache_config.associativity) {
-  if (verify_on_load) {
-    const verify::VerifyReport report = verify::verify_image(image);
-    if (!report.ok())
-      throw CorruptDataError("image rejected at load time:\n" + report.to_string());
-  }
+  audit_image(image, verify_on_load, require_certificate, "load");
   if (image.has_variable_blocks())
     throw ConfigError("functional memory system needs address-aligned blocks");
   if (image.block_size() != line_bytes_)
@@ -68,12 +99,9 @@ FunctionalMemorySystem::Line& FunctionalMemorySystem::lookup(std::uint32_t addre
 }
 
 void FunctionalMemorySystem::reload(const core::BlockCodec& codec,
-                                    const core::CompressedImage& image, bool verify_on_load) {
-  if (verify_on_load) {
-    const verify::VerifyReport report = verify::verify_image(image);
-    if (!report.ok())
-      throw CorruptDataError("image rejected at reload time:\n" + report.to_string());
-  }
+                                    const core::CompressedImage& image, bool verify_on_load,
+                                    bool require_certificate) {
+  audit_image(image, verify_on_load, require_certificate, "reload");
   if (image.has_variable_blocks())
     throw ConfigError("functional memory system needs address-aligned blocks");
   if (image.block_size() != line_bytes_)

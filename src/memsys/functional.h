@@ -25,8 +25,13 @@ class FunctionalMemorySystem {
   /// image's structure and tables first and the constructor throws
   /// CorruptDataError on any error-severity finding — the memory system
   /// rejects a bad image at load time instead of failing mid-refill.
+  /// With `require_certificate` set, the image must additionally carry an
+  /// embedded decode certificate whose verdict is kCertified *and* whose
+  /// bounds re-verify against the artifacts (ANA/WCB layer): the strict
+  /// loading mode for systems that refuse uncertified images.
   FunctionalMemorySystem(const CacheConfig& cache_config, const core::BlockCodec& codec,
-                         const core::CompressedImage& image, bool verify_on_load = true);
+                         const core::CompressedImage& image, bool verify_on_load = true,
+                         bool require_certificate = false);
 
   /// Fetch the 32-bit instruction word at `address` (must be word-aligned
   /// and inside the program). Refills through the decompressor on a miss.
@@ -42,7 +47,7 @@ class FunctionalMemorySystem {
   /// must satisfy the same constraints as the constructor's (same block
   /// size, address-aligned blocks) and must outlive this object.
   void reload(const core::BlockCodec& codec, const core::CompressedImage& image,
-              bool verify_on_load = true);
+              bool verify_on_load = true, bool require_certificate = false);
 
   /// Zero cache_stats() and refills(). Cache contents are untouched.
   void reset_stats();

@@ -1,0 +1,97 @@
+// Certificate-layer checks (ANA/WCB): recompute the image's decode
+// certificate with ccomp::analysis and turn its verdict into findings, then
+// cross-check any certificate embedded in the container against the fresh
+// one — an embedded certificate is a claim, not a proof, until re-derived.
+#include <string>
+
+#include "analysis/certificate.h"
+#include "support/error.h"
+#include "verify/internal.h"
+#include "verify/verify.h"
+
+namespace ccomp::verify::detail {
+
+namespace {
+
+/// True when `embedded` claims any bound tighter than `fresh` proves, or a
+/// better verdict than the artifacts support. A stale certificate (image
+/// re-linked after certification) must not launder a tighter WCET.
+bool understates(const analysis::DecodeCertificate& embedded,
+                 const analysis::DecodeCertificate& fresh) {
+  if (embedded.certified() && !fresh.certified()) return true;
+  if (!fresh.certified()) return false;  // fresh failure already an error
+  return embedded.max_bits_per_byte < fresh.max_bits_per_byte ||
+         embedded.max_bits_per_block < fresh.max_bits_per_block ||
+         embedded.model_block_bytes < fresh.model_block_bytes ||
+         embedded.max_decode_depth < fresh.max_decode_depth ||
+         embedded.max_phase1_fuel < fresh.max_phase1_fuel ||
+         embedded.max_block_payload_bytes < fresh.max_block_payload_bytes;
+}
+
+}  // namespace
+
+void check_certificate(const core::CompressedImage& image, const VerifyOptions& opts,
+                       VerifyReport& report) {
+  analysis::CertifyOptions copts;
+  copts.state_cap = opts.certify_state_cap;
+  const analysis::DecodeCertificate cert = analysis::certify(image, copts);
+
+  switch (cert.verdict) {
+    case analysis::Verdict::kCertified:
+      break;
+    case analysis::Verdict::kFailed:
+      for (const std::string& reason : cert.failures) emit(report, "ANA001", reason);
+      if (cert.failures.empty()) emit(report, "ANA001", "certification failed (no reason recorded)");
+      break;
+    case analysis::Verdict::kUnbounded:
+      for (const std::string& reason : cert.failures) emit(report, "ANA002", reason);
+      if (cert.failures.empty())
+        emit(report, "ANA002", "no finite decode-cost bound exists for this image");
+      break;
+  }
+  if (!cert.exhaustive)
+    emit(report, "ANA005",
+         "model state space exceeds the exploration cap; interval widening used");
+
+  if (!cert.terminates)
+    emit(report, "WCB003",
+         "decode termination unproved: a certified WCET cannot be derived");
+
+  if (cert.certified()) {
+    // Every stored block payload must fit under the model-level byte bound;
+    // one that does not means the bound (or the image) is wrong.
+    for (std::size_t b = 0; b < image.block_count(); ++b) {
+      const std::size_t actual = image.block_payload(b).size();
+      if (actual > cert.model_block_bytes)
+        emit(report, "WCB001",
+             "block " + std::to_string(b) + " holds " + std::to_string(actual) +
+                 " payload byte(s), over the certified model bound of " +
+                 std::to_string(cert.model_block_bytes));
+    }
+    emit(report, "WCB002",
+         "certified per-block worst case: " + std::to_string(cert.max_bits_per_block) +
+             " bits (" + std::to_string(cert.model_block_bytes) + " model bytes, " +
+             std::to_string(cert.max_block_payload_bytes) + " observed max payload bytes)");
+  }
+
+  if (image.has_certificate()) {
+    analysis::DecodeCertificate embedded;
+    try {
+      ByteSource src(image.certificate());
+      embedded = analysis::DecodeCertificate::deserialize(src);
+      if (!src.at_end())
+        throw CorruptDataError("trailing bytes after the certificate blob");
+    } catch (const Error& e) {
+      emit(report, "ANA003", std::string("embedded certificate: ") + e.what());
+      return;
+    }
+    if (understates(embedded, cert))
+      emit(report, "ANA004",
+           "embedded certificate claims tighter bounds than re-analysis proves "
+           "(verdict " +
+               std::string(analysis::verdict_name(embedded.verdict)) + " vs recomputed " +
+               std::string(analysis::verdict_name(cert.verdict)) + ")");
+  }
+}
+
+}  // namespace ccomp::verify::detail

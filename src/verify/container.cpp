@@ -39,6 +39,7 @@ bool scan_container(std::span<const std::uint8_t> bytes, VerifyReport& report) {
     const std::uint8_t flags = src.u8();
     const bool variable = (flags & 0x01) != 0;
     const bool has_ecc = (flags & 0x02) != 0;
+    const bool has_certificate = (flags & 0x04) != 0;
     const std::uint32_t block_size = src.u32();
     const std::uint64_t original_size = src.u64();
     if (codec < 1 || codec > 4)
@@ -46,7 +47,7 @@ bool scan_container(std::span<const std::uint8_t> bytes, VerifyReport& report) {
     if (isa < 1 || isa > 3)
       emit(report, "IMG002", "ISA id " + std::to_string(isa) + " is not a known ISA");
     if (block_size == 0) emit(report, "IMG003", "header block size is zero");
-    if ((flags & ~0x03) != 0)
+    if ((flags & ~0x07) != 0)
       emit(report, "IMG006",
            "header flags byte has unknown bits set (value " + std::to_string(flags) + ")");
 
@@ -147,6 +148,13 @@ bool scan_container(std::span<const std::uint8_t> bytes, VerifyReport& report) {
       }
     }
 
+    region = "certificate section";
+    if (has_certificate) {
+      const std::span<const std::uint8_t> cert_bytes = src.sized_bytes_view();
+      if (cert_bytes.empty())
+        emit(report, "ANA003", "certificate flag set but the section is empty");
+    }
+
     region = "checksum trailer";
     const std::size_t body_end = src.position();
     const std::uint32_t stored = src.u32();
@@ -221,6 +229,11 @@ VerifyReport verify_image(const core::CompressedImage& image, const VerifyOption
     CCOMP_SPAN("verify.control_flow");
     CCOMP_TIMER("verify.control_flow_ns");
     detail::check_control_flow(image, opts, report);
+  }
+  if (opts.certify) {
+    CCOMP_SPAN("verify.certificate");
+    CCOMP_TIMER("verify.certificate_ns");
+    detail::check_certificate(image, opts, report);
   }
   return report;
 }

@@ -106,6 +106,19 @@ constexpr std::array<CheckInfo, 40> kCatalogue = {{
     {"STR002", Severity::kError, "block payload inconsistent with its stream frame"},
 }};
 
+constexpr std::array<CheckInfo, 8> kAnaCatalogue = {{
+    // Decode certificates (ccomp::analysis).
+    {"ANA001", Severity::kError, "decode artifacts could not be certified (analysis failed)"},
+    {"ANA002", Severity::kError, "no finite decode-cost bound exists (kUnbounded verdict)"},
+    {"ANA003", Severity::kError, "embedded certificate section is malformed"},
+    {"ANA004", Severity::kWarn, "embedded certificate understates the recomputed bounds"},
+    {"ANA005", Severity::kInfo, "state space widened (bounds sound but not exhaustive)"},
+    // Certified worst-case block decode (WCET feed).
+    {"WCB001", Severity::kError, "block payload exceeds the certified model byte bound"},
+    {"WCB002", Severity::kInfo, "certified worst-case block-decode bound summary"},
+    {"WCB003", Severity::kError, "decode termination not proved; no certified WCET exists"},
+}};
+
 constexpr std::array<CheckInfo, 6> kCfgCatalogue = {{
     {"CFG001", Severity::kError, "branch/jump target not instruction-aligned"},
     {"CFG002", Severity::kWarn, "branch/jump target outside the image"},
@@ -116,9 +129,10 @@ constexpr std::array<CheckInfo, 6> kCfgCatalogue = {{
 }};
 
 constexpr auto make_full_catalogue() {
-  std::array<CheckInfo, kCatalogue.size() + kCfgCatalogue.size()> all{};
+  std::array<CheckInfo, kCatalogue.size() + kAnaCatalogue.size() + kCfgCatalogue.size()> all{};
   std::size_t i = 0;
   for (const CheckInfo& c : kCatalogue) all[i++] = c;
+  for (const CheckInfo& c : kAnaCatalogue) all[i++] = c;
   for (const CheckInfo& c : kCfgCatalogue) all[i++] = c;
   return all;
 }

@@ -84,6 +84,11 @@ struct VerifyOptions {
   /// Load address of the MIPS text segment, used to resolve absolute
   /// 26-bit jump targets back to program offsets.
   std::uint64_t mips_text_base = 0x00400000;
+  /// Run the decode-certificate layer (ANA/WCB): recompute the image's
+  /// certificate via ccomp::analysis and cross-check any embedded one.
+  bool certify = false;
+  /// State cap for the certificate engine's exhaustive exploration.
+  std::size_t certify_state_cap = std::size_t{1} << 16;
 };
 
 /// Audit an already-deserialized image: structure, tables, control flow.
@@ -101,6 +106,8 @@ void check_structure(const core::CompressedImage& image, VerifyReport& report);
 void check_tables(const core::CompressedImage& image, VerifyReport& report);
 void check_control_flow(const core::CompressedImage& image, const VerifyOptions& opts,
                         VerifyReport& report);
+void check_certificate(const core::CompressedImage& image, const VerifyOptions& opts,
+                       VerifyReport& report);
 }  // namespace detail
 
 }  // namespace ccomp::verify

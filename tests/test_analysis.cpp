@@ -1,0 +1,371 @@
+// Decode-certificate engine tests.
+//
+// Positive direction: every codec's clean output certifies with finite
+// bounds that are *sound* — the certified per-block byte bound dominates
+// every payload the encoder actually emitted. Adversarial direction:
+// hand-crafted images with a zero-bit Markov cycle, an over-deep Huffman
+// table, and a truncated rANS tail each produce a failing certificate (a
+// verdict, not a crash) — run these under ASan/UBSan to prove the tolerant
+// re-parser never reads out of bounds on hostile tables. Plus the wiring:
+// blob round-trip, container section round-trip, the ANA/WCB verify layer,
+// and the strict memory-system loading mode.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/certificate.h"
+#include "baseline/bytehuff.h"
+#include "isa/mips/mips.h"
+#include "memsys/functional.h"
+#include "memsys/sim.h"
+#include "sadc/sadc.h"
+#include "samc/samc.h"
+#include "samc/samc_x86split.h"
+#include "support/error.h"
+#include "support/serialize.h"
+#include "verify/verify.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+#include "workload/x86_gen.h"
+
+namespace ccomp {
+namespace {
+
+std::vector<std::uint8_t> mips_code(std::uint32_t kb) {
+  workload::Profile p = *workload::find_profile("go");
+  p.code_kb = kb;
+  return mips::words_to_bytes(workload::generate_mips(p));
+}
+
+std::vector<std::uint8_t> x86_code(std::uint32_t kb) {
+  workload::Profile p = *workload::find_profile("go");
+  p.code_kb = kb;
+  return workload::generate_x86(p);
+}
+
+/// Soundness harness: the image certifies, and the model-level byte bound
+/// dominates every stored block payload.
+void expect_certified_and_sound(const core::CompressedImage& image) {
+  const analysis::DecodeCertificate cert = analysis::certify(image);
+  ASSERT_EQ(cert.verdict, analysis::Verdict::kCertified)
+      << (cert.failures.empty() ? std::string("no reason") : cert.failures.front());
+  EXPECT_TRUE(cert.terminates);
+  EXPECT_GT(cert.max_bits_per_byte, 0u);
+  EXPECT_GT(cert.max_bits_per_block, 0u);
+  EXPECT_GT(cert.model_block_bytes, 0u);
+  for (std::size_t b = 0; b < image.block_count(); ++b)
+    EXPECT_LE(image.block_payload(b).size(), cert.model_block_bytes) << "block " << b;
+  EXPECT_EQ(cert.block_size, image.block_size());
+}
+
+TEST(Certify, SamcMipsDefaultsIsCertifiedExhaustively) {
+  const auto image = samc::SamcCodec(samc::mips_defaults()).compress(mips_code(4));
+  const analysis::DecodeCertificate cert = analysis::certify(image);
+  ASSERT_TRUE(cert.certified());
+  EXPECT_TRUE(cert.exhaustive);
+  EXPECT_TRUE(cert.terminates);
+  EXPECT_GT(cert.explored_states, 0u);
+  EXPECT_EQ(cert.max_fanout, 2u);
+  expect_certified_and_sound(image);
+}
+
+TEST(Certify, SamcMultiStreamRangeAndRans) {
+  for (const samc::EntropyCoder coder :
+       {samc::EntropyCoder::kRange, samc::EntropyCoder::kRans}) {
+    samc::SamcOptions opts = samc::mips_defaults();
+    opts.entropy_streams = 4;
+    opts.entropy_coder = coder;
+    expect_certified_and_sound(samc::SamcCodec(opts).compress(mips_code(4)));
+  }
+}
+
+TEST(Certify, SamcX86IsCertified) {
+  expect_certified_and_sound(samc::SamcCodec(samc::x86_defaults()).compress(x86_code(4)));
+}
+
+TEST(Certify, SamcX86SplitIsCertified) {
+  expect_certified_and_sound(samc::SamcX86SplitCodec().compress(x86_code(4)));
+}
+
+TEST(Certify, SadcMipsIsCertified) {
+  const auto image = sadc::SadcMipsCodec().compress(mips_code(4));
+  const analysis::DecodeCertificate cert = analysis::certify(image);
+  ASSERT_TRUE(cert.certified());
+  EXPECT_GT(cert.max_phase1_fuel, 0u);
+  EXPECT_LE(cert.max_phase1_fuel, image.block_size() / 4);
+  EXPECT_LE(cert.max_decode_depth, 16u);
+  expect_certified_and_sound(image);
+}
+
+TEST(Certify, SadcX86IsCertified) {
+  expect_certified_and_sound(sadc::SadcX86Codec().compress(x86_code(4)));
+}
+
+TEST(Certify, ByteHuffmanIsCertified) {
+  const auto image = baseline::ByteHuffmanCodec().compress(mips_code(4));
+  const analysis::DecodeCertificate cert = analysis::certify(image);
+  ASSERT_TRUE(cert.certified());
+  EXPECT_LE(cert.max_decode_depth, 16u);
+  EXPECT_EQ(cert.max_bits_per_byte, cert.max_decode_depth);
+  expect_certified_and_sound(image);
+}
+
+TEST(Certify, WidenedAboveStateCapStaysSoundButInexhaustive) {
+  const auto image = samc::SamcCodec(samc::mips_defaults()).compress(mips_code(4));
+  analysis::CertifyOptions opts;
+  opts.state_cap = 1;  // force widening
+  const analysis::DecodeCertificate cert = analysis::certify(image, opts);
+  ASSERT_TRUE(cert.certified());
+  EXPECT_FALSE(cert.exhaustive);
+  // Widening only loosens: its bound dominates the exhaustive one.
+  const analysis::DecodeCertificate exact = analysis::certify(image);
+  EXPECT_GE(cert.model_block_bytes, exact.model_block_bytes);
+  EXPECT_GE(cert.max_bits_per_block, exact.max_bits_per_block);
+}
+
+TEST(Certify, CertifiedCycleBoundDominatesRefillModel) {
+  const auto image = samc::SamcCodec(samc::mips_defaults()).compress(mips_code(4));
+  const analysis::DecodeCertificate cert = analysis::certify(image);
+  ASSERT_TRUE(cert.certified());
+  const memsys::RefillModel m;
+  const std::uint64_t certified = analysis::certified_block_cycles(
+      cert, m.memory_latency, m.cycles_per_byte, m.decode_startup, m.decode_bits_per_cycle);
+  // The refill model charges latency + payload transfer + decode; the
+  // certified bound uses the exact max payload, so it dominates every
+  // block's modeled refill.
+  for (std::size_t b = 0; b < image.block_count(); ++b) {
+    const std::uint64_t observed =
+        m.memory_latency + m.cycles_per_byte * image.block_payload(b).size() +
+        m.decode_startup +
+        (std::uint64_t{8} * image.block_size() + m.decode_bits_per_cycle - 1) /
+            m.decode_bits_per_cycle;
+    EXPECT_GE(certified, observed) << "block " << b;
+  }
+  analysis::DecodeCertificate failed = cert;
+  failed.verdict = analysis::Verdict::kFailed;
+  EXPECT_EQ(analysis::certified_block_cycles(failed, m.memory_latency, m.cycles_per_byte,
+                                             m.decode_startup, m.decode_bits_per_cycle),
+            0u);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial images.
+
+/// Hand-craft a SAMC table blob whose single-stream model gives every node
+/// p0 = 0: the TRUE branch is certain everywhere, so the decoder walks the
+/// whole state graph without ever consuming a compressed bit — the zero-bit
+/// cycle the termination proof must detect.
+core::CompressedImage zero_bit_cycle_image() {
+  ByteSink tables;
+  tables.u8(0);  // coder mode: range
+  tables.u8(1);  // one entropy stream
+  // StreamDivision: word_bits=8, one stream holding bits 7..0.
+  tables.u8(8);
+  tables.varint(1);
+  tables.varint(8);
+  for (int b = 7; b >= 0; --b) tables.u8(static_cast<std::uint8_t>(b));
+  tables.u8(0);  // context_bits
+  tables.u8(0);  // flags: unquantized, no cross-word context
+  tables.u8(0);  // max_shift
+  tables.varint(255);  // one context x (2^8 - 1) tree nodes
+  for (int i = 0; i < 255; ++i) tables.u16(0);  // p0 = 0 everywhere
+  std::vector<std::uint8_t> payload(10, 0xAB);
+  const std::uint32_t payload_size = static_cast<std::uint32_t>(payload.size());
+  return core::CompressedImage(core::CodecKind::kSamc, core::IsaKind::kRawBytes,
+                               /*block_size=*/8, /*original_size=*/8, tables.take(),
+                               {0, payload_size}, std::move(payload));
+}
+
+TEST(CertifyAdversarial, ZeroBitMarkovCycleIsUnbounded) {
+  const analysis::DecodeCertificate cert = analysis::certify(zero_bit_cycle_image());
+  EXPECT_EQ(cert.verdict, analysis::Verdict::kUnbounded);
+  EXPECT_FALSE(cert.terminates);
+  ASSERT_FALSE(cert.failures.empty());
+}
+
+TEST(CertifyAdversarial, OverDeepHuffmanTableFailsCleanly) {
+  // A 17-bit code length: past the decoder's kMaxCodeLength. The production
+  // parser rejects it; the certificate records the rejection as kFailed.
+  ByteSink tables;
+  tables.varint(2);
+  tables.u8(17);
+  tables.u8(1);
+  std::vector<std::uint8_t> payload(4, 0);
+  const std::uint32_t payload_size = static_cast<std::uint32_t>(payload.size());
+  const core::CompressedImage image(core::CodecKind::kByteHuffman, core::IsaKind::kRawBytes,
+                                    /*block_size=*/32, /*original_size=*/16, tables.take(),
+                                    {0, payload_size}, std::move(payload));
+  const analysis::DecodeCertificate cert = analysis::certify(image);
+  EXPECT_EQ(cert.verdict, analysis::Verdict::kFailed);
+  ASSERT_FALSE(cert.failures.empty());
+}
+
+TEST(CertifyAdversarial, TruncatedRansTailFailsCleanly) {
+  samc::SamcOptions opts = samc::mips_defaults();
+  opts.entropy_coder = samc::EntropyCoder::kRans;
+  const std::vector<std::uint8_t> code = mips_code(1);
+  const auto good = samc::SamcCodec(opts).compress(code);
+  // Rebuild a one-block image whose payload is the first block's bytes cut
+  // to 3 — too short for the 4-byte rANS attach.
+  const std::span<const std::uint8_t> block0 = good.block_payload(0);
+  ASSERT_GE(block0.size(), 4u);
+  std::vector<std::uint8_t> payload(block0.begin(), block0.begin() + 3);
+  const core::CompressedImage truncated(
+      core::CodecKind::kSamc, good.isa(), good.block_size(),
+      /*original_size=*/good.block_size(),
+      std::vector<std::uint8_t>(good.tables().begin(), good.tables().end()), {0, 3},
+      std::move(payload));
+  const analysis::DecodeCertificate cert = analysis::certify(truncated);
+  EXPECT_EQ(cert.verdict, analysis::Verdict::kFailed);
+  ASSERT_FALSE(cert.failures.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Serialization + container wiring.
+
+TEST(CertificateBlob, RoundTripsExactly) {
+  const auto image = samc::SamcCodec(samc::mips_defaults()).compress(mips_code(2));
+  analysis::DecodeCertificate cert = analysis::certify(image);
+  cert.failures.push_back("advisory note");
+  ByteSink sink;
+  cert.serialize(sink);
+  ByteSource src(sink.view());
+  const analysis::DecodeCertificate back = analysis::DecodeCertificate::deserialize(src);
+  EXPECT_TRUE(src.at_end());
+  EXPECT_EQ(cert, back);
+}
+
+TEST(CertificateBlob, DeserializeRejectsGarbage) {
+  const std::vector<std::uint8_t> junk = {0x7F, 0x00, 0x00};
+  ByteSource src(junk);
+  EXPECT_THROW(analysis::DecodeCertificate::deserialize(src), CorruptDataError);
+}
+
+TEST(Container, CertificateSectionRoundTrips) {
+  auto image = samc::SamcCodec(samc::mips_defaults()).compress(mips_code(2));
+  const analysis::DecodeCertificate cert = analysis::certify(image);
+  ASSERT_TRUE(cert.certified());
+  ByteSink blob;
+  cert.serialize(blob);
+  image.attach_certificate(blob.take());
+  ASSERT_TRUE(image.has_certificate());
+
+  ByteSink sink;
+  image.serialize(sink);
+  ByteSource src(sink.view());
+  const core::CompressedImage back = core::CompressedImage::deserialize(src);
+  ASSERT_TRUE(back.has_certificate());
+  ByteSource cert_src(back.certificate());
+  EXPECT_EQ(analysis::DecodeCertificate::deserialize(cert_src), cert);
+
+  // A certified container passes the ANA/WCB verify layer.
+  verify::VerifyOptions vopts;
+  vopts.certify = true;
+  const verify::VerifyReport report = verify::verify_image(back, vopts);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_TRUE(report.has("WCB002"));
+}
+
+TEST(Container, DroppedCertificateSerializesAsBefore) {
+  auto image = samc::SamcCodec(samc::mips_defaults()).compress(mips_code(1));
+  ByteSink before;
+  image.serialize(before);
+  const analysis::DecodeCertificate cert = analysis::certify(image);
+  ByteSink blob;
+  cert.serialize(blob);
+  image.attach_certificate(blob.take());
+  image.drop_certificate();
+  ByteSink after;
+  image.serialize(after);
+  EXPECT_EQ(before.view().size(), after.view().size());
+}
+
+TEST(VerifyCertify, UnboundedImageFlagsAna002AndWcb003) {
+  verify::VerifyOptions vopts;
+  vopts.certify = true;
+  const verify::VerifyReport report = verify::verify_image(zero_bit_cycle_image(), vopts);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("ANA002"));
+  EXPECT_TRUE(report.has("WCB003"));
+}
+
+TEST(VerifyCertify, UnderstatingEmbeddedCertificateWarnsAna004) {
+  auto image = samc::SamcCodec(samc::mips_defaults()).compress(mips_code(2));
+  analysis::DecodeCertificate lying = analysis::certify(image);
+  ASSERT_TRUE(lying.certified());
+  lying.model_block_bytes = 1;  // claims a tighter bound than provable
+  ByteSink blob;
+  lying.serialize(blob);
+  image.attach_certificate(blob.take());
+  verify::VerifyOptions vopts;
+  vopts.certify = true;
+  const verify::VerifyReport report = verify::verify_image(image, vopts);
+  EXPECT_TRUE(report.has("ANA004"));
+}
+
+TEST(VerifyCertify, MalformedEmbeddedCertificateFlagsAna003) {
+  auto image = samc::SamcCodec(samc::mips_defaults()).compress(mips_code(1));
+  image.attach_certificate({0x63, 0x61, 0x74});
+  verify::VerifyOptions vopts;
+  vopts.certify = true;
+  const verify::VerifyReport report = verify::verify_image(image, vopts);
+  EXPECT_TRUE(report.has("ANA003"));
+}
+
+TEST(CatalogueContainsAnaWcbFamily, AllIdsPresent) {
+  for (const char* id :
+       {"ANA001", "ANA002", "ANA003", "ANA004", "ANA005", "WCB001", "WCB002", "WCB003"}) {
+    bool found = false;
+    for (const verify::CheckInfo& info : verify::check_catalogue())
+      if (std::string(info.id) == id) found = true;
+    EXPECT_TRUE(found) << id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strict memory-system loading mode.
+
+TEST(StrictMemsys, RefusesUncertifiedImageAndLoadsCertifiedOne) {
+  const std::vector<std::uint8_t> code = mips_code(2);
+  auto image = samc::SamcCodec(samc::mips_defaults()).compress(code);
+  const memsys::CacheConfig cache{.size_bytes = 1024, .line_bytes = 32, .associativity = 2};
+  const samc::SamcCodec codec(samc::mips_defaults());
+
+  EXPECT_THROW(memsys::FunctionalMemorySystem(cache, codec, image, /*verify_on_load=*/true,
+                                              /*require_certificate=*/true),
+               CorruptDataError);
+
+  const analysis::DecodeCertificate cert = analysis::certify(image);
+  ASSERT_TRUE(cert.certified());
+  ByteSink blob;
+  cert.serialize(blob);
+  image.attach_certificate(blob.take());
+  memsys::FunctionalMemorySystem mem(cache, codec, image, /*verify_on_load=*/true,
+                                     /*require_certificate=*/true);
+  for (std::uint32_t addr = 0; addr < 256; addr += 4) {
+    const std::uint32_t expect = static_cast<std::uint32_t>(code[addr]) |
+                                 (static_cast<std::uint32_t>(code[addr + 1]) << 8) |
+                                 (static_cast<std::uint32_t>(code[addr + 2]) << 16) |
+                                 (static_cast<std::uint32_t>(code[addr + 3]) << 24);
+    EXPECT_EQ(mem.fetch(addr), expect) << "addr " << addr;
+  }
+}
+
+TEST(StrictMemsys, RefusesFailedEmbeddedVerdict) {
+  auto image = samc::SamcCodec(samc::mips_defaults()).compress(mips_code(1));
+  analysis::DecodeCertificate cert = analysis::certify(image);
+  cert.verdict = analysis::Verdict::kUnbounded;
+  ByteSink blob;
+  cert.serialize(blob);
+  image.attach_certificate(blob.take());
+  const memsys::CacheConfig cache{.size_bytes = 1024, .line_bytes = 32, .associativity = 2};
+  const samc::SamcCodec codec(samc::mips_defaults());
+  EXPECT_THROW(memsys::FunctionalMemorySystem(cache, codec, image, true, true),
+               CorruptDataError);
+}
+
+}  // namespace
+}  // namespace ccomp

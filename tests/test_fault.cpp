@@ -135,7 +135,7 @@ TEST(SecdedBlock, TailPaddingMiscorrectionIsRefused) {
   for (int trial = 0; trial < 2000 && !saw_uncorrectable; ++trial) {
     std::vector<std::uint8_t> bad = data;
     std::vector<std::uint8_t> bad_check = check;
-    for (int k = 0; k < 3; ++k) bad[rng.next_below(bad.size())] ^= 1u << rng.next_below(8);
+    for (int k = 0; k < 3; ++k) bad[rng.next_below(bad.size())] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
     const ecc::BlockResult result = ecc::correct_block(bad, bad_check);
     if (result.uncorrectable_words > 0) saw_uncorrectable = true;
     // Whatever the verdict, the data span stays 5 bytes — padding is never

@@ -65,7 +65,7 @@ TEST(MarkovModel, UniformRandomCostsNearEightBitsPerByte) {
   cfg.context_bits = 0;
   Rng rng(5);
   std::vector<std::uint32_t> words;
-  for (int i = 0; i < 20000; ++i) words.push_back(rng.next_below(256));
+  for (int i = 0; i < 20000; ++i) words.push_back(static_cast<std::uint32_t>(rng.next_below(256)));
   const auto model = MarkovModel::train(cfg, words);
   const double bits_per_word = model.estimate_bits(words) / static_cast<double>(words.size());
   EXPECT_GT(bits_per_word, 7.9);
@@ -92,7 +92,7 @@ TEST(MarkovModel, SerializeRoundTripPreservesProbs) {
   cfg.context_bits = 2;
   Rng rng(8);
   std::vector<std::uint32_t> words;
-  for (int i = 0; i < 3000; ++i) words.push_back(rng.next_below(65536));
+  for (int i = 0; i < 3000; ++i) words.push_back(static_cast<std::uint32_t>(rng.next_below(65536)));
   const auto model = MarkovModel::train(cfg, words);
   ByteSink sink;
   model.serialize(sink);
@@ -114,7 +114,7 @@ TEST(MarkovModel, QuantizedProbsArePowersOfHalf) {
   cfg.max_shift = 7;
   Rng rng(9);
   std::vector<std::uint32_t> words;
-  for (int i = 0; i < 4000; ++i) words.push_back(rng.pick_skewed(256, 0.8));
+  for (int i = 0; i < 4000; ++i) words.push_back(static_cast<std::uint32_t>(rng.pick_skewed(256, 0.8)));
   const auto model = MarkovModel::train(cfg, words);
   for (std::size_t ctx = 0; ctx < model.context_count(); ++ctx) {
     for (std::size_t node = 0; node < model.tree_node_count(0); ++node) {
@@ -135,7 +135,7 @@ TEST(MarkovModel, QuantizedSerializationIsOneBytePerProbAndExact) {
   cfg.max_shift = 8;
   Rng rng(12);
   std::vector<std::uint32_t> words;
-  for (int i = 0; i < 4000; ++i) words.push_back(rng.pick_skewed(1024, 0.8));
+  for (int i = 0; i < 4000; ++i) words.push_back(static_cast<std::uint32_t>(rng.pick_skewed(1024, 0.8)));
   const auto model = MarkovModel::train(cfg, words);
 
   ByteSink sink;
@@ -158,7 +158,7 @@ TEST(MarkovModel, ConnectedTreesBeatIndependentOnCorrelatedStreams) {
   Rng rng(10);
   std::vector<std::uint32_t> words;
   for (int i = 0; i < 8000; ++i) {
-    const std::uint32_t b = rng.pick_skewed(4, 0.5);  // tiny alphabet
+    const auto b = static_cast<std::uint32_t>(rng.pick_skewed(4, 0.5));  // tiny alphabet
     words.push_back((b << 8) | b);
   }
   MarkovConfig connected;
@@ -193,7 +193,7 @@ TEST(MarkovCursor, BlockResetsMakeBlocksIdentical) {
   cfg.context_bits = 1;
   Rng rng(11);
   std::vector<std::uint32_t> block;
-  for (int i = 0; i < 32; ++i) block.push_back(rng.next_below(256));
+  for (int i = 0; i < 32; ++i) block.push_back(static_cast<std::uint32_t>(rng.next_below(256)));
   std::vector<std::uint32_t> doubled = block;
   doubled.insert(doubled.end(), block.begin(), block.end());
   const auto model = MarkovModel::train(cfg, doubled, block.size());

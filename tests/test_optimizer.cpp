@@ -46,7 +46,7 @@ TEST(Optimizer, FindsStructureInPlantedData) {
   Rng rng(62);
   std::vector<std::uint32_t> words;
   for (int i = 0; i < 8000; ++i) {
-    const std::uint32_t low = rng.next_below(256);
+    const auto low = static_cast<std::uint32_t>(rng.next_below(256));
     const std::uint32_t rest = rng.next_u32() & 0xFFFF0000u;
     words.push_back(rest | (low << 8) | low);
   }

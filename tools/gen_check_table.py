@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Generate the verifier check-catalogue table into README.md and DESIGN.md.
+
+The single source of truth for check IDs is the constexpr catalogue arrays in
+src/verify/report.cpp (kCatalogue, kAnaCatalogue, kCfgCatalogue). This script
+parses those entries and rewrites the markdown table between the
+
+    <!-- check-table:begin -->
+    <!-- check-table:end -->
+
+markers in README.md and DESIGN.md, so the docs can never silently drift from
+the code: CI runs `--check`, which exits 1 if a regeneration would change
+either file (the fix is to run `--write` and commit).
+
+Usage:
+    tools/gen_check_table.py --write    # regenerate the tables in place
+    tools/gen_check_table.py --check    # exit 1 if the tables are stale
+
+Standard library only; run from the repository root.
+
+Exit status: 0 on success / tables current, 1 on drift or parse failure.
+"""
+
+import argparse
+import re
+import sys
+
+SOURCE = "src/verify/report.cpp"
+BEGIN = "<!-- check-table:begin -->"
+END = "<!-- check-table:end -->"
+
+# One catalogue entry: {"SER001", Severity::kError, "summary text"}. The
+# summary never contains escaped quotes today; the pattern rejects them so a
+# future escape shows up as a parse failure instead of a truncated row.
+ENTRY = re.compile(
+    r'\{\s*"([A-Z]{3}\d{3})"\s*,\s*Severity::k(Error|Warn|Info)\s*,\s*"([^"\\]*)"\s*\}'
+)
+
+SEVERITY = {"Error": "error", "Warn": "warn", "Info": "info"}
+
+
+def parse_catalogue(path):
+    """Return [(id, severity, summary)] in source order; raise on nonsense."""
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    entries = [(m.group(1), SEVERITY[m.group(2)], m.group(3)) for m in ENTRY.finditer(text)]
+    if len(entries) < 10:
+        raise SystemExit(f"{path}: parsed only {len(entries)} catalogue entries — "
+                         "did the array syntax change?")
+    ids = [e[0] for e in entries]
+    dupes = {i for i in ids if ids.count(i) > 1}
+    if dupes:
+        raise SystemExit(f"{path}: duplicate check ids {sorted(dupes)}")
+    return entries
+
+
+def render_table(entries, indent):
+    lines = [f"{indent}| check | severity | invariant |",
+             f"{indent}|-------|----------|-----------|"]
+    for check_id, severity, summary in entries:
+        lines.append(f"{indent}| `{check_id}` | {severity} | {summary} |")
+    return lines
+
+
+def splice(path, entries):
+    """Return (old_text, new_text) for the file with the table regenerated."""
+    with open(path, encoding="utf-8") as f:
+        old = f.read()
+    lines = old.split("\n")
+    begin = [i for i, l in enumerate(lines) if l.strip() == BEGIN]
+    end = [i for i, l in enumerate(lines) if l.strip() == END]
+    if len(begin) != 1 or len(end) != 1 or end[0] <= begin[0]:
+        raise SystemExit(f"{path}: expected exactly one {BEGIN} ... {END} marker pair")
+    # The markers keep their own indentation (DESIGN.md nests the table
+    # inside a numbered-list item); the table inherits it.
+    indent = lines[begin[0]][: len(lines[begin[0]]) - len(lines[begin[0]].lstrip())]
+    new_lines = lines[: begin[0] + 1] + render_table(entries, indent) + lines[end[0]:]
+    return old, "\n".join(new_lines)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--write", action="store_true", help="regenerate tables in place")
+    mode.add_argument("--check", action="store_true", help="exit 1 if tables are stale")
+    ap.add_argument("--source", default=SOURCE, help="catalogue source file")
+    ap.add_argument("--targets", nargs="*", default=["README.md", "DESIGN.md"],
+                    help="markdown files carrying the marker pair")
+    args = ap.parse_args()
+
+    entries = parse_catalogue(args.source)
+    stale = []
+    for target in args.targets:
+        old, new = splice(target, entries)
+        if old == new:
+            continue
+        if args.write:
+            with open(target, "w", encoding="utf-8") as f:
+                f.write(new)
+            print(f"{target}: regenerated ({len(entries)} checks)")
+        else:
+            stale.append(target)
+    if args.check:
+        if stale:
+            print(f"stale check table in: {', '.join(stale)} — "
+                  f"run tools/gen_check_table.py --write and commit", file=sys.stderr)
+            return 1
+        print(f"check tables current ({len(entries)} checks)")
+    elif args.write and not stale:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
