@@ -1,0 +1,98 @@
+// Table T-SERVER: throughput and coalescing of the concurrent image server.
+// Three rows of numbers: the latency of a hot (cached) lookup — the cost the
+// sharded cache and epoch bookkeeping add over a raw block-cache probe —
+// lookup throughput as reader threads scale, and the thundering-herd
+// coalescing ratio (misses joined per decode actually run) with a synthetic
+// decode delay holding the leader in the decoder.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "isa/mips/mips.h"
+#include "samc/samc.h"
+#include "server/server.h"
+#include "workload/mips_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace ccomp;
+  const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::JsonReporter json("tab_server", argc, argv);
+  std::printf("Table T-SERVER: concurrent image-server lookups (scale=%.2f)\n\n", scale);
+
+  const workload::Profile p = bench::scaled_profile(*workload::find_profile("go"), scale);
+  const auto code = mips::words_to_bytes(workload::generate_mips(p));
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const auto image = codec.compress(code);
+  const auto blocks = static_cast<std::uint32_t>(image.block_count());
+
+  server::ImageServer srv;
+  srv.load("img", codec, image);
+  std::printf("benchmark go: %zu KB text, %u blocks of %u B\n\n", code.size() / 1024, blocks,
+              image.block_size());
+
+  // Hot lookup: every block resident after one warming pass.
+  for (std::uint32_t b = 0; b < blocks; ++b) (void)srv.fetch("img", b);
+  const std::size_t rounds = 50;
+  const double hot_ns = bench::time_total_ns(rounds, [&](std::size_t) {
+                          for (std::uint32_t b = 0; b < blocks; ++b) (void)srv.fetch("img", b);
+                        }) /
+                        static_cast<double>(rounds * blocks);
+  std::printf("%-26s %10.0f ns\n", "hot lookup (cached)", hot_ns);
+  json.add("hot_lookup", "latency", hot_ns, "ns");
+
+  // Throughput as reader threads scale (single shared server, hot cache).
+  std::printf("\n%-26s %14s\n", "readers", "lookups/sec");
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    const std::size_t per_thread = 20000;
+    const double total_ns = bench::time_total_ns(1, [&](std::size_t) {
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (std::uint32_t t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+          for (std::size_t i = 0; i < per_thread; ++i)
+            (void)srv.fetch("img", static_cast<std::uint32_t>((i + t) % blocks));
+        });
+      }
+      for (std::thread& th : pool) th.join();
+    });
+    const double per_sec = static_cast<double>(threads) * static_cast<double>(per_thread) /
+                           (total_ns / 1e9);
+    std::printf("%-26u %14.0f\n", threads, per_sec);
+    json.add("threads_" + std::to_string(threads), "lookups_per_sec", per_sec, "1/s");
+  }
+
+  // Thundering herd: 8 threads racing to the same cold block, with a decode
+  // delay wide enough that followers arrive while the leader is decoding.
+  const std::uint32_t herd_threads = 8;
+  const std::size_t herd_rounds = 16;
+  srv.set_decode_delay(std::chrono::milliseconds(1));
+  const std::uint64_t decodes0 = srv.stats().decodes;
+  const std::uint64_t joined0 = srv.cache_stats().coalesced + srv.cache_stats().hits;
+  for (std::size_t round = 0; round < herd_rounds; ++round) {
+    srv.flush_cache();
+    const auto block = static_cast<std::uint32_t>(round % blocks);
+    std::atomic<std::uint32_t> ready{0};
+    std::vector<std::thread> pool;
+    pool.reserve(herd_threads);
+    for (std::uint32_t t = 0; t < herd_threads; ++t) {
+      pool.emplace_back([&] {
+        ready.fetch_add(1, std::memory_order_acq_rel);
+        while (ready.load(std::memory_order_acquire) < herd_threads) std::this_thread::yield();
+        (void)srv.fetch("img", block);
+      });
+    }
+    for (std::thread& th : pool) th.join();
+  }
+  srv.set_decode_delay(std::chrono::microseconds(0));
+  const std::uint64_t decodes = srv.stats().decodes - decodes0;
+  const std::uint64_t joined = srv.cache_stats().coalesced + srv.cache_stats().hits - joined0;
+  const double ratio =
+      decodes == 0 ? 0.0 : static_cast<double>(joined) / static_cast<double>(decodes);
+  std::printf("\nherd (8 threads x %zu rounds): %llu decode(s), %llu joined, ratio %.2f\n",
+              herd_rounds, static_cast<unsigned long long>(decodes),
+              static_cast<unsigned long long>(joined), ratio);
+  json.add("herd", "coalescing_ratio", ratio, "joins/decode");
+  return 0;
+}

@@ -1,0 +1,504 @@
+// server_campaign — concurrent fault campaign over the image-serving layer.
+//
+// Where fault_campaign attacks one single-threaded SelfHealingMemorySystem,
+// this campaign attacks a whole ccomp::server::ImageServer: three codecs
+// loaded at once, T reader threads replaying seeded traces, a fault-injector
+// thread attacking every store surface through with_store(), a swapper
+// thread alternating doomed and legitimate hot-swaps, and the background
+// scrubber sweeping underneath it all. Three phases:
+//
+//   herd        thundering-herd misses: per round, every reader fetches the
+//               same cold block while a synthetic decode delay holds the
+//               leader in the decoder — misses must coalesce, not duplicate.
+//   chaos       seeded faults (payload / LAT / ECC / CLB / bus) land while
+//               readers replay traces and hot-swaps churn the epoch; every
+//               served byte is compared against the pristine program.
+//   quarantine  a stuck-at cell defeats the whole recovery ladder until the
+//               circuit breaker trips; golden fallback serves (degraded),
+//               then the cell is repaired and a probe lifts the quarantine.
+//
+// A served byte that differs from the golden program without a thrown error
+// is silent corruption and fails the campaign. Gates (any miss = exit 1):
+// zero silent corruptions, herd coalescing ratio above --min-coalescing-
+// ratio, at least one tripped-then-recovered quarantine under
+// --require-recovery, and p99 lookup latency under --max-p99-ms.
+//
+//   server_campaign [--threads=T] [--faults=N] [--seed=S] [--kb=N]
+//                   [--json=path] [--min-coalescing-ratio=R]
+//                   [--require-recovery] [--max-p99-ms=MS]
+//
+// Exit status: 0 = all gates met, 1 = gate failure, 2 = usage error.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/bytehuff.h"
+#include "isa/mips/mips.h"
+#include "memsys/selfheal.h"
+#include "obs/obs.h"
+#include "obs_flags.h"
+#include "sadc/sadc.h"
+#include "samc/samc.h"
+#include "server/server.h"
+#include "support/error.h"
+#include "support/faultinject.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+
+namespace {
+
+using namespace ccomp;
+
+struct Config {
+  std::uint32_t threads = 8;
+  std::uint64_t faults = 10000;
+  std::uint64_t seed = 20260808;
+  std::uint32_t kb = 4;
+  double min_coalescing_ratio = -1.0;  // < 0: report only, don't gate
+  bool require_recovery = false;
+  double max_p99_ms = -1.0;  // < 0: report only, don't gate
+  const char* json_path = nullptr;
+};
+
+struct Images {
+  std::vector<std::string> names;
+  std::vector<std::unique_ptr<core::BlockCodec>> codecs;
+  std::vector<core::CompressedImage> images;
+  // golden[i][b] = pristine decompressed block b of image i.
+  std::vector<std::vector<std::vector<std::uint8_t>>> golden;
+};
+
+Images build_images(std::uint32_t kb) {
+  workload::Profile profile = *workload::find_profile("go");
+  profile.code_kb = kb;
+  const std::vector<std::uint8_t> code = mips::words_to_bytes(workload::generate_mips(profile));
+
+  Images out;
+  out.names = {"samc", "sadc", "huff"};
+  out.codecs.push_back(std::make_unique<samc::SamcCodec>(samc::mips_defaults()));
+  out.codecs.push_back(std::make_unique<sadc::SadcMipsCodec>());
+  out.codecs.push_back(std::make_unique<baseline::ByteHuffmanCodec>());
+  for (const auto& codec : out.codecs) {
+    out.images.push_back(codec->compress(code));
+    const core::CompressedImage& image = out.images.back();
+    const auto dec = codec->make_decompressor(image);
+    auto& blocks = out.golden.emplace_back();
+    for (std::size_t b = 0; b < image.block_count(); ++b) blocks.push_back(dec->block(b));
+  }
+  return out;
+}
+
+/// Campaign-global tallies. `silent` is the one that must stay zero: a fetch
+/// whose bytes differ from the pristine program without a thrown error.
+struct Tally {
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> silent{0};
+  std::atomic<std::uint64_t> degraded{0};   // golden fallback serves observed
+  std::atomic<std::uint64_t> escalated{0};  // typed errors surfaced to a reader
+  std::atomic<std::uint64_t> faults{0};     // injected fault events
+  std::atomic<std::uint64_t> swaps_tried{0};
+};
+
+/// One verified fetch: wrong bytes with no error count as silent corruption.
+void checked_fetch(server::ImageServer& srv, const Images& imgs, std::size_t image,
+                   std::uint32_t block, Tally& tally) {
+  tally.lookups.fetch_add(1, std::memory_order_relaxed);
+  try {
+    const server::FetchResult r = srv.fetch(imgs.names[image], block);
+    if (r.degraded) tally.degraded.fetch_add(1, std::memory_order_relaxed);
+    if (*r.bytes != imgs.golden[image][block])
+      tally.silent.fetch_add(1, std::memory_order_relaxed);
+  } catch (const Error&) {
+    // FaultEscalationError, QuarantinedError, or any other typed failure:
+    // the fault was surfaced, not silently served.
+    tally.escalated.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// --- phase: thundering herd ----------------------------------------------
+
+struct HerdResult {
+  std::uint64_t rounds = 0;
+  std::uint64_t decodes = 0;
+  std::uint64_t joined = 0;  // coalesced joins + hits on the leader's entry
+  double ratio = 0.0;        // joined / decodes — > 1 means coalescing works
+};
+
+HerdResult run_herd(server::ImageServer& srv, const Images& imgs, const Config& config,
+                    Tally& tally) {
+  HerdResult herd;
+  herd.rounds = 16;
+  const std::uint64_t decodes0 = srv.stats().decodes;
+  const std::uint64_t joined0 = srv.cache_stats().coalesced + srv.cache_stats().hits;
+
+  srv.set_decode_delay(std::chrono::milliseconds(2));
+  for (std::uint64_t round = 0; round < herd.rounds; ++round) {
+    const std::size_t image = round % imgs.images.size();
+    const auto block = static_cast<std::uint32_t>(round % imgs.images[image].block_count());
+    srv.flush_cache();
+
+    std::atomic<std::uint32_t> ready{0};
+    std::vector<std::thread> threads;
+    threads.reserve(config.threads);
+    for (std::uint32_t t = 0; t < config.threads; ++t) {
+      threads.emplace_back([&] {
+        ready.fetch_add(1, std::memory_order_acq_rel);
+        while (ready.load(std::memory_order_acquire) < config.threads) std::this_thread::yield();
+        checked_fetch(srv, imgs, image, block, tally);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  srv.set_decode_delay(std::chrono::microseconds(0));
+
+  herd.decodes = srv.stats().decodes - decodes0;
+  herd.joined = srv.cache_stats().coalesced + srv.cache_stats().hits - joined0;
+  herd.ratio = herd.decodes == 0 ? 0.0
+                                 : static_cast<double>(herd.joined) /
+                                       static_cast<double>(herd.decodes);
+  return herd;
+}
+
+// --- phase: concurrent chaos ---------------------------------------------
+
+void run_chaos(server::ImageServer& srv, const Images& imgs, const Config& config, Tally& tally) {
+  std::atomic<bool> done{false};
+  srv.start_scrubber(std::chrono::milliseconds(2), 64);
+
+  // Injector: one seeded fault per step through with_store(), rotating
+  // surface and physical model; a cache flush every few steps forces the
+  // readers back through the faulted store instead of the clean cache.
+  std::thread injector([&] {
+    fault::FaultInjector inj(config.seed ^ 0x1f0f1f0f1f0f1f0fULL);
+    const fault::Model models[] = {fault::Model::kSingleBit, fault::Model::kMultiBit,
+                                   fault::Model::kStuckAt0, fault::Model::kStuckAt1,
+                                   fault::Model::kBurst};
+    for (std::uint64_t step = 0; step < config.faults; ++step) {
+      const std::size_t image = inj.rng().next_below(imgs.images.size());
+      const std::size_t surface = inj.rng().next_below(5);
+      fault::FaultSpec spec;
+      spec.model = models[step % std::size(models)];
+      srv.with_store(imgs.names[image], [&](memsys::SelfHealingMemorySystem& heal) {
+        switch (surface) {
+          case 0: inj.inject(heal.store_payload(), spec); break;
+          case 1: inj.inject(heal.store_lat_bytes(), spec); break;
+          case 2: {
+            if (!heal.store_ecc().empty()) inj.inject(heal.store_ecc(), spec);
+            else inj.inject(heal.store_payload(), spec);
+            break;
+          }
+          case 3: {
+            auto clb = heal.clb_bytes();
+            if (!clb.empty()) inj.inject(clb, spec);
+            else inj.inject(heal.store_payload(), spec);
+            break;
+          }
+          default: inj.inject(heal.bus_buffer(), spec); break;
+        }
+      });
+      tally.faults.fetch_add(1, std::memory_order_relaxed);
+      if (step % 8 == 7) srv.flush_cache();
+      if (step % 512 == 511) srv.scrub_once(32);
+      std::this_thread::yield();
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // Swapper: a doomed replacement (non-monotone LAT) that must be rejected
+  // with the old epoch still serving, then a legitimate same-content swap
+  // that must be accepted — epoch churn under full reader load.
+  std::thread swapper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      for (std::size_t i = 0; i < imgs.images.size(); ++i) {
+        core::CompressedImage corrupt = imgs.images[i];
+        auto lat = corrupt.mutable_lat_bytes();
+        if (lat.size() >= 4) lat[0] = lat[1] = lat[2] = lat[3] = 0xFF;
+        (void)srv.swap(imgs.names[i], *imgs.codecs[i], corrupt);
+        (void)srv.swap(imgs.names[i], *imgs.codecs[i], imgs.images[i]);
+        tally.swaps_tried.fetch_add(2, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  // Readers: seeded traces, every served byte checked against the golden
+  // program until the injector has landed its full budget.
+  std::vector<std::thread> readers;
+  readers.reserve(config.threads);
+  for (std::uint32_t t = 0; t < config.threads; ++t) {
+    readers.emplace_back([&, t] {
+      fault::FaultInjector trace(config.seed ^ (0xabcd0000ULL + t));
+      while (!done.load(std::memory_order_acquire)) {
+        const std::size_t image = trace.rng().next_below(imgs.images.size());
+        const auto block = static_cast<std::uint32_t>(
+            trace.rng().next_below(imgs.images[image].block_count()));
+        checked_fetch(srv, imgs, image, block, tally);
+      }
+    });
+  }
+
+  injector.join();
+  swapper.join();
+  for (std::thread& t : readers) t.join();
+  srv.stop_scrubber();
+
+  // Post-chaos settle: repair every store, then sweep every block once more
+  // — any fault the campaign left latent must decode clean or escalate, and
+  // the final sweep must match the pristine program byte for byte.
+  for (const std::string& name : imgs.names) {
+    srv.with_store(name, [](memsys::SelfHealingMemorySystem& heal) { heal.repair_all(); });
+  }
+  srv.flush_cache();
+  for (std::size_t i = 0; i < imgs.images.size(); ++i)
+    for (std::uint32_t b = 0; b < imgs.images[i].block_count(); ++b)
+      checked_fetch(srv, imgs, i, b, tally);
+}
+
+// --- phase: quarantine trip + recovery -----------------------------------
+
+struct QuarantineResult {
+  std::uint64_t trips = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t golden_serves = 0;
+};
+
+QuarantineResult run_quarantine(server::ImageServer& srv, const Images& imgs,
+                                const server::ImageServer::Options& options, Tally& tally) {
+  const std::uint64_t trips0 = srv.stats().quarantine_trips;
+  const std::uint64_t recov0 = srv.stats().quarantine_recoveries;
+  const std::uint64_t golden0 = srv.stats().golden_serves;
+
+  // Wedge the first byte of block 0's payload to the complement of its
+  // golden value: every rung of the ladder (ECC writeback, golden refetch)
+  // restores the byte, the stuck cell re-asserts it, and the CRC gate keeps
+  // failing — the one deterministic path to repeated hard failures.
+  const std::string& name = imgs.names.front();
+  std::size_t offset = 0;
+  std::uint8_t golden_byte = 0;
+  srv.with_store(name, [&](memsys::SelfHealingMemorySystem& heal) {
+    const auto payload = heal.store().payload();
+    const auto view = heal.store().block_payload(0);
+    offset = static_cast<std::size_t>(view.data() - payload.data());
+    golden_byte = view[0];
+    heal.set_stuck_bytes({{offset, 0x00, static_cast<std::uint8_t>(~golden_byte)}});
+  });
+  srv.flush_cache();
+
+  // Enough failing fetches to trip the breaker, plus a few quarantined
+  // fetches served from the golden copy (degraded, never cached).
+  for (std::uint32_t i = 0; i < options.quarantine_threshold + 3; ++i) {
+    checked_fetch(srv, imgs, 0, 0, tally);
+    srv.flush_cache();
+  }
+
+  // Repair the cell, then keep fetching until a probe lifts the quarantine.
+  srv.with_store(name, [](memsys::SelfHealingMemorySystem& heal) {
+    heal.clear_stuck_bytes();
+    heal.repair_all();
+  });
+  for (std::uint32_t i = 0; i < options.probe_period + 2; ++i) checked_fetch(srv, imgs, 0, 0, tally);
+
+  QuarantineResult q;
+  q.trips = srv.stats().quarantine_trips - trips0;
+  q.recoveries = srv.stats().quarantine_recoveries - recov0;
+  q.golden_serves = srv.stats().golden_serves - golden0;
+  return q;
+}
+
+// --- latency -------------------------------------------------------------
+
+/// Percentile from the "server.lookup_ns" fixed-bucket histogram: the upper
+/// bound of the first bucket whose cumulative count reaches q (the +Inf
+/// bucket degrades to the last finite bound).
+double lookup_percentile_ms(double q) {
+  const obs::Snapshot snapshot = obs::Registry::instance().snapshot();
+  for (const obs::HistogramValue& h : snapshot.histograms) {
+    if (h.name != "server.lookup_ns" || h.count == 0) continue;
+    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(h.count) + 0.5);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      seen += h.bucket_counts[i];
+      if (seen >= target)
+        return static_cast<double>(i < h.bounds.size() ? h.bounds[i] : h.bounds.back()) / 1e6;
+    }
+  }
+  return 0.0;
+}
+
+// --- report --------------------------------------------------------------
+
+int run(const Config& config) {
+  std::printf("server campaign: %u reader thread(s), %llu fault(s), seed=%llu, %ukB/codec\n",
+              config.threads, static_cast<unsigned long long>(config.faults),
+              static_cast<unsigned long long>(config.seed), config.kb);
+
+  const Images imgs = build_images(config.kb);
+
+  server::ImageServer::Options options;
+  options.cache.capacity_bytes = 1u << 20;
+  options.decode_retries = 1;
+  options.backoff_base = std::chrono::microseconds(20);
+  options.quarantine_threshold = 2;
+  options.probe_period = 4;
+  options.degraded = server::DegradedPolicy::kServeGolden;
+  server::ImageServer srv(options);
+  for (std::size_t i = 0; i < imgs.images.size(); ++i)
+    srv.load(imgs.names[i], *imgs.codecs[i], imgs.images[i]);
+
+  Tally tally;
+  const HerdResult herd = run_herd(srv, imgs, config, tally);
+  std::printf("herd: %llu round(s), %llu decode(s), %llu joined, coalescing ratio %.2f\n",
+              static_cast<unsigned long long>(herd.rounds),
+              static_cast<unsigned long long>(herd.decodes),
+              static_cast<unsigned long long>(herd.joined), herd.ratio);
+
+  run_chaos(srv, imgs, config, tally);
+  std::printf("chaos: %llu fault(s) injected, %llu lookup(s), %llu degraded, %llu escalated, "
+              "%llu swap(s) tried\n",
+              static_cast<unsigned long long>(tally.faults.load()),
+              static_cast<unsigned long long>(tally.lookups.load()),
+              static_cast<unsigned long long>(tally.degraded.load()),
+              static_cast<unsigned long long>(tally.escalated.load()),
+              static_cast<unsigned long long>(tally.swaps_tried.load()));
+
+  const QuarantineResult quarantine = run_quarantine(srv, imgs, options, tally);
+  std::printf("quarantine: %llu trip(s), %llu recovery(ies), %llu golden serve(s)\n",
+              static_cast<unsigned long long>(quarantine.trips),
+              static_cast<unsigned long long>(quarantine.recoveries),
+              static_cast<unsigned long long>(quarantine.golden_serves));
+
+  const double p50_ms = lookup_percentile_ms(0.50);
+  const double p99_ms = lookup_percentile_ms(0.99);
+  const std::uint64_t silent = tally.silent.load();
+  const std::uint64_t swaps_rejected = srv.stats().swaps_rejected;
+  const std::uint64_t swaps_accepted = srv.stats().swaps_accepted;
+  std::printf("latency: p50 <= %.3fms, p99 <= %.3fms (bucketed)\n", p50_ms, p99_ms);
+  std::printf("swaps: %llu accepted, %llu rejected (every doomed swap must be rejected)\n",
+              static_cast<unsigned long long>(swaps_accepted),
+              static_cast<unsigned long long>(swaps_rejected));
+
+  // --- gates ---
+  bool ok = true;
+  if (silent != 0) {
+    std::printf("GATE FAILED: %llu silent corruption(s) — served bytes differed from the "
+                "pristine program with no error\n",
+                static_cast<unsigned long long>(silent));
+    ok = false;
+  }
+  if (config.min_coalescing_ratio >= 0.0 && herd.ratio <= config.min_coalescing_ratio) {
+    std::printf("GATE FAILED: coalescing ratio %.2f <= %.2f\n", herd.ratio,
+                config.min_coalescing_ratio);
+    ok = false;
+  }
+  if (config.require_recovery && (quarantine.trips == 0 || quarantine.recoveries == 0)) {
+    std::printf("GATE FAILED: expected a tripped-then-recovered quarantine (trips=%llu, "
+                "recoveries=%llu)\n",
+                static_cast<unsigned long long>(quarantine.trips),
+                static_cast<unsigned long long>(quarantine.recoveries));
+    ok = false;
+  }
+  if (config.max_p99_ms >= 0.0 && p99_ms > config.max_p99_ms) {
+    std::printf("GATE FAILED: p99 lookup latency %.3fms > %.3fms\n", p99_ms, config.max_p99_ms);
+    ok = false;
+  }
+  // Swap correctness is always gated: a doomed swap that slipped through
+  // would serve an unverifiable image.
+  if (swaps_rejected < tally.swaps_tried.load() / 2) {
+    std::printf("GATE FAILED: only %llu of %llu doomed swaps were rejected\n",
+                static_cast<unsigned long long>(swaps_rejected),
+                static_cast<unsigned long long>(tally.swaps_tried.load() / 2));
+    ok = false;
+  }
+  std::printf("campaign %s: %llu lookup(s), %llu silent corruption(s)\n", ok ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(tally.lookups.load()),
+              static_cast<unsigned long long>(silent));
+
+  if (config.json_path != nullptr) {
+    std::string json = "{\"threads\":" + std::to_string(config.threads) +
+                       ",\"faults\":" + std::to_string(tally.faults.load()) +
+                       ",\"seed\":" + std::to_string(config.seed) +
+                       ",\"lookups\":" + std::to_string(tally.lookups.load()) +
+                       ",\"silent_corruptions\":" + std::to_string(silent) +
+                       ",\"degraded_serves\":" + std::to_string(tally.degraded.load()) +
+                       ",\"escalated\":" + std::to_string(tally.escalated.load()) +
+                       ",\"herd\":{\"decodes\":" + std::to_string(herd.decodes) +
+                       ",\"joined\":" + std::to_string(herd.joined) +
+                       ",\"coalescing_ratio\":" + std::to_string(herd.ratio) +
+                       "},\"quarantine\":{\"trips\":" + std::to_string(quarantine.trips) +
+                       ",\"recoveries\":" + std::to_string(quarantine.recoveries) +
+                       ",\"golden_serves\":" + std::to_string(quarantine.golden_serves) +
+                       "},\"swaps\":{\"accepted\":" + std::to_string(swaps_accepted) +
+                       ",\"rejected\":" + std::to_string(swaps_rejected) +
+                       "},\"latency_ms\":{\"p50\":" + std::to_string(p50_ms) +
+                       ",\"p99\":" + std::to_string(p99_ms) +
+                       "},\"survived\":" + (ok ? std::string("true") : std::string("false")) +
+                       "}\n";
+    std::ofstream out(config.json_path, std::ios::binary);
+    out << json;
+    std::printf("report written to %s\n", config.json_path);
+  }
+  return ok ? 0 : 1;
+}
+
+void print_help(const char* prog) {
+  std::printf(
+      "usage: %s [--threads=T] [--faults=N] [--seed=S] [--kb=N] [--json=path]\n"
+      "       %*s [--min-coalescing-ratio=R] [--require-recovery] [--max-p99-ms=MS]\n"
+      "       %*s [--metrics=path] [--trace=path]\n",
+      prog, static_cast<int>(std::strlen(prog)), "", static_cast<int>(std::strlen(prog)), "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  examples::ObsFlags obs_flags;
+  argc = examples::strip_obs_flags(argc, argv, obs_flags);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      config.threads = static_cast<std::uint32_t>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      config.faults = static_cast<std::uint64_t>(std::atoll(argv[i] + 9));
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      config.seed = static_cast<std::uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--kb=", 5) == 0) {
+      config.kb = static_cast<std::uint32_t>(std::atoi(argv[i] + 5));
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      config.json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--min-coalescing-ratio=", 23) == 0) {
+      config.min_coalescing_ratio = std::atof(argv[i] + 23);
+    } else if (std::strcmp(argv[i], "--require-recovery") == 0) {
+      config.require_recovery = true;
+    } else if (std::strncmp(argv[i], "--max-p99-ms=", 13) == 0) {
+      config.max_p99_ms = std::atof(argv[i] + 13);
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      print_help(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (config.threads == 0 || config.faults == 0) {
+    std::fprintf(stderr, "--threads and --faults must be positive\n");
+    return 2;
+  }
+  int rc = 2;
+  try {
+    rc = run(config);
+  } catch (const ccomp::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    rc = 2;
+  }
+  return examples::finish_obs(obs_flags, rc);
+}

@@ -5,7 +5,13 @@
 namespace ccomp::memsys {
 namespace {
 
-bool is_pow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
 
 }  // namespace
 
@@ -21,7 +27,7 @@ ICache::ICache(const CacheConfig& config) : config_(config) {
 }
 
 bool ICache::access(std::uint32_t address) {
-  ++stats_.accesses;
+  stats_.accesses.fetch_add(1, std::memory_order_relaxed);
   ++clock_;
   const std::uint64_t line = address / config_.line_bytes;
   const std::uint32_t set = static_cast<std::uint32_t>(line) & (sets_ - 1);
@@ -41,7 +47,7 @@ bool ICache::access(std::uint32_t address) {
       victim = &way;
     }
   }
-  ++stats_.misses;
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
   CCOMP_COUNT("memsys.cache.misses", 1);
   victim->valid = true;
   victim->tag = tag;
@@ -51,6 +57,144 @@ bool ICache::access(std::uint32_t address) {
 
 void ICache::flush() {
   for (Way& way : ways_) way.valid = false;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedBlockCache
+// ---------------------------------------------------------------------------
+
+ShardedBlockCache::ShardedBlockCache(const ShardedCacheConfig& config) : config_(config) {
+  if (config_.capacity_bytes == 0) throw ConfigError("block cache capacity must be nonzero");
+  const std::size_t n = round_up_pow2(config_.shards == 0 ? 1 : config_.shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  shard_capacity_ = config_.capacity_bytes / n;
+  if (shard_capacity_ == 0) shard_capacity_ = 1;
+}
+
+ShardedBlockCache::Shard& ShardedBlockCache::shard_for(const BlockKey& key) {
+  return *shards_[BlockKeyHash{}(key) & (shards_.size() - 1)];
+}
+
+ShardedBlockCache::Ticket ShardedBlockCache::acquire(const BlockKey& key) {
+  stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (auto hit = shard.index.find(key); hit != shard.index.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, hit->second);
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
+    CCOMP_COUNT("server.cache.hits", 1);
+    return Ticket{hit->second->bytes, nullptr, false};
+  }
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  CCOMP_COUNT("server.cache.misses", 1);
+  if (auto flying = shard.in_flight.find(key); flying != shard.in_flight.end()) {
+    stats_.coalesced.fetch_add(1, std::memory_order_relaxed);
+    CCOMP_COUNT("server.cache.coalesced", 1);
+    return Ticket{nullptr, flying->second, false};
+  }
+  auto flight = std::make_shared<InFlight>();
+  shard.in_flight.emplace(key, flight);
+  return Ticket{nullptr, std::move(flight), true};
+}
+
+void ShardedBlockCache::insert_locked(Shard& shard, const BlockKey& key, const Bytes& bytes) {
+  if (auto existing = shard.index.find(key); existing != shard.index.end()) {
+    shard.bytes -= existing->second->bytes->size();
+    shard.bytes += bytes->size();
+    existing->second->bytes = bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, existing->second);
+  } else {
+    shard.lru.push_front(Entry{key, bytes});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += bytes->size();
+    stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Evict LRU tails past the shard budget, but never the entry just touched:
+  // a single over-budget block must still be servable.
+  while (shard.bytes > shard_capacity_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes->size();
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    CCOMP_COUNT("server.cache.evictions", 1);
+  }
+}
+
+void ShardedBlockCache::publish(const BlockKey& key, const Flight& flight, Bytes bytes,
+                                bool degraded, bool cacheable) {
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->bytes = bytes;
+    flight->degraded = degraded;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (auto flying = shard.in_flight.find(key);
+      flying != shard.in_flight.end() && flying->second == flight)
+    shard.in_flight.erase(flying);
+  if (cacheable && bytes) insert_locked(shard, key, bytes);
+}
+
+void ShardedBlockCache::fail(const BlockKey& key, const Flight& flight, std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->error = std::move(error);
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (auto flying = shard.in_flight.find(key);
+      flying != shard.in_flight.end() && flying->second == flight)
+    shard.in_flight.erase(flying);
+}
+
+ShardedBlockCache::Bytes ShardedBlockCache::wait(InFlight& flight) {
+  std::unique_lock<std::mutex> lock(flight.mu);
+  flight.cv.wait(lock, [&] { return flight.done; });
+  if (flight.error) std::rethrow_exception(flight.error);
+  return flight.bytes;
+}
+
+void ShardedBlockCache::invalidate_epoch(std::uint64_t epoch) {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.epoch == epoch) {
+        shard.bytes -= it->bytes->size();
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+        stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ShardedBlockCache::flush() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+std::size_t ShardedBlockCache::resident_bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.bytes;
+  }
+  return total;
 }
 
 }  // namespace ccomp::memsys

@@ -1,13 +1,32 @@
-// Set-associative instruction cache with true-LRU replacement.
+// Instruction-cache models for the Wolfe/Chanin organisation.
 //
-// In the Wolfe/Chanin organisation the I-cache holds *decompressed* lines
-// and acts as the decompression buffer: a hit costs one cycle, a miss
-// triggers the refill engine. The cache is a pure hit/miss model — line
-// contents are never stored because the simulator only needs the miss
-// stream and the refill costs.
+// Two caches live here:
+//
+//  - ICache: the original set-associative hit/miss *simulation* model. The
+//    I-cache holds decompressed lines and acts as the decompression buffer:
+//    a hit costs one cycle, a miss triggers the refill engine. Line contents
+//    are never stored because the simulator only needs the miss stream and
+//    the refill costs. ICache itself is still a single-owner object.
+//
+//  - ShardedBlockCache: the serving-layer block cache behind ccomp::server.
+//    It *does* store decompressed block bytes, is safe for any number of
+//    concurrent readers (shard-per-lock), and coalesces concurrent misses on
+//    the same (epoch, block) key into one in-flight decode.
+//
+// CacheStats counters are atomic so a memory system's stats can be read
+// while another thread drives it (the TSan suite shares systems across
+// threads). Loads/stores are relaxed: individual counters are exact, but a
+// snapshot taken mid-run is not a consistent cut across counters.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "support/error.h"
@@ -21,14 +40,30 @@ struct CacheConfig {
 };
 
 struct CacheStats {
-  std::uint64_t accesses = 0;
-  std::uint64_t misses = 0;
+  std::atomic<std::uint64_t> accesses{0};
+  std::atomic<std::uint64_t> misses{0};
+
+  CacheStats() = default;
+  CacheStats(const CacheStats& other) { *this = other; }
+  CacheStats& operator=(const CacheStats& other) {
+    accesses.store(other.accesses.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    misses.store(other.misses.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+
   double miss_rate() const {
-    return accesses == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(accesses);
+    const std::uint64_t a = accesses.load(std::memory_order_relaxed);
+    const std::uint64_t m = misses.load(std::memory_order_relaxed);
+    return a == 0 ? 0.0 : static_cast<double>(m) / static_cast<double>(a);
   }
   /// Zero all counters. Nothing else zeroes a CacheStats once it is live —
   /// reloading a memory system preserves its stats unless this is called.
-  void reset() { *this = CacheStats{}; }
+  /// Not atomic as a whole: concurrent increments may land before or after
+  /// the per-field stores; call it only while the owner is quiescent.
+  void reset() {
+    accesses.store(0, std::memory_order_relaxed);
+    misses.store(0, std::memory_order_relaxed);
+  }
 };
 
 class ICache {
@@ -59,6 +94,156 @@ class ICache {
   std::vector<Way> ways_;  // sets_ x associativity, row-major
   std::uint32_t sets_ = 1;
   std::uint64_t clock_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// ShardedBlockCache
+// ---------------------------------------------------------------------------
+
+/// Key of one decompressed block in the serving cache. `epoch` is the serving
+/// epoch of the owning image — ccomp::server::ImageServer assigns a fresh
+/// epoch on every load and hot-swap, so entries from a replaced image can
+/// never alias blocks of its replacement.
+struct BlockKey {
+  std::uint64_t epoch = 0;
+  std::uint32_t block = 0;
+  bool operator==(const BlockKey&) const = default;
+};
+
+struct BlockKeyHash {
+  std::size_t operator()(const BlockKey& key) const {
+    std::uint64_t h = key.epoch * 0x9e3779b97f4a7c15ULL;
+    h ^= (static_cast<std::uint64_t>(key.block) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct ShardedCacheConfig {
+  /// Total decompressed-byte budget across all shards.
+  std::size_t capacity_bytes = 4 * 1024 * 1024;
+  /// Number of independent lock domains; rounded up to a power of two.
+  std::size_t shards = 16;
+};
+
+/// Counters for the serving cache. Same atomicity contract as CacheStats:
+/// each counter is exact, cross-counter snapshots are not a consistent cut,
+/// and reset() must only run while the cache is quiescent.
+struct BlockCacheStats {
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  /// Misses that joined an already-in-flight decode instead of starting one.
+  std::atomic<std::uint64_t> coalesced{0};
+  std::atomic<std::uint64_t> inserts{0};
+  std::atomic<std::uint64_t> evictions{0};
+
+  BlockCacheStats() = default;
+  BlockCacheStats(const BlockCacheStats& other) { *this = other; }
+  BlockCacheStats& operator=(const BlockCacheStats& other) {
+    lookups.store(other.lookups.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    hits.store(other.hits.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    misses.store(other.misses.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    coalesced.store(other.coalesced.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    inserts.store(other.inserts.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    evictions.store(other.evictions.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+  void reset() {
+    lookups.store(0, std::memory_order_relaxed);
+    hits.store(0, std::memory_order_relaxed);
+    misses.store(0, std::memory_order_relaxed);
+    coalesced.store(0, std::memory_order_relaxed);
+    inserts.store(0, std::memory_order_relaxed);
+    evictions.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Thread-safe LRU block cache, sharded by key hash so unrelated lookups
+/// never contend on one lock, with request coalescing: the first thread to
+/// miss a key becomes the *leader* of an InFlight slot and decodes; later
+/// misses on the same key block on the slot and share the leader's result
+/// (or its exception). The cache stores immutable shared_ptr payloads, so a
+/// reader can keep using bytes after the entry is evicted or invalidated.
+class ShardedBlockCache {
+ public:
+  using Bytes = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  /// One coalesced decode. The leader fills it via publish()/fail(); joiners
+  /// sleep in wait(). `degraded` marks a result that was served from the
+  /// golden fallback path (correct bytes, but the store copy is quarantined);
+  /// it is valid to read once wait() returns.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Bytes bytes;
+    bool degraded = false;
+    std::exception_ptr error;
+  };
+  using Flight = std::shared_ptr<InFlight>;
+
+  /// Result of acquire(). Exactly one of `bytes` (hit) or `flight` (miss) is
+  /// set. On a miss, `leader` tells the caller whether it must run the
+  /// decode and publish()/fail() the flight, or just wait() on it.
+  struct Ticket {
+    Bytes bytes;
+    Flight flight;
+    bool leader = false;
+  };
+
+  explicit ShardedBlockCache(const ShardedCacheConfig& config);
+
+  Ticket acquire(const BlockKey& key);
+
+  /// Leader-side completion: wake joiners with `bytes` and (when `cacheable`)
+  /// insert the entry, evicting LRU tails past the shard budget.
+  void publish(const BlockKey& key, const Flight& flight, Bytes bytes, bool degraded,
+               bool cacheable);
+
+  /// Leader-side failure: wake joiners with `error`; nothing is cached.
+  void fail(const BlockKey& key, const Flight& flight, std::exception_ptr error);
+
+  /// Joiner-side: block until the flight completes; rethrows the leader's
+  /// exception, otherwise returns the shared bytes.
+  static Bytes wait(InFlight& flight);
+
+  /// Drop every cached entry belonging to `epoch` (after a hot-swap). An
+  /// in-flight decode for that epoch may still publish afterwards; the stale
+  /// entry is unreachable (the server never asks for a retired epoch again)
+  /// and ages out through normal LRU eviction.
+  void invalidate_epoch(std::uint64_t epoch);
+
+  /// Drop every cached entry (in-flight slots are untouched).
+  void flush();
+
+  const BlockCacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Decompressed bytes currently resident (sum over shards; approximate
+  /// while writers are active).
+  std::size_t resident_bytes() const;
+
+ private:
+  struct Entry {
+    BlockKey key;
+    Bytes bytes;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<BlockKey, std::list<Entry>::iterator, BlockKeyHash> index;
+    std::unordered_map<BlockKey, Flight, BlockKeyHash> in_flight;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_for(const BlockKey& key);
+  void insert_locked(Shard& shard, const BlockKey& key, const Bytes& bytes);
+
+  ShardedCacheConfig config_;
+  std::size_t shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  BlockCacheStats stats_;
 };
 
 }  // namespace ccomp::memsys

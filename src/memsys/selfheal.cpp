@@ -94,7 +94,7 @@ void SelfHealingMemorySystem::clb_access(std::size_t block) {
     if (!entry.valid || entry.block != block) continue;
     if (entry_parity(entry) != entry.parity || entry.offset != lat_offset ||
         entry.length != lat_length) {
-      ++stats_.clb_repaired;
+      stats_.clb_repaired.fetch_add(1, std::memory_order_relaxed);
       CCOMP_COUNT("memsys.selfheal.clb_repaired", 1);
       entry.offset = lat_offset;
       entry.length = lat_length;
@@ -110,7 +110,17 @@ void SelfHealingMemorySystem::clb_access(std::size_t block) {
   entry.parity = entry_parity(entry);
 }
 
+void SelfHealingMemorySystem::apply_stuck_bytes() {
+  if (stuck_.empty()) return;
+  const std::span<std::uint8_t> payload = store_.mutable_payload();
+  for (const StuckByte& s : stuck_) {
+    if (s.offset >= payload.size()) continue;
+    payload[s.offset] = static_cast<std::uint8_t>((payload[s.offset] & s.and_mask) | s.or_mask);
+  }
+}
+
 bool SelfHealingMemorySystem::try_decode(std::size_t block, std::vector<std::uint8_t>& out) {
+  apply_stuck_bytes();
   try {
     out.resize(store_.block_original_size(block));
     decompressor_->block_into(block, out, scratch_);
@@ -147,7 +157,7 @@ void SelfHealingMemorySystem::refetch_block(std::size_t block) {
 void SelfHealingMemorySystem::refill(std::size_t block, std::vector<std::uint8_t>& out) {
   CCOMP_SPAN("selfheal.refill");
   CCOMP_TIMER("memsys.selfheal.refill_ns");
-  ++stats_.refills;
+  stats_.refills.fetch_add(1, std::memory_order_relaxed);
   CCOMP_COUNT("memsys.selfheal.refills", 1);
   clb_access(block);
 
@@ -175,12 +185,12 @@ void SelfHealingMemorySystem::refill(std::size_t block, std::vector<std::uint8_t
     std::fill(bus_noise_.begin(), bus_noise_.end(), 0);
   }
   if (ok) return;
-  ++stats_.faults_detected;
+  stats_.faults_detected.fetch_add(1, std::memory_order_relaxed);
   CCOMP_COUNT("memsys.selfheal.faults_detected", 1);
 
   // Rung 2: bus retry — only meaningful when noise rode the first transfer.
   if (noise_applied && try_decode(block, out)) {
-    ++stats_.bus_recovered;
+    stats_.bus_recovered.fetch_add(1, std::memory_order_relaxed);
     CCOMP_COUNT("memsys.selfheal.bus_recovered", 1);
     return;
   }
@@ -191,7 +201,7 @@ void SelfHealingMemorySystem::refill(std::size_t block, std::vector<std::uint8_t
       const ecc::BlockResult result =
           ecc::correct_block(mutable_block_payload(store_, block), mutable_block_ecc(store_, block));
       if (result.recovered() && try_decode(block, out)) {
-        ++stats_.ecc_corrected;
+        stats_.ecc_corrected.fetch_add(1, std::memory_order_relaxed);
         CCOMP_COUNT("memsys.selfheal.ecc_corrected", 1);
         return;
       }
@@ -203,14 +213,14 @@ void SelfHealingMemorySystem::refill(std::size_t block, std::vector<std::uint8_t
   // Rung 4: re-fetch payload, ECC and LAT words from the golden copy.
   refetch_block(block);
   if (try_decode(block, out)) {
-    ++stats_.refetched;
+    stats_.refetched.fetch_add(1, std::memory_order_relaxed);
     CCOMP_COUNT("memsys.selfheal.refetched", 1);
     return;
   }
 
   // Rung 5: escalate. The fault is detected and reported — wrong bytes are
   // never served.
-  ++stats_.escalated;
+  stats_.escalated.fetch_add(1, std::memory_order_relaxed);
   CCOMP_COUNT("memsys.selfheal.escalated", 1);
   fault_log_.push_back(
       {block, "block " + std::to_string(block) +
@@ -233,21 +243,29 @@ std::size_t SelfHealingMemorySystem::scrub(std::size_t max_blocks) {
   CCOMP_SPAN("selfheal.scrub");
   const std::size_t blocks = store_.block_count();
   if (blocks == 0) return 0;
-  std::size_t visited = 0;
-  for (; visited < max_blocks && visited < blocks; ++visited) {
-    const std::size_t block = scrub_cursor_++ % blocks;
-    ++stats_.scrubbed;
+  // Clamp the sweep budget to one full pass and keep the cursor invariantly
+  // inside [0, blocks). The old `cursor++ % blocks` idiom let the cursor grow
+  // without bound, so a cursor carried past the end of a short image (after
+  // the owning system was rebuilt, or on an image with fewer blocks than a
+  // previous sweep assumed) aliased early blocks and starved the tail.
+  const std::size_t budget = std::min(max_blocks, blocks);
+  if (scrub_cursor_ >= blocks) scrub_cursor_ = 0;
+  for (std::size_t visited = 0; visited < budget; ++visited) {
+    const std::size_t block = scrub_cursor_;
+    scrub_cursor_ = (scrub_cursor_ + 1 == blocks) ? 0 : scrub_cursor_ + 1;
+    stats_.scrubbed.fetch_add(1, std::memory_order_relaxed);
     CCOMP_COUNT("memsys.selfheal.scrubbed", 1);
     bool healthy = false;
     if (store_.has_ecc()) {
       // An ECC-only sweep, like a hardware scrubber: cheap, no decompression.
       // A ≥3-bit fault can alias to a miscorrection here; the refill CRC gate
       // still catches it before any byte is served.
+      apply_stuck_bytes();
       try {
         const ecc::BlockResult result = ecc::correct_block(mutable_block_payload(store_, block),
                                                            mutable_block_ecc(store_, block));
         if (result.corrected_words > 0) {
-          ++stats_.scrub_corrected;
+          stats_.scrub_corrected.fetch_add(1, std::memory_order_relaxed);
           CCOMP_COUNT("memsys.selfheal.scrub_corrected", 1);
         }
         healthy = result.uncorrectable_words == 0;
@@ -262,11 +280,11 @@ std::size_t SelfHealingMemorySystem::scrub(std::size_t max_blocks) {
     }
     if (!healthy) {
       refetch_block(block);
-      ++stats_.scrub_refetched;
+      stats_.scrub_refetched.fetch_add(1, std::memory_order_relaxed);
       CCOMP_COUNT("memsys.selfheal.scrub_refetched", 1);
     }
   }
-  return visited;
+  return budget;
 }
 
 void SelfHealingMemorySystem::reset_stats() {

@@ -23,6 +23,7 @@
 // ECC a hardware CLB would carry — so a corrupted entry redirects no refill.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -35,22 +36,61 @@
 namespace ccomp::memsys {
 
 /// Counters the recovery ladder maintains. A fault campaign classifies each
-/// injected fault by which counter moved.
+/// injected fault by which counter moved. Counters are atomic so another
+/// thread (a stats poller, the serving layer) can read them while one thread
+/// drives the ladder; loads/stores are relaxed, so each counter is exact but
+/// a mid-run snapshot is not a consistent cut across counters.
 struct RecoveryStats {
-  std::uint64_t refills = 0;          // ladder invocations (cache misses + reads)
-  std::uint64_t faults_detected = 0;  // first decode attempt failed CRC or threw
-  std::uint64_t bus_recovered = 0;    // clean after dropping transient bus noise
-  std::uint64_t ecc_corrected = 0;    // healed in place by SECDED writeback
-  std::uint64_t refetched = 0;        // healed from the golden backing copy
-  std::uint64_t escalated = 0;        // ladder exhausted; FaultEscalationError
-  std::uint64_t clb_repaired = 0;     // CLB entries caught by parity/cross-check
-  std::uint64_t scrubbed = 0;         // blocks visited by the background scrubber
-  std::uint64_t scrub_corrected = 0;  // scrubber SECDED corrections
-  std::uint64_t scrub_refetched = 0;  // scrubber golden refetches
+  std::atomic<std::uint64_t> refills{0};          // ladder invocations (cache misses + reads)
+  std::atomic<std::uint64_t> faults_detected{0};  // first decode attempt failed CRC or threw
+  std::atomic<std::uint64_t> bus_recovered{0};    // clean after dropping transient bus noise
+  std::atomic<std::uint64_t> ecc_corrected{0};    // healed in place by SECDED writeback
+  std::atomic<std::uint64_t> refetched{0};        // healed from the golden backing copy
+  std::atomic<std::uint64_t> escalated{0};        // ladder exhausted; FaultEscalationError
+  std::atomic<std::uint64_t> clb_repaired{0};     // CLB entries caught by parity/cross-check
+  std::atomic<std::uint64_t> scrubbed{0};         // blocks visited by the background scrubber
+  std::atomic<std::uint64_t> scrub_corrected{0};  // scrubber SECDED corrections
+  std::atomic<std::uint64_t> scrub_refetched{0};  // scrubber golden refetches
+
+  RecoveryStats() = default;
+  RecoveryStats(const RecoveryStats& other) { *this = other; }
+  RecoveryStats& operator=(const RecoveryStats& other) {
+    refills.store(other.refills.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    faults_detected.store(other.faults_detected.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    bus_recovered.store(other.bus_recovered.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    ecc_corrected.store(other.ecc_corrected.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    refetched.store(other.refetched.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    escalated.store(other.escalated.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    clb_repaired.store(other.clb_repaired.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    scrubbed.store(other.scrubbed.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    scrub_corrected.store(other.scrub_corrected.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    scrub_refetched.store(other.scrub_refetched.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Zero all counters. Only an explicit call does this — repair_all() and
-  /// invalidate_cache() deliberately keep counters accumulating.
-  void reset() { *this = RecoveryStats{}; }
+  /// invalidate_cache() deliberately keep counters accumulating. Like
+  /// CacheStats::reset(), this is not atomic as a whole: call it only while
+  /// the owning system is quiescent (concurrent increments may land on
+  /// either side of the per-field stores).
+  void reset() {
+    refills.store(0, std::memory_order_relaxed);
+    faults_detected.store(0, std::memory_order_relaxed);
+    bus_recovered.store(0, std::memory_order_relaxed);
+    ecc_corrected.store(0, std::memory_order_relaxed);
+    refetched.store(0, std::memory_order_relaxed);
+    escalated.store(0, std::memory_order_relaxed);
+    clb_repaired.store(0, std::memory_order_relaxed);
+    scrubbed.store(0, std::memory_order_relaxed);
+    scrub_corrected.store(0, std::memory_order_relaxed);
+    scrub_refetched.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// One escalated (uncorrectable) fault, kept for post-mortem reporting.
@@ -116,6 +156,24 @@ class SelfHealingMemorySystem {
   /// then cleared (a retry reads clean data).
   std::span<std::uint8_t> bus_buffer() { return bus_noise_; }
 
+  /// A permanently failed store cell: `(byte & and_mask) | or_mask` is
+  /// re-asserted onto `store_payload()[offset]` before every decode attempt
+  /// and scrub visit, so ECC writeback and golden refetch land in the same
+  /// broken cell and cannot heal it. This is the one fault class that
+  /// deterministically exhausts the ladder (rung 5, FaultEscalationError) —
+  /// what the quarantine tests and the server campaign use to trip the
+  /// circuit breaker.
+  struct StuckByte {
+    std::size_t offset = 0;
+    std::uint8_t and_mask = 0xFF;
+    std::uint8_t or_mask = 0;
+  };
+  void set_stuck_bytes(std::vector<StuckByte> faults) { stuck_ = std::move(faults); }
+  /// Lift the stuck cells (the campaign's "field repair"); the next scrub or
+  /// refill refetches clean bytes and the block recovers.
+  void clear_stuck_bytes() { stuck_.clear(); }
+  const std::vector<StuckByte>& stuck_bytes() const { return stuck_; }
+
   /// Zero stats() and cache_stats() (a campaign's measurement-window reset).
   /// Cache contents, CLB, store, and the fault log are untouched.
   void reset_stats();
@@ -152,6 +210,8 @@ class SelfHealingMemorySystem {
   /// Consult (and heal) the CLB for `block`; returns after the entry agrees
   /// with the stored LAT.
   void clb_access(std::size_t block);
+  /// Re-assert every StuckByte onto the store payload (no-op when none).
+  void apply_stuck_bytes();
   /// Copy one block's payload, ECC and LAT words back from the golden copy.
   void refetch_block(std::size_t block);
   static std::uint8_t entry_parity(const ClbEntry& entry);
@@ -171,7 +231,8 @@ class SelfHealingMemorySystem {
   std::vector<ClbEntry> clb_;
   std::size_t clb_cursor_ = 0;  // round-robin insertion
   std::vector<std::uint8_t> bus_noise_;
-  std::size_t scrub_cursor_ = 0;
+  std::vector<StuckByte> stuck_;
+  std::size_t scrub_cursor_ = 0;  // invariantly < block_count() (see scrub())
   RecoveryStats stats_;
   std::vector<FaultReport> fault_log_;
 };

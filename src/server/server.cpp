@@ -1,0 +1,297 @@
+#include "server/server.h"
+
+#include <string>
+#include <utility>
+
+#include "analysis/certificate.h"
+#include "obs/obs.h"
+#include "support/serialize.h"
+#include "verify/verify.h"
+
+namespace ccomp::server {
+
+namespace {
+
+/// Image audit shared by load() and swap() — the same discipline as
+/// FunctionalMemorySystem's strict mode: verification must come back clean,
+/// and (when required) the embedded decode certificate must carry a
+/// kCertified verdict. Throws CorruptDataError; swap() turns that into a
+/// rejection with rollback.
+void audit_image(const core::CompressedImage& image, bool verify_images, bool require_certificate,
+                 const char* when) {
+  if (require_certificate) {
+    if (!image.has_certificate())
+      throw CorruptDataError(std::string("image carries no decode certificate (") + when + ")");
+    ByteSource src(image.certificate());
+    const analysis::DecodeCertificate cert = analysis::DecodeCertificate::deserialize(src);
+    if (!cert.certified())
+      throw CorruptDataError(std::string("embedded certificate verdict is ") +
+                             std::string(analysis::verdict_name(cert.verdict)) + " (" + when + ")");
+  }
+  if (verify_images || require_certificate) {
+    verify::VerifyOptions opts;
+    opts.certify = require_certificate;
+    const verify::VerifyReport report = verify::verify_image(image, opts);
+    if (!report.ok())
+      throw CorruptDataError(std::string("image rejected at ") + when + " time:\n" +
+                             report.to_string());
+  }
+}
+
+/// The self-healing store's inner I-cache is unused by the server (blocks
+/// are read through the ladder directly), but its config must still satisfy
+/// the uniform-image line-size invariant.
+memsys::CacheConfig heal_cache_config(const core::CompressedImage& image) {
+  memsys::CacheConfig cfg;
+  if (!image.has_variable_blocks()) {
+    cfg.line_bytes = image.block_size();
+    cfg.size_bytes = cfg.line_bytes * cfg.associativity * 16;
+  }
+  return cfg;
+}
+
+}  // namespace
+
+ImageServer::ImageServer() : ImageServer(Options{}) {}
+
+ImageServer::ImageServer(Options options) : options_(options), cache_(options.cache) {}
+
+ImageServer::~ImageServer() { stop_scrubber(); }
+
+ImageServer::ImagePtr ImageServer::build_image(const std::string& name,
+                                               const core::BlockCodec& codec,
+                                               const core::CompressedImage& image) {
+  auto img = std::make_shared<LoadedImage>(image);
+  img->epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed);
+  img->name = name;
+  img->codec = &codec;
+  memsys::SelfHealingMemorySystem::Options heal_opts;
+  heal_opts.cache = heal_cache_config(img->golden);
+  heal_opts.use_ecc = options_.use_ecc;
+  heal_opts.clb_entries = options_.clb_entries;
+  img->heal = std::make_unique<memsys::SelfHealingMemorySystem>(heal_opts, codec, img->golden);
+  img->golden_dec = codec.make_decompressor(img->golden);
+  img->blocks = img->golden.block_count();
+  img->state.assign(img->blocks, BlockState{});
+  return img;
+}
+
+void ImageServer::load(const std::string& name, const core::BlockCodec& codec,
+                       const core::CompressedImage& image) {
+  audit_image(image, options_.verify_images, options_.require_certificate, "load");
+  ImagePtr img = build_image(name, codec, image);
+  std::unique_lock<std::shared_mutex> lock(images_mu_);
+  if (images_.contains(name)) throw ConfigError("image '" + name + "' is already loaded");
+  images_.emplace(name, std::move(img));
+  CCOMP_COUNT("server.images_loaded", 1);
+}
+
+ImageServer::SwapResult ImageServer::swap(const std::string& name, const core::BlockCodec& codec,
+                                          const core::CompressedImage& image) {
+  CCOMP_SPAN("server.swap");
+  ImagePtr old = snapshot(name);  // throws ConfigError when the name is unknown
+  ImagePtr fresh;
+  try {
+    audit_image(image, options_.verify_images, options_.require_certificate, "swap");
+    fresh = build_image(name, codec, image);
+  } catch (const Error& error) {
+    // Rollback: nothing was published, the old epoch keeps serving.
+    stats_.swaps_rejected.fetch_add(1, std::memory_order_relaxed);
+    CCOMP_COUNT("server.swaps_rejected", 1);
+    return SwapResult{false, old->epoch, error.what()};
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(images_mu_);
+    auto it = images_.find(name);
+    if (it == images_.end()) throw ConfigError("image '" + name + "' is no longer loaded");
+    old = it->second;
+    it->second = fresh;
+  }
+  // Old-epoch cache entries are unreachable (fetches now key on the new
+  // epoch); drop them eagerly so the budget goes to live blocks.
+  cache_.invalidate_epoch(old->epoch);
+  stats_.swaps_accepted.fetch_add(1, std::memory_order_relaxed);
+  CCOMP_COUNT("server.swaps_accepted", 1);
+  return SwapResult{true, fresh->epoch, {}};
+}
+
+ImageServer::ImagePtr ImageServer::snapshot(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(images_mu_);
+  auto it = images_.find(name);
+  if (it == images_.end()) throw ConfigError("no image named '" + name + "' is loaded");
+  return it->second;
+}
+
+std::size_t ImageServer::block_count(const std::string& name) const { return snapshot(name)->blocks; }
+
+std::uint64_t ImageServer::epoch(const std::string& name) const { return snapshot(name)->epoch; }
+
+std::vector<std::string> ImageServer::image_names() const {
+  std::shared_lock<std::shared_mutex> lock(images_mu_);
+  std::vector<std::string> names;
+  names.reserve(images_.size());
+  for (const auto& [name, img] : images_) names.push_back(name);
+  return names;
+}
+
+bool ImageServer::decode_round(LoadedImage& img, std::uint32_t block,
+                               std::vector<std::uint8_t>& out) {
+  stats_.decodes.fetch_add(1, std::memory_order_relaxed);
+  CCOMP_COUNT("server.decodes", 1);
+  const std::uint32_t attempts = options_.decode_retries + 1;
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      stats_.retries.fetch_add(1, std::memory_order_relaxed);
+      CCOMP_COUNT("server.retries", 1);
+      std::chrono::microseconds backoff = options_.backoff_base * (1u << (attempt - 1));
+      if (backoff > options_.backoff_cap) backoff = options_.backoff_cap;
+      if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    }
+    try {
+      img.heal->read_block_into(block, out);
+      return true;
+    } catch (const FaultEscalationError&) {
+      // The ladder is exhausted for this attempt; transient injector noise
+      // may clear before the next round.
+    }
+  }
+  stats_.hard_failures.fetch_add(1, std::memory_order_relaxed);
+  CCOMP_COUNT("server.hard_failures", 1);
+  return false;
+}
+
+void ImageServer::serve_degraded(LoadedImage& img, std::uint32_t block,
+                                 std::vector<std::uint8_t>& out) {
+  if (options_.degraded == DegradedPolicy::kFailFast) {
+    stats_.failfast_rejections.fetch_add(1, std::memory_order_relaxed);
+    CCOMP_COUNT("server.failfast_rejections", 1);
+    throw QuarantinedError("block " + std::to_string(block) + " of image '" + img.name +
+                           "' is quarantined after repeated decode failures");
+  }
+  out.resize(img.golden.block_original_size(block));
+  img.golden_dec->block_into(block, out, img.golden_scratch);
+  stats_.golden_serves.fetch_add(1, std::memory_order_relaxed);
+  CCOMP_COUNT("server.golden_serves", 1);
+}
+
+FetchResult ImageServer::lead_decode(LoadedImage& img, const memsys::BlockKey& key,
+                                                  const memsys::ShardedBlockCache::Flight& flight) {
+  try {
+    const std::int64_t delay_us = decode_delay_us_.load(std::memory_order_relaxed);
+    if (delay_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    auto out = std::make_shared<std::vector<std::uint8_t>>();
+    bool degraded = false;
+    {
+      std::lock_guard<std::mutex> lock(img.mu);
+      BlockState& st = img.state[key.block];
+      if (st.quarantined) {
+        const bool probe =
+            options_.probe_period > 0 && ++st.fetches_since_probe >= options_.probe_period;
+        if (probe) st.fetches_since_probe = 0;
+        if (probe && decode_round(img, key.block, *out)) {
+          st.quarantined = false;
+          st.consecutive_failures = 0;
+          stats_.quarantine_recoveries.fetch_add(1, std::memory_order_relaxed);
+          CCOMP_COUNT("server.quarantine_recoveries", 1);
+        } else {
+          serve_degraded(img, key.block, *out);
+          degraded = true;
+        }
+      } else if (decode_round(img, key.block, *out)) {
+        st.consecutive_failures = 0;
+      } else if (++st.consecutive_failures >= options_.quarantine_threshold) {
+        st.quarantined = true;
+        st.fetches_since_probe = 0;
+        stats_.quarantine_trips.fetch_add(1, std::memory_order_relaxed);
+        CCOMP_COUNT("server.quarantine_trips", 1);
+        serve_degraded(img, key.block, *out);
+        degraded = true;
+      } else {
+        // Below the breaker threshold: the failure stays visible as the
+        // ladder's typed escalation (the caller may repair and retry).
+        throw FaultEscalationError("block " + std::to_string(key.block) + " of image '" +
+                                   img.name + "' failed " +
+                                   std::to_string(options_.decode_retries + 1) +
+                                   " decode rounds");
+      }
+    }
+    memsys::ShardedBlockCache::Bytes bytes(std::move(out));
+    // Degraded bytes are correct but bypass the store; never cache them so a
+    // recovered block is re-decoded (and re-verified) from the store.
+    cache_.publish(key, flight, bytes, degraded, /*cacheable=*/!degraded);
+    return FetchResult{std::move(bytes), degraded ? FetchSource::kGolden : FetchSource::kDecode,
+                       degraded};
+  } catch (...) {
+    cache_.fail(key, flight, std::current_exception());
+    throw;
+  }
+}
+
+FetchResult ImageServer::fetch(const std::string& name, std::uint32_t block) {
+  CCOMP_TIMER("server.lookup_ns");
+  stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+  const ImagePtr img = snapshot(name);
+  if (block >= img->blocks)
+    throw ConfigError("block " + std::to_string(block) + " out of range for image '" + name + "'");
+  const memsys::BlockKey key{img->epoch, block};
+  memsys::ShardedBlockCache::Ticket ticket = cache_.acquire(key);
+  if (ticket.bytes) return FetchResult{std::move(ticket.bytes), FetchSource::kCache, false};
+  if (!ticket.leader) {
+    memsys::ShardedBlockCache::Bytes bytes = memsys::ShardedBlockCache::wait(*ticket.flight);
+    return FetchResult{std::move(bytes), FetchSource::kCoalesced, ticket.flight->degraded};
+  }
+  return lead_decode(*img, key, ticket.flight);
+}
+
+void ImageServer::with_store(const std::string& name,
+                             const std::function<void(memsys::SelfHealingMemorySystem&)>& fn) {
+  const ImagePtr img = snapshot(name);
+  std::lock_guard<std::mutex> lock(img->mu);
+  fn(*img->heal);
+}
+
+std::size_t ImageServer::scrub_once(std::size_t blocks_per_image) {
+  CCOMP_SPAN("server.scrub");
+  std::vector<ImagePtr> imgs;
+  {
+    std::shared_lock<std::shared_mutex> lock(images_mu_);
+    imgs.reserve(images_.size());
+    for (const auto& [name, img] : images_) imgs.push_back(img);
+  }
+  std::size_t visited = 0;
+  for (const ImagePtr& img : imgs) {
+    std::lock_guard<std::mutex> lock(img->mu);
+    visited += img->heal->scrub(blocks_per_image);
+  }
+  stats_.scrub_sweeps.fetch_add(1, std::memory_order_relaxed);
+  CCOMP_COUNT("server.scrub_sweeps", 1);
+  return visited;
+}
+
+void ImageServer::start_scrubber(std::chrono::milliseconds period, std::size_t blocks_per_sweep) {
+  stop_scrubber();
+  {
+    std::lock_guard<std::mutex> lock(scrub_mu_);
+    scrub_stop_ = false;
+  }
+  scrubber_ = std::thread([this, period, blocks_per_sweep] {
+    std::unique_lock<std::mutex> lock(scrub_mu_);
+    while (!scrub_stop_) {
+      if (scrub_cv_.wait_for(lock, period, [this] { return scrub_stop_; })) break;
+      lock.unlock();
+      scrub_once(blocks_per_sweep);
+      lock.lock();
+    }
+  });
+}
+
+void ImageServer::stop_scrubber() {
+  {
+    std::lock_guard<std::mutex> lock(scrub_mu_);
+    scrub_stop_ = true;
+  }
+  scrub_cv_.notify_all();
+  if (scrubber_.joinable()) scrubber_.join();
+}
+
+}  // namespace ccomp::server

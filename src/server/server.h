@@ -1,0 +1,285 @@
+// Fault-tolerant concurrent compressed-image server.
+//
+// The serving layer the ROADMAP's remaining items plug into: many loaded
+// CompressedImages behind one sharded decompressed-block cache, serving any
+// number of reader threads. The single-threaded robustness ladder (memsys/
+// selfheal.h) is lifted to concurrency here:
+//
+//   - Sharded block cache + request coalescing: concurrent misses on the
+//     same (epoch, block) join one in-flight decode instead of duplicating
+//     it (memsys::ShardedBlockCache).
+//   - Retry with bounded exponential backoff: a refill that escalates is
+//     retried a configurable number of times — transient injector noise
+//     often clears between attempts.
+//   - Quarantine + circuit breaker: after N *consecutive* hard failures a
+//     block stops being re-decoded from the store. Callers pick the
+//     degraded policy: fail fast with a typed QuarantinedError, or serve
+//     bytes decoded from the golden backing copy (correct, but flagged
+//     degraded and never cached). Every probe_period-th quarantined fetch
+//     re-probes the store copy; a clean decode lifts the quarantine.
+//   - Epoch-based hot-swap with rollback: swap() verifies (and optionally
+//     re-certifies) the replacement before it becomes visible; a rejected
+//     replacement leaves the old epoch serving. Epochs key the cache, so a
+//     swap can never serve stale bytes.
+//   - Concurrent background scrubber: a thread sweeping every image's
+//     self-healing store, serialized with readers per image.
+//
+// Invariant inherited from the recovery ladder: wrong bytes are never
+// served. A fetch returns CRC-verified store bytes, golden bytes flagged
+// degraded, or throws a typed error.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/codec.h"
+#include "core/image.h"
+#include "memsys/cache.h"
+#include "memsys/selfheal.h"
+#include "support/error.h"
+
+namespace ccomp::server {
+
+/// Thrown (under DegradedPolicy::kFailFast) when a fetch hits a quarantined
+/// block: the store copy is known-bad, the circuit breaker is open, and the
+/// caller asked not to fall back to golden bytes.
+class QuarantinedError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// What a fetch does when its block is quarantined.
+enum class DegradedPolicy {
+  kFailFast,     // throw QuarantinedError
+  kServeGolden,  // decode from the pristine golden copy; result is flagged degraded
+};
+
+/// Where a fetch's bytes came from.
+enum class FetchSource {
+  kCache,      // sharded-cache hit
+  kCoalesced,  // joined another thread's in-flight decode
+  kDecode,     // this thread decoded from the self-healing store
+  kGolden,     // degraded: decoded from the golden backing copy
+};
+
+struct FetchResult {
+  memsys::ShardedBlockCache::Bytes bytes;
+  FetchSource source = FetchSource::kCache;
+  /// True when bytes came from the golden fallback while the store copy is
+  /// quarantined. The bytes are still correct — degraded marks reduced
+  /// fault-tolerance (the store copy is not self-healing right now), and
+  /// degraded results are never inserted into the cache.
+  bool degraded = false;
+};
+
+/// Server-side counters. Same atomicity contract as memsys::CacheStats:
+/// individual counters are exact, cross-counter snapshots are not a
+/// consistent cut, reset() only while quiescent.
+struct ServerStats {
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> decodes{0};        // leader decode rounds run
+  std::atomic<std::uint64_t> retries{0};        // extra ladder attempts after a hard failure
+  std::atomic<std::uint64_t> hard_failures{0};  // decode rounds that exhausted retries
+  std::atomic<std::uint64_t> quarantine_trips{0};
+  std::atomic<std::uint64_t> quarantine_recoveries{0};
+  std::atomic<std::uint64_t> failfast_rejections{0};  // QuarantinedError thrown
+  std::atomic<std::uint64_t> golden_serves{0};
+  std::atomic<std::uint64_t> swaps_accepted{0};
+  std::atomic<std::uint64_t> swaps_rejected{0};
+  std::atomic<std::uint64_t> scrub_sweeps{0};
+
+  ServerStats() = default;
+  ServerStats(const ServerStats& other) { *this = other; }
+  ServerStats& operator=(const ServerStats& other) {
+    lookups.store(other.lookups.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    decodes.store(other.decodes.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    retries.store(other.retries.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    hard_failures.store(other.hard_failures.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    quarantine_trips.store(other.quarantine_trips.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    quarantine_recoveries.store(other.quarantine_recoveries.load(std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+    failfast_rejections.store(other.failfast_rejections.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+    golden_serves.store(other.golden_serves.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    swaps_accepted.store(other.swaps_accepted.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    swaps_rejected.store(other.swaps_rejected.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    scrub_sweeps.store(other.scrub_sweeps.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
+  void reset() {
+    lookups.store(0, std::memory_order_relaxed);
+    decodes.store(0, std::memory_order_relaxed);
+    retries.store(0, std::memory_order_relaxed);
+    hard_failures.store(0, std::memory_order_relaxed);
+    quarantine_trips.store(0, std::memory_order_relaxed);
+    quarantine_recoveries.store(0, std::memory_order_relaxed);
+    failfast_rejections.store(0, std::memory_order_relaxed);
+    golden_serves.store(0, std::memory_order_relaxed);
+    swaps_accepted.store(0, std::memory_order_relaxed);
+    swaps_rejected.store(0, std::memory_order_relaxed);
+    scrub_sweeps.store(0, std::memory_order_relaxed);
+  }
+};
+
+class ImageServer {
+ public:
+  struct Options {
+    memsys::ShardedCacheConfig cache;
+    /// Extra ladder rounds after the first hard failure (0 = one attempt).
+    std::uint32_t decode_retries = 2;
+    /// Exponential backoff between retry rounds: base * 2^round, capped.
+    std::chrono::microseconds backoff_base{50};
+    std::chrono::microseconds backoff_cap{2000};
+    /// Consecutive hard failures that trip a block's circuit breaker.
+    std::uint32_t quarantine_threshold = 3;
+    /// Every probe_period-th fetch of a quarantined block re-probes the
+    /// store copy; a clean decode lifts the quarantine (0 disables probes —
+    /// only a successful probe, never time, closes the breaker).
+    std::uint32_t probe_period = 8;
+    DegradedPolicy degraded = DegradedPolicy::kServeGolden;
+    /// Per-image self-healing store knobs (memsys::SelfHealingMemorySystem).
+    bool use_ecc = true;
+    std::uint32_t clb_entries = 16;
+    /// Audit images with verify::verify_image at load and swap time; a
+    /// failing replacement is rejected and the old epoch keeps serving.
+    bool verify_images = true;
+    /// Additionally require an embedded decode certificate with a
+    /// kCertified verdict (strict provenance, as in FunctionalMemorySystem).
+    bool require_certificate = false;
+  };
+
+  ImageServer();
+  explicit ImageServer(Options options);
+  ~ImageServer();
+
+  ImageServer(const ImageServer&) = delete;
+  ImageServer& operator=(const ImageServer&) = delete;
+
+  /// Load a new image under `name` (rejects duplicates). The codec must
+  /// outlive the server (it backs this image's decoders across swaps).
+  /// Throws CorruptDataError when verification/certification fails.
+  void load(const std::string& name, const core::BlockCodec& codec,
+            const core::CompressedImage& image);
+
+  struct SwapResult {
+    bool accepted = false;
+    std::uint64_t epoch = 0;  // serving epoch after the call
+    std::string error;        // why the replacement was rejected
+  };
+
+  /// Epoch-based hot-swap: verify + build the replacement off to the side,
+  /// then atomically switch the served epoch. A replacement that fails
+  /// verification, certification, or construction is rejected — the old
+  /// epoch keeps serving and the rejection reason is returned, not thrown.
+  SwapResult swap(const std::string& name, const core::BlockCodec& codec,
+                  const core::CompressedImage& image);
+
+  /// Serve one decompressed block. Safe from any number of threads.
+  FetchResult fetch(const std::string& name, std::uint32_t block);
+
+  std::size_t block_count(const std::string& name) const;
+  std::uint64_t epoch(const std::string& name) const;
+  std::vector<std::string> image_names() const;
+
+  /// Run `fn` against the named image's self-healing store, serialized
+  /// against that image's decodes and scrubs — the campaign's fault-
+  /// injection hook. Cached entries are not touched; pair with
+  /// flush_cache() to force re-decodes over the faulted store.
+  void with_store(const std::string& name,
+                  const std::function<void(memsys::SelfHealingMemorySystem&)>& fn);
+
+  /// One synchronous scrub sweep over every loaded image (up to
+  /// `blocks_per_image` blocks each); returns total blocks visited.
+  std::size_t scrub_once(std::size_t blocks_per_image);
+
+  /// Background scrubber thread calling scrub_once(blocks_per_sweep) every
+  /// `period`. Idempotent restart; the destructor stops it.
+  void start_scrubber(std::chrono::milliseconds period, std::size_t blocks_per_sweep);
+  void stop_scrubber();
+
+  void flush_cache() { cache_.flush(); }
+
+  /// Synthetic per-decode latency, applied before each leader decode round.
+  /// Models slow decompression hardware; the campaign's thundering-herd
+  /// phase uses it so coalescing joins happen even on few-core hosts.
+  void set_decode_delay(std::chrono::microseconds delay) {
+    decode_delay_us_.store(delay.count(), std::memory_order_relaxed);
+  }
+
+  const memsys::BlockCacheStats& cache_stats() const { return cache_.stats(); }
+  const ServerStats& stats() const { return stats_; }
+  void reset_stats() {
+    stats_.reset();
+    cache_.reset_stats();
+  }
+
+ private:
+  struct BlockState {
+    std::uint32_t consecutive_failures = 0;
+    std::uint32_t fetches_since_probe = 0;
+    bool quarantined = false;
+  };
+
+  /// One serving epoch of one image. Immutable identity (epoch, golden,
+  /// decoders); `mu` serializes the mutable parts (heal store, scratches,
+  /// quarantine state) across readers, the scrubber, and with_store().
+  struct LoadedImage {
+    std::uint64_t epoch = 0;
+    std::string name;
+    const core::BlockCodec* codec = nullptr;
+    core::CompressedImage golden;
+    std::unique_ptr<memsys::SelfHealingMemorySystem> heal;
+    std::unique_ptr<core::BlockDecompressor> golden_dec;
+    core::DecodeScratch golden_scratch;
+    std::mutex mu;
+    std::vector<BlockState> state;
+    std::size_t blocks = 0;
+
+    explicit LoadedImage(core::CompressedImage img) : golden(std::move(img)) {}
+  };
+  using ImagePtr = std::shared_ptr<LoadedImage>;
+
+  ImagePtr snapshot(const std::string& name) const;
+  ImagePtr build_image(const std::string& name, const core::BlockCodec& codec,
+                       const core::CompressedImage& image);
+  FetchResult lead_decode(LoadedImage& img, const memsys::BlockKey& key,
+                          const memsys::ShardedBlockCache::Flight& flight);
+  /// One decode round against the self-healing store with retry + backoff.
+  /// True on success (out holds verified bytes); false after retries are
+  /// exhausted (a hard failure).
+  bool decode_round(LoadedImage& img, std::uint32_t block, std::vector<std::uint8_t>& out);
+  /// Golden fallback under kServeGolden; throws QuarantinedError under
+  /// kFailFast. Caller holds img.mu.
+  void serve_degraded(LoadedImage& img, std::uint32_t block, std::vector<std::uint8_t>& out);
+
+  Options options_;
+  memsys::ShardedBlockCache cache_;
+  mutable std::shared_mutex images_mu_;
+  std::unordered_map<std::string, ImagePtr> images_;
+  std::atomic<std::uint64_t> next_epoch_{1};
+  std::atomic<std::int64_t> decode_delay_us_{0};
+  ServerStats stats_;
+
+  std::thread scrubber_;
+  std::mutex scrub_mu_;
+  std::condition_variable scrub_cv_;
+  bool scrub_stop_ = false;
+};
+
+}  // namespace ccomp::server

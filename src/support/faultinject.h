@@ -52,6 +52,13 @@ struct FaultEvent {
   std::uint8_t bit_mask = 0;  // bits changed within that byte
 };
 
+/// Thread-safety contract: an injector is single-owner (its RNG state is
+/// unsynchronized) — concurrent campaigns give each thread its own seeded
+/// instance. Injecting into memory that other threads read concurrently is
+/// the *caller's* race to rule out: the server campaign routes every
+/// injection through ImageServer::with_store(), which holds the same
+/// per-image mutex the decode and scrub paths take, so a fault lands either
+/// entirely before or entirely after any decode — never mid-read.
 class FaultInjector {
  public:
   explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}

@@ -54,7 +54,7 @@ std::string VerifyReport::to_string() const {
 
 namespace {
 
-constexpr std::array<CheckInfo, 40> kCatalogue = {{
+constexpr std::array<CheckInfo, 41> kCatalogue = {{
     // Container framing + integrity.
     {"SER001", Severity::kError, "container truncated or unparseable"},
     {"SER002", Severity::kError, "integrity checksum (CRC-32 trailer) mismatch"},
@@ -104,6 +104,7 @@ constexpr std::array<CheckInfo, 40> kCatalogue = {{
     // Multi-stream block frames (core/streams.h).
     {"STR001", Severity::kError, "entropy stream count out of range for the codec"},
     {"STR002", Severity::kError, "block payload inconsistent with its stream frame"},
+    {"STR003", Severity::kError, "stream frame length sum overflows or disagrees with the block payload"},
 }};
 
 constexpr std::array<CheckInfo, 8> kAnaCatalogue = {{

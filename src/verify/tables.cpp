@@ -299,8 +299,8 @@ std::vector<std::string> read_opcode_strings(ByteSource& src, VerifyReport& repo
   return strings;
 }
 
-// STR001/STR002: the multi-stream block frame (core/streams.h). The stream
-// count is a table-level property; every block's payload must then be
+// STR001/STR002/STR003: the multi-stream block frame (core/streams.h). The
+// stream count is a table-level property; every block's payload must then be
 // sliceable into that many sub-streams without the frame overrunning it.
 // `items_per_block` bounds a sensible count for fixed-rate codecs (words
 // per block); pass 0 when the per-block item count varies (x86 split).
@@ -315,12 +315,57 @@ void check_entropy_streams(std::uint8_t streams, const core::CompressedImage& im
     emit(report, "STR001", "entropy stream count " + std::to_string(streams) +
                                " exceeds the block's " + std::to_string(items_per_block) +
                                " coding items");
+  // Bytes per coding item, for the per-block item counts below (uniform
+  // blocks only; the last block may cover fewer items than a full one).
+  const std::size_t item_bytes =
+      (items_per_block != 0 && !image.has_variable_blocks()) ? image.block_size() / items_per_block
+                                                             : 0;
   for (std::size_t b = 0; b < image.block_count(); ++b) {
+    const std::span<const std::uint8_t> payload = image.block_payload(b);
+    if (streams > 1) {
+      // STR003: re-sum the u16 length table by hand (in 64-bit, so an
+      // adversarial table cannot wrap) and reject a frame whose claimed
+      // bytes overrun the block payload. split_stream_block would throw the
+      // same way at decode time; surfacing it statically keeps the "reject
+      // before the refill engine touches it" contract.
+      const std::size_t header = 2u * (streams - 1u);
+      if (payload.size() >= header) {
+        std::uint64_t claimed = header;
+        for (unsigned k = 0; k + 1u < streams; ++k)
+          claimed += static_cast<std::uint64_t>(payload[2u * k]) |
+                     (static_cast<std::uint64_t>(payload[2u * k + 1]) << 8);
+        if (claimed > payload.size()) {
+          emit(report, "STR003",
+               "block " + std::to_string(b) + ": stream frame claims " + std::to_string(claimed) +
+                   " bytes but the block payload holds " + std::to_string(payload.size()));
+          return;  // one structural finding is enough; later blocks add noise
+        }
+      }
+    }
+    core::StreamSpans spans;
     try {
-      (void)core::split_stream_block(image.block_payload(b), streams);
+      spans = core::split_stream_block(payload, streams);
     } catch (const Error& e) {
       emit(report, "STR002", "block " + std::to_string(b) + ": " + e.what());
-      return;  // one structural finding is enough; later blocks add noise
+      return;
+    }
+    if (streams > 1 && item_bytes != 0) {
+      // STR003 (length/items disagreement): a chunk that owns at least one
+      // coding item cannot be backed by an empty sub-stream — every entropy
+      // backend flushes its coder state, so a legitimate non-empty chunk
+      // always emits bytes. An adversarial length table that starves a live
+      // stream would otherwise only surface as a decoder throw.
+      const std::size_t block_items =
+          (image.block_original_size(b) + item_bytes - 1) / item_bytes;
+      for (unsigned k = 0; k < streams; ++k) {
+        if (core::chunk_size(block_items, streams, k) > 0 && spans[k].empty()) {
+          emit(report, "STR003",
+               "block " + std::to_string(b) + ": sub-stream " + std::to_string(k) +
+                   " is empty but its chunk owns " +
+                   std::to_string(core::chunk_size(block_items, streams, k)) + " coding items");
+          return;
+        }
+      }
     }
   }
 }

@@ -1,0 +1,323 @@
+// Concurrent image-server tests: sharded cache + request coalescing,
+// quarantine circuit breaker (fail-fast and golden-serve policies, probe
+// recovery), epoch-based hot-swap with rollback, and multi-thread
+// determinism of served bytes. The suite runs under TSan in CI — every
+// assertion here is scheduling-independent (e.g. "exactly one decode" holds
+// whether a follower thread joins the in-flight decode or hits the cache
+// entry the leader published).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "isa/mips/mips.h"
+#include "memsys/cache.h"
+#include "obs/obs.h"
+#include "samc/samc.h"
+#include "server/server.h"
+#include "support/error.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+
+namespace ccomp {
+namespace {
+
+std::vector<std::uint8_t> mips_code(std::uint32_t kb) {
+  workload::Profile p = *workload::find_profile("go");
+  p.code_kb = kb;
+  return mips::words_to_bytes(workload::generate_mips(p));
+}
+
+std::vector<std::vector<std::uint8_t>> golden_blocks(const core::BlockCodec& codec,
+                                                     const core::CompressedImage& image) {
+  const auto dec = codec.make_decompressor(image);
+  std::vector<std::vector<std::uint8_t>> blocks;
+  blocks.reserve(image.block_count());
+  for (std::size_t b = 0; b < image.block_count(); ++b) blocks.push_back(dec->block(b));
+  return blocks;
+}
+
+std::uint64_t obs_counter(std::string_view name) {
+  for (const auto& c : obs::Registry::instance().snapshot().counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+/// Offset of `block`'s first payload byte within store_payload(), and the
+/// golden value of that byte — what a stuck-at fault needs to target.
+struct StuckTarget {
+  std::size_t offset = 0;
+  std::uint8_t golden = 0;
+};
+
+StuckTarget stuck_target(server::ImageServer& srv, const std::string& name, std::size_t block) {
+  StuckTarget t;
+  srv.with_store(name, [&](memsys::SelfHealingMemorySystem& heal) {
+    const auto payload = heal.store().payload();
+    const auto view = heal.store().block_payload(block);
+    t.offset = static_cast<std::size_t>(view.data() - payload.data());
+    t.golden = view[0];
+  });
+  return t;
+}
+
+void wedge_block(server::ImageServer& srv, const std::string& name, std::size_t block) {
+  const StuckTarget t = stuck_target(srv, name, block);
+  srv.with_store(name, [&](memsys::SelfHealingMemorySystem& heal) {
+    heal.set_stuck_bytes({{t.offset, 0x00, static_cast<std::uint8_t>(~t.golden)}});
+  });
+}
+
+void repair_block(server::ImageServer& srv, const std::string& name) {
+  srv.with_store(name, [](memsys::SelfHealingMemorySystem& heal) {
+    heal.clear_stuck_bytes();
+    heal.repair_all();
+  });
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void build(server::ImageServer::Options options = {}, std::uint32_t kb = 2) {
+    code_ = mips_code(kb);
+    image_.emplace(codec_.compress(code_));
+    golden_ = golden_blocks(codec_, *image_);
+    server_ = std::make_unique<server::ImageServer>(options);
+    server_->load("img", codec_, *image_);
+  }
+
+  samc::SamcCodec codec_{samc::mips_defaults()};
+  std::vector<std::uint8_t> code_;
+  std::optional<core::CompressedImage> image_;
+  std::vector<std::vector<std::uint8_t>> golden_;
+  std::unique_ptr<server::ImageServer> server_;
+};
+
+TEST_F(ServerTest, FetchMatchesGoldenAndCaches) {
+  build();
+  for (std::uint32_t b = 0; b < golden_.size(); ++b) {
+    const server::FetchResult first = server_->fetch("img", b);
+    EXPECT_EQ(first.source, server::FetchSource::kDecode);
+    EXPECT_FALSE(first.degraded);
+    EXPECT_EQ(*first.bytes, golden_[b]);
+    const server::FetchResult again = server_->fetch("img", b);
+    EXPECT_EQ(again.source, server::FetchSource::kCache);
+    EXPECT_EQ(*again.bytes, golden_[b]);
+  }
+  EXPECT_EQ(server_->stats().decodes, golden_.size());
+  EXPECT_EQ(server_->cache_stats().hits, golden_.size());
+}
+
+TEST_F(ServerTest, UnknownNamesAndBadBlocksAreTyped) {
+  build();
+  EXPECT_THROW(server_->fetch("nope", 0), ConfigError);
+  EXPECT_THROW(server_->fetch("img", static_cast<std::uint32_t>(golden_.size())), ConfigError);
+  EXPECT_THROW(server_->load("img", codec_, *image_), ConfigError);
+}
+
+TEST_F(ServerTest, ConcurrentMissesCoalesceIntoOneDecode) {
+  build();
+  constexpr unsigned kThreads = 8;
+  // Synthetic decode latency keeps the leader inside the decode long enough
+  // for followers to arrive even on a single-core host; the assertions below
+  // hold regardless (a late follower simply hits the published entry).
+  server_->set_decode_delay(std::chrono::milliseconds(2));
+  const std::uint64_t decodes_before = obs_counter("server.decodes");
+  std::atomic<unsigned> ready{0};
+  std::vector<std::thread> threads;
+  std::vector<std::vector<std::uint8_t>> served(kThreads);
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      served[t] = *server_->fetch("img", 3).bytes;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& bytes : served) EXPECT_EQ(bytes, golden_[3]);
+  // Exactly one decode ran; the other K-1 fetches either joined the flight
+  // or hit the cache entry it published.
+  EXPECT_EQ(server_->stats().decodes, 1u);
+  EXPECT_EQ(obs_counter("server.decodes") - decodes_before, 1u);
+  EXPECT_EQ(server_->cache_stats().hits + server_->cache_stats().coalesced, kThreads - 1);
+}
+
+TEST_F(ServerTest, QuarantineTripsFailFast) {
+  server::ImageServer::Options opts;
+  opts.decode_retries = 0;
+  opts.quarantine_threshold = 2;
+  opts.probe_period = 0;  // breaker stays open until explicitly probed
+  opts.degraded = server::DegradedPolicy::kFailFast;
+  build(opts);
+  wedge_block(*server_, "img", 0);
+  server_->flush_cache();
+
+  // Below the threshold the failure surfaces as the ladder's escalation.
+  EXPECT_THROW(server_->fetch("img", 0), FaultEscalationError);
+  EXPECT_EQ(server_->stats().quarantine_trips, 0u);
+  // The second consecutive hard failure trips the breaker.
+  EXPECT_THROW(server_->fetch("img", 0), server::QuarantinedError);
+  EXPECT_EQ(server_->stats().quarantine_trips, 1u);
+  EXPECT_EQ(server_->stats().hard_failures, 2u);
+  // Open breaker: no more decodes are attempted, rejection is immediate.
+  const std::uint64_t decodes = server_->stats().decodes;
+  EXPECT_THROW(server_->fetch("img", 0), server::QuarantinedError);
+  EXPECT_EQ(server_->stats().decodes, decodes);
+  EXPECT_GE(server_->stats().failfast_rejections, 2u);
+  // Healthy blocks keep serving.
+  EXPECT_EQ(*server_->fetch("img", 1).bytes, golden_[1]);
+}
+
+TEST_F(ServerTest, QuarantineServesGoldenThenRecovers) {
+  server::ImageServer::Options opts;
+  opts.decode_retries = 0;
+  opts.quarantine_threshold = 1;
+  opts.probe_period = 2;
+  opts.degraded = server::DegradedPolicy::kServeGolden;
+  build(opts);
+  wedge_block(*server_, "img", 0);
+  server_->flush_cache();
+
+  // First hard failure trips the breaker and falls back to golden bytes:
+  // correct, flagged degraded, never cached.
+  const server::FetchResult degraded = server_->fetch("img", 0);
+  EXPECT_TRUE(degraded.degraded);
+  EXPECT_EQ(degraded.source, server::FetchSource::kGolden);
+  EXPECT_EQ(*degraded.bytes, golden_[0]);
+  EXPECT_EQ(server_->stats().quarantine_trips, 1u);
+
+  // Degraded results bypass the cache, so the next fetch is a miss again.
+  EXPECT_TRUE(server_->fetch("img", 0).degraded);
+
+  // Field repair, then keep fetching: the next probe decodes cleanly and
+  // lifts the quarantine.
+  repair_block(*server_, "img");
+  server::FetchResult result = server_->fetch("img", 0);
+  for (int i = 0; i < 4 && result.degraded; ++i) result = server_->fetch("img", 0);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(*result.bytes, golden_[0]);
+  EXPECT_EQ(server_->stats().quarantine_recoveries, 1u);
+  // Recovered block is cacheable again.
+  EXPECT_EQ(server_->fetch("img", 0).source, server::FetchSource::kCache);
+}
+
+TEST_F(ServerTest, HotSwapRejectsCorruptReplacementAndRollsBack) {
+  build();
+  const std::uint64_t epoch_before = server_->epoch("img");
+
+  // Replacement with a non-monotone LAT: statically rejected by the verifier.
+  core::CompressedImage corrupt = *image_;
+  auto lat = corrupt.mutable_lat_bytes();
+  ASSERT_GE(lat.size(), 4u);
+  lat[0] = lat[1] = lat[2] = lat[3] = 0xFF;
+  const server::ImageServer::SwapResult rejected = server_->swap("img", codec_, corrupt);
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_FALSE(rejected.error.empty());
+  EXPECT_EQ(rejected.epoch, epoch_before);
+  EXPECT_EQ(server_->epoch("img"), epoch_before);
+  EXPECT_EQ(server_->stats().swaps_rejected, 1u);
+  // Old epoch keeps serving correct bytes.
+  EXPECT_EQ(*server_->fetch("img", 0).bytes, golden_[0]);
+
+  // A clean replacement (different program) is accepted: new epoch, new
+  // bytes, old cache entries unreachable.
+  const std::vector<std::uint8_t> code2 = mips_code(4);
+  const core::CompressedImage image2 = codec_.compress(code2);
+  const auto golden2 = golden_blocks(codec_, image2);
+  const server::ImageServer::SwapResult accepted = server_->swap("img", codec_, image2);
+  EXPECT_TRUE(accepted.accepted);
+  EXPECT_GT(accepted.epoch, epoch_before);
+  EXPECT_EQ(server_->block_count("img"), golden2.size());
+  for (std::uint32_t b = 0; b < golden2.size(); ++b)
+    EXPECT_EQ(*server_->fetch("img", b).bytes, golden2[b]);
+}
+
+TEST_F(ServerTest, ServedBytesDeterministicAcrossThreadCounts) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    build();
+    server_->start_scrubber(std::chrono::milliseconds(1), 4);
+    std::atomic<bool> corrupt{false};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        // Each thread sweeps every block from a different starting phase.
+        const std::size_t blocks = golden_.size();
+        for (std::size_t i = 0; i < 3 * blocks; ++i) {
+          const auto b = static_cast<std::uint32_t>((i * (t + 1) + t) % blocks);
+          if (*server_->fetch("img", b).bytes != golden_[b]) corrupt.store(true);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    server_->stop_scrubber();
+    EXPECT_FALSE(corrupt.load()) << threads << " threads";
+  }
+}
+
+TEST_F(ServerTest, ScrubberCooperatesWithFaultsAndReaders) {
+  build();
+  server_->start_scrubber(std::chrono::milliseconds(1), 8);
+  // Corrupt the store while the scrubber and a reader run: nothing wrong is
+  // ever served (the ladder corrects or the scrubber refetches first).
+  for (int round = 0; round < 20; ++round) {
+    server_->with_store("img", [&](memsys::SelfHealingMemorySystem& heal) {
+      auto payload = heal.store_payload();
+      payload[static_cast<std::size_t>(round * 7) % payload.size()] ^= 0x10;
+    });
+    server_->flush_cache();
+    for (std::uint32_t b = 0; b < golden_.size(); ++b)
+      EXPECT_EQ(*server_->fetch("img", b).bytes, golden_[b]);
+  }
+  server_->stop_scrubber();
+  // A synchronous sweep is deterministic (the background thread's cadence is
+  // not, on a loaded single-core host).
+  EXPECT_EQ(server_->scrub_once(golden_.size()), golden_.size());
+  EXPECT_GT(server_->stats().scrub_sweeps, 0u);
+}
+
+// The sharded cache in isolation: LRU eviction respects the byte budget.
+TEST(ShardedCache, EvictsLeastRecentlyUsedPastBudget) {
+  memsys::ShardedCacheConfig cfg;
+  cfg.capacity_bytes = 256;
+  cfg.shards = 1;
+  memsys::ShardedBlockCache cache(cfg);
+  auto insert = [&](std::uint32_t block) {
+    const memsys::BlockKey key{1, block};
+    auto ticket = cache.acquire(key);
+    ASSERT_TRUE(ticket.leader);
+    cache.publish(key, ticket.flight,
+                  std::make_shared<std::vector<std::uint8_t>>(64, static_cast<std::uint8_t>(block)),
+                  false, true);
+  };
+  for (std::uint32_t b = 0; b < 6; ++b) insert(b);
+  EXPECT_LE(cache.resident_bytes(), 256u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  // The most recent entries survive.
+  EXPECT_TRUE(cache.acquire({1, 5}).bytes != nullptr);
+  // The oldest was evicted; acquiring it starts a fresh flight.
+  auto ticket = cache.acquire({1, 0});
+  EXPECT_TRUE(ticket.leader);
+  cache.fail({1, 0}, ticket.flight, nullptr);
+}
+
+TEST(ShardedCache, EpochInvalidationDropsOnlyThatEpoch) {
+  memsys::ShardedBlockCache cache(memsys::ShardedCacheConfig{});
+  for (std::uint64_t epoch = 1; epoch <= 2; ++epoch) {
+    const memsys::BlockKey key{epoch, 7};
+    auto ticket = cache.acquire(key);
+    ASSERT_TRUE(ticket.leader);
+    cache.publish(key, ticket.flight, std::make_shared<std::vector<std::uint8_t>>(8, 0xAB), false,
+                  true);
+  }
+  cache.invalidate_epoch(1);
+  EXPECT_EQ(cache.acquire({1, 7}).bytes, nullptr);
+  EXPECT_NE(cache.acquire({2, 7}).bytes, nullptr);
+}
+
+}  // namespace
+}  // namespace ccomp

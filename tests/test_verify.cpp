@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -423,6 +424,57 @@ TEST_F(VerifyBeforeDecode, SadcX86) { contract(sadc::SadcX86Codec(), x86_code(4)
 
 TEST_F(VerifyBeforeDecode, ByteHuffman) {
   contract(baseline::ByteHuffmanCodec(), mips_code(4), 24);
+}
+
+// ---------------------------------------------------------------------------
+// STR003: adversarial multi-stream length tables are rejected statically.
+
+class VerifyStreamFrame : public ::testing::Test {
+ protected:
+  core::CompressedImage build(unsigned streams) {
+    samc::SamcOptions o = samc::mips_defaults();
+    o.entropy_streams = streams;
+    return samc::SamcCodec(o).compress(mips_code(1));
+  }
+
+  /// Mutable view of block 0's payload bytes (the u16 length table lives at
+  /// its front).
+  static std::span<std::uint8_t> block0(core::CompressedImage& image) {
+    const auto view = image.block_payload(0);
+    const auto offset = static_cast<std::size_t>(view.data() - image.payload().data());
+    return image.mutable_payload().subspan(offset, view.size());
+  }
+};
+
+TEST_F(VerifyStreamFrame, CleanMultiStreamImageLintsClean) {
+  auto image = build(4);
+  const auto report = verify::verify_image(image);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_F(VerifyStreamFrame, LengthSumOverrunIsStr003) {
+  auto image = build(4);
+  auto payload = block0(image);
+  ASSERT_GE(payload.size(), 2u);
+  payload[0] = 0xFF;  // first sub-stream claims 65535 bytes
+  payload[1] = 0xFF;
+  const auto report = verify::verify_image(image);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("STR003")) << report.to_string();
+}
+
+TEST_F(VerifyStreamFrame, StarvedLiveStreamIsStr003) {
+  auto image = build(4);
+  auto payload = block0(image);
+  ASSERT_GE(payload.size(), 2u);
+  // Sub-stream 0's chunk owns a quarter of the block's words, yet its
+  // recorded length says zero bytes — only a tampered table can do that
+  // (every entropy backend flushes at least its coder state).
+  payload[0] = 0;
+  payload[1] = 0;
+  const auto report = verify::verify_image(image);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("STR003")) << report.to_string();
 }
 
 }  // namespace
