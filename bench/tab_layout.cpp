@@ -1,0 +1,165 @@
+// Table T-LAYOUT: profile-guided block layout and tiering (src/layout).
+// Three claims, each measured against the monolithic SAMC build of the same
+// program:
+//
+//   1. Clustering is free: the all-cold clustered image has *identical*
+//      compressed size (same blocks, same payload bytes, new order) yet
+//      lower cycles/fetch, because hot blocks share CLB entries.
+//   2. Tiering trades ratio for speed on a smooth curve: the hot-percent
+//      sweep shows cycles/fetch falling as ratio rises toward 1.
+//   3. The trace-trained predictor actually predicts: replaying a loop
+//      trace against an ImageServer with prefetch enabled, most demand
+//      fetches land on a block the prefetcher already decoded.
+//
+// Every tiered variant is also decoded back to the original byte order and
+// compared against the source program — a mismatch exits nonzero.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "isa/mips/mips.h"
+#include "layout/layout.h"
+#include "memsys/sim.h"
+#include "samc/samc.h"
+#include "server/server.h"
+#include "workload/mips_gen.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace ccomp;
+
+struct SimPoint {
+  double ratio = 0.0;
+  double cycles_per_fetch = 0.0;
+  double clb_hit_rate = 0.0;
+};
+
+SimPoint simulate(const core::CompressedImage& image,
+                  const std::vector<std::uint32_t>& trace) {
+  memsys::SimConfig config;
+  config.cache = {4 * 1024, 32, 2};
+  const memsys::SimResult r = memsys::simulate_compressed(config, trace, image);
+  return {image.sizes().ratio(), r.cycles_per_fetch(), r.clb_hit_rate()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ccomp;
+  const double scale = bench::parse_scale(argc, argv, 0.5);
+  bench::JsonReporter json("tab_layout", argc, argv);
+  std::printf("Table T-LAYOUT: profile-guided layout & tiering (scale=%.2f)\n\n", scale);
+
+  const workload::Profile p = bench::scaled_profile(*workload::find_profile("go"), scale);
+  const auto prog = workload::generate_mips_program(p);
+  const auto code = mips::words_to_bytes(prog.words);
+  const samc::SamcCodec codec(samc::mips_defaults());
+  const std::uint32_t block_size = samc::mips_defaults().block_size;
+
+  workload::TraceOptions topt;
+  topt.length = 1'000'000;
+  const auto trace = workload::generate_trace(p, prog.function_starts, prog.words.size(), topt);
+  const std::size_t blocks = (code.size() + block_size - 1) / block_size;
+  const layout::AccessProfile access = layout::AccessProfile::from_trace(trace, block_size, blocks);
+
+  // --- baseline: monolithic SAMC, original block order --------------------
+  const auto baseline_img = codec.compress(code);
+  const SimPoint baseline = simulate(baseline_img, trace);
+  std::printf("benchmark go: %zu KB text, %zu block(s), %zu-entry trace, 4 KB cache\n\n",
+              code.size() / 1024, blocks, trace.size());
+  std::printf("%-14s %8s %12s %10s\n", "layout", "ratio", "cycles/fetch", "CLB hit");
+  std::printf("%-14s %8.3f %12.3f %9.3f\n", "monolithic", baseline.ratio,
+              baseline.cycles_per_fetch, baseline.clb_hit_rate);
+  json.add("baseline", "ratio", baseline.ratio, "ratio");
+  json.add("baseline", "cycles_per_fetch", baseline.cycles_per_fetch, "cycles");
+
+  // --- claim 1: all-cold clustering at identical image size ---------------
+  {
+    layout::LayoutOptions opt;
+    opt.hot_fraction = 0.0;
+    opt.warm_fraction = 0.0;
+    const auto img = layout::build_tiered_image(
+        codec, code, layout::optimize_layout(access, code.size(), block_size, opt));
+    if (layout::decompress_image(codec, img) != code) {
+      std::fprintf(stderr, "FAIL: all-cold clustered image did not round-trip\n");
+      return 1;
+    }
+    const SimPoint pt = simulate(img, trace);
+    std::printf("%-14s %8.3f %12.3f %9.3f   (same blocks, reordered)\n", "all_cold",
+                pt.ratio, pt.cycles_per_fetch, pt.clb_hit_rate);
+    json.add("all_cold", "ratio", pt.ratio, "ratio");
+    json.add("all_cold", "cycles_per_fetch", pt.cycles_per_fetch, "cycles");
+  }
+
+  // --- claim 2: hot-percent sweep (warm tier fixed at 10%) -----------------
+  for (const double hot_pct : {2.5, 5.0, 10.0, 20.0}) {
+    layout::LayoutOptions opt;
+    opt.hot_fraction = hot_pct / 100.0;
+    opt.warm_fraction = 0.10;
+    const auto img = layout::build_tiered_image(
+        codec, code, layout::optimize_layout(access, code.size(), block_size, opt));
+    if (layout::decompress_image(codec, img) != code) {
+      std::fprintf(stderr, "FAIL: hot=%.1f%% tiered image did not round-trip\n", hot_pct);
+      return 1;
+    }
+    const SimPoint pt = simulate(img, trace);
+    char name[32];
+    std::snprintf(name, sizeof name, "hot_%.1fpct", hot_pct);
+    std::printf("%-14s %8.3f %12.3f %9.3f\n", name, pt.ratio, pt.cycles_per_fetch,
+                pt.clb_hit_rate);
+    json.add(name, "ratio", pt.ratio, "ratio");
+    json.add(name, "cycles_per_fetch", pt.cycles_per_fetch, "cycles");
+  }
+
+  // --- claim 3: prefetch hit rate on a loop trace --------------------------
+  // A synthetic trace that loops over the first few blocks in order is the
+  // predictor's best case: the top-1 successor of every block is simply the
+  // next one. Replaying the loop against a live ImageServer (paced so the
+  // async worker can stay ahead) should turn almost every demand fetch
+  // after the first into a prefetch hit.
+  {
+    const std::size_t loop_blocks = blocks < 24 ? blocks : 24;
+    std::vector<std::uint32_t> loop;
+    for (int pass = 0; pass < 6; ++pass)
+      for (std::size_t b = 0; b < loop_blocks; ++b)
+        loop.push_back(static_cast<std::uint32_t>(b) * block_size);
+    const layout::AccessProfile loop_access =
+        layout::AccessProfile::from_trace(loop, block_size, blocks);
+    layout::LayoutOptions opt;
+    opt.hot_fraction = 0.05;
+    opt.warm_fraction = 0.10;
+    opt.predictor_k = 1;
+    const layout::PlacementPlan plan =
+        layout::optimize_layout(loop_access, code.size(), block_size, opt);
+    const std::vector<std::uint32_t> slot_of = plan.slot_of;
+    const auto img = layout::build_tiered_image(codec, code, plan);
+
+    server::ImageServer srv{server::ImageServer::Options{}};
+    srv.load("loop", codec, img);
+    for (int pass = 0; pass < 4; ++pass) {
+      for (std::size_t b = 0; b < loop_blocks; ++b) {
+        (void)srv.fetch("loop", slot_of[b]);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    const std::uint64_t issued = srv.stats().prefetch_issued;
+    const std::uint64_t hits = srv.stats().prefetch_hits;
+    const double hit_rate =
+        issued == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(issued);
+    std::printf("\nPrefetch on a %zu-block loop trace (k=1, paced demand fetches):\n"
+                "  %llu issued, %llu hit(s) -> hit rate %.2f\n",
+                loop_blocks, static_cast<unsigned long long>(issued),
+                static_cast<unsigned long long>(hits), hit_rate);
+    json.add("prefetch", "issued", static_cast<double>(issued), "count");
+    json.add("prefetch", "hit_rate", hit_rate, "ratio");
+  }
+
+  std::printf("\nPaper expectation: clustering buys CLB locality at zero size cost;\n"
+              "raw hot blocks cut refill latency roughly in proportion to their\n"
+              "share of refills; the loop predictor approaches a perfect hit rate.\n");
+  return 0;
+}

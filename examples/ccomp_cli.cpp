@@ -22,6 +22,7 @@
 #include "baseline/bytehuff.h"
 #include "isa/mips/asm.h"
 #include "isa/mips/mips.h"
+#include "layout/layout.h"
 #include "obs_flags.h"
 #include "sadc/sadc.h"
 #include "samc/samc.h"
@@ -152,6 +153,24 @@ const char* isa_name(core::IsaKind k) {
   return "?";
 }
 
+/// A trace file is a flat array of little-endian 32-bit byte addresses —
+/// the dump format of workload::generate_trace and of the simulator.
+std::vector<std::uint32_t> read_trace(const char* path) {
+  const std::vector<std::uint8_t> raw = read_file(path);
+  if (raw.size() % 4 != 0) {
+    std::fprintf(stderr, "trace %s is not a whole number of 32-bit addresses\n", path);
+    std::exit(1);
+  }
+  std::vector<std::uint32_t> addresses(raw.size() / 4);
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    addresses[i] = static_cast<std::uint32_t>(raw[4 * i]) |
+                   (static_cast<std::uint32_t>(raw[4 * i + 1]) << 8) |
+                   (static_cast<std::uint32_t>(raw[4 * i + 2]) << 16) |
+                   (static_cast<std::uint32_t>(raw[4 * i + 3]) << 24);
+  }
+  return addresses;
+}
+
 int cmd_compress(int argc, char** argv) {
   if (argc < 4) return 1;
   std::string codec = "sadc", isa = "mips", coder = "range";
@@ -159,6 +178,8 @@ int cmd_compress(int argc, char** argv) {
   long streams = 1;
   bool verify_static = false;
   bool certify = false;
+  std::string layout_trace;
+  double hot_pct = 5.0, warm_pct = 10.0;
   for (int i = 4; i < argc; ++i) {
     if (std::strncmp(argv[i], "--codec=", 8) == 0) codec = argv[i] + 8;
     else if (std::strncmp(argv[i], "--isa=", 6) == 0) isa = argv[i] + 6;
@@ -172,6 +193,18 @@ int cmd_compress(int argc, char** argv) {
       verify_static = true;
     else if (std::strcmp(argv[i], "--certify") == 0)
       certify = true;
+    else if (std::strncmp(argv[i], "--layout=", 9) == 0)
+      layout_trace = argv[i] + 9;
+    else if (std::strncmp(argv[i], "--hot-pct=", 10) == 0)
+      hot_pct = std::atof(argv[i] + 10);
+    else if (std::strncmp(argv[i], "--warm-pct=", 11) == 0)
+      warm_pct = std::atof(argv[i] + 11);
+  }
+  if (!layout_trace.empty() && certify) {
+    // The certificate engine bounds the inner codec's decode; hot/warm slots
+    // bypass it, so a tiered image has no certified story yet.
+    std::fprintf(stderr, "--certify does not support --layout images yet\n");
+    return 1;
   }
   // Clamp-free: a nonsense count (0, negative, > 16) must reach the codec's
   // own validation and come back as a typed ConfigError, not be silently
@@ -180,7 +213,30 @@ int cmd_compress(int argc, char** argv) {
   const unsigned streams_u = streams < 0 ? 0u : static_cast<unsigned>(streams);
   const auto code = read_file(argv[2]);
   const auto c = make_codec(codec, isa, block, streams_u, coder);
-  core::CompressedImage image = c->compress_verified(code);
+  core::CompressedImage image = [&] {
+    if (layout_trace.empty()) return c->compress_verified(code);
+    // Profile-guided build: distill the trace, cluster hot blocks, assign
+    // tiers, and reassemble the payload in slot order (round trip proven
+    // inside build_tiered_image).
+    const std::vector<std::uint32_t> addresses = read_trace(layout_trace.c_str());
+    const std::size_t blocks = (code.size() + block - 1) / block;
+    const layout::AccessProfile profile =
+        layout::AccessProfile::from_trace(addresses, block, blocks);
+    layout::LayoutOptions lo;
+    lo.hot_fraction = hot_pct / 100.0;
+    lo.warm_fraction = warm_pct / 100.0;
+    layout::PlacementPlan plan = layout::optimize_layout(profile, code.size(), block, lo);
+    core::CompressedImage tiered = layout::build_tiered_image(*c, code, std::move(plan));
+    const layout::PlacementPlan built = layout::plan_from_image(tiered);
+    std::size_t hot = 0, warm = 0;
+    for (const layout::Tier t : built.tiers) {
+      hot += t == layout::Tier::kHot;
+      warm += t == layout::Tier::kWarm;
+    }
+    std::printf("layout: %zu hot / %zu warm / %zu cold blocks, predictor k=%u\n", hot, warm,
+                built.tiers.size() - hot - warm, built.predictor_k);
+    return tiered;
+  }();
   if (certify) {
     // Prove the worst-case decode bounds and embed the certificate in the
     // container; strict loaders can then demand it at load time.
@@ -223,7 +279,9 @@ int cmd_decompress(int argc, char** argv) {
   ByteSource src(bytes);
   const auto image = core::CompressedImage::deserialize(src);
   const auto codec = codec_for_image(image);
-  const auto code = codec->decompress_all(image);
+  // Layout-aware: undoes the plan's permutation and per-slot tiers; plain
+  // images take the inner codec's decompress path unchanged.
+  const auto code = layout::decompress_image(*codec, image);
   write_file(argv[3], code);
   std::printf("decompressed %zu bytes\n", code.size());
   return 0;
@@ -245,6 +303,34 @@ int cmd_info(int argc, char** argv) {
   std::printf("tables:     %zu bytes\n", s.tables);
   std::printf("LAT:        %zu bytes\n", s.lat);
   std::printf("ratio:      %.4f (%.4f with LAT)\n", s.ratio(), s.ratio_with_lat());
+  if (image.has_layout()) {
+    const layout::PlacementPlan plan = layout::plan_from_image(image);
+    std::size_t hot = 0, warm = 0;
+    for (const layout::Tier t : plan.tiers) {
+      hot += t == layout::Tier::kHot;
+      warm += t == layout::Tier::kWarm;
+    }
+    bool permuted = false;
+    for (std::uint32_t i = 0; i < plan.block_count; ++i) permuted |= plan.slot_of[i] != i;
+    std::printf("layout:     %zu hot / %zu warm / %zu cold blocks (%zu plan bytes, %s)\n", hot,
+                warm, plan.tiers.size() - hot - warm, s.layout,
+                permuted ? "clustered permutation" : "identity permutation");
+    std::printf("predictor:  %s (k=%u)\n",
+                plan.predictor_k == 0 ? "none" : "first-order, trace-trained", plan.predictor_k);
+    // Per-slot tier map, one letter per block (h/w/c), 64 slots per row.
+    std::string row;
+    for (std::size_t slot = 0; slot < plan.tiers.size(); ++slot) {
+      row.push_back(plan.tiers[slot] == layout::Tier::kHot    ? 'h'
+                    : plan.tiers[slot] == layout::Tier::kWarm ? 'w'
+                                                              : 'c');
+      if (row.size() == 64 || slot + 1 == plan.tiers.size()) {
+        std::printf("tier map:   %s\n", row.c_str());
+        row.clear();
+      }
+    }
+  } else {
+    std::printf("layout:     none\n");
+  }
   if (image.has_certificate()) {
     ByteSource cert_src(image.certificate());
     const analysis::DecodeCertificate cert = analysis::DecodeCertificate::deserialize(cert_src);
@@ -293,6 +379,13 @@ void print_help(const char* prog) {
       "                             [--certify]  prove worst-case decode\n"
       "                             bounds and embed the certificate in the\n"
       "                             container; nonzero exit when uncertified\n"
+      "                             [--layout=<trace>]  profile-guided build:\n"
+      "                             cluster hot blocks, tier the payload, and\n"
+      "                             train the prefetch predictor from a trace\n"
+      "                             of little-endian u32 byte addresses\n"
+      "                             [--hot-pct=N]   hottest N%% stored raw (5)\n"
+      "                             [--warm-pct=N]  next N%% under the shared\n"
+      "                             byte-Huffman fast path (10)\n"
       "  decompress <in.ccmp> <out>\n"
       "  info       <in.ccmp>\n"
       "  asm        <in.s> <out.bin>   assemble MIPS source\n"

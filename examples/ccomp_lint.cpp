@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "isa/mips/mips.h"
+#include "layout/layout.h"
 #include "sadc/sadc.h"
 #include "samc/samc.h"
 #include "samc/samc_x86split.h"
@@ -35,6 +36,7 @@
 #include "verify/verify.h"
 #include "workload/mips_gen.h"
 #include "workload/profile.h"
+#include "workload/trace.h"
 #include "workload/x86_gen.h"
 
 namespace {
@@ -145,6 +147,25 @@ std::vector<std::uint8_t> serialized(const core::CompressedImage& image) {
   return sink.take();
 }
 
+/// Profile-guided tiered SAMC build for the suite: the layout section (and
+/// its LAY checks) only exists on images built through ccomp::layout, so the
+/// linter suite must produce one to exercise that verifier surface.
+core::CompressedImage tiered_samc(const core::BlockCodec& codec, const workload::Profile& profile,
+                                  const std::vector<std::uint8_t>& code) {
+  const workload::MipsProgram prog = workload::generate_mips_program(profile);
+  workload::TraceOptions topt;
+  topt.length = 50'000;
+  const auto trace =
+      workload::generate_trace(profile, prog.function_starts, prog.words.size(), topt);
+  const std::uint32_t block_size = samc::mips_defaults().block_size;
+  const std::size_t blocks = (code.size() + block_size - 1) / block_size;
+  const layout::AccessProfile access =
+      layout::AccessProfile::from_trace(trace, block_size, blocks);
+  return layout::build_tiered_image(
+      codec, code,
+      layout::optimize_layout(access, code.size(), block_size, layout::LayoutOptions{}));
+}
+
 int cmd_suite(std::uint32_t kb, bool certify) {
   std::size_t errors = 0;
   std::size_t images = 0;
@@ -161,10 +182,13 @@ int cmd_suite(std::uint32_t kb, bool certify) {
       const char* label;
       std::unique_ptr<core::BlockCodec> codec;
       const std::vector<std::uint8_t>* code;
+      bool layout = false;  // build through ccomp::layout (LAY checks active)
     };
     std::vector<Job> jobs;
     jobs.push_back({"SAMC/mips", std::make_unique<samc::SamcCodec>(samc::mips_defaults()),
                     &mips_code});
+    jobs.push_back({"SAMC/mips tiered",
+                    std::make_unique<samc::SamcCodec>(samc::mips_defaults()), &mips_code, true});
     jobs.push_back({"SADC/mips", std::make_unique<sadc::SadcMipsCodec>(), &mips_code});
     jobs.push_back({"SAMC/x86", std::make_unique<samc::SamcCodec>(samc::x86_defaults()),
                     &x86_code});
@@ -177,7 +201,9 @@ int cmd_suite(std::uint32_t kb, bool certify) {
       // One job blowing up (a codec bug, a verifier crash) must not silence
       // the rest of the suite — count it as a failed image and continue.
       try {
-        const core::CompressedImage image = job.codec->compress(*job.code);
+        const core::CompressedImage image = job.layout
+                                                ? tiered_samc(*job.codec, profile, *job.code)
+                                                : job.codec->compress(*job.code);
         verify::VerifyOptions opts;
         opts.original_code = *job.code;
         opts.certify = certify;

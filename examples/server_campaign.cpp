@@ -25,7 +25,12 @@
 //
 //   server_campaign [--threads=T] [--faults=N] [--seed=S] [--kb=N]
 //                   [--json=path] [--min-coalescing-ratio=R]
-//                   [--require-recovery] [--max-p99-ms=MS]
+//                   [--require-recovery] [--max-p99-ms=MS] [--layout]
+//
+// --layout swaps the SAMC image for a profile-guided tiered build (hot raw /
+// warm bytehuff-lite / cold SAMC slots plus a trace-trained predictor), so
+// the server's async prefetch worker races the injector, swapper, and
+// scrubber for the whole campaign.
 //
 // Exit status: 0 = all gates met, 1 = gate failure, 2 = usage error.
 #include <algorithm>
@@ -44,6 +49,7 @@
 
 #include "baseline/bytehuff.h"
 #include "isa/mips/mips.h"
+#include "layout/layout.h"
 #include "memsys/selfheal.h"
 #include "obs/obs.h"
 #include "obs_flags.h"
@@ -54,6 +60,7 @@
 #include "support/faultinject.h"
 #include "workload/mips_gen.h"
 #include "workload/profile.h"
+#include "workload/trace.h"
 
 namespace {
 
@@ -67,6 +74,10 @@ struct Config {
   double min_coalescing_ratio = -1.0;  // < 0: report only, don't gate
   bool require_recovery = false;
   double max_p99_ms = -1.0;  // < 0: report only, don't gate
+  /// Replace the SAMC image with a profile-guided tiered build (hot/warm/
+  /// cold slots + trace-trained predictor) so the prefetch worker races the
+  /// injector, swapper, and scrubber throughout the campaign.
+  bool layout = false;
   const char* json_path = nullptr;
 };
 
@@ -78,20 +89,40 @@ struct Images {
   std::vector<std::vector<std::vector<std::uint8_t>>> golden;
 };
 
-Images build_images(std::uint32_t kb) {
+Images build_images(std::uint32_t kb, bool layout) {
   workload::Profile profile = *workload::find_profile("go");
   profile.code_kb = kb;
-  const std::vector<std::uint8_t> code = mips::words_to_bytes(workload::generate_mips(profile));
+  const workload::MipsProgram prog = workload::generate_mips_program(profile);
+  const std::vector<std::uint8_t> code = mips::words_to_bytes(prog.words);
 
   Images out;
   out.names = {"samc", "sadc", "huff"};
   out.codecs.push_back(std::make_unique<samc::SamcCodec>(samc::mips_defaults()));
   out.codecs.push_back(std::make_unique<sadc::SadcMipsCodec>());
   out.codecs.push_back(std::make_unique<baseline::ByteHuffmanCodec>());
-  for (const auto& codec : out.codecs) {
-    out.images.push_back(codec->compress(code));
+  for (std::size_t i = 0; i < out.codecs.size(); ++i) {
+    const auto& codec = out.codecs[i];
+    if (layout && i == 0) {
+      // Profile-guided SAMC build: the fetch trace trains the clustering,
+      // the tier map, and the prefetch predictor the server runs on.
+      workload::TraceOptions topt;
+      topt.length = 200'000;
+      const auto trace =
+          workload::generate_trace(profile, prog.function_starts, prog.words.size(), topt);
+      const std::uint32_t block_size = samc::mips_defaults().block_size;
+      const std::size_t blocks = (code.size() + block_size - 1) / block_size;
+      const layout::AccessProfile access =
+          layout::AccessProfile::from_trace(trace, block_size, blocks);
+      layout::PlacementPlan plan = layout::optimize_layout(access, code.size(), block_size,
+                                                           layout::LayoutOptions{});
+      out.images.push_back(layout::build_tiered_image(*codec, code, std::move(plan)));
+    } else {
+      out.images.push_back(codec->compress(code));
+    }
     const core::CompressedImage& image = out.images.back();
-    const auto dec = codec->make_decompressor(image);
+    // Slot-indexed, tier-aware decode — the same space the server serves
+    // (identical to the inner decompressor for plain images).
+    const auto dec = layout::make_tier_decompressor(*codec, image);
     auto& blocks = out.golden.emplace_back();
     for (std::size_t b = 0; b < image.block_count(); ++b) blocks.push_back(dec->block(b));
   }
@@ -342,7 +373,19 @@ int run(const Config& config) {
               config.threads, static_cast<unsigned long long>(config.faults),
               static_cast<unsigned long long>(config.seed), config.kb);
 
-  const Images imgs = build_images(config.kb);
+  const Images imgs = build_images(config.kb, config.layout);
+  if (config.layout) {
+    const core::CompressedImage& samc_img = imgs.images.front();
+    const layout::PlacementPlan plan = layout::plan_from_image(samc_img);
+    std::size_t hot = 0, warm = 0;
+    for (const layout::Tier t : plan.tiers) {
+      if (t == layout::Tier::kHot) ++hot;
+      else if (t == layout::Tier::kWarm) ++warm;
+    }
+    std::printf("layout: tiered samc image, %zu hot / %zu warm / %zu cold block(s), "
+                "predictor k=%u\n",
+                hot, warm, plan.tiers.size() - hot - warm, plan.predictor_k);
+  }
 
   server::ImageServer::Options options;
   options.cache.capacity_bytes = 1u << 20;
@@ -376,6 +419,15 @@ int run(const Config& config) {
               static_cast<unsigned long long>(quarantine.trips),
               static_cast<unsigned long long>(quarantine.recoveries),
               static_cast<unsigned long long>(quarantine.golden_serves));
+
+  const std::uint64_t prefetch_issued = srv.stats().prefetch_issued;
+  const std::uint64_t prefetch_hits = srv.stats().prefetch_hits;
+  const std::uint64_t prefetch_waste = srv.stats().prefetch_waste;
+  if (config.layout)
+    std::printf("prefetch: %llu issued, %llu hit(s), %llu wasted\n",
+                static_cast<unsigned long long>(prefetch_issued),
+                static_cast<unsigned long long>(prefetch_hits),
+                static_cast<unsigned long long>(prefetch_waste));
 
   const double p50_ms = lookup_percentile_ms(0.50);
   const double p99_ms = lookup_percentile_ms(0.99);
@@ -439,6 +491,9 @@ int run(const Config& config) {
                        ",\"golden_serves\":" + std::to_string(quarantine.golden_serves) +
                        "},\"swaps\":{\"accepted\":" + std::to_string(swaps_accepted) +
                        ",\"rejected\":" + std::to_string(swaps_rejected) +
+                       "},\"prefetch\":{\"issued\":" + std::to_string(prefetch_issued) +
+                       ",\"hits\":" + std::to_string(prefetch_hits) +
+                       ",\"waste\":" + std::to_string(prefetch_waste) +
                        "},\"latency_ms\":{\"p50\":" + std::to_string(p50_ms) +
                        ",\"p99\":" + std::to_string(p99_ms) +
                        "},\"survived\":" + (ok ? std::string("true") : std::string("false")) +
@@ -454,7 +509,7 @@ void print_help(const char* prog) {
   std::printf(
       "usage: %s [--threads=T] [--faults=N] [--seed=S] [--kb=N] [--json=path]\n"
       "       %*s [--min-coalescing-ratio=R] [--require-recovery] [--max-p99-ms=MS]\n"
-      "       %*s [--metrics=path] [--trace=path]\n",
+      "       %*s [--layout] [--metrics=path] [--trace=path]\n",
       prog, static_cast<int>(std::strlen(prog)), "", static_cast<int>(std::strlen(prog)), "");
 }
 
@@ -477,6 +532,8 @@ int main(int argc, char** argv) {
       config.json_path = argv[i] + 7;
     } else if (std::strncmp(argv[i], "--min-coalescing-ratio=", 23) == 0) {
       config.min_coalescing_ratio = std::atof(argv[i] + 23);
+    } else if (std::strcmp(argv[i], "--layout") == 0) {
+      config.layout = true;
     } else if (std::strcmp(argv[i], "--require-recovery") == 0) {
       config.require_recovery = true;
     } else if (std::strncmp(argv[i], "--max-p99-ms=", 13) == 0) {

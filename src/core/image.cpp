@@ -13,7 +13,9 @@ namespace {
 constexpr std::uint8_t kFlagVariableBlocks = 0x01;
 constexpr std::uint8_t kFlagHasEcc = 0x02;
 constexpr std::uint8_t kFlagHasCertificate = 0x04;
-constexpr std::uint8_t kKnownFlags = kFlagVariableBlocks | kFlagHasEcc | kFlagHasCertificate;
+constexpr std::uint8_t kFlagHasLayout = 0x08;
+constexpr std::uint8_t kKnownFlags =
+    kFlagVariableBlocks | kFlagHasEcc | kFlagHasCertificate | kFlagHasLayout;
 
 }  // namespace
 
@@ -127,6 +129,11 @@ void CompressedImage::attach_certificate(std::vector<std::uint8_t> blob) {
   certificate_ = std::move(blob);
 }
 
+void CompressedImage::attach_layout(std::vector<std::uint8_t> blob) {
+  if (blob.empty()) throw ConfigError("layout blob must be non-empty");
+  layout_ = std::move(blob);
+}
+
 void CompressedImage::drop_ecc() {
   ecc_.clear();
   ecc_offsets_.clear();
@@ -165,6 +172,7 @@ SizeBreakdown CompressedImage::sizes() const {
   s.tables = tables_.size();
   s.lat = lat_bytes();
   s.ecc = ecc_.size();
+  s.layout = layout_.size();
   return s;
 }
 
@@ -177,6 +185,7 @@ void CompressedImage::serialize(ByteSink& sink) const {
   if (!block_original_sizes_.empty()) flags |= kFlagVariableBlocks;
   if (has_ecc()) flags |= kFlagHasEcc;
   if (has_certificate()) flags |= kFlagHasCertificate;
+  if (has_layout()) flags |= kFlagHasLayout;
   sink.u8(flags);
   sink.u32(block_size_);
   sink.u64(original_size_);
@@ -193,6 +202,7 @@ void CompressedImage::serialize(ByteSink& sink) const {
   sink.sized_bytes(payload_);
   if (has_ecc()) sink.sized_bytes(ecc_);
   if (has_certificate()) sink.sized_bytes(certificate_);
+  if (has_layout()) sink.sized_bytes(layout_);
   // Integrity trailer: a loader can reject a flipped bit anywhere in the
   // image before trusting any table or offset.
   sink.u32(crc32(sink.view().subspan(start)));
@@ -208,6 +218,7 @@ CompressedImage CompressedImage::deserialize(ByteSource& src, bool verify_checks
   const bool variable = (flags & kFlagVariableBlocks) != 0;
   const bool has_ecc = (flags & kFlagHasEcc) != 0;
   const bool has_certificate = (flags & kFlagHasCertificate) != 0;
+  const bool has_layout = (flags & kFlagHasLayout) != 0;
   const std::uint32_t block_size = src.u32();
   const std::uint64_t original_size = src.u64();
   std::vector<std::uint8_t> tables = src.sized_bytes();
@@ -241,6 +252,11 @@ CompressedImage CompressedImage::deserialize(ByteSource& src, bool verify_checks
     certificate = src.sized_bytes();
     if (certificate.empty()) throw CorruptDataError("empty certificate section");
   }
+  std::vector<std::uint8_t> layout;
+  if (has_layout) {
+    layout = src.sized_bytes();
+    if (layout.empty()) throw CorruptDataError("empty layout section");
+  }
   const std::size_t end = src.position();
   const std::uint32_t stored_crc = src.u32();
   if (verify_checksum && stored_crc != crc32(src.window(start, end)))
@@ -249,6 +265,7 @@ CompressedImage CompressedImage::deserialize(ByteSource& src, bool verify_checks
                         std::move(offsets), std::move(payload), std::move(original_sizes));
   if (has_ecc) image.attach_ecc(std::move(ecc));
   if (has_certificate) image.attach_certificate(std::move(certificate));
+  if (has_layout) image.attach_layout(std::move(layout));
   return image;
 }
 

@@ -36,9 +36,10 @@ struct SizeBreakdown {
   std::size_t tables = 0;   // models / dictionaries / Huffman tables
   std::size_t lat = 0;      // serialized line address table
   std::size_t ecc = 0;      // per-block SECDED check bytes (0 when absent)
+  std::size_t layout = 0;   // placement-plan section (0 when absent)
 
   /// Everything the embedded system stores for this image.
-  std::size_t total() const { return payload + tables + lat + ecc; }
+  std::size_t total() const { return payload + tables + lat + ecc + layout; }
 
   /// Paper-equivalent compression ratio: (payload + tables) / original.
   double ratio() const {
@@ -49,7 +50,7 @@ struct SizeBreakdown {
   /// embedded cost).
   double ratio_with_lat() const {
     return original == 0 ? 0.0
-                         : static_cast<double>(payload + tables + lat + ecc) /
+                         : static_cast<double>(payload + tables + lat + ecc + layout) /
                                static_cast<double>(original);
   }
 };
@@ -119,6 +120,22 @@ class CompressedImage {
   void drop_certificate() { certificate_.clear(); }
   std::span<const std::uint8_t> certificate() const { return certificate_; }
 
+  // --- Placement plan (format v3, header flag bit 3) ----------------------
+  //
+  // An opaque serialized ccomp::layout::PlacementPlan blob: the profile-
+  // guided block permutation, per-block codec tiers, and the trace-trained
+  // next-block predictor table. Stored opaquely so core stays independent
+  // of the layout layer; consumers (memsys, ImageServer, ccomp_lint)
+  // deserialize it via layout::PlacementPlan::deserialize. Images without
+  // one still load everywhere (the flag bit gates the section).
+
+  bool has_layout() const { return !layout_.empty(); }
+  /// Attach a serialized placement-plan blob (replaces any existing one).
+  /// Rejects an empty blob — use drop_layout() to remove the section.
+  void attach_layout(std::vector<std::uint8_t> blob);
+  void drop_layout() { layout_.clear(); }
+  std::span<const std::uint8_t> layout() const { return layout_; }
+
   bool has_ecc() const { return !ecc_offsets_.empty(); }
   /// Compute and attach per-block SECDED check bytes over the payload.
   /// Idempotent (recomputes when already present).
@@ -185,6 +202,8 @@ class CompressedImage {
   std::vector<std::uint32_t> ecc_offsets_;
   /// Serialized DecodeCertificate blob; empty when absent.
   std::vector<std::uint8_t> certificate_;
+  /// Serialized PlacementPlan blob; empty when absent.
+  std::vector<std::uint8_t> layout_;
 };
 
 }  // namespace ccomp::core

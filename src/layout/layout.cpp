@@ -1,0 +1,504 @@
+#include "layout/layout.h"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+
+#include "support/bitio.h"
+#include "support/error.h"
+
+namespace ccomp::layout {
+
+namespace {
+
+constexpr std::uint32_t kPlanMagic = 0x4C41594Fu;  // "OYAL" LE -> "LAYO" logical
+constexpr std::uint8_t kPlanVersion = 1;
+
+std::uint64_t edge_key(std::uint32_t from, std::uint32_t to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+const char* tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kCold: return "cold";
+    case Tier::kHot: return "hot";
+    case Tier::kWarm: return "warm";
+  }
+  return "?";
+}
+
+std::vector<std::uint32_t> PlacementPlan::orig_of() const {
+  std::vector<std::uint32_t> inverse(block_count, 0);
+  for (std::uint32_t b = 0; b < block_count; ++b) inverse[slot_of[b]] = b;
+  return inverse;
+}
+
+std::vector<std::uint32_t> PlacementPlan::predicted(std::uint32_t slot) const {
+  std::vector<std::uint32_t> out;
+  if (predictor_k == 0 || slot >= block_count) return out;
+  const std::size_t base = static_cast<std::size_t>(slot) * predictor_k;
+  for (std::uint32_t j = 0; j < predictor_k; ++j) {
+    const std::uint32_t s = successors[base + j];
+    if (s != kNoSuccessor) out.push_back(s);
+  }
+  return out;
+}
+
+void PlacementPlan::serialize(ByteSink& sink) const {
+  sink.u32(kPlanMagic);
+  sink.u8(kPlanVersion);
+  sink.varint(block_count);
+  for (const std::uint32_t s : slot_of) sink.varint(s);
+  for (const Tier t : tiers) sink.u8(static_cast<std::uint8_t>(t));
+  sink.varint(predictor_k);
+  // Successors bias by one so the sentinel serializes as a 1-byte zero.
+  for (const std::uint32_t s : successors)
+    sink.varint(s == kNoSuccessor ? 0 : static_cast<std::uint64_t>(s) + 1);
+  sink.u8(warm_lengths.empty() ? 0 : 1);
+  if (!warm_lengths.empty()) sink.bytes(warm_lengths);
+}
+
+PlacementPlan PlacementPlan::deserialize(ByteSource& src) {
+  // Structural parse only: truncation and garbage fields are typed
+  // CorruptDataError; semantic invariants (bijection, successor range) are
+  // validate()'s job so the verifier can report them as distinct findings.
+  if (src.u32() != kPlanMagic) throw CorruptDataError("bad placement-plan magic");
+  if (src.u8() != kPlanVersion) throw CorruptDataError("unknown placement-plan version");
+  PlacementPlan plan;
+  const std::uint64_t count = src.varint();
+  // Every slot entry takes at least one byte; reject absurd counts before
+  // allocating (same trick as the container's LAT count check).
+  if (count > src.remaining()) throw CorruptDataError("placement-plan block count too large");
+  plan.block_count = static_cast<std::uint32_t>(count);
+  plan.slot_of.reserve(plan.block_count);
+  for (std::uint32_t i = 0; i < plan.block_count; ++i) {
+    const std::uint64_t s = src.varint();
+    if (s > 0xFFFFFFFFull) throw CorruptDataError("placement-plan slot overflow");
+    plan.slot_of.push_back(static_cast<std::uint32_t>(s));
+  }
+  plan.tiers.reserve(plan.block_count);
+  for (std::uint32_t i = 0; i < plan.block_count; ++i) {
+    const std::uint8_t t = src.u8();
+    if (t > 2) throw CorruptDataError("unknown placement-plan tier");
+    plan.tiers.push_back(static_cast<Tier>(t));
+  }
+  const std::uint64_t k = src.varint();
+  if (k > 16) throw CorruptDataError("placement-plan predictor arity too large");
+  plan.predictor_k = static_cast<std::uint32_t>(k);
+  const std::uint64_t entries = static_cast<std::uint64_t>(plan.block_count) * plan.predictor_k;
+  if (plan.predictor_k != 0 && entries > src.remaining())
+    throw CorruptDataError("placement-plan predictor table too large");
+  plan.successors.reserve(static_cast<std::size_t>(entries));
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    const std::uint64_t s = src.varint();
+    if (s > 0xFFFFFFFFull) throw CorruptDataError("placement-plan successor overflow");
+    plan.successors.push_back(s == 0 ? kNoSuccessor : static_cast<std::uint32_t>(s - 1));
+  }
+  if (src.u8() != 0) {
+    const std::span<const std::uint8_t> lengths = src.bytes(256);
+    plan.warm_lengths.assign(lengths.begin(), lengths.end());
+  }
+  return plan;
+}
+
+std::vector<std::uint8_t> PlacementPlan::to_blob() const {
+  ByteSink sink;
+  serialize(sink);
+  return sink.take();
+}
+
+PlacementPlan PlacementPlan::from_blob(std::span<const std::uint8_t> blob) {
+  ByteSource src(blob);
+  PlacementPlan plan = deserialize(src);
+  if (!src.at_end()) throw CorruptDataError("trailing bytes after placement plan");
+  return plan;
+}
+
+void PlacementPlan::validate() const {
+  if (slot_of.size() != block_count || tiers.size() != block_count)
+    throw CorruptDataError("placement-plan field sizes inconsistent");
+  std::vector<bool> seen(block_count, false);
+  for (const std::uint32_t s : slot_of) {
+    if (s >= block_count || seen[s])
+      throw CorruptDataError("placement-plan permutation is not a bijection");
+    seen[s] = true;
+  }
+  if (successors.size() != static_cast<std::size_t>(block_count) * predictor_k)
+    throw CorruptDataError("placement-plan predictor table size inconsistent");
+  for (const std::uint32_t s : successors)
+    if (s != kNoSuccessor && s >= block_count)
+      throw CorruptDataError("placement-plan predictor successor out of range");
+  const bool any_warm =
+      std::any_of(tiers.begin(), tiers.end(), [](Tier t) { return t == Tier::kWarm; });
+  if (any_warm && warm_lengths.size() != 256)
+    throw CorruptDataError("placement-plan warm tier lacks its code table");
+}
+
+PlacementPlan plan_from_image(const core::CompressedImage& image) {
+  if (!image.has_layout()) throw ConfigError("image carries no layout section");
+  PlacementPlan plan = PlacementPlan::from_blob(image.layout());
+  if (plan.block_count != image.block_count())
+    throw CorruptDataError("placement-plan block count disagrees with the image");
+  plan.validate();
+  return plan;
+}
+
+AccessProfile AccessProfile::from_trace(std::span<const std::uint32_t> addresses,
+                                        std::uint32_t block_size, std::size_t block_count,
+                                        std::uint32_t base_address) {
+  if (block_size == 0) throw ConfigError("block_size must be nonzero");
+  AccessProfile profile;
+  profile.counts.assign(block_count, 0);
+  bool have_prev = false;
+  std::uint32_t prev = 0;
+  for (const std::uint32_t address : addresses) {
+    if (address < base_address) continue;
+    const std::uint32_t block = (address - base_address) / block_size;
+    if (block >= block_count) continue;
+    ++profile.counts[block];
+    if (have_prev && prev != block) ++profile.edges[edge_key(prev, block)];
+    prev = block;
+    have_prev = true;
+  }
+  return profile;
+}
+
+PlacementPlan optimize_layout(const AccessProfile& profile, std::uint64_t original_size,
+                              std::uint32_t block_size, const LayoutOptions& options) {
+  if (block_size == 0) throw ConfigError("block_size must be nonzero");
+  const std::size_t blocks =
+      static_cast<std::size_t>((original_size + block_size - 1) / block_size);
+  if (profile.counts.size() != blocks)
+    throw ConfigError("profile block count disagrees with the image geometry");
+  if (blocks > 0xFFFFFFFFull) throw ConfigError("too many blocks for a placement plan");
+
+  PlacementPlan plan;
+  plan.block_count = static_cast<std::uint32_t>(blocks);
+  plan.slot_of.assign(blocks, 0);
+  plan.tiers.assign(blocks, Tier::kCold);
+  if (blocks == 0) return plan;
+
+  // A short final block must keep the last slot: under uniform geometry a
+  // slot's original size is derived from its index, so only the last slot
+  // may be short.
+  const bool pin_last = (original_size % block_size) != 0;
+  const std::uint32_t last = plan.block_count - 1;
+  const std::uint32_t movable = pin_last ? last : plan.block_count;
+
+  // Hottest-first seed order (stable: ties keep original index order, which
+  // preserves fall-through locality among equally-hot blocks).
+  std::vector<std::uint32_t> by_heat(movable);
+  for (std::uint32_t b = 0; b < movable; ++b) by_heat[b] = b;
+  std::stable_sort(by_heat.begin(), by_heat.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return profile.counts[a] > profile.counts[b];
+  });
+
+  // orig_of: slot -> original block, built by greedy affinity chaining.
+  std::vector<std::uint32_t> order;
+  order.reserve(blocks);
+  if (options.cluster) {
+    // Symmetric affinity: transitions in either direction pull two blocks
+    // into the same LAT/CLB group.
+    std::unordered_map<std::uint64_t, std::uint64_t> sym;
+    std::vector<std::vector<std::uint32_t>> neighbours(movable);
+    for (const auto& [key, weight] : profile.edges) {
+      const std::uint32_t from = static_cast<std::uint32_t>(key >> 32);
+      const std::uint32_t to = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+      if (from >= movable || to >= movable) continue;
+      const std::uint64_t k =
+          from < to ? edge_key(from, to) : edge_key(to, from);
+      if (sym.emplace(k, weight).second) {
+        neighbours[from].push_back(to);
+        neighbours[to].push_back(from);
+      } else {
+        sym[k] += weight;
+      }
+    }
+    std::vector<bool> placed(movable, false);
+    for (const std::uint32_t seed : by_heat) {
+      if (placed[seed]) continue;
+      std::uint32_t cur = seed;
+      placed[cur] = true;
+      order.push_back(cur);
+      // Extend the chain while an unplaced neighbour exists; strongest
+      // affinity wins, ties to the lower block index for determinism.
+      for (;;) {
+        std::uint32_t best = movable;
+        std::uint64_t best_weight = 0;
+        std::vector<std::uint32_t>& adj = neighbours[cur];
+        for (const std::uint32_t n : adj) {
+          if (placed[n]) continue;
+          const std::uint64_t k = cur < n ? edge_key(cur, n) : edge_key(n, cur);
+          const std::uint64_t w = sym[k];
+          if (w > best_weight || (w == best_weight && best != movable && n < best)) {
+            best = n;
+            best_weight = w;
+          }
+        }
+        if (best == movable || best_weight == 0) break;
+        placed[best] = true;
+        order.push_back(best);
+        cur = best;
+      }
+    }
+  } else {
+    for (std::uint32_t b = 0; b < movable; ++b) order.push_back(b);
+  }
+  if (pin_last) order.push_back(last);
+  for (std::uint32_t s = 0; s < plan.block_count; ++s) plan.slot_of[order[s]] = s;
+
+  // Tier assignment by access-count quantile over *executed* blocks.
+  std::size_t executed = 0;
+  for (const std::uint32_t b : by_heat)
+    if (profile.counts[b] > 0) ++executed;
+  const auto quota = [&](double fraction) {
+    const double want = fraction * static_cast<double>(blocks) + 0.5;
+    return std::min(executed, static_cast<std::size_t>(want < 0.0 ? 0.0 : want));
+  };
+  const std::size_t hot_n = quota(options.hot_fraction);
+  const std::size_t warm_n = std::min(executed - hot_n, quota(options.warm_fraction));
+  for (std::size_t i = 0; i < hot_n + warm_n; ++i) {
+    const std::uint32_t b = by_heat[i];
+    if (profile.counts[b] == 0) break;
+    plan.tiers[plan.slot_of[b]] = i < hot_n ? Tier::kHot : Tier::kWarm;
+  }
+
+  // Predictor: top-K outgoing transitions per block, recorded in slot space.
+  plan.predictor_k = options.predictor_k;
+  if (plan.predictor_k > 0) {
+    plan.successors.assign(static_cast<std::size_t>(blocks) * plan.predictor_k,
+                           PlacementPlan::kNoSuccessor);
+    std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>> out(blocks);
+    for (const auto& [key, weight] : profile.edges) {
+      const std::uint32_t from = static_cast<std::uint32_t>(key >> 32);
+      const std::uint32_t to = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+      if (from < blocks && to < blocks) out[from].push_back({weight, to});
+    }
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      std::vector<std::pair<std::uint64_t, std::uint32_t>>& cand = out[b];
+      std::stable_sort(cand.begin(), cand.end(),
+                       [](const auto& a, const auto& c) { return a.first > c.first; });
+      const std::size_t base = static_cast<std::size_t>(plan.slot_of[b]) * plan.predictor_k;
+      for (std::size_t j = 0; j < cand.size() && j < plan.predictor_k; ++j)
+        plan.successors[base + j] = plan.slot_of[cand[j].second];
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+/// Slot-indexed tier dispatch over the inner codec's decompressor.
+class TierDecompressor final : public core::BlockDecompressor {
+ public:
+  TierDecompressor(const core::BlockCodec& codec, const core::CompressedImage& image,
+                   PlacementPlan plan)
+      : BlockDecompressor(image.block_count()),
+        image_(&image),
+        plan_(std::move(plan)),
+        inner_(codec.make_decompressor(image)) {
+    if (!plan_.warm_lengths.empty())
+      warm_ = coding::HuffmanCode::from_lengths(plan_.warm_lengths);
+  }
+
+  std::vector<std::uint8_t> block(std::size_t index) const override {
+    std::vector<std::uint8_t> out(image_->block_original_size(index));
+    core::DecodeScratch scratch;
+    block_into(index, out, scratch);
+    return out;
+  }
+
+  void block_into(std::size_t index, std::span<std::uint8_t> out,
+                  core::DecodeScratch& scratch) const override {
+    if (index >= plan_.tiers.size()) throw ConfigError("block index out of range");
+    switch (plan_.tiers[index]) {
+      case Tier::kCold:
+        inner_->block_into(index, out, scratch);
+        return;
+      case Tier::kHot: {
+        const std::span<const std::uint8_t> payload = image_->block_payload(index);
+        if (payload.size() != out.size())
+          throw CorruptDataError("raw-tier block size disagrees with the LAT");
+        std::memcpy(out.data(), payload.data(), payload.size());
+        return;
+      }
+      case Tier::kWarm: {
+        if (!warm_.has_value()) throw CorruptDataError("warm tier lacks its code table");
+        BitReader reader(image_->block_payload(index));
+        warm_->decode_run(reader, out.data(), out.size());
+        return;
+      }
+    }
+    throw CorruptDataError("unknown placement-plan tier");
+  }
+
+ private:
+  const core::CompressedImage* image_;
+  PlacementPlan plan_;
+  std::unique_ptr<core::BlockDecompressor> inner_;
+  std::optional<coding::HuffmanCode> warm_;
+};
+
+/// Original-indexed view: block(i) decodes slot slot_of[i].
+class LogicalDecompressor final : public core::BlockDecompressor {
+ public:
+  LogicalDecompressor(std::unique_ptr<core::BlockDecompressor> physical,
+                      std::vector<std::uint32_t> slot_of)
+      : BlockDecompressor(physical->block_count()),
+        physical_(std::move(physical)),
+        slot_of_(std::move(slot_of)) {}
+
+  std::vector<std::uint8_t> block(std::size_t index) const override {
+    if (index >= slot_of_.size()) throw ConfigError("block index out of range");
+    return physical_->block(slot_of_[index]);
+  }
+
+  void block_into(std::size_t index, std::span<std::uint8_t> out,
+                  core::DecodeScratch& scratch) const override {
+    if (index >= slot_of_.size()) throw ConfigError("block index out of range");
+    physical_->block_into(slot_of_[index], out, scratch);
+  }
+
+ private:
+  std::unique_ptr<core::BlockDecompressor> physical_;
+  std::vector<std::uint32_t> slot_of_;
+};
+
+}  // namespace
+
+core::CompressedImage build_tiered_image(const core::BlockCodec& codec,
+                                         std::span<const std::uint8_t> code,
+                                         PlacementPlan plan) {
+  const core::CompressedImage base = codec.compress(code);
+  if (base.has_variable_blocks())
+    throw ConfigError("layout tiering needs uniform address-aligned blocks");
+  const std::size_t blocks = base.block_count();
+  if (plan.block_count != blocks)
+    throw ConfigError("placement plan block count disagrees with the image");
+
+  // Shared warm-tier code, trained on the bytes the warm blocks actually
+  // hold (a per-image bytehuff-lite table, not a global one).
+  std::vector<std::uint64_t> freq(256, 0);
+  bool any_warm = false;
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    if (plan.tiers[plan.slot_of[b]] != Tier::kWarm) continue;
+    any_warm = true;
+    const std::uint64_t begin = base.block_original_offset(b);
+    for (std::size_t i = 0; i < base.block_original_size(b); ++i)
+      ++freq[code[static_cast<std::size_t>(begin) + i]];
+  }
+  std::optional<coding::HuffmanCode> warm;
+  plan.warm_lengths.clear();
+  if (any_warm) {
+    warm = coding::HuffmanCode::from_frequencies(freq);
+    plan.warm_lengths.assign(warm->lengths().begin(), warm->lengths().end());
+  }
+  plan.validate();
+
+  const std::vector<std::uint32_t> orig_of = plan.orig_of();
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(blocks + 1);
+  offsets.push_back(0);
+  std::vector<std::uint8_t> payload;
+  for (std::uint32_t s = 0; s < blocks; ++s) {
+    const std::uint32_t b = orig_of[s];
+    if (base.block_original_size(b) != base.block_original_size(s))
+      throw ConfigError("permutation moves a short block off the last slot");
+    const std::uint64_t begin = base.block_original_offset(b);
+    const std::span<const std::uint8_t> original =
+        code.subspan(static_cast<std::size_t>(begin), base.block_original_size(b));
+    switch (plan.tiers[s]) {
+      case Tier::kHot:
+        payload.insert(payload.end(), original.begin(), original.end());
+        break;
+      case Tier::kWarm: {
+        BitWriter writer;
+        for (const std::uint8_t byte : original) warm->encode(writer, byte);
+        const std::vector<std::uint8_t> bits = writer.take();
+        payload.insert(payload.end(), bits.begin(), bits.end());
+        break;
+      }
+      case Tier::kCold: {
+        const std::span<const std::uint8_t> compressed = base.block_payload(b);
+        payload.insert(payload.end(), compressed.begin(), compressed.end());
+        break;
+      }
+    }
+    if (payload.size() > 0xFFFFFFFFull) throw ConfigError("tiered payload exceeds 4 GiB");
+    offsets.push_back(static_cast<std::uint32_t>(payload.size()));
+  }
+
+  core::CompressedImage image(
+      base.codec(), base.isa(), base.block_size(), base.original_size(),
+      std::vector<std::uint8_t>(base.tables().begin(), base.tables().end()),
+      std::move(offsets), std::move(payload));
+  image.attach_layout(plan.to_blob());
+
+  // Prove the round trip before anyone stores this image: every original
+  // block must come back byte-identical through the remapped LAT.
+  const std::vector<std::uint8_t> decoded = decompress_image(codec, image);
+  if (decoded.size() != code.size() ||
+      !std::equal(decoded.begin(), decoded.end(), code.begin()))
+    throw CorruptDataError("tiered image failed its round-trip check");
+  return image;
+}
+
+std::unique_ptr<core::BlockDecompressor> make_tier_decompressor(
+    const core::BlockCodec& codec, const core::CompressedImage& image) {
+  if (!image.has_layout()) return codec.make_decompressor(image);
+  PlacementPlan plan = plan_from_image(image);
+  return std::make_unique<TierDecompressor>(codec, image, std::move(plan));
+}
+
+std::unique_ptr<core::BlockDecompressor> make_logical_decompressor(
+    const core::BlockCodec& codec, const core::CompressedImage& image) {
+  if (!image.has_layout()) return codec.make_decompressor(image);
+  PlacementPlan plan = plan_from_image(image);
+  std::vector<std::uint32_t> slot_of = plan.slot_of;
+  return std::make_unique<LogicalDecompressor>(
+      std::make_unique<TierDecompressor>(codec, image, std::move(plan)), std::move(slot_of));
+}
+
+std::vector<std::uint8_t> decompress_image(const core::BlockCodec& codec,
+                                           const core::CompressedImage& image) {
+  const std::unique_ptr<core::BlockDecompressor> logical =
+      make_logical_decompressor(codec, image);
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(image.original_size()));
+  core::DecodeScratch scratch;
+  std::size_t offset = 0;
+  for (std::size_t b = 0; b < image.block_count(); ++b) {
+    const std::size_t size = image.block_original_size(b);
+    logical->block_into(b, std::span<std::uint8_t>(out).subspan(offset, size), scratch);
+    offset += size;
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> remap_table(const core::CompressedImage& image) {
+  if (!image.has_layout()) {
+    std::vector<std::uint32_t> identity(image.block_count());
+    for (std::size_t b = 0; b < identity.size(); ++b)
+      identity[b] = static_cast<std::uint32_t>(b);
+    return identity;
+  }
+  return plan_from_image(image).slot_of;
+}
+
+std::vector<std::uint32_t> scrub_order(const core::CompressedImage& image) {
+  std::vector<std::uint32_t> order;
+  order.reserve(image.block_count());
+  if (!image.has_layout()) {
+    for (std::size_t b = 0; b < image.block_count(); ++b)
+      order.push_back(static_cast<std::uint32_t>(b));
+    return order;
+  }
+  const PlacementPlan plan = plan_from_image(image);
+  for (const Tier want : {Tier::kHot, Tier::kWarm, Tier::kCold})
+    for (std::uint32_t s = 0; s < plan.block_count; ++s)
+      if (plan.tiers[s] == want) order.push_back(s);
+  return order;
+}
+
+}  // namespace ccomp::layout

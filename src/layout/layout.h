@@ -1,0 +1,174 @@
+// Profile-guided block layout and tiering.
+//
+// The paper's SAMC compresses every block with one model, but instruction
+// fetch is wildly skewed (Ozturk/Saputra/Kandemir, "Access Pattern-Based
+// Code Compression"): a few hot blocks absorb most refills. This subsystem
+// closes the loop from an execution trace back into the container:
+//
+//   1. Hot/cold clustering — a greedy affinity pass over the trace's
+//      block-transition graph reorders blocks so hot blocks are neighbours,
+//      which packs them into the same group-anchored LAT groups and CLB
+//      entries (the CLB caches the LAT at 8-block granularity, so adjacency
+//      is a real hit-rate win at *identical* image size).
+//   2. Tiered compression — the hottest blocks are stored raw (tier kHot)
+//      or under a shared byte-Huffman code (tier kWarm, the bytehuff-lite
+//      fast path) so their refills skip the bit-serial Markov walk; cold
+//      blocks keep the inner codec's max-ratio encoding (tier kCold).
+//   3. A trace-trained next-block predictor — a first-order transition
+//      table (top-K successors per block) that drives the ImageServer's
+//      speculative prefetch and the self-heal scrubber's hot-first sweep.
+//
+// All three artifacts live in one PlacementPlan, serialized into the
+// container's optional layout section (header flag bit 3). Indexing
+// convention: the *image* (LAT, payload, ECC, memsys store) lives entirely
+// in PHYSICAL slot space; the plan records the original->slot permutation,
+// and `tiers` / `successors` are indexed by slot so the refill path never
+// translates twice. Only the address->block mapping at the edge of the
+// memory system remaps original block indices to slots.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "coding/huffman.h"
+#include "core/codec.h"
+#include "core/image.h"
+#include "support/serialize.h"
+
+namespace ccomp::layout {
+
+/// Per-block storage tier. The numeric values are the serialized form.
+enum class Tier : std::uint8_t {
+  kCold = 0,  // inner codec (SAMC/SADC/...) max-ratio encoding
+  kHot = 1,   // raw bytes, zero decode cost
+  kWarm = 2,  // shared canonical byte-Huffman code (bytehuff-lite)
+};
+
+/// Short human name ("cold", "hot", "warm") for CLI output.
+const char* tier_name(Tier tier);
+
+/// The layout section's payload: permutation + tier map + predictor.
+struct PlacementPlan {
+  /// Sentinel successor meaning "no prediction".
+  static constexpr std::uint32_t kNoSuccessor = 0xFFFFFFFFu;
+
+  std::uint32_t block_count = 0;
+  /// Original block index -> physical slot. Must be a bijection on
+  /// [0, block_count) — the verifier's LAY002 check.
+  std::vector<std::uint32_t> slot_of;
+  /// Storage tier per physical SLOT (size block_count).
+  std::vector<Tier> tiers;
+  /// Predictor arity: top-K successors per block. 0 disables prediction.
+  std::uint32_t predictor_k = 0;
+  /// Flattened block_count x predictor_k table, indexed by physical SLOT:
+  /// successors[slot * predictor_k + j] is the j-th most likely next slot
+  /// (kNoSuccessor when fewer than K successors were observed).
+  std::vector<std::uint32_t> successors;
+  /// Canonical Huffman code lengths (256 entries) for the warm tier; empty
+  /// when no block uses kWarm.
+  std::vector<std::uint8_t> warm_lengths;
+
+  /// Inverse permutation: physical slot -> original block index.
+  /// Requires a valid bijection (call validate() first on untrusted plans).
+  std::vector<std::uint32_t> orig_of() const;
+
+  /// Predicted successors of `slot` (drops kNoSuccessor entries).
+  std::vector<std::uint32_t> predicted(std::uint32_t slot) const;
+
+  /// Structural serialization. deserialize() bounds-checks counts and field
+  /// ranges (truncation and garbage are typed CorruptDataError, never UB)
+  /// but does NOT prove the permutation a bijection — that is validate(),
+  /// kept separate so the static verifier can report LAY002/LAY004
+  /// distinctly from a parse failure (LAY001).
+  void serialize(ByteSink& sink) const;
+  static PlacementPlan deserialize(ByteSource& src);
+  std::vector<std::uint8_t> to_blob() const;
+  static PlacementPlan from_blob(std::span<const std::uint8_t> blob);
+
+  /// Deep validation: slot_of is a bijection, successors are in range or
+  /// sentinel, warm table present iff a warm block exists. Throws
+  /// CorruptDataError. Every runtime loader calls this before trusting the
+  /// plan (the verifier instead reports per-check findings).
+  void validate() const;
+};
+
+/// Parse + validate the plan carried by `image`. Throws ConfigError when
+/// the image has no layout section, CorruptDataError when it is invalid.
+PlacementPlan plan_from_image(const core::CompressedImage& image);
+
+/// Per-block access statistics distilled from an execution trace.
+struct AccessProfile {
+  /// Refill-weighted access count per ORIGINAL block.
+  std::vector<std::uint64_t> counts;
+  /// Directed block-transition weights: key = (from << 32) | to, from != to.
+  std::unordered_map<std::uint64_t, std::uint64_t> edges;
+
+  /// Distill a word-aligned byte-address trace (workload::generate_trace
+  /// form) into per-block counts and transition weights. Addresses outside
+  /// [base_address, base_address + block_count * block_size) are ignored.
+  static AccessProfile from_trace(std::span<const std::uint32_t> addresses,
+                                  std::uint32_t block_size, std::size_t block_count,
+                                  std::uint32_t base_address = 0);
+};
+
+struct LayoutOptions {
+  /// Fraction of blocks (hottest first) stored raw. 0 disables the tier.
+  double hot_fraction = 0.05;
+  /// Fraction of blocks (next-hottest) stored under the warm Huffman code.
+  double warm_fraction = 0.10;
+  /// Top-K successors kept per block. 0 disables the predictor.
+  std::uint32_t predictor_k = 2;
+  /// When false, keep the identity permutation (tiering/predictor only).
+  bool cluster = true;
+};
+
+/// Build a PlacementPlan from a profile: greedy affinity clustering over the
+/// transition graph (hot chains first), tier assignment by access-count
+/// quantile (never-executed blocks are always cold), and the top-K
+/// predictor table. A short final block is pinned to the last slot so the
+/// uniform-block geometry survives the permutation. warm_lengths is left
+/// empty — build_tiered_image() fills it from the actual warm-block bytes.
+PlacementPlan optimize_layout(const AccessProfile& profile, std::uint64_t original_size,
+                              std::uint32_t block_size, const LayoutOptions& options);
+
+/// Compress `code` with `codec`, then reassemble the payload according to
+/// `plan`: slot order is the plan's permutation and each slot's bytes come
+/// from its tier (raw / warm Huffman / the inner codec's block). The plan
+/// (with warm_lengths filled in) is attached as the image's layout section.
+/// The round trip is verified internally — a mismatch throws
+/// CorruptDataError. Uniform-block images only (ConfigError otherwise).
+core::CompressedImage build_tiered_image(const core::BlockCodec& codec,
+                                         std::span<const std::uint8_t> code, PlacementPlan plan);
+
+/// Physical (slot-indexed) decompressor: dispatches each slot to its tier —
+/// raw copy, warm Huffman, or the inner codec's decompressor. This is what
+/// the memory systems and the server run on; an image without a layout
+/// section gets the inner decompressor unchanged.
+std::unique_ptr<core::BlockDecompressor> make_tier_decompressor(
+    const core::BlockCodec& codec, const core::CompressedImage& image);
+
+/// Logical (original-indexed) decompressor: block(i) returns the bytes of
+/// ORIGINAL block i by decoding slot plan.slot_of[i]. decompress_all on it
+/// reproduces the original code byte-identically. Images without a layout
+/// section get the inner decompressor unchanged.
+std::unique_ptr<core::BlockDecompressor> make_logical_decompressor(
+    const core::BlockCodec& codec, const core::CompressedImage& image);
+
+/// Decompress the whole image back to original byte order (the layout-aware
+/// replacement for BlockCodec::decompress_all).
+std::vector<std::uint8_t> decompress_image(const core::BlockCodec& codec,
+                                           const core::CompressedImage& image);
+
+/// Original-block-index -> slot remap table for address-indexed consumers
+/// (identity when the image carries no layout section).
+std::vector<std::uint32_t> remap_table(const core::CompressedImage& image);
+
+/// Slots ordered hottest-first for the self-heal scrubber: hot tier, then
+/// warm, then cold, preserving slot order within a tier (hot chains come
+/// first in slot space already). Identity order without a layout section.
+std::vector<std::uint32_t> scrub_order(const core::CompressedImage& image);
+
+}  // namespace ccomp::layout

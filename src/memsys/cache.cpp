@@ -67,7 +67,18 @@ ShardedBlockCache::ShardedBlockCache(const ShardedCacheConfig& config) : config_
   if (config_.capacity_bytes == 0) throw ConfigError("block cache capacity must be nonzero");
   const std::size_t n = round_up_pow2(config_.shards == 0 ? 1 : config_.shards);
   shards_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  for (std::size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+#if !defined(CCOMP_OBS_DISABLE)
+    // Labelled per-shard series alongside the aggregate counters: the
+    // Prometheus exporter renders the `|shard=N` suffix as a label, and the
+    // per-shard values always sum to the unlabelled aggregate.
+    const std::string suffix = "|shard=" + std::to_string(i);
+    shard->obs_hits_id = obs::Registry::instance().counter("server.cache.hits" + suffix);
+    shard->obs_misses_id = obs::Registry::instance().counter("server.cache.misses" + suffix);
+#endif
+    shards_.push_back(std::move(shard));
+  }
   shard_capacity_ = config_.capacity_bytes / n;
   if (shard_capacity_ == 0) shard_capacity_ = 1;
 }
@@ -84,10 +95,16 @@ ShardedBlockCache::Ticket ShardedBlockCache::acquire(const BlockKey& key) {
     shard.lru.splice(shard.lru.begin(), shard.lru, hit->second);
     stats_.hits.fetch_add(1, std::memory_order_relaxed);
     CCOMP_COUNT("server.cache.hits", 1);
+#if !defined(CCOMP_OBS_DISABLE)
+    obs::Registry::instance().add(shard.obs_hits_id, 1);
+#endif
     return Ticket{hit->second->bytes, nullptr, false};
   }
   stats_.misses.fetch_add(1, std::memory_order_relaxed);
   CCOMP_COUNT("server.cache.misses", 1);
+#if !defined(CCOMP_OBS_DISABLE)
+  obs::Registry::instance().add(shard.obs_misses_id, 1);
+#endif
   if (auto flying = shard.in_flight.find(key); flying != shard.in_flight.end()) {
     stats_.coalesced.fetch_add(1, std::memory_order_relaxed);
     CCOMP_COUNT("server.cache.coalesced", 1);

@@ -235,6 +235,11 @@ class ShardedBlockCache {
     std::unordered_map<BlockKey, std::list<Entry>::iterator, BlockKeyHash> index;
     std::unordered_map<BlockKey, Flight, BlockKeyHash> in_flight;
     std::size_t bytes = 0;
+    /// Interned ids of this shard's labelled obs series
+    /// ("server.cache.{hits,misses}|shard=N"); the aggregate series stays
+    /// unlabelled, so per-shard values sum to it.
+    std::uint32_t obs_hits_id = 0;
+    std::uint32_t obs_misses_id = 0;
   };
 
   Shard& shard_for(const BlockKey& key);

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "analysis/certificate.h"
+#include "layout/layout.h"
 #include "obs/obs.h"
 #include "support/error.h"
 #include "verify/verify.h"
@@ -46,7 +47,8 @@ FunctionalMemorySystem::FunctionalMemorySystem(const CacheConfig& cache_config,
                                                const core::CompressedImage& image,
                                                bool verify_on_load, bool require_certificate)
     : image_(&image),
-      decompressor_(codec.make_decompressor(image)),
+      decompressor_(layout::make_tier_decompressor(codec, image)),
+      remap_(layout::remap_table(image)),
       cache_(std::make_unique<ICache>(cache_config)),
       line_bytes_(cache_config.line_bytes),
       ways_(cache_config.associativity) {
@@ -79,9 +81,10 @@ FunctionalMemorySystem::Line& FunctionalMemorySystem::lookup(std::uint32_t addre
       victim = &line;
     }
   }
-  // Miss: run the refill engine.
-  const std::size_t block = line_index;
-  if (block >= image_->block_count()) throw ConfigError("fetch outside the program");
+  // Miss: run the refill engine. Addresses index original blocks; the
+  // stored image lives in slot space, so hop through the layout remap.
+  if (line_index >= remap_.size()) throw ConfigError("fetch outside the program");
+  const std::size_t block = remap_[line_index];
   ++refills_;
   CCOMP_SPAN("memsys.refill");
   CCOMP_TIMER("memsys.refill_ns");
@@ -108,9 +111,11 @@ void FunctionalMemorySystem::reload(const core::BlockCodec& codec,
     throw ConfigError("image block size must equal the cache line size");
   // Build the new decompressor before touching any member so a throwing
   // codec leaves the system on the old image.
-  auto decompressor = codec.make_decompressor(image);
+  auto decompressor = layout::make_tier_decompressor(codec, image);
+  auto remap = layout::remap_table(image);
   image_ = &image;
   decompressor_ = std::move(decompressor);
+  remap_ = std::move(remap);
   for (Line& line : lines_) line.valid = false;
   cache_->flush();  // invalidates the stats model's tags; counters survive
 }

@@ -67,6 +67,10 @@ class FunctionalMemorySystem {
 
   const core::CompressedImage* image_;
   std::unique_ptr<core::BlockDecompressor> decompressor_;
+  /// Original block index -> physical slot (identity without a layout
+  /// section). The cache is tagged by original line index; only the refill
+  /// engine's block fetch goes through the remap.
+  std::vector<std::uint32_t> remap_;
   std::unique_ptr<ICache> cache_;  // hit/miss bookkeeping (stats only)
   core::DecodeScratch scratch_;    // refill-engine arenas, reused every miss
   std::vector<Line> lines_;        // actual decompressed contents

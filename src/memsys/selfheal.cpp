@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string>
 
+#include "layout/layout.h"
 #include "obs/obs.h"
 #include "support/crc32.h"
 #include "support/ecc.h"
@@ -46,12 +47,14 @@ SelfHealingMemorySystem::SelfHealingMemorySystem(const Options& options,
     golden_.attach_ecc();
     store_.attach_ecc();
   }
-  decompressor_ = codec.make_decompressor(store_);
+  decompressor_ = layout::make_tier_decompressor(codec, store_);
+  remap_ = layout::remap_table(store_);
 
   // Golden per-block CRCs of the *decompressed* bytes, the ladder's
   // detection gate. Modelled as protected controller SRAM, computed once
-  // from the pristine copy at provisioning time.
-  const auto golden_dec = codec.make_decompressor(golden_);
+  // from the pristine copy at provisioning time. Slot-indexed: the whole
+  // ladder works in the store's physical space.
+  const auto golden_dec = layout::make_tier_decompressor(codec, golden_);
   golden_crc_.resize(golden_.block_count());
   for (std::size_t b = 0; b < golden_crc_.size(); ++b)
     golden_crc_[b] = crc32(golden_dec->block(b));
@@ -239,9 +242,17 @@ void SelfHealingMemorySystem::read_block_into(std::size_t index, std::vector<std
   refill(index, out);
 }
 
+void SelfHealingMemorySystem::set_scrub_order(std::vector<std::uint32_t> order) {
+  for (const std::uint32_t block : order)
+    if (block >= store_.block_count()) throw ConfigError("scrub order index out of range");
+  scrub_order_ = std::move(order);
+  scrub_cursor_ = 0;
+}
+
 std::size_t SelfHealingMemorySystem::scrub(std::size_t max_blocks) {
   CCOMP_SPAN("selfheal.scrub");
-  const std::size_t blocks = store_.block_count();
+  const std::size_t blocks =
+      scrub_order_.empty() ? store_.block_count() : scrub_order_.size();
   if (blocks == 0) return 0;
   // Clamp the sweep budget to one full pass and keep the cursor invariantly
   // inside [0, blocks). The old `cursor++ % blocks` idiom let the cursor grow
@@ -251,7 +262,8 @@ std::size_t SelfHealingMemorySystem::scrub(std::size_t max_blocks) {
   const std::size_t budget = std::min(max_blocks, blocks);
   if (scrub_cursor_ >= blocks) scrub_cursor_ = 0;
   for (std::size_t visited = 0; visited < budget; ++visited) {
-    const std::size_t block = scrub_cursor_;
+    const std::size_t block =
+        scrub_order_.empty() ? scrub_cursor_ : scrub_order_[scrub_cursor_];
     scrub_cursor_ = (scrub_cursor_ + 1 == blocks) ? 0 : scrub_cursor_ + 1;
     stats_.scrubbed.fetch_add(1, std::memory_order_relaxed);
     CCOMP_COUNT("memsys.selfheal.scrubbed", 1);
@@ -332,8 +344,8 @@ SelfHealingMemorySystem::Line& SelfHealingMemorySystem::lookup(std::uint32_t add
       victim = &line;
     }
   }
-  const std::size_t block = line_index;
-  if (block >= store_.block_count()) throw ConfigError("fetch outside the program");
+  if (line_index >= remap_.size()) throw ConfigError("fetch outside the program");
+  const std::size_t block = remap_[line_index];
   refill(block, victim->bytes);
   victim->valid = true;
   victim->tag = tag;

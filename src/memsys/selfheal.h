@@ -135,6 +135,13 @@ class SelfHealingMemorySystem {
   /// code cannot repair. Returns the number of blocks visited.
   std::size_t scrub(std::size_t max_blocks);
 
+  /// Replace the scrubber's visit order (default: ascending block index).
+  /// `order` must be a permutation-free list of valid block indices (each
+  /// sweep walks it cyclically); the layout subsystem passes hot-first slot
+  /// order so profile-hot blocks get the shortest exposure window. An empty
+  /// list restores the default. Throws ConfigError on an out-of-range index.
+  void set_scrub_order(std::vector<std::uint32_t> order);
+
   /// Drop every cached line (and CLB entry) so the next access re-reads the
   /// store. Campaigns call this after injecting a fault.
   void invalidate_cache();
@@ -220,6 +227,10 @@ class SelfHealingMemorySystem {
   core::CompressedImage golden_;  // pristine backing copy (never mutated)
   core::CompressedImage store_;   // fault-prone store
   std::unique_ptr<core::BlockDecompressor> decompressor_;  // bound to store_
+  /// Original block index -> physical slot (identity without a layout
+  /// section). Only the address path remaps; the ladder, CLB, ECC and
+  /// scrubber all live in slot space.
+  std::vector<std::uint32_t> remap_;
   core::DecodeScratch scratch_;  // refill/scrub arenas, reused every decode
   std::vector<std::uint32_t> golden_crc_;  // per-block CRC of decompressed bytes
   std::unique_ptr<ICache> cache_;
@@ -233,6 +244,7 @@ class SelfHealingMemorySystem {
   std::vector<std::uint8_t> bus_noise_;
   std::vector<StuckByte> stuck_;
   std::size_t scrub_cursor_ = 0;  // invariantly < block_count() (see scrub())
+  std::vector<std::uint32_t> scrub_order_;  // custom sweep order; empty = ascending
   RecoveryStats stats_;
   std::vector<FaultReport> fault_log_;
 };

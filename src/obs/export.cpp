@@ -54,23 +54,118 @@ void append_i64(std::string& out, std::int64_t v) {
   out += buf;
 }
 
+/// Split a registered name into its base and a rendered Prometheus label
+/// block. The `|k=v,k2=v2` suffix convention (see obs.h) lets call sites
+/// register labelled series ("server.cache.hits|shard=3") through the same
+/// flat interned-name registry.
+struct LabeledName {
+  std::string base;    // name up to the first '|'
+  std::string labels;  // "{k=\"v\",...}" or empty
+};
+
+LabeledName parse_labels(std::string_view name) {
+  const std::size_t bar = name.find('|');
+  if (bar == std::string_view::npos) return LabeledName{std::string(name), {}};
+  LabeledName out{std::string(name.substr(0, bar)), "{"};
+  std::string_view rest = name.substr(bar + 1);
+  bool first = true;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view kv = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+    if (kv.empty()) continue;
+    const std::size_t eq = kv.find('=');
+    const std::string_view key = kv.substr(0, eq);
+    const std::string_view value = eq == std::string_view::npos ? std::string_view{} : kv.substr(eq + 1);
+    if (!first) out.labels += ",";
+    first = false;
+    // Label names share the metric-name charset; values are escaped like
+    // JSON strings (Prometheus uses the same \" \\ \n escapes).
+    for (const char c : key) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      out.labels.push_back(ok ? c : '_');
+    }
+    out.labels += "=\"" + json_escape(value) + "\"";
+  }
+  out.labels += "}";
+  return out;
+}
+
+/// One exposition line within a grouped metric family.
+struct SeriesLine {
+  std::string labels;
+  std::string help;
+  std::uint64_t uvalue = 0;
+  std::int64_t ivalue = 0;
+};
+
+/// Group series by sanitized family name, preserving first-appearance order
+/// — the text format requires all samples of one family to be contiguous
+/// under a single TYPE line.
+template <typename T, typename GetName, typename Fill>
+std::vector<std::pair<std::string, std::vector<SeriesLine>>> group_series(
+    const std::vector<T>& values, GetName get_name, Fill fill) {
+  std::vector<std::pair<std::string, std::vector<SeriesLine>>> groups;
+  for (const T& v : values) {
+    const LabeledName parsed = parse_labels(get_name(v));
+    const std::string family = prom_name(parsed.base);
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == family; });
+    if (it == groups.end()) {
+      groups.emplace_back(family, std::vector<SeriesLine>{});
+      it = groups.end() - 1;
+    }
+    SeriesLine line;
+    line.labels = parsed.labels;
+    fill(v, line);
+    it->second.push_back(std::move(line));
+  }
+  return groups;
+}
+
 }  // namespace
 
 std::string to_prometheus(const Snapshot& snapshot) {
   std::string out;
-  for (const CounterValue& c : snapshot.counters) {
-    const std::string name = prom_name(c.name) + "_total";
-    if (!c.help.empty()) out += "# HELP " + name + " " + c.help + "\n";
-    out += "# TYPE " + name + " counter\n" + name + " ";
-    append_u64(out, c.value);
-    out += "\n";
+  const auto counter_groups = group_series(
+      snapshot.counters, [](const CounterValue& c) -> std::string_view { return c.name; },
+      [](const CounterValue& c, SeriesLine& line) {
+        line.help = c.help;
+        line.uvalue = c.value;
+      });
+  for (const auto& [family, lines] : counter_groups) {
+    const std::string name = family + "_total";
+    for (const SeriesLine& line : lines)
+      if (!line.help.empty()) {
+        out += "# HELP " + name + " " + line.help + "\n";
+        break;
+      }
+    out += "# TYPE " + name + " counter\n";
+    for (const SeriesLine& line : lines) {
+      out += name + line.labels + " ";
+      append_u64(out, line.uvalue);
+      out += "\n";
+    }
   }
-  for (const GaugeValue& g : snapshot.gauges) {
-    const std::string name = prom_name(g.name);
-    if (!g.help.empty()) out += "# HELP " + name + " " + g.help + "\n";
-    out += "# TYPE " + name + " gauge\n" + name + " ";
-    append_i64(out, g.value);
-    out += "\n";
+  const auto gauge_groups = group_series(
+      snapshot.gauges, [](const GaugeValue& g) -> std::string_view { return g.name; },
+      [](const GaugeValue& g, SeriesLine& line) {
+        line.help = g.help;
+        line.ivalue = g.value;
+      });
+  for (const auto& [family, lines] : gauge_groups) {
+    for (const SeriesLine& line : lines)
+      if (!line.help.empty()) {
+        out += "# HELP " + family + " " + line.help + "\n";
+        break;
+      }
+    out += "# TYPE " + family + " gauge\n";
+    for (const SeriesLine& line : lines) {
+      out += family + line.labels + " ";
+      append_i64(out, line.ivalue);
+      out += "\n";
+    }
   }
   for (const HistogramValue& h : snapshot.histograms) {
     const std::string name = prom_name(h.name);

@@ -196,6 +196,13 @@ class HistTimer {
 
 /// Prometheus text exposition format. Metric names are sanitized
 /// (dots/dashes -> '_', "ccomp_" prefix, counters get "_total").
+///
+/// Label convention: a registered name may carry a `|k=v,k2=v2` suffix
+/// ("server.cache.hits|shard=3"); the exporter renders the suffix as
+/// Prometheus labels on the sanitized base name
+/// (ccomp_server_cache_hits_total{shard="3"}) and groups all series of one
+/// base name under a single TYPE line. The other exporters (JSON, table)
+/// keep the raw registered name as the key.
 std::string to_prometheus(const Snapshot& snapshot);
 
 /// JSON snapshot: {"counters":{..}, "gauges":{..}, "histograms":{..}}.

@@ -54,9 +54,14 @@ memsys::CacheConfig heal_cache_config(const core::CompressedImage& image) {
 
 ImageServer::ImageServer() : ImageServer(Options{}) {}
 
-ImageServer::ImageServer(Options options) : options_(options), cache_(options.cache) {}
+ImageServer::ImageServer(Options options) : options_(options), cache_(options.cache) {
+  if (options_.prefetch) prefetcher_ = std::thread([this] { prefetch_loop(); });
+}
 
-ImageServer::~ImageServer() { stop_scrubber(); }
+ImageServer::~ImageServer() {
+  stop_prefetcher();
+  stop_scrubber();
+}
 
 ImageServer::ImagePtr ImageServer::build_image(const std::string& name,
                                                const core::BlockCodec& codec,
@@ -70,9 +75,21 @@ ImageServer::ImagePtr ImageServer::build_image(const std::string& name,
   heal_opts.use_ecc = options_.use_ecc;
   heal_opts.clb_entries = options_.clb_entries;
   img->heal = std::make_unique<memsys::SelfHealingMemorySystem>(heal_opts, codec, img->golden);
-  img->golden_dec = codec.make_decompressor(img->golden);
+  // Tier-aware golden decoder: for a layout-bearing image the payload is
+  // permuted and mixed-tier, so the degraded path must dispatch per slot
+  // (identical to the inner decompressor for plain images).
+  img->golden_dec = layout::make_tier_decompressor(codec, img->golden);
   img->blocks = img->golden.block_count();
   img->state.assign(img->blocks, BlockState{});
+  if (img->golden.has_layout()) {
+    img->plan.emplace(layout::plan_from_image(img->golden));
+    // Hot blocks carry most of the fetch traffic, so a latent store fault
+    // there is the most likely to be *seen* — scrub them first.
+    img->heal->set_scrub_order(layout::scrub_order(img->golden));
+    img->prefetch_flag = std::make_unique<std::atomic<std::uint8_t>[]>(img->blocks);
+    for (std::size_t i = 0; i < img->blocks; ++i)
+      img->prefetch_flag[i].store(0, std::memory_order_relaxed);
+  }
   return img;
 }
 
@@ -235,12 +252,100 @@ FetchResult ImageServer::fetch(const std::string& name, std::uint32_t block) {
     throw ConfigError("block " + std::to_string(block) + " out of range for image '" + name + "'");
   const memsys::BlockKey key{img->epoch, block};
   memsys::ShardedBlockCache::Ticket ticket = cache_.acquire(key);
-  if (ticket.bytes) return FetchResult{std::move(ticket.bytes), FetchSource::kCache, false};
+  if (ticket.bytes) {
+    note_prefetch_hit(*img, block);
+    maybe_prefetch(img, block);
+    return FetchResult{std::move(ticket.bytes), FetchSource::kCache, false};
+  }
   if (!ticket.leader) {
     memsys::ShardedBlockCache::Bytes bytes = memsys::ShardedBlockCache::wait(*ticket.flight);
+    // Joining a flight the prefetcher leads still overlaps decode with the
+    // demand stream, so it counts as a prefetch hit too.
+    note_prefetch_hit(*img, block);
+    maybe_prefetch(img, block);
     return FetchResult{std::move(bytes), FetchSource::kCoalesced, ticket.flight->degraded};
   }
-  return lead_decode(*img, key, ticket.flight);
+  // Demand decode of a block whose prefetched copy was evicted unconsumed:
+  // that earlier speculative decode bought nothing.
+  if (img->prefetch_flag &&
+      img->prefetch_flag[block].exchange(0, std::memory_order_relaxed) != 0) {
+    stats_.prefetch_waste.fetch_add(1, std::memory_order_relaxed);
+    CCOMP_COUNT("server.prefetch.waste", 1);
+  }
+  FetchResult result = lead_decode(*img, key, ticket.flight);
+  maybe_prefetch(img, block);
+  return result;
+}
+
+void ImageServer::note_prefetch_hit(LoadedImage& img, std::uint32_t block) {
+  if (!img.prefetch_flag) return;
+  if (img.prefetch_flag[block].exchange(0, std::memory_order_relaxed) != 0) {
+    stats_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+    CCOMP_COUNT("server.prefetch.hit", 1);
+  }
+}
+
+void ImageServer::maybe_prefetch(const ImagePtr& img, std::uint32_t block) {
+  if (!options_.prefetch || !img->plan || img->plan->predictor_k == 0) return;
+  const std::vector<std::uint32_t> successors = img->plan->predicted(block);
+  if (successors.empty()) return;
+  bool enqueued = false;
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    if (prefetch_stop_) return;
+    for (const std::uint32_t succ : successors) {
+      if (prefetch_queue_.size() >= options_.prefetch_queue) break;  // drop, never block
+      prefetch_queue_.push_back(PrefetchHint{img, succ});
+      enqueued = true;
+    }
+  }
+  if (enqueued) prefetch_cv_.notify_one();
+}
+
+void ImageServer::prefetch_loop() {
+  for (;;) {
+    PrefetchHint hint;
+    {
+      std::unique_lock<std::mutex> lock(prefetch_mu_);
+      prefetch_cv_.wait(lock, [this] { return prefetch_stop_ || !prefetch_queue_.empty(); });
+      if (prefetch_stop_) return;
+      hint = std::move(prefetch_queue_.front());
+      prefetch_queue_.pop_front();
+    }
+    const memsys::BlockKey key{hint.img->epoch, hint.block};
+    memsys::ShardedBlockCache::Ticket ticket = cache_.acquire(key);
+    // Already cached, or another thread is decoding it (the abandoned
+    // joiner ticket is harmless — the flight completes through its leader).
+    if (ticket.bytes || !ticket.leader) continue;
+    LoadedImage& img = *hint.img;
+    // A still-set flag means the previous prefetch of this slot was evicted
+    // before any demand fetch consumed it.
+    if (img.prefetch_flag[hint.block].exchange(1, std::memory_order_relaxed) != 0) {
+      stats_.prefetch_waste.fetch_add(1, std::memory_order_relaxed);
+      CCOMP_COUNT("server.prefetch.waste", 1);
+    }
+    stats_.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
+    CCOMP_COUNT("server.prefetch.issued", 1);
+    try {
+      lead_decode(img, key, ticket.flight);
+    } catch (...) {
+      // Speculative work never surfaces failures; the demand path will
+      // re-decode and report through the ladder's typed errors.
+      img.prefetch_flag[hint.block].store(0, std::memory_order_relaxed);
+      stats_.prefetch_waste.fetch_add(1, std::memory_order_relaxed);
+      CCOMP_COUNT("server.prefetch.waste", 1);
+    }
+  }
+}
+
+void ImageServer::stop_prefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    prefetch_stop_ = true;
+    prefetch_queue_.clear();
+  }
+  prefetch_cv_.notify_all();
+  if (prefetcher_.joinable()) prefetcher_.join();
 }
 
 void ImageServer::with_store(const std::string& name,

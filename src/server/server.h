@@ -33,9 +33,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <thread>
@@ -44,6 +46,7 @@
 
 #include "core/codec.h"
 #include "core/image.h"
+#include "layout/layout.h"
 #include "memsys/cache.h"
 #include "memsys/selfheal.h"
 #include "support/error.h"
@@ -97,6 +100,9 @@ struct ServerStats {
   std::atomic<std::uint64_t> swaps_accepted{0};
   std::atomic<std::uint64_t> swaps_rejected{0};
   std::atomic<std::uint64_t> scrub_sweeps{0};
+  std::atomic<std::uint64_t> prefetch_issued{0};  // speculative decodes started
+  std::atomic<std::uint64_t> prefetch_hits{0};    // demand fetches served by a prefetch
+  std::atomic<std::uint64_t> prefetch_waste{0};   // prefetched blocks never consumed
 
   ServerStats() = default;
   ServerStats(const ServerStats& other) { *this = other; }
@@ -120,6 +126,12 @@ struct ServerStats {
                          std::memory_order_relaxed);
     scrub_sweeps.store(other.scrub_sweeps.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
+    prefetch_issued.store(other.prefetch_issued.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    prefetch_hits.store(other.prefetch_hits.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    prefetch_waste.store(other.prefetch_waste.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
     return *this;
   }
   void reset() {
@@ -134,6 +146,9 @@ struct ServerStats {
     swaps_accepted.store(0, std::memory_order_relaxed);
     swaps_rejected.store(0, std::memory_order_relaxed);
     scrub_sweeps.store(0, std::memory_order_relaxed);
+    prefetch_issued.store(0, std::memory_order_relaxed);
+    prefetch_hits.store(0, std::memory_order_relaxed);
+    prefetch_waste.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -162,6 +177,14 @@ class ImageServer {
     /// Additionally require an embedded decode certificate with a
     /// kCertified verdict (strict provenance, as in FunctionalMemorySystem).
     bool require_certificate = false;
+    /// Speculative next-block prefetch, driven by the layout section's
+    /// trace-trained predictor (images without a layout plan are never
+    /// prefetched). After each fetch the predicted successors are enqueued
+    /// to a background worker that decodes them into the cache; the demand
+    /// path never blocks on a prefetch — a full queue drops the hint.
+    bool prefetch = true;
+    /// Bound on queued prefetch hints; beyond it new hints are dropped.
+    std::size_t prefetch_queue = 64;
   };
 
   ImageServer();
@@ -250,6 +273,13 @@ class ImageServer {
     std::mutex mu;
     std::vector<BlockState> state;
     std::size_t blocks = 0;
+    /// Validated layout plan when the image carries one. The server's block
+    /// indices are physical SLOTS, so the predictor table applies directly.
+    std::optional<layout::PlacementPlan> plan;
+    /// Per-slot flag: a prefetched copy of this block is in the cache and
+    /// has not been consumed by a demand fetch yet. Drives the
+    /// issued/hit/waste accounting; sized `blocks` when `plan` is set.
+    std::unique_ptr<std::atomic<std::uint8_t>[]> prefetch_flag;
 
     explicit LoadedImage(core::CompressedImage img) : golden(std::move(img)) {}
   };
@@ -267,6 +297,13 @@ class ImageServer {
   /// Golden fallback under kServeGolden; throws QuarantinedError under
   /// kFailFast. Caller holds img.mu.
   void serve_degraded(LoadedImage& img, std::uint32_t block, std::vector<std::uint8_t>& out);
+  /// Enqueue the predictor's successors of `block` (no-op without a plan;
+  /// never blocks — a full queue drops the hints).
+  void maybe_prefetch(const ImagePtr& img, std::uint32_t block);
+  /// Consume the prefetch flag on a demand fetch; counts a prefetch hit.
+  void note_prefetch_hit(LoadedImage& img, std::uint32_t block);
+  void prefetch_loop();
+  void stop_prefetcher();
 
   Options options_;
   memsys::ShardedBlockCache cache_;
@@ -280,6 +317,16 @@ class ImageServer {
   std::mutex scrub_mu_;
   std::condition_variable scrub_cv_;
   bool scrub_stop_ = false;
+
+  struct PrefetchHint {
+    ImagePtr img;
+    std::uint32_t block = 0;
+  };
+  std::thread prefetcher_;
+  std::mutex prefetch_mu_;
+  std::condition_variable prefetch_cv_;
+  std::deque<PrefetchHint> prefetch_queue_;
+  bool prefetch_stop_ = false;
 };
 
 }  // namespace ccomp::server

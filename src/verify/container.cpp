@@ -40,6 +40,7 @@ bool scan_container(std::span<const std::uint8_t> bytes, VerifyReport& report) {
     const bool variable = (flags & 0x01) != 0;
     const bool has_ecc = (flags & 0x02) != 0;
     const bool has_certificate = (flags & 0x04) != 0;
+    const bool has_layout = (flags & 0x08) != 0;
     const std::uint32_t block_size = src.u32();
     const std::uint64_t original_size = src.u64();
     if (codec < 1 || codec > 4)
@@ -47,7 +48,7 @@ bool scan_container(std::span<const std::uint8_t> bytes, VerifyReport& report) {
     if (isa < 1 || isa > 3)
       emit(report, "IMG002", "ISA id " + std::to_string(isa) + " is not a known ISA");
     if (block_size == 0) emit(report, "IMG003", "header block size is zero");
-    if ((flags & ~0x07) != 0)
+    if ((flags & ~0x0F) != 0)
       emit(report, "IMG006",
            "header flags byte has unknown bits set (value " + std::to_string(flags) + ")");
 
@@ -155,6 +156,13 @@ bool scan_container(std::span<const std::uint8_t> bytes, VerifyReport& report) {
         emit(report, "ANA003", "certificate flag set but the section is empty");
     }
 
+    region = "layout section";
+    if (has_layout) {
+      const std::span<const std::uint8_t> layout_bytes = src.sized_bytes_view();
+      if (layout_bytes.empty())
+        emit(report, "LAY001", "layout flag set but the section is empty");
+    }
+
     region = "checksum trailer";
     const std::size_t body_end = src.position();
     const std::uint32_t stored = src.u32();
@@ -224,6 +232,11 @@ VerifyReport verify_image(const core::CompressedImage& image, const VerifyOption
     CCOMP_SPAN("verify.tables");
     CCOMP_TIMER("verify.tables_ns");
     detail::check_tables(image, report);
+  }
+  {
+    CCOMP_SPAN("verify.layout");
+    CCOMP_TIMER("verify.layout_ns");
+    detail::check_layout(image, report);
   }
   if (opts.control_flow && !opts.original_code.empty()) {
     CCOMP_SPAN("verify.control_flow");

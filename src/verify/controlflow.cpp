@@ -15,6 +15,7 @@
 
 #include "isa/mips/mips.h"
 #include "isa/x86/x86.h"
+#include "layout/layout.h"
 #include "support/error.h"
 #include "verify/internal.h"
 #include "verify/verify.h"
@@ -36,6 +37,19 @@ void check_mips_flow(const core::CompressedImage& image, const VerifyOptions& op
   const std::size_t block_count = image.block_count();
   const std::uint32_t block_size = image.block_size();
 
+  // Layout-bearing images: a target's original block resolves through the
+  // plan's permutation before the LAT bound check, proving the *remapped*
+  // LAT serves every branch. An unparseable plan is LAY001's finding.
+  std::vector<std::uint32_t> slot_of;
+  if (image.has_layout()) {
+    try {
+      slot_of = layout::PlacementPlan::from_blob(image.layout()).slot_of;
+    } catch (const Error&) {
+      slot_of.clear();
+    }
+    if (slot_of.size() != block_count) slot_of.clear();
+  }
+
   auto check_target = [&](std::size_t source_word, std::uint64_t target_byte, const char* kind) {
     if (target_byte % 4 != 0) {
       emit(report, "CFG001",
@@ -43,7 +57,8 @@ void check_mips_flow(const core::CompressedImage& image, const VerifyOptions& op
                std::to_string(target_byte) + ", not instruction-aligned");
       return;
     }
-    const std::size_t block = static_cast<std::size_t>(target_byte / block_size);
+    std::size_t block = static_cast<std::size_t>(target_byte / block_size);
+    if (!slot_of.empty() && block < slot_of.size()) block = slot_of[block];
     if (block >= block_count)
       emit(report, "CFG003",
            std::string(kind) + " at word " + std::to_string(source_word) + " targets block " +

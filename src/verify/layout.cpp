@@ -1,0 +1,118 @@
+// Layout-section checks (LAY001..LAY005): the placement plan carried by a
+// tiered image must be a usable map of the physical payload. The plan is
+// parsed structurally first (a parse failure is LAY001); the semantic
+// invariants — bijection, tier/payload agreement, predictor range, warm
+// code-table soundness — are then proved piecewise so each violation gets
+// its own stable finding instead of a generic "bad plan".
+#include <string>
+#include <vector>
+
+#include "coding/huffman.h"
+#include "layout/layout.h"
+#include "support/error.h"
+#include "verify/internal.h"
+#include "verify/verify.h"
+
+namespace ccomp::verify {
+
+namespace detail {
+
+using layout::PlacementPlan;
+using layout::Tier;
+
+void check_layout(const core::CompressedImage& image, VerifyReport& report) {
+  if (!image.has_layout()) return;
+  PlacementPlan plan;
+  try {
+    plan = PlacementPlan::from_blob(image.layout());
+  } catch (const Error& e) {
+    emit(report, "LAY001", std::string("layout section failed to parse: ") + e.what());
+    return;
+  }
+  if (plan.block_count != image.block_count()) {
+    emit(report, "LAY001",
+         "plan covers " + std::to_string(plan.block_count) + " block(s), image has " +
+             std::to_string(image.block_count()));
+    return;
+  }
+
+  // LAY002: the permutation must be a bijection, so every branch target's
+  // original block resolves through the remapped LAT to exactly one slot.
+  bool bijective = plan.slot_of.size() == plan.block_count;
+  if (bijective) {
+    std::vector<bool> seen(plan.block_count, false);
+    for (const std::uint32_t s : plan.slot_of) {
+      if (s >= plan.block_count || seen[s]) {
+        bijective = false;
+        break;
+      }
+      seen[s] = true;
+    }
+  }
+  if (!bijective)
+    emit(report, "LAY002",
+         "slot_of is not a bijection over " + std::to_string(plan.block_count) + " block(s)");
+
+  // LAY004: predictor entries must name real slots (or the sentinel).
+  std::size_t bad_successors = 0;
+  for (const std::uint32_t s : plan.successors)
+    if (s != PlacementPlan::kNoSuccessor && s >= plan.block_count) ++bad_successors;
+  if (plan.successors.size() !=
+      static_cast<std::size_t>(plan.block_count) * plan.predictor_k)
+    emit(report, "LAY004",
+         "predictor table holds " + std::to_string(plan.successors.size()) +
+             " entries, expected " +
+             std::to_string(static_cast<std::size_t>(plan.block_count) * plan.predictor_k));
+  else if (bad_successors != 0)
+    emit(report, "LAY004",
+         std::to_string(bad_successors) + " predictor successor(s) name slots past " +
+             std::to_string(plan.block_count));
+
+  // LAY005: a warm tier without a decodable shared code is unservable.
+  const bool any_warm = [&] {
+    for (const Tier t : plan.tiers)
+      if (t == Tier::kWarm) return true;
+    return false;
+  }();
+  if (any_warm) {
+    if (plan.warm_lengths.size() != 256) {
+      emit(report, "LAY005",
+           "warm tier in use but the code table holds " +
+               std::to_string(plan.warm_lengths.size()) + " length(s), expected 256");
+    } else {
+      try {
+        (void)coding::HuffmanCode::from_lengths(plan.warm_lengths);
+      } catch (const Error& e) {
+        emit(report, "LAY005", std::string("warm code table is not decodable: ") + e.what());
+      }
+    }
+  }
+
+  // LAY003: each slot's payload must be plausible for its declared tier.
+  // Raw slots must hold exactly their original bytes' worth; and since a
+  // uniform image derives a slot's original size from its index, the
+  // permutation may not move a short block off the last slot.
+  if (bijective && plan.tiers.size() == plan.block_count) {
+    std::size_t tier_mismatch = 0;
+    std::size_t size_mismatch = 0;
+    for (std::uint32_t b = 0; b < plan.block_count; ++b) {
+      const std::uint32_t s = plan.slot_of[b];
+      if (image.block_original_size(b) != image.block_original_size(s)) ++size_mismatch;
+      if (plan.tiers[s] == Tier::kHot &&
+          image.block_payload(s).size() != image.block_original_size(s))
+        ++tier_mismatch;
+    }
+    if (size_mismatch != 0)
+      emit(report, "LAY003",
+           std::to_string(size_mismatch) +
+               " block(s) permuted onto slots of a different original size");
+    if (tier_mismatch != 0)
+      emit(report, "LAY003",
+           std::to_string(tier_mismatch) +
+               " raw-tier slot(s) whose payload size differs from the original block size");
+  }
+}
+
+}  // namespace detail
+
+}  // namespace ccomp::verify

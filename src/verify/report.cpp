@@ -120,6 +120,15 @@ constexpr std::array<CheckInfo, 8> kAnaCatalogue = {{
     {"WCB003", Severity::kError, "decode termination not proved; no certified WCET exists"},
 }};
 
+constexpr std::array<CheckInfo, 5> kLayCatalogue = {{
+    // Placement plan / tiered layout (ccomp::layout).
+    {"LAY001", Severity::kError, "layout section malformed or unparseable"},
+    {"LAY002", Severity::kError, "layout permutation is not a bijection over the blocks"},
+    {"LAY003", Severity::kError, "layout tier map inconsistent with the block payloads"},
+    {"LAY004", Severity::kError, "layout predictor successor out of range"},
+    {"LAY005", Severity::kError, "warm tier lacks a valid shared Huffman table"},
+}};
+
 constexpr std::array<CheckInfo, 6> kCfgCatalogue = {{
     {"CFG001", Severity::kError, "branch/jump target not instruction-aligned"},
     {"CFG002", Severity::kWarn, "branch/jump target outside the image"},
@@ -130,10 +139,13 @@ constexpr std::array<CheckInfo, 6> kCfgCatalogue = {{
 }};
 
 constexpr auto make_full_catalogue() {
-  std::array<CheckInfo, kCatalogue.size() + kAnaCatalogue.size() + kCfgCatalogue.size()> all{};
+  std::array<CheckInfo, kCatalogue.size() + kAnaCatalogue.size() + kLayCatalogue.size() +
+                            kCfgCatalogue.size()>
+      all{};
   std::size_t i = 0;
   for (const CheckInfo& c : kCatalogue) all[i++] = c;
   for (const CheckInfo& c : kAnaCatalogue) all[i++] = c;
+  for (const CheckInfo& c : kLayCatalogue) all[i++] = c;
   for (const CheckInfo& c : kCfgCatalogue) all[i++] = c;
   return all;
 }

@@ -14,6 +14,7 @@
 #include "coding/huffman.h"
 #include "coding/markov.h"
 #include "core/streams.h"
+#include "layout/layout.h"
 #include "isa/mips/mips.h"
 #include "isa/x86/x86.h"
 #include "sadc/symbols.h"
@@ -320,7 +321,20 @@ void check_entropy_streams(std::uint8_t streams, const core::CompressedImage& im
   const std::size_t item_bytes =
       (items_per_block != 0 && !image.has_variable_blocks()) ? image.block_size() / items_per_block
                                                              : 0;
+  // Tiered images: only cold slots hold the inner codec's stream frames.
+  // Raw/warm slot payloads have their own shape discipline (LAY003); an
+  // unparseable plan is LAY001's finding, not a stream-frame one.
+  std::vector<layout::Tier> tier_of_slot;
+  if (image.has_layout()) {
+    try {
+      tier_of_slot = layout::PlacementPlan::from_blob(image.layout()).tiers;
+    } catch (const Error&) {
+      return;
+    }
+    if (tier_of_slot.size() != image.block_count()) return;
+  }
   for (std::size_t b = 0; b < image.block_count(); ++b) {
+    if (!tier_of_slot.empty() && tier_of_slot[b] != layout::Tier::kCold) continue;
     const std::span<const std::uint8_t> payload = image.block_payload(b);
     if (streams > 1) {
       // STR003: re-sum the u16 length table by hand (in 64-bit, so an

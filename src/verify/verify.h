@@ -104,6 +104,7 @@ VerifyReport verify_serialized(std::span<const std::uint8_t> bytes, const Verify
 namespace detail {
 void check_structure(const core::CompressedImage& image, VerifyReport& report);
 void check_tables(const core::CompressedImage& image, VerifyReport& report);
+void check_layout(const core::CompressedImage& image, VerifyReport& report);
 void check_control_flow(const core::CompressedImage& image, const VerifyOptions& opts,
                         VerifyReport& report);
 void check_certificate(const core::CompressedImage& image, const VerifyOptions& opts,
