@@ -99,6 +99,15 @@ class JsonReporter {
     rows_.push_back(row + "}");
   }
 
+  /// Row tagged with the reader-thread count of a concurrency sweep (emits
+  /// an integer "readers" field; optional in tools/bench_results_schema.json
+  /// like the streams/codec tags).
+  void add_readers(const std::string& name, const std::string& metric, double value,
+                   const std::string& unit, unsigned readers) {
+    rows_.push_back(row_prefix(name, metric, value, unit) +
+                    ",\"readers\":" + std::to_string(readers) + "}");
+  }
+
   void write() {
     if (written_) return;
     written_ = true;

@@ -20,6 +20,7 @@
 
 #include "analysis/certificate.h"
 #include "baseline/bytehuff.h"
+#include "core/mapped.h"
 #include "isa/mips/asm.h"
 #include "isa/mips/mips.h"
 #include "layout/layout.h"
@@ -153,6 +154,58 @@ const char* isa_name(core::IsaKind k) {
   return "?";
 }
 
+/// An input container plus whatever owns its backing bytes: the classic
+/// stream container is deserialized out of `bytes`; the aligned (v3.1)
+/// container stays mmap'd behind `mapped` with `image` a zero-copy view.
+/// Keep the struct alive as long as the image is used.
+struct LoadedContainer {
+  std::vector<std::uint8_t> bytes;
+  std::unique_ptr<core::MappedImage> mapped;
+  core::CompressedImage image;
+};
+
+LoadedContainer load_container(const char* path, bool require_mmap) {
+  LoadedContainer lc;
+  std::uint8_t sniff[4] = {0, 0, 0, 0};
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      std::exit(1);
+    }
+    in.read(reinterpret_cast<char*>(sniff), 4);
+  }
+  if (core::is_aligned_container(sniff)) {
+    lc.mapped = std::make_unique<core::MappedImage>(core::MappedImage::open(path));
+    lc.image = lc.mapped->view_image();
+  } else {
+    if (require_mmap) {
+      std::fprintf(stderr,
+                   "--mmap needs an aligned container (compress with --aligned); "
+                   "%s is a classic stream container\n",
+                   path);
+      std::exit(1);
+    }
+    lc.bytes = read_file(path);
+    ByteSource src(lc.bytes);
+    lc.image = core::CompressedImage::deserialize(src);
+  }
+  return lc;
+}
+
+const char* section_name(core::SectionId id) {
+  switch (id) {
+    case core::SectionId::kLat: return "LAT";
+    case core::SectionId::kSizes: return "SIZES";
+    case core::SectionId::kTables: return "TABLES";
+    case core::SectionId::kPayload: return "PAYLOAD";
+    case core::SectionId::kEcc: return "ECC";
+    case core::SectionId::kCert: return "CERT";
+    case core::SectionId::kLayout: return "LAYOUT";
+  }
+  return "?";
+}
+
 /// A trace file is a flat array of little-endian 32-bit byte addresses —
 /// the dump format of workload::generate_trace and of the simulator.
 std::vector<std::uint32_t> read_trace(const char* path) {
@@ -178,6 +231,7 @@ int cmd_compress(int argc, char** argv) {
   long streams = 1;
   bool verify_static = false;
   bool certify = false;
+  std::uint32_t aligned = 0;  // 0 = classic stream container
   std::string layout_trace;
   double hot_pct = 5.0, warm_pct = 10.0;
   for (int i = 4; i < argc; ++i) {
@@ -193,6 +247,10 @@ int cmd_compress(int argc, char** argv) {
       verify_static = true;
     else if (std::strcmp(argv[i], "--certify") == 0)
       certify = true;
+    else if (std::strcmp(argv[i], "--aligned") == 0)
+      aligned = 4096;
+    else if (std::strncmp(argv[i], "--aligned=", 10) == 0)
+      aligned = static_cast<std::uint32_t>(std::atoi(argv[i] + 10));
     else if (std::strncmp(argv[i], "--layout=", 9) == 0)
       layout_trace = argv[i] + 9;
     else if (std::strncmp(argv[i], "--hot-pct=", 10) == 0)
@@ -254,12 +312,18 @@ int cmd_compress(int argc, char** argv) {
     image.attach_certificate(blob.take());
   }
   ByteSink sink;
-  image.serialize(sink);
+  if (aligned != 0)
+    core::serialize_aligned(image, sink, aligned);
+  else
+    image.serialize(sink);
   const auto bytes = sink.take();
   write_file(argv[3], bytes);
   const auto s = image.sizes();
   std::printf("%s: %zu -> %zu bytes (ratio %.3f; %.3f with LAT), verified\n", codec.c_str(),
               s.original, s.payload + s.tables, s.ratio(), s.ratio_with_lat());
+  if (aligned != 0)
+    std::printf("aligned container: %u-byte section alignment, %zu file bytes\n", aligned,
+                bytes.size());
   if (verify_static) {
     verify::VerifyOptions opts;
     opts.original_code = code;
@@ -275,23 +339,28 @@ int cmd_compress(int argc, char** argv) {
 
 int cmd_decompress(int argc, char** argv) {
   if (argc < 4) return 1;
-  const auto bytes = read_file(argv[2]);
-  ByteSource src(bytes);
-  const auto image = core::CompressedImage::deserialize(src);
+  bool require_mmap = false;
+  for (int i = 4; i < argc; ++i)
+    if (std::strcmp(argv[i], "--mmap") == 0) require_mmap = true;
+  const LoadedContainer lc = load_container(argv[2], require_mmap);
+  const core::CompressedImage& image = lc.image;
   const auto codec = codec_for_image(image);
   // Layout-aware: undoes the plan's permutation and per-slot tiers; plain
   // images take the inner codec's decompress path unchanged.
   const auto code = layout::decompress_image(*codec, image);
   write_file(argv[3], code);
-  std::printf("decompressed %zu bytes\n", code.size());
+  std::printf("decompressed %zu bytes%s\n", code.size(),
+              lc.mapped ? " (from mapped aligned container)" : "");
   return 0;
 }
 
 int cmd_info(int argc, char** argv) {
   if (argc < 3) return 1;
-  const auto bytes = read_file(argv[2]);
-  ByteSource src(bytes);
-  const auto image = core::CompressedImage::deserialize(src);
+  bool require_mmap = false;
+  for (int i = 3; i < argc; ++i)
+    if (std::strcmp(argv[i], "--mmap") == 0) require_mmap = true;
+  const LoadedContainer lc = load_container(argv[2], require_mmap);
+  const core::CompressedImage& image = lc.image;
   const auto s = image.sizes();
   std::printf("codec:      %s\n", codec_name(image.codec()));
   std::printf("isa:        %s\n", isa_name(image.isa()));
@@ -303,6 +372,17 @@ int cmd_info(int argc, char** argv) {
   std::printf("tables:     %zu bytes\n", s.tables);
   std::printf("LAT:        %zu bytes\n", s.lat);
   std::printf("ratio:      %.4f (%.4f with LAT)\n", s.ratio(), s.ratio_with_lat());
+  if (lc.mapped) {
+    std::printf("container:  aligned v3.1, %u-byte sections, %s-backed\n", lc.mapped->alignment(),
+                lc.mapped->backed_by_mmap() ? "mmap" : "heap");
+    for (const core::MappedImage::Section& sec : lc.mapped->sections())
+      std::printf("  section %-7s offset %8llu  size %8llu  %s\n", section_name(sec.id),
+                  static_cast<unsigned long long>(sec.offset),
+                  static_cast<unsigned long long>(sec.size),
+                  sec.offset % lc.mapped->alignment() == 0 ? "aligned" : "MISALIGNED");
+  } else {
+    std::printf("container:  classic stream (v3)\n");
+  }
   if (image.has_layout()) {
     const layout::PlacementPlan plan = layout::plan_from_image(image);
     std::size_t hot = 0, warm = 0;
@@ -386,8 +466,14 @@ void print_help(const char* prog) {
       "                             [--hot-pct=N]   hottest N%% stored raw (5)\n"
       "                             [--warm-pct=N]  next N%% under the shared\n"
       "                             byte-Huffman fast path (10)\n"
-      "  decompress <in.ccmp> <out>\n"
-      "  info       <in.ccmp>\n"
+      "                             [--aligned[=N]]  write the mmap-ready\n"
+      "                             aligned container (v3.1): every section\n"
+      "                             starts on an N-byte boundary (4096)\n"
+      "  decompress <in.ccmp> <out> [--mmap]  aligned containers are mapped\n"
+      "                             and decoded zero-copy (auto-detected;\n"
+      "                             --mmap makes a classic container an error)\n"
+      "  info       <in.ccmp> [--mmap]  prints the per-section table and\n"
+      "                             alignment for aligned containers\n"
       "  asm        <in.s> <out.bin>   assemble MIPS source\n"
       "  disasm     <in.bin>           disassemble MIPS binary\n"
       "\n"

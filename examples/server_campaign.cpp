@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "baseline/bytehuff.h"
+#include "core/mapped.h"
 #include "isa/mips/mips.h"
 #include "layout/layout.h"
 #include "memsys/selfheal.h"
@@ -96,9 +97,15 @@ Images build_images(std::uint32_t kb, bool layout) {
   const std::vector<std::uint8_t> code = mips::words_to_bytes(prog.words);
 
   Images out;
-  out.names = {"samc", "sadc", "huff"};
+  // "huffmap" is served from an mmap'd page-aligned (v3.1) container: its
+  // golden copy inside the server is a zero-copy view over the mapping, so
+  // the campaign races the lock-free hit path, the injector (which attacks
+  // the materialized self-healing store), and hot-swaps against mapped
+  // memory too.
+  out.names = {"samc", "sadc", "huff", "huffmap"};
   out.codecs.push_back(std::make_unique<samc::SamcCodec>(samc::mips_defaults()));
   out.codecs.push_back(std::make_unique<sadc::SadcMipsCodec>());
+  out.codecs.push_back(std::make_unique<baseline::ByteHuffmanCodec>());
   out.codecs.push_back(std::make_unique<baseline::ByteHuffmanCodec>());
   for (std::size_t i = 0; i < out.codecs.size(); ++i) {
     const auto& codec = out.codecs[i];
@@ -395,8 +402,27 @@ int run(const Config& config) {
   options.probe_period = 4;
   options.degraded = server::DegradedPolicy::kServeGolden;
   server::ImageServer srv(options);
-  for (std::size_t i = 0; i < imgs.images.size(); ++i)
-    srv.load(imgs.names[i], *imgs.codecs[i], imgs.images[i]);
+  for (std::size_t i = 0; i < imgs.images.size(); ++i) {
+    if (imgs.names[i] == "huffmap") {
+      // Round-trip through the aligned container and serve the mapping:
+      // write, mmap, unlink (POSIX keeps the mapping alive). The campaign's
+      // own golden copy stays owned, so the swapper can still build corrupt
+      // replacements from it.
+      ByteSink sink;
+      core::serialize_aligned(imgs.images[i], sink);
+      const std::string path = "server_campaign_huffmap.ccma";
+      {
+        std::ofstream file(path, std::ios::binary);
+        const auto bytes = sink.view();
+        file.write(reinterpret_cast<const char*>(bytes.data()),
+                   static_cast<std::streamsize>(bytes.size()));
+      }
+      srv.load(imgs.names[i], *imgs.codecs[i], core::MappedImage::open(path));
+      std::remove(path.c_str());
+    } else {
+      srv.load(imgs.names[i], *imgs.codecs[i], imgs.images[i]);
+    }
+  }
 
   Tally tally;
   const HerdResult herd = run_herd(srv, imgs, config, tally);

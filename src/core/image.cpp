@@ -1,5 +1,7 @@
 #include "core/image.h"
 
+#include <string>
+
 #include "support/crc32.h"
 #include "support/ecc.h"
 #include "support/error.h"
@@ -39,8 +41,12 @@ CompressedImage::CompressedImage(CodecKind codec, IsaKind isa, std::uint32_t blo
       block_offsets_(std::move(block_offsets)),
       payload_(std::move(payload)),
       block_original_sizes_(std::move(block_original_sizes)) {
+  validate_and_index();
+}
+
+void CompressedImage::validate_and_index() {
   if (block_size_ == 0) throw ConfigError("block_size must be nonzero");
-  if (block_offsets_.empty() || block_offsets_.back() != payload_.size())
+  if (block_offsets_.empty() || block_offsets_.back() != this->payload().size())
     throw ConfigError("block offsets must end with a payload-size sentinel");
   for (std::size_t i = 1; i < block_offsets_.size(); ++i)
     if (block_offsets_[i] < block_offsets_[i - 1])
@@ -53,6 +59,7 @@ CompressedImage::CompressedImage(CodecKind codec, IsaKind isa, std::uint32_t blo
   } else {
     if (block_original_sizes_.size() + 1 != block_offsets_.size())
       throw ConfigError("per-block size list inconsistent with block count");
+    block_original_offsets_.clear();
     block_original_offsets_.reserve(block_original_sizes_.size() + 1);
     std::uint64_t acc = 0;
     block_original_offsets_.push_back(0);
@@ -65,16 +72,74 @@ CompressedImage::CompressedImage(CodecKind codec, IsaKind isa, std::uint32_t blo
   }
 }
 
+CompressedImage CompressedImage::make_view(CodecKind codec, IsaKind isa,
+                                           std::uint32_t block_size, std::uint64_t original_size,
+                                           std::span<const std::uint8_t> tables,
+                                           std::vector<std::uint32_t> block_offsets,
+                                           std::span<const std::uint8_t> payload,
+                                           std::vector<std::uint32_t> block_original_sizes,
+                                           std::span<const std::uint8_t> ecc,
+                                           std::span<const std::uint8_t> certificate,
+                                           std::span<const std::uint8_t> layout) {
+  CompressedImage img;
+  img.codec_ = codec;
+  img.isa_ = isa;
+  img.block_size_ = block_size;
+  img.original_size_ = original_size;
+  img.block_offsets_ = std::move(block_offsets);
+  img.block_original_sizes_ = std::move(block_original_sizes);
+  img.view_ = true;
+  img.tables_view_ = tables;
+  img.payload_view_ = payload;
+  img.ecc_view_ = ecc;
+  img.certificate_view_ = certificate;
+  img.layout_view_ = layout;
+  img.validate_and_index();
+  if (!ecc.empty()) {
+    // Index the ECC section exactly the way attach_ecc does for owned
+    // images, so block_ecc works without copying the check bytes.
+    const std::size_t blocks = img.block_count();
+    img.ecc_offsets_.assign(1, 0);
+    img.ecc_offsets_.reserve(blocks + 1);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < blocks; ++i) {
+      total += ecc::ecc_bytes_for(img.block_offsets_[i + 1] - img.block_offsets_[i]);
+      img.ecc_offsets_.push_back(static_cast<std::uint32_t>(total));
+    }
+    if (ecc.size() != total)
+      throw CorruptDataError("ECC section size inconsistent with block payload sizes");
+  }
+  return img;
+}
+
+CompressedImage CompressedImage::to_owned() const {
+  if (!view_) return *this;
+  CompressedImage img(codec_, isa_, block_size_, original_size_,
+                      std::vector<std::uint8_t>(tables_view_.begin(), tables_view_.end()),
+                      block_offsets_,
+                      std::vector<std::uint8_t>(payload_view_.begin(), payload_view_.end()),
+                      block_original_sizes_);
+  if (!ecc_view_.empty())
+    img.attach_ecc(std::vector<std::uint8_t>(ecc_view_.begin(), ecc_view_.end()));
+  if (!certificate_view_.empty())
+    img.attach_certificate(
+        std::vector<std::uint8_t>(certificate_view_.begin(), certificate_view_.end()));
+  if (!layout_view_.empty())
+    img.attach_layout(std::vector<std::uint8_t>(layout_view_.begin(), layout_view_.end()));
+  return img;
+}
+
 std::span<const std::uint8_t> CompressedImage::block_payload(std::size_t index) const {
   if (index + 1 >= block_offsets_.size()) throw ConfigError("block index out of range");
   const std::uint32_t begin = block_offsets_[index];
   const std::uint32_t end = block_offsets_[index + 1];
+  const std::span<const std::uint8_t> bytes = payload();
   // The constructor proves these invariants, but a runtime fault in the
   // stored LAT (mutable_lat_bytes) can break them afterwards — re-check so a
   // damaged offset is a typed error, never an out-of-bounds span.
-  if (begin > end || end > payload_.size())
+  if (begin > end || end > bytes.size())
     throw CorruptDataError("LAT offset points outside the payload");
-  return std::span<const std::uint8_t>(payload_).subspan(begin, end - begin);
+  return bytes.subspan(begin, end - begin);
 }
 
 std::size_t CompressedImage::block_original_size(std::size_t index) const {
@@ -92,7 +157,15 @@ std::uint64_t CompressedImage::block_original_offset(std::size_t index) const {
   return static_cast<std::uint64_t>(index) * block_size_;
 }
 
+namespace {
+[[noreturn]] void throw_view_immutable(const char* op) {
+  throw ConfigError(std::string("view image is immutable (") + op +
+                    "): materialize with to_owned() first");
+}
+}  // namespace
+
 void CompressedImage::attach_ecc() {
+  if (view_) throw_view_immutable("attach_ecc");
   const std::size_t blocks = block_count();
   ecc_offsets_.assign(1, 0);
   ecc_offsets_.reserve(blocks + 1);
@@ -110,6 +183,7 @@ void CompressedImage::attach_ecc() {
 }
 
 void CompressedImage::attach_ecc(std::vector<std::uint8_t> ecc) {
+  if (view_) throw_view_immutable("attach_ecc");
   const std::size_t blocks = block_count();
   std::vector<std::uint32_t> offsets(1, 0);
   offsets.reserve(blocks + 1);
@@ -125,25 +199,52 @@ void CompressedImage::attach_ecc(std::vector<std::uint8_t> ecc) {
 }
 
 void CompressedImage::attach_certificate(std::vector<std::uint8_t> blob) {
+  if (view_) throw_view_immutable("attach_certificate");
   if (blob.empty()) throw ConfigError("certificate blob must be non-empty");
   certificate_ = std::move(blob);
 }
 
 void CompressedImage::attach_layout(std::vector<std::uint8_t> blob) {
+  if (view_) throw_view_immutable("attach_layout");
   if (blob.empty()) throw ConfigError("layout blob must be non-empty");
   layout_ = std::move(blob);
 }
 
+void CompressedImage::drop_certificate() {
+  if (view_) throw_view_immutable("drop_certificate");
+  certificate_.clear();
+}
+
+void CompressedImage::drop_layout() {
+  if (view_) throw_view_immutable("drop_layout");
+  layout_.clear();
+}
+
 void CompressedImage::drop_ecc() {
+  if (view_) throw_view_immutable("drop_ecc");
   ecc_.clear();
   ecc_offsets_.clear();
+}
+
+std::span<std::uint8_t> CompressedImage::mutable_payload() {
+  if (view_) throw_view_immutable("mutable_payload");
+  return payload_;
+}
+
+std::span<std::uint8_t> CompressedImage::mutable_tables() {
+  if (view_) throw_view_immutable("mutable_tables");
+  return tables_;
+}
+
+std::span<std::uint8_t> CompressedImage::mutable_ecc() {
+  if (view_) throw_view_immutable("mutable_ecc");
+  return ecc_;
 }
 
 std::span<const std::uint8_t> CompressedImage::block_ecc(std::size_t index) const {
   if (!has_ecc()) throw ConfigError("image has no ECC section");
   if (index + 1 >= ecc_offsets_.size()) throw ConfigError("block index out of range");
-  return std::span<const std::uint8_t>(ecc_).subspan(
-      ecc_offsets_[index], ecc_offsets_[index + 1] - ecc_offsets_[index]);
+  return ecc().subspan(ecc_offsets_[index], ecc_offsets_[index + 1] - ecc_offsets_[index]);
 }
 
 std::size_t CompressedImage::lat_bytes() const {
@@ -168,11 +269,11 @@ std::size_t CompressedImage::lat_bytes() const {
 SizeBreakdown CompressedImage::sizes() const {
   SizeBreakdown s;
   s.original = static_cast<std::size_t>(original_size_);
-  s.payload = payload_.size();
-  s.tables = tables_.size();
+  s.payload = payload().size();
+  s.tables = tables().size();
   s.lat = lat_bytes();
-  s.ecc = ecc_.size();
-  s.layout = layout_.size();
+  s.ecc = ecc().size();
+  s.layout = layout().size();
   return s;
 }
 
@@ -189,7 +290,7 @@ void CompressedImage::serialize(ByteSink& sink) const {
   sink.u8(flags);
   sink.u32(block_size_);
   sink.u64(original_size_);
-  sink.sized_bytes(tables_);
+  sink.sized_bytes(tables());
   sink.varint(block_offsets_.size());
   std::uint32_t prev = 0;
   for (const std::uint32_t off : block_offsets_) {
@@ -199,10 +300,10 @@ void CompressedImage::serialize(ByteSink& sink) const {
   if (!block_original_sizes_.empty()) {
     for (const std::uint32_t s : block_original_sizes_) sink.varint(s);
   }
-  sink.sized_bytes(payload_);
-  if (has_ecc()) sink.sized_bytes(ecc_);
-  if (has_certificate()) sink.sized_bytes(certificate_);
-  if (has_layout()) sink.sized_bytes(layout_);
+  sink.sized_bytes(payload());
+  if (has_ecc()) sink.sized_bytes(ecc());
+  if (has_certificate()) sink.sized_bytes(certificate());
+  if (has_layout()) sink.sized_bytes(layout());
   // Integrity trailer: a loader can reject a flipped bit anywhere in the
   // image before trusting any table or offset.
   sink.u32(crc32(sink.view().subspan(start)));

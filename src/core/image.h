@@ -73,6 +73,27 @@ class CompressedImage {
                   std::vector<std::uint32_t> block_offsets, std::vector<std::uint8_t> payload,
                   std::vector<std::uint32_t> block_original_sizes);
 
+  /// Zero-copy view over caller-owned section storage (the mmap'd v3.1
+  /// aligned container — see core/mapped.h): payload/tables/ECC/
+  /// certificate/layout spans alias the backing store, only the LAT and
+  /// per-block sizes are parsed into owned vectors. The backing store must
+  /// outlive the returned image and every copy of it. View images are
+  /// immutable: the mutable_* fault surface and attach_*/drop_* throw
+  /// ConfigError — call to_owned() first when mutation is needed.
+  static CompressedImage make_view(CodecKind codec, IsaKind isa, std::uint32_t block_size,
+                                   std::uint64_t original_size,
+                                   std::span<const std::uint8_t> tables,
+                                   std::vector<std::uint32_t> block_offsets,
+                                   std::span<const std::uint8_t> payload,
+                                   std::vector<std::uint32_t> block_original_sizes,
+                                   std::span<const std::uint8_t> ecc,
+                                   std::span<const std::uint8_t> certificate,
+                                   std::span<const std::uint8_t> layout);
+
+  bool is_view() const { return view_; }
+  /// Deep copy of a view into owned storage (plain copy for owned images).
+  CompressedImage to_owned() const;
+
   CodecKind codec() const { return codec_; }
   IsaKind isa() const { return isa_; }
   /// Uncompressed bytes per block (= cache line size).
@@ -82,8 +103,8 @@ class CompressedImage {
     return block_offsets_.empty() ? 0 : block_offsets_.size() - 1;
   }
 
-  std::span<const std::uint8_t> tables() const { return tables_; }
-  std::span<const std::uint8_t> payload() const { return payload_; }
+  std::span<const std::uint8_t> tables() const { return view_ ? tables_view_ : tables_; }
+  std::span<const std::uint8_t> payload() const { return view_ ? payload_view_ : payload_; }
 
   /// Compressed payload bytes of one block.
   std::span<const std::uint8_t> block_payload(std::size_t index) const;
@@ -113,12 +134,15 @@ class CompressedImage {
   // deserialize and re-validate it. Images without one still load
   // everywhere (the flag bit gates the section).
 
-  bool has_certificate() const { return !certificate_.empty(); }
+  bool has_certificate() const { return !certificate().empty(); }
   /// Attach a serialized certificate blob (replaces any existing one).
   /// Rejects an empty blob — use drop_certificate() to remove the section.
+  /// Throws ConfigError on a view image.
   void attach_certificate(std::vector<std::uint8_t> blob);
-  void drop_certificate() { certificate_.clear(); }
-  std::span<const std::uint8_t> certificate() const { return certificate_; }
+  void drop_certificate();
+  std::span<const std::uint8_t> certificate() const {
+    return view_ ? certificate_view_ : std::span<const std::uint8_t>(certificate_);
+  }
 
   // --- Placement plan (format v3, header flag bit 3) ----------------------
   //
@@ -129,23 +153,29 @@ class CompressedImage {
   // deserialize it via layout::PlacementPlan::deserialize. Images without
   // one still load everywhere (the flag bit gates the section).
 
-  bool has_layout() const { return !layout_.empty(); }
+  bool has_layout() const { return !layout().empty(); }
   /// Attach a serialized placement-plan blob (replaces any existing one).
   /// Rejects an empty blob — use drop_layout() to remove the section.
+  /// Throws ConfigError on a view image.
   void attach_layout(std::vector<std::uint8_t> blob);
-  void drop_layout() { layout_.clear(); }
-  std::span<const std::uint8_t> layout() const { return layout_; }
+  void drop_layout();
+  std::span<const std::uint8_t> layout() const {
+    return view_ ? layout_view_ : std::span<const std::uint8_t>(layout_);
+  }
 
   bool has_ecc() const { return !ecc_offsets_.empty(); }
   /// Compute and attach per-block SECDED check bytes over the payload.
-  /// Idempotent (recomputes when already present).
+  /// Idempotent (recomputes when already present). Throws ConfigError on a
+  /// view image.
   void attach_ecc();
   /// Attach externally produced check bytes; size must equal the sum of
   /// ecc::ecc_bytes_for(block payload size) over all blocks.
   void attach_ecc(std::vector<std::uint8_t> ecc);
   /// Remove the ECC section (images compare/serialize as format v1).
   void drop_ecc();
-  std::span<const std::uint8_t> ecc() const { return ecc_; }
+  std::span<const std::uint8_t> ecc() const {
+    return view_ ? ecc_view_ : std::span<const std::uint8_t>(ecc_);
+  }
   /// Check bytes covering one block's payload. Requires has_ecc().
   std::span<const std::uint8_t> block_ecc(std::size_t index) const;
 
@@ -153,11 +183,13 @@ class CompressedImage {
   //
   // Mutable views of the regions a fault-prone store physically holds,
   // used by the fault injector (support/faultinject.h) and the self-healing
-  // memory system's writeback path. Not part of the codec API.
+  // memory system's writeback path. Not part of the codec API. All three
+  // throw ConfigError on a view image (the mmap'd backing is read-only and
+  // shared) — materialize with to_owned() first.
 
-  std::span<std::uint8_t> mutable_payload() { return payload_; }
-  std::span<std::uint8_t> mutable_tables() { return tables_; }
-  std::span<std::uint8_t> mutable_ecc() { return ecc_; }
+  std::span<std::uint8_t> mutable_payload();
+  std::span<std::uint8_t> mutable_tables();
+  std::span<std::uint8_t> mutable_ecc();
   /// The LAT words as raw little-endian-in-memory bytes (what the stored
   /// serialized table decodes to in the refill engine's view).
   std::span<std::uint8_t> mutable_lat_bytes() {
@@ -204,6 +236,19 @@ class CompressedImage {
   std::vector<std::uint8_t> certificate_;
   /// Serialized PlacementPlan blob; empty when absent.
   std::vector<std::uint8_t> layout_;
+
+  /// True when the byte sections alias caller-owned storage (make_view).
+  /// The owned vectors above stay empty for those sections; the LAT
+  /// (block_offsets_) and per-block sizes are always parsed and owned.
+  bool view_ = false;
+  std::span<const std::uint8_t> tables_view_;
+  std::span<const std::uint8_t> payload_view_;
+  std::span<const std::uint8_t> ecc_view_;
+  std::span<const std::uint8_t> certificate_view_;
+  std::span<const std::uint8_t> layout_view_;
+
+  /// Shared offset/size validation for the owning ctors and make_view.
+  void validate_and_index();
 };
 
 }  // namespace ccomp::core

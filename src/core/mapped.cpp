@@ -1,0 +1,368 @@
+#include "core/mapped.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "support/crc32.h"
+#include "support/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CCOMP_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define CCOMP_HAVE_MMAP 0
+#include <cstdio>
+#endif
+
+namespace ccomp::core {
+
+namespace {
+
+// Same flag bits as the classic container header (core/image.cpp).
+constexpr std::uint8_t kFlagVariableBlocks = 0x01;
+constexpr std::uint8_t kFlagHasEcc = 0x02;
+constexpr std::uint8_t kFlagHasCertificate = 0x04;
+constexpr std::uint8_t kFlagHasLayout = 0x08;
+constexpr std::uint8_t kKnownFlags =
+    kFlagVariableBlocks | kFlagHasEcc | kFlagHasCertificate | kFlagHasLayout;
+
+constexpr std::size_t kHeaderBytes = 28;        // magic..section_count
+constexpr std::size_t kSectionEntryBytes = 32;  // id,res,offset,size,crc,res
+constexpr std::uint32_t kMinAlignment = 16;
+constexpr std::uint32_t kMaxAlignment = 1u << 20;
+constexpr std::uint32_t kMaxSections = 64;
+
+std::uint32_t rd_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t rd_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(rd_u32(p)) | (static_cast<std::uint64_t>(rd_u32(p + 4)) << 32);
+}
+
+std::uint64_t align_up(std::uint64_t value, std::uint64_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+bool valid_alignment(std::uint32_t a) {
+  return a >= kMinAlignment && a <= kMaxAlignment && (a & (a - 1)) == 0;
+}
+
+}  // namespace
+
+bool is_aligned_container(std::span<const std::uint8_t> data) {
+  return data.size() >= 4 && rd_u32(data.data()) == kAlignedMagic;
+}
+
+// --- serialization --------------------------------------------------------
+
+void serialize_aligned(const CompressedImage& image, ByteSink& sink, std::uint32_t alignment) {
+  if (!valid_alignment(alignment))
+    throw ConfigError("aligned-container alignment must be a power of two in [16, 1 MiB]");
+
+  // Gather the sections present, in id order (which is also offset order).
+  const std::size_t blocks = image.block_count();
+  std::vector<std::uint8_t> lat;
+  lat.reserve((blocks + 1) * 4);
+  for (std::size_t i = 0; i <= blocks; ++i) {
+    const std::uint32_t off = image.block_offset(i);
+    lat.push_back(static_cast<std::uint8_t>(off));
+    lat.push_back(static_cast<std::uint8_t>(off >> 8));
+    lat.push_back(static_cast<std::uint8_t>(off >> 16));
+    lat.push_back(static_cast<std::uint8_t>(off >> 24));
+  }
+  std::vector<std::uint8_t> block_sizes;
+  if (image.has_variable_blocks()) {
+    block_sizes.reserve(blocks * 4);
+    for (std::size_t i = 0; i < blocks; ++i) {
+      const auto s = static_cast<std::uint32_t>(image.block_original_size(i));
+      block_sizes.push_back(static_cast<std::uint8_t>(s));
+      block_sizes.push_back(static_cast<std::uint8_t>(s >> 8));
+      block_sizes.push_back(static_cast<std::uint8_t>(s >> 16));
+      block_sizes.push_back(static_cast<std::uint8_t>(s >> 24));
+    }
+  }
+
+  struct Pending {
+    SectionId id;
+    std::span<const std::uint8_t> bytes;
+  };
+  std::vector<Pending> pending;
+  pending.push_back({SectionId::kLat, lat});
+  if (image.has_variable_blocks()) pending.push_back({SectionId::kSizes, block_sizes});
+  pending.push_back({SectionId::kTables, image.tables()});
+  pending.push_back({SectionId::kPayload, image.payload()});
+  if (image.has_ecc()) pending.push_back({SectionId::kEcc, image.ecc()});
+  if (image.has_certificate()) pending.push_back({SectionId::kCert, image.certificate()});
+  if (image.has_layout()) pending.push_back({SectionId::kLayout, image.layout()});
+
+  // Lay sections out back to back on alignment boundaries, after the header
+  // block (header + table + header CRC).
+  const std::size_t header_total =
+      kHeaderBytes + pending.size() * kSectionEntryBytes + 4 /* header CRC */;
+  std::vector<std::uint64_t> offsets(pending.size());
+  std::uint64_t cursor = align_up(header_total, alignment);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    offsets[i] = cursor;
+    cursor = align_up(cursor + pending[i].bytes.size(), alignment);
+  }
+
+  const std::size_t start = sink.size();
+  sink.u32(kAlignedMagic);
+  sink.u8(static_cast<std::uint8_t>(image.codec()));
+  sink.u8(static_cast<std::uint8_t>(image.isa()));
+  std::uint8_t flags = 0;
+  if (image.has_variable_blocks()) flags |= kFlagVariableBlocks;
+  if (image.has_ecc()) flags |= kFlagHasEcc;
+  if (image.has_certificate()) flags |= kFlagHasCertificate;
+  if (image.has_layout()) flags |= kFlagHasLayout;
+  sink.u8(flags);
+  sink.u8(0);  // reserved
+  sink.u32(image.block_size());
+  sink.u64(image.original_size());
+  sink.u32(alignment);
+  sink.u32(static_cast<std::uint32_t>(pending.size()));
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    sink.u32(static_cast<std::uint32_t>(pending[i].id));
+    sink.u32(0);  // reserved
+    sink.u64(offsets[i]);
+    sink.u64(pending[i].bytes.size());
+    sink.u32(crc32(pending[i].bytes));
+    sink.u32(0);  // reserved
+  }
+  sink.u32(crc32(sink.view().subspan(start)));
+
+  // Zero padding up to each section start, then the section bytes.
+  std::vector<std::uint8_t> zeros;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const std::size_t written = sink.size() - start;
+    const std::size_t pad = static_cast<std::size_t>(offsets[i]) - written;
+    zeros.assign(pad, 0);
+    sink.bytes(zeros);
+    sink.bytes(pending[i].bytes);
+  }
+}
+
+// --- MappedImage ----------------------------------------------------------
+
+MappedImage MappedImage::open(const std::string& path) {
+  MappedImage img;
+#if CCOMP_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw Error("cannot open image file: " + path);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw Error("cannot stat image file: " + path);
+  }
+  const auto len = static_cast<std::size_t>(st.st_size);
+  void* base = len == 0 ? MAP_FAILED : ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (base != MAP_FAILED) {
+    ::close(fd);
+    img.map_base_ = base;
+    img.map_len_ = len;
+    img.data_ = {static_cast<const std::uint8_t*>(base), len};
+  } else {
+    // Heap fallback: e.g. a filesystem that refuses mmap. Same semantics,
+    // just no page-cache sharing.
+    img.owned_.resize(len);
+    std::size_t got = 0;
+    while (got < len) {
+      const ssize_t n = ::read(fd, img.owned_.data() + got, len - got);
+      if (n <= 0) {
+        ::close(fd);
+        throw Error("cannot read image file: " + path);
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    img.data_ = img.owned_;
+  }
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw Error("cannot open image file: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (len < 0) {
+    std::fclose(f);
+    throw Error("cannot stat image file: " + path);
+  }
+  img.owned_.resize(static_cast<std::size_t>(len));
+  if (!img.owned_.empty() && std::fread(img.owned_.data(), 1, img.owned_.size(), f) != img.owned_.size()) {
+    std::fclose(f);
+    throw Error("cannot read image file: " + path);
+  }
+  std::fclose(f);
+  img.data_ = img.owned_;
+#endif
+  img.parse();
+  return img;
+}
+
+MappedImage::MappedImage(std::span<const std::uint8_t> data) {
+  data_ = data;
+  parse();
+}
+
+MappedImage::~MappedImage() {
+#if CCOMP_HAVE_MMAP
+  if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+#endif
+}
+
+MappedImage::MappedImage(MappedImage&& other) noexcept
+    : data_(other.data_),
+      owned_(std::move(other.owned_)),
+      map_base_(std::exchange(other.map_base_, nullptr)),
+      map_len_(std::exchange(other.map_len_, 0)),
+      codec_(other.codec_),
+      isa_(other.isa_),
+      flags_(other.flags_),
+      block_size_(other.block_size_),
+      original_size_(other.original_size_),
+      alignment_(other.alignment_),
+      sections_(std::move(other.sections_)),
+      verified_(std::move(other.verified_)) {
+  if (!owned_.empty()) data_ = owned_;  // span must chase the moved vector
+  other.data_ = {};
+}
+
+MappedImage& MappedImage::operator=(MappedImage&& other) noexcept {
+  if (this == &other) return *this;
+#if CCOMP_HAVE_MMAP
+  if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+#endif
+  data_ = other.data_;
+  owned_ = std::move(other.owned_);
+  map_base_ = std::exchange(other.map_base_, nullptr);
+  map_len_ = std::exchange(other.map_len_, 0);
+  codec_ = other.codec_;
+  isa_ = other.isa_;
+  flags_ = other.flags_;
+  block_size_ = other.block_size_;
+  original_size_ = other.original_size_;
+  alignment_ = other.alignment_;
+  sections_ = std::move(other.sections_);
+  verified_ = std::move(other.verified_);
+  if (!owned_.empty()) data_ = owned_;
+  other.data_ = {};
+  return *this;
+}
+
+void MappedImage::parse() {
+  if (data_.size() < kHeaderBytes + 4) throw CorruptDataError("aligned container truncated");
+  const std::uint8_t* p = data_.data();
+  if (rd_u32(p) != kAlignedMagic) throw CorruptDataError("bad aligned-container magic");
+  codec_ = static_cast<CodecKind>(p[4]);
+  isa_ = static_cast<IsaKind>(p[5]);
+  flags_ = p[6];
+  if ((flags_ & ~kKnownFlags) != 0)
+    throw CorruptDataError("unknown aligned-container header flags");
+  if (p[7] != 0) throw CorruptDataError("nonzero reserved header byte");
+  block_size_ = rd_u32(p + 8);
+  if (block_size_ == 0) throw CorruptDataError("block_size must be nonzero");
+  original_size_ = rd_u64(p + 12);
+  alignment_ = rd_u32(p + 20);
+  if (!valid_alignment(alignment_))
+    throw CorruptDataError("aligned-container alignment must be a power of two in [16, 1 MiB]");
+  const std::uint32_t count = rd_u32(p + 24);
+  if (count == 0 || count > kMaxSections)
+    throw CorruptDataError("aligned-container section count out of range");
+  const std::size_t header_total = kHeaderBytes + count * kSectionEntryBytes + 4;
+  if (data_.size() < header_total) throw CorruptDataError("aligned container truncated");
+  const std::uint32_t stored_crc = rd_u32(p + header_total - 4);
+  if (stored_crc != crc32(data_.first(header_total - 4)))
+    throw ChecksumError("aligned-container header CRC mismatch");
+
+  sections_.clear();
+  sections_.reserve(count);
+  std::uint64_t min_offset = align_up(header_total, alignment_);
+  std::uint32_t prev_id = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t* e = p + kHeaderBytes + i * kSectionEntryBytes;
+    Section s;
+    const std::uint32_t raw_id = rd_u32(e);
+    if (raw_id <= prev_id || raw_id > static_cast<std::uint32_t>(SectionId::kLayout))
+      throw CorruptDataError("aligned-container section ids must be unique, ascending, known");
+    prev_id = raw_id;
+    s.id = static_cast<SectionId>(raw_id);
+    if (rd_u32(e + 4) != 0) throw CorruptDataError("nonzero reserved section field");
+    s.offset = rd_u64(e + 8);
+    s.size = rd_u64(e + 16);
+    s.crc = rd_u32(e + 24);
+    if (rd_u32(e + 28) != 0) throw CorruptDataError("nonzero reserved section field");
+    if (s.offset % alignment_ != 0)
+      throw CorruptDataError("section offset violates the declared alignment");
+    if (s.offset < min_offset || s.size > data_.size() || s.offset > data_.size() - s.size)
+      throw CorruptDataError("section extent outside the container");
+    min_offset = align_up(s.offset + s.size, alignment_);
+    sections_.push_back(s);
+  }
+  verified_ = std::make_unique<std::atomic<std::uint8_t>[]>(count);
+  for (std::uint32_t i = 0; i < count; ++i) verified_[i].store(0, std::memory_order_relaxed);
+}
+
+bool MappedImage::has_section(SectionId id) const {
+  return std::any_of(sections_.begin(), sections_.end(),
+                     [&](const Section& s) { return s.id == id; });
+}
+
+std::span<const std::uint8_t> MappedImage::section(SectionId id) const {
+  for (std::size_t i = 0; i < sections_.size(); ++i) {
+    const Section& s = sections_[i];
+    if (s.id != id) continue;
+    const auto bytes =
+        data_.subspan(static_cast<std::size_t>(s.offset), static_cast<std::size_t>(s.size));
+    // Lazy integrity: verify the section CRC once, on first access. Relaxed
+    // is enough — the flag only gates re-verification, the bytes themselves
+    // are immutable.
+    if (verified_[i].load(std::memory_order_relaxed) == 0) {
+      if (crc32(bytes) != s.crc) throw ChecksumError("aligned-container section CRC mismatch");
+      verified_[i].store(1, std::memory_order_relaxed);
+    }
+    return bytes;
+  }
+  throw ConfigError("aligned container has no such section");
+}
+
+CompressedImage MappedImage::view_image() const {
+  const auto lat = section(SectionId::kLat);
+  if (lat.size() < 4 || lat.size() % 4 != 0)
+    throw CorruptDataError("LAT section size must be a nonzero multiple of 4");
+  std::vector<std::uint32_t> offsets(lat.size() / 4);
+  for (std::size_t i = 0; i < offsets.size(); ++i) offsets[i] = rd_u32(lat.data() + i * 4);
+
+  std::vector<std::uint32_t> original_sizes;
+  if ((flags_ & kFlagVariableBlocks) != 0) {
+    const auto sizes = section(SectionId::kSizes);
+    if (sizes.size() != (offsets.size() - 1) * 4)
+      throw CorruptDataError("SIZES section inconsistent with the LAT block count");
+    original_sizes.resize(offsets.size() - 1);
+    for (std::size_t i = 0; i < original_sizes.size(); ++i)
+      original_sizes[i] = rd_u32(sizes.data() + i * 4);
+  }
+
+  const auto tables = section(SectionId::kTables);
+  const auto payload = section(SectionId::kPayload);
+  std::span<const std::uint8_t> ecc, cert, layout;
+  if ((flags_ & kFlagHasEcc) != 0) ecc = section(SectionId::kEcc);
+  if ((flags_ & kFlagHasCertificate) != 0) {
+    cert = section(SectionId::kCert);
+    if (cert.empty()) throw CorruptDataError("empty certificate section");
+  }
+  if ((flags_ & kFlagHasLayout) != 0) {
+    layout = section(SectionId::kLayout);
+    if (layout.empty()) throw CorruptDataError("empty layout section");
+  }
+  return CompressedImage::make_view(codec_, isa_, block_size_, original_size_, tables,
+                                    std::move(offsets), payload, std::move(original_sizes), ecc,
+                                    cert, layout);
+}
+
+}  // namespace ccomp::core

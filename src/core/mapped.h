@@ -1,0 +1,161 @@
+// MappedImage: the mmap-ready page-aligned container (format v3.1).
+//
+// The classic serialized container (core/image.h) is a byte stream: sections
+// are length-prefixed and packed back to back, so loading it means copying
+// every byte through ByteSource into owned vectors. That is the right shape
+// for a boot ROM squeezing flash, but a serving host wants the opposite
+// trade: keep the compressed image file mapped read-only and decode blocks
+// straight out of the page cache, sharing one physical copy across
+// processes.
+//
+// The aligned layout makes that possible:
+//
+//   [ header | section table | header CRC-32 | pad ]  [ section ] [ pad ] ...
+//
+//   header         magic 'CCMA' (u32), codec (u8), isa (u8), flags (u8, same
+//                  bit meanings as the v1 header), reserved (u8 = 0),
+//                  block_size (u32), original_size (u64), alignment (u32),
+//                  section_count (u32) — all little-endian.
+//   section table  32 bytes per section: id (u32), reserved (u32 = 0),
+//                  absolute offset (u64, multiple of `alignment`), size
+//                  (u64), CRC-32 of the section bytes (u32), reserved
+//                  (u32 = 0). Entries are sorted by offset and ids are
+//                  unique.
+//   header CRC     CRC-32 over every preceding byte (header + table), so a
+//                  loader rejects a damaged table before trusting any
+//                  offset.
+//
+// Every section starts at a multiple of `alignment` (4 KiB by default — one
+// page), so a decoder's payload pointer is page-aligned and the kernel can
+// fault sections independently. Gaps are zero padding.
+//
+// Section ids (a file stores only the sections it has; flags gate the
+// optional ones exactly like the v1 container):
+//
+//   1  LAT       (block_count + 1) raw little-endian u32 payload offsets
+//   2  SIZES     block_count raw u32 original sizes (variable-block only)
+//   3  TABLES    codec tables, byte-identical to the v1 section
+//   4  PAYLOAD   concatenated compressed blocks
+//   5  ECC       per-block SECDED check bytes
+//   6  CERT      serialized DecodeCertificate blob
+//   7  LAYOUT    serialized PlacementPlan blob
+//
+// Integrity is checked lazily: construction validates the header and the
+// table CRC only; each section's CRC is verified on first access (and never
+// again), so opening a multi-megabyte image costs a few header pages and a
+// section you never touch is never read. section()/view_image() throw
+// ChecksumError on a mismatch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/image.h"
+
+namespace ccomp::core {
+
+/// Section ids of the aligned container.
+enum class SectionId : std::uint32_t {
+  kLat = 1,
+  kSizes = 2,
+  kTables = 3,
+  kPayload = 4,
+  kEcc = 5,
+  kCert = 6,
+  kLayout = 7,
+};
+
+/// Magic of the aligned container ('CCMA'; the classic container is 'CCMP').
+inline constexpr std::uint32_t kAlignedMagic = 0x43434D41u;
+
+/// Cheap sniff: does `data` start like an aligned container? (Magic check
+/// only — use MappedImage to actually validate.)
+bool is_aligned_container(std::span<const std::uint8_t> data);
+
+/// Serialize `image` in the aligned layout. `alignment` must be a power of
+/// two in [16, 1 MiB]; 4096 (one page) is the serving default.
+void serialize_aligned(const CompressedImage& image, ByteSink& sink,
+                       std::uint32_t alignment = 4096);
+
+/// A validated read-only view of an aligned container, backed either by an
+/// mmap'd file (open()) or by caller-owned bytes (the span constructor).
+///
+/// Move-only: moving transfers the mapping. The backing bytes must stay
+/// valid and unmodified for the lifetime of the MappedImage AND of every
+/// CompressedImage view obtained from view_image() — callers that share
+/// views across threads wrap the MappedImage in a shared_ptr and keep it
+/// alive alongside the views (ImageServer does exactly this).
+class MappedImage {
+ public:
+  struct Section {
+    SectionId id;
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+    std::uint32_t crc = 0;
+  };
+
+  /// Map `path` read-only (falls back to a heap read when mmap is
+  /// unavailable). Validates the header and section table; throws
+  /// CorruptDataError / ChecksumError on a bad container and ccomp::Error
+  /// when the file cannot be read.
+  static MappedImage open(const std::string& path);
+
+  /// View over caller-owned bytes (no copy). The caller keeps `data` alive.
+  explicit MappedImage(std::span<const std::uint8_t> data);
+
+  ~MappedImage();
+  MappedImage(MappedImage&& other) noexcept;
+  MappedImage& operator=(MappedImage&& other) noexcept;
+  MappedImage(const MappedImage&) = delete;
+  MappedImage& operator=(const MappedImage&) = delete;
+
+  CodecKind codec() const { return codec_; }
+  IsaKind isa() const { return isa_; }
+  std::uint32_t block_size() const { return block_size_; }
+  std::uint64_t original_size() const { return original_size_; }
+  std::uint32_t alignment() const { return alignment_; }
+  std::span<const Section> sections() const { return sections_; }
+  std::span<const std::uint8_t> data() const { return data_; }
+  bool backed_by_mmap() const { return map_base_ != nullptr; }
+
+  bool has_section(SectionId id) const;
+
+  /// Bytes of one section, CRC-verified on first access (ChecksumError on
+  /// mismatch, ConfigError when the section is absent). Thread-safe: the
+  /// verified flag is an atomic, concurrent first accesses may both verify.
+  std::span<const std::uint8_t> section(SectionId id) const;
+
+  /// Zero-copy CompressedImage over the mapped sections (LAT and per-block
+  /// sizes are parsed into owned vectors; everything else aliases the
+  /// mapping). Verifies the CRC of every section it includes.
+  CompressedImage view_image() const;
+
+  /// Fully owned copy (view_image().to_owned()).
+  CompressedImage materialize() const { return view_image().to_owned(); }
+
+ private:
+  MappedImage() = default;
+  void parse();  // header + section-table validation over data_
+
+  std::span<const std::uint8_t> data_;
+  std::vector<std::uint8_t> owned_;  // heap fallback backing
+  void* map_base_ = nullptr;         // mmap backing (munmap'd in dtor)
+  std::size_t map_len_ = 0;
+
+  CodecKind codec_ = CodecKind::kSamc;
+  IsaKind isa_ = IsaKind::kRawBytes;
+  std::uint8_t flags_ = 0;
+  std::uint32_t block_size_ = 0;
+  std::uint64_t original_size_ = 0;
+  std::uint32_t alignment_ = 0;
+  std::vector<Section> sections_;
+  /// One flag per section: 1 after its CRC verified. unique_ptr so the
+  /// object stays movable.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> verified_;
+};
+
+}  // namespace ccomp::core

@@ -1,5 +1,7 @@
 #include "memsys/cache.h"
 
+#include <iterator>
+
 #include "obs/obs.h"
 
 namespace ccomp::memsys {
@@ -11,6 +13,12 @@ std::size_t round_up_pow2(std::size_t v) {
   std::size_t p = 1;
   while (p < v) p <<= 1;
   return p;
+}
+
+std::uint32_t log2_pow2(std::size_t v) {
+  std::uint32_t bits = 0;
+  while ((std::size_t{1} << bits) < v) ++bits;
+  return bits;
 }
 
 }  // namespace
@@ -63,12 +71,29 @@ void ICache::flush() {
 // ShardedBlockCache
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Probe window for the open-addressed hit index: a lookup or publish
+/// touches at most this many consecutive slots. Small and fixed so the
+/// lock-free probe is bounded-time; collisions past the window just fall
+/// back to the mutexed path.
+constexpr std::size_t kProbeWindow = 8;
+
+}  // namespace
+
 ShardedBlockCache::ShardedBlockCache(const ShardedCacheConfig& config) : config_(config) {
   if (config_.capacity_bytes == 0) throw ConfigError("block cache capacity must be nonzero");
   const std::size_t n = round_up_pow2(config_.shards == 0 ? 1 : config_.shards);
+  shard_shift_ = log2_pow2(n);
+  if (config_.hit_slots > 0) {
+    std::size_t per_shard = config_.hit_slots / n;
+    if (per_shard < 16) per_shard = 16;
+    slot_count_ = round_up_pow2(per_shard);
+  }
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     auto shard = std::make_unique<Shard>();
+    if (slot_count_ > 0) shard->table = std::make_unique<Slot[]>(slot_count_);
 #if !defined(CCOMP_OBS_DISABLE)
     // Labelled per-shard series alongside the aggregate counters: the
     // Prometheus exporter renders the `|shard=N` suffix as a label, and the
@@ -83,17 +108,86 @@ ShardedBlockCache::ShardedBlockCache(const ShardedCacheConfig& config) : config_
   if (shard_capacity_ == 0) shard_capacity_ = 1;
 }
 
+ShardedBlockCache::~ShardedBlockCache() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (Entry& entry : shard.lru) unpublish_slot_locked(shard, entry);
+  }
+  // Readers must be gone before the cache is destroyed (standard
+  // destruction contract); drain the deferred frees now so records
+  // retired above (and any predating them) do not outlive the process'
+  // leak accounting.
+  ebr::synchronize();
+}
+
 ShardedBlockCache::Shard& ShardedBlockCache::shard_for(const BlockKey& key) {
   return *shards_[BlockKeyHash{}(key) & (shards_.size() - 1)];
 }
 
+ShardedBlockCache::Bytes ShardedBlockCache::try_get(const BlockKey& key) {
+  if (slot_count_ == 0) return nullptr;
+  // The guard pins the reclamation epoch: any HitRecord a slot points at
+  // while we are pinned is freed only after we unpin, so dereferencing
+  // `rec` below is safe even against a concurrent eviction that retires it.
+  ebr::Guard guard;
+  if (!guard.active()) return nullptr;  // reader slots exhausted: locked path
+  const std::size_t h = BlockKeyHash{}(key);
+  Shard& shard = *shards_[h & (shards_.size() - 1)];
+  const std::size_t base = h >> shard_shift_;
+  Slot* table = shard.table.get();
+  const std::size_t mask = slot_count_ - 1;
+  for (std::size_t i = 0; i < kProbeWindow; ++i) {
+    Slot& slot = table[(base + i) & mask];
+    // One retry per slot on a torn read; a second tear means a writer is
+    // actively churning this slot and the mutexed path is cheaper than
+    // spinning.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const std::uint64_t v1 = slot.version.load(std::memory_order_acquire);
+      if (v1 & 1) {  // writer mid-publish
+        CCOMP_COUNT("server.cache.fast_retries", 1);
+        continue;
+      }
+      const std::uint64_t epoch = slot.epoch.load(std::memory_order_relaxed);
+      const std::uint32_t block = slot.block.load(std::memory_order_relaxed);
+      HitRecord* rec = slot.record.load(std::memory_order_relaxed);
+      // Acquire fence before the version re-check: pairs with the writer's
+      // release fence after its odd store, so if any field load above saw
+      // a new value, the re-check is guaranteed to see the odd version.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.version.load(std::memory_order_relaxed) != v1) {
+        CCOMP_COUNT("server.cache.fast_retries", 1);
+        continue;
+      }
+      if (rec == nullptr || epoch != key.epoch || block != key.block) break;  // next slot
+      // Second-chance bit for the evictor; load-before-store keeps the
+      // record's line in shared state once the bit sticks.
+      if (rec->referenced.load(std::memory_order_relaxed) == 0)
+        rec->referenced.store(1, std::memory_order_relaxed);
+      return rec->bytes;
+    }
+  }
+  return nullptr;
+}
+
 ShardedBlockCache::Ticket ShardedBlockCache::acquire(const BlockKey& key) {
-  stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+  lookups_.add();
+  if (Bytes fast = try_get(key)) {
+    hits_.add();
+    CCOMP_COUNT("server.cache.hits", 1);
+#if !defined(CCOMP_OBS_DISABLE)
+    obs::Registry::instance().add(shard_for(key).obs_hits_id, 1);
+#endif
+    return Ticket{std::move(fast), nullptr, false};
+  }
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   if (auto hit = shard.index.find(key); hit != shard.index.end()) {
     shard.lru.splice(shard.lru.begin(), shard.lru, hit->second);
-    stats_.hits.fetch_add(1, std::memory_order_relaxed);
+    // Re-publish so the next lookup hits lock-free (the entry may have
+    // been displaced from its slot by a colliding key).
+    publish_slot_locked(shard, *hit->second);
+    hits_.add();
     CCOMP_COUNT("server.cache.hits", 1);
 #if !defined(CCOMP_OBS_DISABLE)
     obs::Registry::instance().add(shard.obs_hits_id, 1);
@@ -115,22 +209,106 @@ ShardedBlockCache::Ticket ShardedBlockCache::acquire(const BlockKey& key) {
   return Ticket{nullptr, std::move(flight), true};
 }
 
+void ShardedBlockCache::publish_slot_locked(Shard& shard, Entry& entry) {
+  if (slot_count_ == 0) return;
+  if (entry.slot >= 0 && entry.rec != nullptr && entry.rec->bytes.get() == entry.bytes.get())
+    return;  // already published with the current bytes
+  const std::size_t h = BlockKeyHash{}(entry.key);
+  const std::size_t base = h >> shard_shift_;
+  Slot* table = shard.table.get();
+  const std::size_t mask = slot_count_ - 1;
+  // Slot choice under the shard mutex: reuse this entry's slot, else the
+  // first empty slot in the window, else steal the window's base slot.
+  std::size_t idx;
+  if (entry.slot >= 0) {
+    idx = static_cast<std::size_t>(entry.slot);
+  } else {
+    idx = base & mask;  // default: steal
+    for (std::size_t i = 0; i < kProbeWindow; ++i) {
+      const std::size_t probe = (base + i) & mask;
+      if (table[probe].record.load(std::memory_order_relaxed) == nullptr) {
+        idx = probe;
+        break;
+      }
+    }
+  }
+  Slot& slot = table[idx];
+  HitRecord* old = slot.record.load(std::memory_order_relaxed);
+  if (old != nullptr && entry.rec != old) {
+    // Stealing an occupied slot: detach the displaced entry so a later
+    // touch can re-publish it somewhere else.
+    const BlockKey displaced{slot.epoch.load(std::memory_order_relaxed),
+                             slot.block.load(std::memory_order_relaxed)};
+    if (auto it = shard.index.find(displaced); it != shard.index.end() &&
+                                               it->second->slot == static_cast<std::int32_t>(idx)) {
+      it->second->slot = -1;
+      it->second->rec = nullptr;
+    }
+  }
+  auto* rec = new HitRecord{entry.bytes};
+  // Seqlock publication (single writer per slot: we hold shard.mu).
+  const std::uint64_t v = slot.version.load(std::memory_order_relaxed);
+  slot.version.store(v + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.epoch.store(entry.key.epoch, std::memory_order_relaxed);
+  slot.block.store(entry.key.block, std::memory_order_relaxed);
+  slot.record.store(rec, std::memory_order_relaxed);
+  slot.version.store(v + 2, std::memory_order_release);
+  entry.slot = static_cast<std::int32_t>(idx);
+  entry.rec = rec;
+  // The old record is unlinked (no slot points at it) but a pinned reader
+  // may still be copying out of it; EBR defers the delete past them.
+  if (old != nullptr) ebr::retire(old);
+}
+
+void ShardedBlockCache::unpublish_slot_locked(Shard& shard, Entry& entry) {
+  if (entry.slot < 0) return;
+  Slot& slot = shard.table[static_cast<std::size_t>(entry.slot)];
+  HitRecord* old = slot.record.load(std::memory_order_relaxed);
+  if (old == entry.rec && old != nullptr) {
+    const std::uint64_t v = slot.version.load(std::memory_order_relaxed);
+    slot.version.store(v + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    slot.record.store(nullptr, std::memory_order_relaxed);
+    slot.version.store(v + 2, std::memory_order_release);
+    ebr::retire(old);
+  }
+  entry.slot = -1;
+  entry.rec = nullptr;
+}
+
 void ShardedBlockCache::insert_locked(Shard& shard, const BlockKey& key, const Bytes& bytes) {
   if (auto existing = shard.index.find(key); existing != shard.index.end()) {
     shard.bytes -= existing->second->bytes->size();
     shard.bytes += bytes->size();
     existing->second->bytes = bytes;
     shard.lru.splice(shard.lru.begin(), shard.lru, existing->second);
+    publish_slot_locked(shard, *existing->second);
   } else {
-    shard.lru.push_front(Entry{key, bytes});
+    shard.lru.push_front(Entry{key, bytes, -1, nullptr});
     shard.index.emplace(key, shard.lru.begin());
     shard.bytes += bytes->size();
     stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+    publish_slot_locked(shard, shard.lru.front());
   }
-  // Evict LRU tails past the shard budget, but never the entry just touched:
-  // a single over-budget block must still be servable.
+  // Evict LRU tails past the shard budget, but never the entry just
+  // touched: a single over-budget block must still be servable. Lock-free
+  // hits cannot splice the list, so honour their second-chance bit once
+  // per pass — a marked tail is rotated to the front instead of dropped.
+  // `scanned` bounds the rotation: once every resident entry had its
+  // chance, the tail goes regardless, so the loop always terminates even
+  // with readers re-marking concurrently.
+  std::size_t scanned = 0;
+  const std::size_t max_scan = shard.lru.size();
   while (shard.bytes > shard_capacity_ && shard.lru.size() > 1) {
-    const Entry& victim = shard.lru.back();
+    Entry& victim = shard.lru.back();
+    if (scanned < max_scan && victim.rec != nullptr &&
+        victim.rec->referenced.exchange(0, std::memory_order_relaxed) != 0) {
+      ++scanned;
+      shard.lru.splice(shard.lru.begin(), shard.lru, std::prev(shard.lru.end()));
+      continue;
+    }
+    unpublish_slot_locked(shard, victim);
     shard.bytes -= victim.bytes->size();
     shard.index.erase(victim.key);
     shard.lru.pop_back();
@@ -183,6 +361,7 @@ void ShardedBlockCache::invalidate_epoch(std::uint64_t epoch) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       if (it->key.epoch == epoch) {
+        unpublish_slot_locked(shard, *it);
         shard.bytes -= it->bytes->size();
         shard.index.erase(it->key);
         it = shard.lru.erase(it);
@@ -198,10 +377,24 @@ void ShardedBlockCache::flush() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mu);
+    for (Entry& entry : shard.lru) unpublish_slot_locked(shard, entry);
     shard.lru.clear();
     shard.index.clear();
     shard.bytes = 0;
   }
+}
+
+BlockCacheStats ShardedBlockCache::stats() const {
+  BlockCacheStats s = stats_;
+  s.lookups.store(lookups_.load(), std::memory_order_relaxed);
+  s.hits.store(hits_.load(), std::memory_order_relaxed);
+  return s;
+}
+
+void ShardedBlockCache::reset_stats() {
+  stats_.reset();
+  lookups_.reset();
+  hits_.reset();
 }
 
 std::size_t ShardedBlockCache::resident_bytes() const {

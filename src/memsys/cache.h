@@ -10,8 +10,14 @@
 //
 //  - ShardedBlockCache: the serving-layer block cache behind ccomp::server.
 //    It *does* store decompressed block bytes, is safe for any number of
-//    concurrent readers (shard-per-lock), and coalesces concurrent misses on
-//    the same (epoch, block) key into one in-flight decode.
+//    concurrent readers, and coalesces concurrent misses on the same
+//    (epoch, block) key into one in-flight decode. A *hit* never takes a
+//    mutex: each shard carries an open-addressed seqlock-published hit
+//    index probed with atomic loads, and displaced entries are reclaimed
+//    through epoch-based deferred frees (memsys/ebr.h) so a reader racing
+//    an eviction or invalidation can never observe freed memory. Misses,
+//    coalescing, and publication keep the original mutexed leader/joiner
+//    protocol. See DESIGN.md §4.20.
 //
 // CacheStats counters are atomic so a memory system's stats can be read
 // while another thread drives it (the TSan suite shares systems across
@@ -29,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "memsys/ebr.h"
 #include "support/error.h"
 
 namespace ccomp::memsys {
@@ -123,11 +130,23 @@ struct ShardedCacheConfig {
   std::size_t capacity_bytes = 4 * 1024 * 1024;
   /// Number of independent lock domains; rounded up to a power of two.
   std::size_t shards = 16;
+  /// Total lock-free hit-index slots across all shards (rounded up to a
+  /// power of two per shard, minimum 16 each). The index is best-effort:
+  /// a key missing from it is still found by the mutexed slow path, so
+  /// sizing only affects the fast-hit rate. 0 disables the lock-free path
+  /// entirely (every lookup takes the shard mutex, as before v3.1).
+  std::size_t hit_slots = 4096;
 };
 
-/// Counters for the serving cache. Same atomicity contract as CacheStats:
-/// each counter is exact, cross-counter snapshots are not a consistent cut,
-/// and reset() must only run while the cache is quiescent.
+/// Counters for the serving cache. Same atomicity contract as CacheStats —
+/// each counter is a relaxed atomic, individually exact, and cross-counter
+/// snapshots are not a consistent cut. The hot counters (lookups, hits) are
+/// maintained internally on striped per-thread cache lines away from the
+/// hit-index slots (a shared-line RMW next to the seqlock slots would put
+/// every reader back into one cache-line ping-pong); stats() folds the
+/// stripes into this struct. reset() / reset_stats() must only run while
+/// the cache is quiescent: striped stripes are zeroed one line at a time,
+/// so a racing reader could observe (and fold) a half-reset count.
 struct BlockCacheStats {
   std::atomic<std::uint64_t> lookups{0};
   std::atomic<std::uint64_t> hits{0};
@@ -158,12 +177,25 @@ struct BlockCacheStats {
   }
 };
 
-/// Thread-safe LRU block cache, sharded by key hash so unrelated lookups
-/// never contend on one lock, with request coalescing: the first thread to
-/// miss a key becomes the *leader* of an InFlight slot and decodes; later
-/// misses on the same key block on the slot and share the leader's result
-/// (or its exception). The cache stores immutable shared_ptr payloads, so a
-/// reader can keep using bytes after the entry is evicted or invalidated.
+/// Thread-safe LRU block cache, sharded by key hash, with request
+/// coalescing: the first thread to miss a key becomes the *leader* of an
+/// InFlight slot and decodes; later misses on the same key block on the
+/// slot and share the leader's result (or its exception). The cache stores
+/// immutable shared_ptr payloads, so a reader can keep using bytes after
+/// the entry is evicted or invalidated.
+///
+/// Hits are lock-free: every resident entry is published into a per-shard
+/// open-addressed slot table guarded by per-slot seqlock version counters
+/// (odd = writer mid-update; readers retry or fall through to the mutexed
+/// path). Readers pin an ebr::Guard for the probe, so the HitRecord a slot
+/// points at is freed only after every reader that could have seen it has
+/// unpinned — a reader racing an LRU eviction, epoch invalidation, or
+/// flush gets either the old bytes (a valid pre-invalidation snapshot,
+/// keyed by epoch so never stale across a hot-swap) or a miss, never a
+/// dangling pointer. All slot writers hold the shard mutex, so slots are
+/// single-writer and the authoritative LRU/index state stays exactly as
+/// before — the slot table is a best-effort accelerator, not a source of
+/// truth.
 class ShardedBlockCache {
  public:
   using Bytes = std::shared_ptr<const std::vector<std::uint8_t>>;
@@ -192,6 +224,16 @@ class ShardedBlockCache {
   };
 
   explicit ShardedBlockCache(const ShardedCacheConfig& config);
+  ~ShardedBlockCache();
+
+  ShardedBlockCache(const ShardedBlockCache&) = delete;
+  ShardedBlockCache& operator=(const ShardedBlockCache&) = delete;
+
+  /// Lock-free lookup: the bytes when `key` is in the hit index, nullptr
+  /// otherwise (including when a concurrent writer made the probe
+  /// inconclusive — callers fall through to acquire()'s mutexed path,
+  /// which is always authoritative). Never blocks, never throws.
+  Bytes try_get(const BlockKey& key);
 
   Ticket acquire(const BlockKey& key);
 
@@ -210,14 +252,19 @@ class ShardedBlockCache {
   /// Drop every cached entry belonging to `epoch` (after a hot-swap). An
   /// in-flight decode for that epoch may still publish afterwards; the stale
   /// entry is unreachable (the server never asks for a retired epoch again)
-  /// and ages out through normal LRU eviction.
+  /// and ages out through normal LRU eviction. A lock-free reader racing
+  /// this sees either the pre-invalidation bytes (correct for the old
+  /// epoch it asked for) or a miss.
   void invalidate_epoch(std::uint64_t epoch);
 
   /// Drop every cached entry (in-flight slots are untouched).
   void flush();
 
-  const BlockCacheStats& stats() const { return stats_; }
-  void reset_stats() { stats_.reset(); }
+  /// Folded snapshot of the counters (hot stripes summed in). A snapshot
+  /// taken while writers run is per-counter exact but not a consistent cut.
+  BlockCacheStats stats() const;
+  /// Quiescent-only, like BlockCacheStats::reset().
+  void reset_stats();
   std::size_t shard_count() const { return shards_.size(); }
 
   /// Decompressed bytes currently resident (sum over shards; approximate
@@ -225,9 +272,39 @@ class ShardedBlockCache {
   std::size_t resident_bytes() const;
 
  private:
+  /// Immutable once published (readers copy `bytes` with no lock); freed
+  /// only through ebr::retire. `referenced` is the second-chance bit: a
+  /// lock-free hit cannot splice the LRU list, so it marks the record and
+  /// eviction gives marked entries another round instead of dropping hot
+  /// blocks that never visibly "moved". Written at most once per residency
+  /// (readers check before storing), so the line stays shared, not owned.
+  struct HitRecord {
+    Bytes bytes;
+    std::atomic<std::uint8_t> referenced{0};
+  };
+
+  /// One hit-index slot. All fields are atomics written only under the
+  /// shard mutex with the seqlock protocol (version to odd, release fence,
+  /// relaxed field stores, version to even with release); readers validate
+  /// version-before == version-after == even around relaxed field loads
+  /// with an acquire fence before the re-check. That fence pairs with the
+  /// writer's release fence: a reader that saw any new field value is
+  /// guaranteed to see the odd version and retry, so a torn (key, record)
+  /// pair can never validate.
+  struct Slot {
+    std::atomic<std::uint64_t> version{0};
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<std::uint32_t> block{0};
+    std::atomic<HitRecord*> record{nullptr};
+  };
+
   struct Entry {
     BlockKey key;
     Bytes bytes;
+    /// Slot index this entry is published at (-1 = not in the hit index,
+    /// e.g. displaced by a colliding key) and the record it published.
+    std::int32_t slot = -1;
+    HitRecord* rec = nullptr;
   };
   struct Shard {
     std::mutex mu;
@@ -235,6 +312,8 @@ class ShardedBlockCache {
     std::unordered_map<BlockKey, std::list<Entry>::iterator, BlockKeyHash> index;
     std::unordered_map<BlockKey, Flight, BlockKeyHash> in_flight;
     std::size_t bytes = 0;
+    /// Lock-free hit index (slot_count_ entries), probed by try_get.
+    std::unique_ptr<Slot[]> table;
     /// Interned ids of this shard's labelled obs series
     /// ("server.cache.{hits,misses}|shard=N"); the aggregate series stays
     /// unlabelled, so per-shard values sum to it.
@@ -244,11 +323,25 @@ class ShardedBlockCache {
 
   Shard& shard_for(const BlockKey& key);
   void insert_locked(Shard& shard, const BlockKey& key, const Bytes& bytes);
+  /// Publish `entry` into the shard's hit index (shard.mu held). May
+  /// displace a colliding entry's slot; the displaced entry stays fully
+  /// servable through the mutexed path.
+  void publish_slot_locked(Shard& shard, Entry& entry);
+  /// Remove `entry` from the hit index and retire its record (shard.mu
+  /// held). No-op when not published.
+  void unpublish_slot_locked(Shard& shard, Entry& entry);
 
   ShardedCacheConfig config_;
   std::size_t shard_capacity_ = 0;
+  std::size_t slot_count_ = 0;  // per shard, power of two (0 = fast path off)
+  std::uint32_t shard_shift_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Slow-path counters (misses/coalesced/inserts/evictions); the hot
+  /// lookups/hits fields of this struct stay zero and are folded from the
+  /// stripes below in stats().
   BlockCacheStats stats_;
+  ebr::StripedCounter lookups_;
+  ebr::StripedCounter hits_;
 };
 
 }  // namespace ccomp::memsys

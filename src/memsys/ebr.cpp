@@ -1,0 +1,188 @@
+#include "memsys/ebr.h"
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace ccomp::memsys::ebr {
+namespace detail {
+
+namespace {
+
+struct RetiredObject {
+  void* p = nullptr;
+  void (*deleter)(void*) = nullptr;
+  std::uint64_t epoch = 0;
+};
+
+}  // namespace
+
+struct Registry {
+  /// Monotonic global epoch. Starts at 1 so slot epoch 0 can mean
+  /// "unpinned".
+  std::atomic<std::uint64_t> epoch{1};
+  std::array<ReaderSlot, kMaxReaders> slots;
+
+  std::mutex retire_mu;
+  std::vector<RetiredObject> retired;
+  std::atomic<std::uint64_t> retired_total{0};
+  std::atomic<std::uint64_t> reclaimed_total{0};
+
+  /// Smallest epoch any reader is currently pinned at, or ~0 when no
+  /// reader is pinned. A retired object is reclaimable once its stamp is
+  /// below every pinned epoch: such an object was unlinked before any
+  /// still-pinned reader pinned, so none of them can have reached it.
+  std::uint64_t min_active_epoch() const {
+    std::uint64_t min = ~std::uint64_t{0};
+    for (const ReaderSlot& slot : slots) {
+      const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+      if (e != 0 && e < min) min = e;
+    }
+    return min;
+  }
+
+  /// Free everything stamped before the oldest pinned epoch. Caller holds
+  /// retire_mu.
+  void reclaim_locked() {
+    const std::uint64_t min = min_active_epoch();
+    std::size_t kept = 0;
+    for (RetiredObject& obj : retired) {
+      if (obj.epoch < min) {
+        obj.deleter(obj.p);
+        reclaimed_total.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        retired[kept++] = obj;
+      }
+    }
+    retired.resize(kept);
+  }
+};
+
+Registry& registry() {
+  // Leaked on purpose: reader slots are released from thread_local
+  // destructors and retired objects may drain from any late destructor —
+  // a static-destruction-ordered registry would be use-after-free bait.
+  // The singleton stays reachable, so LeakSanitizer does not report it.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+namespace {
+
+/// Releases this thread's slot when the thread exits.
+struct SlotHandle {
+  ReaderSlot* slot = nullptr;
+  ~SlotHandle() {
+    if (slot == nullptr) return;
+    slot->epoch.store(0, std::memory_order_release);
+    slot->claimed.store(false, std::memory_order_release);
+  }
+};
+
+}  // namespace
+
+ReaderSlot* this_thread_slot() {
+  thread_local SlotHandle handle = [] {
+    SlotHandle h;
+    Registry& reg = registry();
+    for (ReaderSlot& slot : reg.slots) {
+      bool expected = false;
+      if (slot.claimed.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+        h.slot = &slot;
+        break;
+      }
+    }
+    return h;  // nullptr slot when all kMaxReaders are taken
+  }();
+  return handle.slot;
+}
+
+std::uint64_t pin(ReaderSlot& slot) {
+  Registry& reg = registry();
+  for (;;) {
+    const std::uint64_t e = reg.epoch.load(std::memory_order_seq_cst);
+    // seq_cst store + recheck: once this returns, any retire() that
+    // advances the epoch past `e` is guaranteed to see this pin in its
+    // min_active_epoch() scan — the store cannot be ordered after the
+    // scan's loads.
+    slot.epoch.store(e, std::memory_order_seq_cst);
+    if (reg.epoch.load(std::memory_order_seq_cst) == e) return e;
+    // The epoch moved between load and publish; re-pin at the new epoch
+    // so a concurrent reclaimer never under-estimates us.
+  }
+}
+
+void unpin(ReaderSlot& slot) { slot.epoch.store(0, std::memory_order_release); }
+
+}  // namespace detail
+
+int& Guard::depth_ref() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+Guard::Guard() {
+  slot_ = detail::this_thread_slot();
+  if (slot_ == nullptr) return;
+  if (depth_ref()++ == 0) {
+    outermost_ = true;
+    detail::pin(*slot_);
+  }
+}
+
+Guard::~Guard() {
+  if (slot_ == nullptr) return;
+  if (outermost_) detail::unpin(*slot_);
+  --depth_ref();
+}
+
+void retire(void* p, void (*deleter)(void*)) {
+  detail::Registry& reg = detail::registry();
+  // Stamp with the pre-advance epoch: readers pinned at or after the
+  // *advanced* epoch pinned after p was unlinked and cannot hold it, so
+  // reclaim requires min_active > stamp.
+  const std::uint64_t stamp = reg.epoch.fetch_add(1, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(reg.retire_mu);
+  reg.retired.push_back(detail::RetiredObject{p, deleter, stamp});
+  reg.retired_total.fetch_add(1, std::memory_order_relaxed);
+  CCOMP_COUNT("server.ebr.retired", 1);
+  reg.reclaim_locked();
+}
+
+void synchronize() {
+  detail::Registry& reg = detail::registry();
+  const std::uint64_t barrier = reg.epoch.fetch_add(1, std::memory_order_seq_cst);
+  // Wait for every slot to be observed unpinned or pinned past the
+  // barrier once; after that no reader predating the barrier survives.
+  for (detail::ReaderSlot& slot : reg.slots) {
+    while (true) {
+      const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+      if (e == 0 || e > barrier) break;
+      std::this_thread::yield();
+    }
+  }
+  std::lock_guard<std::mutex> lock(reg.retire_mu);
+  reg.reclaim_locked();
+}
+
+Telemetry telemetry() {
+  detail::Registry& reg = detail::registry();
+  Telemetry t;
+  t.retired = reg.retired_total.load(std::memory_order_relaxed);
+  t.reclaimed = reg.reclaimed_total.load(std::memory_order_relaxed);
+  t.pending = t.retired - t.reclaimed;
+  return t;
+}
+
+std::size_t StripedCounter::stripe_index() {
+  // Round-robin stripe assignment per thread: even spread without hashing,
+  // and stable for the thread's lifetime.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+}  // namespace ccomp::memsys::ebr

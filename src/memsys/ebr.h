@@ -1,0 +1,157 @@
+// Epoch-based reclamation (EBR) for the serving layer's lock-free readers.
+//
+// The lock-free cache-hit path and the server's RCU image map hand raw
+// pointers to readers without any lock. Writers that unlink an object
+// (cache eviction, epoch invalidation, image hot-swap) cannot free it
+// immediately — a reader that loaded the pointer a nanosecond earlier may
+// still be dereferencing it. EBR defers the free:
+//
+//   * Readers *pin* the global epoch for the duration of one lookup
+//     (`Guard`, a cheap RAII: one store + one fence + one recheck on a
+//     thread-owned cache line — no shared-line RMW, so readers never
+//     contend with each other).
+//   * Writers *retire* unlinked objects (`retire()`): the object goes on
+//     a deferred-free list stamped with the current epoch, and the epoch
+//     is advanced. An object is freed only once every reader slot has
+//     been observed unpinned or pinned at a later epoch — any reader that
+//     could have seen the pointer is gone.
+//
+// Why EBR and not hazard pointers: a hazard-pointer reader must publish
+// (and fence) every individual pointer it traverses, which puts a store +
+// seq_cst fence *per probed slot* on the hit path; EBR pays one pin per
+// lookup regardless of how many probes the lookup makes, and this
+// workload's readers are short (a bounded probe window, no unbounded
+// traversal), so the reclamation delay EBR trades for that speed is a few
+// lookups, not unbounded. See DESIGN.md §4.20.
+//
+// Invariants callers must keep:
+//   * unlink-before-retire: once retire(p) is called, no new reader can
+//     reach p through the data structure. Only readers pinned before the
+//     retire may still hold it.
+//   * Retire is a slow-path operation (writers already hold a shard or
+//     image mutex); it takes a global mutex. Pinning never does.
+//   * Guards are re-entrant (a pinned thread may pin again) but must not
+//     be held across blocking calls.
+//
+// Threads beyond kMaxReaders concurrent *distinct threads* get an
+// inactive Guard (`active() == false`); callers must then take their
+// normal locked path instead of touching lock-free state.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace ccomp::memsys::ebr {
+
+/// Upper bound on threads that can hold reader slots at once. Slots are
+/// claimed per *thread* (released at thread exit), not per guard.
+inline constexpr std::size_t kMaxReaders = 256;
+
+namespace detail {
+
+struct alignas(64) ReaderSlot {
+  /// 0 = unpinned; otherwise the epoch this thread pinned at.
+  std::atomic<std::uint64_t> epoch{0};
+  /// Claim flag, CASed by the first pin on each thread.
+  std::atomic<bool> claimed{false};
+};
+
+struct Registry;
+Registry& registry();
+
+/// This thread's claimed slot, or nullptr when kMaxReaders threads
+/// already hold one. First call claims; the slot is released when the
+/// thread exits.
+ReaderSlot* this_thread_slot();
+
+std::uint64_t pin(ReaderSlot& slot);
+void unpin(ReaderSlot& slot);
+
+}  // namespace detail
+
+/// RAII epoch pin. Re-entrant: nested guards on one thread share the
+/// outermost pin. Pinning is wait-free and touches only the thread's own
+/// slot line plus one load of the global epoch.
+class Guard {
+ public:
+  Guard();
+  ~Guard();
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+  /// False when no reader slot was available; the caller must not rely on
+  /// deferred reclamation and should take its locked slow path.
+  bool active() const { return slot_ != nullptr; }
+
+ private:
+  /// Per-thread guard nesting depth; only the depth-0 guard pins/unpins.
+  static int& depth_ref();
+  detail::ReaderSlot* slot_ = nullptr;
+  bool outermost_ = false;
+};
+
+/// Defer `delete`/custom destruction of an unlinked object until every
+/// reader that could hold it has unpinned. `deleter(p)` runs at most once,
+/// possibly on another thread (whichever retire/synchronize call reclaims
+/// it). Takes a global mutex — slow path only.
+void retire(void* p, void (*deleter)(void*));
+
+/// Typed convenience: retire with `delete static_cast<T*>(p)`.
+template <typename T>
+void retire(T* p) {
+  retire(static_cast<void*>(p), [](void* q) { delete static_cast<T*>(q); });
+}
+
+/// Wait until every reader slot has been observed unpinned (or pinned
+/// past the current epoch) once, then free the entire deferred list.
+/// Call from destructors of structures that retired objects, after their
+/// readers are gone; spins, so never call it while a reader of the
+/// calling structure can still be pinned indefinitely.
+void synchronize();
+
+/// Counters for tests and the obs bridge.
+struct Telemetry {
+  std::uint64_t retired = 0;    // objects handed to retire()
+  std::uint64_t reclaimed = 0;  // deferred frees actually run
+  std::uint64_t pending = 0;    // retired - reclaimed right now
+};
+Telemetry telemetry();
+
+// --------------------------------------------------------------------------
+// StripedCounter
+// --------------------------------------------------------------------------
+
+/// A relaxed counter striped over per-thread cache lines, for hot-path
+/// statistics that must not put a shared RMW next to lock-free read state
+/// (BlockCacheStats/ServerStats hit counters). add() is one relaxed
+/// fetch_add on a stripe chosen per thread; load() sums the stripes —
+/// exact for quiescent reads, a live snapshot may miss in-flight adds.
+/// reset() zeroes stripes non-atomically as a whole: like the stats
+/// structs it feeds, call it only while writers are quiescent.
+class StripedCounter {
+ public:
+  void add(std::uint64_t n = 1) {
+    cells_[stripe_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t load() const {
+    std::uint64_t sum = 0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void reset() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+  operator std::uint64_t() const { return load(); }
+
+ private:
+  static constexpr std::size_t kStripes = 16;
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  static std::size_t stripe_index();
+  std::array<Cell, kStripes> cells_;
+};
+
+}  // namespace ccomp::memsys::ebr

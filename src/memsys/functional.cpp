@@ -61,6 +61,27 @@ FunctionalMemorySystem::FunctionalMemorySystem(const CacheConfig& cache_config,
   lines_.resize(static_cast<std::size_t>(sets_) * ways_);
 }
 
+FunctionalMemorySystem::FunctionalMemorySystem(const CacheConfig& cache_config,
+                                               const core::BlockCodec& codec,
+                                               core::MappedImage mapped, bool verify_on_load,
+                                               bool require_certificate)
+    : mapping_holder_(std::make_unique<const core::MappedImage>(std::move(mapped))),
+      view_holder_(std::make_unique<const core::CompressedImage>(mapping_holder_->view_image())),
+      image_(view_holder_.get()),
+      decompressor_(layout::make_tier_decompressor(codec, *view_holder_)),
+      remap_(layout::remap_table(*view_holder_)),
+      cache_(std::make_unique<ICache>(cache_config)),
+      line_bytes_(cache_config.line_bytes),
+      ways_(cache_config.associativity) {
+  audit_image(*image_, verify_on_load, require_certificate, "load");
+  if (image_->has_variable_blocks())
+    throw ConfigError("functional memory system needs address-aligned blocks");
+  if (image_->block_size() != line_bytes_)
+    throw ConfigError("image block size must equal the cache line size");
+  sets_ = cache_config.size_bytes / (line_bytes_ * ways_);
+  lines_.resize(static_cast<std::size_t>(sets_) * ways_);
+}
+
 FunctionalMemorySystem::Line& FunctionalMemorySystem::lookup(std::uint32_t address) {
   cache_->access(address);  // keep the stats model in sync
   ++clock_;
@@ -116,6 +137,10 @@ void FunctionalMemorySystem::reload(const core::BlockCodec& codec,
   image_ = &image;
   decompressor_ = std::move(decompressor);
   remap_ = std::move(remap);
+  // The caller now owns the image; any mapping from a mapped-image
+  // construction is no longer referenced.
+  view_holder_.reset();
+  mapping_holder_.reset();
   for (Line& line : lines_) line.valid = false;
   cache_->flush();  // invalidates the stats model's tags; counters survive
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/codec.h"
+#include "core/mapped.h"
 #include "memsys/cache.h"
 
 namespace ccomp::memsys {
@@ -31,6 +32,13 @@ class FunctionalMemorySystem {
   /// loading mode for systems that refuse uncertified images.
   FunctionalMemorySystem(const CacheConfig& cache_config, const core::BlockCodec& codec,
                          const core::CompressedImage& image, bool verify_on_load = true,
+                         bool require_certificate = false);
+
+  /// Same semantics over an mmap-ready aligned container (core/mapped.h):
+  /// takes ownership of the mapping and refills decode straight out of the
+  /// mapped payload — no owned copy of the compressed bytes is ever made.
+  FunctionalMemorySystem(const CacheConfig& cache_config, const core::BlockCodec& codec,
+                         core::MappedImage mapped, bool verify_on_load = true,
                          bool require_certificate = false);
 
   /// Fetch the 32-bit instruction word at `address` (must be word-aligned
@@ -64,6 +72,12 @@ class FunctionalMemorySystem {
   };
 
   Line& lookup(std::uint32_t address);
+
+  /// Own the mmap backing and its zero-copy view when constructed over a
+  /// MappedImage; null when the caller owns the image. Declared before
+  /// image_ so the view outlives every member that references it.
+  std::unique_ptr<const core::MappedImage> mapping_holder_;
+  std::unique_ptr<const core::CompressedImage> view_holder_;
 
   const core::CompressedImage* image_;
   std::unique_ptr<core::BlockDecompressor> decompressor_;

@@ -55,12 +55,17 @@ memsys::CacheConfig heal_cache_config(const core::CompressedImage& image) {
 ImageServer::ImageServer() : ImageServer(Options{}) {}
 
 ImageServer::ImageServer(Options options) : options_(options), cache_(options.cache) {
+  images_root_.store(new ImageMap(), std::memory_order_release);
   if (options_.prefetch) prefetcher_ = std::thread([this] { prefetch_loop(); });
 }
 
 ImageServer::~ImageServer() {
   stop_prefetcher();
   stop_scrubber();
+  // Readers must be gone by now (destruction contract). Drop the map and
+  // drain the deferred frees so retired maps/images do not outlive us.
+  delete images_root_.exchange(nullptr, std::memory_order_acq_rel);
+  memsys::ebr::synchronize();
 }
 
 ImageServer::ImagePtr ImageServer::build_image(const std::string& name,
@@ -74,7 +79,15 @@ ImageServer::ImagePtr ImageServer::build_image(const std::string& name,
   heal_opts.cache = heal_cache_config(img->golden);
   heal_opts.use_ecc = options_.use_ecc;
   heal_opts.clb_entries = options_.clb_entries;
-  img->heal = std::make_unique<memsys::SelfHealingMemorySystem>(heal_opts, codec, img->golden);
+  if (img->golden.is_view()) {
+    // The self-healing store is the mutable fault surface; a zero-copy
+    // view cannot back it, so materialize an owned copy for the store
+    // while `golden` keeps serving straight from the mapping.
+    const core::CompressedImage owned = img->golden.to_owned();
+    img->heal = std::make_unique<memsys::SelfHealingMemorySystem>(heal_opts, codec, owned);
+  } else {
+    img->heal = std::make_unique<memsys::SelfHealingMemorySystem>(heal_opts, codec, img->golden);
+  }
   // Tier-aware golden decoder: for a layout-bearing image the payload is
   // permuted and mixed-tier, so the degraded path must dispatch per slot
   // (identical to the inner decompressor for plain images).
@@ -93,14 +106,35 @@ ImageServer::ImagePtr ImageServer::build_image(const std::string& name,
   return img;
 }
 
+void ImageServer::publish_image(const std::string& name, ImagePtr img) {
+  std::lock_guard<std::mutex> lock(images_mu_);
+  const ImageMap* cur = images_root_.load(std::memory_order_acquire);
+  if (cur->contains(name)) throw ConfigError("image '" + name + "' is already loaded");
+  auto* next = new ImageMap(*cur);
+  next->emplace(name, std::move(img));
+  const ImageMap* old = images_root_.exchange(next, std::memory_order_acq_rel);
+  // A pinned reader may still be walking the old map; EBR frees it after
+  // every such reader unpins.
+  memsys::ebr::retire(const_cast<ImageMap*>(old));
+}
+
 void ImageServer::load(const std::string& name, const core::BlockCodec& codec,
                        const core::CompressedImage& image) {
   audit_image(image, options_.verify_images, options_.require_certificate, "load");
-  ImagePtr img = build_image(name, codec, image);
-  std::unique_lock<std::shared_mutex> lock(images_mu_);
-  if (images_.contains(name)) throw ConfigError("image '" + name + "' is already loaded");
-  images_.emplace(name, std::move(img));
+  publish_image(name, build_image(name, codec, image));
   CCOMP_COUNT("server.images_loaded", 1);
+}
+
+void ImageServer::load(const std::string& name, const core::BlockCodec& codec,
+                       core::MappedImage mapped) {
+  auto holder = std::make_shared<const core::MappedImage>(std::move(mapped));
+  const core::CompressedImage view = holder->view_image();
+  audit_image(view, options_.verify_images, options_.require_certificate, "load");
+  ImagePtr img = build_image(name, codec, view);
+  img->mapping = std::move(holder);
+  publish_image(name, std::move(img));
+  CCOMP_COUNT("server.images_loaded", 1);
+  CCOMP_COUNT("server.images_mapped", 1);
 }
 
 ImageServer::SwapResult ImageServer::swap(const std::string& name, const core::BlockCodec& codec,
@@ -118,11 +152,15 @@ ImageServer::SwapResult ImageServer::swap(const std::string& name, const core::B
     return SwapResult{false, old->epoch, error.what()};
   }
   {
-    std::unique_lock<std::shared_mutex> lock(images_mu_);
-    auto it = images_.find(name);
-    if (it == images_.end()) throw ConfigError("image '" + name + "' is no longer loaded");
+    std::lock_guard<std::mutex> lock(images_mu_);
+    const ImageMap* cur = images_root_.load(std::memory_order_acquire);
+    auto it = cur->find(name);
+    if (it == cur->end()) throw ConfigError("image '" + name + "' is no longer loaded");
     old = it->second;
-    it->second = fresh;
+    auto* next = new ImageMap(*cur);
+    (*next)[name] = fresh;
+    const ImageMap* prev = images_root_.exchange(next, std::memory_order_acq_rel);
+    memsys::ebr::retire(const_cast<ImageMap*>(prev));
   }
   // Old-epoch cache entries are unreachable (fetches now key on the new
   // epoch); drop them eagerly so the budget goes to live blocks.
@@ -133,9 +171,19 @@ ImageServer::SwapResult ImageServer::swap(const std::string& name, const core::B
 }
 
 ImageServer::ImagePtr ImageServer::snapshot(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(images_mu_);
-  auto it = images_.find(name);
-  if (it == images_.end()) throw ConfigError("no image named '" + name + "' is loaded");
+  memsys::ebr::Guard guard;
+  if (guard.active()) {
+    // The pin keeps the loaded map (and the shared_ptr cell we copy from)
+    // alive; the returned strong ref outlives the pin.
+    const ImageMap* map = images_root_.load(std::memory_order_acquire);
+    auto it = map->find(name);
+    if (it == map->end()) throw ConfigError("no image named '" + name + "' is loaded");
+    return it->second;
+  }
+  std::lock_guard<std::mutex> lock(images_mu_);
+  const ImageMap* map = images_root_.load(std::memory_order_acquire);
+  auto it = map->find(name);
+  if (it == map->end()) throw ConfigError("no image named '" + name + "' is loaded");
   return it->second;
 }
 
@@ -144,10 +192,13 @@ std::size_t ImageServer::block_count(const std::string& name) const { return sna
 std::uint64_t ImageServer::epoch(const std::string& name) const { return snapshot(name)->epoch; }
 
 std::vector<std::string> ImageServer::image_names() const {
-  std::shared_lock<std::shared_mutex> lock(images_mu_);
+  memsys::ebr::Guard guard;
+  std::unique_lock<std::mutex> lock(images_mu_, std::defer_lock);
+  if (!guard.active()) lock.lock();
+  const ImageMap* map = images_root_.load(std::memory_order_acquire);
   std::vector<std::string> names;
-  names.reserve(images_.size());
-  for (const auto& [name, img] : images_) names.push_back(name);
+  names.reserve(map->size());
+  for (const auto& [name, img] : *map) names.push_back(name);
   return names;
 }
 
@@ -246,23 +297,63 @@ FetchResult ImageServer::lead_decode(LoadedImage& img, const memsys::BlockKey& k
 
 FetchResult ImageServer::fetch(const std::string& name, std::uint32_t block) {
   CCOMP_TIMER("server.lookup_ns");
-  stats_.lookups.fetch_add(1, std::memory_order_relaxed);
-  const ImagePtr img = snapshot(name);
-  if (block >= img->blocks)
-    throw ConfigError("block " + std::to_string(block) + " out of range for image '" + name + "'");
-  const memsys::BlockKey key{img->epoch, block};
-  memsys::ShardedBlockCache::Ticket ticket = cache_.acquire(key);
-  if (ticket.bytes) {
-    note_prefetch_hit(*img, block);
-    maybe_prefetch(img, block);
-    return FetchResult{std::move(ticket.bytes), FetchSource::kCache, false};
+  lookup_count_.add();
+  // Hot path: resolve the name through the RCU map and probe the cache
+  // while pinned — no mutex, no shared_ptr refcount traffic (the raw
+  // LoadedImage* is only dereferenced under the pin; the map holding its
+  // strong ref cannot be reclaimed until we unpin). The strong ref is
+  // taken only when we leave the pinned region still needing the image
+  // (miss paths and prefetch enqueue).
+  memsys::ShardedBlockCache::Ticket ticket;
+  ImagePtr strong;
+  LoadedImage* img = nullptr;
+  memsys::BlockKey key;
+  {
+    memsys::ebr::Guard guard;
+    if (guard.active()) {
+      const ImageMap* map = images_root_.load(std::memory_order_acquire);
+      const auto it = map->find(name);
+      if (it == map->end()) throw ConfigError("no image named '" + name + "' is loaded");
+      img = it->second.get();
+      if (block >= img->blocks)
+        throw ConfigError("block " + std::to_string(block) + " out of range for image '" + name +
+                          "'");
+      key = memsys::BlockKey{img->epoch, block};
+      ticket = cache_.acquire(key);
+      if (ticket.bytes) {
+        if (img->prefetch_flag) {
+          // Only layout images reach here: the flag consume and the hint
+          // enqueue need the image beyond bookkeeping, so take the ref.
+          note_prefetch_hit(*img, block);
+          strong = it->second;
+          maybe_prefetch(strong, block);
+        }
+        return FetchResult{std::move(ticket.bytes), FetchSource::kCache, false};
+      }
+      strong = it->second;
+    }
+  }
+  if (img == nullptr) {
+    // No EBR reader slot for this thread: classic locked lookup.
+    strong = snapshot(name);
+    img = strong.get();
+    if (block >= img->blocks)
+      throw ConfigError("block " + std::to_string(block) + " out of range for image '" + name +
+                        "'");
+    key = memsys::BlockKey{img->epoch, block};
+    ticket = cache_.acquire(key);
+    if (ticket.bytes) {
+      note_prefetch_hit(*img, block);
+      maybe_prefetch(strong, block);
+      return FetchResult{std::move(ticket.bytes), FetchSource::kCache, false};
+    }
   }
   if (!ticket.leader) {
     memsys::ShardedBlockCache::Bytes bytes = memsys::ShardedBlockCache::wait(*ticket.flight);
     // Joining a flight the prefetcher leads still overlaps decode with the
     // demand stream, so it counts as a prefetch hit too.
     note_prefetch_hit(*img, block);
-    maybe_prefetch(img, block);
+    maybe_prefetch(strong, block);
     return FetchResult{std::move(bytes), FetchSource::kCoalesced, ticket.flight->degraded};
   }
   // Demand decode of a block whose prefetched copy was evicted unconsumed:
@@ -273,7 +364,7 @@ FetchResult ImageServer::fetch(const std::string& name, std::uint32_t block) {
     CCOMP_COUNT("server.prefetch.waste", 1);
   }
   FetchResult result = lead_decode(*img, key, ticket.flight);
-  maybe_prefetch(img, block);
+  maybe_prefetch(strong, block);
   return result;
 }
 
@@ -359,9 +450,12 @@ std::size_t ImageServer::scrub_once(std::size_t blocks_per_image) {
   CCOMP_SPAN("server.scrub");
   std::vector<ImagePtr> imgs;
   {
-    std::shared_lock<std::shared_mutex> lock(images_mu_);
-    imgs.reserve(images_.size());
-    for (const auto& [name, img] : images_) imgs.push_back(img);
+    memsys::ebr::Guard guard;
+    std::unique_lock<std::mutex> lock(images_mu_, std::defer_lock);
+    if (!guard.active()) lock.lock();
+    const ImageMap* map = images_root_.load(std::memory_order_acquire);
+    imgs.reserve(map->size());
+    for (const auto& [name, img] : *map) imgs.push_back(img);
   }
   std::size_t visited = 0;
   for (const ImagePtr& img : imgs) {

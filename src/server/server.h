@@ -8,6 +8,12 @@
 //   - Sharded block cache + request coalescing: concurrent misses on the
 //     same (epoch, block) join one in-flight decode instead of duplicating
 //     it (memsys::ShardedBlockCache).
+//   - Lock-free hot path: a cache *hit* resolves the image name through an
+//     RCU'd map and probes the cache's seqlock hit index without taking
+//     any mutex (epoch-based reclamation, memsys/ebr.h, keeps readers
+//     racing evictions and hot-swaps safe), so hit throughput scales with
+//     reader count instead of serializing on a shard lock (DESIGN.md
+//     §4.20).
 //   - Retry with bounded exponential backoff: a refill that escalates is
 //     retried a configurable number of times — transient injector noise
 //     often clears between attempts.
@@ -38,7 +44,6 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -46,8 +51,10 @@
 
 #include "core/codec.h"
 #include "core/image.h"
+#include "core/mapped.h"
 #include "layout/layout.h"
 #include "memsys/cache.h"
+#include "memsys/ebr.h"
 #include "memsys/selfheal.h"
 #include "support/error.h"
 
@@ -87,7 +94,11 @@ struct FetchResult {
 
 /// Server-side counters. Same atomicity contract as memsys::CacheStats:
 /// individual counters are exact, cross-counter snapshots are not a
-/// consistent cut, reset() only while quiescent.
+/// consistent cut, reset() only while quiescent. The hot `lookups` counter
+/// is maintained internally on striped per-thread cache lines (one relaxed
+/// add, no line shared with the lock-free lookup state) and folded into
+/// this struct by ImageServer::stats(); like the stripes backing it,
+/// reset() is quiescent-only — a racing reader can fold a half-zeroed sum.
 struct ServerStats {
   std::atomic<std::uint64_t> lookups{0};
   std::atomic<std::uint64_t> decodes{0};        // leader decode rounds run
@@ -200,6 +211,14 @@ class ImageServer {
   void load(const std::string& name, const core::BlockCodec& codec,
             const core::CompressedImage& image);
 
+  /// Load from a v3.1 page-aligned container (core::MappedImage): the
+  /// golden serving copy is a zero-copy view over the mapping (payload
+  /// reads touch the mapped pages directly), while the self-healing store
+  /// materializes an owned copy — it is the mutable fault surface. The
+  /// server takes ownership of the mapping and keeps it alive across
+  /// swaps of the same name for as long as any epoch still references it.
+  void load(const std::string& name, const core::BlockCodec& codec, core::MappedImage mapped);
+
   struct SwapResult {
     bool accepted = false;
     std::uint64_t epoch = 0;  // serving epoch after the call
@@ -245,10 +264,18 @@ class ImageServer {
     decode_delay_us_.store(delay.count(), std::memory_order_relaxed);
   }
 
-  const memsys::BlockCacheStats& cache_stats() const { return cache_.stats(); }
-  const ServerStats& stats() const { return stats_; }
+  /// Folded snapshots (hot striped counters summed in); per-counter exact,
+  /// not a consistent cross-counter cut while readers run.
+  memsys::BlockCacheStats cache_stats() const { return cache_.stats(); }
+  ServerStats stats() const {
+    ServerStats s = stats_;
+    s.lookups.store(lookup_count_.load(), std::memory_order_relaxed);
+    return s;
+  }
+  /// Quiescent-only (see ServerStats::reset()).
   void reset_stats() {
     stats_.reset();
+    lookup_count_.reset();
     cache_.reset_stats();
   }
 
@@ -280,14 +307,25 @@ class ImageServer {
     /// has not been consumed by a demand fetch yet. Drives the
     /// issued/hit/waste accounting; sized `blocks` when `plan` is set.
     std::unique_ptr<std::atomic<std::uint8_t>[]> prefetch_flag;
+    /// Keeps the mmap backing alive when `golden` is a zero-copy view over
+    /// a v3.1 container; null for ordinary owned images.
+    std::shared_ptr<const core::MappedImage> mapping;
 
     explicit LoadedImage(core::CompressedImage img) : golden(std::move(img)) {}
   };
   using ImagePtr = std::shared_ptr<LoadedImage>;
+  /// RCU'd name -> image map: readers load `images_root_` under an
+  /// ebr::Guard and never lock; load()/swap() copy-modify-publish under
+  /// `images_mu_` and retire the old map through EBR, so a pinned reader
+  /// mid-lookup can still finish over the retired copy.
+  using ImageMap = std::unordered_map<std::string, ImagePtr>;
 
   ImagePtr snapshot(const std::string& name) const;
   ImagePtr build_image(const std::string& name, const core::BlockCodec& codec,
                        const core::CompressedImage& image);
+  /// Publish `img` under `name` (rejects duplicates). Copy-modify-publish
+  /// of the RCU map.
+  void publish_image(const std::string& name, ImagePtr img);
   FetchResult lead_decode(LoadedImage& img, const memsys::BlockKey& key,
                           const memsys::ShardedBlockCache::Flight& flight);
   /// One decode round against the self-healing store with retry + backoff.
@@ -307,11 +345,14 @@ class ImageServer {
 
   Options options_;
   memsys::ShardedBlockCache cache_;
-  mutable std::shared_mutex images_mu_;
-  std::unordered_map<std::string, ImagePtr> images_;
+  /// Serializes map writers (load/swap) and backs the no-EBR-slot reader
+  /// fallback; the fetch fast path never touches it.
+  mutable std::mutex images_mu_;
+  std::atomic<const ImageMap*> images_root_;
   std::atomic<std::uint64_t> next_epoch_{1};
   std::atomic<std::int64_t> decode_delay_us_{0};
   ServerStats stats_;
+  memsys::ebr::StripedCounter lookup_count_;
 
   std::thread scrubber_;
   std::mutex scrub_mu_;

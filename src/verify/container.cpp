@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <string>
 
+#include "core/mapped.h"
 #include "obs/obs.h"
 #include "support/crc32.h"
 #include "support/ecc.h"
@@ -187,6 +188,100 @@ bool scan_container(std::span<const std::uint8_t> bytes, VerifyReport& report) {
   return report.count(Severity::kError) == 0;
 }
 
+/// Read a little-endian u32/u64 without a ByteSource (the aligned container
+/// is random-access, not a stream).
+std::uint32_t rd_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+std::uint64_t rd_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(rd_u32(p)) | (static_cast<std::uint64_t>(rd_u32(p + 4)) << 32);
+}
+
+/// Scan of the aligned (mmap-ready, v3.1) container framing: header fields,
+/// section table shape (SER005), alignment discipline (SER006), header CRC
+/// (SER002) and every section CRC (SER007). Mirrors MappedImage::parse in
+/// core/mapped.cpp but records a finding per violation instead of throwing
+/// at the first one. Returns true when the framing held together well enough
+/// that building a MappedImage view is worth trying.
+bool scan_aligned_container(std::span<const std::uint8_t> bytes, VerifyReport& report) {
+  constexpr std::size_t kHeaderBytes = 28;
+  constexpr std::size_t kEntryBytes = 32;
+  if (bytes.size() < kHeaderBytes + 4) {
+    emit(report, "SER001", "aligned container truncated in header");
+    return false;
+  }
+  const std::uint8_t* p = bytes.data();
+  const std::uint8_t codec = p[4];
+  const std::uint8_t isa = p[5];
+  const std::uint8_t flags = p[6];
+  const std::uint32_t block_size = rd_u32(p + 8);
+  const std::uint32_t alignment = rd_u32(p + 20);
+  const std::uint32_t count = rd_u32(p + 24);
+  if (codec < 1 || codec > 4)
+    emit(report, "IMG001", "codec id " + std::to_string(codec) + " is not a known codec");
+  if (isa < 1 || isa > 3)
+    emit(report, "IMG002", "ISA id " + std::to_string(isa) + " is not a known ISA");
+  if (block_size == 0) emit(report, "IMG003", "header block size is zero");
+  if ((flags & ~0x0F) != 0)
+    emit(report, "IMG006",
+         "header flags byte has unknown bits set (value " + std::to_string(flags) + ")");
+  const bool alignment_ok =
+      alignment >= 16 && alignment <= (1u << 20) && (alignment & (alignment - 1)) == 0;
+  if (!alignment_ok)
+    emit(report, "SER005",
+         "alignment " + std::to_string(alignment) + " is not a power of two in [16, 1 MiB]");
+  if (count == 0 || count > 64) {
+    emit(report, "SER005", "section count " + std::to_string(count) + " out of range [1, 64]");
+    return false;
+  }
+  const std::size_t header_total = kHeaderBytes + count * kEntryBytes + 4;
+  if (bytes.size() < header_total) {
+    emit(report, "SER001", "aligned container truncated in section table");
+    return false;
+  }
+  if (rd_u32(p + header_total - 4) != crc32(bytes.first(header_total - 4))) {
+    emit(report, "SER002", "aligned-container header CRC-32 does not match the header bytes");
+    // A damaged table cannot be trusted to describe section extents.
+    return false;
+  }
+  std::uint32_t prev_id = 0;
+  std::uint64_t min_offset = header_total;
+  bool table_ok = true;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t* e = p + kHeaderBytes + i * kEntryBytes;
+    const std::uint32_t id = rd_u32(e);
+    const std::uint64_t offset = rd_u64(e + 8);
+    const std::uint64_t size = rd_u64(e + 16);
+    const std::uint32_t crc = rd_u32(e + 24);
+    if (id <= prev_id || id > 7) {
+      emit(report, "SER005",
+           "section " + std::to_string(i) + " id " + std::to_string(id) +
+               " is not unique, ascending, and known");
+      table_ok = false;
+    }
+    prev_id = id;
+    if (alignment_ok && offset % alignment != 0)
+      emit(report, "SER006",
+           "section " + std::to_string(id) + " offset " + std::to_string(offset) +
+               " is not a multiple of the declared alignment " + std::to_string(alignment));
+    if (offset < min_offset || size > bytes.size() || offset > bytes.size() - size) {
+      emit(report, "SER005",
+           "section " + std::to_string(id) + " extent [" + std::to_string(offset) + ", +" +
+               std::to_string(size) + ") overlaps or leaves the container");
+      table_ok = false;
+      continue;
+    }
+    min_offset = offset + size;
+    if (crc32(bytes.subspan(static_cast<std::size_t>(offset), static_cast<std::size_t>(size))) !=
+        crc)
+      emit(report, "SER007",
+           "section " + std::to_string(id) + " CRC-32 does not match its " +
+               std::to_string(size) + " stored byte(s)");
+  }
+  return table_ok && report.count(Severity::kError) == 0;
+}
+
 }  // namespace
 
 namespace detail {
@@ -256,6 +351,21 @@ VerifyReport verify_serialized(std::span<const std::uint8_t> bytes, const Verify
   CCOMP_TIMER("verify.serialized_ns");
   CCOMP_COUNT("verify.serialized_checks", 1);
   VerifyReport report;
+  if (core::is_aligned_container(bytes)) {
+    const bool framing_ok = scan_aligned_container(bytes, report);
+    if (!framing_ok) return report;
+    try {
+      const core::MappedImage mapped(bytes);
+      report.merge(verify_image(mapped.view_image(), opts));
+    } catch (const Error& e) {
+      // The scan accepted what MappedImage rejected — surface the stricter
+      // parser's complaint so the report never claims a clean bill for an
+      // unloadable image.
+      if (report.ok())
+        emit(report, "SER001", std::string("aligned image rejected at load: ") + e.what());
+    }
+    return report;
+  }
   const bool framing_ok = scan_container(bytes, report);
   // Deep checks run best-effort even past a checksum mismatch (the flipped
   // bit may sit in a table the structural checks can still name), but only

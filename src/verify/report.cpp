@@ -54,12 +54,16 @@ std::string VerifyReport::to_string() const {
 
 namespace {
 
-constexpr std::array<CheckInfo, 41> kCatalogue = {{
+constexpr std::array<CheckInfo, 44> kCatalogue = {{
     // Container framing + integrity.
     {"SER001", Severity::kError, "container truncated or unparseable"},
     {"SER002", Severity::kError, "integrity checksum (CRC-32 trailer) mismatch"},
     {"SER003", Severity::kError, "bad container magic"},
     {"SER004", Severity::kWarn, "trailing bytes after the container"},
+    // Aligned (mmap-ready, format v3.1) container framing.
+    {"SER005", Severity::kError, "aligned-container section table malformed"},
+    {"SER006", Severity::kError, "aligned-container section offset violates the alignment"},
+    {"SER007", Severity::kError, "aligned-container section CRC-32 mismatch"},
     // Header cross-checks.
     {"IMG001", Severity::kError, "unknown codec id"},
     {"IMG002", Severity::kError, "unknown ISA id"},

@@ -1,0 +1,284 @@
+// Aligned-container (v3.1) tests: serialize_aligned layout invariants,
+// MappedImage parsing and lazy per-section CRC, zero-copy view images and
+// their immutability contract, FunctionalMemorySystem parity over a mapped
+// image, file-backed open(), and the verifier's SER005/006/007 findings.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/image.h"
+#include "core/mapped.h"
+#include "isa/mips/mips.h"
+#include "memsys/functional.h"
+#include "samc/samc.h"
+#include "support/crc32.h"
+#include "support/error.h"
+#include "verify/verify.h"
+#include "workload/mips_gen.h"
+#include "workload/profile.h"
+
+namespace ccomp {
+namespace {
+
+std::vector<std::uint8_t> mips_code(std::uint32_t kb) {
+  workload::Profile p = *workload::find_profile("go");
+  p.code_kb = kb;
+  return mips::words_to_bytes(workload::generate_mips(p));
+}
+
+const samc::SamcCodec& test_codec() {
+  static const samc::SamcCodec codec(samc::mips_defaults());
+  return codec;
+}
+
+core::CompressedImage make_image(std::uint32_t kb = 2, bool with_ecc = true) {
+  core::CompressedImage img = test_codec().compress(mips_code(kb));
+  if (with_ecc) img.attach_ecc();
+  return img;
+}
+
+std::vector<std::uint8_t> aligned_bytes(const core::CompressedImage& img,
+                                        std::uint32_t alignment = 4096) {
+  ByteSink sink;
+  core::serialize_aligned(img, sink, alignment);
+  return sink.take();
+}
+
+std::vector<std::uint8_t> classic_bytes(const core::CompressedImage& img) {
+  ByteSink sink;
+  img.serialize(sink);
+  return sink.take();
+}
+
+// Header layout constants mirrored from mapped.cpp, used to patch containers
+// into specific invalid states (the header CRC must be recomputed after any
+// patch or the scan stops at SER002 before reaching the targeted check).
+constexpr std::size_t kHeaderBytes = 28;
+constexpr std::size_t kSectionEntryBytes = 32;
+
+void fix_header_crc(std::vector<std::uint8_t>& bytes) {
+  std::uint32_t count = 0;
+  std::memcpy(&count, bytes.data() + 24, 4);
+  const std::size_t crc_at = kHeaderBytes + count * kSectionEntryBytes;
+  const std::uint32_t crc = crc32(std::span(bytes).subspan(0, crc_at));
+  std::memcpy(bytes.data() + crc_at, &crc, 4);
+}
+
+TEST(MappedImage, RoundTripPreservesImageExactly) {
+  const core::CompressedImage img = make_image();
+  const auto bytes = aligned_bytes(img);
+  ASSERT_TRUE(core::is_aligned_container(bytes));
+  EXPECT_FALSE(core::is_aligned_container(classic_bytes(img)));
+
+  const core::MappedImage mapped{std::span<const std::uint8_t>(bytes)};
+  EXPECT_EQ(mapped.codec(), img.codec());
+  EXPECT_EQ(mapped.isa(), img.isa());
+  EXPECT_EQ(mapped.block_size(), img.block_size());
+  EXPECT_EQ(mapped.original_size(), img.original_size());
+  EXPECT_EQ(mapped.alignment(), 4096u);
+  EXPECT_FALSE(mapped.backed_by_mmap());
+  EXPECT_TRUE(mapped.has_section(core::SectionId::kPayload));
+  EXPECT_TRUE(mapped.has_section(core::SectionId::kEcc));
+  EXPECT_FALSE(mapped.has_section(core::SectionId::kCert));
+  EXPECT_THROW((void)mapped.section(core::SectionId::kCert), ConfigError);
+
+  // The zero-copy view serializes byte-identically to the original image —
+  // the strongest equivalence the classic container can express.
+  const core::CompressedImage view = mapped.view_image();
+  EXPECT_TRUE(view.is_view());
+  EXPECT_FALSE(img.is_view());
+  EXPECT_EQ(classic_bytes(view), classic_bytes(img));
+  // And the payload view genuinely aliases the mapping (zero copy).
+  EXPECT_EQ(view.payload().data(),
+            mapped.section(core::SectionId::kPayload).data());
+
+  // Decoded blocks match the owned image's blocks.
+  const auto dec_owned = test_codec().make_decompressor(img);
+  const auto dec_view = test_codec().make_decompressor(view);
+  ASSERT_EQ(view.block_count(), img.block_count());
+  for (std::size_t b = 0; b < img.block_count(); ++b)
+    EXPECT_EQ(dec_view->block(b), dec_owned->block(b));
+
+  // materialize() is a fully owned deep copy, again byte-identical.
+  const core::CompressedImage owned = mapped.materialize();
+  EXPECT_FALSE(owned.is_view());
+  EXPECT_EQ(classic_bytes(owned), classic_bytes(img));
+}
+
+TEST(MappedImage, SectionsHonorTheRequestedAlignment) {
+  const core::CompressedImage img = make_image();
+  for (const std::uint32_t alignment : {16u, 64u, 4096u}) {
+    const auto bytes = aligned_bytes(img, alignment);
+    const core::MappedImage mapped{std::span<const std::uint8_t>(bytes)};
+    EXPECT_EQ(mapped.alignment(), alignment);
+    std::uint64_t prev_end = 0;
+    for (const core::MappedImage::Section& s : mapped.sections()) {
+      EXPECT_EQ(s.offset % alignment, 0u) << "section " << static_cast<unsigned>(s.id);
+      EXPECT_GE(s.offset, prev_end);
+      prev_end = s.offset + s.size;
+    }
+    EXPECT_LE(prev_end, bytes.size());
+  }
+  // Invalid alignments are a configuration error, not a silent clamp.
+  ByteSink sink;
+  EXPECT_THROW(core::serialize_aligned(img, sink, 24), ConfigError);
+  EXPECT_THROW(core::serialize_aligned(img, sink, 8), ConfigError);
+  EXPECT_THROW(core::serialize_aligned(img, sink, 2u << 20), ConfigError);
+}
+
+TEST(MappedImage, SectionCrcIsLazyAndPerSection) {
+  const core::CompressedImage img = make_image();
+  auto bytes = aligned_bytes(img);
+  const core::MappedImage clean{std::span<const std::uint8_t>(bytes)};
+  std::uint64_t payload_at = 0;
+  for (const auto& s : clean.sections())
+    if (s.id == core::SectionId::kPayload) payload_at = s.offset;
+  ASSERT_GT(payload_at, 0u);
+
+  auto corrupt = bytes;
+  corrupt[static_cast<std::size_t>(payload_at)] ^= 0x01;
+  // Construction only validates header + table, so a payload flip passes...
+  const core::MappedImage damaged{std::span<const std::uint8_t>(corrupt)};
+  // ...an untouched section still verifies and serves...
+  EXPECT_FALSE(damaged.section(core::SectionId::kTables).empty());
+  // ...but first access to the damaged section (directly or through
+  // view_image, which includes it) throws the typed checksum error.
+  EXPECT_THROW((void)damaged.section(core::SectionId::kPayload), ChecksumError);
+  const core::MappedImage damaged2{std::span<const std::uint8_t>(corrupt)};
+  EXPECT_THROW((void)damaged2.view_image(), ChecksumError);
+}
+
+TEST(MappedImage, HeaderAndTableDamageRejectedAtConstruction) {
+  const core::CompressedImage img = make_image();
+  const auto bytes = aligned_bytes(img);
+
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_THROW(core::MappedImage{std::span<const std::uint8_t>(bad_magic)}, CorruptDataError);
+
+  auto bad_table = bytes;
+  bad_table[kHeaderBytes + 8] ^= 0xFF;  // first section's offset field
+  EXPECT_THROW(core::MappedImage{std::span<const std::uint8_t>(bad_table)}, ChecksumError);
+
+  const auto truncated = std::span<const std::uint8_t>(bytes).subspan(0, 20);
+  EXPECT_THROW(core::MappedImage{truncated}, CorruptDataError);
+
+  auto short_file = bytes;
+  short_file.resize(short_file.size() - 1);  // last section extends past EOF
+  EXPECT_THROW(core::MappedImage{std::span<const std::uint8_t>(short_file)}, CorruptDataError);
+}
+
+TEST(MappedImage, ViewsAreImmutableUntilMaterialized) {
+  const core::CompressedImage img = make_image();
+  const auto bytes = aligned_bytes(img);
+  const core::MappedImage mapped{std::span<const std::uint8_t>(bytes)};
+  core::CompressedImage view = mapped.view_image();
+
+  EXPECT_THROW(view.mutable_payload(), ConfigError);
+  EXPECT_THROW(view.mutable_tables(), ConfigError);
+  EXPECT_THROW(view.mutable_ecc(), ConfigError);
+  EXPECT_THROW(view.attach_ecc(), ConfigError);
+  EXPECT_THROW(view.attach_certificate({0x01}), ConfigError);
+  EXPECT_THROW(view.attach_layout({0x01}), ConfigError);
+  EXPECT_THROW(view.drop_ecc(), ConfigError);
+  // The LAT is always parsed into owned storage, so the fault-campaign's
+  // corrupt-a-copy pattern keeps working even on (copies of) views.
+  EXPECT_FALSE(view.mutable_lat_bytes().empty());
+
+  core::CompressedImage owned = view.to_owned();
+  EXPECT_FALSE(owned.is_view());
+  owned.mutable_payload()[0] ^= 0x01;  // mutation allowed after to_owned()
+  owned.mutable_payload()[0] ^= 0x01;
+  EXPECT_EQ(classic_bytes(owned), classic_bytes(img));
+}
+
+TEST(MappedImage, FunctionalMemorySystemParityOverTheMapping) {
+  const auto code = mips_code(2);
+  core::CompressedImage img = test_codec().compress(code);
+  img.attach_ecc();
+  const auto bytes = aligned_bytes(img);
+
+  memsys::CacheConfig cache;
+  memsys::FunctionalMemorySystem owned_mem(cache, test_codec(), img);
+  memsys::FunctionalMemorySystem mapped_mem(
+      cache, test_codec(), core::MappedImage{std::span<const std::uint8_t>(bytes)});
+
+  for (std::uint32_t addr = 0; addr + 4 <= code.size(); addr += 4) {
+    const std::uint32_t want = owned_mem.fetch(addr);
+    EXPECT_EQ(mapped_mem.fetch(addr), want);
+  }
+}
+
+TEST(MappedImage, OpenServesTheFileAndRejectsMissingPaths) {
+  const core::CompressedImage img = make_image();
+  const auto bytes = aligned_bytes(img);
+  const std::string path = "test_mapped_tmp.ccma";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  {
+    const core::MappedImage mapped = core::MappedImage::open(path);
+#if defined(__unix__) || defined(__APPLE__)
+    EXPECT_TRUE(mapped.backed_by_mmap());
+#endif
+    EXPECT_EQ(classic_bytes(mapped.view_image()), classic_bytes(img));
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW((void)core::MappedImage::open(path), Error);
+}
+
+// --- Verifier coverage of the aligned container (SER005/006/007) ----------
+
+TEST(MappedImage, VerifierAcceptsACleanAlignedContainer) {
+  const auto report = verify::verify_serialized(aligned_bytes(make_image()));
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(MappedImage, VerifierFlagsMalformedSectionTable) {
+  auto bytes = aligned_bytes(make_image());
+  // Section count zero is outside [1, 64]: SER005, with a valid header CRC
+  // so the scan provably reached the table check rather than SER002.
+  std::uint32_t zero = 0;
+  std::memcpy(bytes.data() + 24, &zero, 4);
+  fix_header_crc(bytes);
+  const auto report = verify::verify_serialized(bytes);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("SER005")) << report.to_string();
+}
+
+TEST(MappedImage, VerifierFlagsMisalignedSectionOffset) {
+  auto bytes = aligned_bytes(make_image(), 4096);
+  // Nudge the first section's offset off the alignment grid (still inside
+  // the file, CRC refreshed so only the alignment invariant is violated).
+  std::uint64_t offset = 0;
+  std::memcpy(&offset, bytes.data() + kHeaderBytes + 8, 8);
+  offset += 8;
+  std::memcpy(bytes.data() + kHeaderBytes + 8, &offset, 8);
+  fix_header_crc(bytes);
+  const auto report = verify::verify_serialized(bytes);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("SER006")) << report.to_string();
+}
+
+TEST(MappedImage, VerifierFlagsSectionCrcMismatch) {
+  const core::CompressedImage img = make_image();
+  auto bytes = aligned_bytes(img);
+  const core::MappedImage clean{std::span<const std::uint8_t>(bytes)};
+  for (const auto& s : clean.sections()) {
+    if (s.id != core::SectionId::kPayload) continue;
+    bytes[static_cast<std::size_t>(s.offset)] ^= 0x40;
+  }
+  const auto report = verify::verify_serialized(bytes);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("SER007")) << report.to_string();
+}
+
+}  // namespace
+}  // namespace ccomp

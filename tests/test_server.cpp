@@ -280,6 +280,166 @@ TEST_F(ServerTest, ScrubberCooperatesWithFaultsAndReaders) {
   EXPECT_GT(server_->stats().scrub_sweeps, 0u);
 }
 
+// --- Lock-free fast-path stress tests -------------------------------------
+// Everything below races readers against the writers the seqlock hit index
+// must survive: LRU eviction, epoch invalidation from hot-swaps, cache
+// flushes, and quarantine churn. Each assertion is a byte-exact golden
+// comparison or an exact folded-counter count — scheduling-independent, so
+// the suite doubles as the TSan workload for the lock-free path in CI.
+
+TEST_F(ServerTest, HotHitStatsFoldStripedCounters) {
+  build();
+  (void)server_->fetch("img", 0);  // one decode warms the block
+  const memsys::BlockCacheStats cache_before = server_->cache_stats();
+  const server::ServerStats srv_before = server_->stats();
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  std::atomic<bool> corrupt{false};
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const server::FetchResult r = server_->fetch("img", 0);
+        if (*r.bytes != golden_[0] || r.source != server::FetchSource::kCache)
+          corrupt.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(corrupt.load());
+  // Every fetch was a hot hit: the striped lookup/hit counters must fold to
+  // the exact total, and no new decode may have run. This is the stats
+  // contract of the fast path — per-counter exact even though the counts
+  // accumulate on per-thread cache-line stripes.
+  constexpr std::uint64_t kTotal = kThreads * kPerThread;
+  const memsys::BlockCacheStats cache_after = server_->cache_stats();
+  EXPECT_EQ(cache_after.lookups - cache_before.lookups, kTotal);
+  EXPECT_EQ(cache_after.hits - cache_before.hits, kTotal);
+  EXPECT_EQ(cache_after.misses, cache_before.misses);
+  const server::ServerStats srv_after = server_->stats();
+  EXPECT_EQ(srv_after.lookups - srv_before.lookups, kTotal);
+  EXPECT_EQ(srv_after.decodes, srv_before.decodes);
+}
+
+TEST_F(ServerTest, ReadersRaceEvictionPressure) {
+  // A budget far below the image's decompressed size keeps the LRU evicting
+  // (and the hit index retiring records through EBR) on every sweep, while
+  // readers probe the same slots lock-free. Any dangling HitRecord read
+  // shows up as a TSan race or a byte mismatch.
+  server::ImageServer::Options opts;
+  opts.cache.capacity_bytes = 512;  // a handful of blocks resident at once
+  opts.cache.shards = 2;
+  opts.cache.hit_slots = 32;
+  build(opts);
+  constexpr unsigned kThreads = 4;
+  std::atomic<bool> corrupt{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::size_t blocks = golden_.size();
+      for (std::size_t i = 0; i < 4 * blocks; ++i) {
+        const auto b = static_cast<std::uint32_t>((i * (2 * t + 1)) % blocks);
+        if (*server_->fetch("img", b).bytes != golden_[b]) corrupt.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(corrupt.load());
+  EXPECT_GT(server_->cache_stats().evictions, 0u);
+}
+
+TEST_F(ServerTest, ReadersRaceRepeatedHotSwaps) {
+  build();
+  const std::vector<std::vector<std::uint8_t>> golden_a = golden_;
+  const std::vector<std::uint8_t> code_b = mips_code(4);
+  const core::CompressedImage image_b = codec_.compress(code_b);
+  const std::vector<std::vector<std::uint8_t>> golden_b = golden_blocks(codec_, image_b);
+  const std::size_t safe_blocks = std::min(golden_a.size(), golden_b.size());
+  ASSERT_GT(safe_blocks, 0u);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> corrupt{false};
+  constexpr unsigned kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (unsigned t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      std::size_t i = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto b = static_cast<std::uint32_t>(i++ % safe_blocks);
+        const auto bytes = *server_->fetch("img", b).bytes;
+        // The invariant across a swap: served bytes are exactly one image's
+        // golden block — a reader racing the epoch flip may get the old
+        // image's bytes, never a stale-epoch mix of the two.
+        if (bytes != golden_a[b] && bytes != golden_b[b]) corrupt.store(true);
+      }
+    });
+  }
+  // Swap back and forth while the readers hammer; every swap re-verifies the
+  // replacement and flips the serving epoch (old entries become unreachable).
+  constexpr int kRounds = 10;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto& next = (round % 2 == 0) ? image_b : *image_;
+    const server::ImageServer::SwapResult r = server_->swap("img", codec_, next);
+    EXPECT_TRUE(r.accepted) << r.error;
+    if (!r.accepted) break;  // keep the join below reachable on failure
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_FALSE(corrupt.load());
+  EXPECT_GE(server_->stats().swaps_accepted, static_cast<std::uint64_t>(kRounds));
+  // Quiesced: the last swap landed on image A, so a full sweep serves
+  // exactly A's bytes (kRounds is even).
+  for (std::uint32_t b = 0; b < golden_a.size(); ++b)
+    EXPECT_EQ(*server_->fetch("img", b).bytes, golden_a[b]);
+}
+
+TEST_F(ServerTest, ReadersRaceQuarantineTripAndRecovery) {
+  server::ImageServer::Options opts;
+  opts.decode_retries = 0;
+  opts.quarantine_threshold = 1;
+  opts.probe_period = 2;
+  opts.degraded = server::DegradedPolicy::kServeGolden;
+  build(opts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> corrupt{false};
+  constexpr unsigned kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (unsigned t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Degraded or not, block 0 must always serve its golden bytes —
+        // under kServeGolden the quarantine path falls back, never throws.
+        if (*server_->fetch("img", 0).bytes != golden_[0]) corrupt.store(true);
+      }
+    });
+  }
+  for (int round = 0; round < 6; ++round) {
+    wedge_block(*server_, "img", 0);
+    server_->flush_cache();  // force the readers off the cached copy
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    repair_block(*server_, "img");
+    server_->flush_cache();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_FALSE(corrupt.load());
+  EXPECT_GE(server_->stats().quarantine_trips, 1u);
+  // The store is healthy now; probing lifts the quarantine within a few
+  // fetches and the block becomes cacheable (non-degraded) again.
+  server::FetchResult result = server_->fetch("img", 0);
+  for (int i = 0; i < 8 && result.degraded; ++i) result = server_->fetch("img", 0);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(*result.bytes, golden_[0]);
+  EXPECT_GE(server_->stats().quarantine_recoveries, 1u);
+}
+
 // The sharded cache in isolation: LRU eviction respects the byte budget.
 TEST(ShardedCache, EvictsLeastRecentlyUsedPastBudget) {
   memsys::ShardedCacheConfig cfg;
@@ -317,6 +477,60 @@ TEST(ShardedCache, EpochInvalidationDropsOnlyThatEpoch) {
   cache.invalidate_epoch(1);
   EXPECT_EQ(cache.acquire({1, 7}).bytes, nullptr);
   EXPECT_NE(cache.acquire({2, 7}).bytes, nullptr);
+}
+
+// try_get is the raw lock-free probe: best-effort (nullptr falls through to
+// the authoritative mutexed path), and it must drop a key the moment its
+// epoch is invalidated or the cache is flushed.
+TEST(ShardedCache, TryGetTracksPublishInvalidateAndFlush) {
+  memsys::ShardedCacheConfig cfg;
+  cfg.shards = 1;
+  cfg.hit_slots = 16;
+  memsys::ShardedBlockCache cache(cfg);
+  const memsys::BlockKey key{3, 9};
+  EXPECT_EQ(cache.try_get(key), nullptr);
+
+  auto ticket = cache.acquire(key);
+  ASSERT_TRUE(ticket.leader);
+  cache.publish(key, ticket.flight, std::make_shared<std::vector<std::uint8_t>>(16, 0x5A),
+                false, true);
+  const auto bytes = cache.try_get(key);
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(bytes->size(), 16u);
+  EXPECT_EQ((*bytes)[0], 0x5A);
+  // A different block / epoch never aliases the published slot.
+  EXPECT_EQ(cache.try_get({3, 10}), nullptr);
+  EXPECT_EQ(cache.try_get({4, 9}), nullptr);
+
+  cache.invalidate_epoch(3);
+  EXPECT_EQ(cache.try_get(key), nullptr);
+
+  auto again = cache.acquire(key);
+  ASSERT_TRUE(again.leader);
+  cache.publish(key, again.flight, std::make_shared<std::vector<std::uint8_t>>(16, 0xA5),
+                false, true);
+  ASSERT_NE(cache.try_get(key), nullptr);
+  cache.flush();
+  EXPECT_EQ(cache.try_get(key), nullptr);
+}
+
+// hit_slots = 0 turns the lock-free index off entirely: try_get always
+// misses, but acquire()'s mutexed path keeps serving (the pre-v3.1 shape).
+TEST(ShardedCache, DisabledHitIndexStillServesThroughLockedPath) {
+  memsys::ShardedCacheConfig cfg;
+  cfg.shards = 1;
+  cfg.hit_slots = 0;
+  memsys::ShardedBlockCache cache(cfg);
+  const memsys::BlockKey key{1, 2};
+  auto ticket = cache.acquire(key);
+  ASSERT_TRUE(ticket.leader);
+  cache.publish(key, ticket.flight, std::make_shared<std::vector<std::uint8_t>>(8, 0x11), false,
+                true);
+  EXPECT_EQ(cache.try_get(key), nullptr);
+  const auto hit = cache.acquire(key);
+  ASSERT_NE(hit.bytes, nullptr);
+  EXPECT_EQ((*hit.bytes)[0], 0x11);
+  EXPECT_EQ(cache.stats().hits, 1u);
 }
 
 }  // namespace
